@@ -1,0 +1,63 @@
+//! Criterion bench: the per-link EDF feasibility test (Constraint 1 + 2) as
+//! a function of the number of channel-halves on the link, and the
+//! utilisation-only shortcut for comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use rt_edf::{FeasibilityTester, PeriodicTask, TaskSet};
+use rt_types::Slots;
+
+fn paper_half(deadline: u64) -> PeriodicTask {
+    PeriodicTask::new(Slots::new(100), Slots::new(3), Slots::new(deadline)).unwrap()
+}
+
+fn mixed_set(n: usize) -> TaskSet {
+    // A mix of periods/deadlines so the checkpoint set is non-trivial.
+    (0..n)
+        .map(|i| {
+            let period = 50 + (i as u64 % 7) * 25;
+            let capacity = 1 + (i as u64 % 3);
+            let deadline = (capacity * 2) + (i as u64 % 5) * 10;
+            PeriodicTask::new(
+                Slots::new(period),
+                Slots::new(capacity),
+                Slots::new(deadline.min(period)),
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+fn bench_feasibility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feasibility_test");
+    group
+        .sample_size(50)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for n in [6usize, 11, 33] {
+        let set: TaskSet = (0..n).map(|_| paper_half(20)).collect();
+        group.bench_function(format!("paper_uplink_{n}_channels"), |b| {
+            let tester = FeasibilityTester::new();
+            b.iter(|| black_box(tester.test(&set)))
+        });
+    }
+
+    for n in [10usize, 50, 200] {
+        let set = mixed_set(n);
+        group.bench_function(format!("mixed_full_{n}_tasks"), |b| {
+            let tester = FeasibilityTester::new();
+            b.iter(|| black_box(tester.test(&set)))
+        });
+        group.bench_function(format!("mixed_utilisation_only_{n}_tasks"), |b| {
+            let tester = FeasibilityTester::utilisation_only();
+            b.iter(|| black_box(tester.test(&set)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_feasibility);
+criterion_main!(benches);

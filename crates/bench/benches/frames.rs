@@ -1,0 +1,81 @@
+//! Criterion bench: wire-format encode/decode throughput — the per-frame
+//! work the RT layer adds on the data path (deadline stamping) and the
+//! control path (request/response codecs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use rt_frames::rt_data::{DeadlineStamp, RtDataFrame};
+use rt_frames::{EthernetFrame, Frame, RequestFrame, ResponseFrame};
+use rt_types::{ChannelId, ConnectionRequestId, Ipv4Address, MacAddr, NodeId, Slots};
+
+fn request_frame() -> RequestFrame {
+    RequestFrame {
+        src_mac: MacAddr::for_node(NodeId::new(1)),
+        dst_mac: MacAddr::for_node(NodeId::new(2)),
+        src_ip: Ipv4Address::for_node(NodeId::new(1)),
+        dst_ip: Ipv4Address::for_node(NodeId::new(2)),
+        period: Slots::new(100),
+        capacity: Slots::new(3),
+        deadline: Slots::new(40),
+        rt_channel_id: None,
+        connection_request_id: ConnectionRequestId::new(1),
+    }
+}
+
+fn data_frame(payload: usize) -> RtDataFrame {
+    RtDataFrame {
+        eth_src: MacAddr::for_node(NodeId::new(1)),
+        eth_dst: MacAddr::for_node(NodeId::new(2)),
+        stamp: DeadlineStamp::new(123_456_789, ChannelId::new(7)).unwrap(),
+        src_port: 5000,
+        dst_port: 5001,
+        payload: vec![0xa5; payload],
+    }
+}
+
+fn bench_frames(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_codecs");
+    group
+        .sample_size(50)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    group.bench_function("request_encode", |b| {
+        let f = request_frame();
+        b.iter(|| black_box(f.encode().unwrap()))
+    });
+    group.bench_function("request_decode", |b| {
+        let bytes = request_frame().encode().unwrap();
+        b.iter(|| black_box(RequestFrame::decode(&bytes).unwrap()))
+    });
+    group.bench_function("response_roundtrip", |b| {
+        let f = ResponseFrame {
+            rt_channel_id: Some(ChannelId::new(3)),
+            switch_mac: MacAddr::for_switch(),
+            verdict: rt_frames::rt_response::ResponseVerdict::Accepted,
+            connection_request_id: ConnectionRequestId::new(1),
+        };
+        b.iter(|| black_box(ResponseFrame::decode(&f.encode()).unwrap()))
+    });
+
+    for payload in [64usize, 1400] {
+        group.bench_function(format!("rt_data_build_{payload}B"), |b| {
+            let f = data_frame(payload);
+            b.iter(|| black_box(f.into_ethernet().unwrap()))
+        });
+        group.bench_function(format!("rt_data_classify_{payload}B"), |b| {
+            let eth = data_frame(payload).into_ethernet().unwrap();
+            let bytes = eth.encode();
+            b.iter(|| {
+                let decoded = EthernetFrame::decode(&bytes).unwrap();
+                black_box(Frame::classify(decoded).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frames);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench: the deadline-sorted (EDF) queue and the FCFS queue that
+//! every output port runs — the per-frame queueing cost of the RT layer.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use rt_edf::{EdfQueue, FcfsQueue};
+
+fn bench_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queues");
+    group
+        .sample_size(50)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for n in [64usize, 1024] {
+        // Pre-generated pseudo-random deadlines (deterministic).
+        let deadlines: Vec<u64> = (0..n as u64).map(|i| (i * 2_654_435_761) % 100_000).collect();
+
+        group.bench_function(format!("edf_push_pop_{n}"), |b| {
+            b.iter_batched(
+                EdfQueue::new,
+                |mut q| {
+                    for (i, d) in deadlines.iter().enumerate() {
+                        q.push(*d, i);
+                    }
+                    while let Some(item) = q.pop() {
+                        black_box(item);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+
+        group.bench_function(format!("fcfs_push_pop_{n}"), |b| {
+            b.iter_batched(
+                FcfsQueue::new,
+                |mut q| {
+                    for i in 0..n {
+                        q.push(i);
+                    }
+                    while let Some(item) = q.pop() {
+                        black_box(item);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    group.bench_function("edf_steady_state_push_pop", |b| {
+        // A queue holding ~64 frames with one push+pop per iteration — the
+        // switch port's steady state.
+        let mut q = EdfQueue::new();
+        for i in 0..64u64 {
+            q.push(i * 1000, i);
+        }
+        let mut next = 64_000u64;
+        b.iter(|| {
+            q.push(next, next);
+            next += 1000;
+            black_box(q.pop())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion bench: event throughput of the discrete-event simulator and
+//! end-to-end cost of the channel-establishment handshake over the wire.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use rt_core::{DpsKind, RtChannelSpec, RtNetwork, RtNetworkConfig};
+use rt_frames::rt_data::{DeadlineStamp, RtDataFrame};
+use rt_netsim::{SimConfig, Simulator};
+use rt_types::{ChannelId, MacAddr, NodeId, SimTime};
+
+fn rt_eth(from: u32, to: u32, deadline_ns: u64) -> rt_frames::EthernetFrame {
+    RtDataFrame {
+        eth_src: MacAddr::for_node(NodeId::new(from)),
+        eth_dst: MacAddr::for_node(NodeId::new(to)),
+        stamp: DeadlineStamp::new(deadline_ns, ChannelId::new(1)).unwrap(),
+        src_port: 1,
+        dst_port: 2,
+        payload: vec![0u8; 1000],
+    }
+    .into_ethernet()
+    .unwrap()
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for frames in [100u64, 1000] {
+        group.bench_function(format!("forward_{frames}_rt_frames_8_nodes"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sim =
+                        Simulator::new(SimConfig::default(), (0..8).map(NodeId::new));
+                    for k in 0..frames {
+                        let src = (k % 8) as u32;
+                        let dst = ((k + 1) % 8) as u32;
+                        sim.inject(
+                            NodeId::new(src),
+                            rt_eth(src, dst, 1_000_000_000),
+                            SimTime::from_micros(k),
+                        )
+                        .unwrap();
+                    }
+                    sim
+                },
+                |mut sim| {
+                    sim.run_to_idle();
+                    black_box(sim.events_processed())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    group.bench_function("channel_establishment_handshake", |b| {
+        b.iter_batched(
+            || RtNetwork::new(RtNetworkConfig::with_nodes(8, DpsKind::Asymmetric)),
+            |mut net| {
+                let tx = net
+                    .establish_channel(
+                        NodeId::new(0),
+                        NodeId::new(1),
+                        RtChannelSpec::paper_default(),
+                    )
+                    .unwrap();
+                black_box(tx)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! # rt-bench
+//!
+//! Experiment harnesses regenerating the paper's evaluation plus the
+//! ablations listed in `DESIGN.md`, and Criterion micro-benchmarks.
+//!
+//! The library part holds the reusable experiment drivers so the binaries
+//! (`fig18_5`, `delay_validation`, `dps_ablation`, `feasibility_ablation`,
+//! `coexistence`) and the Criterion benches share one implementation.
+//!
+//! Binaries print human-readable tables to stdout and, when given a path as
+//! the first CLI argument, also write the raw results as JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{
+    admission_sweep, delay_validation, AdmissionRunResult, DelayValidationResult, Fig18Row,
+};
+pub use report::Table;

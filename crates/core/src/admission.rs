@@ -1,0 +1,430 @@
+//! The switch's admission control (§18.2.2 / §18.3.2).
+//!
+//! "The switch is responsible for admission control where feasibility
+//! analysis is made for each link between source and destination."  For a
+//! requested channel the controller:
+//!
+//! 1. validates the traffic contract (`P`, `C`, `d` sane, `d ≥ 2C`),
+//! 2. asks the configured deadline-partitioning scheme for the split
+//!    `(d_iu, d_id)`,
+//! 3. derives the two supposed tasks (Eq. 18.6/18.7) and runs the per-link
+//!    EDF feasibility test on the source's uplink and the destination's
+//!    downlink with the candidate added,
+//! 4. on success assigns a network-unique channel ID and commits the channel
+//!    to the system state; on failure reports which link was the bottleneck.
+
+use rt_edf::{FeasibilityConfig, FeasibilityTester, PeriodicTask};
+use rt_types::{ChannelId, LinkId, NodeId, RtError, RtResult};
+
+use crate::channel::{Endpoint, RtChannel, RtChannelSpec};
+use crate::dps::DeadlinePartitioningScheme;
+use crate::system_state::SystemState;
+
+/// The outcome of one admission request, with enough detail for experiments
+/// to classify rejections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// The channel was accepted and committed to the system state.
+    Accepted(RtChannel),
+    /// The channel was rejected.
+    Rejected {
+        /// The link whose feasibility test failed first (uplink is tested
+        /// before downlink), or `None` for validation failures.
+        bottleneck: Option<LinkId>,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl AdmissionDecision {
+    /// `true` if the request was accepted.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, AdmissionDecision::Accepted(_))
+    }
+
+    /// The accepted channel, if any.
+    pub fn channel(&self) -> Option<&RtChannel> {
+        match self {
+            AdmissionDecision::Accepted(ch) => Some(ch),
+            AdmissionDecision::Rejected { .. } => None,
+        }
+    }
+}
+
+/// The admission controller: the deadline-partitioning scheme, the
+/// feasibility tester and the system state it guards.
+pub struct AdmissionController {
+    dps: Box<dyn DeadlinePartitioningScheme>,
+    tester: FeasibilityTester,
+    state: SystemState,
+    next_channel_id: u16,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl std::fmt::Debug for AdmissionController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionController")
+            .field("dps", &self.dps.name())
+            .field("channels", &self.state.channel_count())
+            .field("accepted", &self.accepted)
+            .field("rejected", &self.rejected)
+            .finish()
+    }
+}
+
+impl AdmissionController {
+    /// A controller over `state` using `dps` and the full two-constraint
+    /// feasibility test.
+    pub fn new(state: SystemState, dps: Box<dyn DeadlinePartitioningScheme>) -> Self {
+        Self::with_tester(state, dps, FeasibilityTester::new())
+    }
+
+    /// A controller with an explicit feasibility tester (used by the
+    /// utilisation-only ablation).
+    pub fn with_tester(
+        state: SystemState,
+        dps: Box<dyn DeadlinePartitioningScheme>,
+        tester: FeasibilityTester,
+    ) -> Self {
+        AdmissionController {
+            dps,
+            tester,
+            state,
+            next_channel_id: 1,
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// A controller that checks only the utilisation bound (Constraint 1).
+    pub fn utilisation_only(state: SystemState, dps: Box<dyn DeadlinePartitioningScheme>) -> Self {
+        Self::with_tester(
+            state,
+            dps,
+            FeasibilityTester::with_config(FeasibilityConfig {
+                utilisation_only: true,
+                ..FeasibilityConfig::default()
+            }),
+        )
+    }
+
+    /// The guarded system state.
+    pub fn state(&self) -> &SystemState {
+        &self.state
+    }
+
+    /// Name of the deadline-partitioning scheme in use.
+    pub fn dps_name(&self) -> &'static str {
+        self.dps.name()
+    }
+
+    /// Number of accepted requests so far.
+    pub fn accepted_count(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Number of rejected requests so far.
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Connect a node (idempotent).
+    pub fn add_node(&mut self, node: NodeId) {
+        self.state.add_node(node);
+    }
+
+    fn allocate_channel_id(&mut self) -> RtResult<ChannelId> {
+        // Channel id 0 is reserved ("not set yet" on the wire).
+        for _ in 0..u16::MAX {
+            let candidate = self.next_channel_id;
+            self.next_channel_id = if self.next_channel_id == u16::MAX {
+                1
+            } else {
+                self.next_channel_id + 1
+            };
+            if self.state.channel(ChannelId::new(candidate)).is_none() {
+                return Ok(ChannelId::new(candidate));
+            }
+        }
+        Err(RtError::ChannelIdsExhausted)
+    }
+
+    /// Process a channel request; returns the decision.  Only accepted
+    /// channels modify the system state.
+    pub fn request(
+        &mut self,
+        source: NodeId,
+        destination: NodeId,
+        spec: RtChannelSpec,
+    ) -> RtResult<AdmissionDecision> {
+        // Basic validation.  Errors here are caller bugs (unknown node) or
+        // malformed specs and are returned as errors, not decisions.
+        if !self.state.has_node(source) {
+            return Err(RtError::UnknownNode(source));
+        }
+        if !self.state.has_node(destination) {
+            return Err(RtError::UnknownNode(destination));
+        }
+        if source == destination {
+            return Err(RtError::InvalidChannelSpec(
+                "source and destination must differ".into(),
+            ));
+        }
+        if let Err(e) = spec.validate() {
+            self.rejected += 1;
+            return Ok(AdmissionDecision::Rejected {
+                bottleneck: None,
+                reason: e.to_string(),
+            });
+        }
+
+        // Deadline partitioning.
+        let split = self.dps.partition(&spec, source, destination, &self.state)?;
+        split.validate(&spec)?;
+
+        // Per-link feasibility with the candidate added (Eq. 18.6/18.7).
+        let uplink = LinkId::uplink(source);
+        let downlink = LinkId::downlink(destination);
+        let up_task = PeriodicTask::new(spec.period, spec.capacity, split.uplink)?;
+        let down_task = PeriodicTask::new(spec.period, spec.capacity, split.downlink)?;
+
+        let up_set = self.state.link_taskset(uplink);
+        let up_outcome = self.tester.test_with_candidate(&up_set, &up_task);
+        if !up_outcome.is_feasible() {
+            self.rejected += 1;
+            return Ok(AdmissionDecision::Rejected {
+                bottleneck: Some(uplink),
+                reason: format!(
+                    "uplink infeasible with d_iu={}: {:?}",
+                    split.uplink, up_outcome.verdict
+                ),
+            });
+        }
+
+        let down_set = self.state.link_taskset(downlink);
+        let down_outcome = self.tester.test_with_candidate(&down_set, &down_task);
+        if !down_outcome.is_feasible() {
+            self.rejected += 1;
+            return Ok(AdmissionDecision::Rejected {
+                bottleneck: Some(downlink),
+                reason: format!(
+                    "downlink infeasible with d_id={}: {:?}",
+                    split.downlink, down_outcome.verdict
+                ),
+            });
+        }
+
+        // Commit.
+        let id = self.allocate_channel_id()?;
+        let channel = RtChannel {
+            id,
+            source: Endpoint::for_node(source),
+            destination: Endpoint::for_node(destination),
+            spec,
+            split,
+        };
+        self.state.insert_channel(channel)?;
+        self.accepted += 1;
+        Ok(AdmissionDecision::Accepted(channel))
+    }
+
+    /// Tear down an established channel, releasing its reserved capacity.
+    pub fn release(&mut self, id: ChannelId) -> RtResult<RtChannel> {
+        self.state.remove_channel(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dps::{Adps, DpsKind, Sdps};
+    use rt_types::Slots;
+
+    fn controller(dps: DpsKind, nodes: u32) -> AdmissionController {
+        AdmissionController::new(
+            SystemState::with_nodes((0..nodes).map(NodeId::new)),
+            dps.build(),
+        )
+    }
+
+    #[test]
+    fn accepts_until_the_uplink_saturates_with_sdps() {
+        // One master (node 0) sending to many slaves with the paper's
+        // parameters: SDPS caps the master's uplink at 6 channels.
+        let mut ac = controller(DpsKind::Symmetric, 60);
+        let spec = RtChannelSpec::paper_default();
+        let mut accepted = 0;
+        for dst in 1..=20u32 {
+            let decision = ac.request(NodeId::new(0), NodeId::new(dst), spec).unwrap();
+            if decision.is_accepted() {
+                accepted += 1;
+            } else if let AdmissionDecision::Rejected { bottleneck, .. } = &decision {
+                assert_eq!(*bottleneck, Some(LinkId::uplink(NodeId::new(0))));
+            }
+        }
+        assert_eq!(accepted, 6);
+        assert_eq!(ac.accepted_count(), 6);
+        assert_eq!(ac.rejected_count(), 14);
+        assert_eq!(ac.state().channel_count(), 6);
+    }
+
+    #[test]
+    fn adps_accepts_more_than_sdps_in_the_master_slave_pattern() {
+        let spec = RtChannelSpec::paper_default();
+        let run = |kind: DpsKind| -> u64 {
+            let mut ac = controller(kind, 60);
+            // 10 masters (0..10), 50 slaves (10..60), round-robin requests.
+            let mut count = 0;
+            for i in 0..120u32 {
+                let master = NodeId::new(i % 10);
+                let slave = NodeId::new(10 + (i % 50));
+                if ac.request(master, slave, spec).unwrap().is_accepted() {
+                    count += 1;
+                }
+            }
+            count
+        };
+        let sdps = run(DpsKind::Symmetric);
+        let adps = run(DpsKind::Asymmetric);
+        assert!(
+            adps > sdps,
+            "ADPS ({adps}) should accept more channels than SDPS ({sdps})"
+        );
+        assert_eq!(sdps, 60, "SDPS caps at 6 per master uplink");
+    }
+
+    #[test]
+    fn rejects_malformed_specs_as_decisions() {
+        let mut ac = controller(DpsKind::Symmetric, 2);
+        let bad = RtChannelSpec {
+            period: Slots::new(10),
+            capacity: Slots::new(4),
+            deadline: Slots::new(6), // < 2C
+        };
+        let decision = ac.request(NodeId::new(0), NodeId::new(1), bad).unwrap();
+        assert!(!decision.is_accepted());
+        assert!(matches!(
+            decision,
+            AdmissionDecision::Rejected { bottleneck: None, .. }
+        ));
+    }
+
+    #[test]
+    fn errors_for_unknown_nodes_and_self_loops() {
+        let mut ac = controller(DpsKind::Asymmetric, 2);
+        let spec = RtChannelSpec::paper_default();
+        assert!(ac.request(NodeId::new(0), NodeId::new(5), spec).is_err());
+        assert!(ac.request(NodeId::new(5), NodeId::new(0), spec).is_err());
+        assert!(ac.request(NodeId::new(1), NodeId::new(1), spec).is_err());
+    }
+
+    #[test]
+    fn rejection_does_not_change_state() {
+        let mut ac = controller(DpsKind::Symmetric, 10);
+        let spec = RtChannelSpec::paper_default();
+        // Saturate node 0's uplink.
+        for dst in 1..=6u32 {
+            assert!(ac
+                .request(NodeId::new(0), NodeId::new(dst), spec)
+                .unwrap()
+                .is_accepted());
+        }
+        let before_channels = ac.state().channel_count();
+        let before_load = ac.state().link_load(LinkId::uplink(NodeId::new(0)));
+        let decision = ac.request(NodeId::new(0), NodeId::new(7), spec).unwrap();
+        assert!(!decision.is_accepted());
+        assert_eq!(ac.state().channel_count(), before_channels);
+        assert_eq!(
+            ac.state().link_load(LinkId::uplink(NodeId::new(0))),
+            before_load
+        );
+    }
+
+    #[test]
+    fn release_frees_capacity_for_new_channels() {
+        let mut ac = controller(DpsKind::Symmetric, 10);
+        let spec = RtChannelSpec::paper_default();
+        let mut ids = Vec::new();
+        for dst in 1..=6u32 {
+            let d = ac.request(NodeId::new(0), NodeId::new(dst), spec).unwrap();
+            ids.push(d.channel().unwrap().id);
+        }
+        assert!(!ac
+            .request(NodeId::new(0), NodeId::new(7), spec)
+            .unwrap()
+            .is_accepted());
+        ac.release(ids[0]).unwrap();
+        assert!(ac
+            .request(NodeId::new(0), NodeId::new(7), spec)
+            .unwrap()
+            .is_accepted());
+        assert!(ac.release(ChannelId::new(9999)).is_err());
+    }
+
+    #[test]
+    fn channel_ids_are_unique_and_skip_zero() {
+        let mut ac = controller(DpsKind::Asymmetric, 30);
+        let spec = RtChannelSpec::paper_default();
+        let mut seen = std::collections::HashSet::new();
+        for src in 0..10u32 {
+            for dst in 10..12u32 {
+                if let AdmissionDecision::Accepted(ch) = ac
+                    .request(NodeId::new(src), NodeId::new(dst), spec)
+                    .unwrap()
+                {
+                    assert_ne!(ch.id.get(), 0);
+                    assert!(seen.insert(ch.id), "duplicate id {:?}", ch.id);
+                }
+            }
+        }
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn utilisation_only_controller_over_admits_constrained_deadlines() {
+        // With d < P the utilisation-only test accepts channels the full
+        // test rejects: this is what Ablation B quantifies.
+        let spec = RtChannelSpec::paper_default(); // U = 0.03, d = 40 << P
+        let full = {
+            let mut ac = controller(DpsKind::Symmetric, 40);
+            let mut n = 0;
+            for dst in 1..=33u32 {
+                if ac
+                    .request(NodeId::new(0), NodeId::new(dst), spec)
+                    .unwrap()
+                    .is_accepted()
+                {
+                    n += 1;
+                }
+            }
+            n
+        };
+        let util_only = {
+            let mut ac = AdmissionController::utilisation_only(
+                SystemState::with_nodes((0..40).map(NodeId::new)),
+                Box::new(Sdps),
+            );
+            let mut n = 0;
+            for dst in 1..=33u32 {
+                if ac
+                    .request(NodeId::new(0), NodeId::new(dst), spec)
+                    .unwrap()
+                    .is_accepted()
+                {
+                    n += 1;
+                }
+            }
+            n
+        };
+        assert_eq!(full, 6);
+        assert_eq!(util_only, 33, "utilisation bound admits everything under U<=1");
+    }
+
+    #[test]
+    fn adps_controller_reports_dps_name() {
+        let ac = AdmissionController::new(SystemState::new(), Box::new(Adps));
+        assert_eq!(ac.dps_name(), "ADPS");
+        assert!(format!("{ac:?}").contains("ADPS"));
+    }
+}

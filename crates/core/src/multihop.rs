@@ -1,0 +1,734 @@
+//! Multi-switch topologies (the paper's stated future work).
+//!
+//! The paper's conclusions call for "investigating the use of more complex
+//! network topologies, i.e. networks consisting of many interconnected
+//! switches".  This module generalises the single-switch machinery to a
+//! *tree* of switches:
+//!
+//! * a [`Topology`] describes which switch every end node attaches to and
+//!   which trunk links connect the switches,
+//! * an RT channel now traverses a *path* of directed links — the source's
+//!   uplink, zero or more directed trunk hops, and the destination's
+//!   downlink,
+//! * the end-to-end deadline is partitioned over all links of the path by a
+//!   [`MultiHopDps`]: the symmetric scheme gives every hop `d_i / k`, the
+//!   asymmetric scheme distributes the slack `d_i − k·C_i` proportionally to
+//!   the per-link load (the natural generalisation of Eq. 18.16),
+//! * admission control ([`MultiHopAdmission`]) runs the same per-link EDF
+//!   feasibility test on every link of the path and commits the channel only
+//!   if all of them pass.
+//!
+//! The generalisation keeps the paper's analytical structure: each directed
+//! link is still an independent EDF "processor", and the channel is feasible
+//! iff every link on its path can schedule its share of the deadline.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use rt_edf::{FeasibilityTester, PeriodicTask, TaskSet};
+use rt_types::{ChannelId, NodeId, RtError, RtResult, Slots};
+
+use crate::channel::RtChannelSpec;
+
+/// Identifier of a switch in a multi-switch topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SwitchId(pub u32);
+
+impl SwitchId {
+    /// Construct a switch id.
+    pub const fn new(id: u32) -> Self {
+        SwitchId(id)
+    }
+
+    /// Raw value.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sw{}", self.0)
+    }
+}
+
+/// A directed link in a multi-switch network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HopLink {
+    /// End node → its access switch.
+    Uplink(NodeId),
+    /// Access switch → end node.
+    Downlink(NodeId),
+    /// Directed trunk between two switches.
+    Trunk {
+        /// Transmitting switch.
+        from: SwitchId,
+        /// Receiving switch.
+        to: SwitchId,
+    },
+}
+
+impl fmt::Display for HopLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HopLink::Uplink(n) => write!(f, "{n}/uplink"),
+            HopLink::Downlink(n) => write!(f, "{n}/downlink"),
+            HopLink::Trunk { from, to } => write!(f, "{from}->{to}"),
+        }
+    }
+}
+
+/// A network of switches connected by trunk links, with end nodes attached.
+///
+/// The switch graph must be a tree (checked when trunks are added), so the
+/// path between any two switches is unique — which keeps routing and the
+/// admission analysis deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    switches: BTreeSet<SwitchId>,
+    attachments: BTreeMap<NodeId, SwitchId>,
+    /// Adjacency of the (undirected) trunk graph.
+    adjacency: BTreeMap<SwitchId, BTreeSet<SwitchId>>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a switch (idempotent).
+    pub fn add_switch(&mut self, switch: SwitchId) {
+        self.switches.insert(switch);
+        self.adjacency.entry(switch).or_default();
+    }
+
+    /// Attach an end node to a switch.
+    pub fn attach_node(&mut self, node: NodeId, switch: SwitchId) -> RtResult<()> {
+        if !self.switches.contains(&switch) {
+            return Err(RtError::Config(format!("unknown switch {switch}")));
+        }
+        if self.attachments.contains_key(&node) {
+            return Err(RtError::Config(format!("{node} is already attached")));
+        }
+        self.attachments.insert(node, switch);
+        Ok(())
+    }
+
+    /// Connect two switches with a full-duplex trunk link.  Rejects edges
+    /// that would create a cycle (the switch graph must stay a tree) or
+    /// self-loops.
+    pub fn add_trunk(&mut self, a: SwitchId, b: SwitchId) -> RtResult<()> {
+        if a == b {
+            return Err(RtError::Config("a trunk cannot connect a switch to itself".into()));
+        }
+        for s in [a, b] {
+            if !self.switches.contains(&s) {
+                return Err(RtError::Config(format!("unknown switch {s}")));
+            }
+        }
+        if self.switch_path(a, b).is_some() {
+            return Err(RtError::Config(format!(
+                "trunk {a} <-> {b} would create a cycle in the switch graph"
+            )));
+        }
+        self.adjacency.entry(a).or_default().insert(b);
+        self.adjacency.entry(b).or_default().insert(a);
+        Ok(())
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of attached end nodes.
+    pub fn node_count(&self) -> usize {
+        self.attachments.len()
+    }
+
+    /// The switch an end node is attached to.
+    pub fn switch_of(&self, node: NodeId) -> Option<SwitchId> {
+        self.attachments.get(&node).copied()
+    }
+
+    /// The attached end nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.attachments.keys().copied()
+    }
+
+    /// The unique switch-to-switch path (inclusive of both endpoints), or
+    /// `None` if the switches are not connected.
+    pub fn switch_path(&self, from: SwitchId, to: SwitchId) -> Option<Vec<SwitchId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        if !self.switches.contains(&from) || !self.switches.contains(&to) {
+            return None;
+        }
+        let mut predecessor: BTreeMap<SwitchId, SwitchId> = BTreeMap::new();
+        let mut queue = VecDeque::from([from]);
+        let mut seen = BTreeSet::from([from]);
+        while let Some(current) = queue.pop_front() {
+            if current == to {
+                break;
+            }
+            if let Some(neighbours) = self.adjacency.get(&current) {
+                for &next in neighbours {
+                    if seen.insert(next) {
+                        predecessor.insert(next, current);
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        if !predecessor.contains_key(&to) {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut current = to;
+        while current != from {
+            current = predecessor[&current];
+            path.push(current);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// The directed links an RT channel from `source` to `destination`
+    /// traverses: uplink, trunk hops, downlink.
+    pub fn route(&self, source: NodeId, destination: NodeId) -> RtResult<Vec<HopLink>> {
+        if source == destination {
+            return Err(RtError::InvalidChannelSpec(
+                "source and destination must differ".into(),
+            ));
+        }
+        let src_switch = self
+            .switch_of(source)
+            .ok_or(RtError::UnknownNode(source))?;
+        let dst_switch = self
+            .switch_of(destination)
+            .ok_or(RtError::UnknownNode(destination))?;
+        let switch_path = self.switch_path(src_switch, dst_switch).ok_or_else(|| {
+            RtError::Config(format!(
+                "switches {src_switch} and {dst_switch} are not connected"
+            ))
+        })?;
+        let mut links = Vec::with_capacity(switch_path.len() + 1);
+        links.push(HopLink::Uplink(source));
+        for pair in switch_path.windows(2) {
+            links.push(HopLink::Trunk {
+                from: pair[0],
+                to: pair[1],
+            });
+        }
+        links.push(HopLink::Downlink(destination));
+        Ok(links)
+    }
+}
+
+/// How the end-to-end deadline is split over the links of a multi-hop path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiHopDps {
+    /// Every link gets `d_i / k` (the natural generalisation of SDPS).
+    Symmetric,
+    /// Every link gets `C_i` plus a share of the slack `d_i − k·C_i`
+    /// proportional to its link load, counting the candidate channel itself
+    /// (the natural generalisation of ADPS, Eq. 18.16).
+    Asymmetric,
+}
+
+impl MultiHopDps {
+    /// Partition `spec.deadline` over `path`, given the per-link loads in
+    /// `loads` (same order as `path`).  Every per-link deadline is at least
+    /// `C_i` and the parts sum to `d_i` exactly.
+    pub fn partition(
+        &self,
+        spec: &RtChannelSpec,
+        path: &[HopLink],
+        loads: &[usize],
+    ) -> RtResult<Vec<Slots>> {
+        let hops = path.len() as u64;
+        if hops == 0 {
+            return Err(RtError::InvalidPartition {
+                reason: "empty path".into(),
+            });
+        }
+        debug_assert_eq!(path.len(), loads.len());
+        let c = spec.capacity.get();
+        let d = spec.deadline.get();
+        if d < hops * c {
+            return Err(RtError::InvalidChannelSpec(format!(
+                "deadline {d} is shorter than {hops} hops x capacity {c}"
+            )));
+        }
+        let slack = d - hops * c;
+        let weights: Vec<f64> = match self {
+            MultiHopDps::Symmetric => vec![1.0; path.len()],
+            MultiHopDps::Asymmetric => loads.iter().map(|&l| l as f64 + 1.0).collect(),
+        };
+        let total_weight: f64 = weights.iter().sum();
+        // Integer apportionment of the slack: floor of the proportional
+        // share, then hand the remaining slots to the largest fractional
+        // remainders (ties broken by position, so the result is
+        // deterministic).
+        let mut parts: Vec<u64> = Vec::with_capacity(path.len());
+        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(path.len());
+        let mut assigned = 0u64;
+        for (i, w) in weights.iter().enumerate() {
+            let exact = slack as f64 * w / total_weight;
+            let floor = exact.floor() as u64;
+            parts.push(floor);
+            assigned += floor;
+            remainders.push((i, exact - floor as f64));
+        }
+        let mut leftover = slack - assigned;
+        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut idx = 0;
+        while leftover > 0 {
+            parts[remainders[idx % remainders.len()].0] += 1;
+            leftover -= 1;
+            idx += 1;
+        }
+        let result: Vec<Slots> = parts.iter().map(|&p| Slots::new(c + p)).collect();
+        debug_assert_eq!(result.iter().map(|s| s.get()).sum::<u64>(), d);
+        Ok(result)
+    }
+}
+
+/// An RT channel admitted into a multi-switch network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiHopChannel {
+    /// Network-unique id.
+    pub id: ChannelId,
+    /// Source node.
+    pub source: NodeId,
+    /// Destination node.
+    pub destination: NodeId,
+    /// Traffic contract.
+    pub spec: RtChannelSpec,
+    /// The links of the path, in order.
+    pub path: Vec<HopLink>,
+    /// The per-link deadline of each hop, in the same order as `path`.
+    pub link_deadlines: Vec<Slots>,
+}
+
+/// Admission control over a multi-switch topology.
+pub struct MultiHopAdmission {
+    topology: Topology,
+    dps: MultiHopDps,
+    tester: FeasibilityTester,
+    link_tasks: BTreeMap<HopLink, TaskSet>,
+    channels: BTreeMap<u16, MultiHopChannel>,
+    next_channel_id: u16,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl fmt::Debug for MultiHopAdmission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MultiHopAdmission")
+            .field("dps", &self.dps)
+            .field("channels", &self.channels.len())
+            .field("accepted", &self.accepted)
+            .field("rejected", &self.rejected)
+            .finish()
+    }
+}
+
+impl MultiHopAdmission {
+    /// Create an admission controller for `topology` using `dps`.
+    pub fn new(topology: Topology, dps: MultiHopDps) -> Self {
+        MultiHopAdmission {
+            topology,
+            dps,
+            tester: FeasibilityTester::new(),
+            link_tasks: BTreeMap::new(),
+            channels: BTreeMap::new(),
+            next_channel_id: 1,
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// The topology being managed.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of active channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Requests accepted so far.
+    pub fn accepted_count(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Requests rejected so far.
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The number of channels currently traversing `link`.
+    pub fn link_load(&self, link: HopLink) -> usize {
+        self.link_tasks.get(&link).map_or(0, |s| s.len())
+    }
+
+    /// The task set currently reserved on `link`.
+    pub fn link_taskset(&self, link: HopLink) -> TaskSet {
+        self.link_tasks.get(&link).cloned().unwrap_or_default()
+    }
+
+    /// Links that currently carry at least one channel.
+    pub fn loaded_links(&self) -> impl Iterator<Item = (HopLink, usize)> + '_ {
+        self.link_tasks.iter().map(|(l, s)| (*l, s.len()))
+    }
+
+    /// Look up an active channel.
+    pub fn channel(&self, id: ChannelId) -> Option<&MultiHopChannel> {
+        self.channels.get(&id.get())
+    }
+
+    fn allocate_channel_id(&mut self) -> RtResult<ChannelId> {
+        for _ in 0..u16::MAX {
+            let candidate = self.next_channel_id;
+            self.next_channel_id = if self.next_channel_id == u16::MAX {
+                1
+            } else {
+                self.next_channel_id + 1
+            };
+            if !self.channels.contains_key(&candidate) {
+                return Ok(ChannelId::new(candidate));
+            }
+        }
+        Err(RtError::ChannelIdsExhausted)
+    }
+
+    /// Request a channel from `source` to `destination`.  Returns the
+    /// admitted channel, or the rejection (which link failed and why).
+    pub fn request(
+        &mut self,
+        source: NodeId,
+        destination: NodeId,
+        spec: RtChannelSpec,
+    ) -> RtResult<Result<MultiHopChannel, (Option<HopLink>, String)>> {
+        spec.validate()?;
+        let path = self.topology.route(source, destination)?;
+        let loads: Vec<usize> = path.iter().map(|l| self.link_load(*l)).collect();
+        let deadlines = match self.dps.partition(&spec, &path, &loads) {
+            Ok(d) => d,
+            Err(e) => {
+                self.rejected += 1;
+                return Ok(Err((None, e.to_string())));
+            }
+        };
+
+        // Per-link feasibility with the candidate added.
+        for (link, &deadline) in path.iter().zip(deadlines.iter()) {
+            let task = PeriodicTask::new(spec.period, spec.capacity, deadline)?;
+            let set = self.link_taskset(*link);
+            let outcome = self.tester.test_with_candidate(&set, &task);
+            if !outcome.is_feasible() {
+                self.rejected += 1;
+                return Ok(Err((
+                    Some(*link),
+                    format!("link {link} infeasible with d={deadline}: {:?}", outcome.verdict),
+                )));
+            }
+        }
+
+        // Commit.
+        let id = self.allocate_channel_id()?;
+        for (link, &deadline) in path.iter().zip(deadlines.iter()) {
+            let task = PeriodicTask::new(spec.period, spec.capacity, deadline)?;
+            self.link_tasks.entry(*link).or_default().push(task);
+        }
+        let channel = MultiHopChannel {
+            id,
+            source,
+            destination,
+            spec,
+            path,
+            link_deadlines: deadlines,
+        };
+        self.channels.insert(id.get(), channel.clone());
+        self.accepted += 1;
+        Ok(Ok(channel))
+    }
+
+    /// Tear down a channel, releasing its capacity on every link of its
+    /// path.
+    pub fn release(&mut self, id: ChannelId) -> RtResult<MultiHopChannel> {
+        let channel = self
+            .channels
+            .remove(&id.get())
+            .ok_or(RtError::UnknownChannel(id))?;
+        for (link, &deadline) in channel.path.iter().zip(channel.link_deadlines.iter()) {
+            let task = PeriodicTask::new(channel.spec.period, channel.spec.capacity, deadline)?;
+            if let Some(set) = self.link_tasks.get_mut(link) {
+                set.remove_one(&task);
+                if set.is_empty() {
+                    self.link_tasks.remove(link);
+                }
+            }
+        }
+        Ok(channel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two access switches joined by one trunk; `m` masters on switch 0 and
+    /// `s` slaves on switch 1.
+    fn dumbbell(m: u32, s: u32) -> Topology {
+        let mut t = Topology::new();
+        t.add_switch(SwitchId::new(0));
+        t.add_switch(SwitchId::new(1));
+        t.add_trunk(SwitchId::new(0), SwitchId::new(1)).unwrap();
+        for i in 0..m {
+            t.attach_node(NodeId::new(i), SwitchId::new(0)).unwrap();
+        }
+        for i in 0..s {
+            t.attach_node(NodeId::new(m + i), SwitchId::new(1)).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn topology_construction_and_validation() {
+        let mut t = Topology::new();
+        t.add_switch(SwitchId::new(0));
+        t.add_switch(SwitchId::new(1));
+        t.add_switch(SwitchId::new(2));
+        assert!(t.attach_node(NodeId::new(0), SwitchId::new(9)).is_err());
+        t.attach_node(NodeId::new(0), SwitchId::new(0)).unwrap();
+        assert!(t.attach_node(NodeId::new(0), SwitchId::new(1)).is_err());
+        t.add_trunk(SwitchId::new(0), SwitchId::new(1)).unwrap();
+        t.add_trunk(SwitchId::new(1), SwitchId::new(2)).unwrap();
+        // Cycle and self-loop rejected.
+        assert!(t.add_trunk(SwitchId::new(0), SwitchId::new(2)).is_err());
+        assert!(t.add_trunk(SwitchId::new(0), SwitchId::new(0)).is_err());
+        assert!(t.add_trunk(SwitchId::new(0), SwitchId::new(7)).is_err());
+        assert_eq!(t.switch_count(), 3);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.switch_of(NodeId::new(0)), Some(SwitchId::new(0)));
+    }
+
+    #[test]
+    fn switch_paths_and_routes() {
+        let t = dumbbell(2, 2);
+        assert_eq!(
+            t.switch_path(SwitchId::new(0), SwitchId::new(1)),
+            Some(vec![SwitchId::new(0), SwitchId::new(1)])
+        );
+        assert_eq!(
+            t.switch_path(SwitchId::new(0), SwitchId::new(0)),
+            Some(vec![SwitchId::new(0)])
+        );
+        assert_eq!(t.switch_path(SwitchId::new(0), SwitchId::new(9)), None);
+
+        // Cross-switch route: uplink, trunk, downlink.
+        let route = t.route(NodeId::new(0), NodeId::new(2)).unwrap();
+        assert_eq!(
+            route,
+            vec![
+                HopLink::Uplink(NodeId::new(0)),
+                HopLink::Trunk {
+                    from: SwitchId::new(0),
+                    to: SwitchId::new(1)
+                },
+                HopLink::Downlink(NodeId::new(2)),
+            ]
+        );
+        // Same-switch route: no trunk hop.
+        let route = t.route(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert_eq!(route.len(), 2);
+        assert!(t.route(NodeId::new(0), NodeId::new(0)).is_err());
+        assert!(t.route(NodeId::new(0), NodeId::new(99)).is_err());
+    }
+
+    #[test]
+    fn route_through_a_chain_of_switches() {
+        // sw0 - sw1 - sw2 - sw3, node 0 on sw0 and node 1 on sw3.
+        let mut t = Topology::new();
+        for i in 0..4 {
+            t.add_switch(SwitchId::new(i));
+        }
+        for i in 0..3 {
+            t.add_trunk(SwitchId::new(i), SwitchId::new(i + 1)).unwrap();
+        }
+        t.attach_node(NodeId::new(0), SwitchId::new(0)).unwrap();
+        t.attach_node(NodeId::new(1), SwitchId::new(3)).unwrap();
+        let route = t.route(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert_eq!(route.len(), 5); // uplink + 3 trunks + downlink
+        assert!(matches!(route[2], HopLink::Trunk { from, to }
+            if from == SwitchId::new(1) && to == SwitchId::new(2)));
+    }
+
+    #[test]
+    fn symmetric_partition_splits_evenly() {
+        let spec = RtChannelSpec::paper_default(); // C=3, d=40
+        let t = dumbbell(1, 1);
+        let path = t.route(NodeId::new(0), NodeId::new(1)).unwrap();
+        // Same-switch path would be 2 hops; cross-switch is 3.
+        let parts = MultiHopDps::Symmetric
+            .partition(&spec, &path, &vec![0; path.len()])
+            .unwrap();
+        assert_eq!(parts.iter().map(|s| s.get()).sum::<u64>(), 40);
+        // Even split over 3 hops: 13/13/14 (in some order), all >= C.
+        assert!(parts.iter().all(|&p| p >= Slots::new(3)));
+        let max = parts.iter().max().unwrap().get();
+        let min = parts.iter().min().unwrap().get();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn asymmetric_partition_favours_loaded_links() {
+        let spec = RtChannelSpec::paper_default();
+        let path = vec![
+            HopLink::Uplink(NodeId::new(0)),
+            HopLink::Trunk {
+                from: SwitchId::new(0),
+                to: SwitchId::new(1),
+            },
+            HopLink::Downlink(NodeId::new(5)),
+        ];
+        // The trunk is much more loaded than the access links.
+        let parts = MultiHopDps::Asymmetric
+            .partition(&spec, &path, &[1, 20, 1])
+            .unwrap();
+        assert_eq!(parts.iter().map(|s| s.get()).sum::<u64>(), 40);
+        assert!(parts[1] > parts[0]);
+        assert!(parts[1] > parts[2]);
+        assert!(parts.iter().all(|&p| p >= spec.capacity));
+    }
+
+    #[test]
+    fn partition_rejects_too_many_hops_for_the_deadline() {
+        // d = 2C only allows 2 hops.
+        let spec = RtChannelSpec::new(Slots::new(100), Slots::new(5), Slots::new(10)).unwrap();
+        let path = vec![
+            HopLink::Uplink(NodeId::new(0)),
+            HopLink::Trunk {
+                from: SwitchId::new(0),
+                to: SwitchId::new(1),
+            },
+            HopLink::Downlink(NodeId::new(1)),
+        ];
+        assert!(MultiHopDps::Symmetric
+            .partition(&spec, &path, &[0, 0, 0])
+            .is_err());
+    }
+
+    #[test]
+    fn trunk_becomes_the_bottleneck_and_asymmetric_dps_relieves_it() {
+        // 6 masters on switch 0 each talking to its own slave on switch 1:
+        // every channel crosses the single trunk, which becomes the
+        // bottleneck link.  The asymmetric scheme hands the trunk a larger
+        // share of each deadline and therefore admits more channels.
+        let spec = RtChannelSpec::paper_default();
+        let run = |dps: MultiHopDps| -> u64 {
+            let mut admission = MultiHopAdmission::new(dumbbell(6, 6), dps);
+            let mut accepted = 0;
+            for round in 0..6u32 {
+                for m in 0..6u32 {
+                    let source = NodeId::new(m);
+                    let destination = NodeId::new(6 + ((m + round) % 6));
+                    if admission.request(source, destination, spec).unwrap().is_ok() {
+                        accepted += 1;
+                    }
+                }
+            }
+            accepted
+        };
+        let symmetric = run(MultiHopDps::Symmetric);
+        let asymmetric = run(MultiHopDps::Asymmetric);
+        assert!(
+            asymmetric >= symmetric,
+            "asymmetric ({asymmetric}) must not trail symmetric ({symmetric})"
+        );
+        // With d=40 over 3 hops the trunk gets ~13 slots symmetric -> 4
+        // channels fit (4*3=12<=13); asymmetric grows the trunk share as its
+        // load rises.
+        assert!(symmetric >= 4);
+        assert!(asymmetric > 4);
+    }
+
+    #[test]
+    fn admission_commits_and_releases_capacity_on_every_hop() {
+        let spec = RtChannelSpec::paper_default();
+        let mut admission = MultiHopAdmission::new(dumbbell(2, 2), MultiHopDps::Asymmetric);
+        let trunk = HopLink::Trunk {
+            from: SwitchId::new(0),
+            to: SwitchId::new(1),
+        };
+        let channel = admission
+            .request(NodeId::new(0), NodeId::new(2), spec)
+            .unwrap()
+            .unwrap();
+        assert_eq!(channel.path.len(), 3);
+        assert_eq!(admission.link_load(HopLink::Uplink(NodeId::new(0))), 1);
+        assert_eq!(admission.link_load(trunk), 1);
+        assert_eq!(admission.link_load(HopLink::Downlink(NodeId::new(2))), 1);
+        assert_eq!(admission.channel_count(), 1);
+        assert!(admission.channel(channel.id).is_some());
+        assert_eq!(admission.loaded_links().count(), 3);
+
+        let released = admission.release(channel.id).unwrap();
+        assert_eq!(released.id, channel.id);
+        assert_eq!(admission.link_load(trunk), 0);
+        assert_eq!(admission.channel_count(), 0);
+        assert!(admission.release(channel.id).is_err());
+    }
+
+    #[test]
+    fn same_switch_channels_do_not_consume_trunk_capacity() {
+        let spec = RtChannelSpec::paper_default();
+        let mut admission = MultiHopAdmission::new(dumbbell(3, 3), MultiHopDps::Symmetric);
+        let trunk = HopLink::Trunk {
+            from: SwitchId::new(0),
+            to: SwitchId::new(1),
+        };
+        // node0 -> node1 both live on switch 0.
+        let channel = admission
+            .request(NodeId::new(0), NodeId::new(1), spec)
+            .unwrap()
+            .unwrap();
+        assert_eq!(channel.path.len(), 2);
+        assert_eq!(admission.link_load(trunk), 0);
+        // And the split is the single-switch SDPS: 20/20.
+        assert_eq!(channel.link_deadlines, vec![Slots::new(20), Slots::new(20)]);
+    }
+
+    #[test]
+    fn rejections_identify_the_bottleneck_link() {
+        let spec = RtChannelSpec::paper_default();
+        let mut admission = MultiHopAdmission::new(dumbbell(8, 8), MultiHopDps::Symmetric);
+        let mut last_rejection = None;
+        for m in 0..8u32 {
+            for round in 0..3u32 {
+                let result = admission
+                    .request(NodeId::new(m), NodeId::new(8 + ((m + round) % 8)), spec)
+                    .unwrap();
+                if let Err((link, _reason)) = result {
+                    last_rejection = link;
+                }
+            }
+        }
+        // With 24 cross-trunk requests the trunk saturates first (13 slots
+        // symmetric share -> 4 channels), so rejections blame the trunk.
+        assert_eq!(
+            last_rejection,
+            Some(HopLink::Trunk {
+                from: SwitchId::new(0),
+                to: SwitchId::new(1)
+            })
+        );
+        assert!(admission.rejected_count() > 0);
+        assert!(admission.accepted_count() > 0);
+    }
+}

@@ -1,0 +1,528 @@
+//! Glue: the complete RT-layer stack running over the simulated switched
+//! Ethernet.
+//!
+//! [`RtNetwork`] instantiates the star network of §18.1 — one switch, a set
+//! of end nodes — and wires the control plane into it:
+//!
+//! * each end node gets an [`RtLayer`],
+//! * the switch gets a [`SwitchChannelManager`] (admission control + the
+//!   establishment handshake),
+//! * every RT-layer action (RequestFrame, ResponseFrame, data frame,
+//!   TeardownFrame) is carried as a real Ethernet frame through the
+//!   [`rt_netsim::Simulator`], so channel establishment itself competes for
+//!   the links exactly as in the paper.
+//!
+//! On top of that the type offers the conveniences the experiments need:
+//! establishing channels and waiting for the handshake to complete, driving
+//! periodic traffic on established channels, injecting best-effort cross
+//! traffic, and validating measured end-to-end delays against the Eq. 18.1
+//! bound `d_i + T_latency`.
+
+use std::collections::BTreeMap;
+
+use rt_frames::{EthernetFrame, Frame};
+use rt_netsim::{Delivery, SimConfig, Simulator};
+use rt_types::constants::ETHERTYPE_IPV4;
+use rt_types::{
+    ChannelId, ConnectionRequestId, Duration, Ipv4Address, MacAddr, NodeId, RtError, RtResult,
+    SimTime,
+};
+
+use crate::admission::AdmissionController;
+use crate::channel::RtChannelSpec;
+use crate::dps::DpsKind;
+use crate::manager::{SwitchAction, SwitchChannelManager};
+use crate::rtlayer::{EstablishmentOutcome, ReceivedMessage, RtLayer, RtLayerConfig, TxChannel};
+use crate::system_state::SystemState;
+
+/// Configuration of a simulated RT network.
+#[derive(Debug, Clone)]
+pub struct RtNetworkConfig {
+    /// The data-plane simulator configuration.
+    pub sim: SimConfig,
+    /// Which deadline-partitioning scheme the switch uses.
+    pub dps: DpsKind,
+    /// The end nodes attached to the switch.
+    pub nodes: Vec<NodeId>,
+    /// Per-node limit on incoming channels (`None` = unlimited).
+    pub max_incoming_channels: Option<usize>,
+}
+
+impl RtNetworkConfig {
+    /// A network of `n` nodes (ids `0..n`) with default simulator settings
+    /// and the given DPS.
+    pub fn with_nodes(n: u32, dps: DpsKind) -> Self {
+        RtNetworkConfig {
+            sim: SimConfig::default(),
+            dps,
+            nodes: (0..n).map(NodeId::new).collect(),
+            max_incoming_channels: None,
+        }
+    }
+}
+
+/// A delivered real-time message together with when and where it arrived.
+#[derive(Debug, Clone)]
+pub struct DeliveredMessage {
+    /// The receiving node.
+    pub receiver: NodeId,
+    /// The decoded message.
+    pub message: ReceivedMessage,
+    /// When the last bit arrived.
+    pub delivered_at: SimTime,
+    /// Whether the frame arrived after its stamped absolute deadline.
+    pub missed_deadline: bool,
+}
+
+/// The full stack: simulator + switch manager + per-node RT layers.
+pub struct RtNetwork {
+    sim: Simulator,
+    manager: SwitchChannelManager,
+    layers: BTreeMap<u32, RtLayer>,
+    outcomes: BTreeMap<(u32, u8), EstablishmentOutcome>,
+    received: Vec<DeliveredMessage>,
+    be_received: u64,
+    t_latency: Duration,
+}
+
+impl std::fmt::Debug for RtNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtNetwork")
+            .field("nodes", &self.layers.len())
+            .field("channels", &self.manager.channel_count())
+            .field("now", &self.sim.now())
+            .finish()
+    }
+}
+
+impl RtNetwork {
+    /// Build the network.
+    pub fn new(config: RtNetworkConfig) -> Self {
+        let sim = Simulator::new(config.sim, config.nodes.iter().copied());
+        // Eq. 18.1's constant term for this substrate: two propagation
+        // delays + switch processing + up to one non-preemptable frame
+        // already on the wire on each of the two links.
+        let t_latency = config.sim.t_latency()
+            + config.sim.link_speed.slot_duration() * 2;
+        let layer_config = RtLayerConfig {
+            link_speed: config.sim.link_speed,
+            t_latency,
+            max_incoming_channels: config.max_incoming_channels,
+        };
+        let layers: BTreeMap<u32, RtLayer> = config
+            .nodes
+            .iter()
+            .map(|&n| (n.get(), RtLayer::new(n, layer_config)))
+            .collect();
+        let admission = AdmissionController::new(
+            SystemState::with_nodes(config.nodes.iter().copied()),
+            config.dps.build(),
+        );
+        RtNetwork {
+            sim,
+            manager: SwitchChannelManager::new(admission),
+            layers,
+            outcomes: BTreeMap::new(),
+            received: Vec::new(),
+            be_received: 0,
+            t_latency,
+        }
+    }
+
+    /// The underlying simulator (read access for statistics).
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// The switch-side channel manager.
+    pub fn manager(&self) -> &SwitchChannelManager {
+        &self.manager
+    }
+
+    /// The RT layer of `node`.
+    pub fn layer(&self, node: NodeId) -> Option<&RtLayer> {
+        self.layers.get(&node.get())
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The constant latency term `T_latency` (Eq. 18.1) of this network.
+    pub fn t_latency(&self) -> Duration {
+        self.t_latency
+    }
+
+    /// The end-to-end delay bound `d_i + T_latency` (Eq. 18.1) for a channel
+    /// with contract `spec`.
+    pub fn deadline_bound(&self, spec: &RtChannelSpec) -> Duration {
+        self.sim.config().link_speed.slots_to_duration(spec.deadline) + self.t_latency
+    }
+
+    /// Real-time messages delivered to their destination so far.
+    pub fn received_messages(&self) -> &[DeliveredMessage] {
+        &self.received
+    }
+
+    /// Best-effort frames delivered to end nodes so far.
+    pub fn best_effort_received(&self) -> u64 {
+        self.be_received
+    }
+
+    // --- control plane -------------------------------------------------------
+
+    /// Establish an RT channel by running the full handshake over the
+    /// simulated network.  Returns the established channel, or `None` if the
+    /// switch or the destination rejected it.
+    pub fn establish_channel(
+        &mut self,
+        source: NodeId,
+        destination: NodeId,
+        spec: RtChannelSpec,
+    ) -> RtResult<Option<TxChannel>> {
+        let now = self.sim.now();
+        let (request_id, eth) = self
+            .layers
+            .get_mut(&source.get())
+            .ok_or(RtError::UnknownNode(source))?
+            .request_channel(destination, spec)?;
+        self.sim.inject(source, eth, now)?;
+        self.pump()?;
+        match self.outcomes.remove(&(source.get(), request_id.get())) {
+            Some(EstablishmentOutcome::Established(tx)) => Ok(Some(tx)),
+            Some(EstablishmentOutcome::Rejected { .. }) => Ok(None),
+            None => Err(RtError::ProtocolViolation(format!(
+                "handshake for request {request_id} from {source} did not complete"
+            ))),
+        }
+    }
+
+    /// Tear down an established channel (source side), releasing its
+    /// capacity at the switch.
+    pub fn teardown_channel(&mut self, source: NodeId, channel: ChannelId) -> RtResult<()> {
+        let now = self.sim.now();
+        let eth = self
+            .layers
+            .get_mut(&source.get())
+            .ok_or(RtError::UnknownNode(source))?
+            .teardown_channel(channel)?;
+        self.sim.inject(source, eth, now)?;
+        self.pump()
+    }
+
+    // --- data plane ----------------------------------------------------------
+
+    /// Schedule `count` periodic messages on an established channel,
+    /// starting at `start` and spaced by the channel's period.  Each message
+    /// is `frames_per_message` maximum-sized frames long if `payload_len` is
+    /// `None`, otherwise a single frame with the given payload size.
+    pub fn send_periodic(
+        &mut self,
+        source: NodeId,
+        channel: ChannelId,
+        count: u64,
+        payload_len: usize,
+        start: SimTime,
+    ) -> RtResult<()> {
+        let layer = self
+            .layers
+            .get_mut(&source.get())
+            .ok_or(RtError::UnknownNode(source))?;
+        let spec = layer
+            .tx_channel(channel)
+            .ok_or(RtError::UnknownChannel(channel))?
+            .spec;
+        let period = self
+            .sim
+            .config()
+            .link_speed
+            .slots_to_duration(spec.period);
+        let start = start.max(self.sim.now());
+        for k in 0..count {
+            let gen = start + period.saturating_mul(k);
+            // A message of C_i frames: send C_i frames back-to-back, all
+            // stamped with the same absolute deadline (they belong to the
+            // same periodic message).
+            for _ in 0..spec.capacity.get() {
+                let eth = layer.prepare_data(channel, vec![0u8; payload_len], gen)?;
+                self.sim.inject(source, eth, gen)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Inject a single best-effort (non-RT) UDP frame from `source` to
+    /// `destination` at time `at`.
+    pub fn send_best_effort(
+        &mut self,
+        source: NodeId,
+        destination: NodeId,
+        payload_len: usize,
+        at: SimTime,
+    ) -> RtResult<()> {
+        let udp = rt_frames::UdpHeader::new(0x2000, 0x2001, payload_len)?;
+        let ip = rt_frames::Ipv4Header::udp(
+            Ipv4Address::for_node(source),
+            Ipv4Address::for_node(destination),
+            payload_len + rt_types::constants::UDP_HEADER_BYTES,
+        )?;
+        let mut bytes = ip.encode();
+        bytes.extend_from_slice(&udp.encode());
+        bytes.extend(std::iter::repeat_n(0u8, payload_len));
+        let eth = EthernetFrame::new(
+            MacAddr::for_node(destination),
+            MacAddr::for_node(source),
+            ETHERTYPE_IPV4,
+            bytes,
+        )?;
+        self.sim.inject(source, eth, at.max(self.sim.now()))?;
+        Ok(())
+    }
+
+    // --- execution -----------------------------------------------------------
+
+    /// Run the simulation until no events remain, dispatching every
+    /// delivered frame to the switch manager or the receiving RT layer (and
+    /// injecting whatever frames they produce in response).
+    pub fn run_to_completion(&mut self) -> RtResult<SimTime> {
+        self.pump()?;
+        Ok(self.sim.now())
+    }
+
+    /// Run-and-dispatch until the event queue drains.
+    fn pump(&mut self) -> RtResult<()> {
+        loop {
+            self.sim.run_to_idle();
+            let deliveries = self.sim.poll_deliveries();
+            if deliveries.is_empty() {
+                return Ok(());
+            }
+            for delivery in deliveries {
+                self.dispatch(delivery)?;
+            }
+        }
+    }
+
+    fn dispatch(&mut self, delivery: Delivery) -> RtResult<()> {
+        let now = self.sim.now();
+        let frame = Frame::classify(delivery.eth.clone())?;
+        if delivery.receiver == NodeId::SWITCH {
+            // Control-plane traffic addressed to the switch.
+            let actions = match frame {
+                Frame::Request(req) => self.manager.handle_request(&req)?,
+                Frame::Response(resp) => self.manager.handle_response(&resp)?,
+                Frame::Teardown(td) => {
+                    let channel = self.manager.handle_teardown(td.rt_channel_id)?;
+                    // Let the destination forget the channel too.
+                    if let Some(layer) =
+                        self.layers.get_mut(&channel.destination.node.get())
+                    {
+                        layer.forget_rx_channel(channel.id);
+                    }
+                    Vec::new()
+                }
+                other => {
+                    return Err(RtError::ProtocolViolation(format!(
+                        "unexpected frame at the switch control plane: {other:?}"
+                    )))
+                }
+            };
+            for action in actions {
+                self.emit(action, now)?;
+            }
+            return Ok(());
+        }
+
+        // Traffic delivered to an end node.
+        let node_key = delivery.receiver.get();
+        let Some(layer) = self.layers.get_mut(&node_key) else {
+            return Err(RtError::UnknownNode(delivery.receiver));
+        };
+        match frame {
+            Frame::Request(req) => {
+                // The switch forwarded a request: this node is the
+                // destination and must answer.
+                let (eth, _accepted) = layer.handle_forwarded_request(&req)?;
+                self.sim.inject(delivery.receiver, eth, now)?;
+            }
+            Frame::Response(resp) => {
+                let outcome = layer.handle_response(&resp)?;
+                self.outcomes.insert(
+                    (node_key, resp.connection_request_id.get()),
+                    outcome,
+                );
+            }
+            Frame::RtData(data) => {
+                let message = layer.handle_data(&data)?;
+                let missed = delivery
+                    .deadline
+                    .is_some_and(|d| delivery.delivered_at > d);
+                self.received.push(DeliveredMessage {
+                    receiver: delivery.receiver,
+                    message,
+                    delivered_at: delivery.delivered_at,
+                    missed_deadline: missed,
+                });
+            }
+            Frame::Teardown(_) => {
+                // Nodes do not receive teardown frames in this protocol.
+            }
+            Frame::BestEffort(_) => {
+                self.be_received += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn emit(&mut self, action: SwitchAction, now: SimTime) -> RtResult<()> {
+        match action {
+            SwitchAction::ForwardRequest { to, frame } => {
+                let eth = frame.into_ethernet(MacAddr::for_switch(), MacAddr::for_node(to))?;
+                self.sim.inject_from_switch(to, eth, now)?;
+            }
+            SwitchAction::SendResponse { to, frame } => {
+                let eth = frame.into_ethernet(MacAddr::for_switch(), MacAddr::for_node(to))?;
+                self.sim.inject_from_switch(to, eth, now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Look up the outcome of a finished establishment attempt (mainly for
+    /// tests that drive the handshake manually).
+    pub fn establishment_outcome(
+        &self,
+        source: NodeId,
+        request: ConnectionRequestId,
+    ) -> Option<&EstablishmentOutcome> {
+        self.outcomes.get(&(source.get(), request.get()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn network(nodes: u32, dps: DpsKind) -> RtNetwork {
+        RtNetwork::new(RtNetworkConfig::with_nodes(nodes, dps))
+    }
+
+    #[test]
+    fn establish_channel_over_the_wire() {
+        let mut net = network(4, DpsKind::Asymmetric);
+        let spec = RtChannelSpec::paper_default();
+        let tx = net
+            .establish_channel(NodeId::new(0), NodeId::new(1), spec)
+            .unwrap()
+            .expect("channel should be accepted");
+        assert_eq!(tx.destination.node, NodeId::new(1));
+        assert_eq!(net.manager().channel_count(), 1);
+        // The destination registered the incoming channel.
+        assert_eq!(net.layer(NodeId::new(1)).unwrap().rx_channels().count(), 1);
+        // The handshake itself took simulated time.
+        assert!(net.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn rejected_channel_reports_none() {
+        let mut net = network(10, DpsKind::Symmetric);
+        let spec = RtChannelSpec::paper_default();
+        let mut accepted = 0;
+        for dst in 1..=8u32 {
+            if net
+                .establish_channel(NodeId::new(0), NodeId::new(dst), spec)
+                .unwrap()
+                .is_some()
+            {
+                accepted += 1;
+            }
+        }
+        // SDPS caps one uplink at 6 channels with the paper parameters.
+        assert_eq!(accepted, 6);
+        assert_eq!(net.manager().channel_count(), 6);
+    }
+
+    #[test]
+    fn periodic_traffic_meets_the_delay_bound() {
+        let mut net = network(3, DpsKind::Asymmetric);
+        let spec = RtChannelSpec::paper_default();
+        let tx = net
+            .establish_channel(NodeId::new(0), NodeId::new(1), spec)
+            .unwrap()
+            .unwrap();
+        let start = net.now() + Duration::from_millis(1);
+        net.send_periodic(NodeId::new(0), tx.id, 20, 1000, start)
+            .unwrap();
+        net.run_to_completion().unwrap();
+        let received = net.received_messages();
+        assert_eq!(received.len(), 20 * 3, "C=3 frames per message");
+        assert!(received.iter().all(|m| !m.missed_deadline));
+        assert!(net.simulator().stats().all_deadlines_met());
+        // Every latency respects d + T_latency.
+        let bound = net.deadline_bound(&spec);
+        let worst = net
+            .simulator()
+            .stats()
+            .worst_case_latency()
+            .expect("frames were delivered");
+        assert!(worst <= bound, "worst {worst} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn teardown_over_the_wire_releases_capacity() {
+        let mut net = network(3, DpsKind::Symmetric);
+        let spec = RtChannelSpec::paper_default();
+        let tx = net
+            .establish_channel(NodeId::new(0), NodeId::new(1), spec)
+            .unwrap()
+            .unwrap();
+        assert_eq!(net.manager().channel_count(), 1);
+        net.teardown_channel(NodeId::new(0), tx.id).unwrap();
+        assert_eq!(net.manager().channel_count(), 0);
+        assert_eq!(net.layer(NodeId::new(1)).unwrap().rx_channels().count(), 0);
+    }
+
+    #[test]
+    fn best_effort_coexists_without_breaking_rt_deadlines() {
+        let mut net = network(3, DpsKind::Asymmetric);
+        let spec = RtChannelSpec::paper_default();
+        let tx = net
+            .establish_channel(NodeId::new(0), NodeId::new(1), spec)
+            .unwrap()
+            .unwrap();
+        let start = net.now() + Duration::from_millis(1);
+        net.send_periodic(NodeId::new(0), tx.id, 10, 1200, start)
+            .unwrap();
+        // Flood best-effort traffic from the same source to the same
+        // destination: it shares both links with the RT channel.
+        for k in 0..200u64 {
+            net.send_best_effort(
+                NodeId::new(0),
+                NodeId::new(1),
+                1400,
+                start + Duration::from_micros(30 * k),
+            )
+            .unwrap();
+        }
+        net.run_to_completion().unwrap();
+        assert!(net.simulator().stats().all_deadlines_met());
+        assert!(net.best_effort_received() > 0);
+        assert_eq!(net.received_messages().len(), 30);
+    }
+
+    #[test]
+    fn unknown_nodes_are_errors() {
+        let mut net = network(2, DpsKind::Symmetric);
+        let spec = RtChannelSpec::paper_default();
+        assert!(net
+            .establish_channel(NodeId::new(9), NodeId::new(0), spec)
+            .is_err());
+        assert!(net
+            .send_periodic(NodeId::new(9), ChannelId::new(1), 1, 10, SimTime::ZERO)
+            .is_err());
+        assert!(net
+            .send_periodic(NodeId::new(0), ChannelId::new(99), 1, 10, SimTime::ZERO)
+            .is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Shared definitions for the RT-channel establishment handshake
+//! (§18.2.2, Figures 18.3/18.4).
+//!
+//! The handshake involves three parties:
+//!
+//! 1. the **source node** sends a RequestFrame to the switch,
+//! 2. the **switch** runs admission control; if feasible it writes the newly
+//!    assigned network-unique channel ID into the frame and forwards it to
+//!    the destination node, otherwise it answers the source directly with a
+//!    rejecting ResponseFrame,
+//! 3. the **destination node** answers with a ResponseFrame (accept/reject)
+//!    to the switch, which records the verdict and forwards the response to
+//!    the source.
+//!
+//! This module holds the small pieces shared by the node-side
+//! ([`crate::rtlayer`]) and switch-side ([`crate::manager`]) state machines:
+//! address ↔ node resolution for the simulated addressing plan and the
+//! conversion between wire frames and the internal request representation.
+
+use rt_frames::RequestFrame;
+use rt_types::{ConnectionRequestId, MacAddr, NodeId, RtError, RtResult};
+
+use crate::channel::{Endpoint, RtChannelSpec};
+
+/// Resolve a simulated-plan MAC address (as produced by
+/// [`MacAddr::for_node`]) back to its node id.
+pub fn node_for_mac(mac: MacAddr) -> RtResult<NodeId> {
+    let o = mac.octets();
+    if mac == MacAddr::for_switch() {
+        return Ok(NodeId::SWITCH);
+    }
+    if o[0] != 0x02 || o[1] != 0x00 {
+        return Err(RtError::AddressParse(format!(
+            "MAC {mac} is not part of the simulated addressing plan"
+        )));
+    }
+    let id = u32::from_be_bytes([o[2], o[3], o[4], o[5]]);
+    Ok(NodeId::new(id))
+}
+
+/// A channel request in internal form (decoded from a RequestFrame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelRequest {
+    /// Requesting (source) node.
+    pub source: NodeId,
+    /// Destination node.
+    pub destination: NodeId,
+    /// The requested traffic contract.
+    pub spec: RtChannelSpec,
+    /// The source-node-unique request id.
+    pub request_id: ConnectionRequestId,
+}
+
+impl ChannelRequest {
+    /// Decode a RequestFrame into internal form, resolving the MAC addresses
+    /// of the requested channel's endpoints.
+    pub fn from_frame(frame: &RequestFrame) -> RtResult<Self> {
+        let source = node_for_mac(frame.src_mac)?;
+        let destination = node_for_mac(frame.dst_mac)?;
+        Ok(ChannelRequest {
+            source,
+            destination,
+            spec: RtChannelSpec {
+                period: frame.period,
+                capacity: frame.capacity,
+                deadline: frame.deadline,
+            },
+            request_id: frame.connection_request_id,
+        })
+    }
+
+    /// Encode into a RequestFrame (channel id not yet assigned).
+    pub fn to_frame(&self) -> RequestFrame {
+        let src = Endpoint::for_node(self.source);
+        let dst = Endpoint::for_node(self.destination);
+        RequestFrame {
+            src_mac: src.mac,
+            dst_mac: dst.mac,
+            src_ip: src.ip,
+            dst_ip: dst.ip,
+            period: self.spec.period,
+            capacity: self.spec.capacity,
+            deadline: self.spec.deadline,
+            rt_channel_id: None,
+            connection_request_id: self.request_id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_types::Slots;
+
+    #[test]
+    fn mac_resolution_round_trip() {
+        for id in [0u32, 1, 42, 65_000, 1_000_000] {
+            let node = NodeId::new(id);
+            assert_eq!(node_for_mac(MacAddr::for_node(node)).unwrap(), node);
+        }
+        assert_eq!(
+            node_for_mac(MacAddr::for_switch()).unwrap(),
+            NodeId::SWITCH
+        );
+        assert!(node_for_mac(MacAddr::BROADCAST).is_err());
+        assert!(node_for_mac(MacAddr::new([0x00, 0x11, 0x22, 0x33, 0x44, 0x55])).is_err());
+    }
+
+    #[test]
+    fn request_round_trip_through_frame() {
+        let req = ChannelRequest {
+            source: NodeId::new(3),
+            destination: NodeId::new(17),
+            spec: RtChannelSpec::paper_default(),
+            request_id: ConnectionRequestId::new(9),
+        };
+        let frame = req.to_frame();
+        assert_eq!(frame.period, Slots::new(100));
+        assert_eq!(frame.rt_channel_id, None);
+        let back = ChannelRequest::from_frame(&frame).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn from_frame_rejects_unknown_addressing() {
+        let mut frame = ChannelRequest {
+            source: NodeId::new(1),
+            destination: NodeId::new(2),
+            spec: RtChannelSpec::paper_default(),
+            request_id: ConnectionRequestId::new(1),
+        }
+        .to_frame();
+        frame.src_mac = MacAddr::new([0xaa; 6]);
+        assert!(ChannelRequest::from_frame(&frame).is_err());
+    }
+}

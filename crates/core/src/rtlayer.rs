@@ -1,0 +1,630 @@
+//! The node-side RT layer (Figure 18.2): the thin layer between the TCP/IP
+//! suite and the Ethernet MAC that turns ordinary UDP datagrams into
+//! deadline-scheduled real-time traffic.
+//!
+//! Responsibilities, following §18.2:
+//!
+//! * **channel establishment** — build RequestFrames for the applications'
+//!   channel requests, match ResponseFrames back to the outstanding requests
+//!   (via the source-node-unique connection request ID) and keep the table
+//!   of established channels (both outgoing and incoming),
+//! * **data path, sending** — for every outgoing real-time datagram compute
+//!   the absolute deadline (generation time + `d_i` converted to wall-clock
+//!   time + `T_latency`, the Eq. 18.1 bound), write it together with the
+//!   channel ID over the IP addresses, set ToS = 255, and hand the frame to
+//!   the deadline-sorted NIC queue,
+//! * **data path, receiving** — recognise deadline-stamped frames, restore
+//!   the original IP header fields from the channel table and deliver the
+//!   payload to the application,
+//! * **tear-down** — emit TeardownFrames so the switch can release reserved
+//!   capacity (an extension beyond the paper).
+
+use std::collections::HashMap;
+
+use rt_frames::codec::TeardownFrame;
+use rt_frames::rt_data::{DeadlineStamp, RtDataFrame};
+use rt_frames::rt_response::ResponseVerdict;
+use rt_frames::{EthernetFrame, RequestFrame, ResponseFrame};
+use rt_types::constants::ETHERTYPE_RT_CONTROL;
+use rt_types::{
+    ChannelId, ConnectionRequestId, Duration, LinkSpeed, MacAddr, NodeId, RtError, RtResult,
+    SimTime,
+};
+
+use crate::channel::{Endpoint, RtChannelSpec};
+use crate::protocol::ChannelRequest;
+
+/// Static configuration of an RT layer instance.
+#[derive(Debug, Clone, Copy)]
+pub struct RtLayerConfig {
+    /// Link speed, used to convert slot-denominated deadlines to wall-clock
+    /// time when stamping frames.
+    pub link_speed: LinkSpeed,
+    /// The constant latency term of Eq. 18.1 added on top of `d_i` when
+    /// computing the absolute delivery deadline of a frame.
+    pub t_latency: Duration,
+    /// Maximum number of incoming channels this node accepts as a
+    /// destination (`None` = unlimited).
+    pub max_incoming_channels: Option<usize>,
+}
+
+impl Default for RtLayerConfig {
+    fn default() -> Self {
+        RtLayerConfig {
+            link_speed: LinkSpeed::FAST_ETHERNET,
+            t_latency: Duration::ZERO,
+            max_incoming_channels: None,
+        }
+    }
+}
+
+/// An outgoing (source-side) established channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxChannel {
+    /// The network-unique channel id.
+    pub id: ChannelId,
+    /// The destination endpoint.
+    pub destination: Endpoint,
+    /// The traffic contract.
+    pub spec: RtChannelSpec,
+}
+
+/// An incoming (destination-side) established channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RxChannel {
+    /// The network-unique channel id.
+    pub id: ChannelId,
+    /// The source endpoint.
+    pub source: Endpoint,
+    /// The traffic contract.
+    pub spec: RtChannelSpec,
+}
+
+/// The outcome of a ResponseFrame as seen by the requesting node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstablishmentOutcome {
+    /// The channel is established and ready for data.
+    Established(TxChannel),
+    /// The request was rejected (by the switch or by the destination).
+    Rejected {
+        /// The request that was answered.
+        request_id: ConnectionRequestId,
+    },
+}
+
+/// A real-time message delivered to the application on the receiving side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReceivedMessage {
+    /// The channel it arrived on.
+    pub channel: ChannelId,
+    /// The UDP payload.
+    pub payload: Vec<u8>,
+    /// The absolute deadline the frame carried.
+    pub absolute_deadline: SimTime,
+    /// The restored original source IP (from the channel table).
+    pub source: Endpoint,
+}
+
+/// The node-side RT layer.
+#[derive(Debug)]
+pub struct RtLayer {
+    node: NodeId,
+    endpoint: Endpoint,
+    config: RtLayerConfig,
+    next_request_id: u8,
+    outstanding: HashMap<u8, (NodeId, RtChannelSpec)>,
+    tx_channels: HashMap<u16, TxChannel>,
+    rx_channels: HashMap<u16, RxChannel>,
+    frames_sent: u64,
+    frames_received: u64,
+}
+
+impl RtLayer {
+    /// Create the RT layer of `node`.
+    pub fn new(node: NodeId, config: RtLayerConfig) -> Self {
+        RtLayer {
+            node,
+            endpoint: Endpoint::for_node(node),
+            config,
+            next_request_id: 0,
+            outstanding: HashMap::new(),
+            tx_channels: HashMap::new(),
+            rx_channels: HashMap::new(),
+            frames_sent: 0,
+            frames_received: 0,
+        }
+    }
+
+    /// The node this layer belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> RtLayerConfig {
+        self.config
+    }
+
+    /// Established outgoing channels.
+    pub fn tx_channels(&self) -> impl Iterator<Item = &TxChannel> {
+        self.tx_channels.values()
+    }
+
+    /// Established incoming channels.
+    pub fn rx_channels(&self) -> impl Iterator<Item = &RxChannel> {
+        self.rx_channels.values()
+    }
+
+    /// Look up an outgoing channel.
+    pub fn tx_channel(&self, id: ChannelId) -> Option<&TxChannel> {
+        self.tx_channels.get(&id.get())
+    }
+
+    /// Number of requests still waiting for a response.
+    pub fn outstanding_requests(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Data frames sent / received so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.frames_sent, self.frames_received)
+    }
+
+    // --- establishment: source side ----------------------------------------
+
+    /// Start establishing a channel to `destination`.  Returns the request id
+    /// and the RequestFrame wrapped in Ethernet, addressed to the switch.
+    pub fn request_channel(
+        &mut self,
+        destination: NodeId,
+        spec: RtChannelSpec,
+    ) -> RtResult<(ConnectionRequestId, EthernetFrame)> {
+        spec.validate()?;
+        if destination == self.node {
+            return Err(RtError::InvalidChannelSpec(
+                "cannot open an RT channel to oneself".into(),
+            ));
+        }
+        if self.outstanding.len() >= 256 {
+            return Err(RtError::RequestIdsExhausted);
+        }
+        // Find a free request id (8-bit, source-node unique).
+        let mut id = self.next_request_id;
+        while self.outstanding.contains_key(&id) {
+            id = id.wrapping_add(1);
+        }
+        self.next_request_id = id.wrapping_add(1);
+        let request_id = ConnectionRequestId::new(id);
+        self.outstanding.insert(id, (destination, spec));
+
+        let frame = ChannelRequest {
+            source: self.node,
+            destination,
+            spec,
+            request_id,
+        }
+        .to_frame();
+        let eth = frame.into_ethernet(self.endpoint.mac, MacAddr::for_switch())?;
+        Ok((request_id, eth))
+    }
+
+    /// Handle a ResponseFrame forwarded by the switch.
+    pub fn handle_response(&mut self, frame: &ResponseFrame) -> RtResult<EstablishmentOutcome> {
+        let key = frame.connection_request_id.get();
+        let (destination, spec) = self.outstanding.remove(&key).ok_or_else(|| {
+            RtError::UnknownRequest(format!(
+                "node {} has no outstanding request {}",
+                self.node, frame.connection_request_id
+            ))
+        })?;
+        match (frame.verdict, frame.rt_channel_id) {
+            (ResponseVerdict::Accepted, Some(id)) => {
+                let tx = TxChannel {
+                    id,
+                    destination: Endpoint::for_node(destination),
+                    spec,
+                };
+                self.tx_channels.insert(id.get(), tx);
+                Ok(EstablishmentOutcome::Established(tx))
+            }
+            (ResponseVerdict::Accepted, None) => Err(RtError::ProtocolViolation(
+                "accepting response carries no channel id".into(),
+            )),
+            (ResponseVerdict::Rejected, _) => Ok(EstablishmentOutcome::Rejected {
+                request_id: frame.connection_request_id,
+            }),
+        }
+    }
+
+    // --- establishment: destination side ------------------------------------
+
+    /// Handle a RequestFrame the switch forwarded to this node as the
+    /// destination of a new channel.  Returns the ResponseFrame (wrapped in
+    /// Ethernet, addressed to the switch) and whether the channel was
+    /// accepted.
+    pub fn handle_forwarded_request(
+        &mut self,
+        frame: &RequestFrame,
+    ) -> RtResult<(EthernetFrame, bool)> {
+        let request = ChannelRequest::from_frame(frame)?;
+        let channel_id = frame.rt_channel_id.ok_or_else(|| {
+            RtError::ProtocolViolation(
+                "forwarded request carries no RT channel id".into(),
+            )
+        })?;
+        if request.destination != self.node {
+            return Err(RtError::ProtocolViolation(format!(
+                "request for {} delivered to {}",
+                request.destination, self.node
+            )));
+        }
+        let accept = self
+            .config
+            .max_incoming_channels
+            .is_none_or(|max| self.rx_channels.len() < max);
+        if accept {
+            self.rx_channels.insert(
+                channel_id.get(),
+                RxChannel {
+                    id: channel_id,
+                    source: Endpoint::for_node(request.source),
+                    spec: request.spec,
+                },
+            );
+        }
+        let response = ResponseFrame {
+            rt_channel_id: Some(channel_id),
+            switch_mac: MacAddr::for_switch(),
+            verdict: if accept {
+                ResponseVerdict::Accepted
+            } else {
+                ResponseVerdict::Rejected
+            },
+            connection_request_id: request.request_id,
+        };
+        let eth = response.into_ethernet(self.endpoint.mac, MacAddr::for_switch())?;
+        Ok((eth, accept))
+    }
+
+    // --- data path -----------------------------------------------------------
+
+    /// The absolute delivery deadline (Eq. 18.1) of a message generated at
+    /// `generation_time` on channel `spec`: `t + d_i·slot + T_latency`.
+    pub fn absolute_deadline(&self, spec: &RtChannelSpec, generation_time: SimTime) -> SimTime {
+        let d = self.config.link_speed.slots_to_duration(spec.deadline);
+        generation_time + d + self.config.t_latency
+    }
+
+    /// Prepare an outgoing real-time datagram on an established channel:
+    /// stamp the deadline and channel id into the IP header (§18.2.2) and
+    /// wrap it for transmission.
+    pub fn prepare_data(
+        &mut self,
+        channel: ChannelId,
+        payload: Vec<u8>,
+        generation_time: SimTime,
+    ) -> RtResult<EthernetFrame> {
+        let tx = self
+            .tx_channels
+            .get(&channel.get())
+            .ok_or(RtError::UnknownChannel(channel))?;
+        let deadline = self.absolute_deadline(&tx.spec, generation_time);
+        let frame = RtDataFrame {
+            eth_src: self.endpoint.mac,
+            eth_dst: tx.destination.mac,
+            stamp: DeadlineStamp::new(deadline.as_nanos(), channel)?,
+            src_port: 0x4000 | (self.node.get() & 0x3fff) as u16,
+            dst_port: 0x4000,
+            payload,
+        };
+        self.frames_sent += 1;
+        frame.into_ethernet()
+    }
+
+    /// Handle an incoming deadline-stamped data frame: restore the original
+    /// addressing from the channel table and deliver the payload.
+    pub fn handle_data(&mut self, frame: &RtDataFrame) -> RtResult<ReceivedMessage> {
+        let rx = self
+            .rx_channels
+            .get(&frame.stamp.channel.get())
+            .ok_or(RtError::UnknownChannel(frame.stamp.channel))?;
+        self.frames_received += 1;
+        Ok(ReceivedMessage {
+            channel: rx.id,
+            payload: frame.payload.clone(),
+            absolute_deadline: SimTime::from_nanos(frame.stamp.absolute_deadline),
+            source: rx.source,
+        })
+    }
+
+    // --- tear-down -----------------------------------------------------------
+
+    /// Build a TeardownFrame for an established outgoing channel and forget
+    /// it locally.
+    pub fn teardown_channel(&mut self, channel: ChannelId) -> RtResult<EthernetFrame> {
+        if self.tx_channels.remove(&channel.get()).is_none() {
+            return Err(RtError::UnknownChannel(channel));
+        }
+        let frame = TeardownFrame {
+            rt_channel_id: channel,
+        };
+        EthernetFrame::new(
+            MacAddr::for_switch(),
+            self.endpoint.mac,
+            ETHERTYPE_RT_CONTROL,
+            frame.encode(),
+        )
+    }
+
+    /// Forget an incoming channel (destination side of a tear-down).
+    pub fn forget_rx_channel(&mut self, channel: ChannelId) {
+        self.rx_channels.remove(&channel.get());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_frames::Frame;
+    use rt_types::Slots;
+
+    fn layer(node: u32) -> RtLayer {
+        RtLayer::new(NodeId::new(node), RtLayerConfig::default())
+    }
+
+    fn spec() -> RtChannelSpec {
+        RtChannelSpec::paper_default()
+    }
+
+    #[test]
+    fn request_channel_builds_a_connect_frame_to_the_switch() {
+        let mut l = layer(3);
+        let (req_id, eth) = l.request_channel(NodeId::new(9), spec()).unwrap();
+        assert_eq!(eth.dst, MacAddr::for_switch());
+        assert_eq!(eth.src, MacAddr::for_node(NodeId::new(3)));
+        assert_eq!(l.outstanding_requests(), 1);
+        match Frame::classify(eth).unwrap() {
+            Frame::Request(r) => {
+                assert_eq!(r.connection_request_id, req_id);
+                assert_eq!(r.period, Slots::new(100));
+                assert_eq!(r.rt_channel_id, None);
+            }
+            other => panic!("expected Request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_ids_are_unique_across_outstanding_requests() {
+        let mut l = layer(0);
+        let mut ids = std::collections::HashSet::new();
+        for i in 0..100u32 {
+            let (id, _) = l.request_channel(NodeId::new(i + 1), spec()).unwrap();
+            assert!(ids.insert(id.get()));
+        }
+        assert_eq!(l.outstanding_requests(), 100);
+    }
+
+    #[test]
+    fn request_to_self_is_rejected() {
+        let mut l = layer(5);
+        assert!(l.request_channel(NodeId::new(5), spec()).is_err());
+    }
+
+    #[test]
+    fn accepted_response_establishes_a_tx_channel() {
+        let mut l = layer(0);
+        let (req_id, _) = l.request_channel(NodeId::new(1), spec()).unwrap();
+        let resp = ResponseFrame {
+            rt_channel_id: Some(ChannelId::new(12)),
+            switch_mac: MacAddr::for_switch(),
+            verdict: ResponseVerdict::Accepted,
+            connection_request_id: req_id,
+        };
+        match l.handle_response(&resp).unwrap() {
+            EstablishmentOutcome::Established(tx) => {
+                assert_eq!(tx.id, ChannelId::new(12));
+                assert_eq!(tx.destination.node, NodeId::new(1));
+            }
+            other => panic!("expected Established, got {other:?}"),
+        }
+        assert_eq!(l.outstanding_requests(), 0);
+        assert!(l.tx_channel(ChannelId::new(12)).is_some());
+        // A second response for the same request is a protocol error.
+        assert!(l.handle_response(&resp).is_err());
+    }
+
+    #[test]
+    fn rejected_response_leaves_no_channel() {
+        let mut l = layer(0);
+        let (req_id, _) = l.request_channel(NodeId::new(1), spec()).unwrap();
+        let resp = ResponseFrame {
+            rt_channel_id: None,
+            switch_mac: MacAddr::for_switch(),
+            verdict: ResponseVerdict::Rejected,
+            connection_request_id: req_id,
+        };
+        assert_eq!(
+            l.handle_response(&resp).unwrap(),
+            EstablishmentOutcome::Rejected { request_id: req_id }
+        );
+        assert_eq!(l.tx_channels().count(), 0);
+    }
+
+    #[test]
+    fn destination_accepts_and_registers_rx_channel() {
+        let mut destination = layer(7);
+        let mut frame = ChannelRequest {
+            source: NodeId::new(1),
+            destination: NodeId::new(7),
+            spec: spec(),
+            request_id: ConnectionRequestId::new(4),
+        }
+        .to_frame();
+        frame.rt_channel_id = Some(ChannelId::new(33));
+        let (eth, accepted) = destination.handle_forwarded_request(&frame).unwrap();
+        assert!(accepted);
+        assert_eq!(destination.rx_channels().count(), 1);
+        assert_eq!(eth.dst, MacAddr::for_switch());
+        match Frame::classify(eth).unwrap() {
+            Frame::Response(r) => {
+                assert!(r.verdict.is_accepted());
+                assert_eq!(r.rt_channel_id, Some(ChannelId::new(33)));
+            }
+            other => panic!("expected Response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn destination_enforces_incoming_limit() {
+        let mut destination = RtLayer::new(
+            NodeId::new(7),
+            RtLayerConfig {
+                max_incoming_channels: Some(1),
+                ..RtLayerConfig::default()
+            },
+        );
+        for (i, expect_accept) in [(1u16, true), (2, false)] {
+            let mut frame = ChannelRequest {
+                source: NodeId::new(0),
+                destination: NodeId::new(7),
+                spec: spec(),
+                request_id: ConnectionRequestId::new(i as u8),
+            }
+            .to_frame();
+            frame.rt_channel_id = Some(ChannelId::new(i));
+            let (_, accepted) = destination.handle_forwarded_request(&frame).unwrap();
+            assert_eq!(accepted, expect_accept);
+        }
+        assert_eq!(destination.rx_channels().count(), 1);
+    }
+
+    #[test]
+    fn forwarded_request_validation() {
+        let mut destination = layer(7);
+        // Missing channel id.
+        let frame = ChannelRequest {
+            source: NodeId::new(0),
+            destination: NodeId::new(7),
+            spec: spec(),
+            request_id: ConnectionRequestId::new(1),
+        }
+        .to_frame();
+        assert!(destination.handle_forwarded_request(&frame).is_err());
+        // Wrong destination.
+        let mut frame = ChannelRequest {
+            source: NodeId::new(0),
+            destination: NodeId::new(8),
+            spec: spec(),
+            request_id: ConnectionRequestId::new(1),
+        }
+        .to_frame();
+        frame.rt_channel_id = Some(ChannelId::new(2));
+        assert!(destination.handle_forwarded_request(&frame).is_err());
+    }
+
+    #[test]
+    fn data_round_trip_between_source_and_destination() {
+        let mut source = layer(0);
+        let mut destination = layer(1);
+        // Establish on the source side.
+        let (req_id, _) = source.request_channel(NodeId::new(1), spec()).unwrap();
+        source
+            .handle_response(&ResponseFrame {
+                rt_channel_id: Some(ChannelId::new(5)),
+                switch_mac: MacAddr::for_switch(),
+                verdict: ResponseVerdict::Accepted,
+                connection_request_id: req_id,
+            })
+            .unwrap();
+        // Register on the destination side.
+        let mut fwd = ChannelRequest {
+            source: NodeId::new(0),
+            destination: NodeId::new(1),
+            spec: spec(),
+            request_id: req_id,
+        }
+        .to_frame();
+        fwd.rt_channel_id = Some(ChannelId::new(5));
+        destination.handle_forwarded_request(&fwd).unwrap();
+
+        // Send a message.
+        let gen = SimTime::from_millis(10);
+        let eth = source
+            .prepare_data(ChannelId::new(5), b"position=42".to_vec(), gen)
+            .unwrap();
+        assert_eq!(eth.dst, MacAddr::for_node(NodeId::new(1)));
+        let data = match Frame::classify(eth).unwrap() {
+            Frame::RtData(d) => d,
+            other => panic!("expected RtData, got {other:?}"),
+        };
+        // The stamped deadline is gen + 40 slots (no T_latency configured).
+        let expected =
+            gen + LinkSpeed::FAST_ETHERNET.slots_to_duration(Slots::new(40));
+        assert_eq!(data.stamp.absolute_deadline, expected.as_nanos());
+
+        let msg = destination.handle_data(&data).unwrap();
+        assert_eq!(msg.channel, ChannelId::new(5));
+        assert_eq!(msg.payload, b"position=42");
+        assert_eq!(msg.source.node, NodeId::new(0));
+        assert_eq!(source.counters().0, 1);
+        assert_eq!(destination.counters().1, 1);
+    }
+
+    #[test]
+    fn data_on_unknown_channels_is_rejected() {
+        let mut l = layer(0);
+        assert!(l
+            .prepare_data(ChannelId::new(9), vec![], SimTime::ZERO)
+            .is_err());
+        let frame = RtDataFrame {
+            eth_src: MacAddr::for_node(NodeId::new(1)),
+            eth_dst: MacAddr::for_node(NodeId::new(0)),
+            stamp: DeadlineStamp::new(100, ChannelId::new(9)).unwrap(),
+            src_port: 1,
+            dst_port: 2,
+            payload: vec![],
+        };
+        assert!(l.handle_data(&frame).is_err());
+    }
+
+    #[test]
+    fn absolute_deadline_includes_t_latency() {
+        let l = RtLayer::new(
+            NodeId::new(0),
+            RtLayerConfig {
+                t_latency: Duration::from_micros(11),
+                ..RtLayerConfig::default()
+            },
+        );
+        let s = spec();
+        let gen = SimTime::from_millis(1);
+        let expected = gen
+            + LinkSpeed::FAST_ETHERNET.slots_to_duration(s.deadline)
+            + Duration::from_micros(11);
+        assert_eq!(l.absolute_deadline(&s, gen), expected);
+    }
+
+    #[test]
+    fn teardown_removes_the_channel_and_builds_a_control_frame() {
+        let mut l = layer(0);
+        let (req_id, _) = l.request_channel(NodeId::new(1), spec()).unwrap();
+        l.handle_response(&ResponseFrame {
+            rt_channel_id: Some(ChannelId::new(8)),
+            switch_mac: MacAddr::for_switch(),
+            verdict: ResponseVerdict::Accepted,
+            connection_request_id: req_id,
+        })
+        .unwrap();
+        let eth = l.teardown_channel(ChannelId::new(8)).unwrap();
+        assert_eq!(eth.dst, MacAddr::for_switch());
+        assert!(matches!(
+            Frame::classify(eth).unwrap(),
+            Frame::Teardown(t) if t.rt_channel_id == ChannelId::new(8)
+        ));
+        assert!(l.tx_channel(ChannelId::new(8)).is_none());
+        assert!(l.teardown_channel(ChannelId::new(8)).is_err());
+
+        let mut rx = layer(1);
+        rx.forget_rx_channel(ChannelId::new(8)); // no-op, must not panic
+    }
+}

@@ -1,0 +1,257 @@
+//! The system state `SS = {N, K}` of §18.3.2.
+//!
+//! `N` is the set of nodes connected to the switch and `K` the set of RT
+//! channels currently active.  For admission control the state additionally
+//! maintains, per directed link, the set of supposed tasks running on it
+//! (Eq. 18.6/18.7), its *LinkLoad* (number of channels traversing it — the
+//! quantity ADPS partitions by) and its utilisation.
+
+use std::collections::BTreeMap;
+
+use rt_edf::TaskSet;
+use rt_types::{ChannelId, LinkId, NodeId, RtError, RtResult};
+
+use crate::channel::RtChannel;
+
+/// The system state: connected nodes, active channels and the per-link task
+/// sets derived from them.
+#[derive(Debug, Clone, Default)]
+pub struct SystemState {
+    nodes: BTreeMap<NodeId, ()>,
+    channels: BTreeMap<u16, RtChannel>,
+    link_tasks: BTreeMap<LinkId, TaskSet>,
+}
+
+impl SystemState {
+    /// An empty system (no nodes, no channels).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A system with the given nodes connected and no channels.
+    pub fn with_nodes(nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut state = Self::new();
+        for n in nodes {
+            state.add_node(n);
+        }
+        state
+    }
+
+    /// Connect a node to the switch (idempotent).
+    pub fn add_node(&mut self, node: NodeId) {
+        self.nodes.insert(node, ());
+    }
+
+    /// `true` if `node` is connected.
+    pub fn has_node(&self, node: NodeId) -> bool {
+        self.nodes.contains_key(&node)
+    }
+
+    /// Number of connected nodes (`|N|`).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The connected nodes, in ascending id order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Number of active channels (`size(K)`, the dimension of the DPS vector
+    /// field in Eq. 18.10).
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The active channels in ascending id order.
+    pub fn channels(&self) -> impl Iterator<Item = &RtChannel> {
+        self.channels.values()
+    }
+
+    /// Look up an active channel.
+    pub fn channel(&self, id: ChannelId) -> Option<&RtChannel> {
+        self.channels.get(&id.get())
+    }
+
+    /// The *LinkLoad* of a directed link: the number of channels traversing
+    /// it (§18.4.2).
+    pub fn link_load(&self, link: LinkId) -> usize {
+        self.link_tasks.get(&link).map_or(0, |s| s.len())
+    }
+
+    /// The utilisation of a directed link (sum of `C/P` over its channels).
+    pub fn link_utilisation(&self, link: LinkId) -> f64 {
+        self.link_tasks
+            .get(&link)
+            .map_or(0.0, |s| s.utilisation_f64())
+    }
+
+    /// The supposed tasks currently running on a directed link.  Returns an
+    /// empty set for links with no channels.
+    pub fn link_taskset(&self, link: LinkId) -> TaskSet {
+        self.link_tasks.get(&link).cloned().unwrap_or_default()
+    }
+
+    /// All directed links that currently carry at least one channel.
+    pub fn loaded_links(&self) -> impl Iterator<Item = (LinkId, usize)> + '_ {
+        self.link_tasks.iter().map(|(l, s)| (*l, s.len()))
+    }
+
+    /// Insert an established channel, updating both link task sets.
+    ///
+    /// Fails if either endpoint is not a connected node, if the channel id is
+    /// already in use, or if source and destination coincide.
+    pub fn insert_channel(&mut self, channel: RtChannel) -> RtResult<()> {
+        let src = channel.source.node;
+        let dst = channel.destination.node;
+        if !self.has_node(src) {
+            return Err(RtError::UnknownNode(src));
+        }
+        if !self.has_node(dst) {
+            return Err(RtError::UnknownNode(dst));
+        }
+        if src == dst {
+            return Err(RtError::InvalidChannelSpec(
+                "source and destination must differ".into(),
+            ));
+        }
+        if self.channels.contains_key(&channel.id.get()) {
+            return Err(RtError::ProtocolViolation(format!(
+                "channel id {} already in use",
+                channel.id
+            )));
+        }
+        let up_task = channel.uplink_task()?;
+        let down_task = channel.downlink_task()?;
+        self.link_tasks
+            .entry(LinkId::uplink(src))
+            .or_default()
+            .push(up_task);
+        self.link_tasks
+            .entry(LinkId::downlink(dst))
+            .or_default()
+            .push(down_task);
+        self.channels.insert(channel.id.get(), channel);
+        Ok(())
+    }
+
+    /// Remove an active channel, releasing its reserved capacity on both
+    /// links.
+    pub fn remove_channel(&mut self, id: ChannelId) -> RtResult<RtChannel> {
+        let channel = self
+            .channels
+            .remove(&id.get())
+            .ok_or(RtError::UnknownChannel(id))?;
+        let up_task = channel.uplink_task()?;
+        let down_task = channel.downlink_task()?;
+        if let Some(set) = self.link_tasks.get_mut(&LinkId::uplink(channel.source.node)) {
+            set.remove_one(&up_task);
+            if set.is_empty() {
+                self.link_tasks.remove(&LinkId::uplink(channel.source.node));
+            }
+        }
+        if let Some(set) = self
+            .link_tasks
+            .get_mut(&LinkId::downlink(channel.destination.node))
+        {
+            set.remove_one(&down_task);
+            if set.is_empty() {
+                self.link_tasks
+                    .remove(&LinkId::downlink(channel.destination.node));
+            }
+        }
+        Ok(channel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{DeadlineSplit, Endpoint, RtChannelSpec};
+
+    fn channel(id: u16, src: u32, dst: u32) -> RtChannel {
+        let spec = RtChannelSpec::paper_default();
+        RtChannel {
+            id: ChannelId::new(id),
+            source: Endpoint::for_node(NodeId::new(src)),
+            destination: Endpoint::for_node(NodeId::new(dst)),
+            spec,
+            split: DeadlineSplit::symmetric(&spec).unwrap(),
+        }
+    }
+
+    fn state_with_nodes(n: u32) -> SystemState {
+        SystemState::with_nodes((0..n).map(NodeId::new))
+    }
+
+    #[test]
+    fn nodes_and_counts() {
+        let mut s = state_with_nodes(3);
+        assert_eq!(s.node_count(), 3);
+        assert!(s.has_node(NodeId::new(2)));
+        assert!(!s.has_node(NodeId::new(3)));
+        s.add_node(NodeId::new(3));
+        s.add_node(NodeId::new(3)); // idempotent
+        assert_eq!(s.node_count(), 4);
+        assert_eq!(s.nodes().count(), 4);
+    }
+
+    #[test]
+    fn insert_updates_link_loads() {
+        let mut s = state_with_nodes(4);
+        s.insert_channel(channel(1, 0, 1)).unwrap();
+        s.insert_channel(channel(2, 0, 2)).unwrap();
+        s.insert_channel(channel(3, 3, 2)).unwrap();
+        assert_eq!(s.channel_count(), 3);
+        assert_eq!(s.link_load(LinkId::uplink(NodeId::new(0))), 2);
+        assert_eq!(s.link_load(LinkId::uplink(NodeId::new(3))), 1);
+        assert_eq!(s.link_load(LinkId::downlink(NodeId::new(2))), 2);
+        assert_eq!(s.link_load(LinkId::downlink(NodeId::new(1))), 1);
+        assert_eq!(s.link_load(LinkId::downlink(NodeId::new(0))), 0);
+        assert!((s.link_utilisation(LinkId::uplink(NodeId::new(0))) - 0.06).abs() < 1e-9);
+        assert_eq!(s.loaded_links().count(), 4);
+        assert_eq!(
+            s.link_taskset(LinkId::uplink(NodeId::new(0))).len(),
+            2
+        );
+        assert!(s.channel(ChannelId::new(2)).is_some());
+        assert!(s.channel(ChannelId::new(9)).is_none());
+    }
+
+    #[test]
+    fn insert_rejects_bad_channels() {
+        let mut s = state_with_nodes(2);
+        // Unknown node.
+        assert!(s.insert_channel(channel(1, 0, 7)).is_err());
+        assert!(s.insert_channel(channel(1, 7, 0)).is_err());
+        // Source == destination.
+        assert!(s.insert_channel(channel(1, 0, 0)).is_err());
+        // Duplicate id.
+        s.insert_channel(channel(1, 0, 1)).unwrap();
+        assert!(s.insert_channel(channel(1, 1, 0)).is_err());
+        assert_eq!(s.channel_count(), 1);
+    }
+
+    #[test]
+    fn remove_releases_capacity() {
+        let mut s = state_with_nodes(3);
+        s.insert_channel(channel(1, 0, 1)).unwrap();
+        s.insert_channel(channel(2, 0, 1)).unwrap();
+        assert_eq!(s.link_load(LinkId::uplink(NodeId::new(0))), 2);
+        let removed = s.remove_channel(ChannelId::new(1)).unwrap();
+        assert_eq!(removed.id, ChannelId::new(1));
+        assert_eq!(s.link_load(LinkId::uplink(NodeId::new(0))), 1);
+        assert_eq!(s.link_load(LinkId::downlink(NodeId::new(1))), 1);
+        s.remove_channel(ChannelId::new(2)).unwrap();
+        assert_eq!(s.link_load(LinkId::uplink(NodeId::new(0))), 0);
+        assert_eq!(s.loaded_links().count(), 0);
+        assert!(s.remove_channel(ChannelId::new(2)).is_err());
+    }
+
+    #[test]
+    fn link_taskset_for_empty_link_is_empty() {
+        let s = state_with_nodes(1);
+        assert!(s.link_taskset(LinkId::uplink(NodeId::new(0))).is_empty());
+        assert_eq!(s.link_utilisation(LinkId::downlink(NodeId::new(0))), 0.0);
+    }
+}

@@ -1,0 +1,363 @@
+//! The per-link EDF feasibility test of §18.3.2.
+//!
+//! A link (one direction of one full-duplex cable) is feasible when the set
+//! of channel-halves (periodic tasks) assigned to it can be EDF-scheduled:
+//!
+//! 1. **First constraint** — the utilisation `U = Σ C_i/P_i` must not exceed
+//!    one (Eq. 18.2).  Liu & Layland showed this alone is sufficient when
+//!    every task's relative deadline equals its period.
+//! 2. **Second constraint** — the workload function must satisfy `h(t) ≤ t`
+//!    for all `t` (Eq. 18.3).  Following the paper it is enough to check
+//!    `1 ≤ t ≤ BusyPeriod` (Eq. 18.4) and, within that range, only the
+//!    points `t = m·P_i + d_i` (Eq. 18.5).
+//!
+//! The tester also offers a *utilisation-only* mode, which is exactly the
+//! shortcut the paper attributes to Liu & Layland; the feasibility-ablation
+//! experiment uses it to show why the full test is needed when `d < P`.
+
+use rt_types::Slots;
+
+use crate::task::PeriodicTask;
+use crate::taskset::TaskSet;
+
+/// Why a task set was judged infeasible (or why analysis gave up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeasibilityVerdict {
+    /// Both constraints hold: the link can be EDF-scheduled.
+    Feasible,
+    /// Constraint 1 violated: total utilisation exceeds one.
+    UtilisationExceeded,
+    /// Constraint 2 violated: the workload exceeded the available time at
+    /// the given check-point.
+    DemandExceeded {
+        /// The first check-point at which `h(t) > t`.
+        at: Slots,
+        /// The workload `h(t)` at that point.
+        demand: Slots,
+    },
+    /// The busy period (or the number of check-points) exceeded the
+    /// configured analysis cap, so no guarantee can be given.  Treated as
+    /// infeasible by admission control (fail safe).
+    AnalysisLimitExceeded,
+}
+
+/// The result of a feasibility test, with the quantities that were computed
+/// along the way (useful for reporting and for the ablation benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeasibilityOutcome {
+    /// The verdict.
+    pub verdict: FeasibilityVerdict,
+    /// Total utilisation of the examined set (as a float, for reporting).
+    pub utilisation: f64,
+    /// The busy period, when it was computed.
+    pub busy_period: Option<Slots>,
+    /// How many check-points were evaluated for Constraint 2.
+    pub checkpoints_examined: usize,
+}
+
+impl FeasibilityOutcome {
+    /// `true` when the set was judged feasible.
+    pub fn is_feasible(&self) -> bool {
+        self.verdict == FeasibilityVerdict::Feasible
+    }
+}
+
+/// Configuration of the feasibility tester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeasibilityConfig {
+    /// Upper bound on the busy-period search (and on check-point values).
+    /// If the busy-period iteration has not converged below this bound the
+    /// test reports [`FeasibilityVerdict::AnalysisLimitExceeded`].
+    pub busy_period_cap: Slots,
+    /// If `true`, only Constraint 1 (utilisation ≤ 1) is checked.  This is
+    /// exact for implicit-deadline sets and *optimistic* otherwise; used by
+    /// the ablation experiments.
+    pub utilisation_only: bool,
+}
+
+impl Default for FeasibilityConfig {
+    fn default() -> Self {
+        FeasibilityConfig {
+            busy_period_cap: Slots::new(10_000_000),
+            utilisation_only: false,
+        }
+    }
+}
+
+/// The feasibility tester (stateless apart from its configuration).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FeasibilityTester {
+    config: FeasibilityConfig,
+}
+
+impl FeasibilityTester {
+    /// A tester with the default configuration (full two-constraint test).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A tester with an explicit configuration.
+    pub fn with_config(config: FeasibilityConfig) -> Self {
+        FeasibilityTester { config }
+    }
+
+    /// A tester that checks only the utilisation bound (Constraint 1).
+    pub fn utilisation_only() -> Self {
+        FeasibilityTester {
+            config: FeasibilityConfig {
+                utilisation_only: true,
+                ..FeasibilityConfig::default()
+            },
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> FeasibilityConfig {
+        self.config
+    }
+
+    /// Run the feasibility test on `set`.
+    pub fn test(&self, set: &TaskSet) -> FeasibilityOutcome {
+        let utilisation = set.utilisation_f64();
+
+        // Constraint 1: U <= 1 (exact rational comparison).
+        if set.utilisation().exceeds_one() {
+            return FeasibilityOutcome {
+                verdict: FeasibilityVerdict::UtilisationExceeded,
+                utilisation,
+                busy_period: None,
+                checkpoints_examined: 0,
+            };
+        }
+
+        // Liu & Layland shortcut: with implicit deadlines (d == P for every
+        // task) the utilisation bound is necessary and sufficient.
+        let all_implicit = set.tasks().iter().all(|t| t.is_implicit_deadline());
+        if self.config.utilisation_only || all_implicit || set.is_empty() {
+            return FeasibilityOutcome {
+                verdict: FeasibilityVerdict::Feasible,
+                utilisation,
+                busy_period: None,
+                checkpoints_examined: 0,
+            };
+        }
+
+        // Constraint 2: h(t) <= t for the Eq. 18.5 check-points within the
+        // first busy period (Eq. 18.4).
+        let cap = match set.hyperperiod() {
+            Some(h) => h.min(self.config.busy_period_cap),
+            None => self.config.busy_period_cap,
+        };
+        let busy_period = match set.busy_period(cap) {
+            Some(bp) => bp,
+            None => {
+                return FeasibilityOutcome {
+                    verdict: FeasibilityVerdict::AnalysisLimitExceeded,
+                    utilisation,
+                    busy_period: None,
+                    checkpoints_examined: 0,
+                }
+            }
+        };
+
+        let checkpoints = set.checkpoints(busy_period);
+        let mut examined = 0;
+        for t in checkpoints {
+            examined += 1;
+            let demand = set.workload(t);
+            if demand > t {
+                return FeasibilityOutcome {
+                    verdict: FeasibilityVerdict::DemandExceeded { at: t, demand },
+                    utilisation,
+                    busy_period: Some(busy_period),
+                    checkpoints_examined: examined,
+                };
+            }
+        }
+
+        FeasibilityOutcome {
+            verdict: FeasibilityVerdict::Feasible,
+            utilisation,
+            busy_period: Some(busy_period),
+            checkpoints_examined: examined,
+        }
+    }
+
+    /// Test whether `candidate` can be added to `set`: clones the set, adds
+    /// the candidate and runs the full test.  This is exactly the question
+    /// the switch answers during admission control.
+    pub fn test_with_candidate(
+        &self,
+        set: &TaskSet,
+        candidate: &PeriodicTask,
+    ) -> FeasibilityOutcome {
+        let mut tentative = set.clone();
+        tentative.push(*candidate);
+        self.test(&tentative)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn task(p: u64, c: u64, d: u64) -> PeriodicTask {
+        PeriodicTask::new(Slots::new(p), Slots::new(c), Slots::new(d)).unwrap()
+    }
+
+    #[test]
+    fn empty_set_is_feasible() {
+        let out = FeasibilityTester::new().test(&TaskSet::new());
+        assert!(out.is_feasible());
+        assert_eq!(out.utilisation, 0.0);
+    }
+
+    #[test]
+    fn implicit_deadline_uses_utilisation_bound_only() {
+        // Three tasks with d = P and U exactly 1: feasible by Liu & Layland.
+        let set = TaskSet::from_tasks(vec![task(2, 1, 2), task(4, 1, 4), task(4, 1, 4)]);
+        let out = FeasibilityTester::new().test(&set);
+        assert!(out.is_feasible());
+        assert_eq!(out.checkpoints_examined, 0);
+
+        // Push it over 1.
+        let mut set = set;
+        set.push(task(100, 1, 100));
+        let out = FeasibilityTester::new().test(&set);
+        assert_eq!(out.verdict, FeasibilityVerdict::UtilisationExceeded);
+    }
+
+    #[test]
+    fn paper_parameters_per_uplink_limit() {
+        // SDPS halves the deadline of C=3, P=100, D=40 channels to 20 slots.
+        // On one uplink at most floor(20/3) = 6 such halves fit.
+        let tester = FeasibilityTester::new();
+        let mut set = TaskSet::new();
+        for i in 0..7 {
+            let out = tester.test_with_candidate(&set, &task(100, 3, 20));
+            if i < 6 {
+                assert!(out.is_feasible(), "channel {i} should be accepted");
+                set.push(task(100, 3, 20));
+            } else {
+                assert!(!out.is_feasible(), "channel {i} should be rejected");
+                assert!(matches!(
+                    out.verdict,
+                    FeasibilityVerdict::DemandExceeded { at, demand }
+                        if at == Slots::new(20) && demand == Slots::new(21)
+                ));
+            }
+        }
+        // With ADPS-style asymmetric deadlines (d_u = 33) the same uplink
+        // fits floor(33/3) = 11 halves.
+        let mut set = TaskSet::new();
+        for _ in 0..11 {
+            let out = tester.test_with_candidate(&set, &task(100, 3, 33));
+            assert!(out.is_feasible());
+            set.push(task(100, 3, 33));
+        }
+        assert!(!tester.test_with_candidate(&set, &task(100, 3, 33)).is_feasible());
+    }
+
+    #[test]
+    fn demand_violation_is_detected_even_with_low_utilisation() {
+        // Two tasks, each C=4 with deadline 5: at t=5 the demand is 8 > 5,
+        // although the utilisation is only 8/100.
+        let set = TaskSet::from_tasks(vec![task(50, 4, 5), task(50, 4, 5)]);
+        let out = FeasibilityTester::new().test(&set);
+        assert!(matches!(
+            out.verdict,
+            FeasibilityVerdict::DemandExceeded { at, demand }
+                if at == Slots::new(5) && demand == Slots::new(8)
+        ));
+        // The utilisation-only tester happily (and wrongly) accepts it.
+        let out = FeasibilityTester::utilisation_only().test(&set);
+        assert!(out.is_feasible());
+    }
+
+    #[test]
+    fn constrained_deadlines_feasible_case() {
+        // C=1, P=10, d=2 for five tasks: at t=2 demand is 5 > 2? Yes — so
+        // that is infeasible.  Use d spread out instead.
+        let set = TaskSet::from_tasks(vec![
+            task(10, 1, 2),
+            task(10, 1, 4),
+            task(10, 1, 6),
+            task(10, 1, 8),
+            task(10, 1, 10),
+        ]);
+        let out = FeasibilityTester::new().test(&set);
+        assert!(out.is_feasible());
+        assert!(out.checkpoints_examined > 0);
+    }
+
+    #[test]
+    fn analysis_cap_reported() {
+        let set = TaskSet::from_tasks(vec![task(7, 3, 6), task(11, 5, 9)]);
+        let tester = FeasibilityTester::with_config(FeasibilityConfig {
+            busy_period_cap: Slots::new(2),
+            utilisation_only: false,
+        });
+        let out = tester.test(&set);
+        assert_eq!(out.verdict, FeasibilityVerdict::AnalysisLimitExceeded);
+        assert!(!out.is_feasible());
+    }
+
+    #[test]
+    fn candidate_test_does_not_mutate_set() {
+        let set = TaskSet::from_tasks(vec![task(100, 3, 20)]);
+        let before = set.clone();
+        let _ = FeasibilityTester::new().test_with_candidate(&set, &task(100, 3, 20));
+        assert_eq!(set, before);
+    }
+
+    proptest! {
+        /// The full test never accepts a set that the utilisation bound
+        /// rejects (it is strictly stronger).
+        #[test]
+        fn prop_full_test_stronger_than_utilisation(
+            params in proptest::collection::vec((2u64..40, 1u64..8, 1u64..50), 1..10),
+        ) {
+            let tasks: Vec<PeriodicTask> = params
+                .iter()
+                .map(|&(p, c, d)| {
+                    let c = c.min(p);
+                    let d = d.max(c);
+                    PeriodicTask::new(Slots::new(p), Slots::new(c), Slots::new(d)).unwrap()
+                })
+                .collect();
+            let set = TaskSet::from_tasks(tasks);
+            let full = FeasibilityTester::new().test(&set);
+            let util = FeasibilityTester::utilisation_only().test(&set);
+            if full.is_feasible() {
+                prop_assert!(util.is_feasible());
+            }
+        }
+
+        /// Removing a task never turns a feasible set infeasible
+        /// (sustainability of the demand-based test).
+        #[test]
+        fn prop_feasibility_monotone_under_removal(
+            params in proptest::collection::vec((2u64..30, 1u64..6, 2u64..40), 2..8),
+            remove_idx in 0usize..8,
+        ) {
+            let tasks: Vec<PeriodicTask> = params
+                .iter()
+                .map(|&(p, c, d)| {
+                    let c = c.min(p);
+                    let d = d.max(c);
+                    PeriodicTask::new(Slots::new(p), Slots::new(c), Slots::new(d)).unwrap()
+                })
+                .collect();
+            let set = TaskSet::from_tasks(tasks.clone());
+            let tester = FeasibilityTester::new();
+            if tester.test(&set).is_feasible() {
+                let mut smaller = tasks;
+                let idx = remove_idx % smaller.len();
+                smaller.remove(idx);
+                let smaller = TaskSet::from_tasks(smaller);
+                prop_assert!(tester.test(&smaller).is_feasible());
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! A fixed-priority (Deadline-Monotonic) baseline scheduler analysis.
+//!
+//! The paper's conclusions suggest that "alternative communication models
+//! and scheduling algorithms could be explored"; the natural alternative to
+//! frame-level EDF on a link is fixed-priority scheduling with priorities
+//! assigned Deadline-Monotonically (shorter relative deadline ⇒ higher
+//! priority), which is what simpler switch implementations with a small
+//! number of strict-priority queues approximate.
+//!
+//! This module provides the classical response-time analysis for that
+//! baseline so experiments can compare how many channels a link admits under
+//! DM versus under EDF.  For constrained-deadline periodic tasks released
+//! synchronously, the worst-case response time of task `i` is the smallest
+//! fixed point of
+//!
+//! ```text
+//! R_i = C_i + Σ_{j ∈ hp(i)} ⌈R_i / P_j⌉ · C_j
+//! ```
+//!
+//! and the set is schedulable iff `R_i ≤ d_i` for every task.  EDF dominates
+//! DM (every DM-schedulable set is EDF-schedulable, not vice versa), which
+//! the tests assert against [`crate::feasibility::FeasibilityTester`].
+
+use rt_types::Slots;
+
+use crate::task::PeriodicTask;
+use crate::taskset::TaskSet;
+
+/// The outcome of the Deadline-Monotonic response-time analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DmAnalysis {
+    /// `true` if every task's worst-case response time is within its
+    /// relative deadline.
+    pub schedulable: bool,
+    /// Worst-case response time per task, in the order of the *input* task
+    /// set (`None` when the fixed-point iteration exceeded the analysis cap,
+    /// which also forces `schedulable = false`).
+    pub response_times: Vec<Option<Slots>>,
+}
+
+impl DmAnalysis {
+    /// The largest computed response time, if all converged.
+    pub fn worst_response_time(&self) -> Option<Slots> {
+        self.response_times.iter().copied().collect::<Option<Vec<_>>>()?.into_iter().max()
+    }
+}
+
+/// Deadline-Monotonic feasibility via exact response-time analysis.
+///
+/// `cap` bounds the fixed-point iteration (a response time above the cap is
+/// treated as divergence, i.e. unschedulable); the largest relative deadline
+/// in the set is always a sufficient cap for the schedulability question.
+pub fn dm_response_time_analysis(set: &TaskSet, cap: Slots) -> DmAnalysis {
+    let n = set.len();
+    if n == 0 {
+        return DmAnalysis {
+            schedulable: true,
+            response_times: Vec::new(),
+        };
+    }
+    // Priority order: ascending relative deadline (ties broken by input
+    // order, which keeps the analysis deterministic).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (set.tasks()[i].relative_deadline(), i));
+
+    let mut response_times: Vec<Option<Slots>> = vec![None; n];
+    let mut schedulable = true;
+    for (rank, &idx) in order.iter().enumerate() {
+        let task = &set.tasks()[idx];
+        let higher: Vec<&PeriodicTask> =
+            order[..rank].iter().map(|&j| &set.tasks()[j]).collect();
+        let response = response_time(task, &higher, cap);
+        // The single-busy-window recurrence is exact only while a job
+        // finishes before its successor is released (R <= P); for tasks with
+        // d > P the bound is therefore applied to min(d, P), which keeps the
+        // verdict sound (never optimistic) at the cost of some pessimism for
+        // arbitrary-deadline sets.
+        let limit = task.relative_deadline().min(task.period());
+        match response {
+            Some(r) if r <= limit => {
+                response_times[idx] = Some(r);
+            }
+            Some(r) => {
+                response_times[idx] = Some(r);
+                schedulable = false;
+            }
+            None => {
+                schedulable = false;
+            }
+        }
+    }
+    DmAnalysis {
+        schedulable,
+        response_times,
+    }
+}
+
+/// Worst-case response time of `task` against the higher-priority tasks
+/// `higher`, or `None` if the iteration exceeds `cap`.
+fn response_time(task: &PeriodicTask, higher: &[&PeriodicTask], cap: Slots) -> Option<Slots> {
+    let mut r = task.capacity();
+    loop {
+        if r > cap {
+            return None;
+        }
+        let interference: Slots = higher
+            .iter()
+            .map(|h| h.capacity().saturating_mul(r.div_ceil(h.period())))
+            .sum();
+        let next = task.capacity().saturating_add(interference);
+        if next == r {
+            return Some(r);
+        }
+        r = next;
+    }
+}
+
+/// Convenience wrapper mirroring the EDF tester's interface: is `set`
+/// schedulable under Deadline-Monotonic fixed priorities?
+pub fn dm_schedulable(set: &TaskSet) -> bool {
+    let cap = set
+        .max_relative_deadline()
+        .unwrap_or(Slots::ZERO)
+        .saturating_add(Slots::ONE);
+    dm_response_time_analysis(set, cap).schedulable
+}
+
+/// Can `candidate` be added to `set` and keep the link DM-schedulable?
+pub fn dm_schedulable_with_candidate(set: &TaskSet, candidate: &PeriodicTask) -> bool {
+    let mut tentative = set.clone();
+    tentative.push(*candidate);
+    dm_schedulable(&tentative)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feasibility::FeasibilityTester;
+    use crate::schedule::simulate_over_hyperperiod;
+    use proptest::prelude::*;
+
+    fn task(p: u64, c: u64, d: u64) -> PeriodicTask {
+        PeriodicTask::new(Slots::new(p), Slots::new(c), Slots::new(d)).unwrap()
+    }
+
+    #[test]
+    fn empty_and_single_task_sets() {
+        assert!(dm_schedulable(&TaskSet::new()));
+        let set = TaskSet::from_tasks(vec![task(10, 3, 10)]);
+        let analysis = dm_response_time_analysis(&set, Slots::new(100));
+        assert!(analysis.schedulable);
+        assert_eq!(analysis.response_times, vec![Some(Slots::new(3))]);
+        assert_eq!(analysis.worst_response_time(), Some(Slots::new(3)));
+    }
+
+    #[test]
+    fn classic_response_time_example() {
+        // Three tasks (C, P=D): (1,4), (2,6), (3,13) — a textbook RTA case.
+        let set = TaskSet::from_tasks(vec![task(4, 1, 4), task(6, 2, 6), task(13, 3, 13)]);
+        let analysis = dm_response_time_analysis(&set, Slots::new(1000));
+        assert!(analysis.schedulable);
+        // R1 = 1; R2 = 2 + 1 = 3; R3 iterates 3 -> 6 -> 9 -> 10 -> 10.
+        assert_eq!(analysis.response_times[0], Some(Slots::new(1)));
+        assert_eq!(analysis.response_times[1], Some(Slots::new(3)));
+        assert_eq!(analysis.response_times[2], Some(Slots::new(10)));
+        assert_eq!(analysis.worst_response_time(), Some(Slots::new(10)));
+    }
+
+    #[test]
+    fn unschedulable_set_is_detected() {
+        // Utilisation 1.0 with inverted deadline pressure: (C=5, P=10, d=6)
+        // and (C=5, P=10, d=10): the low-priority task gets response 10 > 10?
+        // R2 = 5 + ceil(R2/10)*5 -> 10 <= 10 fine; make it harder: d2 = 9.
+        let set = TaskSet::from_tasks(vec![task(10, 5, 6), task(10, 5, 9)]);
+        let analysis = dm_response_time_analysis(&set, Slots::new(1000));
+        assert!(!analysis.schedulable);
+        assert_eq!(analysis.response_times[1], Some(Slots::new(10)));
+        // EDF, by contrast, schedules it (demand at 6 is 5, at 9 is 10 > 9?
+        // h(9) = 5 + 5 = 10 > 9 -> actually EDF also rejects this one).
+        // Use a set EDF accepts but DM rejects below.
+    }
+
+    #[test]
+    fn edf_dominates_dm_on_a_concrete_set() {
+        // Two tasks where DM's fixed priorities fail but EDF succeeds:
+        // t1 = (P=10, C=6, d=10), t2 = (P=14, C=5, d=14).
+        // DM: t1 has priority; R2 = 5 + ceil(R2/10)*6 -> 11 -> 17 > 14: fail.
+        // EDF: U = 0.6 + 0.357 = 0.957 <= 1 with implicit deadlines: feasible.
+        let set = TaskSet::from_tasks(vec![task(10, 6, 10), task(14, 5, 14)]);
+        assert!(!dm_schedulable(&set));
+        assert!(FeasibilityTester::new().test(&set).is_feasible());
+        // And the slot-level EDF schedule indeed has no misses.
+        assert!(simulate_over_hyperperiod(&set, Slots::new(100_000)).is_miss_free());
+    }
+
+    #[test]
+    fn paper_uplink_capacity_under_dm_equals_edf_for_identical_tasks() {
+        // With identical tasks (same C, P, d) DM and EDF admit the same
+        // number on one link: 6 halves of the paper's channels at d_u = 20.
+        let mut set = TaskSet::new();
+        for i in 0..7 {
+            let candidate = task(100, 3, 20);
+            let dm = dm_schedulable_with_candidate(&set, &candidate);
+            let edf = FeasibilityTester::new()
+                .test_with_candidate(&set, &candidate)
+                .is_feasible();
+            assert_eq!(dm, edf, "divergence at channel {i}");
+            if dm {
+                set.push(candidate);
+            }
+        }
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn candidate_test_does_not_mutate() {
+        let set = TaskSet::from_tasks(vec![task(10, 2, 10)]);
+        let before = set.clone();
+        let _ = dm_schedulable_with_candidate(&set, &task(10, 2, 10));
+        assert_eq!(set, before);
+    }
+
+    #[test]
+    fn capped_iteration_reports_unschedulable() {
+        // Over-utilised: the low-priority task's response (12) exceeds both
+        // its deadline and, with a tight analysis cap, the cap itself.
+        let set = TaskSet::from_tasks(vec![task(4, 3, 4), task(5, 3, 5)]);
+        let analysis = dm_response_time_analysis(&set, Slots::new(50));
+        assert!(!analysis.schedulable);
+        assert_eq!(analysis.response_times[1], Some(Slots::new(12)));
+        // With a cap below the fixed point the iteration is cut off and the
+        // response is reported as unknown.
+        let capped = dm_response_time_analysis(&set, Slots::new(8));
+        assert!(!capped.schedulable);
+        assert_eq!(capped.response_times[1], None);
+        assert_eq!(capped.worst_response_time(), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// EDF dominates DM: any DM-schedulable set passes the EDF
+        /// feasibility test.
+        #[test]
+        fn prop_edf_dominates_dm(
+            params in proptest::collection::vec((2u64..30, 1u64..6, 1u64..40), 1..7),
+        ) {
+            let tasks: Vec<PeriodicTask> = params
+                .iter()
+                .map(|&(p, c, d)| {
+                    let c = c.min(p);
+                    let d = d.max(c);
+                    PeriodicTask::new(Slots::new(p), Slots::new(c), Slots::new(d)).unwrap()
+                })
+                .collect();
+            let set = TaskSet::from_tasks(tasks);
+            if dm_schedulable(&set) {
+                prop_assert!(FeasibilityTester::new().test(&set).is_feasible(),
+                    "DM-schedulable set rejected by the EDF test");
+            }
+        }
+
+        /// DM schedulability matches a priority-faithful property: removing
+        /// a task never breaks schedulability.
+        #[test]
+        fn prop_dm_sustainable_under_removal(
+            params in proptest::collection::vec((2u64..25, 1u64..5, 2u64..35), 2..7),
+            remove_idx in 0usize..8,
+        ) {
+            let tasks: Vec<PeriodicTask> = params
+                .iter()
+                .map(|&(p, c, d)| {
+                    let c = c.min(p);
+                    let d = d.max(c);
+                    PeriodicTask::new(Slots::new(p), Slots::new(c), Slots::new(d)).unwrap()
+                })
+                .collect();
+            let set = TaskSet::from_tasks(tasks.clone());
+            if dm_schedulable(&set) {
+                let mut smaller = tasks;
+                let idx = remove_idx % smaller.len();
+                smaller.remove(idx);
+                prop_assert!(dm_schedulable(&TaskSet::from_tasks(smaller)));
+            }
+        }
+    }
+}

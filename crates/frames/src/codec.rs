@@ -1,0 +1,262 @@
+//! Top-level frame classification.
+//!
+//! The switch and the end-node RT layers receive raw Ethernet frames and
+//! must decide which queue and which handler they belong to:
+//!
+//! * RT control frames (EtherType [`ETHERTYPE_RT_CONTROL`]) → the channel
+//!   management software,
+//! * IPv4 frames whose ToS is 255 → the deadline-sorted real-time queue,
+//! * everything else → the FCFS best-effort queue.
+//!
+//! [`Frame::classify`] performs that dispatch and decodes the payload into
+//! the corresponding typed frame.
+
+use rt_types::{
+    constants::{
+        ETHERTYPE_IPV4, ETHERTYPE_RT_CONTROL, RT_FRAME_TYPE_CONNECT, RT_FRAME_TYPE_RESPONSE,
+        RT_FRAME_TYPE_TEARDOWN,
+    },
+    ChannelId, RtError, RtResult,
+};
+
+use crate::ethernet::EthernetFrame;
+use crate::ipv4::Ipv4Header;
+use crate::rt_data::RtDataFrame;
+use crate::rt_request::RequestFrame;
+use crate::rt_response::ResponseFrame;
+use crate::wire::ByteReader;
+
+/// A channel tear-down notification (an extension beyond the paper; the
+/// paper only establishes channels, but a practical system must also release
+/// their reserved capacity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TeardownFrame {
+    /// The channel being torn down.
+    pub rt_channel_id: ChannelId,
+}
+
+impl TeardownFrame {
+    /// Wire size of the tear-down payload in bytes.
+    pub const BYTES: usize = 3;
+
+    /// Serialise: type byte + channel id.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::BYTES);
+        out.push(RT_FRAME_TYPE_TEARDOWN);
+        out.extend_from_slice(&self.rt_channel_id.get().to_be_bytes());
+        out
+    }
+
+    /// Parse a tear-down payload.
+    pub fn decode(bytes: &[u8]) -> RtResult<Self> {
+        let mut r = ByteReader::new(bytes, "TeardownFrame");
+        let ty = r.get_u8()?;
+        if ty != RT_FRAME_TYPE_TEARDOWN {
+            return Err(RtError::FrameDecode(format!(
+                "TeardownFrame: type byte {ty:#04x} is not a teardown packet"
+            )));
+        }
+        Ok(TeardownFrame {
+            rt_channel_id: ChannelId::new(r.get_u16()?),
+        })
+    }
+}
+
+/// A classified, decoded frame as seen by the RT layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// RT channel establishment request (Figure 18.3).
+    Request(RequestFrame),
+    /// RT channel establishment response (Figure 18.4).
+    Response(ResponseFrame),
+    /// RT channel tear-down (extension).
+    Teardown(TeardownFrame),
+    /// Deadline-stamped real-time data (§18.2.2).
+    RtData(RtDataFrame),
+    /// Anything else — ordinary best-effort traffic handled FCFS.
+    BestEffort(EthernetFrame),
+}
+
+impl Frame {
+    /// Classify and decode an Ethernet frame.
+    ///
+    /// Control frames with an unknown type byte and IPv4 frames that fail to
+    /// parse are errors (a real implementation would count and drop them);
+    /// IPv4 frames that are not marked real-time and frames of any other
+    /// EtherType are passed through as [`Frame::BestEffort`].
+    pub fn classify(eth: EthernetFrame) -> RtResult<Frame> {
+        match eth.ethertype {
+            ETHERTYPE_RT_CONTROL => {
+                let ty = *eth.payload.first().ok_or_else(|| {
+                    RtError::FrameDecode("empty RT control frame".into())
+                })?;
+                match ty {
+                    RT_FRAME_TYPE_CONNECT => {
+                        Ok(Frame::Request(RequestFrame::decode(&eth.payload)?))
+                    }
+                    RT_FRAME_TYPE_RESPONSE => {
+                        Ok(Frame::Response(ResponseFrame::decode(&eth.payload)?))
+                    }
+                    RT_FRAME_TYPE_TEARDOWN => {
+                        Ok(Frame::Teardown(TeardownFrame::decode(&eth.payload)?))
+                    }
+                    other => Err(RtError::FrameDecode(format!(
+                        "unknown RT control frame type {other:#04x}"
+                    ))),
+                }
+            }
+            ETHERTYPE_IPV4 => {
+                let ip = Ipv4Header::decode(&eth.payload)?;
+                if ip.is_realtime() {
+                    Ok(Frame::RtData(RtDataFrame::from_ethernet(&eth)?))
+                } else {
+                    Ok(Frame::BestEffort(eth))
+                }
+            }
+            _ => Ok(Frame::BestEffort(eth)),
+        }
+    }
+
+    /// `true` if this frame goes to the deadline-sorted real-time queue.
+    pub fn is_realtime(&self) -> bool {
+        matches!(
+            self,
+            Frame::Request(_) | Frame::Response(_) | Frame::Teardown(_) | Frame::RtData(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_types::{ConnectionRequestId, Ipv4Address, MacAddr, Slots};
+
+    fn request() -> RequestFrame {
+        RequestFrame {
+            src_mac: MacAddr::for_node(rt_types::NodeId::new(1)),
+            dst_mac: MacAddr::for_node(rt_types::NodeId::new(2)),
+            src_ip: Ipv4Address::new(10, 0, 0, 1),
+            dst_ip: Ipv4Address::new(10, 0, 0, 2),
+            period: Slots::new(100),
+            capacity: Slots::new(3),
+            deadline: Slots::new(40),
+            rt_channel_id: None,
+            connection_request_id: ConnectionRequestId::new(1),
+        }
+    }
+
+    #[test]
+    fn classifies_request_and_response() {
+        let req = request();
+        let eth = req
+            .into_ethernet(MacAddr::ZERO, MacAddr::for_switch())
+            .unwrap();
+        match Frame::classify(eth).unwrap() {
+            Frame::Request(r) => assert_eq!(r, req),
+            other => panic!("expected Request, got {other:?}"),
+        }
+
+        let resp = ResponseFrame {
+            rt_channel_id: Some(ChannelId::new(3)),
+            switch_mac: MacAddr::for_switch(),
+            verdict: crate::rt_response::ResponseVerdict::Accepted,
+            connection_request_id: ConnectionRequestId::new(1),
+        };
+        let eth = resp.into_ethernet(MacAddr::for_switch(), MacAddr::ZERO).unwrap();
+        assert!(matches!(
+            Frame::classify(eth).unwrap(),
+            Frame::Response(r) if r == resp
+        ));
+    }
+
+    #[test]
+    fn classifies_teardown() {
+        let td = TeardownFrame {
+            rt_channel_id: ChannelId::new(7),
+        };
+        let eth = EthernetFrame::new(
+            MacAddr::for_switch(),
+            MacAddr::ZERO,
+            ETHERTYPE_RT_CONTROL,
+            td.encode(),
+        )
+        .unwrap();
+        assert!(matches!(
+            Frame::classify(eth).unwrap(),
+            Frame::Teardown(t) if t == td
+        ));
+    }
+
+    #[test]
+    fn teardown_round_trip_and_errors() {
+        let td = TeardownFrame {
+            rt_channel_id: ChannelId::new(65535),
+        };
+        assert_eq!(TeardownFrame::decode(&td.encode()).unwrap(), td);
+        assert!(TeardownFrame::decode(&[RT_FRAME_TYPE_TEARDOWN]).is_err());
+        assert!(TeardownFrame::decode(&[0xff, 0, 1]).is_err());
+    }
+
+    #[test]
+    fn classifies_rt_data_and_best_effort_ipv4() {
+        // Real-time data frame.
+        let data = RtDataFrame {
+            eth_src: MacAddr::ZERO,
+            eth_dst: MacAddr::for_switch(),
+            stamp: crate::rt_data::DeadlineStamp::new(99, ChannelId::new(4)).unwrap(),
+            src_port: 1,
+            dst_port: 2,
+            payload: vec![1, 2, 3],
+        };
+        let frame = Frame::classify(data.into_ethernet().unwrap()).unwrap();
+        assert!(frame.is_realtime());
+        assert!(matches!(frame, Frame::RtData(d) if d.stamp.channel == ChannelId::new(4)));
+
+        // Plain (non-RT) IPv4 is best effort.
+        let ip = Ipv4Header::udp(
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+            8,
+        )
+        .unwrap();
+        let mut payload = ip.encode();
+        payload.extend_from_slice(&crate::udp::UdpHeader::new(1, 2, 0).unwrap().encode());
+        let eth =
+            EthernetFrame::new(MacAddr::BROADCAST, MacAddr::ZERO, ETHERTYPE_IPV4, payload)
+                .unwrap();
+        let frame = Frame::classify(eth).unwrap();
+        assert!(!frame.is_realtime());
+        assert!(matches!(frame, Frame::BestEffort(_)));
+    }
+
+    #[test]
+    fn unknown_ethertype_is_best_effort() {
+        let eth = EthernetFrame::new(MacAddr::BROADCAST, MacAddr::ZERO, 0x0806, vec![0; 28])
+            .unwrap();
+        assert!(matches!(
+            Frame::classify(eth).unwrap(),
+            Frame::BestEffort(_)
+        ));
+    }
+
+    #[test]
+    fn malformed_control_frames_are_errors() {
+        let eth = EthernetFrame::new(
+            MacAddr::for_switch(),
+            MacAddr::ZERO,
+            ETHERTYPE_RT_CONTROL,
+            vec![0x7f, 1, 2, 3],
+        )
+        .unwrap();
+        assert!(Frame::classify(eth).is_err());
+
+        let eth = EthernetFrame::new(
+            MacAddr::for_switch(),
+            MacAddr::ZERO,
+            ETHERTYPE_RT_CONTROL,
+            vec![],
+        )
+        .unwrap();
+        assert!(Frame::classify(eth).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! IPv4 header encode/decode.
+//!
+//! The RT layer of the paper reuses ordinary IPv4 datagrams for real-time
+//! data but *rewrites* three header fields before transmission (§18.2.2):
+//! the ToS byte is set to 255, and the source address plus the upper half of
+//! the destination address are replaced by the 48-bit absolute deadline (the
+//! lower half of the destination address carries the RT channel ID).  This
+//! module implements the plain header; the rewriting lives in
+//! [`crate::rt_data`].
+
+use rt_types::{
+    constants::{IPV4_HEADER_BYTES, RT_TOS_VALUE},
+    Ipv4Address, RtError, RtResult,
+};
+
+use crate::wire::{internet_checksum, ByteReader, ByteWriter};
+
+/// IP protocol number for UDP.
+pub const IP_PROTO_UDP: u8 = 17;
+/// IP protocol number for TCP.
+pub const IP_PROTO_TCP: u8 = 6;
+
+/// An IPv4 header without options (IHL = 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Type of Service byte; 255 marks real-time traffic in the RT layer.
+    pub tos: u8,
+    /// Total datagram length (header + payload) in bytes.
+    pub total_length: u16,
+    /// Identification field.
+    pub identification: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol (UDP = 17, TCP = 6).
+    pub protocol: u8,
+    /// Source address.
+    pub src: Ipv4Address,
+    /// Destination address.
+    pub dst: Ipv4Address,
+}
+
+impl Ipv4Header {
+    /// A conventional UDP header template for a payload of `payload_len`
+    /// bytes (the UDP header itself is part of the IP payload).
+    pub fn udp(src: Ipv4Address, dst: Ipv4Address, ip_payload_len: usize) -> RtResult<Self> {
+        let total = IPV4_HEADER_BYTES + ip_payload_len;
+        if total > u16::MAX as usize {
+            return Err(RtError::FrameEncode(format!(
+                "IPv4 datagram of {total} bytes exceeds 65535"
+            )));
+        }
+        Ok(Ipv4Header {
+            tos: 0,
+            total_length: total as u16,
+            identification: 0,
+            ttl: 64,
+            protocol: IP_PROTO_UDP,
+            src,
+            dst,
+        })
+    }
+
+    /// `true` if the ToS marks this datagram as RT-layer real-time traffic.
+    pub fn is_realtime(&self) -> bool {
+        self.tos == RT_TOS_VALUE
+    }
+
+    /// Length of the IP payload implied by `total_length`.
+    pub fn payload_length(&self) -> usize {
+        (self.total_length as usize).saturating_sub(IPV4_HEADER_BYTES)
+    }
+
+    /// Serialise the header (20 bytes) with a correct header checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(IPV4_HEADER_BYTES);
+        w.put_u8(0x45); // version 4, IHL 5
+        w.put_u8(self.tos);
+        w.put_u16(self.total_length);
+        w.put_u16(self.identification);
+        w.put_u16(0x4000); // flags: don't fragment, offset 0
+        w.put_u8(self.ttl);
+        w.put_u8(self.protocol);
+        w.put_u16(0); // checksum placeholder
+        w.put_slice(&self.src.octets());
+        w.put_slice(&self.dst.octets());
+        let mut bytes = w.into_vec();
+        let csum = internet_checksum(&bytes);
+        bytes[10..12].copy_from_slice(&csum.to_be_bytes());
+        bytes
+    }
+
+    /// Parse a header from the first 20 bytes of `bytes`, verifying version,
+    /// IHL and the header checksum.
+    pub fn decode(bytes: &[u8]) -> RtResult<Self> {
+        let mut r = ByteReader::new(bytes, "Ipv4Header");
+        let ver_ihl = r.get_u8()?;
+        if ver_ihl >> 4 != 4 {
+            return Err(RtError::FrameDecode(format!(
+                "Ipv4Header: version {} is not 4",
+                ver_ihl >> 4
+            )));
+        }
+        if ver_ihl & 0x0f != 5 {
+            return Err(RtError::FrameDecode(
+                "Ipv4Header: options (IHL != 5) are not supported".into(),
+            ));
+        }
+        let tos = r.get_u8()?;
+        let total_length = r.get_u16()?;
+        let identification = r.get_u16()?;
+        let _flags_frag = r.get_u16()?;
+        let ttl = r.get_u8()?;
+        let protocol = r.get_u8()?;
+        let _checksum = r.get_u16()?;
+        let src = Ipv4Address::from_octets(r.get_array::<4>()?);
+        let dst = Ipv4Address::from_octets(r.get_array::<4>()?);
+        if (total_length as usize) < IPV4_HEADER_BYTES {
+            return Err(RtError::FrameDecode(format!(
+                "Ipv4Header: total length {total_length} smaller than the header"
+            )));
+        }
+        // Validate the header checksum over the 20 header bytes.
+        if bytes.len() >= IPV4_HEADER_BYTES
+            && internet_checksum(&bytes[..IPV4_HEADER_BYTES]) != 0
+        {
+            return Err(RtError::FrameDecode(
+                "Ipv4Header: header checksum mismatch".into(),
+            ));
+        }
+        Ok(Ipv4Header {
+            tos,
+            total_length,
+            identification,
+            ttl,
+            protocol,
+            src,
+            dst,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        Ipv4Header {
+            tos: 0,
+            total_length: 48,
+            identification: 0x1234,
+            ttl: 64,
+            protocol: IP_PROTO_UDP,
+            src: Ipv4Address::new(10, 0, 0, 1),
+            dst: Ipv4Address::new(10, 0, 0, 2),
+        }
+    }
+
+    #[test]
+    fn encode_is_20_bytes_with_valid_checksum() {
+        let bytes = sample().encode();
+        assert_eq!(bytes.len(), IPV4_HEADER_BYTES);
+        assert_eq!(internet_checksum(&bytes), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let h = sample();
+        let g = Ipv4Header::decode(&h.encode()).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn corrupted_checksum_is_rejected() {
+        let mut bytes = sample().encode();
+        bytes[15] ^= 0xff;
+        assert!(Ipv4Header::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = sample().encode();
+        bytes[0] = 0x65; // version 6
+        assert!(Ipv4Header::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn options_are_rejected() {
+        let mut bytes = sample().encode();
+        bytes[0] = 0x46; // IHL 6
+        assert!(Ipv4Header::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn udp_constructor_sets_lengths() {
+        let h = Ipv4Header::udp(
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+            100,
+        )
+        .unwrap();
+        assert_eq!(h.total_length, 120);
+        assert_eq!(h.payload_length(), 100);
+        assert_eq!(h.protocol, IP_PROTO_UDP);
+        assert!(!h.is_realtime());
+        assert!(Ipv4Header::udp(
+            Ipv4Address::UNSPECIFIED,
+            Ipv4Address::UNSPECIFIED,
+            70_000
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn realtime_flag_follows_tos() {
+        let mut h = sample();
+        assert!(!h.is_realtime());
+        h.tos = RT_TOS_VALUE;
+        assert!(h.is_realtime());
+        let g = Ipv4Header::decode(&h.encode()).unwrap();
+        assert!(g.is_realtime());
+    }
+
+    #[test]
+    fn truncated_header_is_rejected() {
+        let bytes = sample().encode();
+        assert!(Ipv4Header::decode(&bytes[..19]).is_err());
+    }
+}

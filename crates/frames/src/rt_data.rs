@@ -1,0 +1,325 @@
+//! Deadline-stamped real-time data frames (§18.2.2).
+//!
+//! Before an outgoing real-time UDP/IP datagram is handed to the Ethernet
+//! layer, the RT layer rewrites its IPv4 header:
+//!
+//! * the **IP source address** and the **16 most significant bits of the IP
+//!   destination address** — 48 bits in total — are set to the *absolute
+//!   deadline* of the frame,
+//! * the **16 least significant bits of the IP destination address** are set
+//!   to the RT channel ID the frame belongs to,
+//! * the **ToS** field is set to 255 (other values are reserved for future
+//!   services).
+//!
+//! The switch and the destination node use the deadline for EDF ordering and
+//! the channel ID for bookkeeping; the destination's RT layer restores the
+//! original addresses from its channel table before delivering the datagram
+//! to UDP.  [`DeadlineStamp`] implements the rewrite and its inverse, and
+//! [`RtDataFrame`] is the convenience bundle of Ethernet + stamped IPv4 +
+//! UDP + payload used by the simulator.
+
+use rt_types::{
+    constants::{ETHERTYPE_IPV4, IPV4_HEADER_BYTES, RT_TOS_VALUE, UDP_HEADER_BYTES},
+    ChannelId, Ipv4Address, MacAddr, RtError, RtResult,
+};
+
+use crate::ethernet::EthernetFrame;
+use crate::ipv4::{Ipv4Header, IP_PROTO_UDP};
+use crate::udp::UdpHeader;
+
+/// Maximum value representable by the 48-bit absolute-deadline field.
+pub const MAX_DEADLINE_VALUE: u64 = (1 << 48) - 1;
+
+/// The deadline/channel information carried inside a stamped IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineStamp {
+    /// Absolute deadline of the frame, 48 bits.  The unit is whatever the RT
+    /// layer schedules in (this crate does not care); the simulator uses
+    /// nanoseconds of simulated time.
+    pub absolute_deadline: u64,
+    /// The RT channel the frame belongs to.
+    pub channel: ChannelId,
+}
+
+impl DeadlineStamp {
+    /// Create a stamp, rejecting deadlines that do not fit in 48 bits.
+    pub fn new(absolute_deadline: u64, channel: ChannelId) -> RtResult<Self> {
+        if absolute_deadline > MAX_DEADLINE_VALUE {
+            return Err(RtError::FrameEncode(format!(
+                "absolute deadline {absolute_deadline} exceeds the 48-bit field"
+            )));
+        }
+        Ok(DeadlineStamp {
+            absolute_deadline,
+            channel,
+        })
+    }
+
+    /// Apply the §18.2.2 rewrite to `header`: overwrite the addresses with
+    /// deadline + channel ID and force ToS to 255.
+    pub fn apply(&self, header: &Ipv4Header) -> Ipv4Header {
+        let mut out = *header;
+        out.tos = RT_TOS_VALUE;
+        // 48-bit deadline: high 32 bits -> source address, low 16 bits ->
+        // upper half of the destination address.
+        out.src = Ipv4Address::from_u32((self.absolute_deadline >> 16) as u32);
+        let dst_hi = (self.absolute_deadline & 0xffff) as u32;
+        out.dst = Ipv4Address::from_u32((dst_hi << 16) | u32::from(self.channel.get()));
+        out
+    }
+
+    /// Extract the stamp from a rewritten header.  Fails if the header is not
+    /// marked as real-time (ToS ≠ 255).
+    pub fn extract(header: &Ipv4Header) -> RtResult<Self> {
+        if !header.is_realtime() {
+            return Err(RtError::FrameDecode(format!(
+                "not an RT data frame: ToS is {} (expected {})",
+                header.tos, RT_TOS_VALUE
+            )));
+        }
+        let src = u64::from(header.src.to_u32());
+        let dst = header.dst.to_u32();
+        let absolute_deadline = (src << 16) | u64::from(dst >> 16);
+        let channel = ChannelId::new((dst & 0xffff) as u16);
+        Ok(DeadlineStamp {
+            absolute_deadline,
+            channel,
+        })
+    }
+
+    /// Undo the rewrite: restore the original addresses (known to the
+    /// receiving RT layer from channel establishment) and clear the ToS.
+    pub fn restore(
+        header: &Ipv4Header,
+        original_src: Ipv4Address,
+        original_dst: Ipv4Address,
+    ) -> Ipv4Header {
+        let mut out = *header;
+        out.tos = 0;
+        out.src = original_src;
+        out.dst = original_dst;
+        out
+    }
+}
+
+/// A complete real-time data frame: Ethernet + stamped IPv4 + UDP + payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtDataFrame {
+    /// Ethernet source MAC.
+    pub eth_src: MacAddr,
+    /// Ethernet destination MAC (the switch on the uplink, the destination
+    /// node on the downlink).
+    pub eth_dst: MacAddr,
+    /// The deadline/channel stamp.
+    pub stamp: DeadlineStamp,
+    /// UDP source port.
+    pub src_port: u16,
+    /// UDP destination port.
+    pub dst_port: u16,
+    /// UDP payload.
+    pub payload: Vec<u8>,
+}
+
+impl RtDataFrame {
+    /// Build the on-the-wire Ethernet frame for this RT datagram.
+    pub fn into_ethernet(&self) -> RtResult<EthernetFrame> {
+        let udp = UdpHeader::new(self.src_port, self.dst_port, self.payload.len())?;
+        let ip = Ipv4Header::udp(
+            Ipv4Address::UNSPECIFIED,
+            Ipv4Address::UNSPECIFIED,
+            UDP_HEADER_BYTES + self.payload.len(),
+        )?;
+        let stamped = self.stamp.apply(&ip);
+        let mut bytes = stamped.encode();
+        bytes.extend_from_slice(&udp.encode());
+        bytes.extend_from_slice(&self.payload);
+        EthernetFrame::new(self.eth_dst, self.eth_src, ETHERTYPE_IPV4, bytes)
+    }
+
+    /// Parse an RT data frame back out of an Ethernet frame.  Fails when the
+    /// frame is not IPv4/UDP or not marked real-time.
+    pub fn from_ethernet(frame: &EthernetFrame) -> RtResult<Self> {
+        if frame.ethertype != ETHERTYPE_IPV4 {
+            return Err(RtError::FrameDecode(format!(
+                "RtDataFrame: ethertype {:#06x} is not IPv4",
+                frame.ethertype
+            )));
+        }
+        let ip = Ipv4Header::decode(&frame.payload)?;
+        if ip.protocol != IP_PROTO_UDP {
+            return Err(RtError::FrameDecode(format!(
+                "RtDataFrame: IP protocol {} is not UDP",
+                ip.protocol
+            )));
+        }
+        let stamp = DeadlineStamp::extract(&ip)?;
+        let ip_payload_end = (ip.total_length as usize).min(frame.payload.len());
+        if ip_payload_end < IPV4_HEADER_BYTES + UDP_HEADER_BYTES {
+            return Err(RtError::FrameDecode(
+                "RtDataFrame: datagram too short for a UDP header".into(),
+            ));
+        }
+        let udp = UdpHeader::decode(&frame.payload[IPV4_HEADER_BYTES..])?;
+        let payload_start = IPV4_HEADER_BYTES + UDP_HEADER_BYTES;
+        let payload_end = (payload_start + udp.payload_length()).min(ip_payload_end);
+        let payload = frame.payload[payload_start..payload_end].to_vec();
+        Ok(RtDataFrame {
+            eth_src: frame.src,
+            eth_dst: frame.dst,
+            stamp,
+            src_port: udp.src_port,
+            dst_port: udp.dst_port,
+            payload,
+        })
+    }
+
+    /// Wire size (including preamble and inter-frame gap) of this frame when
+    /// transmitted, in bytes.
+    pub fn wire_bytes(&self) -> RtResult<usize> {
+        Ok(self.into_ethernet()?.wire_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stamp_apply_and_extract_round_trip() {
+        let original = Ipv4Header::udp(
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+            100,
+        )
+        .unwrap();
+        let stamp = DeadlineStamp::new(0x0000_1234_5678_9abc, ChannelId::new(77)).unwrap();
+        let stamped = stamp.apply(&original);
+        assert_eq!(stamped.tos, RT_TOS_VALUE);
+        assert!(stamped.is_realtime());
+        // Length/protocol fields survive untouched.
+        assert_eq!(stamped.total_length, original.total_length);
+        assert_eq!(stamped.protocol, original.protocol);
+
+        let extracted = DeadlineStamp::extract(&stamped).unwrap();
+        assert_eq!(extracted, stamp);
+
+        let restored = DeadlineStamp::restore(&stamped, original.src, original.dst);
+        assert_eq!(restored, original);
+    }
+
+    #[test]
+    fn stamp_rejects_oversized_deadline() {
+        assert!(DeadlineStamp::new(MAX_DEADLINE_VALUE, ChannelId::new(1)).is_ok());
+        assert!(DeadlineStamp::new(MAX_DEADLINE_VALUE + 1, ChannelId::new(1)).is_err());
+    }
+
+    #[test]
+    fn extract_rejects_non_rt_frames() {
+        let plain = Ipv4Header::udp(
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+            10,
+        )
+        .unwrap();
+        assert!(DeadlineStamp::extract(&plain).is_err());
+    }
+
+    #[test]
+    fn data_frame_round_trip() {
+        let frame = RtDataFrame {
+            eth_src: MacAddr::new([2, 0, 0, 0, 0, 1]),
+            eth_dst: MacAddr::for_switch(),
+            stamp: DeadlineStamp::new(123_456_789, ChannelId::new(9)).unwrap(),
+            src_port: 5555,
+            dst_port: 6666,
+            payload: b"sensor reading 42".to_vec(),
+        };
+        let eth = frame.into_ethernet().unwrap();
+        // Survives serialisation to raw bytes and back (including padding).
+        let eth2 = EthernetFrame::decode(&eth.encode()).unwrap();
+        let parsed = RtDataFrame::from_ethernet(&eth2).unwrap();
+        assert_eq!(parsed, frame);
+    }
+
+    #[test]
+    fn data_frame_rejects_non_ipv4_and_non_udp() {
+        let eth = EthernetFrame::new(
+            MacAddr::BROADCAST,
+            MacAddr::ZERO,
+            0x88B5,
+            vec![0u8; 60],
+        )
+        .unwrap();
+        assert!(RtDataFrame::from_ethernet(&eth).is_err());
+
+        // IPv4 but TCP.
+        let mut ip = Ipv4Header::udp(
+            Ipv4Address::new(1, 2, 3, 4),
+            Ipv4Address::new(5, 6, 7, 8),
+            20,
+        )
+        .unwrap();
+        ip.protocol = crate::ipv4::IP_PROTO_TCP;
+        ip.tos = RT_TOS_VALUE;
+        let eth = EthernetFrame::new(
+            MacAddr::BROADCAST,
+            MacAddr::ZERO,
+            ETHERTYPE_IPV4,
+            ip.encode(),
+        )
+        .unwrap();
+        assert!(RtDataFrame::from_ethernet(&eth).is_err());
+    }
+
+    #[test]
+    fn wire_bytes_accounts_for_headers() {
+        let frame = RtDataFrame {
+            eth_src: MacAddr::ZERO,
+            eth_dst: MacAddr::BROADCAST,
+            stamp: DeadlineStamp::new(1, ChannelId::new(1)).unwrap(),
+            src_port: 1,
+            dst_port: 2,
+            payload: vec![0u8; 1000],
+        };
+        // 14 (eth) + 20 (ip) + 8 (udp) + 1000 + 4 (fcs) + 20 (overhead)
+        assert_eq!(frame.wire_bytes().unwrap(), 14 + 20 + 8 + 1000 + 4 + 20);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_stamp_round_trip(deadline in 0u64..=MAX_DEADLINE_VALUE, chan in any::<u16>()) {
+            let header = Ipv4Header::udp(
+                Ipv4Address::new(10, 0, 0, 1),
+                Ipv4Address::new(10, 0, 0, 2),
+                64,
+            ).unwrap();
+            let stamp = DeadlineStamp::new(deadline, ChannelId::new(chan)).unwrap();
+            let stamped = stamp.apply(&header);
+            prop_assert_eq!(DeadlineStamp::extract(&stamped).unwrap(), stamp);
+        }
+
+        #[test]
+        fn prop_data_frame_round_trip(
+            deadline in 0u64..=MAX_DEADLINE_VALUE,
+            chan in any::<u16>(),
+            sport in any::<u16>(),
+            dport in any::<u16>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..1400),
+        ) {
+            let frame = RtDataFrame {
+                eth_src: MacAddr::new([2, 0, 0, 0, 0, 3]),
+                eth_dst: MacAddr::for_switch(),
+                stamp: DeadlineStamp::new(deadline, ChannelId::new(chan)).unwrap(),
+                src_port: sport,
+                dst_port: dport,
+                payload,
+            };
+            let eth = frame.into_ethernet().unwrap();
+            let parsed = RtDataFrame::from_ethernet(
+                &EthernetFrame::decode(&eth.encode()).unwrap()
+            ).unwrap();
+            prop_assert_eq!(parsed, frame);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! The *RequestFrame* of Figure 18.3: the connection request a source node
+//! sends to the switch to establish an RT channel.
+//!
+//! The figure's data field carries, in addition to the Ethernet header whose
+//! destination MAC is the switch: a type byte identifying a connect packet,
+//! source and destination MAC and IP addresses of the requested channel, the
+//! period `T_period`, the capacity `C` and the relative deadline
+//! `T_deadline` (32 bits each, expressed in time slots), the 16-bit RT
+//! channel ID (not yet valid in the node → switch direction; filled in by
+//! the switch before forwarding to the destination) and the 8-bit
+//! source-node-unique connection request ID.
+//!
+//! The figure does not fix the byte order of the fields, only their widths;
+//! the layout chosen here (documented field by field in
+//! [`RequestFrame::encode`]) totals 36 bytes and is covered by golden-bytes
+//! tests so it cannot drift silently.
+
+use rt_types::{
+    constants::{ETHERTYPE_RT_CONTROL, RT_FRAME_TYPE_CONNECT},
+    ChannelId, ConnectionRequestId, Ipv4Address, MacAddr, RtError, RtResult, Slots,
+};
+
+use crate::ethernet::EthernetFrame;
+use crate::wire::{ByteReader, ByteWriter};
+
+/// Wire size of the RequestFrame payload in bytes.
+pub const REQUEST_FRAME_BYTES: usize = 36;
+
+/// A connection request for a new RT channel (Figure 18.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestFrame {
+    /// MAC address of the requesting (source) node.
+    pub src_mac: MacAddr,
+    /// MAC address of the destination node of the requested channel.
+    pub dst_mac: MacAddr,
+    /// IP address of the requesting node.
+    pub src_ip: Ipv4Address,
+    /// IP address of the destination node.
+    pub dst_ip: Ipv4Address,
+    /// Requested period `P_i` in time slots.
+    pub period: Slots,
+    /// Requested capacity `C_i` (frames per period) in time slots.
+    pub capacity: Slots,
+    /// Requested end-to-end relative deadline `d_i` in time slots.
+    pub deadline: Slots,
+    /// Network-unique RT channel ID; `None` until the switch assigns one
+    /// (encoded as 0 on the wire, which is reserved as "unassigned").
+    pub rt_channel_id: Option<ChannelId>,
+    /// Source-node-unique connection request ID.
+    pub connection_request_id: ConnectionRequestId,
+}
+
+impl RequestFrame {
+    /// Serialise the 36-byte payload.
+    ///
+    /// Layout (offsets in bytes):
+    /// `0` type, `1` connection request ID, `2..4` RT channel ID,
+    /// `4..10` source MAC, `10..16` destination MAC, `16..20` source IP,
+    /// `20..24` destination IP, `24..28` period, `28..32` capacity,
+    /// `32..36` deadline.
+    pub fn encode(&self) -> RtResult<Vec<u8>> {
+        for (name, v) in [
+            ("period", self.period),
+            ("capacity", self.capacity),
+            ("deadline", self.deadline),
+        ] {
+            if v.get() > u32::MAX as u64 {
+                return Err(RtError::FrameEncode(format!(
+                    "RequestFrame: {name} of {v} does not fit the 32-bit wire field"
+                )));
+            }
+        }
+        let mut w = ByteWriter::with_capacity(REQUEST_FRAME_BYTES);
+        w.put_u8(RT_FRAME_TYPE_CONNECT);
+        w.put_u8(self.connection_request_id.get());
+        w.put_u16(self.rt_channel_id.map_or(0, |c| c.get()));
+        w.put_slice(&self.src_mac.octets());
+        w.put_slice(&self.dst_mac.octets());
+        w.put_slice(&self.src_ip.octets());
+        w.put_slice(&self.dst_ip.octets());
+        w.put_u32(self.period.get() as u32);
+        w.put_u32(self.capacity.get() as u32);
+        w.put_u32(self.deadline.get() as u32);
+        let out = w.into_vec();
+        debug_assert_eq!(out.len(), REQUEST_FRAME_BYTES);
+        Ok(out)
+    }
+
+    /// Parse a RequestFrame payload.  Trailing padding (from Ethernet
+    /// minimum-size padding) is tolerated and ignored.
+    pub fn decode(bytes: &[u8]) -> RtResult<Self> {
+        let mut r = ByteReader::new(bytes, "RequestFrame");
+        let ty = r.get_u8()?;
+        if ty != RT_FRAME_TYPE_CONNECT {
+            return Err(RtError::FrameDecode(format!(
+                "RequestFrame: type byte {ty:#04x} is not a connect packet"
+            )));
+        }
+        let connection_request_id = ConnectionRequestId::new(r.get_u8()?);
+        let raw_channel = r.get_u16()?;
+        let src_mac = MacAddr::new(r.get_array::<6>()?);
+        let dst_mac = MacAddr::new(r.get_array::<6>()?);
+        let src_ip = Ipv4Address::from_octets(r.get_array::<4>()?);
+        let dst_ip = Ipv4Address::from_octets(r.get_array::<4>()?);
+        let period = Slots::new(r.get_u32()? as u64);
+        let capacity = Slots::new(r.get_u32()? as u64);
+        let deadline = Slots::new(r.get_u32()? as u64);
+        Ok(RequestFrame {
+            src_mac,
+            dst_mac,
+            src_ip,
+            dst_ip,
+            period,
+            capacity,
+            deadline,
+            rt_channel_id: if raw_channel == 0 {
+                None
+            } else {
+                Some(ChannelId::new(raw_channel))
+            },
+            connection_request_id,
+        })
+    }
+
+    /// Wrap this request in an Ethernet frame addressed to the switch
+    /// (node → switch leg) or to the destination node (switch → destination
+    /// leg, after the switch has filled in the channel ID).
+    pub fn into_ethernet(&self, eth_src: MacAddr, eth_dst: MacAddr) -> RtResult<EthernetFrame> {
+        EthernetFrame::new(eth_dst, eth_src, ETHERTYPE_RT_CONTROL, self.encode()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> RequestFrame {
+        RequestFrame {
+            src_mac: MacAddr::new([2, 0, 0, 0, 0, 1]),
+            dst_mac: MacAddr::new([2, 0, 0, 0, 0, 9]),
+            src_ip: Ipv4Address::new(10, 0, 0, 1),
+            dst_ip: Ipv4Address::new(10, 0, 0, 9),
+            period: Slots::new(100),
+            capacity: Slots::new(3),
+            deadline: Slots::new(40),
+            rt_channel_id: None,
+            connection_request_id: ConnectionRequestId::new(7),
+        }
+    }
+
+    #[test]
+    fn golden_bytes_layout() {
+        // The Fig. 18.5 experiment parameters: C=3, P=100, D=40.
+        let bytes = sample().encode().unwrap();
+        assert_eq!(bytes.len(), REQUEST_FRAME_BYTES);
+        assert_eq!(bytes[0], RT_FRAME_TYPE_CONNECT);
+        assert_eq!(bytes[1], 7); // request id
+        assert_eq!(&bytes[2..4], &[0, 0]); // unassigned channel id
+        assert_eq!(&bytes[4..10], &[2, 0, 0, 0, 0, 1]); // src mac
+        assert_eq!(&bytes[10..16], &[2, 0, 0, 0, 0, 9]); // dst mac
+        assert_eq!(&bytes[16..20], &[10, 0, 0, 1]); // src ip
+        assert_eq!(&bytes[20..24], &[10, 0, 0, 9]); // dst ip
+        assert_eq!(&bytes[24..28], &100u32.to_be_bytes()); // period
+        assert_eq!(&bytes[28..32], &3u32.to_be_bytes()); // capacity
+        assert_eq!(&bytes[32..36], &40u32.to_be_bytes()); // deadline
+    }
+
+    #[test]
+    fn round_trip_with_and_without_channel_id() {
+        let mut f = sample();
+        assert_eq!(RequestFrame::decode(&f.encode().unwrap()).unwrap(), f);
+        f.rt_channel_id = Some(ChannelId::new(0x1234));
+        let g = RequestFrame::decode(&f.encode().unwrap()).unwrap();
+        assert_eq!(g.rt_channel_id, Some(ChannelId::new(0x1234)));
+        assert_eq!(g, f);
+    }
+
+    #[test]
+    fn tolerates_ethernet_padding() {
+        let f = sample();
+        let eth = f
+            .into_ethernet(MacAddr::new([2, 0, 0, 0, 0, 1]), MacAddr::for_switch())
+            .unwrap();
+        // 36-byte payload gets padded to 46 by Ethernet.
+        let decoded = EthernetFrame::decode(&eth.encode()).unwrap();
+        assert_eq!(decoded.payload.len(), 46);
+        assert_eq!(RequestFrame::decode(&decoded.payload).unwrap(), f);
+    }
+
+    #[test]
+    fn rejects_wrong_type_and_truncation() {
+        let mut bytes = sample().encode().unwrap();
+        bytes[0] = 0x7f;
+        assert!(RequestFrame::decode(&bytes).is_err());
+        let bytes = sample().encode().unwrap();
+        assert!(RequestFrame::decode(&bytes[..REQUEST_FRAME_BYTES - 1]).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_parameters() {
+        let mut f = sample();
+        f.period = Slots::new(u64::from(u32::MAX) + 1);
+        assert!(f.encode().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(
+            src in any::<[u8; 6]>(),
+            dst in any::<[u8; 6]>(),
+            sip in any::<[u8; 4]>(),
+            dip in any::<[u8; 4]>(),
+            period in 0u32..=u32::MAX,
+            capacity in 0u32..=u32::MAX,
+            deadline in 0u32..=u32::MAX,
+            chan in any::<u16>(),
+            req in any::<u8>(),
+        ) {
+            let f = RequestFrame {
+                src_mac: MacAddr::new(src),
+                dst_mac: MacAddr::new(dst),
+                src_ip: Ipv4Address::from_octets(sip),
+                dst_ip: Ipv4Address::from_octets(dip),
+                period: Slots::new(period as u64),
+                capacity: Slots::new(capacity as u64),
+                deadline: Slots::new(deadline as u64),
+                rt_channel_id: if chan == 0 { None } else { Some(ChannelId::new(chan)) },
+                connection_request_id: ConnectionRequestId::new(req),
+            };
+            let bytes = f.encode().unwrap();
+            prop_assert_eq!(bytes.len(), REQUEST_FRAME_BYTES);
+            prop_assert_eq!(RequestFrame::decode(&bytes).unwrap(), f);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The *ResponseFrame* of Figure 18.4: the accept/reject answer flowing back
+//! from the destination node (or directly from the switch, when the switch
+//! itself rejects the request) towards the source node.
+//!
+//! The figure's data field contains a type byte identifying a response
+//! packet, the 16-bit RT channel ID, the switch MAC address as the frame's
+//! source, a 1-bit response code (0 = not OK, 1 = OK) and the 8-bit
+//! connection request ID.  The response bit occupies a full byte on the wire
+//! here (bit 0), with the remaining bits reserved.
+
+use rt_types::{
+    constants::{ETHERTYPE_RT_CONTROL, RT_FRAME_TYPE_RESPONSE},
+    ChannelId, ConnectionRequestId, MacAddr, RtError, RtResult,
+};
+
+use crate::ethernet::EthernetFrame;
+use crate::wire::{ByteReader, ByteWriter};
+
+/// Wire size of the ResponseFrame payload in bytes.
+pub const RESPONSE_FRAME_BYTES: usize = 11;
+
+/// The verdict carried by a [`ResponseFrame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseVerdict {
+    /// The channel establishment was accepted (wire value 1).
+    Accepted,
+    /// The channel establishment was rejected (wire value 0).
+    Rejected,
+}
+
+impl ResponseVerdict {
+    /// `true` if this verdict accepts the channel.
+    pub fn is_accepted(self) -> bool {
+        matches!(self, ResponseVerdict::Accepted)
+    }
+}
+
+/// A connection response for an RT channel request (Figure 18.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseFrame {
+    /// The network-unique RT channel ID assigned by the switch; `None` when
+    /// the switch rejected the request before assigning an ID (encoded as 0).
+    pub rt_channel_id: Option<ChannelId>,
+    /// MAC address of the switch (the frame's logical source, per the
+    /// figure: "Source MAC addr. = switch addr.").
+    pub switch_mac: MacAddr,
+    /// Accept / reject verdict.
+    pub verdict: ResponseVerdict,
+    /// The connection request ID this response answers.
+    pub connection_request_id: ConnectionRequestId,
+}
+
+impl ResponseFrame {
+    /// Serialise the 11-byte payload.
+    ///
+    /// Layout (offsets in bytes): `0` type, `1` connection request ID,
+    /// `2..4` RT channel ID, `4..10` switch MAC, `10` response code.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(RESPONSE_FRAME_BYTES);
+        w.put_u8(RT_FRAME_TYPE_RESPONSE);
+        w.put_u8(self.connection_request_id.get());
+        w.put_u16(self.rt_channel_id.map_or(0, |c| c.get()));
+        w.put_slice(&self.switch_mac.octets());
+        w.put_u8(match self.verdict {
+            ResponseVerdict::Accepted => 1,
+            ResponseVerdict::Rejected => 0,
+        });
+        let out = w.into_vec();
+        debug_assert_eq!(out.len(), RESPONSE_FRAME_BYTES);
+        out
+    }
+
+    /// Parse a ResponseFrame payload; Ethernet padding after the 11 bytes is
+    /// tolerated.
+    pub fn decode(bytes: &[u8]) -> RtResult<Self> {
+        let mut r = ByteReader::new(bytes, "ResponseFrame");
+        let ty = r.get_u8()?;
+        if ty != RT_FRAME_TYPE_RESPONSE {
+            return Err(RtError::FrameDecode(format!(
+                "ResponseFrame: type byte {ty:#04x} is not a response packet"
+            )));
+        }
+        let connection_request_id = ConnectionRequestId::new(r.get_u8()?);
+        let raw_channel = r.get_u16()?;
+        let switch_mac = MacAddr::new(r.get_array::<6>()?);
+        let code = r.get_u8()?;
+        let verdict = match code & 0x01 {
+            1 => ResponseVerdict::Accepted,
+            _ => ResponseVerdict::Rejected,
+        };
+        Ok(ResponseFrame {
+            rt_channel_id: if raw_channel == 0 {
+                None
+            } else {
+                Some(ChannelId::new(raw_channel))
+            },
+            switch_mac,
+            verdict,
+            connection_request_id,
+        })
+    }
+
+    /// Wrap this response in an Ethernet frame.
+    pub fn into_ethernet(&self, eth_src: MacAddr, eth_dst: MacAddr) -> RtResult<EthernetFrame> {
+        EthernetFrame::new(eth_dst, eth_src, ETHERTYPE_RT_CONTROL, self.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample(verdict: ResponseVerdict) -> ResponseFrame {
+        ResponseFrame {
+            rt_channel_id: Some(ChannelId::new(0x0102)),
+            switch_mac: MacAddr::for_switch(),
+            verdict,
+            connection_request_id: ConnectionRequestId::new(42),
+        }
+    }
+
+    #[test]
+    fn golden_bytes_layout() {
+        let bytes = sample(ResponseVerdict::Accepted).encode();
+        assert_eq!(bytes.len(), RESPONSE_FRAME_BYTES);
+        assert_eq!(bytes[0], RT_FRAME_TYPE_RESPONSE);
+        assert_eq!(bytes[1], 42);
+        assert_eq!(&bytes[2..4], &[0x01, 0x02]);
+        assert_eq!(&bytes[4..10], &MacAddr::for_switch().octets());
+        assert_eq!(bytes[10], 1);
+        let rejected = sample(ResponseVerdict::Rejected).encode();
+        assert_eq!(rejected[10], 0);
+    }
+
+    #[test]
+    fn round_trip_both_verdicts() {
+        for v in [ResponseVerdict::Accepted, ResponseVerdict::Rejected] {
+            let f = sample(v);
+            assert_eq!(ResponseFrame::decode(&f.encode()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn rejection_without_channel_id() {
+        let f = ResponseFrame {
+            rt_channel_id: None,
+            switch_mac: MacAddr::for_switch(),
+            verdict: ResponseVerdict::Rejected,
+            connection_request_id: ConnectionRequestId::new(1),
+        };
+        let g = ResponseFrame::decode(&f.encode()).unwrap();
+        assert_eq!(g.rt_channel_id, None);
+        assert!(!g.verdict.is_accepted());
+    }
+
+    #[test]
+    fn rejects_wrong_type_and_truncation() {
+        let mut bytes = sample(ResponseVerdict::Accepted).encode();
+        bytes[0] = 0xee;
+        assert!(ResponseFrame::decode(&bytes).is_err());
+        let bytes = sample(ResponseVerdict::Accepted).encode();
+        assert!(ResponseFrame::decode(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn survives_ethernet_padding() {
+        let f = sample(ResponseVerdict::Accepted);
+        let eth = f
+            .into_ethernet(MacAddr::for_switch(), MacAddr::new([2, 0, 0, 0, 0, 1]))
+            .unwrap();
+        let decoded = EthernetFrame::decode(&eth.encode()).unwrap();
+        assert_eq!(ResponseFrame::decode(&decoded.payload).unwrap(), f);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(chan in any::<u16>(), mac in any::<[u8; 6]>(), ok in any::<bool>(), req in any::<u8>()) {
+            let f = ResponseFrame {
+                rt_channel_id: if chan == 0 { None } else { Some(ChannelId::new(chan)) },
+                switch_mac: MacAddr::new(mac),
+                verdict: if ok { ResponseVerdict::Accepted } else { ResponseVerdict::Rejected },
+                connection_request_id: ConnectionRequestId::new(req),
+            };
+            prop_assert_eq!(ResponseFrame::decode(&f.encode()).unwrap(), f);
+        }
+    }
+}

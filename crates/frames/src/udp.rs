@@ -1,0 +1,191 @@
+//! UDP header encode/decode.
+//!
+//! Outgoing real-time traffic from an end node "uses UDP and is put in a
+//! deadline-sorted queue in the RT layer" (§18.2.1), so RT data frames are
+//! UDP/IP datagrams underneath.  The checksum is computed over the
+//! pseudo-header as usual; note that once the RT layer overwrites the IP
+//! addresses with the absolute deadline the original checksum no longer
+//! verifies — the receiver restores the addresses before handing the
+//! datagram to UDP, exactly as a real implementation of the paper would.
+
+use rt_types::{constants::UDP_HEADER_BYTES, Ipv4Address, RtError, RtResult};
+
+use crate::wire::{internet_checksum, ByteReader, ByteWriter};
+
+/// A UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Header + payload length in bytes.
+    pub length: u16,
+    /// Checksum over pseudo-header, header and payload (0 = not computed).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Build a header for a payload of `payload_len` bytes.
+    pub fn new(src_port: u16, dst_port: u16, payload_len: usize) -> RtResult<Self> {
+        let length = UDP_HEADER_BYTES + payload_len;
+        if length > u16::MAX as usize {
+            return Err(RtError::FrameEncode(format!(
+                "UDP datagram of {length} bytes exceeds 65535"
+            )));
+        }
+        Ok(UdpHeader {
+            src_port,
+            dst_port,
+            length: length as u16,
+            checksum: 0,
+        })
+    }
+
+    /// Payload length implied by the length field.
+    pub fn payload_length(&self) -> usize {
+        (self.length as usize).saturating_sub(UDP_HEADER_BYTES)
+    }
+
+    /// Serialise the header (8 bytes) without computing a checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(UDP_HEADER_BYTES);
+        w.put_u16(self.src_port);
+        w.put_u16(self.dst_port);
+        w.put_u16(self.length);
+        w.put_u16(self.checksum);
+        w.into_vec()
+    }
+
+    /// Serialise the header with the checksum computed over the IPv4
+    /// pseudo-header, the header itself and `payload`.
+    pub fn encode_with_checksum(
+        &self,
+        src: Ipv4Address,
+        dst: Ipv4Address,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let mut h = *self;
+        h.checksum = 0;
+        h.checksum = udp_checksum(src, dst, &h, payload);
+        h.encode()
+    }
+
+    /// Parse a header from the first 8 bytes of `bytes`.
+    pub fn decode(bytes: &[u8]) -> RtResult<Self> {
+        let mut r = ByteReader::new(bytes, "UdpHeader");
+        let src_port = r.get_u16()?;
+        let dst_port = r.get_u16()?;
+        let length = r.get_u16()?;
+        let checksum = r.get_u16()?;
+        if (length as usize) < UDP_HEADER_BYTES {
+            return Err(RtError::FrameDecode(format!(
+                "UdpHeader: length {length} smaller than the header"
+            )));
+        }
+        Ok(UdpHeader {
+            src_port,
+            dst_port,
+            length,
+            checksum,
+        })
+    }
+
+    /// Verify the checksum of this header against a payload and address pair.
+    /// A transmitted checksum of 0 means "not computed" and always verifies.
+    pub fn verify_checksum(&self, src: Ipv4Address, dst: Ipv4Address, payload: &[u8]) -> bool {
+        if self.checksum == 0 {
+            return true;
+        }
+        let mut h = *self;
+        h.checksum = 0;
+        udp_checksum(src, dst, &h, payload) == self.checksum
+    }
+}
+
+/// Compute the UDP checksum over the IPv4 pseudo-header, `header` (with its
+/// checksum field zeroed) and `payload`.
+pub fn udp_checksum(
+    src: Ipv4Address,
+    dst: Ipv4Address,
+    header: &UdpHeader,
+    payload: &[u8],
+) -> u16 {
+    let mut w = ByteWriter::with_capacity(12 + UDP_HEADER_BYTES + payload.len());
+    // Pseudo-header.
+    w.put_slice(&src.octets());
+    w.put_slice(&dst.octets());
+    w.put_u8(0);
+    w.put_u8(super::ipv4::IP_PROTO_UDP);
+    w.put_u16(header.length);
+    // Header with zero checksum.
+    w.put_u16(header.src_port);
+    w.put_u16(header.dst_port);
+    w.put_u16(header.length);
+    w.put_u16(0);
+    w.put_slice(payload);
+    let sum = internet_checksum(&w.into_vec());
+    // Per RFC 768 a computed checksum of 0 is transmitted as all ones.
+    if sum == 0 {
+        0xffff
+    } else {
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let h = UdpHeader::new(5000, 6000, 100).unwrap();
+        assert_eq!(h.length, 108);
+        assert_eq!(h.payload_length(), 100);
+        let g = UdpHeader::decode(&h.encode()).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        assert!(UdpHeader::new(1, 2, 70_000).is_err());
+    }
+
+    #[test]
+    fn checksum_round_trip() {
+        let src = Ipv4Address::new(10, 0, 0, 1);
+        let dst = Ipv4Address::new(10, 0, 0, 2);
+        let payload = b"hello real-time world";
+        let h = UdpHeader::new(1234, 4321, payload.len()).unwrap();
+        let bytes = h.encode_with_checksum(src, dst, payload);
+        let g = UdpHeader::decode(&bytes).unwrap();
+        assert_ne!(g.checksum, 0);
+        assert!(g.verify_checksum(src, dst, payload));
+        // Any corruption breaks it.
+        assert!(!g.verify_checksum(src, dst, b"hello real-time worlD"));
+        assert!(!g.verify_checksum(Ipv4Address::new(10, 0, 0, 3), dst, payload));
+    }
+
+    #[test]
+    fn zero_checksum_always_verifies() {
+        let h = UdpHeader::new(1, 2, 4).unwrap();
+        assert!(h.verify_checksum(
+            Ipv4Address::UNSPECIFIED,
+            Ipv4Address::UNSPECIFIED,
+            &[1, 2, 3, 4]
+        ));
+    }
+
+    #[test]
+    fn short_length_field_rejected() {
+        let mut bytes = UdpHeader::new(1, 2, 10).unwrap().encode();
+        bytes[4] = 0;
+        bytes[5] = 4; // length 4 < 8
+        assert!(UdpHeader::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert!(UdpHeader::decode(&[0u8; 7]).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! The discrete-event core: a time-ordered event queue with deterministic
+//! tie-breaking.
+//!
+//! Determinism matters: the experiments must be exactly reproducible from a
+//! seed, so events scheduled for the same instant are processed in the order
+//! they were scheduled (FIFO), never in heap order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rt_types::{NodeId, SimTime};
+
+use crate::sim::FrameId;
+
+/// Something that happens at a point in simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A frame (already built by the application / RT layer) is handed to a
+    /// node's NIC output queues.
+    EnqueueAtNode {
+        /// The node whose uplink will carry the frame.
+        node: NodeId,
+        /// The frame, by id (the simulator owns the payload).
+        frame: FrameId,
+    },
+    /// The node's uplink finished serialising a frame onto the wire.
+    NodeTxComplete {
+        /// The transmitting node.
+        node: NodeId,
+        /// The frame that completed.
+        frame: FrameId,
+    },
+    /// A frame fully arrived at the switch input (store-and-forward: the
+    /// last bit has been received).
+    ArriveAtSwitch {
+        /// The node whose uplink delivered the frame.
+        from: NodeId,
+        /// The frame.
+        frame: FrameId,
+    },
+    /// The switch output port towards `to` finished serialising a frame.
+    SwitchTxComplete {
+        /// The destination node of the port.
+        to: NodeId,
+        /// The frame that completed.
+        frame: FrameId,
+    },
+    /// A frame fully arrived at its destination node.
+    ArriveAtNode {
+        /// The receiving node.
+        node: NodeId,
+        /// The frame.
+        frame: FrameId,
+    },
+    /// A frame originated by the switch itself (channel-management traffic
+    /// such as ResponseFrames) is handed to the switch output port towards
+    /// `to`.
+    EnqueueAtSwitch {
+        /// The destination node of the output port.
+        to: NodeId,
+        /// The frame.
+        frame: FrameId,
+    },
+}
+
+/// An event plus its scheduled time and a FIFO sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ScheduledEvent {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by (time, seq): invert for BinaryHeap.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue with FIFO tie-breaking and a monotone clock.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+    now: SimTime,
+    processed: u64,
+}
+
+impl EventQueue {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current simulation time (the time of the last event popped).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.  Scheduling in the past is a
+    /// programming error and panics in debug builds; in release builds the
+    /// event is clamped to `now` so the simulation stays causally ordered.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {} ({event:?})",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// The time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        let e = self.heap.pop()?;
+        self.now = e.time;
+        self.processed += 1;
+        Some((e.time, e.event))
+    }
+
+    /// Pop the next event only if it is scheduled at or before `limit`.
+    pub fn pop_until(&mut self, limit: SimTime) -> Option<(SimTime, Event)> {
+        if self.peek_time()? <= limit {
+            self.pop()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(node: u32, frame: u64) -> Event {
+        Event::EnqueueAtNode {
+            node: NodeId::new(node),
+            frame: FrameId::new(frame),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), ev(3, 3));
+        q.schedule(SimTime::from_nanos(10), ev(1, 1));
+        q.schedule(SimTime::from_nanos(20), ev(2, 2));
+        assert_eq!(q.len(), 3);
+        let (t1, e1) = q.pop().unwrap();
+        assert_eq!(t1, SimTime::from_nanos(10));
+        assert_eq!(e1, ev(1, 1));
+        assert_eq!(q.now(), SimTime::from_nanos(10));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_nanos(20));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_nanos(30));
+        assert!(q.pop().is_none());
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..10 {
+            q.schedule(t, ev(i, i as u64));
+        }
+        for i in 0..10 {
+            let (_, e) = q.pop().unwrap();
+            assert_eq!(e, ev(i, i as u64), "event {i} out of order");
+        }
+    }
+
+    #[test]
+    fn pop_until_respects_limit() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(100), ev(1, 1));
+        q.schedule(SimTime::from_nanos(200), ev(2, 2));
+        assert!(q.pop_until(SimTime::from_nanos(50)).is_none());
+        assert!(q.pop_until(SimTime::from_nanos(100)).is_some());
+        assert!(q.pop_until(SimTime::from_nanos(150)).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(100), ev(1, 1));
+        q.pop();
+        q.schedule(SimTime::from_nanos(50), ev(2, 2));
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), ev(1, 1));
+        q.schedule(SimTime::from_nanos(10), ev(2, 2));
+        q.schedule(SimTime::from_nanos(40), ev(3, 3));
+        let mut prev = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+}

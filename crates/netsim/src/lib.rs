@@ -1,0 +1,34 @@
+//! # rt-netsim
+//!
+//! A deterministic discrete-event simulator of the network architecture in
+//! §18.1 of the paper: a single store-and-forward full-duplex switched
+//! Ethernet switch in a star topology with end nodes attached, each output
+//! port (in the end-node NICs and in the switch) holding a deadline-sorted
+//! real-time queue and a FCFS best-effort queue (Figure 18.2).
+//!
+//! The simulator stands in for the physical 100 Mbit/s Ethernet testbed the
+//! paper assumes: transmission times are derived from frame sizes and the
+//! configured link speed, propagation delay and switch latency are constant
+//! per-hop terms (the paper's `T_latency`), and all queueing decisions are
+//! made exactly as the RT layer prescribes — EDF among real-time frames,
+//! strict priority of real-time over best-effort, FCFS among best-effort
+//! frames.
+//!
+//! Modules:
+//! * [`event`] — the time-ordered event queue and simulation clock,
+//! * [`port`] — the dual-queue (RT + best effort) output port model,
+//! * [`sim`] — the simulator proper: nodes, switch, links, frame delivery,
+//! * [`stats`] — latency / deadline-miss / utilisation accounting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod port;
+pub mod sim;
+pub mod stats;
+
+pub use event::{Event, EventQueue};
+pub use port::{OutputPort, QueuedFrame, TrafficClass};
+pub use sim::{Delivery, FrameId, SimConfig, Simulator};
+pub use stats::{ChannelStats, LinkStats, SimStats};

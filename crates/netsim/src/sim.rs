@@ -1,0 +1,776 @@
+//! The simulator proper: a star of end nodes around one store-and-forward
+//! full-duplex switch.
+//!
+//! ## Model
+//!
+//! * Every end node has one full-duplex cable to the switch.  The node →
+//!   switch direction (the *uplink*) is driven by the node's NIC output
+//!   port; the switch → node direction (the *downlink*) by the corresponding
+//!   switch output port.  Both ports are [`OutputPort`]s: EDF-sorted
+//!   real-time queue with strict priority over a FCFS best-effort queue.
+//! * Transmission time of a frame is its wire size (including preamble and
+//!   inter-frame gap) divided by the configured link speed.  Frames are
+//!   never preempted once started.
+//! * Store-and-forward: a frame reaches the switch only after its last bit
+//!   has been received; the switch then spends `switch_latency` before the
+//!   frame is eligible for transmission on its output port.  Propagation
+//!   delay is added per link traversal.  Together these constant terms form
+//!   the paper's `T_latency` (Eq. 18.1).
+//! * Frames addressed to the switch MAC itself (RT-layer control traffic)
+//!   are delivered to the switch "control plane" — the caller — rather than
+//!   forwarded; the caller can originate frames from the switch with
+//!   [`Simulator::inject_from_switch`] (used for ResponseFrames).
+//!
+//! The simulator is single-threaded and deterministic: identical inputs
+//! produce identical event sequences, deliveries and statistics.
+
+use std::collections::HashMap;
+
+use rt_frames::{EthernetFrame, Frame};
+use rt_types::{
+    ChannelId, Duration, LinkId, MacAddr, NodeId, RtError, RtResult, SimTime,
+};
+
+use crate::event::{Event, EventQueue};
+use crate::port::{OutputPort, TrafficClass};
+use crate::stats::SimStats;
+
+/// Identifier of a frame inside one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(u64);
+
+impl FrameId {
+    /// Construct from a raw index (mostly useful in tests).
+    pub const fn new(v: u64) -> Self {
+        FrameId(v)
+    }
+
+    /// The raw index.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// Static configuration of the simulated network.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Bit rate of every link (the paper assumes 100 Mbit/s Fast Ethernet).
+    pub link_speed: rt_types::LinkSpeed,
+    /// One-way propagation delay of every link.
+    pub propagation_delay: Duration,
+    /// Store-and-forward processing latency inside the switch.
+    pub switch_latency: Duration,
+    /// Capacity of every best-effort queue (`None` = unbounded).
+    pub be_queue_capacity: Option<usize>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            link_speed: rt_types::LinkSpeed::FAST_ETHERNET,
+            // 100 m of cable at ~2/3 c is ~0.5 us.
+            propagation_delay: Duration::from_nanos(500),
+            // A small constant store-and-forward processing overhead.
+            switch_latency: Duration::from_micros(5),
+            be_queue_capacity: Some(1024),
+        }
+    }
+}
+
+impl SimConfig {
+    /// The constant per-frame latency term `T_latency` of Eq. 18.1 for this
+    /// configuration: two propagation delays (uplink + downlink) plus the
+    /// switch processing latency plus one maximum-size frame transmission
+    /// per hop that is not accounted for in the slot-based deadline budget
+    /// (the store-and-forward serialisation on the second hop).
+    pub fn t_latency(&self) -> Duration {
+        self.propagation_delay * 2 + self.switch_latency
+    }
+}
+
+/// Everything the simulator remembers about one injected frame.
+#[derive(Debug, Clone)]
+struct FrameRecord {
+    eth: EthernetFrame,
+    class: TrafficClass,
+    /// Absolute deadline (simulated time) for RT frames.
+    deadline: Option<SimTime>,
+    /// RT channel for RT data frames.
+    channel: Option<ChannelId>,
+    /// Where the frame entered the network (`NodeId::SWITCH` for frames
+    /// originated by the switch control plane).
+    source: NodeId,
+    injected_at: SimTime,
+    wire_bytes: usize,
+}
+
+/// A frame delivered to its final receiver (an end node, or the switch
+/// control plane for frames addressed to the switch MAC).
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// The frame id.
+    pub frame: FrameId,
+    /// The receiving entity (`NodeId::SWITCH` for control-plane deliveries).
+    pub receiver: NodeId,
+    /// The node (or switch) that injected the frame.
+    pub source: NodeId,
+    /// The decoded Ethernet frame.
+    pub eth: EthernetFrame,
+    /// When the frame was injected.
+    pub injected_at: SimTime,
+    /// When the last bit arrived at the receiver.
+    pub delivered_at: SimTime,
+    /// The RT channel, for RT data frames.
+    pub channel: Option<ChannelId>,
+    /// The absolute deadline, for RT frames.
+    pub deadline: Option<SimTime>,
+    /// Which queue class the frame travelled in.
+    pub class: TrafficClass,
+}
+
+impl Delivery {
+    /// End-to-end latency of this delivery.
+    pub fn latency(&self) -> Duration {
+        self.delivered_at.saturating_duration_since(self.injected_at)
+    }
+
+    /// `true` if the frame had a deadline and arrived after it.
+    pub fn missed_deadline(&self) -> bool {
+        self.deadline.is_some_and(|d| self.delivered_at > d)
+    }
+}
+
+/// State kept per end node.
+#[derive(Debug)]
+struct NodeState {
+    /// The NIC output port driving the uplink.
+    uplink: OutputPort,
+}
+
+/// The simulator.
+#[derive(Debug)]
+pub struct Simulator {
+    config: SimConfig,
+    events: EventQueue,
+    nodes: HashMap<NodeId, NodeState>,
+    /// Switch output ports, one per attached node (the downlinks).
+    switch_ports: HashMap<NodeId, OutputPort>,
+    /// MAC → node forwarding table (static, built from the attached nodes).
+    forwarding: HashMap<MacAddr, NodeId>,
+    /// The switch's own MAC address.
+    switch_mac: MacAddr,
+    frames: Vec<FrameRecord>,
+    pending_deliveries: Vec<Delivery>,
+    stats: SimStats,
+}
+
+impl Simulator {
+    /// Build a simulator with `node_ids` attached to the switch.
+    ///
+    /// Each node is assigned the MAC address [`MacAddr::for_node`]; the
+    /// switch uses [`MacAddr::for_switch`].
+    pub fn new(config: SimConfig, node_ids: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut nodes = HashMap::new();
+        let mut switch_ports = HashMap::new();
+        let mut forwarding = HashMap::new();
+        for id in node_ids {
+            let port = match config.be_queue_capacity {
+                Some(cap) => OutputPort::with_be_capacity(cap),
+                None => OutputPort::new(),
+            };
+            let uplink = match config.be_queue_capacity {
+                Some(cap) => OutputPort::with_be_capacity(cap),
+                None => OutputPort::new(),
+            };
+            nodes.insert(id, NodeState { uplink });
+            switch_ports.insert(id, port);
+            forwarding.insert(MacAddr::for_node(id), id);
+        }
+        Simulator {
+            config,
+            events: EventQueue::new(),
+            nodes,
+            switch_ports,
+            forwarding,
+            switch_mac: MacAddr::for_switch(),
+            frames: Vec::new(),
+            pending_deliveries: Vec::new(),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// Number of nodes attached to the switch.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events.processed()
+    }
+
+    /// Drain the deliveries that have accumulated since the last call.
+    pub fn poll_deliveries(&mut self) -> Vec<Delivery> {
+        std::mem::take(&mut self.pending_deliveries)
+    }
+
+    fn classify(eth: &EthernetFrame) -> RtResult<(TrafficClass, Option<SimTime>, Option<ChannelId>)> {
+        match Frame::classify(eth.clone())? {
+            Frame::RtData(data) => Ok((
+                TrafficClass::RealTime,
+                Some(SimTime::from_nanos(data.stamp.absolute_deadline)),
+                Some(data.stamp.channel),
+            )),
+            Frame::Request(_) | Frame::Response(_) | Frame::Teardown(_) => {
+                // Control frames ride the RT queue with an immediate
+                // deadline so that channel management is never starved.
+                Ok((TrafficClass::RealTime, None, None))
+            }
+            Frame::BestEffort(_) => Ok((TrafficClass::BestEffort, None, None)),
+        }
+    }
+
+    fn register_frame(
+        &mut self,
+        eth: EthernetFrame,
+        source: NodeId,
+        injected_at: SimTime,
+    ) -> RtResult<FrameId> {
+        let (class, deadline, channel) = Self::classify(&eth)?;
+        let wire_bytes = eth.wire_bytes();
+        let id = FrameId(self.frames.len() as u64);
+        self.frames.push(FrameRecord {
+            eth,
+            class,
+            deadline,
+            channel,
+            source,
+            injected_at,
+            wire_bytes,
+        });
+        Ok(id)
+    }
+
+    /// Inject a frame at `node`'s RT layer at time `at` (it enters the NIC
+    /// output queues at that instant).
+    pub fn inject(&mut self, node: NodeId, eth: EthernetFrame, at: SimTime) -> RtResult<FrameId> {
+        if !self.nodes.contains_key(&node) {
+            return Err(RtError::UnknownNode(node));
+        }
+        if at < self.now() {
+            return Err(RtError::Simulation(format!(
+                "cannot inject at {at}, simulation time is already {}",
+                self.now()
+            )));
+        }
+        let id = self.register_frame(eth, node, at)?;
+        self.events.schedule(at, Event::EnqueueAtNode { node, frame: id });
+        Ok(id)
+    }
+
+    /// Inject a frame originated by the switch control plane (e.g. a
+    /// ResponseFrame) towards `to`, entering that downlink's output queues
+    /// at time `at`.
+    pub fn inject_from_switch(
+        &mut self,
+        to: NodeId,
+        eth: EthernetFrame,
+        at: SimTime,
+    ) -> RtResult<FrameId> {
+        if !self.switch_ports.contains_key(&to) {
+            return Err(RtError::UnknownNode(to));
+        }
+        if at < self.now() {
+            return Err(RtError::Simulation(format!(
+                "cannot inject at {at}, simulation time is already {}",
+                self.now()
+            )));
+        }
+        let id = self.register_frame(eth, NodeId::SWITCH, at)?;
+        self.events
+            .schedule(at, Event::EnqueueAtSwitch { to, frame: id });
+        Ok(id)
+    }
+
+    /// Run until the event queue is empty; returns the final simulated time.
+    pub fn run_to_idle(&mut self) -> SimTime {
+        while self.step() {}
+        self.now()
+    }
+
+    /// Run until `limit` (inclusive); events after `limit` stay pending.
+    pub fn run_until(&mut self, limit: SimTime) {
+        while let Some((time, event)) = self.events.pop_until(limit) {
+            self.handle(time, event);
+        }
+    }
+
+    /// Process a single event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.events.pop() {
+            Some((time, event)) => {
+                self.handle(time, event);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn tx_time(&self, wire_bytes: usize) -> Duration {
+        self.config.link_speed.transmission_time(wire_bytes)
+    }
+
+    fn handle(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::EnqueueAtNode { node, frame } => {
+                self.enqueue_at_port(frame, PortRef::NodeUplink(node));
+                self.try_start_tx(now, PortRef::NodeUplink(node));
+            }
+            Event::NodeTxComplete { node, frame } => {
+                if let Some(state) = self.nodes.get_mut(&node) {
+                    state.uplink.clear_busy();
+                }
+                // Last bit leaves the node now; it arrives at the switch
+                // after the propagation delay, and becomes eligible for
+                // forwarding after the switch processing latency.
+                let arrive =
+                    now + self.config.propagation_delay + self.config.switch_latency;
+                self.events
+                    .schedule(arrive, Event::ArriveAtSwitch { from: node, frame });
+                self.try_start_tx(now, PortRef::NodeUplink(node));
+            }
+            Event::ArriveAtSwitch { from: _, frame } => {
+                let dst = self.frames[frame.0 as usize].eth.dst;
+                if dst == self.switch_mac {
+                    // Control-plane traffic addressed to the switch itself.
+                    self.deliver(frame, NodeId::SWITCH, now);
+                } else if let Some(&to) = self.forwarding.get(&dst) {
+                    self.enqueue_at_port(frame, PortRef::SwitchPort(to));
+                    self.try_start_tx(now, PortRef::SwitchPort(to));
+                } else {
+                    self.stats.record_unroutable();
+                }
+            }
+            Event::EnqueueAtSwitch { to, frame } => {
+                self.enqueue_at_port(frame, PortRef::SwitchPort(to));
+                self.try_start_tx(now, PortRef::SwitchPort(to));
+            }
+            Event::SwitchTxComplete { to, frame } => {
+                if let Some(port) = self.switch_ports.get_mut(&to) {
+                    port.clear_busy();
+                }
+                let arrive = now + self.config.propagation_delay;
+                self.events
+                    .schedule(arrive, Event::ArriveAtNode { node: to, frame });
+                self.try_start_tx(now, PortRef::SwitchPort(to));
+            }
+            Event::ArriveAtNode { node, frame } => {
+                self.deliver(frame, node, now);
+            }
+        }
+    }
+
+    fn enqueue_at_port(&mut self, frame: FrameId, port_ref: PortRef) {
+        let record = &self.frames[frame.0 as usize];
+        let class = record.class;
+        let deadline = record.deadline;
+        let port = match port_ref {
+            PortRef::NodeUplink(node) => match self.nodes.get_mut(&node) {
+                Some(n) => &mut n.uplink,
+                None => return,
+            },
+            PortRef::SwitchPort(node) => match self.switch_ports.get_mut(&node) {
+                Some(p) => p,
+                None => return,
+            },
+        };
+        match class {
+            TrafficClass::RealTime => {
+                // Control frames have no deadline; give them "now or
+                // earlier" urgency by using time zero so they are never
+                // queued behind data frames.
+                port.enqueue_rt(frame, deadline.unwrap_or(SimTime::ZERO));
+            }
+            TrafficClass::BestEffort => {
+                if !port.enqueue_be(frame) {
+                    self.stats.record_be_drop();
+                }
+            }
+        }
+    }
+
+    fn try_start_tx(&mut self, now: SimTime, port_ref: PortRef) {
+        let (port, link) = match port_ref {
+            PortRef::NodeUplink(node) => match self.nodes.get_mut(&node) {
+                Some(n) => (&mut n.uplink, LinkId::uplink(node)),
+                None => return,
+            },
+            PortRef::SwitchPort(node) => match self.switch_ports.get_mut(&node) {
+                Some(p) => (p, LinkId::downlink(node)),
+                None => return,
+            },
+        };
+        if port.is_busy(now) || port.is_empty() {
+            return;
+        }
+        let Some(queued) = port.dequeue_next() else {
+            return;
+        };
+        let wire_bytes = self.frames[queued.frame.0 as usize].wire_bytes;
+        let tx = self.config.link_speed.transmission_time(wire_bytes);
+        let done = now + tx;
+        port.set_busy_until(done);
+        self.stats.record_transmission(link, wire_bytes, tx);
+        let event = match port_ref {
+            PortRef::NodeUplink(node) => Event::NodeTxComplete {
+                node,
+                frame: queued.frame,
+            },
+            PortRef::SwitchPort(node) => Event::SwitchTxComplete {
+                to: node,
+                frame: queued.frame,
+            },
+        };
+        self.events.schedule(done, event);
+    }
+
+    fn deliver(&mut self, frame: FrameId, receiver: NodeId, now: SimTime) {
+        let record = &self.frames[frame.0 as usize];
+        match record.class {
+            TrafficClass::RealTime => {
+                self.stats.record_rt_delivery(
+                    record.channel,
+                    record.injected_at,
+                    now,
+                    record.deadline,
+                );
+            }
+            TrafficClass::BestEffort => self.stats.record_be_delivery(),
+        }
+        self.pending_deliveries.push(Delivery {
+            frame,
+            receiver,
+            source: record.source,
+            eth: record.eth.clone(),
+            injected_at: record.injected_at,
+            delivered_at: now,
+            channel: record.channel,
+            deadline: record.deadline,
+            class: record.class,
+        });
+    }
+
+    /// Total transmission (busy) time recorded on `link` so far.
+    pub fn link_busy_time(&self, link: LinkId) -> Duration {
+        self.stats
+            .link(link)
+            .map(|l| l.busy_time)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Convenience: the transmission time of a frame of `wire_bytes` bytes at
+    /// the configured link speed.
+    pub fn transmission_time(&self, wire_bytes: usize) -> Duration {
+        self.tx_time(wire_bytes)
+    }
+}
+
+/// Which output port an operation refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PortRef {
+    /// The uplink NIC port of a node.
+    NodeUplink(NodeId),
+    /// The switch output port towards a node (its downlink).
+    SwitchPort(NodeId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_frames::rt_data::{DeadlineStamp, RtDataFrame};
+    use rt_types::constants::ETHERTYPE_IPV4;
+    use rt_types::Ipv4Address;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    fn be_frame(from: NodeId, to: NodeId, payload_len: usize) -> EthernetFrame {
+        // A plain (non-RT) IPv4/UDP frame.
+        let udp = rt_frames::UdpHeader::new(1000, 2000, payload_len).unwrap();
+        let ip = rt_frames::Ipv4Header::udp(
+            Ipv4Address::for_node(from),
+            Ipv4Address::for_node(to),
+            8 + payload_len,
+        )
+        .unwrap();
+        let mut bytes = ip.encode();
+        bytes.extend_from_slice(&udp.encode());
+        bytes.extend(std::iter::repeat_n(0xa5u8, payload_len));
+        EthernetFrame::new(
+            MacAddr::for_node(to),
+            MacAddr::for_node(from),
+            ETHERTYPE_IPV4,
+            bytes,
+        )
+        .unwrap()
+    }
+
+    fn rt_frame(
+        from: NodeId,
+        to: NodeId,
+        channel: u16,
+        deadline: SimTime,
+        payload_len: usize,
+    ) -> EthernetFrame {
+        RtDataFrame {
+            eth_src: MacAddr::for_node(from),
+            eth_dst: MacAddr::for_node(to),
+            stamp: DeadlineStamp::new(deadline.as_nanos(), ChannelId::new(channel)).unwrap(),
+            src_port: 5000,
+            dst_port: 5001,
+            payload: vec![0u8; payload_len],
+        }
+        .into_ethernet()
+        .unwrap()
+    }
+
+    #[test]
+    fn single_frame_end_to_end_latency() {
+        let config = SimConfig::default();
+        let mut sim = Simulator::new(config, nodes(2));
+        let n0 = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        let eth = be_frame(n0, n1, 1000);
+        let wire = eth.wire_bytes();
+        sim.inject(n0, eth, SimTime::ZERO).unwrap();
+        sim.run_to_idle();
+        let deliveries = sim.poll_deliveries();
+        assert_eq!(deliveries.len(), 1);
+        let d = &deliveries[0];
+        assert_eq!(d.receiver, n1);
+        assert_eq!(d.source, n0);
+        // Two serialisations + two propagations + switch latency.
+        let expected = config.link_speed.transmission_time(wire) * 2
+            + config.propagation_delay * 2
+            + config.switch_latency;
+        assert_eq!(d.latency(), expected);
+        assert_eq!(sim.stats().be_delivered, 1);
+    }
+
+    #[test]
+    fn control_frames_to_switch_are_delivered_to_control_plane() {
+        let mut sim = Simulator::new(SimConfig::default(), nodes(2));
+        let n0 = NodeId::new(0);
+        let req = rt_frames::RequestFrame {
+            src_mac: MacAddr::for_node(n0),
+            dst_mac: MacAddr::for_node(NodeId::new(1)),
+            src_ip: Ipv4Address::for_node(n0),
+            dst_ip: Ipv4Address::for_node(NodeId::new(1)),
+            period: rt_types::Slots::new(100),
+            capacity: rt_types::Slots::new(3),
+            deadline: rt_types::Slots::new(40),
+            rt_channel_id: None,
+            connection_request_id: rt_types::ConnectionRequestId::new(1),
+        };
+        let eth = req
+            .into_ethernet(MacAddr::for_node(n0), MacAddr::for_switch())
+            .unwrap();
+        sim.inject(n0, eth, SimTime::ZERO).unwrap();
+        sim.run_to_idle();
+        let deliveries = sim.poll_deliveries();
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].receiver, NodeId::SWITCH);
+        assert_eq!(deliveries[0].class, TrafficClass::RealTime);
+    }
+
+    #[test]
+    fn switch_originated_frames_reach_the_node() {
+        let mut sim = Simulator::new(SimConfig::default(), nodes(2));
+        let n1 = NodeId::new(1);
+        let resp = rt_frames::ResponseFrame {
+            rt_channel_id: Some(ChannelId::new(1)),
+            switch_mac: MacAddr::for_switch(),
+            verdict: rt_frames::rt_response::ResponseVerdict::Accepted,
+            connection_request_id: rt_types::ConnectionRequestId::new(1),
+        };
+        let eth = resp
+            .into_ethernet(MacAddr::for_switch(), MacAddr::for_node(n1))
+            .unwrap();
+        sim.inject_from_switch(n1, eth, SimTime::from_micros(10)).unwrap();
+        sim.run_to_idle();
+        let deliveries = sim.poll_deliveries();
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].receiver, n1);
+        assert_eq!(deliveries[0].source, NodeId::SWITCH);
+    }
+
+    #[test]
+    fn rt_frames_overtake_best_effort_on_the_uplink() {
+        let mut sim = Simulator::new(SimConfig::default(), nodes(2));
+        let n0 = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        // Queue three large best-effort frames first, then one RT frame, all
+        // at the same instant.
+        let mut ids = Vec::new();
+        for _ in 0..3 {
+            ids.push(sim.inject(n0, be_frame(n0, n1, 1400), SimTime::ZERO).unwrap());
+        }
+        let rt_id = sim
+            .inject(
+                n0,
+                rt_frame(n0, n1, 7, SimTime::from_millis(5), 100),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        sim.run_to_idle();
+        let deliveries = sim.poll_deliveries();
+        assert_eq!(deliveries.len(), 4);
+        // The first best-effort frame wins the race only if it started
+        // before the RT frame was enqueued; both were enqueued at the same
+        // event time, and enqueue events are FIFO, so the first BE frame is
+        // already on the wire.  The RT frame must then beat the remaining
+        // two BE frames.
+        let order: Vec<FrameId> = deliveries.iter().map(|d| d.frame).collect();
+        let rt_pos = order.iter().position(|&f| f == rt_id).unwrap();
+        assert!(rt_pos <= 1, "RT frame delivered at position {rt_pos}, order {order:?}");
+        assert!(sim.stats().all_deadlines_met());
+    }
+
+    #[test]
+    fn deadline_misses_are_detected() {
+        let mut sim = Simulator::new(SimConfig::default(), nodes(2));
+        let n0 = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        // An impossible deadline: 1 us for a full-size frame.
+        sim.inject(
+            n0,
+            rt_frame(n0, n1, 3, SimTime::from_micros(1), 1400),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        sim.run_to_idle();
+        assert_eq!(sim.stats().total_deadline_misses, 1);
+        let ch = sim.stats().channel(ChannelId::new(3)).unwrap();
+        assert_eq!(ch.deadline_misses, 1);
+        assert_eq!(ch.delivered, 1);
+    }
+
+    #[test]
+    fn downlink_congestion_from_two_sources() {
+        // Both node 0 and node 1 send to node 2 at the same time: the two
+        // uplinks run in parallel but the downlink serialises the frames.
+        let config = SimConfig::default();
+        let mut sim = Simulator::new(config, nodes(3));
+        let n0 = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        let n2 = NodeId::new(2);
+        sim.inject(n0, be_frame(n0, n2, 1400), SimTime::ZERO).unwrap();
+        sim.inject(n1, be_frame(n1, n2, 1400), SimTime::ZERO).unwrap();
+        sim.run_to_idle();
+        let deliveries = sim.poll_deliveries();
+        assert_eq!(deliveries.len(), 2);
+        let downlink = sim.stats().link(LinkId::downlink(n2)).unwrap();
+        assert_eq!(downlink.frames, 2);
+        // The second delivery is at least one transmission time after the
+        // first (serialisation on the shared downlink).
+        let t0 = deliveries[0].delivered_at;
+        let t1 = deliveries[1].delivered_at;
+        let gap = t1.saturating_duration_since(t0);
+        let tx = config.link_speed.transmission_time(deliveries[1].eth.wire_bytes());
+        assert!(gap >= tx, "gap {gap} smaller than tx time {tx}");
+    }
+
+    #[test]
+    fn unknown_destination_is_dropped() {
+        let mut sim = Simulator::new(SimConfig::default(), nodes(2));
+        let n0 = NodeId::new(0);
+        let ghost = NodeId::new(99);
+        sim.inject(n0, be_frame(n0, ghost, 100), SimTime::ZERO).unwrap();
+        sim.run_to_idle();
+        assert_eq!(sim.poll_deliveries().len(), 0);
+        assert_eq!(sim.stats().unroutable_dropped, 1);
+    }
+
+    #[test]
+    fn injection_errors() {
+        let mut sim = Simulator::new(SimConfig::default(), nodes(1));
+        let n0 = NodeId::new(0);
+        let n9 = NodeId::new(9);
+        assert!(sim.inject(n9, be_frame(n0, n0, 10), SimTime::ZERO).is_err());
+        assert!(sim
+            .inject_from_switch(n9, be_frame(n0, n0, 10), SimTime::ZERO)
+            .is_err());
+        // Advance time, then try to inject in the past.
+        sim.inject(n0, be_frame(n0, n0, 10), SimTime::from_micros(100)).unwrap();
+        sim.run_to_idle();
+        assert!(sim.now() >= SimTime::from_micros(100));
+        assert!(sim.inject(n0, be_frame(n0, n0, 10), SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn run_until_leaves_future_events_pending() {
+        let mut sim = Simulator::new(SimConfig::default(), nodes(2));
+        let n0 = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        sim.inject(n0, be_frame(n0, n1, 100), SimTime::from_millis(10)).unwrap();
+        sim.run_until(SimTime::from_millis(1));
+        assert_eq!(sim.poll_deliveries().len(), 0);
+        sim.run_to_idle();
+        assert_eq!(sim.poll_deliveries().len(), 1);
+    }
+
+    #[test]
+    fn t_latency_constant() {
+        let config = SimConfig::default();
+        assert_eq!(
+            config.t_latency(),
+            config.propagation_delay * 2 + config.switch_latency
+        );
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_outputs() {
+        let run = || {
+            let mut sim = Simulator::new(SimConfig::default(), nodes(4));
+            for i in 0..4u32 {
+                for j in 0..4u32 {
+                    if i != j {
+                        let f = rt_frame(
+                            NodeId::new(i),
+                            NodeId::new(j),
+                            (i * 4 + j) as u16,
+                            SimTime::from_millis(2),
+                            500,
+                        );
+                        sim.inject(NodeId::new(i), f, SimTime::from_micros(u64::from(i * 7 + j)))
+                            .unwrap();
+                    }
+                }
+            }
+            sim.run_to_idle();
+            let d: Vec<(FrameId, SimTime)> = sim
+                .poll_deliveries()
+                .iter()
+                .map(|d| (d.frame, d.delivered_at))
+                .collect();
+            d
+        };
+        assert_eq!(run(), run());
+    }
+}

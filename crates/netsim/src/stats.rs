@@ -1,0 +1,261 @@
+//! Measurement: per-channel latency and deadline statistics, per-link
+//! utilisation, and global counters.
+//!
+//! The delay-validation experiment (Eq. 18.1) compares the measured
+//! worst-case end-to-end delay of every admitted channel against its
+//! guaranteed bound `d_i + T_latency`, so the statistics keep exact minimum /
+//! maximum / mean latencies per RT channel as well as the number of frames
+//! delivered after their absolute deadline.
+
+use std::collections::BTreeMap;
+
+use rt_types::{ChannelId, Duration, LinkId, SimTime};
+use serde::Serialize;
+
+/// Latency statistics for one RT channel.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ChannelStats {
+    /// Frames delivered on this channel.
+    pub delivered: u64,
+    /// Frames delivered after their absolute deadline.
+    pub deadline_misses: u64,
+    /// Smallest observed end-to-end latency.
+    pub min_latency: Duration,
+    /// Largest observed end-to-end latency.
+    pub max_latency: Duration,
+    /// Sum of latencies (for the mean).
+    total_latency: Duration,
+}
+
+impl ChannelStats {
+    fn new() -> Self {
+        ChannelStats {
+            delivered: 0,
+            deadline_misses: 0,
+            min_latency: Duration::from_nanos(u64::MAX),
+            max_latency: Duration::ZERO,
+            total_latency: Duration::ZERO,
+        }
+    }
+
+    fn record(&mut self, latency: Duration, missed: bool) {
+        self.delivered += 1;
+        if missed {
+            self.deadline_misses += 1;
+        }
+        self.min_latency = if latency < self.min_latency {
+            latency
+        } else {
+            self.min_latency
+        };
+        self.max_latency = if latency > self.max_latency {
+            latency
+        } else {
+            self.max_latency
+        };
+        self.total_latency += latency;
+    }
+
+    /// Mean end-to-end latency over all delivered frames.
+    pub fn mean_latency(&self) -> Duration {
+        if self.delivered == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / self.delivered
+        }
+    }
+}
+
+/// Transmission statistics for one directed link.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct LinkStats {
+    /// Frames transmitted on the link.
+    pub frames: u64,
+    /// Wire bytes transmitted (including preamble and inter-frame gap).
+    pub wire_bytes: u64,
+    /// Accumulated transmission time.
+    pub busy_time: Duration,
+}
+
+impl LinkStats {
+    fn record(&mut self, wire_bytes: usize, tx_time: Duration) {
+        self.frames += 1;
+        self.wire_bytes += wire_bytes as u64;
+        self.busy_time += tx_time;
+    }
+
+    /// Utilisation of the link over an observation window of length
+    /// `elapsed`.
+    pub fn utilisation(&self, elapsed: Duration) -> f64 {
+        if elapsed.as_nanos() == 0 {
+            0.0
+        } else {
+            self.busy_time.as_nanos() as f64 / elapsed.as_nanos() as f64
+        }
+    }
+}
+
+/// All measurements accumulated during one simulation run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct SimStats {
+    /// Per-RT-channel latency statistics.
+    pub channels: BTreeMap<u16, ChannelStats>,
+    /// Per-directed-link transmission statistics.
+    pub links: BTreeMap<String, LinkStats>,
+    /// Real-time frames delivered (data + control).
+    pub rt_delivered: u64,
+    /// Best-effort frames delivered.
+    pub be_delivered: u64,
+    /// Best-effort frames dropped at full queues.
+    pub be_dropped: u64,
+    /// Frames dropped because the switch had no forwarding entry.
+    pub unroutable_dropped: u64,
+    /// Total real-time deadline misses across all channels.
+    pub total_deadline_misses: u64,
+}
+
+impl SimStats {
+    /// Record the delivery of a real-time data frame belonging to `channel`.
+    pub fn record_rt_delivery(
+        &mut self,
+        channel: Option<ChannelId>,
+        injected_at: SimTime,
+        delivered_at: SimTime,
+        deadline: Option<SimTime>,
+    ) {
+        self.rt_delivered += 1;
+        let latency = delivered_at.saturating_duration_since(injected_at);
+        let missed = deadline.is_some_and(|d| delivered_at > d);
+        if missed {
+            self.total_deadline_misses += 1;
+        }
+        if let Some(ch) = channel {
+            self.channels
+                .entry(ch.get())
+                .or_insert_with(ChannelStats::new)
+                .record(latency, missed);
+        }
+    }
+
+    /// Record the delivery of a best-effort frame.
+    pub fn record_be_delivery(&mut self) {
+        self.be_delivered += 1;
+    }
+
+    /// Record a best-effort drop at a full queue.
+    pub fn record_be_drop(&mut self) {
+        self.be_dropped += 1;
+    }
+
+    /// Record a frame dropped for lack of a forwarding entry.
+    pub fn record_unroutable(&mut self) {
+        self.unroutable_dropped += 1;
+    }
+
+    /// Record a transmission on `link`.
+    pub fn record_transmission(&mut self, link: LinkId, wire_bytes: usize, tx_time: Duration) {
+        self.links
+            .entry(link.to_string())
+            .or_default()
+            .record(wire_bytes, tx_time);
+    }
+
+    /// Statistics for one channel, if any frame was delivered on it.
+    pub fn channel(&self, id: ChannelId) -> Option<&ChannelStats> {
+        self.channels.get(&id.get())
+    }
+
+    /// Statistics for one directed link, if it ever transmitted.
+    pub fn link(&self, id: LinkId) -> Option<&LinkStats> {
+        self.links.get(&id.to_string())
+    }
+
+    /// The worst (largest) per-channel maximum latency, if any channel
+    /// delivered frames.
+    pub fn worst_case_latency(&self) -> Option<Duration> {
+        self.channels.values().map(|c| c.max_latency).max()
+    }
+
+    /// `true` if no real-time frame missed its deadline.
+    pub fn all_deadlines_met(&self) -> bool {
+        self.total_deadline_misses == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_types::NodeId;
+
+    #[test]
+    fn channel_stats_accumulate() {
+        let mut s = SimStats::default();
+        let ch = ChannelId::new(5);
+        s.record_rt_delivery(
+            Some(ch),
+            SimTime::from_micros(0),
+            SimTime::from_micros(100),
+            Some(SimTime::from_micros(200)),
+        );
+        s.record_rt_delivery(
+            Some(ch),
+            SimTime::from_micros(1000),
+            SimTime::from_micros(1300),
+            Some(SimTime::from_micros(1200)),
+        );
+        let c = s.channel(ch).unwrap();
+        assert_eq!(c.delivered, 2);
+        assert_eq!(c.deadline_misses, 1);
+        assert_eq!(c.min_latency, Duration::from_micros(100));
+        assert_eq!(c.max_latency, Duration::from_micros(300));
+        assert_eq!(c.mean_latency(), Duration::from_micros(200));
+        assert_eq!(s.total_deadline_misses, 1);
+        assert!(!s.all_deadlines_met());
+        assert_eq!(s.worst_case_latency(), Some(Duration::from_micros(300)));
+    }
+
+    #[test]
+    fn rt_delivery_without_channel_counts_globally_only() {
+        let mut s = SimStats::default();
+        s.record_rt_delivery(None, SimTime::ZERO, SimTime::from_micros(10), None);
+        assert_eq!(s.rt_delivered, 1);
+        assert!(s.channels.is_empty());
+        assert!(s.all_deadlines_met());
+    }
+
+    #[test]
+    fn link_stats_utilisation() {
+        let mut s = SimStats::default();
+        let link = LinkId::uplink(NodeId::new(3));
+        s.record_transmission(link, 1538, Duration::from_micros(123));
+        s.record_transmission(link, 1538, Duration::from_micros(123));
+        let l = s.link(link).unwrap();
+        assert_eq!(l.frames, 2);
+        assert_eq!(l.wire_bytes, 3076);
+        assert_eq!(l.busy_time, Duration::from_micros(246));
+        let u = l.utilisation(Duration::from_micros(1000));
+        assert!((u - 0.246).abs() < 1e-9);
+        assert_eq!(l.utilisation(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn best_effort_counters() {
+        let mut s = SimStats::default();
+        s.record_be_delivery();
+        s.record_be_delivery();
+        s.record_be_drop();
+        s.record_unroutable();
+        assert_eq!(s.be_delivered, 2);
+        assert_eq!(s.be_dropped, 1);
+        assert_eq!(s.unroutable_dropped, 1);
+    }
+
+    #[test]
+    fn empty_stats_queries() {
+        let s = SimStats::default();
+        assert!(s.worst_case_latency().is_none());
+        assert!(s.channel(ChannelId::new(1)).is_none());
+        assert!(s.link(LinkId::uplink(NodeId::new(0))).is_none());
+        assert!(s.all_deadlines_met());
+    }
+}

@@ -1,0 +1,28 @@
+//! # rt-traffic
+//!
+//! Workload and scenario generation for the experiments:
+//!
+//! * [`scenario`] — network scenarios (which nodes exist, which are masters
+//!   and which are slaves), including the paper's 10-master / 50-slave
+//!   configuration,
+//! * [`pattern`] — channel-request patterns: the paper's master→slave
+//!   pattern plus uniform and hotspot patterns used by the ablations, and a
+//!   generator of heterogeneous channel specs,
+//! * [`background`] — best-effort background traffic generators (Poisson and
+//!   bursty on/off) for the coexistence experiment,
+//! * [`rng`] — seeded, reproducible random number helpers.
+//!
+//! Everything is deterministic given a seed, so every experiment run is
+//! exactly reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod background;
+pub mod pattern;
+pub mod rng;
+pub mod scenario;
+
+pub use background::{BackgroundTraffic, BurstyConfig, PoissonConfig};
+pub use pattern::{ChannelRequest, HeterogeneousSpecs, RequestPattern};
+pub use scenario::Scenario;

@@ -1,0 +1,127 @@
+//! Seeded, reproducible randomness.
+//!
+//! All stochastic workload generation in the repository goes through
+//! [`SeededRng`], a thin wrapper over ChaCha8 keyed by a `u64` seed, so that
+//! every experiment is exactly reproducible and independent generators can be
+//! derived from a master seed without correlation.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic random number generator.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: ChaCha8Rng,
+}
+
+impl SeededRng {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent generator for a named sub-stream.  Deriving
+    /// with the same `stream` always yields the same generator.
+    pub fn derive(&self, stream: u64) -> SeededRng {
+        let mut base = self.inner.clone();
+        let mix = base.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SeededRng::new(mix)
+    }
+
+    /// A uniformly distributed integer in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// A uniformly distributed integer in `[lo, hi]` (inclusive).
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "invalid range");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen_range(0.0..1.0)
+    }
+
+    /// An exponentially distributed value with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "mean must be positive");
+        let u: f64 = 1.0 - self.unit(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// A Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        let xs: Vec<u64> = (0..32).map(|_| a.below(1000)).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.below(1000)).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let xs: Vec<u64> = (0..32).map(|_| a.below(1_000_000)).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.below(1_000_000)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_independent() {
+        let master = SeededRng::new(7);
+        let mut a1 = master.derive(1);
+        let mut a2 = master.derive(1);
+        let mut b = master.derive(2);
+        let x1: Vec<u64> = (0..16).map(|_| a1.below(100)).collect();
+        let x2: Vec<u64> = (0..16).map(|_| a2.below(100)).collect();
+        let y: Vec<u64> = (0..16).map(|_| b.below(100)).collect();
+        assert_eq!(x1, x2);
+        assert_ne!(x1, y);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SeededRng::new(3);
+        for _ in 0..1000 {
+            let v = rng.below(10);
+            assert!(v < 10);
+            let w = rng.range_inclusive(5, 8);
+            assert!((5..=8).contains(&w));
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn exponential_has_positive_values_and_plausible_mean() {
+        let mut rng = SeededRng::new(11);
+        let n = 20_000;
+        let mean_target = 250.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean_target)).sum();
+        let mean = sum / n as f64;
+        assert!(mean > 0.9 * mean_target && mean < 1.1 * mean_target, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SeededRng::new(5);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+}

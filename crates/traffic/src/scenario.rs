@@ -1,0 +1,136 @@
+//! Network scenarios: which nodes exist and what their roles are.
+//!
+//! The paper's evaluation (Figure 18.5) uses a master/slave configuration —
+//! 10 master nodes and 50 slave nodes around one switch — which is typical
+//! of industrial control systems where a few controllers talk to many
+//! sensors and actuators.
+
+use rt_types::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A star-network scenario: masters and slaves attached to one switch.
+///
+/// Node ids are allocated contiguously: masters get `0..masters`, slaves get
+/// `masters..masters+slaves`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scenario {
+    masters: u32,
+    slaves: u32,
+}
+
+impl Scenario {
+    /// Build a scenario with the given number of masters and slaves.
+    pub fn new(masters: u32, slaves: u32) -> Self {
+        Scenario { masters, slaves }
+    }
+
+    /// The paper's Figure 18.5 configuration: 10 masters, 50 slaves.
+    pub fn paper_master_slave() -> Self {
+        Scenario::new(10, 50)
+    }
+
+    /// Number of master nodes.
+    pub fn master_count(&self) -> u32 {
+        self.masters
+    }
+
+    /// Number of slave nodes.
+    pub fn slave_count(&self) -> u32 {
+        self.slaves
+    }
+
+    /// Total number of end nodes.
+    pub fn node_count(&self) -> u32 {
+        self.masters + self.slaves
+    }
+
+    /// All node ids, masters first.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        (0..self.node_count()).map(NodeId::new).collect()
+    }
+
+    /// The master node ids.
+    pub fn masters(&self) -> Vec<NodeId> {
+        (0..self.masters).map(NodeId::new).collect()
+    }
+
+    /// The slave node ids.
+    pub fn slaves(&self) -> Vec<NodeId> {
+        (self.masters..self.node_count()).map(NodeId::new).collect()
+    }
+
+    /// The `i`-th master (wrapping).
+    pub fn master(&self, i: u64) -> NodeId {
+        assert!(self.masters > 0, "scenario has no masters");
+        NodeId::new((i % u64::from(self.masters)) as u32)
+    }
+
+    /// The `i`-th slave (wrapping).
+    pub fn slave(&self, i: u64) -> NodeId {
+        assert!(self.slaves > 0, "scenario has no slaves");
+        NodeId::new(self.masters + (i % u64::from(self.slaves)) as u32)
+    }
+
+    /// `true` if `node` is a master in this scenario.
+    pub fn is_master(&self, node: NodeId) -> bool {
+        node.get() < self.masters
+    }
+
+    /// `true` if `node` is a slave in this scenario.
+    pub fn is_slave(&self, node: NodeId) -> bool {
+        node.get() >= self.masters && node.get() < self.node_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_dimensions() {
+        let s = Scenario::paper_master_slave();
+        assert_eq!(s.master_count(), 10);
+        assert_eq!(s.slave_count(), 50);
+        assert_eq!(s.node_count(), 60);
+        assert_eq!(s.nodes().len(), 60);
+        assert_eq!(s.masters().len(), 10);
+        assert_eq!(s.slaves().len(), 50);
+    }
+
+    #[test]
+    fn id_allocation_is_contiguous_and_disjoint() {
+        let s = Scenario::new(3, 4);
+        assert_eq!(s.masters(), vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(
+            s.slaves(),
+            vec![NodeId::new(3), NodeId::new(4), NodeId::new(5), NodeId::new(6)]
+        );
+        for m in s.masters() {
+            assert!(s.is_master(m));
+            assert!(!s.is_slave(m));
+        }
+        for sl in s.slaves() {
+            assert!(s.is_slave(sl));
+            assert!(!s.is_master(sl));
+        }
+        assert!(!s.is_master(NodeId::new(7)));
+        assert!(!s.is_slave(NodeId::new(7)));
+    }
+
+    #[test]
+    fn indexed_access_wraps() {
+        let s = Scenario::new(2, 3);
+        assert_eq!(s.master(0), NodeId::new(0));
+        assert_eq!(s.master(1), NodeId::new(1));
+        assert_eq!(s.master(2), NodeId::new(0));
+        assert_eq!(s.slave(0), NodeId::new(2));
+        assert_eq!(s.slave(3), NodeId::new(2));
+        assert_eq!(s.slave(4), NodeId::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "no masters")]
+    fn master_access_panics_without_masters() {
+        Scenario::new(0, 5).master(0);
+    }
+}

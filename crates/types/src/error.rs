@@ -1,0 +1,141 @@
+//! The shared error type for the switched real-time Ethernet stack.
+
+use std::fmt;
+
+use crate::ids::{ChannelId, LinkId, NodeId};
+
+/// Result alias using [`RtError`].
+pub type RtResult<T> = Result<T, RtError>;
+
+/// Errors produced anywhere in the stack.
+///
+/// A single flat enum is used across the workspace so that errors can travel
+/// between crates (frames → core → simulation) without conversion
+/// boilerplate; the variants are grouped by subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtError {
+    // --- address / parsing ------------------------------------------------
+    /// A textual MAC or IPv4 address could not be parsed.
+    AddressParse(String),
+    /// A frame could not be decoded from its wire representation.
+    FrameDecode(String),
+    /// A frame could not be encoded (e.g. payload too large).
+    FrameEncode(String),
+
+    // --- channel specification -------------------------------------------
+    /// An RT-channel parameter is invalid (zero period, zero capacity,
+    /// deadline shorter than twice the capacity, ...).
+    InvalidChannelSpec(String),
+    /// A deadline partitioning produced per-link deadlines violating
+    /// Eq. 18.8 / 18.9.
+    InvalidPartition {
+        /// Human-readable description of the violated condition.
+        reason: String,
+    },
+
+    // --- admission control -------------------------------------------------
+    /// The requested channel was rejected by admission control.
+    ChannelRejected {
+        /// The link whose feasibility test failed, if the rejection was
+        /// link-specific.
+        link: Option<LinkId>,
+        /// Why the channel was rejected.
+        reason: String,
+    },
+    /// An operation referenced a channel id that is not established.
+    UnknownChannel(ChannelId),
+    /// An operation referenced a node that is not part of the network.
+    UnknownNode(NodeId),
+    /// The switch ran out of network-unique channel ids.
+    ChannelIdsExhausted,
+    /// A node ran out of connection-request ids (more than 256 outstanding
+    /// requests).
+    RequestIdsExhausted,
+    /// A response arrived for a connection request that is not outstanding.
+    UnknownRequest(String),
+
+    // --- protocol / simulation ---------------------------------------------
+    /// A protocol state machine received a frame it cannot handle in its
+    /// current state.
+    ProtocolViolation(String),
+    /// The simulator was asked to do something inconsistent (schedule an
+    /// event in the past, attach two nodes to one port, ...).
+    Simulation(String),
+    /// A configuration value is out of range or inconsistent.
+    Config(String),
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::AddressParse(m) => write!(f, "address parse error: {m}"),
+            RtError::FrameDecode(m) => write!(f, "frame decode error: {m}"),
+            RtError::FrameEncode(m) => write!(f, "frame encode error: {m}"),
+            RtError::InvalidChannelSpec(m) => write!(f, "invalid RT channel spec: {m}"),
+            RtError::InvalidPartition { reason } => {
+                write!(f, "invalid deadline partition: {reason}")
+            }
+            RtError::ChannelRejected { link, reason } => match link {
+                Some(l) => write!(f, "channel rejected on {l}: {reason}"),
+                None => write!(f, "channel rejected: {reason}"),
+            },
+            RtError::UnknownChannel(id) => write!(f, "unknown RT channel {id}"),
+            RtError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            RtError::ChannelIdsExhausted => write!(f, "no free RT channel ids"),
+            RtError::RequestIdsExhausted => write!(f, "no free connection request ids"),
+            RtError::UnknownRequest(m) => write!(f, "unknown connection request: {m}"),
+            RtError::ProtocolViolation(m) => write!(f, "protocol violation: {m}"),
+            RtError::Simulation(m) => write!(f, "simulation error: {m}"),
+            RtError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+impl RtError {
+    /// `true` if this error represents an admission-control rejection rather
+    /// than a programming or configuration mistake.
+    pub fn is_rejection(&self) -> bool {
+        matches!(self, RtError::ChannelRejected { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RtError::ChannelRejected {
+            link: Some(LinkId::uplink(NodeId::new(2))),
+            reason: "utilisation above 1".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("node2/uplink"));
+        assert!(s.contains("utilisation"));
+
+        let e = RtError::ChannelRejected {
+            link: None,
+            reason: "no path".into(),
+        };
+        assert!(e.to_string().contains("no path"));
+    }
+
+    #[test]
+    fn rejection_classification() {
+        assert!(RtError::ChannelRejected {
+            link: None,
+            reason: String::new()
+        }
+        .is_rejection());
+        assert!(!RtError::ChannelIdsExhausted.is_rejection());
+        assert!(!RtError::UnknownChannel(ChannelId::new(1)).is_rejection());
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(RtError::Config("bad".into()));
+        assert!(e.to_string().contains("configuration"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # rt-types
+//!
+//! Foundation types shared by every crate in the switched real-time Ethernet
+//! workspace: the slot/nanosecond time model, node / channel / link
+//! identifiers, MAC and IPv4 addresses, Ethernet constants and the common
+//! error type.
+//!
+//! The paper (Hoang & Jonsson, 2004) expresses every traffic parameter — the
+//! period `P_i`, the capacity `C_i` and the relative deadline `d_i` of an RT
+//! channel — in *number of maximum-sized frames*, i.e. in time slots whose
+//! length is the time it takes to put one maximum-sized Ethernet frame on the
+//! wire.  [`time::Slots`] models that unit; [`time::SimTime`] is the
+//! nanosecond-resolution clock used by the discrete-event simulator, and
+//! [`time::LinkSpeed`] converts between the two.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod constants;
+pub mod error;
+pub mod ids;
+pub mod time;
+
+pub use addr::{Ipv4Address, MacAddr};
+pub use constants::*;
+pub use error::{RtError, RtResult};
+pub use ids::{
+    ChannelId, ConnectionRequestId, LinkDirection, LinkId, NodeId, PortId,
+};
+pub use time::{Duration, LinkSpeed, SimTime, Slots};

@@ -1,0 +1,57 @@
+//! Coexistence of real-time and best-effort traffic on the same links.
+//!
+//! The RT layer keeps ordinary TCP/IP traffic in a FCFS queue behind the
+//! deadline-sorted real-time queue, so bulk transfers cannot endanger the
+//! real-time guarantees — they only use whatever capacity the RT channels
+//! leave over.  This example loads one uplink/downlink pair with an RT
+//! channel plus increasing amounts of best-effort traffic and prints how the
+//! two classes fare.
+//!
+//! Run with: `cargo run --example coexistence`
+
+use switched_rt_ethernet::core::{DpsKind, RtChannelSpec, RtNetwork, RtNetworkConfig};
+use switched_rt_ethernet::types::{Duration, NodeId};
+
+fn run(be_frames: u64) -> (u64, u64, u64, Duration) {
+    let mut network = RtNetwork::new(RtNetworkConfig::with_nodes(3, DpsKind::Asymmetric));
+    let spec = RtChannelSpec::paper_default();
+    let tx = network
+        .establish_channel(NodeId::new(0), NodeId::new(1), spec)
+        .expect("handshake")
+        .expect("accepted");
+
+    let start = network.now() + Duration::from_millis(1);
+    network
+        .send_periodic(NodeId::new(0), tx.id, 20, 1400, start)
+        .expect("periodic traffic");
+
+    // Best-effort frames back-to-back from the same source to the same
+    // destination (sharing both links with the RT channel).
+    let slot = network.simulator().config().link_speed.slot_duration();
+    for k in 0..be_frames {
+        network
+            .send_best_effort(NodeId::new(0), NodeId::new(1), 1400, start + slot.saturating_mul(k))
+            .expect("best effort");
+    }
+    network.run_to_completion().expect("run");
+
+    let stats = network.simulator().stats();
+    (
+        stats.rt_delivered,
+        stats.total_deadline_misses,
+        stats.be_delivered,
+        stats.worst_case_latency().unwrap_or(Duration::ZERO),
+    )
+}
+
+fn main() {
+    println!("RT channel (C=3, P=100, d=40) sharing its links with a best-effort flood:\n");
+    println!("{:>10} {:>10} {:>10} {:>12} {:>16}", "BE frames", "RT frames", "RT misses", "BE delivered", "RT worst latency");
+    for be_frames in [0u64, 100, 500, 2000] {
+        let (rt, misses, be, worst) = run(be_frames);
+        println!("{be_frames:>10} {rt:>10} {misses:>10} {be:>12} {:>16}", worst.to_string());
+        assert_eq!(misses, 0, "real-time deadlines must hold under any best-effort load");
+    }
+    println!("\nreal-time deadline misses stay at zero no matter how much best-effort load is offered;");
+    println!("best-effort throughput simply absorbs the remaining link capacity.");
+}

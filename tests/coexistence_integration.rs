@@ -1,0 +1,121 @@
+//! Integration test: real-time guarantees survive best-effort overload, and
+//! best-effort traffic still makes progress (Figure 18.2's two-queue
+//! architecture working end to end).
+
+use switched_rt_ethernet::core::{DpsKind, RtChannelSpec, RtNetwork, RtNetworkConfig};
+use switched_rt_ethernet::netsim::SimConfig;
+use switched_rt_ethernet::traffic::{BackgroundTraffic, PoissonConfig, Scenario};
+use switched_rt_ethernet::types::{Duration, NodeId};
+
+#[test]
+fn rt_deadlines_hold_under_best_effort_overload() {
+    let mut net = RtNetwork::new(RtNetworkConfig::with_nodes(4, DpsKind::Asymmetric));
+    let spec = RtChannelSpec::paper_default();
+    let tx = net
+        .establish_channel(NodeId::new(0), NodeId::new(1), spec)
+        .unwrap()
+        .unwrap();
+
+    let start = net.now() + Duration::from_millis(1);
+    net.send_periodic(NodeId::new(0), tx.id, 15, 1400, start).unwrap();
+
+    // Offer more best-effort traffic than the shared links can carry.
+    let slot = net.simulator().config().link_speed.slot_duration();
+    for k in 0..3000u64 {
+        net.send_best_effort(
+            NodeId::new(0),
+            NodeId::new(1),
+            1400,
+            start + Duration::from_nanos(slot.as_nanos() / 2 * k),
+        )
+        .unwrap();
+    }
+    net.run_to_completion().unwrap();
+
+    let stats = net.simulator().stats();
+    assert_eq!(stats.total_deadline_misses, 0);
+    assert_eq!(stats.rt_delivered, 15 * 3 + 4, "45 data frames + 4 handshake frames");
+    assert!(stats.worst_case_latency().unwrap() <= net.deadline_bound(&spec));
+    // The overloaded best-effort queue eventually drops frames — that is the
+    // intended failure mode (RT traffic is never dropped).
+    assert!(stats.be_delivered > 0);
+    assert!(stats.be_dropped > 0, "expected best-effort drops under 2x overload");
+}
+
+#[test]
+fn poisson_background_traffic_across_the_whole_star() {
+    // Several RT channels across different node pairs plus Poisson
+    // best-effort traffic between random pairs.
+    let scenario = Scenario::new(2, 4);
+    let mut net = RtNetwork::new(RtNetworkConfig {
+        nodes: scenario.nodes(),
+        dps: DpsKind::Asymmetric,
+        ..RtNetworkConfig::with_nodes(scenario.node_count(), DpsKind::Asymmetric)
+    });
+    let spec = RtChannelSpec::paper_default();
+    let mut channels = Vec::new();
+    for i in 0..4u64 {
+        let tx = net
+            .establish_channel(scenario.master(i), scenario.slave(i), spec)
+            .unwrap()
+            .unwrap();
+        channels.push((scenario.master(i), tx));
+    }
+
+    let start = net.now() + Duration::from_millis(1);
+    for (src, tx) in &channels {
+        net.send_periodic(*src, tx.id, 10, 1000, start).unwrap();
+    }
+    let window = Duration::from_millis(60);
+    let background = BackgroundTraffic::new(99).poisson(
+        &scenario,
+        PoissonConfig {
+            mean_interarrival: Duration::from_micros(200),
+            payload_len: 1200,
+        },
+        start,
+        window,
+    );
+    for frame in &background {
+        net.send_best_effort(frame.source, frame.destination, frame.payload_len, frame.at)
+            .unwrap();
+    }
+    net.run_to_completion().unwrap();
+
+    let stats = net.simulator().stats();
+    assert_eq!(stats.total_deadline_misses, 0);
+    assert!(stats.be_delivered > 0);
+    for (_, tx) in &channels {
+        assert_eq!(stats.channel(tx.id).unwrap().delivered, 30);
+    }
+}
+
+#[test]
+fn bounded_best_effort_queues_protect_memory_not_rt_traffic() {
+    // A tiny best-effort queue: drops appear quickly, but RT frames are
+    // never dropped and never late.
+    let config = RtNetworkConfig {
+        sim: SimConfig {
+            be_queue_capacity: Some(4),
+            ..SimConfig::default()
+        },
+        ..RtNetworkConfig::with_nodes(3, DpsKind::Symmetric)
+    };
+    let mut net = RtNetwork::new(config);
+    let spec = RtChannelSpec::paper_default();
+    let tx = net
+        .establish_channel(NodeId::new(0), NodeId::new(1), spec)
+        .unwrap()
+        .unwrap();
+    let start = net.now() + Duration::from_millis(1);
+    net.send_periodic(NodeId::new(0), tx.id, 10, 800, start).unwrap();
+    for k in 0..500u64 {
+        net.send_best_effort(NodeId::new(0), NodeId::new(1), 1400, start + Duration::from_micros(5 * k))
+            .unwrap();
+    }
+    net.run_to_completion().unwrap();
+    let stats = net.simulator().stats();
+    assert!(stats.be_dropped > 0);
+    assert_eq!(stats.total_deadline_misses, 0);
+    assert_eq!(stats.channel(tx.id).unwrap().delivered, 30);
+}

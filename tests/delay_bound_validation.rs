@@ -1,0 +1,97 @@
+//! Integration test for the Eq. 18.1 guarantee: every message on an admitted
+//! RT channel is delivered within `d_i + T_latency`, measured end to end on
+//! the simulated network (establishment handshake + periodic data traffic).
+
+use switched_rt_ethernet::core::{DpsKind, RtChannelSpec, RtNetwork, RtNetworkConfig};
+use switched_rt_ethernet::traffic::{RequestPattern, Scenario};
+use switched_rt_ethernet::types::{Duration, NodeId, Slots};
+
+fn run_and_validate(dps: DpsKind, channels: u64, messages: u64, spec: RtChannelSpec) {
+    let scenario = Scenario::new(4, 12);
+    let mut net = RtNetwork::new(RtNetworkConfig {
+        nodes: scenario.nodes(),
+        dps,
+        ..RtNetworkConfig::with_nodes(scenario.node_count(), dps)
+    });
+    let requests = RequestPattern::MasterSlaveRoundRobin.generate(&scenario, channels, spec);
+    let mut established = Vec::new();
+    for r in &requests {
+        if let Some(tx) = net.establish_channel(r.source, r.destination, r.spec).unwrap() {
+            established.push((r.source, tx));
+        }
+    }
+    assert!(!established.is_empty(), "no channel admitted");
+
+    let start = net.now() + Duration::from_millis(1);
+    for (source, tx) in &established {
+        net.send_periodic(*source, tx.id, messages, 1000, start).unwrap();
+    }
+    net.run_to_completion().unwrap();
+
+    let stats = net.simulator().stats();
+    assert_eq!(stats.total_deadline_misses, 0, "admitted traffic missed deadlines");
+    let bound = net.deadline_bound(&spec);
+    for (_, tx) in &established {
+        let ch = stats.channel(tx.id).expect("channel delivered frames");
+        assert_eq!(
+            ch.delivered,
+            messages * spec.capacity.get(),
+            "channel {} lost frames",
+            tx.id
+        );
+        assert!(
+            ch.max_latency <= bound,
+            "channel {} worst latency {} exceeds bound {}",
+            tx.id,
+            ch.max_latency,
+            bound
+        );
+    }
+}
+
+#[test]
+fn paper_parameters_meet_the_bound_under_sdps_and_adps() {
+    let spec = RtChannelSpec::paper_default();
+    run_and_validate(DpsKind::Symmetric, 16, 10, spec);
+    run_and_validate(DpsKind::Asymmetric, 16, 10, spec);
+}
+
+#[test]
+fn tight_deadline_channels_meet_the_bound() {
+    // d = 2C: the tightest deadline the store-and-forward architecture can
+    // accept at all.
+    let spec = RtChannelSpec::new(Slots::new(50), Slots::new(2), Slots::new(4)).unwrap();
+    run_and_validate(DpsKind::Symmetric, 4, 10, spec);
+}
+
+#[test]
+fn long_period_channels_meet_the_bound() {
+    let spec = RtChannelSpec::new(Slots::new(500), Slots::new(5), Slots::new(100)).unwrap();
+    run_and_validate(DpsKind::Asymmetric, 8, 5, spec);
+}
+
+#[test]
+fn saturated_adps_system_still_meets_every_deadline() {
+    // Load one master uplink close to its ADPS capacity and verify the
+    // guarantee still holds for every admitted channel.
+    let spec = RtChannelSpec::paper_default();
+    let mut net = RtNetwork::new(RtNetworkConfig::with_nodes(14, DpsKind::Asymmetric));
+    let mut established = Vec::new();
+    for dst in 1..=13u32 {
+        if let Some(tx) = net
+            .establish_channel(NodeId::new(0), NodeId::new(dst), spec)
+            .unwrap()
+        {
+            established.push(tx);
+        }
+    }
+    assert!(established.len() >= 8, "expected a heavily loaded uplink");
+    let start = net.now() + Duration::from_millis(1);
+    for tx in &established {
+        net.send_periodic(NodeId::new(0), tx.id, 8, 1400, start).unwrap();
+    }
+    net.run_to_completion().unwrap();
+    let stats = net.simulator().stats();
+    assert_eq!(stats.total_deadline_misses, 0);
+    assert!(stats.worst_case_latency().unwrap() <= net.deadline_bound(&spec));
+}

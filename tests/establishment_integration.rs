@@ -1,0 +1,157 @@
+//! Integration tests: the channel-establishment handshake running end to end
+//! over the simulated switched Ethernet (source RT layer ↔ switch ↔
+//! destination RT layer, every protocol frame actually crossing the wire).
+
+use switched_rt_ethernet::core::{DpsKind, RtChannelSpec, RtNetwork, RtNetworkConfig};
+use switched_rt_ethernet::types::{NodeId, Slots};
+
+#[test]
+fn establishes_channels_between_many_pairs() {
+    let mut net = RtNetwork::new(RtNetworkConfig::with_nodes(8, DpsKind::Asymmetric));
+    let spec = RtChannelSpec::paper_default();
+    let mut established = 0;
+    for src in 0..4u32 {
+        for dst in 4..8u32 {
+            let tx = net
+                .establish_channel(NodeId::new(src), NodeId::new(dst), spec)
+                .unwrap();
+            if tx.is_some() {
+                established += 1;
+            }
+        }
+    }
+    assert_eq!(established, 16, "a lightly loaded network accepts all 16 channels");
+    assert_eq!(net.manager().channel_count(), 16);
+    // Every destination registered its incoming channels.
+    for dst in 4..8u32 {
+        assert_eq!(
+            net.layer(NodeId::new(dst)).unwrap().rx_channels().count(),
+            4
+        );
+    }
+    // Channel ids handed out over the wire are unique.
+    let mut ids: Vec<u16> = net
+        .manager()
+        .admission()
+        .state()
+        .channels()
+        .map(|c| c.id.get())
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 16);
+}
+
+#[test]
+fn switch_rejection_travels_back_to_the_source() {
+    // SDPS + paper parameters: the 7th channel from one node must be
+    // rejected by the switch and the source must see the rejection.
+    let mut net = RtNetwork::new(RtNetworkConfig::with_nodes(10, DpsKind::Symmetric));
+    let spec = RtChannelSpec::paper_default();
+    let mut results = Vec::new();
+    for dst in 1..=8u32 {
+        results.push(
+            net.establish_channel(NodeId::new(0), NodeId::new(dst), spec)
+                .unwrap(),
+        );
+    }
+    let accepted = results.iter().filter(|r| r.is_some()).count();
+    let rejected = results.iter().filter(|r| r.is_none()).count();
+    assert_eq!(accepted, 6);
+    assert_eq!(rejected, 2);
+    // The source RT layer holds exactly the accepted channels and no
+    // dangling outstanding requests.
+    let layer = net.layer(NodeId::new(0)).unwrap();
+    assert_eq!(layer.tx_channels().count(), 6);
+    assert_eq!(layer.outstanding_requests(), 0);
+}
+
+#[test]
+fn destination_rejection_rolls_back_reserved_capacity() {
+    // Destinations that only accept one incoming channel force the switch
+    // to roll back the second reservation, freeing the capacity for a third
+    // request towards another destination.
+    let config = RtNetworkConfig {
+        max_incoming_channels: Some(1),
+        ..RtNetworkConfig::with_nodes(4, DpsKind::Symmetric)
+    };
+    let mut net = RtNetwork::new(config);
+    let spec = RtChannelSpec::paper_default();
+
+    assert!(net
+        .establish_channel(NodeId::new(0), NodeId::new(1), spec)
+        .unwrap()
+        .is_some());
+    // Second channel to the same destination: switch says yes, destination
+    // says no.
+    assert!(net
+        .establish_channel(NodeId::new(2), NodeId::new(1), spec)
+        .unwrap()
+        .is_none());
+    // The rolled-back reservation must not count against the system.
+    assert_eq!(net.manager().channel_count(), 1);
+    // And node 2 can still open a channel elsewhere.
+    assert!(net
+        .establish_channel(NodeId::new(2), NodeId::new(3), spec)
+        .unwrap()
+        .is_some());
+}
+
+#[test]
+fn teardown_frees_capacity_end_to_end() {
+    let mut net = RtNetwork::new(RtNetworkConfig::with_nodes(10, DpsKind::Symmetric));
+    let spec = RtChannelSpec::paper_default();
+    let mut channels = Vec::new();
+    for dst in 1..=6u32 {
+        channels.push(
+            net.establish_channel(NodeId::new(0), NodeId::new(dst), spec)
+                .unwrap()
+                .unwrap(),
+        );
+    }
+    // Uplink full.
+    assert!(net
+        .establish_channel(NodeId::new(0), NodeId::new(7), spec)
+        .unwrap()
+        .is_none());
+    // Tear one down over the wire; the freed capacity admits a new channel.
+    net.teardown_channel(NodeId::new(0), channels[0].id).unwrap();
+    assert_eq!(net.manager().channel_count(), 5);
+    assert!(net
+        .establish_channel(NodeId::new(0), NodeId::new(7), spec)
+        .unwrap()
+        .is_some());
+}
+
+#[test]
+fn invalid_specs_are_rejected_without_touching_the_network() {
+    let mut net = RtNetwork::new(RtNetworkConfig::with_nodes(3, DpsKind::Asymmetric));
+    // Deadline shorter than 2C: invalid for a store-and-forward switch.
+    let bad = RtChannelSpec {
+        period: Slots::new(100),
+        capacity: Slots::new(10),
+        deadline: Slots::new(15),
+    };
+    assert!(net
+        .establish_channel(NodeId::new(0), NodeId::new(1), bad)
+        .is_err());
+    assert_eq!(net.manager().channel_count(), 0);
+}
+
+#[test]
+fn establishment_handshake_takes_bounded_wire_time() {
+    // Each handshake is 4 control frames (request, forwarded request,
+    // response, forwarded response), all minimum-size: it must complete in
+    // well under a millisecond of simulated time on an idle network.
+    let mut net = RtNetwork::new(RtNetworkConfig::with_nodes(3, DpsKind::Symmetric));
+    let spec = RtChannelSpec::paper_default();
+    let before = net.now();
+    net.establish_channel(NodeId::new(0), NodeId::new(1), spec)
+        .unwrap()
+        .unwrap();
+    let elapsed = net.now().saturating_duration_since(before);
+    assert!(
+        elapsed.as_micros() < 1000,
+        "handshake took {elapsed} of simulated time"
+    );
+}
