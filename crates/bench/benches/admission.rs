@@ -1,69 +1,39 @@
-//! Criterion bench: cost of the full Figure 18.5 admission sweep and of a
+//! Micro-bench: cost of the full Figure 18.5 admission sweep and of a
 //! single admission decision under each DPS.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
-use std::time::Duration;
-
 use rt_bench::experiments::run_admission;
+use rt_bench::MicroBench;
 use rt_core::{AdmissionController, DpsKind, RtChannelSpec, SystemState};
 use rt_traffic::{RequestPattern, Scenario};
 
-fn bench_admission_sweep(c: &mut Criterion) {
+fn main() {
     let scenario = Scenario::paper_master_slave();
     let nodes = scenario.nodes();
     let spec = RtChannelSpec::paper_default();
     let requests = RequestPattern::MasterSlaveRoundRobin.generate(&scenario, 200, spec);
 
-    let mut group = c.benchmark_group("admission_fig18_5");
-    group
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+    let mut harness = MicroBench::new();
     for dps in [DpsKind::Symmetric, DpsKind::Asymmetric, DpsKind::Search] {
-        group.bench_function(format!("{dps:?}_200_requests"), |b| {
-            b.iter(|| black_box(run_admission(&nodes, &requests, dps, false)))
+        harness.bench(&format!("sweep_{dps:?}_200_requests"), || {
+            run_admission(&nodes, &requests, dps, false)
         });
     }
-    group.finish();
-}
 
-fn bench_single_decision(c: &mut Criterion) {
-    let scenario = Scenario::paper_master_slave();
-    let spec = RtChannelSpec::paper_default();
-    let requests = RequestPattern::MasterSlaveRoundRobin.generate(&scenario, 59, spec);
-
-    let mut group = c.benchmark_group("admission_single_decision");
-    group
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+    // A single decision against a loaded controller (setup included in the
+    // measured closure; the sweep benchmarks above isolate the request
+    // path).
+    let warm_requests = RequestPattern::MasterSlaveRoundRobin.generate(&scenario, 59, spec);
     for dps in [DpsKind::Symmetric, DpsKind::Asymmetric] {
-        group.bench_function(format!("{dps:?}_on_loaded_system"), |b| {
-            b.iter_batched(
-                || {
-                    let mut controller = AdmissionController::new(
-                        SystemState::with_nodes(scenario.nodes()),
-                        dps.build(),
-                    );
-                    for r in &requests {
-                        let _ = controller.request(r.source, r.destination, r.spec).unwrap();
-                    }
-                    controller
-                },
-                |mut controller| {
-                    black_box(
-                        controller
-                            .request(scenario.master(59), scenario.slave(59), spec)
-                            .unwrap(),
-                    )
-                },
-                BatchSize::SmallInput,
-            )
+        harness.bench(&format!("single_decision_{dps:?}_on_loaded_system"), || {
+            let mut controller =
+                AdmissionController::new(SystemState::with_nodes(scenario.nodes()), dps.build());
+            for r in &warm_requests {
+                let _ = controller.request(r.source, r.destination, r.spec).unwrap();
+            }
+            controller
+                .request(scenario.master(59), scenario.slave(59), spec)
+                .unwrap()
         });
     }
-    group.finish();
+    harness.finish("admission control");
 }
-
-criterion_group!(benches, bench_admission_sweep, bench_single_decision);
-criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Micro-bench: fabric event throughput — a 1-switch star vs. a 4-switch
+//! tree at equal node counts, at equal injected frame counts.
+//!
+//! This is the perf baseline for the topology-driven simulator: the tree
+//! routes every cross-switch frame over trunk ports (more events per frame:
+//! extra TrunkTxComplete / ArriveAtSwitch pairs), so events/frame grows with
+//! the hop count while events/second should stay flat.
+
+use std::time::Instant;
+
+use rt_bench::MicroBench;
+use rt_frames::rt_data::{DeadlineStamp, RtDataFrame};
+use rt_netsim::{SimConfig, Simulator};
+use rt_types::{ChannelId, MacAddr, NodeId, SimTime, SwitchId, Topology};
+
+const NODES: u32 = 16;
+const FRAMES: u64 = 2000;
+
+fn rt_eth(from: NodeId, to: NodeId, deadline_ns: u64) -> rt_frames::EthernetFrame {
+    RtDataFrame {
+        eth_src: MacAddr::for_node(from),
+        eth_dst: MacAddr::for_node(to),
+        stamp: DeadlineStamp::new(deadline_ns, ChannelId::new(1)).unwrap(),
+        src_port: 1,
+        dst_port: 2,
+        payload: vec![0u8; 1000],
+    }
+    .into_ethernet()
+    .unwrap()
+}
+
+/// A balanced 4-switch line with NODES/4 nodes per switch.
+fn tree_topology() -> Topology {
+    Topology::line(4, NODES / 4)
+}
+
+/// A 1-switch star over the same node count.
+fn star_topology() -> Topology {
+    Topology::star(SwitchId::new(0), (0..NODES).map(NodeId::new))
+}
+
+/// Inject an all-pairs-ish workload: frame k goes from node k mod N to node
+/// (k + N/2) mod N, which crosses switches in the tree for most pairs.
+fn drive(topology: Topology) -> u64 {
+    let mut sim = Simulator::with_topology(SimConfig::default(), topology).unwrap();
+    for k in 0..FRAMES {
+        let src = NodeId::new((k % u64::from(NODES)) as u32);
+        let dst = NodeId::new(((k + u64::from(NODES / 2)) % u64::from(NODES)) as u32);
+        sim.inject(
+            src,
+            rt_eth(src, dst, 10_000_000_000),
+            SimTime::from_micros(k * 2),
+        )
+        .unwrap();
+    }
+    sim.run_to_idle();
+    sim.events_processed()
+}
+
+fn main() {
+    let mut harness = MicroBench::new();
+    harness.bench(&format!("star_{NODES}_nodes_{FRAMES}_frames"), || {
+        drive(star_topology())
+    });
+    harness.bench(&format!("tree_4sw_{NODES}_nodes_{FRAMES}_frames"), || {
+        drive(tree_topology())
+    });
+    harness.finish("fabric event throughput (1-switch star vs 4-switch tree)");
+
+    // Report events/second alongside: the useful capacity number for the
+    // ROADMAP's scale goals.
+    for (name, topo) in [("star", star_topology()), ("tree", tree_topology())] {
+        let start = Instant::now();
+        let events = drive(topo);
+        let elapsed = start.elapsed();
+        println!(
+            "{name}: {events} events in {:.1} ms -> {:.2} M events/s, {:.1} events/frame",
+            elapsed.as_secs_f64() * 1e3,
+            events as f64 / elapsed.as_secs_f64() / 1e6,
+            events as f64 / FRAMES as f64,
+        );
+    }
+}

@@ -1,11 +1,8 @@
-//! Criterion bench: the per-link EDF feasibility test (Constraint 1 + 2) as
-//! a function of the number of channel-halves on the link, and the
+//! Micro-bench: the per-link EDF feasibility test (Constraint 1 + 2) as a
+//! function of the number of channel-halves on the link, and the
 //! utilisation-only shortcut for comparison.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use std::time::Duration;
-
+use rt_bench::MicroBench;
 use rt_edf::{FeasibilityTester, PeriodicTask, TaskSet};
 use rt_types::Slots;
 
@@ -30,34 +27,23 @@ fn mixed_set(n: usize) -> TaskSet {
         .collect()
 }
 
-fn bench_feasibility(c: &mut Criterion) {
-    let mut group = c.benchmark_group("feasibility_test");
-    group
-        .sample_size(50)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+fn main() {
+    let mut harness = MicroBench::new();
 
     for n in [6usize, 11, 33] {
         let set: TaskSet = (0..n).map(|_| paper_half(20)).collect();
-        group.bench_function(format!("paper_uplink_{n}_channels"), |b| {
-            let tester = FeasibilityTester::new();
-            b.iter(|| black_box(tester.test(&set)))
-        });
+        let tester = FeasibilityTester::new();
+        harness.bench(&format!("paper_uplink_{n}_channels"), || tester.test(&set));
     }
 
     for n in [10usize, 50, 200] {
         let set = mixed_set(n);
-        group.bench_function(format!("mixed_full_{n}_tasks"), |b| {
-            let tester = FeasibilityTester::new();
-            b.iter(|| black_box(tester.test(&set)))
-        });
-        group.bench_function(format!("mixed_utilisation_only_{n}_tasks"), |b| {
-            let tester = FeasibilityTester::utilisation_only();
-            b.iter(|| black_box(tester.test(&set)))
+        let full = FeasibilityTester::new();
+        harness.bench(&format!("mixed_full_{n}_tasks"), || full.test(&set));
+        let util = FeasibilityTester::utilisation_only();
+        harness.bench(&format!("mixed_utilisation_only_{n}_tasks"), || {
+            util.test(&set)
         });
     }
-    group.finish();
+    harness.finish("EDF feasibility test");
 }
-
-criterion_group!(benches, bench_feasibility);
-criterion_main!(benches);

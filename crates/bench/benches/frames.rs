@@ -1,11 +1,8 @@
-//! Criterion bench: wire-format encode/decode throughput — the per-frame
-//! work the RT layer adds on the data path (deadline stamping) and the
-//! control path (request/response codecs).
+//! Micro-bench: wire-format encode/decode throughput — the per-frame work
+//! the RT layer adds on the data path (deadline stamping) and the control
+//! path (request/response codecs).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use std::time::Duration;
-
+use rt_bench::MicroBench;
 use rt_frames::rt_data::{DeadlineStamp, RtDataFrame};
 use rt_frames::{EthernetFrame, Frame, RequestFrame, ResponseFrame};
 use rt_types::{ChannelId, ConnectionRequestId, Ipv4Address, MacAddr, NodeId, Slots};
@@ -35,47 +32,35 @@ fn data_frame(payload: usize) -> RtDataFrame {
     }
 }
 
-fn bench_frames(c: &mut Criterion) {
-    let mut group = c.benchmark_group("frame_codecs");
-    group
-        .sample_size(50)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+fn main() {
+    let mut harness = MicroBench::new();
 
-    group.bench_function("request_encode", |b| {
-        let f = request_frame();
-        b.iter(|| black_box(f.encode().unwrap()))
-    });
-    group.bench_function("request_decode", |b| {
-        let bytes = request_frame().encode().unwrap();
-        b.iter(|| black_box(RequestFrame::decode(&bytes).unwrap()))
-    });
-    group.bench_function("response_roundtrip", |b| {
-        let f = ResponseFrame {
-            rt_channel_id: Some(ChannelId::new(3)),
-            switch_mac: MacAddr::for_switch(),
-            verdict: rt_frames::rt_response::ResponseVerdict::Accepted,
-            connection_request_id: ConnectionRequestId::new(1),
-        };
-        b.iter(|| black_box(ResponseFrame::decode(&f.encode()).unwrap()))
+    let f = request_frame();
+    harness.bench("request_encode", || f.encode().unwrap());
+    let bytes = request_frame().encode().unwrap();
+    harness.bench("request_decode", || RequestFrame::decode(&bytes).unwrap());
+
+    let resp = ResponseFrame {
+        rt_channel_id: Some(ChannelId::new(3)),
+        switch_mac: MacAddr::for_switch(),
+        verdict: rt_frames::rt_response::ResponseVerdict::Accepted,
+        connection_request_id: ConnectionRequestId::new(1),
+    };
+    harness.bench("response_roundtrip", || {
+        ResponseFrame::decode(&resp.encode()).unwrap()
     });
 
     for payload in [64usize, 1400] {
-        group.bench_function(format!("rt_data_build_{payload}B"), |b| {
-            let f = data_frame(payload);
-            b.iter(|| black_box(f.into_ethernet().unwrap()))
+        let f = data_frame(payload);
+        harness.bench(&format!("rt_data_build_{payload}B"), || {
+            f.into_ethernet().unwrap()
         });
-        group.bench_function(format!("rt_data_classify_{payload}B"), |b| {
-            let eth = data_frame(payload).into_ethernet().unwrap();
-            let bytes = eth.encode();
-            b.iter(|| {
-                let decoded = EthernetFrame::decode(&bytes).unwrap();
-                black_box(Frame::classify(decoded).unwrap())
-            })
+        let eth = data_frame(payload).into_ethernet().unwrap();
+        let bytes = eth.encode();
+        harness.bench(&format!("rt_data_classify_{payload}B"), || {
+            let decoded = EthernetFrame::decode(&bytes).unwrap();
+            Frame::classify(decoded).unwrap()
         });
     }
-    group.finish();
+    harness.finish("frame codecs");
 }
-
-criterion_group!(benches, bench_frames);
-criterion_main!(benches);

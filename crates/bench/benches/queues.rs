@@ -1,70 +1,54 @@
-//! Criterion bench: the deadline-sorted (EDF) queue and the FCFS queue that
+//! Micro-bench: the deadline-sorted (EDF) queue and the FCFS queue that
 //! every output port runs — the per-frame queueing cost of the RT layer.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
-use std::time::Duration;
-
+use rt_bench::MicroBench;
 use rt_edf::{EdfQueue, FcfsQueue};
 
-fn bench_queues(c: &mut Criterion) {
-    let mut group = c.benchmark_group("queues");
-    group
-        .sample_size(50)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+fn main() {
+    let mut harness = MicroBench::new();
 
     for n in [64usize, 1024] {
         // Pre-generated pseudo-random deadlines (deterministic).
-        let deadlines: Vec<u64> = (0..n as u64).map(|i| (i * 2_654_435_761) % 100_000).collect();
+        let deadlines: Vec<u64> = (0..n as u64)
+            .map(|i| (i * 2_654_435_761) % 100_000)
+            .collect();
 
-        group.bench_function(format!("edf_push_pop_{n}"), |b| {
-            b.iter_batched(
-                EdfQueue::new,
-                |mut q| {
-                    for (i, d) in deadlines.iter().enumerate() {
-                        q.push(*d, i);
-                    }
-                    while let Some(item) = q.pop() {
-                        black_box(item);
-                    }
-                },
-                BatchSize::SmallInput,
-            )
+        harness.bench(&format!("edf_push_pop_{n}"), || {
+            let mut q = EdfQueue::new();
+            for (i, d) in deadlines.iter().enumerate() {
+                q.push(*d, i);
+            }
+            let mut last = None;
+            while let Some(item) = q.pop() {
+                last = Some(item);
+            }
+            last
         });
 
-        group.bench_function(format!("fcfs_push_pop_{n}"), |b| {
-            b.iter_batched(
-                FcfsQueue::new,
-                |mut q| {
-                    for i in 0..n {
-                        q.push(i);
-                    }
-                    while let Some(item) = q.pop() {
-                        black_box(item);
-                    }
-                },
-                BatchSize::SmallInput,
-            )
+        harness.bench(&format!("fcfs_push_pop_{n}"), || {
+            let mut q = FcfsQueue::new();
+            for i in 0..n {
+                q.push(i);
+            }
+            let mut last = None;
+            while let Some(item) = q.pop() {
+                last = Some(item);
+            }
+            last
         });
     }
 
-    group.bench_function("edf_steady_state_push_pop", |b| {
-        // A queue holding ~64 frames with one push+pop per iteration — the
-        // switch port's steady state.
-        let mut q = EdfQueue::new();
-        for i in 0..64u64 {
-            q.push(i * 1000, i);
-        }
-        let mut next = 64_000u64;
-        b.iter(|| {
-            q.push(next, next);
-            next += 1000;
-            black_box(q.pop())
-        })
+    // A queue holding ~64 frames with one push+pop per iteration — the
+    // switch port's steady state.
+    let mut q = EdfQueue::new();
+    for i in 0..64u64 {
+        q.push(i * 1000, i);
+    }
+    let mut next = 64_000u64;
+    harness.bench("edf_steady_state_push_pop", move || {
+        q.push(next, next);
+        next += 1000;
+        q.pop()
     });
-    group.finish();
+    harness.finish("output-port queues");
 }
-
-criterion_group!(benches, bench_queues);
-criterion_main!(benches);

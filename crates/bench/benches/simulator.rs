@@ -1,10 +1,7 @@
-//! Criterion bench: event throughput of the discrete-event simulator and
+//! Micro-bench: event throughput of the discrete-event simulator and
 //! end-to-end cost of the channel-establishment handshake over the wire.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
-use std::time::Duration;
-
+use rt_bench::MicroBench;
 use rt_core::{DpsKind, RtChannelSpec, RtNetwork, RtNetworkConfig};
 use rt_frames::rt_data::{DeadlineStamp, RtDataFrame};
 use rt_netsim::{SimConfig, Simulator};
@@ -23,58 +20,35 @@ fn rt_eth(from: u32, to: u32, deadline_ns: u64) -> rt_frames::EthernetFrame {
     .unwrap()
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
-    group
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+fn main() {
+    let mut harness = MicroBench::new();
 
     for frames in [100u64, 1000] {
-        group.bench_function(format!("forward_{frames}_rt_frames_8_nodes"), |b| {
-            b.iter_batched(
-                || {
-                    let mut sim =
-                        Simulator::new(SimConfig::default(), (0..8).map(NodeId::new));
-                    for k in 0..frames {
-                        let src = (k % 8) as u32;
-                        let dst = ((k + 1) % 8) as u32;
-                        sim.inject(
-                            NodeId::new(src),
-                            rt_eth(src, dst, 1_000_000_000),
-                            SimTime::from_micros(k),
-                        )
-                        .unwrap();
-                    }
-                    sim
-                },
-                |mut sim| {
-                    sim.run_to_idle();
-                    black_box(sim.events_processed())
-                },
-                BatchSize::SmallInput,
-            )
+        harness.bench(&format!("forward_{frames}_rt_frames_8_nodes"), || {
+            let mut sim = Simulator::new(SimConfig::default(), (0..8).map(NodeId::new));
+            for k in 0..frames {
+                let src = (k % 8) as u32;
+                let dst = ((k + 1) % 8) as u32;
+                sim.inject(
+                    NodeId::new(src),
+                    rt_eth(src, dst, 1_000_000_000),
+                    SimTime::from_micros(k),
+                )
+                .unwrap();
+            }
+            sim.run_to_idle();
+            sim.events_processed()
         });
     }
 
-    group.bench_function("channel_establishment_handshake", |b| {
-        b.iter_batched(
-            || RtNetwork::new(RtNetworkConfig::with_nodes(8, DpsKind::Asymmetric)),
-            |mut net| {
-                let tx = net
-                    .establish_channel(
-                        NodeId::new(0),
-                        NodeId::new(1),
-                        RtChannelSpec::paper_default(),
-                    )
-                    .unwrap();
-                black_box(tx)
-            },
-            BatchSize::SmallInput,
+    harness.bench("channel_establishment_handshake", || {
+        let mut net = RtNetwork::new(RtNetworkConfig::with_nodes(8, DpsKind::Asymmetric));
+        net.establish_channel(
+            NodeId::new(0),
+            NodeId::new(1),
+            RtChannelSpec::paper_default(),
         )
+        .unwrap()
     });
-    group.finish();
+    harness.finish("simulator");
 }
-
-criterion_group!(benches, bench_simulator);
-criterion_main!(benches);

@@ -39,7 +39,11 @@ fn main() {
     let rt_ok = results.iter().all(|r| r.rt_misses == 0);
     println!(
         "RT deadline misses across all load levels: {}",
-        if rt_ok { "none (guarantees hold)" } else { "PRESENT (guarantee violated)" }
+        if rt_ok {
+            "none (guarantees hold)"
+        } else {
+            "PRESENT (guarantee violated)"
+        }
     );
     maybe_write_json_from_args(&results);
 }

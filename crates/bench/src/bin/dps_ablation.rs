@@ -8,18 +8,29 @@
 //! Usage: `cargo run -p rt-bench --bin dps_ablation [results.json]`
 
 use rt_bench::experiments::run_admission;
-use rt_bench::report::{maybe_write_json_from_args, Table};
+use rt_bench::report::{json_object, maybe_write_json_from_args, Table, ToJson};
 use rt_core::{DpsKind, RtChannelSpec};
 use rt_traffic::{HeterogeneousSpecs, RequestPattern, Scenario};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct AblationRow {
     pattern: String,
     specs: String,
     dps: String,
     requested: u64,
     accepted: u64,
+}
+
+impl ToJson for AblationRow {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("pattern", self.pattern.to_json()),
+            ("specs", self.specs.to_json()),
+            ("dps", self.dps.to_json()),
+            ("requested", self.requested.to_json()),
+            ("accepted", self.accepted.to_json()),
+        ])
+    }
 }
 
 fn main() {
@@ -40,14 +51,19 @@ fn main() {
 
     let mut rows = Vec::new();
     println!("Ablation A — accepted channels out of {requested} requested, per DPS and request pattern\n");
-    let mut table = Table::new(&["pattern", "specs", "SDPS", "ADPS", "ADPS-util", "Search-DPS"]);
+    let mut table = Table::new(&[
+        "pattern",
+        "specs",
+        "SDPS",
+        "ADPS",
+        "ADPS-util",
+        "Search-DPS",
+    ]);
 
     for (pattern_name, pattern) in &patterns {
         for specs_kind in ["paper", "heterogeneous"] {
             let requests = match specs_kind {
-                "paper" => {
-                    pattern.generate(&scenario, requested, RtChannelSpec::paper_default())
-                }
+                "paper" => pattern.generate(&scenario, requested, RtChannelSpec::paper_default()),
                 _ => {
                     let mut gen = HeterogeneousSpecs::new(42);
                     pattern.generate_with(&scenario, requested, |_| gen.next_spec())

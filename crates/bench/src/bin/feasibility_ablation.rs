@@ -12,14 +12,13 @@
 use std::time::Instant;
 
 use rt_bench::experiments::{run_admission, run_admission_returning_controller};
-use rt_bench::report::{maybe_write_json_from_args, Table};
+use rt_bench::report::{json_object, maybe_write_json_from_args, Table, ToJson};
 use rt_core::{DpsKind, RtChannelSpec};
 use rt_edf::schedule::simulate_over_hyperperiod;
 use rt_traffic::{RequestPattern, Scenario};
 use rt_types::Slots;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct FeasibilityRow {
     test: String,
     requested: u64,
@@ -27,6 +26,19 @@ struct FeasibilityRow {
     links_with_misses: u64,
     total_misses: u64,
     admission_time_us: u128,
+}
+
+impl ToJson for FeasibilityRow {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("test", self.test.to_json()),
+            ("requested", self.requested.to_json()),
+            ("accepted", self.accepted.to_json()),
+            ("links_with_misses", self.links_with_misses.to_json()),
+            ("total_misses", self.total_misses.to_json()),
+            ("admission_time_us", self.admission_time_us.to_json()),
+        ])
+    }
 }
 
 fn run_case(utilisation_only: bool, requested: u64) -> FeasibilityRow {
@@ -41,12 +53,8 @@ fn run_case(utilisation_only: bool, requested: u64) -> FeasibilityRow {
 
     // Re-run keeping the controller so the per-link task sets can be
     // simulated slot-by-slot over their hyperperiod.
-    let controller = run_admission_returning_controller(
-        &nodes,
-        &requests,
-        DpsKind::Symmetric,
-        utilisation_only,
-    );
+    let controller =
+        run_admission_returning_controller(&nodes, &requests, DpsKind::Symmetric, utilisation_only);
     let mut links_with_misses = 0u64;
     let mut total_misses = 0u64;
     for (link, _load) in controller.state().loaded_links() {

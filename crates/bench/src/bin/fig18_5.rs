@@ -7,21 +7,18 @@
 //!
 //! Usage: `cargo run -p rt-bench --bin fig18_5 [results.json]`
 
-use rt_bench::report::{maybe_write_json_from_args, Table};
 use rt_bench::experiments::admission_sweep;
+use rt_bench::report::{maybe_write_json_from_args, Table};
 
 fn main() {
     // The figure's x axis: 20 to 200 requested channels.
     let points: Vec<u64> = (1..=10).map(|k| k * 20).collect();
     let rows = admission_sweep(&points);
 
-    println!("Figure 18.5 — accepted vs requested channels (C=3, P=100, D=40; 10 masters, 50 slaves)\n");
-    let mut table = Table::new(&[
-        "requested",
-        "SDPS accepted",
-        "ADPS accepted",
-        "ADPS/SDPS",
-    ]);
+    println!(
+        "Figure 18.5 — accepted vs requested channels (C=3, P=100, D=40; 10 masters, 50 slaves)\n"
+    );
+    let mut table = Table::new(&["requested", "SDPS accepted", "ADPS accepted", "ADPS/SDPS"]);
     for row in &rows {
         let ratio = if row.sdps_accepted == 0 {
             0.0

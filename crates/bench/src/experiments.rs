@@ -1,14 +1,17 @@
 //! Reusable experiment drivers shared by the harness binaries and the
 //! Criterion benches.
 
-use rt_core::{AdmissionController, DpsKind, RtChannelSpec, RtNetwork, RtNetworkConfig, SystemState};
+use rt_core::{
+    AdmissionController, DpsKind, RtChannelSpec, RtNetwork, RtNetworkConfig, SystemState,
+};
 use rt_traffic::{ChannelRequest, RequestPattern, Scenario};
 use rt_types::{Duration, LinkDirection, NodeId, SimTime};
-use serde::Serialize;
+
+use crate::report::{json_object, ToJson};
 
 /// Aggregate result of feeding a request sequence to one admission
 /// controller configuration.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AdmissionRunResult {
     /// Name of the deadline-partitioning scheme.
     pub dps: String,
@@ -32,6 +35,19 @@ impl AdmissionRunResult {
         } else {
             self.accepted as f64 / self.requested as f64
         }
+    }
+}
+
+impl ToJson for AdmissionRunResult {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("dps", self.dps.to_json()),
+            ("requested", self.requested.to_json()),
+            ("accepted", self.accepted.to_json()),
+            ("rejected_uplink", self.rejected_uplink.to_json()),
+            ("rejected_downlink", self.rejected_downlink.to_json()),
+            ("rejected_other", self.rejected_other.to_json()),
+        ])
     }
 }
 
@@ -101,7 +117,7 @@ pub fn run_admission_returning_controller(
 }
 
 /// One row of the Figure 18.5 reproduction.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig18Row {
     /// Number of requested channels.
     pub requested: u64,
@@ -109,6 +125,16 @@ pub struct Fig18Row {
     pub sdps_accepted: u64,
     /// Channels accepted under asymmetric deadline partitioning.
     pub adps_accepted: u64,
+}
+
+impl ToJson for Fig18Row {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("requested", self.requested.to_json()),
+            ("sdps_accepted", self.sdps_accepted.to_json()),
+            ("adps_accepted", self.adps_accepted.to_json()),
+        ])
+    }
 }
 
 /// Reproduce Figure 18.5: for each number of requested channels, count how
@@ -138,7 +164,7 @@ pub fn admission_sweep(points: &[u64]) -> Vec<Fig18Row> {
 }
 
 /// Result of the end-to-end delay validation experiment (Eq. 18.1).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DelayValidationResult {
     /// The DPS used by the switch.
     pub dps: String,
@@ -156,6 +182,21 @@ pub struct DelayValidationResult {
     pub bound_ns: u64,
     /// `true` when every frame met the bound.
     pub all_within_bound: bool,
+}
+
+impl ToJson for DelayValidationResult {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("dps", self.dps.to_json()),
+            ("channels_requested", self.channels_requested.to_json()),
+            ("channels_established", self.channels_established.to_json()),
+            ("frames_delivered", self.frames_delivered.to_json()),
+            ("deadline_misses", self.deadline_misses.to_json()),
+            ("worst_latency_ns", self.worst_latency_ns.to_json()),
+            ("bound_ns", self.bound_ns.to_json()),
+            ("all_within_bound", self.all_within_bound.to_json()),
+        ])
+    }
 }
 
 /// Establish `channels` channels (master → slave, paper parameters) over the
@@ -205,7 +246,7 @@ pub fn delay_validation(channels: u64, messages: u64, dps: DpsKind) -> DelayVali
 }
 
 /// Result of one coexistence run (Ablation C).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CoexistenceResult {
     /// Offered best-effort load as a fraction of one link's capacity.
     pub be_load_fraction: f64,
@@ -219,6 +260,19 @@ pub struct CoexistenceResult {
     pub be_delivered: u64,
     /// Best-effort frames dropped at full queues.
     pub be_dropped: u64,
+}
+
+impl ToJson for CoexistenceResult {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("be_load_fraction", self.be_load_fraction.to_json()),
+            ("rt_delivered", self.rt_delivered.to_json()),
+            ("rt_misses", self.rt_misses.to_json()),
+            ("rt_worst_latency_ns", self.rt_worst_latency_ns.to_json()),
+            ("be_delivered", self.be_delivered.to_json()),
+            ("be_dropped", self.be_dropped.to_json()),
+        ])
+    }
 }
 
 /// Run the coexistence experiment: a handful of RT channels plus best-effort
@@ -261,9 +315,8 @@ pub fn coexistence_run(
         .link_speed
         .slots_to_duration(rt_types::Slots::new(spec.period.get() * messages));
     if be_load_fraction > 0.0 {
-        let gap = Duration::from_nanos(
-            ((slot.as_nanos() as f64) / be_load_fraction).round() as u64
-        );
+        let gap =
+            Duration::from_nanos(((slot.as_nanos() as f64) / be_load_fraction).round() as u64);
         let mut t = start;
         while t < start + horizon {
             net.send_best_effort(scenario.master(0), scenario.slave(0), 1400, t)
@@ -307,23 +360,30 @@ mod tests {
         assert_eq!(rows[3].sdps_accepted, 60);
         // ADPS keeps accepting well beyond SDPS (paper: ~110 at 200
         // requests) — require at least 1.5x.
-        assert!(rows[3].adps_accepted >= 90, "ADPS only accepted {}", rows[3].adps_accepted);
+        assert!(
+            rows[3].adps_accepted >= 90,
+            "ADPS only accepted {}",
+            rows[3].adps_accepted
+        );
         assert!(rows[3].adps_accepted as f64 >= 1.5 * rows[3].sdps_accepted as f64);
         // Acceptance is monotone in the number of requests.
-        assert!(rows.windows(2).all(|w| w[0].adps_accepted <= w[1].adps_accepted));
+        assert!(rows
+            .windows(2)
+            .all(|w| w[0].adps_accepted <= w[1].adps_accepted));
     }
 
     #[test]
     fn run_admission_classifies_rejections() {
         let scenario = Scenario::paper_master_slave();
         let spec = RtChannelSpec::paper_default();
-        let requests =
-            RequestPattern::MasterSlaveRoundRobin.generate(&scenario, 200, spec);
+        let requests = RequestPattern::MasterSlaveRoundRobin.generate(&scenario, 200, spec);
         let result = run_admission(&scenario.nodes(), &requests, DpsKind::Symmetric, false);
         assert_eq!(result.requested, 200);
         assert_eq!(result.accepted, 60);
         assert_eq!(
-            result.accepted + result.rejected_uplink + result.rejected_downlink
+            result.accepted
+                + result.rejected_uplink
+                + result.rejected_downlink
                 + result.rejected_other,
             200
         );
@@ -340,7 +400,11 @@ mod tests {
         assert_eq!(result.channels_established, 12);
         assert!(result.frames_delivered > 0);
         assert_eq!(result.deadline_misses, 0);
-        assert!(result.all_within_bound, "worst {} > bound {}", result.worst_latency_ns, result.bound_ns);
+        assert!(
+            result.all_within_bound,
+            "worst {} > bound {}",
+            result.worst_latency_ns, result.bound_ns
+        );
     }
 
     #[test]

@@ -180,7 +180,9 @@ impl AdmissionController {
         }
 
         // Deadline partitioning.
-        let split = self.dps.partition(&spec, source, destination, &self.state)?;
+        let split = self
+            .dps
+            .partition(&spec, source, destination, &self.state)?;
         split.validate(&spec)?;
 
         // Per-link feasibility with the candidate added (Eq. 18.6/18.7).
@@ -306,7 +308,10 @@ mod tests {
         assert!(!decision.is_accepted());
         assert!(matches!(
             decision,
-            AdmissionDecision::Rejected { bottleneck: None, .. }
+            AdmissionDecision::Rejected {
+                bottleneck: None,
+                ..
+            }
         ));
     }
 
@@ -418,7 +423,10 @@ mod tests {
             n
         };
         assert_eq!(full, 6);
-        assert_eq!(util_only, 33, "utilisation bound admits everything under U<=1");
+        assert_eq!(
+            util_only, 33,
+            "utilisation bound admits everything under U<=1"
+        );
     }
 
     #[test]

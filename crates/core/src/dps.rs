@@ -316,9 +316,27 @@ mod tests {
 
         // With 5 channels on the uplink and 1 on slave 1's downlink:
         // U_part = (5+1) / (5+1 + 1+1) = 6/8 -> d_u = 30.
-        insert(&mut state, 3, 0, 3, DeadlineSplit::symmetric(&spec).unwrap());
-        insert(&mut state, 4, 0, 4, DeadlineSplit::symmetric(&spec).unwrap());
-        insert(&mut state, 5, 0, 5, DeadlineSplit::symmetric(&spec).unwrap());
+        insert(
+            &mut state,
+            3,
+            0,
+            3,
+            DeadlineSplit::symmetric(&spec).unwrap(),
+        );
+        insert(
+            &mut state,
+            4,
+            0,
+            4,
+            DeadlineSplit::symmetric(&spec).unwrap(),
+        );
+        insert(
+            &mut state,
+            5,
+            0,
+            5,
+            DeadlineSplit::symmetric(&spec).unwrap(),
+        );
         let split = Adps
             .partition(&spec, NodeId::new(0), NodeId::new(1), &state)
             .unwrap();
@@ -330,8 +348,20 @@ mod tests {
     fn adps_symmetric_when_loads_equal() {
         let spec = RtChannelSpec::paper_default();
         let mut state = paper_state(2, 2);
-        insert(&mut state, 1, 0, 2, DeadlineSplit::symmetric(&spec).unwrap());
-        insert(&mut state, 2, 1, 3, DeadlineSplit::symmetric(&spec).unwrap());
+        insert(
+            &mut state,
+            1,
+            0,
+            2,
+            DeadlineSplit::symmetric(&spec).unwrap(),
+        );
+        insert(
+            &mut state,
+            2,
+            1,
+            3,
+            DeadlineSplit::symmetric(&spec).unwrap(),
+        );
         // Uplink of 0 has load 1, downlink of 3 has load 1 -> 0.5.
         let split = Adps
             .partition(&spec, NodeId::new(0), NodeId::new(3), &state)
@@ -417,11 +447,9 @@ mod tests {
         let split = SearchDps::default()
             .partition(&spec, NodeId::new(0), NodeId::new(7), &state)
             .unwrap();
-        let up_task =
-            PeriodicTask::new(spec.period, spec.capacity, split.uplink).unwrap();
+        let up_task = PeriodicTask::new(spec.period, spec.capacity, split.uplink).unwrap();
         let down_set = state.link_taskset(LinkId::downlink(NodeId::new(7)));
-        let down_task =
-            PeriodicTask::new(spec.period, spec.capacity, split.downlink).unwrap();
+        let down_task = PeriodicTask::new(spec.period, spec.capacity, split.downlink).unwrap();
         assert!(tester.test_with_candidate(&up_set, &up_task).is_feasible());
         assert!(tester
             .test_with_candidate(&down_set, &down_task)

@@ -41,11 +41,12 @@ pub mod system_state;
 
 pub use admission::{AdmissionController, AdmissionDecision};
 pub use channel::{DeadlineSplit, RtChannel, RtChannelSpec};
-pub use dps::{
-    Adps, DeadlinePartitioningScheme, DpsKind, SearchDps, Sdps, WeightedAdps,
-};
+pub use dps::{Adps, DeadlinePartitioningScheme, DpsKind, Sdps, SearchDps, WeightedAdps};
 pub use manager::SwitchChannelManager;
-pub use multihop::{MultiHopAdmission, MultiHopDps, SwitchId, Topology};
+pub use multihop::{
+    FabricChannelManager, HopLink, MultiHopAdmission, MultiHopChannel, MultiHopDps, SwitchId,
+    Topology,
+};
 pub use network::{RtNetwork, RtNetworkConfig};
 pub use rtlayer::RtLayer;
 pub use system_state::SystemState;

@@ -86,9 +86,9 @@ impl SwitchChannelManager {
     /// Handle a RequestFrame received from `the source node`.
     pub fn handle_request(&mut self, frame: &RequestFrame) -> RtResult<Vec<SwitchAction>> {
         let request = ChannelRequest::from_frame(frame)?;
-        let decision =
-            self.admission
-                .request(request.source, request.destination, request.spec)?;
+        let decision = self
+            .admission
+            .request(request.source, request.destination, request.spec)?;
         match decision {
             AdmissionDecision::Accepted(channel) => {
                 // Tentative reservation: capacity is held, but the channel
@@ -122,14 +122,10 @@ impl SwitchChannelManager {
     /// Handle a ResponseFrame received from a destination node.
     pub fn handle_response(&mut self, frame: &ResponseFrame) -> RtResult<Vec<SwitchAction>> {
         let channel_id = frame.rt_channel_id.ok_or_else(|| {
-            RtError::ProtocolViolation(
-                "destination response carries no RT channel id".into(),
-            )
+            RtError::ProtocolViolation("destination response carries no RT channel id".into())
         })?;
         let reservation = self.pending.remove(&channel_id).ok_or_else(|| {
-            RtError::UnknownRequest(format!(
-                "no pending reservation for channel {channel_id}"
-            ))
+            RtError::UnknownRequest(format!("no pending reservation for channel {channel_id}"))
         })?;
         if !frame.verdict.is_accepted() {
             // Destination refused: roll the reservation back.

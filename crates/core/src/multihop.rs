@@ -22,210 +22,20 @@
 //! link is still an independent EDF "processor", and the channel is feasible
 //! iff every link on its path can schedule its share of the deadline.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use rt_edf::{FeasibilityTester, PeriodicTask, TaskSet};
-use rt_types::{ChannelId, NodeId, RtError, RtResult, Slots};
+use rt_frames::rt_response::ResponseVerdict;
+use rt_frames::{RequestFrame, ResponseFrame};
+use rt_types::{ChannelId, ConnectionRequestId, MacAddr, NodeId, RtError, RtResult, Slots};
+// The topology types themselves live in `rt-types` (shared with the fabric
+// simulator); re-exported here for backwards compatibility.
+pub use rt_types::{HopLink, SwitchId, Topology};
 
 use crate::channel::RtChannelSpec;
-
-/// Identifier of a switch in a multi-switch topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct SwitchId(pub u32);
-
-impl SwitchId {
-    /// Construct a switch id.
-    pub const fn new(id: u32) -> Self {
-        SwitchId(id)
-    }
-
-    /// Raw value.
-    pub const fn get(self) -> u32 {
-        self.0
-    }
-}
-
-impl fmt::Display for SwitchId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "sw{}", self.0)
-    }
-}
-
-/// A directed link in a multi-switch network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum HopLink {
-    /// End node → its access switch.
-    Uplink(NodeId),
-    /// Access switch → end node.
-    Downlink(NodeId),
-    /// Directed trunk between two switches.
-    Trunk {
-        /// Transmitting switch.
-        from: SwitchId,
-        /// Receiving switch.
-        to: SwitchId,
-    },
-}
-
-impl fmt::Display for HopLink {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            HopLink::Uplink(n) => write!(f, "{n}/uplink"),
-            HopLink::Downlink(n) => write!(f, "{n}/downlink"),
-            HopLink::Trunk { from, to } => write!(f, "{from}->{to}"),
-        }
-    }
-}
-
-/// A network of switches connected by trunk links, with end nodes attached.
-///
-/// The switch graph must be a tree (checked when trunks are added), so the
-/// path between any two switches is unique — which keeps routing and the
-/// admission analysis deterministic.
-#[derive(Debug, Clone, Default)]
-pub struct Topology {
-    switches: BTreeSet<SwitchId>,
-    attachments: BTreeMap<NodeId, SwitchId>,
-    /// Adjacency of the (undirected) trunk graph.
-    adjacency: BTreeMap<SwitchId, BTreeSet<SwitchId>>,
-}
-
-impl Topology {
-    /// An empty topology.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Add a switch (idempotent).
-    pub fn add_switch(&mut self, switch: SwitchId) {
-        self.switches.insert(switch);
-        self.adjacency.entry(switch).or_default();
-    }
-
-    /// Attach an end node to a switch.
-    pub fn attach_node(&mut self, node: NodeId, switch: SwitchId) -> RtResult<()> {
-        if !self.switches.contains(&switch) {
-            return Err(RtError::Config(format!("unknown switch {switch}")));
-        }
-        if self.attachments.contains_key(&node) {
-            return Err(RtError::Config(format!("{node} is already attached")));
-        }
-        self.attachments.insert(node, switch);
-        Ok(())
-    }
-
-    /// Connect two switches with a full-duplex trunk link.  Rejects edges
-    /// that would create a cycle (the switch graph must stay a tree) or
-    /// self-loops.
-    pub fn add_trunk(&mut self, a: SwitchId, b: SwitchId) -> RtResult<()> {
-        if a == b {
-            return Err(RtError::Config("a trunk cannot connect a switch to itself".into()));
-        }
-        for s in [a, b] {
-            if !self.switches.contains(&s) {
-                return Err(RtError::Config(format!("unknown switch {s}")));
-            }
-        }
-        if self.switch_path(a, b).is_some() {
-            return Err(RtError::Config(format!(
-                "trunk {a} <-> {b} would create a cycle in the switch graph"
-            )));
-        }
-        self.adjacency.entry(a).or_default().insert(b);
-        self.adjacency.entry(b).or_default().insert(a);
-        Ok(())
-    }
-
-    /// Number of switches.
-    pub fn switch_count(&self) -> usize {
-        self.switches.len()
-    }
-
-    /// Number of attached end nodes.
-    pub fn node_count(&self) -> usize {
-        self.attachments.len()
-    }
-
-    /// The switch an end node is attached to.
-    pub fn switch_of(&self, node: NodeId) -> Option<SwitchId> {
-        self.attachments.get(&node).copied()
-    }
-
-    /// The attached end nodes.
-    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.attachments.keys().copied()
-    }
-
-    /// The unique switch-to-switch path (inclusive of both endpoints), or
-    /// `None` if the switches are not connected.
-    pub fn switch_path(&self, from: SwitchId, to: SwitchId) -> Option<Vec<SwitchId>> {
-        if from == to {
-            return Some(vec![from]);
-        }
-        if !self.switches.contains(&from) || !self.switches.contains(&to) {
-            return None;
-        }
-        let mut predecessor: BTreeMap<SwitchId, SwitchId> = BTreeMap::new();
-        let mut queue = VecDeque::from([from]);
-        let mut seen = BTreeSet::from([from]);
-        while let Some(current) = queue.pop_front() {
-            if current == to {
-                break;
-            }
-            if let Some(neighbours) = self.adjacency.get(&current) {
-                for &next in neighbours {
-                    if seen.insert(next) {
-                        predecessor.insert(next, current);
-                        queue.push_back(next);
-                    }
-                }
-            }
-        }
-        if !predecessor.contains_key(&to) {
-            return None;
-        }
-        let mut path = vec![to];
-        let mut current = to;
-        while current != from {
-            current = predecessor[&current];
-            path.push(current);
-        }
-        path.reverse();
-        Some(path)
-    }
-
-    /// The directed links an RT channel from `source` to `destination`
-    /// traverses: uplink, trunk hops, downlink.
-    pub fn route(&self, source: NodeId, destination: NodeId) -> RtResult<Vec<HopLink>> {
-        if source == destination {
-            return Err(RtError::InvalidChannelSpec(
-                "source and destination must differ".into(),
-            ));
-        }
-        let src_switch = self
-            .switch_of(source)
-            .ok_or(RtError::UnknownNode(source))?;
-        let dst_switch = self
-            .switch_of(destination)
-            .ok_or(RtError::UnknownNode(destination))?;
-        let switch_path = self.switch_path(src_switch, dst_switch).ok_or_else(|| {
-            RtError::Config(format!(
-                "switches {src_switch} and {dst_switch} are not connected"
-            ))
-        })?;
-        let mut links = Vec::with_capacity(switch_path.len() + 1);
-        links.push(HopLink::Uplink(source));
-        for pair in switch_path.windows(2) {
-            links.push(HopLink::Trunk {
-                from: pair[0],
-                to: pair[1],
-            });
-        }
-        links.push(HopLink::Downlink(destination));
-        Ok(links)
-    }
-}
+use crate::manager::SwitchAction;
+use crate::protocol::ChannelRequest;
 
 /// How the end-to-end deadline is split over the links of a multi-hop path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -434,7 +244,10 @@ impl MultiHopAdmission {
                 self.rejected += 1;
                 return Ok(Err((
                     Some(*link),
-                    format!("link {link} infeasible with d={deadline}: {:?}", outcome.verdict),
+                    format!(
+                        "link {link} infeasible with d={deadline}: {:?}",
+                        outcome.verdict
+                    ),
                 )));
             }
         }
@@ -475,6 +288,131 @@ impl MultiHopAdmission {
             }
         }
         Ok(channel)
+    }
+}
+
+/// A reservation waiting for the destination node's confirmation.
+#[derive(Debug, Clone, Copy)]
+struct PendingFabricReservation {
+    source: NodeId,
+    request_id: ConnectionRequestId,
+}
+
+/// The managing switch's RT channel management software for a multi-switch
+/// fabric: the topology-aware counterpart of
+/// [`crate::manager::SwitchChannelManager`].
+///
+/// The handshake is the same three-party protocol as on the single-switch
+/// star — RequestFrame in, admission, forwarded request, ResponseFrame back
+/// — except that admission runs the per-link EDF feasibility test on *every*
+/// link of the route (uplink, trunks, downlink) with the end-to-end deadline
+/// partitioned by a [`MultiHopDps`].  Like its star counterpart it is a pure
+/// state machine: frames in, [`SwitchAction`]s out; the caller puts the
+/// actions on the wire.
+#[derive(Debug)]
+pub struct FabricChannelManager {
+    admission: MultiHopAdmission,
+    /// Reservations keyed by the assigned channel id, awaiting the
+    /// destination's ResponseFrame.
+    pending: HashMap<ChannelId, PendingFabricReservation>,
+    switch_mac: MacAddr,
+}
+
+impl FabricChannelManager {
+    /// Wrap a multi-hop admission controller.
+    pub fn new(admission: MultiHopAdmission) -> Self {
+        FabricChannelManager {
+            admission,
+            pending: HashMap::new(),
+            switch_mac: MacAddr::for_switch(),
+        }
+    }
+
+    /// The admission controller (and through it the topology).
+    pub fn admission(&self) -> &MultiHopAdmission {
+        &self.admission
+    }
+
+    /// Number of reservations still waiting for the destination's answer.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Established (confirmed or pending) channel count, for reporting.
+    pub fn channel_count(&self) -> usize {
+        self.admission.channel_count()
+    }
+
+    /// Look up an admitted channel (its route and per-link deadlines).
+    pub fn channel(&self, id: ChannelId) -> Option<&MultiHopChannel> {
+        self.admission.channel(id)
+    }
+
+    /// Handle a RequestFrame received from a source node.
+    pub fn handle_request(&mut self, frame: &RequestFrame) -> RtResult<Vec<SwitchAction>> {
+        let request = ChannelRequest::from_frame(frame)?;
+        let reject = |mac: MacAddr| SwitchAction::SendResponse {
+            to: request.source,
+            frame: ResponseFrame {
+                rt_channel_id: None,
+                switch_mac: mac,
+                verdict: ResponseVerdict::Rejected,
+                connection_request_id: request.request_id,
+            },
+        };
+        match self
+            .admission
+            .request(request.source, request.destination, request.spec)?
+        {
+            Ok(channel) => {
+                // Tentative reservation: capacity is held on every link of
+                // the path, but the channel only becomes usable once the
+                // destination accepts.
+                self.pending.insert(
+                    channel.id,
+                    PendingFabricReservation {
+                        source: request.source,
+                        request_id: request.request_id,
+                    },
+                );
+                let mut annotated = *frame;
+                annotated.rt_channel_id = Some(channel.id);
+                Ok(vec![SwitchAction::ForwardRequest {
+                    to: request.destination,
+                    frame: annotated,
+                }])
+            }
+            Err((_link, _reason)) => Ok(vec![reject(self.switch_mac)]),
+        }
+    }
+
+    /// Handle a ResponseFrame received from a destination node.
+    pub fn handle_response(&mut self, frame: &ResponseFrame) -> RtResult<Vec<SwitchAction>> {
+        let channel_id = frame.rt_channel_id.ok_or_else(|| {
+            RtError::ProtocolViolation("destination response carries no RT channel id".into())
+        })?;
+        let reservation = self.pending.remove(&channel_id).ok_or_else(|| {
+            RtError::UnknownRequest(format!("no pending reservation for channel {channel_id}"))
+        })?;
+        if !frame.verdict.is_accepted() {
+            // Destination refused: roll the whole-path reservation back.
+            self.admission.release(channel_id)?;
+        }
+        Ok(vec![SwitchAction::SendResponse {
+            to: reservation.source,
+            frame: ResponseFrame {
+                rt_channel_id: Some(channel_id),
+                switch_mac: self.switch_mac,
+                verdict: frame.verdict,
+                connection_request_id: reservation.request_id,
+            },
+        }])
+    }
+
+    /// Handle a channel tear-down: release the reserved capacity on every
+    /// link of the path.
+    pub fn handle_teardown(&mut self, channel: ChannelId) -> RtResult<MultiHopChannel> {
+        self.admission.release(channel)
     }
 }
 
@@ -638,7 +576,11 @@ mod tests {
                 for m in 0..6u32 {
                     let source = NodeId::new(m);
                     let destination = NodeId::new(6 + ((m + round) % 6));
-                    if admission.request(source, destination, spec).unwrap().is_ok() {
+                    if admission
+                        .request(source, destination, spec)
+                        .unwrap()
+                        .is_ok()
+                    {
                         accepted += 1;
                     }
                 }
@@ -730,5 +672,134 @@ mod tests {
         );
         assert!(admission.rejected_count() > 0);
         assert!(admission.accepted_count() > 0);
+    }
+
+    // --- FabricChannelManager (handshake over the fabric) -----------------
+
+    fn fabric_request(src: u32, dst: u32, req_id: u8) -> RequestFrame {
+        ChannelRequest {
+            source: NodeId::new(src),
+            destination: NodeId::new(dst),
+            spec: RtChannelSpec::paper_default(),
+            request_id: ConnectionRequestId::new(req_id),
+        }
+        .to_frame()
+    }
+
+    fn destination_accepts(frame: &RequestFrame) -> ResponseFrame {
+        ResponseFrame {
+            rt_channel_id: frame.rt_channel_id,
+            switch_mac: MacAddr::for_switch(),
+            verdict: ResponseVerdict::Accepted,
+            connection_request_id: frame.connection_request_id,
+        }
+    }
+
+    #[test]
+    fn fabric_manager_full_accept_handshake() {
+        let mut m = FabricChannelManager::new(MultiHopAdmission::new(
+            dumbbell(2, 2),
+            MultiHopDps::Asymmetric,
+        ));
+        let actions = m.handle_request(&fabric_request(0, 2, 7)).unwrap();
+        let forwarded = match &actions[0] {
+            SwitchAction::ForwardRequest { to, frame } => {
+                assert_eq!(*to, NodeId::new(2));
+                assert!(frame.rt_channel_id.is_some());
+                *frame
+            }
+            other => panic!("expected ForwardRequest, got {other:?}"),
+        };
+        assert_eq!(m.pending_count(), 1);
+        assert_eq!(m.channel_count(), 1);
+        // The committed channel crosses all three links.
+        let channel = m.channel(forwarded.rt_channel_id.unwrap()).unwrap();
+        assert_eq!(channel.path.len(), 3);
+
+        let actions = m.handle_response(&destination_accepts(&forwarded)).unwrap();
+        assert_eq!(m.pending_count(), 0);
+        match &actions[0] {
+            SwitchAction::SendResponse { to, frame } => {
+                assert_eq!(*to, NodeId::new(0));
+                assert!(frame.verdict.is_accepted());
+                assert_eq!(frame.connection_request_id, ConnectionRequestId::new(7));
+            }
+            other => panic!("expected SendResponse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fabric_manager_rejection_answers_source_directly() {
+        // Saturate the trunk, then expect a direct rejection.
+        let mut m = FabricChannelManager::new(MultiHopAdmission::new(
+            dumbbell(8, 8),
+            MultiHopDps::Symmetric,
+        ));
+        let mut rejected = false;
+        for i in 0..24u8 {
+            let f = fabric_request(u32::from(i % 8), 8 + u32::from(i % 8), i);
+            let actions = m.handle_request(&f).unwrap();
+            match &actions[0] {
+                SwitchAction::ForwardRequest { frame, .. } => {
+                    let fwd = *frame;
+                    m.handle_response(&destination_accepts(&fwd)).unwrap();
+                }
+                SwitchAction::SendResponse { to, frame } => {
+                    assert_eq!(*to, NodeId::new(u32::from(i % 8)));
+                    assert!(!frame.verdict.is_accepted());
+                    assert_eq!(frame.rt_channel_id, None);
+                    rejected = true;
+                }
+            }
+        }
+        assert!(rejected, "the trunk should have saturated");
+    }
+
+    #[test]
+    fn fabric_manager_destination_rejection_rolls_back_every_hop() {
+        let mut m = FabricChannelManager::new(MultiHopAdmission::new(
+            dumbbell(2, 2),
+            MultiHopDps::Symmetric,
+        ));
+        let trunk = HopLink::Trunk {
+            from: SwitchId::new(0),
+            to: SwitchId::new(1),
+        };
+        let actions = m.handle_request(&fabric_request(0, 2, 1)).unwrap();
+        let fwd = match &actions[0] {
+            SwitchAction::ForwardRequest { frame, .. } => *frame,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(m.admission().link_load(trunk), 1);
+        let mut reject = destination_accepts(&fwd);
+        reject.verdict = ResponseVerdict::Rejected;
+        m.handle_response(&reject).unwrap();
+        assert_eq!(m.channel_count(), 0);
+        assert_eq!(m.admission().link_load(trunk), 0);
+
+        // Protocol violations are errors.
+        assert!(m.handle_response(&reject).is_err());
+        let mut no_id = reject;
+        no_id.rt_channel_id = None;
+        assert!(m.handle_response(&no_id).is_err());
+    }
+
+    #[test]
+    fn fabric_manager_teardown_releases_the_path() {
+        let mut m = FabricChannelManager::new(MultiHopAdmission::new(
+            dumbbell(2, 2),
+            MultiHopDps::Asymmetric,
+        ));
+        let actions = m.handle_request(&fabric_request(0, 2, 3)).unwrap();
+        let fwd = match &actions[0] {
+            SwitchAction::ForwardRequest { frame, .. } => *frame,
+            other => panic!("unexpected {other:?}"),
+        };
+        m.handle_response(&destination_accepts(&fwd)).unwrap();
+        let id = fwd.rt_channel_id.unwrap();
+        let released = m.handle_teardown(id).unwrap();
+        assert_eq!(released.id, id);
+        assert_eq!(m.channel_count(), 0);
+        assert!(m.handle_teardown(id).is_err());
     }
 }

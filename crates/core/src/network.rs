@@ -1,22 +1,26 @@
 //! Glue: the complete RT-layer stack running over the simulated switched
 //! Ethernet.
 //!
-//! [`RtNetwork`] instantiates the star network of §18.1 — one switch, a set
-//! of end nodes — and wires the control plane into it:
+//! [`RtNetwork`] instantiates a fabric — the single-switch star of §18.1 by
+//! default, or an arbitrary multi-switch tree [`Topology`] (the paper's
+//! stated future work) — and wires the control plane into it:
 //!
 //! * each end node gets an [`RtLayer`],
-//! * the switch gets a [`SwitchChannelManager`] (admission control + the
-//!   establishment handshake),
+//! * the managing switch gets a channel manager — a
+//!   [`SwitchChannelManager`] on the star, a
+//!   [`crate::multihop::FabricChannelManager`] (admission over every link of
+//!   the route, multi-hop deadline partitioning) on a fabric,
 //! * every RT-layer action (RequestFrame, ResponseFrame, data frame,
 //!   TeardownFrame) is carried as a real Ethernet frame through the
 //!   [`rt_netsim::Simulator`], so channel establishment itself competes for
-//!   the links exactly as in the paper.
+//!   the links — and crosses the trunks — exactly as in the paper.
 //!
 //! On top of that the type offers the conveniences the experiments need:
 //! establishing channels and waiting for the handshake to complete, driving
 //! periodic traffic on established channels, injecting best-effort cross
 //! traffic, and validating measured end-to-end delays against the Eq. 18.1
-//! bound `d_i + T_latency`.
+//! bound `d_i + T_latency` (with `T_latency` hop-count-aware on multi-hop
+//! paths).
 
 use std::collections::BTreeMap;
 
@@ -24,14 +28,15 @@ use rt_frames::{EthernetFrame, Frame};
 use rt_netsim::{Delivery, SimConfig, Simulator};
 use rt_types::constants::ETHERTYPE_IPV4;
 use rt_types::{
-    ChannelId, ConnectionRequestId, Duration, Ipv4Address, MacAddr, NodeId, RtError, RtResult,
-    SimTime,
+    ChannelId, ConnectionRequestId, Duration, HopLink, Ipv4Address, MacAddr, NodeId, RtError,
+    RtResult, SimTime, Slots, Topology,
 };
 
 use crate::admission::AdmissionController;
 use crate::channel::RtChannelSpec;
 use crate::dps::DpsKind;
 use crate::manager::{SwitchAction, SwitchChannelManager};
+use crate::multihop::{FabricChannelManager, MultiHopAdmission, MultiHopDps};
 use crate::rtlayer::{EstablishmentOutcome, ReceivedMessage, RtLayer, RtLayerConfig, TxChannel};
 use crate::system_state::SystemState;
 
@@ -40,23 +45,46 @@ use crate::system_state::SystemState;
 pub struct RtNetworkConfig {
     /// The data-plane simulator configuration.
     pub sim: SimConfig,
-    /// Which deadline-partitioning scheme the switch uses.
+    /// Which deadline-partitioning scheme the switch uses (single-switch
+    /// star mode).
     pub dps: DpsKind,
-    /// The end nodes attached to the switch.
+    /// The end nodes attached to the switch (star mode; ignored when a
+    /// topology is given — the topology's attachments win).
     pub nodes: Vec<NodeId>,
     /// Per-node limit on incoming channels (`None` = unlimited).
     pub max_incoming_channels: Option<usize>,
+    /// An explicit multi-switch topology.  `None` builds the single-switch
+    /// star over `nodes`.
+    pub topology: Option<Topology>,
+    /// The multi-hop deadline-partitioning scheme (used only with an
+    /// explicit topology).
+    pub multihop_dps: MultiHopDps,
 }
 
 impl RtNetworkConfig {
-    /// A network of `n` nodes (ids `0..n`) with default simulator settings
-    /// and the given DPS.
+    /// A star network of `n` nodes (ids `0..n`) with default simulator
+    /// settings and the given DPS.
     pub fn with_nodes(n: u32, dps: DpsKind) -> Self {
         RtNetworkConfig {
             sim: SimConfig::default(),
             dps,
             nodes: (0..n).map(NodeId::new).collect(),
             max_incoming_channels: None,
+            topology: None,
+            multihop_dps: MultiHopDps::Asymmetric,
+        }
+    }
+
+    /// A multi-switch fabric over `topology` with default simulator
+    /// settings and the given multi-hop DPS.
+    pub fn with_topology(topology: Topology, multihop_dps: MultiHopDps) -> Self {
+        RtNetworkConfig {
+            sim: SimConfig::default(),
+            dps: DpsKind::Asymmetric,
+            nodes: topology.nodes().collect(),
+            max_incoming_channels: None,
+            topology: Some(topology),
+            multihop_dps,
         }
     }
 }
@@ -74,10 +102,19 @@ pub struct DeliveredMessage {
     pub missed_deadline: bool,
 }
 
+/// The channel-management software of the managing switch: star or fabric.
+#[derive(Debug)]
+enum NetworkManager {
+    /// Single-switch star: the paper's §18.3 admission over two links.
+    Star(SwitchChannelManager),
+    /// Multi-switch tree: per-link admission along the whole route.
+    Fabric(FabricChannelManager),
+}
+
 /// The full stack: simulator + switch manager + per-node RT layers.
 pub struct RtNetwork {
     sim: Simulator,
-    manager: SwitchChannelManager,
+    manager: NetworkManager,
     layers: BTreeMap<u32, RtLayer>,
     outcomes: BTreeMap<(u32, u8), EstablishmentOutcome>,
     received: Vec<DeliveredMessage>,
@@ -89,7 +126,7 @@ impl std::fmt::Debug for RtNetwork {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RtNetwork")
             .field("nodes", &self.layers.len())
-            .field("channels", &self.manager.channel_count())
+            .field("channels", &self.channel_count())
             .field("now", &self.sim.now())
             .finish()
     }
@@ -98,29 +135,44 @@ impl std::fmt::Debug for RtNetwork {
 impl RtNetwork {
     /// Build the network.
     pub fn new(config: RtNetworkConfig) -> Self {
-        let sim = Simulator::new(config.sim, config.nodes.iter().copied());
-        // Eq. 18.1's constant term for this substrate: two propagation
-        // delays + switch processing + up to one non-preemptable frame
-        // already on the wire on each of the two links.
-        let t_latency = config.sim.t_latency()
-            + config.sim.link_speed.slot_duration() * 2;
+        let (sim, manager) = match config.topology {
+            None => {
+                let sim = Simulator::new(config.sim, config.nodes.iter().copied());
+                let admission = AdmissionController::new(
+                    SystemState::with_nodes(config.nodes.iter().copied()),
+                    config.dps.build(),
+                );
+                (
+                    sim,
+                    NetworkManager::Star(SwitchChannelManager::new(admission)),
+                )
+            }
+            Some(topology) => {
+                let sim = Simulator::with_topology(config.sim, topology.clone())
+                    .expect("RtNetworkConfig carries a valid topology");
+                let admission = MultiHopAdmission::new(topology, config.multihop_dps);
+                (
+                    sim,
+                    NetworkManager::Fabric(FabricChannelManager::new(admission)),
+                )
+            }
+        };
+        // Eq. 18.1's constant term for the two-hop star path; multi-hop
+        // channels get a per-channel override once their route is known.
+        let t_latency = config.sim.t_latency();
         let layer_config = RtLayerConfig {
             link_speed: config.sim.link_speed,
             t_latency,
             max_incoming_channels: config.max_incoming_channels,
         };
-        let layers: BTreeMap<u32, RtLayer> = config
-            .nodes
-            .iter()
-            .map(|&n| (n.get(), RtLayer::new(n, layer_config)))
+        let layers: BTreeMap<u32, RtLayer> = sim
+            .topology()
+            .nodes()
+            .map(|n| (n.get(), RtLayer::new(n, layer_config)))
             .collect();
-        let admission = AdmissionController::new(
-            SystemState::with_nodes(config.nodes.iter().copied()),
-            config.dps.build(),
-        );
         RtNetwork {
             sim,
-            manager: SwitchChannelManager::new(admission),
+            manager,
             layers,
             outcomes: BTreeMap::new(),
             received: Vec::new(),
@@ -134,9 +186,34 @@ impl RtNetwork {
         &self.sim
     }
 
-    /// The switch-side channel manager.
+    /// The switch-side channel manager of a single-switch star.
+    ///
+    /// # Panics
+    /// Panics on a multi-switch fabric — use
+    /// [`RtNetwork::fabric_manager`] there.
     pub fn manager(&self) -> &SwitchChannelManager {
-        &self.manager
+        match &self.manager {
+            NetworkManager::Star(m) => m,
+            NetworkManager::Fabric(_) => {
+                panic!("this network runs a multi-switch fabric; use fabric_manager()")
+            }
+        }
+    }
+
+    /// The channel manager of a multi-switch fabric, or `None` on a star.
+    pub fn fabric_manager(&self) -> Option<&FabricChannelManager> {
+        match &self.manager {
+            NetworkManager::Star(_) => None,
+            NetworkManager::Fabric(m) => Some(m),
+        }
+    }
+
+    /// Established channel count, in either mode.
+    pub fn channel_count(&self) -> usize {
+        match &self.manager {
+            NetworkManager::Star(m) => m.channel_count(),
+            NetworkManager::Fabric(m) => m.channel_count(),
+        }
     }
 
     /// The RT layer of `node`.
@@ -149,15 +226,38 @@ impl RtNetwork {
         self.sim.now()
     }
 
-    /// The constant latency term `T_latency` (Eq. 18.1) of this network.
+    /// The constant latency term `T_latency` (Eq. 18.1) of a two-hop star
+    /// path in this network.
     pub fn t_latency(&self) -> Duration {
         self.t_latency
     }
 
-    /// The end-to-end delay bound `d_i + T_latency` (Eq. 18.1) for a channel
-    /// with contract `spec`.
+    /// The end-to-end delay bound `d_i + T_latency` (Eq. 18.1) for a
+    /// star-path channel with contract `spec`.
     pub fn deadline_bound(&self, spec: &RtChannelSpec) -> Duration {
-        self.sim.config().link_speed.slots_to_duration(spec.deadline) + self.t_latency
+        self.sim
+            .config()
+            .link_speed
+            .slots_to_duration(spec.deadline)
+            + self.t_latency
+    }
+
+    /// The hop-count-aware end-to-end delay bound of an *established*
+    /// channel: `d_i·slot + T_latency(hops)` — the multi-hop analogue of
+    /// Eq. 18.1.  `None` if the channel is unknown.
+    pub fn channel_deadline_bound(&self, channel: ChannelId) -> Option<Duration> {
+        let link_speed = self.sim.config().link_speed;
+        match &self.manager {
+            NetworkManager::Star(m) => m
+                .admission()
+                .state()
+                .channel(channel)
+                .map(|ch| link_speed.slots_to_duration(ch.spec.deadline) + self.t_latency),
+            NetworkManager::Fabric(m) => m.channel(channel).map(|ch| {
+                link_speed.slots_to_duration(ch.spec.deadline)
+                    + self.sim.config().t_latency_for_hops(ch.path.len())
+            }),
+        }
     }
 
     /// Real-time messages delivered to their destination so far.
@@ -175,6 +275,10 @@ impl RtNetwork {
     /// Establish an RT channel by running the full handshake over the
     /// simulated network.  Returns the established channel, or `None` if the
     /// switch or the destination rejected it.
+    ///
+    /// On a fabric, a successful establishment also registers the channel's
+    /// per-hop EDF deadline budgets with every port of its route and the
+    /// hop-count-aware `T_latency` with the source's RT layer.
     pub fn establish_channel(
         &mut self,
         source: NodeId,
@@ -190,11 +294,49 @@ impl RtNetwork {
         self.sim.inject(source, eth, now)?;
         self.pump()?;
         match self.outcomes.remove(&(source.get(), request_id.get())) {
-            Some(EstablishmentOutcome::Established(tx)) => Ok(Some(tx)),
+            Some(EstablishmentOutcome::Established(tx)) => {
+                self.finish_fabric_establishment(source, &tx);
+                Ok(Some(tx))
+            }
             Some(EstablishmentOutcome::Rejected { .. }) => Ok(None),
             None => Err(RtError::ProtocolViolation(format!(
                 "handshake for request {request_id} from {source} did not complete"
             ))),
+        }
+    }
+
+    /// After a fabric handshake completes: push the per-hop deadline
+    /// schedule into the simulator and the per-channel `T_latency` into the
+    /// source RT layer.
+    fn finish_fabric_establishment(&mut self, source: NodeId, tx: &TxChannel) {
+        let NetworkManager::Fabric(manager) = &self.manager else {
+            return;
+        };
+        let Some(channel) = manager.channel(tx.id) else {
+            return;
+        };
+        let config = *self.sim.config();
+        let link_speed = config.link_speed;
+        let hops = channel.path.len();
+        // Cumulative per-hop budgets: by the end of link k the frame has
+        // consumed the first k per-link deadlines plus the constant
+        // overheads of k link traversals.
+        let mut offsets: Vec<(HopLink, Duration)> = Vec::with_capacity(hops);
+        let mut cumulative = Slots::ZERO;
+        for (k, (link, deadline)) in channel
+            .path
+            .iter()
+            .zip(channel.link_deadlines.iter())
+            .enumerate()
+        {
+            cumulative += *deadline;
+            let offset =
+                link_speed.slots_to_duration(cumulative) + config.t_latency_for_hops(k + 1);
+            offsets.push((*link, offset));
+        }
+        self.sim.set_channel_hop_schedule(tx.id, offsets);
+        if let Some(layer) = self.layers.get_mut(&source.get()) {
+            layer.set_channel_t_latency(tx.id, config.t_latency_for_hops(hops));
         }
     }
 
@@ -215,8 +357,8 @@ impl RtNetwork {
 
     /// Schedule `count` periodic messages on an established channel,
     /// starting at `start` and spaced by the channel's period.  Each message
-    /// is `frames_per_message` maximum-sized frames long if `payload_len` is
-    /// `None`, otherwise a single frame with the given payload size.
+    /// is `C_i` frames of `payload_len` bytes, all stamped with the same
+    /// absolute deadline (they belong to the same periodic message).
     pub fn send_periodic(
         &mut self,
         source: NodeId,
@@ -233,17 +375,10 @@ impl RtNetwork {
             .tx_channel(channel)
             .ok_or(RtError::UnknownChannel(channel))?
             .spec;
-        let period = self
-            .sim
-            .config()
-            .link_speed
-            .slots_to_duration(spec.period);
+        let period = self.sim.config().link_speed.slots_to_duration(spec.period);
         let start = start.max(self.sim.now());
         for k in 0..count {
             let gen = start + period.saturating_mul(k);
-            // A message of C_i frames: send C_i frames back-to-back, all
-            // stamped with the same absolute deadline (they belong to the
-            // same periodic message).
             for _ in 0..spec.capacity.get() {
                 let eth = layer.prepare_data(channel, vec![0u8; payload_len], gen)?;
                 self.sim.inject(source, eth, gen)?;
@@ -304,22 +439,41 @@ impl RtNetwork {
         }
     }
 
+    fn handle_control_teardown(&mut self, channel: ChannelId) -> RtResult<()> {
+        let (id, destination) = match &mut self.manager {
+            NetworkManager::Star(m) => {
+                let ch = m.handle_teardown(channel)?;
+                (ch.id, ch.destination.node)
+            }
+            NetworkManager::Fabric(m) => {
+                let ch = m.handle_teardown(channel)?;
+                (ch.id, ch.destination)
+            }
+        };
+        self.sim.clear_channel_hop_schedule(id);
+        // Let the destination forget the channel too.
+        if let Some(layer) = self.layers.get_mut(&destination.get()) {
+            layer.forget_rx_channel(id);
+        }
+        Ok(())
+    }
+
     fn dispatch(&mut self, delivery: Delivery) -> RtResult<()> {
         let now = self.sim.now();
         let frame = Frame::classify(delivery.eth.clone())?;
         if delivery.receiver == NodeId::SWITCH {
-            // Control-plane traffic addressed to the switch.
+            // Control-plane traffic addressed to the managing switch.
             let actions = match frame {
-                Frame::Request(req) => self.manager.handle_request(&req)?,
-                Frame::Response(resp) => self.manager.handle_response(&resp)?,
+                Frame::Request(req) => match &mut self.manager {
+                    NetworkManager::Star(m) => m.handle_request(&req)?,
+                    NetworkManager::Fabric(m) => m.handle_request(&req)?,
+                },
+                Frame::Response(resp) => match &mut self.manager {
+                    NetworkManager::Star(m) => m.handle_response(&resp)?,
+                    NetworkManager::Fabric(m) => m.handle_response(&resp)?,
+                },
                 Frame::Teardown(td) => {
-                    let channel = self.manager.handle_teardown(td.rt_channel_id)?;
-                    // Let the destination forget the channel too.
-                    if let Some(layer) =
-                        self.layers.get_mut(&channel.destination.node.get())
-                    {
-                        layer.forget_rx_channel(channel.id);
-                    }
+                    self.handle_control_teardown(td.rt_channel_id)?;
                     Vec::new()
                 }
                 other => {
@@ -348,16 +502,12 @@ impl RtNetwork {
             }
             Frame::Response(resp) => {
                 let outcome = layer.handle_response(&resp)?;
-                self.outcomes.insert(
-                    (node_key, resp.connection_request_id.get()),
-                    outcome,
-                );
+                self.outcomes
+                    .insert((node_key, resp.connection_request_id.get()), outcome);
             }
             Frame::RtData(data) => {
                 let message = layer.handle_data(&data)?;
-                let missed = delivery
-                    .deadline
-                    .is_some_and(|d| delivery.delivered_at > d);
+                let missed = delivery.deadline.is_some_and(|d| delivery.delivered_at > d);
                 self.received.push(DeliveredMessage {
                     receiver: delivery.receiver,
                     message,
@@ -403,6 +553,7 @@ impl RtNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rt_types::SwitchId;
 
     fn network(nodes: u32, dps: DpsKind) -> RtNetwork {
         RtNetwork::new(RtNetworkConfig::with_nodes(nodes, dps))
@@ -418,6 +569,7 @@ mod tests {
             .expect("channel should be accepted");
         assert_eq!(tx.destination.node, NodeId::new(1));
         assert_eq!(net.manager().channel_count(), 1);
+        assert_eq!(net.channel_count(), 1);
         // The destination registered the incoming channel.
         assert_eq!(net.layer(NodeId::new(1)).unwrap().rx_channels().count(), 1);
         // The handshake itself took simulated time.
@@ -461,6 +613,7 @@ mod tests {
         assert!(net.simulator().stats().all_deadlines_met());
         // Every latency respects d + T_latency.
         let bound = net.deadline_bound(&spec);
+        assert_eq!(net.channel_deadline_bound(tx.id), Some(bound));
         let worst = net
             .simulator()
             .stats()
@@ -524,5 +677,138 @@ mod tests {
         assert!(net
             .send_periodic(NodeId::new(0), ChannelId::new(99), 1, 10, SimTime::ZERO)
             .is_err());
+    }
+
+    // --- multi-switch fabric ----------------------------------------------
+
+    /// A 3-switch line with 2 nodes per switch (nodes 0..6, switch-major).
+    fn fabric(dps: MultiHopDps) -> RtNetwork {
+        RtNetwork::new(RtNetworkConfig::with_topology(Topology::line(3, 2), dps))
+    }
+
+    #[test]
+    fn fabric_establishes_channels_across_trunks_on_the_wire() {
+        let mut net = fabric(MultiHopDps::Asymmetric);
+        let spec = RtChannelSpec::paper_default();
+        // node 0 (sw0) -> node 5 (sw2): 4 link hops.
+        let tx = net
+            .establish_channel(NodeId::new(0), NodeId::new(5), spec)
+            .unwrap()
+            .expect("an empty fabric accepts the first channel");
+        assert!(net.fabric_manager().is_some());
+        assert_eq!(net.channel_count(), 1);
+        let channel = net.fabric_manager().unwrap().channel(tx.id).unwrap();
+        assert_eq!(channel.path.len(), 4);
+        // The handshake itself crossed the trunks.
+        assert!(net
+            .simulator()
+            .stats()
+            .hop_link(HopLink::Trunk {
+                from: SwitchId::new(0),
+                to: SwitchId::new(1),
+            })
+            .is_some());
+        // The destination registered the incoming channel.
+        assert_eq!(net.layer(NodeId::new(5)).unwrap().rx_channels().count(), 1);
+        // The bound is hop-count aware: larger than the star bound.
+        let bound = net.channel_deadline_bound(tx.id).unwrap();
+        assert!(bound > net.deadline_bound(&spec));
+    }
+
+    #[test]
+    fn fabric_periodic_traffic_meets_the_multihop_bound() {
+        let mut net = fabric(MultiHopDps::Asymmetric);
+        let spec = RtChannelSpec::paper_default();
+        let tx = net
+            .establish_channel(NodeId::new(0), NodeId::new(5), spec)
+            .unwrap()
+            .unwrap();
+        let start = net.now() + Duration::from_millis(1);
+        net.send_periodic(NodeId::new(0), tx.id, 25, 1000, start)
+            .unwrap();
+        net.run_to_completion().unwrap();
+        assert_eq!(net.received_messages().len(), 25 * 3);
+        assert!(net.received_messages().iter().all(|m| !m.missed_deadline));
+        assert!(net.simulator().stats().all_deadlines_met());
+        let bound = net.channel_deadline_bound(tx.id).unwrap();
+        let worst = net
+            .simulator()
+            .stats()
+            .channel(tx.id)
+            .expect("frames delivered")
+            .max_latency;
+        assert!(
+            worst <= bound,
+            "worst {worst} exceeds multi-hop bound {bound}"
+        );
+    }
+
+    #[test]
+    fn fabric_same_switch_channel_behaves_like_a_star_channel() {
+        let mut net = fabric(MultiHopDps::Symmetric);
+        let spec = RtChannelSpec::paper_default();
+        // node 2 and node 3 both live on switch 1.
+        let tx = net
+            .establish_channel(NodeId::new(2), NodeId::new(3), spec)
+            .unwrap()
+            .unwrap();
+        let channel = net.fabric_manager().unwrap().channel(tx.id).unwrap();
+        assert_eq!(channel.path.len(), 2);
+        assert_eq!(channel.link_deadlines, vec![Slots::new(20), Slots::new(20)]);
+        assert_eq!(
+            net.channel_deadline_bound(tx.id),
+            Some(net.deadline_bound(&spec))
+        );
+        let start = net.now() + Duration::from_millis(1);
+        net.send_periodic(NodeId::new(2), tx.id, 10, 900, start)
+            .unwrap();
+        net.run_to_completion().unwrap();
+        assert!(net.simulator().stats().all_deadlines_met());
+    }
+
+    #[test]
+    fn fabric_teardown_releases_every_hop_over_the_wire() {
+        let mut net = fabric(MultiHopDps::Symmetric);
+        let spec = RtChannelSpec::paper_default();
+        let tx = net
+            .establish_channel(NodeId::new(0), NodeId::new(5), spec)
+            .unwrap()
+            .unwrap();
+        let trunk = HopLink::Trunk {
+            from: SwitchId::new(0),
+            to: SwitchId::new(1),
+        };
+        assert_eq!(
+            net.fabric_manager().unwrap().admission().link_load(trunk),
+            1
+        );
+        net.teardown_channel(NodeId::new(0), tx.id).unwrap();
+        assert_eq!(net.channel_count(), 0);
+        assert_eq!(
+            net.fabric_manager().unwrap().admission().link_load(trunk),
+            0
+        );
+        assert_eq!(net.layer(NodeId::new(5)).unwrap().rx_channels().count(), 0);
+    }
+
+    #[test]
+    fn fabric_rejects_when_the_trunk_saturates() {
+        let mut net = fabric(MultiHopDps::Symmetric);
+        let spec = RtChannelSpec::paper_default();
+        // All channels from switch-0 nodes to switch-2 nodes: every one
+        // crosses both trunks (4 hops, 10 slots per hop symmetric).
+        let mut accepted = 0;
+        let mut rejected = 0;
+        for k in 0..12u32 {
+            let src = NodeId::new(k % 2);
+            let dst = NodeId::new(4 + (k % 2));
+            match net.establish_channel(src, dst, spec).unwrap() {
+                Some(_) => accepted += 1,
+                None => rejected += 1,
+            }
+        }
+        assert!(accepted > 0, "an empty fabric must accept some channels");
+        assert!(rejected > 0, "the shared trunks must eventually saturate");
+        assert_eq!(net.channel_count(), accepted);
     }
 }

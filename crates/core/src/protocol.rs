@@ -98,10 +98,7 @@ mod tests {
             let node = NodeId::new(id);
             assert_eq!(node_for_mac(MacAddr::for_node(node)).unwrap(), node);
         }
-        assert_eq!(
-            node_for_mac(MacAddr::for_switch()).unwrap(),
-            NodeId::SWITCH
-        );
+        assert_eq!(node_for_mac(MacAddr::for_switch()).unwrap(), NodeId::SWITCH);
         assert!(node_for_mac(MacAddr::BROADCAST).is_err());
         assert!(node_for_mac(MacAddr::new([0x00, 0x11, 0x22, 0x33, 0x44, 0x55])).is_err());
     }

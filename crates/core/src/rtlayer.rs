@@ -115,6 +115,9 @@ pub struct RtLayer {
     outstanding: HashMap<u8, (NodeId, RtChannelSpec)>,
     tx_channels: HashMap<u16, TxChannel>,
     rx_channels: HashMap<u16, RxChannel>,
+    /// Per-channel `T_latency` overrides for channels whose path is longer
+    /// than the star's two hops (multi-switch fabrics).
+    tx_latency_overrides: HashMap<u16, Duration>,
     frames_sent: u64,
     frames_received: u64,
 }
@@ -130,6 +133,7 @@ impl RtLayer {
             outstanding: HashMap::new(),
             tx_channels: HashMap::new(),
             rx_channels: HashMap::new(),
+            tx_latency_overrides: HashMap::new(),
             frames_sent: 0,
             frames_received: 0,
         }
@@ -248,9 +252,7 @@ impl RtLayer {
     ) -> RtResult<(EthernetFrame, bool)> {
         let request = ChannelRequest::from_frame(frame)?;
         let channel_id = frame.rt_channel_id.ok_or_else(|| {
-            RtError::ProtocolViolation(
-                "forwarded request carries no RT channel id".into(),
-            )
+            RtError::ProtocolViolation("forwarded request carries no RT channel id".into())
         })?;
         if request.destination != self.node {
             return Err(RtError::ProtocolViolation(format!(
@@ -289,10 +291,49 @@ impl RtLayer {
     // --- data path -----------------------------------------------------------
 
     /// The absolute delivery deadline (Eq. 18.1) of a message generated at
-    /// `generation_time` on channel `spec`: `t + d_i·slot + T_latency`.
+    /// `generation_time` on a channel with contract `spec`, using the
+    /// layer-wide `T_latency` constant (the two-hop star path).  For an
+    /// *established* channel prefer [`RtLayer::absolute_deadline_for`],
+    /// which honours per-channel multi-hop overrides.
     pub fn absolute_deadline(&self, spec: &RtChannelSpec, generation_time: SimTime) -> SimTime {
+        self.stamp_deadline(self.config.t_latency, spec, generation_time)
+    }
+
+    /// Override the constant `T_latency` term for one established outgoing
+    /// channel.  On a multi-switch fabric the constant depends on the hop
+    /// count of the channel's route, which only the managing switch knows;
+    /// the network glue calls this once establishment completes.
+    pub fn set_channel_t_latency(&mut self, channel: ChannelId, t_latency: Duration) {
+        self.tx_latency_overrides.insert(channel.get(), t_latency);
+    }
+
+    /// The absolute delivery deadline of a message on an established
+    /// channel, honouring any per-channel `T_latency` override — this is
+    /// the stamp [`RtLayer::prepare_data`] writes on the wire.
+    pub fn absolute_deadline_for(
+        &self,
+        channel: ChannelId,
+        spec: &RtChannelSpec,
+        generation_time: SimTime,
+    ) -> SimTime {
+        let t_latency = self
+            .tx_latency_overrides
+            .get(&channel.get())
+            .copied()
+            .unwrap_or(self.config.t_latency);
+        self.stamp_deadline(t_latency, spec, generation_time)
+    }
+
+    /// `generation_time + d_i·slot + t_latency` — the single place the
+    /// Eq. 18.1 stamp is computed.
+    fn stamp_deadline(
+        &self,
+        t_latency: Duration,
+        spec: &RtChannelSpec,
+        generation_time: SimTime,
+    ) -> SimTime {
         let d = self.config.link_speed.slots_to_duration(spec.deadline);
-        generation_time + d + self.config.t_latency
+        generation_time + d + t_latency
     }
 
     /// Prepare an outgoing real-time datagram on an established channel:
@@ -308,7 +349,7 @@ impl RtLayer {
             .tx_channels
             .get(&channel.get())
             .ok_or(RtError::UnknownChannel(channel))?;
-        let deadline = self.absolute_deadline(&tx.spec, generation_time);
+        let deadline = self.absolute_deadline_for(channel, &tx.spec, generation_time);
         let frame = RtDataFrame {
             eth_src: self.endpoint.mac,
             eth_dst: tx.destination.mac,
@@ -345,6 +386,7 @@ impl RtLayer {
         if self.tx_channels.remove(&channel.get()).is_none() {
             return Err(RtError::UnknownChannel(channel));
         }
+        self.tx_latency_overrides.remove(&channel.get());
         let frame = TeardownFrame {
             rt_channel_id: channel,
         };
@@ -558,8 +600,7 @@ mod tests {
             other => panic!("expected RtData, got {other:?}"),
         };
         // The stamped deadline is gen + 40 slots (no T_latency configured).
-        let expected =
-            gen + LinkSpeed::FAST_ETHERNET.slots_to_duration(Slots::new(40));
+        let expected = gen + LinkSpeed::FAST_ETHERNET.slots_to_duration(Slots::new(40));
         assert_eq!(data.stamp.absolute_deadline, expected.as_nanos());
 
         let msg = destination.handle_data(&data).unwrap();
@@ -602,6 +643,49 @@ mod tests {
             + LinkSpeed::FAST_ETHERNET.slots_to_duration(s.deadline)
             + Duration::from_micros(11);
         assert_eq!(l.absolute_deadline(&s, gen), expected);
+    }
+
+    #[test]
+    fn per_channel_t_latency_override_changes_the_stamp() {
+        let mut l = RtLayer::new(
+            NodeId::new(0),
+            RtLayerConfig {
+                t_latency: Duration::from_micros(10),
+                ..RtLayerConfig::default()
+            },
+        );
+        let (req_id, _) = l.request_channel(NodeId::new(1), spec()).unwrap();
+        l.handle_response(&ResponseFrame {
+            rt_channel_id: Some(ChannelId::new(4)),
+            switch_mac: MacAddr::for_switch(),
+            verdict: ResponseVerdict::Accepted,
+            connection_request_id: req_id,
+        })
+        .unwrap();
+        let gen = SimTime::from_millis(2);
+        let base = LinkSpeed::FAST_ETHERNET.slots_to_duration(spec().deadline);
+
+        let eth = l.prepare_data(ChannelId::new(4), vec![1], gen).unwrap();
+        let data = match Frame::classify(eth).unwrap() {
+            Frame::RtData(d) => d,
+            other => panic!("expected RtData, got {other:?}"),
+        };
+        assert_eq!(
+            data.stamp.absolute_deadline,
+            (gen + base + Duration::from_micros(10)).as_nanos()
+        );
+
+        // A longer multi-hop path gets a larger constant term.
+        l.set_channel_t_latency(ChannelId::new(4), Duration::from_micros(55));
+        let eth = l.prepare_data(ChannelId::new(4), vec![1], gen).unwrap();
+        let data = match Frame::classify(eth).unwrap() {
+            Frame::RtData(d) => d,
+            other => panic!("expected RtData, got {other:?}"),
+        };
+        assert_eq!(
+            data.stamp.absolute_deadline,
+            (gen + base + Duration::from_micros(55)).as_nanos()
+        );
     }
 
     #[test]

@@ -144,7 +144,10 @@ impl SystemState {
             .ok_or(RtError::UnknownChannel(id))?;
         let up_task = channel.uplink_task()?;
         let down_task = channel.downlink_task()?;
-        if let Some(set) = self.link_tasks.get_mut(&LinkId::uplink(channel.source.node)) {
+        if let Some(set) = self
+            .link_tasks
+            .get_mut(&LinkId::uplink(channel.source.node))
+        {
             set.remove_one(&up_task);
             if set.is_empty() {
                 self.link_tasks.remove(&LinkId::uplink(channel.source.node));
@@ -210,10 +213,7 @@ mod tests {
         assert_eq!(s.link_load(LinkId::downlink(NodeId::new(0))), 0);
         assert!((s.link_utilisation(LinkId::uplink(NodeId::new(0))) - 0.06).abs() < 1e-9);
         assert_eq!(s.loaded_links().count(), 4);
-        assert_eq!(
-            s.link_taskset(LinkId::uplink(NodeId::new(0))).len(),
-            2
-        );
+        assert_eq!(s.link_taskset(LinkId::uplink(NodeId::new(0))).len(), 2);
         assert!(s.channel(ChannelId::new(2)).is_some());
         assert!(s.channel(ChannelId::new(9)).is_none());
     }

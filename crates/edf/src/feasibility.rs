@@ -200,7 +200,8 @@ impl FeasibilityTester {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testgen::random_task_vec;
+    use rt_types::rng::Xoshiro256;
 
     fn task(p: u64, c: u64, d: u64) -> PeriodicTask {
         PeriodicTask::new(Slots::new(p), Slots::new(c), Slots::new(d)).unwrap()
@@ -256,7 +257,9 @@ mod tests {
             assert!(out.is_feasible());
             set.push(task(100, 3, 33));
         }
-        assert!(!tester.test_with_candidate(&set, &task(100, 3, 33)).is_feasible());
+        assert!(!tester
+            .test_with_candidate(&set, &task(100, 3, 33))
+            .is_feasible());
     }
 
     #[test]
@@ -311,52 +314,37 @@ mod tests {
         assert_eq!(set, before);
     }
 
-    proptest! {
-        /// The full test never accepts a set that the utilisation bound
-        /// rejects (it is strictly stronger).
-        #[test]
-        fn prop_full_test_stronger_than_utilisation(
-            params in proptest::collection::vec((2u64..40, 1u64..8, 1u64..50), 1..10),
-        ) {
-            let tasks: Vec<PeriodicTask> = params
-                .iter()
-                .map(|&(p, c, d)| {
-                    let c = c.min(p);
-                    let d = d.max(c);
-                    PeriodicTask::new(Slots::new(p), Slots::new(c), Slots::new(d)).unwrap()
-                })
-                .collect();
+    /// The full test never accepts a set that the utilisation bound rejects
+    /// (it is strictly stronger).
+    #[test]
+    fn prop_full_test_stronger_than_utilisation() {
+        let mut rng = Xoshiro256::new(0xfea5_0001);
+        for _ in 0..128 {
+            let tasks = random_task_vec(&mut rng, (1, 9), (2, 39), (1, 7), (1, 49));
             let set = TaskSet::from_tasks(tasks);
             let full = FeasibilityTester::new().test(&set);
             let util = FeasibilityTester::utilisation_only().test(&set);
             if full.is_feasible() {
-                prop_assert!(util.is_feasible());
+                assert!(util.is_feasible());
             }
         }
+    }
 
-        /// Removing a task never turns a feasible set infeasible
-        /// (sustainability of the demand-based test).
-        #[test]
-        fn prop_feasibility_monotone_under_removal(
-            params in proptest::collection::vec((2u64..30, 1u64..6, 2u64..40), 2..8),
-            remove_idx in 0usize..8,
-        ) {
-            let tasks: Vec<PeriodicTask> = params
-                .iter()
-                .map(|&(p, c, d)| {
-                    let c = c.min(p);
-                    let d = d.max(c);
-                    PeriodicTask::new(Slots::new(p), Slots::new(c), Slots::new(d)).unwrap()
-                })
-                .collect();
+    /// Removing a task never turns a feasible set infeasible
+    /// (sustainability of the demand-based test).
+    #[test]
+    fn prop_feasibility_monotone_under_removal() {
+        let mut rng = Xoshiro256::new(0xfea5_0002);
+        for _ in 0..128 {
+            let tasks = random_task_vec(&mut rng, (2, 7), (2, 29), (1, 5), (2, 39));
             let set = TaskSet::from_tasks(tasks.clone());
             let tester = FeasibilityTester::new();
             if tester.test(&set).is_feasible() {
                 let mut smaller = tasks;
-                let idx = remove_idx % smaller.len();
+                let idx = rng.below(smaller.len() as u64) as usize;
                 smaller.remove(idx);
                 let smaller = TaskSet::from_tasks(smaller);
-                prop_assert!(tester.test(&smaller).is_feasible());
+                assert!(tester.test(&smaller).is_feasible());
             }
         }
     }

@@ -41,7 +41,12 @@ pub struct DmAnalysis {
 impl DmAnalysis {
     /// The largest computed response time, if all converged.
     pub fn worst_response_time(&self) -> Option<Slots> {
-        self.response_times.iter().copied().collect::<Option<Vec<_>>>()?.into_iter().max()
+        self.response_times
+            .iter()
+            .copied()
+            .collect::<Option<Vec<_>>>()?
+            .into_iter()
+            .max()
     }
 }
 
@@ -67,8 +72,7 @@ pub fn dm_response_time_analysis(set: &TaskSet, cap: Slots) -> DmAnalysis {
     let mut schedulable = true;
     for (rank, &idx) in order.iter().enumerate() {
         let task = &set.tasks()[idx];
-        let higher: Vec<&PeriodicTask> =
-            order[..rank].iter().map(|&j| &set.tasks()[j]).collect();
+        let higher: Vec<&PeriodicTask> = order[..rank].iter().map(|&j| &set.tasks()[j]).collect();
         let response = response_time(task, &higher, cap);
         // The single-busy-window recurrence is exact only while a job
         // finishes before its successor is released (R <= P); for tasks with
@@ -137,7 +141,8 @@ mod tests {
     use super::*;
     use crate::feasibility::FeasibilityTester;
     use crate::schedule::simulate_over_hyperperiod;
-    use proptest::prelude::*;
+    use crate::testgen::random_task_vec;
+    use rt_types::rng::Xoshiro256;
 
     fn task(p: u64, c: u64, d: u64) -> PeriodicTask {
         PeriodicTask::new(Slots::new(p), Slots::new(c), Slots::new(d)).unwrap()
@@ -236,51 +241,36 @@ mod tests {
         assert_eq!(capped.worst_response_time(), None);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// EDF dominates DM: any DM-schedulable set passes the EDF
-        /// feasibility test.
-        #[test]
-        fn prop_edf_dominates_dm(
-            params in proptest::collection::vec((2u64..30, 1u64..6, 1u64..40), 1..7),
-        ) {
-            let tasks: Vec<PeriodicTask> = params
-                .iter()
-                .map(|&(p, c, d)| {
-                    let c = c.min(p);
-                    let d = d.max(c);
-                    PeriodicTask::new(Slots::new(p), Slots::new(c), Slots::new(d)).unwrap()
-                })
-                .collect();
+    /// EDF dominates DM: any DM-schedulable set passes the EDF feasibility
+    /// test.
+    #[test]
+    fn prop_edf_dominates_dm() {
+        let mut rng = Xoshiro256::new(0xd300_0001);
+        for _ in 0..64 {
+            let tasks = random_task_vec(&mut rng, (1, 6), (2, 29), (1, 5), (1, 39));
             let set = TaskSet::from_tasks(tasks);
             if dm_schedulable(&set) {
-                prop_assert!(FeasibilityTester::new().test(&set).is_feasible(),
-                    "DM-schedulable set rejected by the EDF test");
+                assert!(
+                    FeasibilityTester::new().test(&set).is_feasible(),
+                    "DM-schedulable set rejected by the EDF test"
+                );
             }
         }
+    }
 
-        /// DM schedulability matches a priority-faithful property: removing
-        /// a task never breaks schedulability.
-        #[test]
-        fn prop_dm_sustainable_under_removal(
-            params in proptest::collection::vec((2u64..25, 1u64..5, 2u64..35), 2..7),
-            remove_idx in 0usize..8,
-        ) {
-            let tasks: Vec<PeriodicTask> = params
-                .iter()
-                .map(|&(p, c, d)| {
-                    let c = c.min(p);
-                    let d = d.max(c);
-                    PeriodicTask::new(Slots::new(p), Slots::new(c), Slots::new(d)).unwrap()
-                })
-                .collect();
+    /// DM schedulability matches a priority-faithful property: removing a
+    /// task never breaks schedulability.
+    #[test]
+    fn prop_dm_sustainable_under_removal() {
+        let mut rng = Xoshiro256::new(0xd300_0002);
+        for _ in 0..64 {
+            let tasks = random_task_vec(&mut rng, (2, 6), (2, 24), (1, 4), (2, 34));
             let set = TaskSet::from_tasks(tasks.clone());
             if dm_schedulable(&set) {
                 let mut smaller = tasks;
-                let idx = remove_idx % smaller.len();
+                let idx = rng.below(smaller.len() as u64) as usize;
                 smaller.remove(idx);
-                prop_assert!(dm_schedulable(&TaskSet::from_tasks(smaller)));
+                assert!(dm_schedulable(&TaskSet::from_tasks(smaller)));
             }
         }
     }

@@ -29,6 +29,9 @@ pub mod schedule;
 pub mod task;
 pub mod taskset;
 
+#[cfg(test)]
+pub(crate) mod testgen;
+
 pub use feasibility::{FeasibilityConfig, FeasibilityOutcome, FeasibilityTester};
 pub use fixed_priority::{dm_schedulable, dm_schedulable_with_candidate, DmAnalysis};
 pub use queue::{EdfQueue, FcfsQueue};

@@ -193,7 +193,7 @@ impl<T> FcfsQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rt_types::rng::Xoshiro256;
 
     #[test]
     fn edf_orders_by_deadline() {
@@ -280,11 +280,14 @@ mod tests {
         assert_eq!(q.pop(), None);
     }
 
-    proptest! {
-        /// Popping everything from an EdfQueue yields deadlines in
-        /// non-decreasing order regardless of insertion order.
-        #[test]
-        fn prop_edf_pop_sorted(deadlines in proptest::collection::vec(0u64..1000, 0..100)) {
+    /// Popping everything from an EdfQueue yields deadlines in
+    /// non-decreasing order regardless of insertion order.
+    #[test]
+    fn prop_edf_pop_sorted() {
+        let mut rng = Xoshiro256::new(0xedf_0001);
+        for _ in 0..64 {
+            let n = rng.below(100) as usize;
+            let deadlines: Vec<u64> = (0..n).map(|_| rng.below(1000)).collect();
             let mut q = EdfQueue::new();
             for (i, d) in deadlines.iter().enumerate() {
                 q.push(*d, i);
@@ -292,15 +295,20 @@ mod tests {
             let mut prev = None;
             while let Some((d, _)) = q.pop() {
                 if let Some(p) = prev {
-                    prop_assert!(d >= p);
+                    assert!(d >= p);
                 }
                 prev = Some(d);
             }
         }
+    }
 
-        /// FCFS output equals its input sequence.
-        #[test]
-        fn prop_fcfs_order_preserved(items in proptest::collection::vec(any::<u16>(), 0..100)) {
+    /// FCFS output equals its input sequence.
+    #[test]
+    fn prop_fcfs_order_preserved() {
+        let mut rng = Xoshiro256::new(0xedf_0002);
+        for _ in 0..64 {
+            let n = rng.below(100) as usize;
+            let items: Vec<u16> = (0..n).map(|_| rng.below(1 << 16) as u16).collect();
             let mut q = FcfsQueue::new();
             for it in &items {
                 q.push(*it);
@@ -309,19 +317,21 @@ mod tests {
             while let Some(it) = q.pop() {
                 out.push(it);
             }
-            prop_assert_eq!(out, items);
+            assert_eq!(out, items);
         }
+    }
 
-        /// Among equal deadlines, EDF pops in insertion order (stable).
-        #[test]
-        fn prop_edf_stable_for_equal_deadlines(n in 1usize..50) {
+    /// Among equal deadlines, EDF pops in insertion order (stable).
+    #[test]
+    fn prop_edf_stable_for_equal_deadlines() {
+        for n in 1usize..50 {
             let mut q = EdfQueue::new();
             for i in 0..n {
                 q.push(42, i);
             }
             let popped: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
             let expected: Vec<usize> = (0..n).collect();
-            prop_assert_eq!(popped, expected);
+            assert_eq!(popped, expected);
         }
     }
 }

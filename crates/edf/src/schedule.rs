@@ -187,7 +187,8 @@ mod tests {
     use super::*;
     use crate::feasibility::FeasibilityTester;
     use crate::task::PeriodicTask;
-    use proptest::prelude::*;
+    use crate::testgen::random_task_vec;
+    use rt_types::rng::Xoshiro256;
 
     fn task(p: u64, c: u64, d: u64) -> PeriodicTask {
         PeriodicTask::new(Slots::new(p), Slots::new(c), Slots::new(d)).unwrap()
@@ -249,52 +250,41 @@ mod tests {
         assert_eq!(out.misses.len(), 1);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// Analytical feasibility implies a miss-free simulated schedule over
-        /// the hyperperiod (soundness of the admission test).
-        #[test]
-        fn prop_feasible_implies_miss_free(
-            params in proptest::collection::vec((2u64..25, 1u64..5, 1u64..30), 1..6),
-        ) {
-            let tasks: Vec<PeriodicTask> = params
-                .iter()
-                .map(|&(p, c, d)| {
-                    let c = c.min(p);
-                    let d = d.max(c);
-                    PeriodicTask::new(Slots::new(p), Slots::new(c), Slots::new(d)).unwrap()
-                })
-                .collect();
+    /// Analytical feasibility implies a miss-free simulated schedule over
+    /// the hyperperiod (soundness of the admission test).
+    #[test]
+    fn prop_feasible_implies_miss_free() {
+        let mut rng = Xoshiro256::new(0x5c4e_0001);
+        for _ in 0..64 {
+            let tasks = random_task_vec(&mut rng, (1, 5), (2, 24), (1, 4), (1, 29));
             let set = TaskSet::from_tasks(tasks);
             let verdict = FeasibilityTester::new().test(&set);
             if verdict.is_feasible() {
                 let out = simulate_over_hyperperiod(&set, Slots::new(100_000));
-                prop_assert!(out.is_miss_free(),
-                    "analysis said feasible but schedule missed: {:?}", out.misses);
+                assert!(
+                    out.is_miss_free(),
+                    "analysis said feasible but schedule missed: {:?}",
+                    out.misses
+                );
             }
         }
+    }
 
-        /// A simulated miss implies the analysis also rejects the set
-        /// (completeness over the hyperperiod for synchronous release).
-        #[test]
-        fn prop_miss_implies_infeasible(
-            params in proptest::collection::vec((2u64..20, 1u64..4, 1u64..25), 1..5),
-        ) {
-            let tasks: Vec<PeriodicTask> = params
-                .iter()
-                .map(|&(p, c, d)| {
-                    let c = c.min(p);
-                    let d = d.max(c);
-                    PeriodicTask::new(Slots::new(p), Slots::new(c), Slots::new(d)).unwrap()
-                })
-                .collect();
+    /// A simulated miss implies the analysis also rejects the set
+    /// (completeness over the hyperperiod for synchronous release).
+    #[test]
+    fn prop_miss_implies_infeasible() {
+        let mut rng = Xoshiro256::new(0x5c4e_0002);
+        for _ in 0..64 {
+            let tasks = random_task_vec(&mut rng, (1, 4), (2, 19), (1, 3), (1, 24));
             let set = TaskSet::from_tasks(tasks);
             let out = simulate_over_hyperperiod(&set, Slots::new(100_000));
             if !out.is_miss_free() {
                 let verdict = FeasibilityTester::new().test(&set);
-                prop_assert!(!verdict.is_feasible(),
-                    "schedule missed but analysis said feasible");
+                assert!(
+                    !verdict.is_feasible(),
+                    "schedule missed but analysis said feasible"
+                );
             }
         }
     }

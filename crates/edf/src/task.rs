@@ -29,7 +29,9 @@ impl PeriodicTask {
     /// Create a task, validating the invariants listed on the type.
     pub fn new(period: Slots, capacity: Slots, relative_deadline: Slots) -> RtResult<Self> {
         if period.is_zero() {
-            return Err(RtError::InvalidChannelSpec("period must be positive".into()));
+            return Err(RtError::InvalidChannelSpec(
+                "period must be positive".into(),
+            ));
         }
         if capacity.is_zero() {
             return Err(RtError::InvalidChannelSpec(

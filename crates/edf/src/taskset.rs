@@ -274,7 +274,8 @@ impl FromIterator<PeriodicTask> for TaskSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testgen::random_task_vec;
+    use rt_types::rng::Xoshiro256;
 
     fn task(p: u64, c: u64, d: u64) -> PeriodicTask {
         PeriodicTask::new(Slots::new(p), Slots::new(c), Slots::new(d)).unwrap()
@@ -340,7 +341,10 @@ mod tests {
         assert_eq!(set.busy_period(Slots::new(10_000)), None);
 
         // Empty set.
-        assert_eq!(TaskSet::new().busy_period(Slots::new(10)), Some(Slots::ZERO));
+        assert_eq!(
+            TaskSet::new().busy_period(Slots::new(10)),
+            Some(Slots::ZERO)
+        );
     }
 
     #[test]
@@ -396,60 +400,48 @@ mod tests {
         assert_eq!(TaskSet::new().max_relative_deadline(), None);
     }
 
-    proptest! {
-        /// h(t) is non-decreasing in t.
-        #[test]
-        fn prop_workload_monotone(
-            params in proptest::collection::vec((2u64..50, 1u64..10, 1u64..60), 1..8),
-            t1 in 0u64..200,
-            dt in 0u64..200,
-        ) {
-            let tasks: Vec<PeriodicTask> = params
-                .iter()
-                .map(|&(p, c, d)| {
-                    let c = c.min(p);
-                    let d = d.max(c);
-                    PeriodicTask::new(Slots::new(p), Slots::new(c), Slots::new(d)).unwrap()
-                })
-                .collect();
+    /// h(t) is non-decreasing in t.
+    #[test]
+    fn prop_workload_monotone() {
+        let mut rng = Xoshiro256::new(0x7a5e_0001);
+        for _ in 0..128 {
+            let tasks = random_task_vec(&mut rng, (1, 7), (2, 49), (1, 9), (1, 59));
             let set = TaskSet::from_tasks(tasks);
+            let t1 = rng.below(200);
+            let dt = rng.below(200);
             let a = set.workload(Slots::new(t1));
             let b = set.workload(Slots::new(t1 + dt));
-            prop_assert!(b >= a);
+            assert!(b >= a);
         }
+    }
 
-        /// The exact utilisation agrees with the float within rounding error.
-        #[test]
-        fn prop_utilisation_matches_float(
-            params in proptest::collection::vec((2u64..1000, 1u64..100), 1..20),
-        ) {
-            let tasks: Vec<PeriodicTask> = params
-                .iter()
-                .map(|&(p, c)| {
-                    let c = c.min(p);
+    /// The exact utilisation agrees with the float within rounding error.
+    #[test]
+    fn prop_utilisation_matches_float() {
+        let mut rng = Xoshiro256::new(0x7a5e_0002);
+        for _ in 0..128 {
+            let n = rng.range_inclusive(1, 19) as usize;
+            let tasks: Vec<PeriodicTask> = (0..n)
+                .map(|_| {
+                    let p = rng.range_inclusive(2, 999);
+                    let c = rng.range_inclusive(1, 99).min(p);
                     PeriodicTask::new(Slots::new(p), Slots::new(c), Slots::new(p)).unwrap()
                 })
                 .collect();
             let set = TaskSet::from_tasks(tasks);
             let exact = set.utilisation().as_f64();
             let float = set.utilisation_f64();
-            prop_assert!((exact - float).abs() < 1e-6);
+            assert!((exact - float).abs() < 1e-6);
         }
+    }
 
-        /// h(t) only increases at checkpoints: between consecutive
-        /// checkpoints the workload is constant.
-        #[test]
-        fn prop_workload_constant_between_checkpoints(
-            params in proptest::collection::vec((2u64..30, 1u64..5, 1u64..40), 1..6),
-        ) {
-            let tasks: Vec<PeriodicTask> = params
-                .iter()
-                .map(|&(p, c, d)| {
-                    let c = c.min(p);
-                    let d = d.max(c);
-                    PeriodicTask::new(Slots::new(p), Slots::new(c), Slots::new(d)).unwrap()
-                })
-                .collect();
+    /// h(t) only increases at checkpoints: between consecutive checkpoints
+    /// the workload is constant.
+    #[test]
+    fn prop_workload_constant_between_checkpoints() {
+        let mut rng = Xoshiro256::new(0x7a5e_0003);
+        for _ in 0..64 {
+            let tasks = random_task_vec(&mut rng, (1, 5), (2, 29), (1, 4), (1, 39));
             let set = TaskSet::from_tasks(tasks);
             let limit = Slots::new(120);
             let pts = set.checkpoints(limit);
@@ -459,8 +451,10 @@ mod tests {
             for t in 1..=limit.get() {
                 let cur = set.workload(Slots::new(t));
                 if cur != prev {
-                    prop_assert!(pts.contains(&Slots::new(t)),
-                        "workload changed at t={t} which is not a checkpoint");
+                    assert!(
+                        pts.contains(&Slots::new(t)),
+                        "workload changed at t={t} which is not a checkpoint"
+                    );
                 }
                 prev = cur;
             }

@@ -87,9 +87,10 @@ impl Frame {
     pub fn classify(eth: EthernetFrame) -> RtResult<Frame> {
         match eth.ethertype {
             ETHERTYPE_RT_CONTROL => {
-                let ty = *eth.payload.first().ok_or_else(|| {
-                    RtError::FrameDecode("empty RT control frame".into())
-                })?;
+                let ty = *eth
+                    .payload
+                    .first()
+                    .ok_or_else(|| RtError::FrameDecode("empty RT control frame".into()))?;
                 match ty {
                     RT_FRAME_TYPE_CONNECT => {
                         Ok(Frame::Request(RequestFrame::decode(&eth.payload)?))
@@ -162,7 +163,9 @@ mod tests {
             verdict: crate::rt_response::ResponseVerdict::Accepted,
             connection_request_id: ConnectionRequestId::new(1),
         };
-        let eth = resp.into_ethernet(MacAddr::for_switch(), MacAddr::ZERO).unwrap();
+        let eth = resp
+            .into_ethernet(MacAddr::for_switch(), MacAddr::ZERO)
+            .unwrap();
         assert!(matches!(
             Frame::classify(eth).unwrap(),
             Frame::Response(r) if r == resp
@@ -222,8 +225,7 @@ mod tests {
         let mut payload = ip.encode();
         payload.extend_from_slice(&crate::udp::UdpHeader::new(1, 2, 0).unwrap().encode());
         let eth =
-            EthernetFrame::new(MacAddr::BROADCAST, MacAddr::ZERO, ETHERTYPE_IPV4, payload)
-                .unwrap();
+            EthernetFrame::new(MacAddr::BROADCAST, MacAddr::ZERO, ETHERTYPE_IPV4, payload).unwrap();
         let frame = Frame::classify(eth).unwrap();
         assert!(!frame.is_realtime());
         assert!(matches!(frame, Frame::BestEffort(_)));
@@ -231,8 +233,8 @@ mod tests {
 
     #[test]
     fn unknown_ethertype_is_best_effort() {
-        let eth = EthernetFrame::new(MacAddr::BROADCAST, MacAddr::ZERO, 0x0806, vec![0; 28])
-            .unwrap();
+        let eth =
+            EthernetFrame::new(MacAddr::BROADCAST, MacAddr::ZERO, 0x0806, vec![0; 28]).unwrap();
         assert!(matches!(
             Frame::classify(eth).unwrap(),
             Frame::BestEffort(_)

@@ -120,9 +120,7 @@ impl Ipv4Header {
             )));
         }
         // Validate the header checksum over the 20 header bytes.
-        if bytes.len() >= IPV4_HEADER_BYTES
-            && internet_checksum(&bytes[..IPV4_HEADER_BYTES]) != 0
-        {
+        if bytes.len() >= IPV4_HEADER_BYTES && internet_checksum(&bytes[..IPV4_HEADER_BYTES]) != 0 {
             return Err(RtError::FrameDecode(
                 "Ipv4Header: header checksum mismatch".into(),
             ));
@@ -202,12 +200,9 @@ mod tests {
         assert_eq!(h.payload_length(), 100);
         assert_eq!(h.protocol, IP_PROTO_UDP);
         assert!(!h.is_realtime());
-        assert!(Ipv4Header::udp(
-            Ipv4Address::UNSPECIFIED,
-            Ipv4Address::UNSPECIFIED,
-            70_000
-        )
-        .is_err());
+        assert!(
+            Ipv4Header::udp(Ipv4Address::UNSPECIFIED, Ipv4Address::UNSPECIFIED, 70_000).is_err()
+        );
     }
 
     #[test]

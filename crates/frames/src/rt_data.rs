@@ -183,7 +183,7 @@ impl RtDataFrame {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rt_types::rng::Xoshiro256;
 
     #[test]
     fn stamp_apply_and_extract_round_trip() {
@@ -244,13 +244,8 @@ mod tests {
 
     #[test]
     fn data_frame_rejects_non_ipv4_and_non_udp() {
-        let eth = EthernetFrame::new(
-            MacAddr::BROADCAST,
-            MacAddr::ZERO,
-            0x88B5,
-            vec![0u8; 60],
-        )
-        .unwrap();
+        let eth =
+            EthernetFrame::new(MacAddr::BROADCAST, MacAddr::ZERO, 0x88B5, vec![0u8; 60]).unwrap();
         assert!(RtDataFrame::from_ethernet(&eth).is_err());
 
         // IPv4 but TCP.
@@ -286,27 +281,36 @@ mod tests {
         assert_eq!(frame.wire_bytes().unwrap(), 14 + 20 + 8 + 1000 + 4 + 20);
     }
 
-    proptest! {
-        #[test]
-        fn prop_stamp_round_trip(deadline in 0u64..=MAX_DEADLINE_VALUE, chan in any::<u16>()) {
+    /// Randomised stamps always survive apply → extract.
+    #[test]
+    fn prop_stamp_round_trip() {
+        let mut rng = Xoshiro256::new(0xd47a_57a3);
+        for _ in 0..256 {
+            let deadline = rng.range_inclusive(0, MAX_DEADLINE_VALUE);
+            let chan = rng.below(1 << 16) as u16;
             let header = Ipv4Header::udp(
                 Ipv4Address::new(10, 0, 0, 1),
                 Ipv4Address::new(10, 0, 0, 2),
                 64,
-            ).unwrap();
+            )
+            .unwrap();
             let stamp = DeadlineStamp::new(deadline, ChannelId::new(chan)).unwrap();
             let stamped = stamp.apply(&header);
-            prop_assert_eq!(DeadlineStamp::extract(&stamped).unwrap(), stamp);
+            assert_eq!(DeadlineStamp::extract(&stamped).unwrap(), stamp);
         }
+    }
 
-        #[test]
-        fn prop_data_frame_round_trip(
-            deadline in 0u64..=MAX_DEADLINE_VALUE,
-            chan in any::<u16>(),
-            sport in any::<u16>(),
-            dport in any::<u16>(),
-            payload in proptest::collection::vec(any::<u8>(), 0..1400),
-        ) {
+    /// Randomised data frames survive encode → decode byte-for-byte.
+    #[test]
+    fn prop_data_frame_round_trip() {
+        let mut rng = Xoshiro256::new(0xf4a3_0001);
+        for _ in 0..128 {
+            let deadline = rng.range_inclusive(0, MAX_DEADLINE_VALUE);
+            let chan = rng.below(1 << 16) as u16;
+            let sport = rng.below(1 << 16) as u16;
+            let dport = rng.below(1 << 16) as u16;
+            let payload_len = rng.below(1400) as usize;
+            let payload: Vec<u8> = (0..payload_len).map(|_| rng.below(256) as u8).collect();
             let frame = RtDataFrame {
                 eth_src: MacAddr::new([2, 0, 0, 0, 0, 3]),
                 eth_dst: MacAddr::for_switch(),
@@ -316,10 +320,9 @@ mod tests {
                 payload,
             };
             let eth = frame.into_ethernet().unwrap();
-            let parsed = RtDataFrame::from_ethernet(
-                &EthernetFrame::decode(&eth.encode()).unwrap()
-            ).unwrap();
-            prop_assert_eq!(parsed, frame);
+            let parsed =
+                RtDataFrame::from_ethernet(&EthernetFrame::decode(&eth.encode()).unwrap()).unwrap();
+            assert_eq!(parsed, frame);
         }
     }
 }

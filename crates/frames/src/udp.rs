@@ -105,12 +105,7 @@ impl UdpHeader {
 
 /// Compute the UDP checksum over the IPv4 pseudo-header, `header` (with its
 /// checksum field zeroed) and `payload`.
-pub fn udp_checksum(
-    src: Ipv4Address,
-    dst: Ipv4Address,
-    header: &UdpHeader,
-    payload: &[u8],
-) -> u16 {
+pub fn udp_checksum(src: Ipv4Address, dst: Ipv4Address, header: &UdpHeader, payload: &[u8]) -> u16 {
     let mut w = ByteWriter::with_capacity(12 + UDP_HEADER_BYTES + payload.len());
     // Pseudo-header.
     w.put_slice(&src.octets());

@@ -8,7 +8,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use rt_types::{NodeId, SimTime};
+use rt_types::{NodeId, SimTime, SwitchId};
 
 use crate::sim::FrameId;
 
@@ -30,18 +30,28 @@ pub enum Event {
         /// The frame that completed.
         frame: FrameId,
     },
-    /// A frame fully arrived at the switch input (store-and-forward: the
-    /// last bit has been received).
+    /// A frame fully arrived at a switch input (store-and-forward: the last
+    /// bit has been received and the switch processing latency has elapsed).
     ArriveAtSwitch {
-        /// The node whose uplink delivered the frame.
-        from: NodeId,
+        /// The switch that received the frame.
+        switch: SwitchId,
         /// The frame.
         frame: FrameId,
     },
-    /// The switch output port towards `to` finished serialising a frame.
+    /// A switch output port towards end node `to` (its downlink) finished
+    /// serialising a frame.
     SwitchTxComplete {
         /// The destination node of the port.
         to: NodeId,
+        /// The frame that completed.
+        frame: FrameId,
+    },
+    /// A trunk port between two switches finished serialising a frame.
+    TrunkTxComplete {
+        /// The transmitting switch.
+        from: SwitchId,
+        /// The receiving switch.
+        to: SwitchId,
         /// The frame that completed.
         frame: FrameId,
     },
@@ -52,11 +62,11 @@ pub enum Event {
         /// The frame.
         frame: FrameId,
     },
-    /// A frame originated by the switch itself (channel-management traffic
-    /// such as ResponseFrames) is handed to the switch output port towards
-    /// `to`.
+    /// A frame originated by the switch control plane (channel-management
+    /// traffic such as ResponseFrames) is handed to the managing switch's
+    /// ports, addressed to end node `to`.
     EnqueueAtSwitch {
-        /// The destination node of the output port.
+        /// The destination node.
         to: NodeId,
         /// The frame.
         frame: FrameId,

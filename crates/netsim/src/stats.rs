@@ -9,11 +9,10 @@
 
 use std::collections::BTreeMap;
 
-use rt_types::{ChannelId, Duration, LinkId, SimTime};
-use serde::Serialize;
+use rt_types::{ChannelId, Duration, HopLink, LinkId, SimTime};
 
 /// Latency statistics for one RT channel.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ChannelStats {
     /// Frames delivered on this channel.
     pub delivered: u64,
@@ -67,7 +66,7 @@ impl ChannelStats {
 }
 
 /// Transmission statistics for one directed link.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct LinkStats {
     /// Frames transmitted on the link.
     pub frames: u64,
@@ -96,12 +95,12 @@ impl LinkStats {
 }
 
 /// All measurements accumulated during one simulation run.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SimStats {
     /// Per-RT-channel latency statistics.
     pub channels: BTreeMap<u16, ChannelStats>,
     /// Per-directed-link transmission statistics.
-    pub links: BTreeMap<String, LinkStats>,
+    pub links: BTreeMap<HopLink, LinkStats>,
     /// Real-time frames delivered (data + control).
     pub rt_delivered: u64,
     /// Best-effort frames delivered.
@@ -152,10 +151,11 @@ impl SimStats {
         self.unroutable_dropped += 1;
     }
 
-    /// Record a transmission on `link`.
-    pub fn record_transmission(&mut self, link: LinkId, wire_bytes: usize, tx_time: Duration) {
+    /// Record a transmission on the directed link `link` (an access link
+    /// or a switch-to-switch trunk).
+    pub fn record_transmission(&mut self, link: HopLink, wire_bytes: usize, tx_time: Duration) {
         self.links
-            .entry(link.to_string())
+            .entry(link)
             .or_default()
             .record(wire_bytes, tx_time);
     }
@@ -165,9 +165,20 @@ impl SimStats {
         self.channels.get(&id.get())
     }
 
-    /// Statistics for one directed link, if it ever transmitted.
+    /// Statistics for one directed access link, if it ever transmitted —
+    /// the star-era view, kept for existing callers; the `LinkId` is
+    /// converted to the equivalent access [`HopLink`].
     pub fn link(&self, id: LinkId) -> Option<&LinkStats> {
-        self.links.get(&id.to_string())
+        let hop = match id.direction {
+            rt_types::LinkDirection::Uplink => HopLink::Uplink(id.node),
+            rt_types::LinkDirection::Downlink => HopLink::Downlink(id.node),
+        };
+        self.links.get(&hop)
+    }
+
+    /// Statistics for any directed link of the fabric, including trunks.
+    pub fn hop_link(&self, link: HopLink) -> Option<&LinkStats> {
+        self.links.get(&link)
     }
 
     /// The worst (largest) per-channel maximum latency, if any channel
@@ -226,10 +237,12 @@ mod tests {
     #[test]
     fn link_stats_utilisation() {
         let mut s = SimStats::default();
-        let link = LinkId::uplink(NodeId::new(3));
+        let link = HopLink::Uplink(NodeId::new(3));
         s.record_transmission(link, 1538, Duration::from_micros(123));
         s.record_transmission(link, 1538, Duration::from_micros(123));
-        let l = s.link(link).unwrap();
+        // Both the HopLink and the legacy LinkId view resolve the entry.
+        assert!(s.link(LinkId::uplink(NodeId::new(3))).is_some());
+        let l = s.hop_link(link).unwrap();
         assert_eq!(l.frames, 2);
         assert_eq!(l.wire_bytes, 3076);
         assert_eq!(l.busy_time, Duration::from_micros(246));

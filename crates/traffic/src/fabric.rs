@@ -1,0 +1,175 @@
+//! Multi-switch fabric scenarios: which switches exist, which nodes attach
+//! where, and request patterns that exercise the trunks.
+//!
+//! The star [`crate::scenario::Scenario`] covers the paper's evaluation; the
+//! fabric scenario covers its stated future work — trees of interconnected
+//! switches — by building a line of access switches, each carrying its own
+//! masters and slaves, and generating channel requests that deliberately
+//! cross switch boundaries so the trunks become the shared resource.
+
+use rt_core::RtChannelSpec;
+use rt_types::{NodeId, Topology};
+
+use crate::pattern::ChannelRequest;
+
+/// A line-of-switches scenario: `switches` access switches connected in a
+/// chain, each with `masters_per_switch` masters and `slaves_per_switch`
+/// slaves attached.
+///
+/// Node ids are allocated switch-major, masters first: switch `s` owns ids
+/// `s·k .. (s+1)·k` with `k = masters_per_switch + slaves_per_switch`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricScenario {
+    switches: u32,
+    masters_per_switch: u32,
+    slaves_per_switch: u32,
+}
+
+impl FabricScenario {
+    /// Build a line scenario.  Requires at least one switch and at least one
+    /// node per switch.
+    pub fn line(switches: u32, masters_per_switch: u32, slaves_per_switch: u32) -> Self {
+        assert!(switches > 0, "a fabric needs at least one switch");
+        assert!(
+            masters_per_switch + slaves_per_switch > 0,
+            "each switch needs at least one node"
+        );
+        FabricScenario {
+            switches,
+            masters_per_switch,
+            slaves_per_switch,
+        }
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> u32 {
+        self.switches
+    }
+
+    /// Nodes per switch.
+    pub fn nodes_per_switch(&self) -> u32 {
+        self.masters_per_switch + self.slaves_per_switch
+    }
+
+    /// Total number of end nodes.
+    pub fn node_count(&self) -> u32 {
+        self.switches * self.nodes_per_switch()
+    }
+
+    /// The `i`-th master on switch `s` (wrapping over that switch's
+    /// masters).
+    pub fn master(&self, switch: u32, i: u64) -> NodeId {
+        assert!(self.masters_per_switch > 0, "scenario has no masters");
+        let s = switch % self.switches;
+        NodeId::new(s * self.nodes_per_switch() + (i % u64::from(self.masters_per_switch)) as u32)
+    }
+
+    /// The `i`-th slave on switch `s` (wrapping over that switch's slaves).
+    pub fn slave(&self, switch: u32, i: u64) -> NodeId {
+        assert!(self.slaves_per_switch > 0, "scenario has no slaves");
+        let s = switch % self.switches;
+        NodeId::new(
+            s * self.nodes_per_switch()
+                + self.masters_per_switch
+                + (i % u64::from(self.slaves_per_switch)) as u32,
+        )
+    }
+
+    /// Build the [`Topology`]: a chain of switches with every node attached
+    /// to its home switch.  The node-id allocation is exactly
+    /// [`Topology::line`]'s (switch-major), which is what
+    /// [`FabricScenario::master`] / [`FabricScenario::slave`] index into.
+    pub fn topology(&self) -> Topology {
+        Topology::line(self.switches, self.nodes_per_switch())
+    }
+
+    /// Generate `count` channel requests that all cross at least one trunk:
+    /// request `i` goes from a master on switch `i mod S` to a slave on a
+    /// *different* switch, rotating over the other switches so every trunk
+    /// direction carries load.  With a single switch this degenerates to
+    /// same-switch master→slave requests.
+    pub fn cross_switch_requests(&self, count: u64, spec: RtChannelSpec) -> Vec<ChannelRequest> {
+        let mut out = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let src_switch = (i % u64::from(self.switches)) as u32;
+            let dst_switch = if self.switches == 1 {
+                0
+            } else {
+                let offset = 1 + (i / u64::from(self.switches)) % u64::from(self.switches - 1);
+                ((u64::from(src_switch) + offset) % u64::from(self.switches)) as u32
+            };
+            out.push(ChannelRequest {
+                source: self.master(src_switch, i),
+                destination: self.slave(dst_switch, i),
+                spec,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_types::{HopLink, SwitchId};
+
+    #[test]
+    fn node_allocation_is_switch_major() {
+        let f = FabricScenario::line(3, 2, 3);
+        assert_eq!(f.node_count(), 15);
+        assert_eq!(f.nodes_per_switch(), 5);
+        assert_eq!(f.master(0, 0), NodeId::new(0));
+        assert_eq!(f.master(0, 1), NodeId::new(1));
+        assert_eq!(f.master(0, 2), NodeId::new(0)); // wraps
+        assert_eq!(f.slave(0, 0), NodeId::new(2));
+        assert_eq!(f.master(1, 0), NodeId::new(5));
+        assert_eq!(f.slave(2, 2), NodeId::new(14));
+    }
+
+    #[test]
+    fn topology_matches_the_scenario() {
+        let f = FabricScenario::line(3, 1, 2);
+        let t = f.topology();
+        assert_eq!(t.switch_count(), 3);
+        assert_eq!(t.node_count(), 9);
+        assert!(t.is_connected());
+        assert_eq!(t.trunks().count(), 2);
+        assert_eq!(t.switch_of(NodeId::new(4)), Some(SwitchId::new(1)));
+        // A cross-fabric route exists and uses the trunks.
+        let route = t.route(f.master(0, 0), f.slave(2, 0)).unwrap();
+        assert_eq!(route.len(), 4);
+        assert!(matches!(route[1], HopLink::Trunk { .. }));
+    }
+
+    #[test]
+    fn cross_switch_requests_always_cross_a_trunk() {
+        let f = FabricScenario::line(4, 2, 2);
+        let t = f.topology();
+        let reqs = f.cross_switch_requests(64, RtChannelSpec::paper_default());
+        assert_eq!(reqs.len(), 64);
+        for r in &reqs {
+            assert_ne!(
+                t.switch_of(r.source).unwrap(),
+                t.switch_of(r.destination).unwrap(),
+                "request {r:?} does not cross switches"
+            );
+        }
+        // Every switch appears as a source.
+        for s in 0..4u32 {
+            assert!(reqs
+                .iter()
+                .any(|r| t.switch_of(r.source) == Some(SwitchId::new(s))));
+        }
+    }
+
+    #[test]
+    fn single_switch_degenerates_to_local_requests() {
+        let f = FabricScenario::line(1, 2, 2);
+        let reqs = f.cross_switch_requests(8, RtChannelSpec::paper_default());
+        let t = f.topology();
+        for r in &reqs {
+            assert_eq!(t.switch_of(r.source), t.switch_of(r.destination));
+            assert_ne!(r.source, r.destination);
+        }
+    }
+}

@@ -118,7 +118,8 @@ impl RequestPattern {
                 let hotspot = scenario.slave(0);
                 for i in 0..count {
                     // Sources rotate over every node except the hotspot.
-                    let mut source = scenario.nodes()[(i % u64::from(scenario.node_count() - 1)) as usize];
+                    let mut source =
+                        scenario.nodes()[(i % u64::from(scenario.node_count() - 1)) as usize];
                     if source == hotspot {
                         source = *scenario.nodes().last().expect("non-empty scenario");
                     }
@@ -258,8 +259,7 @@ mod tests {
     #[test]
     fn hotspot_pattern_targets_one_destination() {
         let s = scenario();
-        let reqs =
-            RequestPattern::Hotspot.generate(&s, 80, RtChannelSpec::paper_default());
+        let reqs = RequestPattern::Hotspot.generate(&s, 80, RtChannelSpec::paper_default());
         let hotspot = s.slave(0);
         assert!(reqs.iter().all(|r| r.destination == hotspot));
         assert!(reqs.iter().all(|r| r.source != hotspot));
@@ -268,11 +268,8 @@ mod tests {
     #[test]
     fn generate_with_allows_per_request_specs() {
         let mut gen = HeterogeneousSpecs::new(1);
-        let reqs = RequestPattern::MasterSlaveRoundRobin.generate_with(
-            &scenario(),
-            30,
-            |_| gen.next_spec(),
-        );
+        let reqs = RequestPattern::MasterSlaveRoundRobin
+            .generate_with(&scenario(), 30, |_| gen.next_spec());
         assert_eq!(reqs.len(), 30);
         // Not all specs identical (overwhelmingly likely with this seed).
         assert!(reqs.windows(2).any(|w| w[0].spec != w[1].spec));

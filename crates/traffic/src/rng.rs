@@ -1,24 +1,24 @@
 //! Seeded, reproducible randomness.
 //!
 //! All stochastic workload generation in the repository goes through
-//! [`SeededRng`], a thin wrapper over ChaCha8 keyed by a `u64` seed, so that
-//! every experiment is exactly reproducible and independent generators can be
-//! derived from a master seed without correlation.
+//! [`SeededRng`], a thin wrapper over the workspace's dependency-free
+//! deterministic generator ([`rt_types::rng::Xoshiro256`]) keyed by a `u64`
+//! seed, so that every experiment is exactly reproducible and independent
+//! generators can be derived from a master seed without correlation.
 
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use rt_types::rng::Xoshiro256;
 
 /// A deterministic random number generator.
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: ChaCha8Rng,
+    inner: Xoshiro256,
 }
 
 impl SeededRng {
     /// Create a generator from a seed.
     pub fn new(seed: u64) -> Self {
         SeededRng {
-            inner: ChaCha8Rng::seed_from_u64(seed),
+            inner: Xoshiro256::new(seed),
         }
     }
 
@@ -33,18 +33,18 @@ impl SeededRng {
     /// A uniformly distributed integer in `[0, bound)`.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        self.inner.below(bound)
     }
 
     /// A uniformly distributed integer in `[lo, hi]` (inclusive).
     pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "invalid range");
-        self.inner.gen_range(lo..=hi)
+        self.inner.range_inclusive(lo, hi)
     }
 
     /// A uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen_range(0.0..1.0)
+        self.inner.unit()
     }
 
     /// An exponentially distributed value with the given mean.
@@ -115,7 +115,10 @@ mod tests {
         let mean_target = 250.0;
         let sum: f64 = (0..n).map(|_| rng.exponential(mean_target)).sum();
         let mean = sum / n as f64;
-        assert!(mean > 0.9 * mean_target && mean < 1.1 * mean_target, "mean {mean}");
+        assert!(
+            mean > 0.9 * mean_target && mean < 1.1 * mean_target,
+            "mean {mean}"
+        );
     }
 
     #[test]

@@ -6,13 +6,12 @@
 //! sensors and actuators.
 
 use rt_types::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// A star-network scenario: masters and slaves attached to one switch.
 ///
 /// Node ids are allocated contiguously: masters get `0..masters`, slaves get
 /// `masters..masters+slaves`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Scenario {
     masters: u32,
     slaves: u32,
@@ -100,10 +99,18 @@ mod tests {
     #[test]
     fn id_allocation_is_contiguous_and_disjoint() {
         let s = Scenario::new(3, 4);
-        assert_eq!(s.masters(), vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(
+            s.masters(),
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+        );
         assert_eq!(
             s.slaves(),
-            vec![NodeId::new(3), NodeId::new(4), NodeId::new(5), NodeId::new(6)]
+            vec![
+                NodeId::new(3),
+                NodeId::new(4),
+                NodeId::new(5),
+                NodeId::new(6)
+            ]
         );
         for m in s.masters() {
             assert!(s.is_master(m));

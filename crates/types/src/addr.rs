@@ -5,7 +5,6 @@
 //! address and the upper half of the IP destination address with the absolute
 //! deadline, so both addresses need cheap conversion to and from raw bits.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -13,9 +12,7 @@ use crate::error::RtError;
 use crate::ids::NodeId;
 
 /// A 48-bit IEEE 802 MAC address.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct MacAddr(pub [u8; 6]);
 
 impl MacAddr {
@@ -116,10 +113,8 @@ impl FromStr for MacAddr {
 ///
 /// A local wrapper (rather than `std::net::Ipv4Addr`) so that the deadline
 /// overwriting trick of §18.2.2 — treating the address bytes as plain bits —
-/// is explicit and serialisable with serde derive.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+/// is explicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Ipv4Address(pub [u8; 4]);
 
 impl Ipv4Address {

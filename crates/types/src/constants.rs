@@ -84,7 +84,10 @@ mod tests {
     #[allow(clippy::assertions_on_constants)]
     fn frame_size_relations() {
         assert!(MIN_FRAME_BYTES < MAX_FRAME_BYTES);
-        assert_eq!(ETH_HEADER_BYTES + ETH_MTU_BYTES + ETH_FCS_BYTES, MAX_FRAME_BYTES);
+        assert_eq!(
+            ETH_HEADER_BYTES + ETH_MTU_BYTES + ETH_FCS_BYTES,
+            MAX_FRAME_BYTES
+        );
         assert_eq!(ETH_MIN_PAYLOAD_BYTES, 46);
         assert_eq!(MAX_FRAME_WIRE_BYTES, 1538);
         assert_eq!(MIN_FRAME_WIRE_BYTES, 84);

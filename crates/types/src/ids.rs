@@ -8,14 +8,10 @@
 //! node to the switch, and full duplex makes the two directions independent
 //! scheduling resources ("two CPUs" in the paper's analogy).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of an end node (or the switch itself) in the network.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -56,10 +52,7 @@ impl From<u32> for NodeId {
 
 /// Identifier of a switch output port.  In the star topology port `n` leads
 /// to node `n`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PortId(pub u32);
 
 impl PortId {
@@ -82,10 +75,7 @@ impl fmt::Display for PortId {
 
 /// Network-unique identifier of an established RT channel (16 bits on the
 /// wire, Figure 18.3/18.4).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ChannelId(pub u16);
 
 impl ChannelId {
@@ -114,10 +104,7 @@ impl From<u16> for ChannelId {
 
 /// Source-node-unique identifier of an outstanding connection request
 /// (8 bits on the wire, Figure 18.3/18.4).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ConnectionRequestId(pub u8);
 
 impl ConnectionRequestId {
@@ -144,9 +131,7 @@ impl fmt::Display for ConnectionRequestId {
 /// from the source node into the switch, and the *downlink* from the switch
 /// to the destination node.  Because links are full duplex the two directions
 /// of one physical cable are scheduled independently.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LinkDirection {
     /// Node → switch.
     Uplink,
@@ -181,9 +166,7 @@ impl fmt::Display for LinkDirection {
 /// A directed link in the star network: the physical cable of `node` taken in
 /// `direction`.  This is the unit on which the per-link EDF feasibility test
 /// runs ("each link organises two independent CPUs").
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId {
     /// The end node whose cable this is.
     pub node: NodeId,
@@ -265,17 +248,5 @@ mod tests {
         assert_eq!(format!("{}", ConnectionRequestId::new(2)), "req2");
         assert_eq!(format!("{}", PortId::new(1)), "port1");
         assert_eq!(format!("{}", LinkDirection::Uplink), "uplink");
-    }
-
-    #[test]
-    fn serde_round_trips() {
-        let l = LinkId::downlink(NodeId::new(4));
-        let json = serde_json::to_string(&l).unwrap();
-        assert_eq!(serde_json::from_str::<LinkId>(&json).unwrap(), l);
-        let c = ChannelId::new(99);
-        assert_eq!(
-            serde_json::from_str::<ChannelId>(&serde_json::to_string(&c).unwrap()).unwrap(),
-            c
-        );
     }
 }

@@ -20,12 +20,14 @@ pub mod addr;
 pub mod constants;
 pub mod error;
 pub mod ids;
+pub mod rng;
 pub mod time;
+pub mod topology;
 
 pub use addr::{Ipv4Address, MacAddr};
 pub use constants::*;
 pub use error::{RtError, RtResult};
-pub use ids::{
-    ChannelId, ConnectionRequestId, LinkDirection, LinkId, NodeId, PortId,
-};
+pub use ids::{ChannelId, ConnectionRequestId, LinkDirection, LinkId, NodeId, PortId};
+pub use rng::Xoshiro256;
 pub use time::{Duration, LinkSpeed, SimTime, Slots};
+pub use topology::{HopLink, SwitchId, Topology};

@@ -7,7 +7,6 @@
 //! that propagation delays, switching latency and frames of different sizes
 //! can be modelled faithfully.  [`LinkSpeed`] ties the two together.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
@@ -21,10 +20,7 @@ use crate::constants::MAX_FRAME_WIRE_BYTES;
 /// The type is a thin newtype over `u64` with saturating-free checked
 /// arithmetic in debug builds (regular `+`/`-` panics on overflow there) and
 /// explicit helpers for the few places where saturation is wanted.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Slots(pub u64);
 
 impl Slots {
@@ -215,17 +211,11 @@ impl Sum for Slots {
 
 /// A point in simulated time, in nanoseconds since the start of the
 /// simulation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Duration(pub u64);
 
 impl SimTime {
@@ -459,7 +449,7 @@ impl Sum for Duration {
 ///
 /// The paper assumes Fast Ethernet (100 Mbit/s); the simulator supports any
 /// rate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LinkSpeed {
     bits_per_second: u64,
 }
@@ -619,10 +609,7 @@ mod tests {
         let min = LinkSpeed::FAST_ETHERNET.transmission_time(84);
         assert_eq!(min.as_nanos(), 6_720);
         // Gigabit is 10x faster.
-        assert_eq!(
-            LinkSpeed::GIGABIT.slot_duration().as_nanos(),
-            12_304
-        );
+        assert_eq!(LinkSpeed::GIGABIT.slot_duration().as_nanos(), 12_304);
     }
 
     #[test]
@@ -633,17 +620,5 @@ mod tests {
         // A partial slot rounds up.
         let d_plus = d + Duration::from_nanos(1);
         assert_eq!(speed.duration_to_slots_ceil(d_plus), Slots::new(41));
-    }
-
-    #[test]
-    fn serde_round_trip() {
-        let s = Slots::new(42);
-        let json = serde_json::to_string(&s).unwrap();
-        assert_eq!(json, "42");
-        assert_eq!(serde_json::from_str::<Slots>(&json).unwrap(), s);
-
-        let t = SimTime::from_micros(7);
-        let json = serde_json::to_string(&t).unwrap();
-        assert_eq!(serde_json::from_str::<SimTime>(&json).unwrap(), t);
     }
 }

@@ -1,0 +1,449 @@
+//! Multi-switch network topologies.
+//!
+//! The paper analyses a single-switch star and names "networks consisting of
+//! many interconnected switches" as future work.  A [`Topology`] describes
+//! such a network: which switch every end node attaches to and which trunk
+//! links connect the switches.  The switch graph must be a *tree* (checked
+//! when trunks are added), so the path between any two switches is unique —
+//! which keeps routing, the admission analysis and the simulator
+//! deterministic.
+//!
+//! The types live here (rather than in the admission-control crate) because
+//! both the analytical side (`rt-core`'s multi-hop admission) and the
+//! data-plane side (`rt-netsim`'s fabric simulator) are driven by the same
+//! topology: one [`HopLink`] is simultaneously a unit of EDF feasibility
+//! analysis and a simulated output port.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use crate::error::{RtError, RtResult};
+use crate::ids::NodeId;
+
+/// Identifier of a switch in a multi-switch topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SwitchId(pub u32);
+
+impl SwitchId {
+    /// Construct a switch id.
+    pub const fn new(id: u32) -> Self {
+        SwitchId(id)
+    }
+
+    /// Raw value.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sw{}", self.0)
+    }
+}
+
+/// A directed link in a multi-switch network.
+///
+/// Every variant is one transmitter: a node's NIC on its uplink, a switch
+/// output port on a downlink, or a switch trunk port towards a neighbouring
+/// switch.  Full duplex makes the two directions of one cable independent
+/// scheduling resources, so the trunk between `a` and `b` appears as two
+/// distinct `Trunk` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HopLink {
+    /// End node → its access switch.
+    Uplink(NodeId),
+    /// Access switch → end node.
+    Downlink(NodeId),
+    /// Directed trunk between two switches.
+    Trunk {
+        /// Transmitting switch.
+        from: SwitchId,
+        /// Receiving switch.
+        to: SwitchId,
+    },
+}
+
+impl fmt::Display for HopLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HopLink::Uplink(n) => write!(f, "{n}/uplink"),
+            HopLink::Downlink(n) => write!(f, "{n}/downlink"),
+            HopLink::Trunk { from, to } => write!(f, "{from}->{to}"),
+        }
+    }
+}
+
+/// A network of switches connected by trunk links, with end nodes attached.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    switches: BTreeSet<SwitchId>,
+    attachments: BTreeMap<NodeId, SwitchId>,
+    /// Adjacency of the (undirected) trunk graph.
+    adjacency: BTreeMap<SwitchId, BTreeSet<SwitchId>>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The degenerate single-switch star of the paper's §18.1: one switch,
+    /// the given nodes attached to it.
+    pub fn star(switch: SwitchId, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut t = Topology::new();
+        t.add_switch(switch);
+        for n in nodes {
+            t.attach_node(n, switch)
+                .expect("attaching fresh nodes to a fresh switch cannot fail");
+        }
+        t
+    }
+
+    /// A line (chain) of `switches` switches with `nodes_per_switch` end
+    /// nodes on each, node ids allocated switch-major.
+    pub fn line(switches: u32, nodes_per_switch: u32) -> Self {
+        let mut t = Topology::new();
+        for s in 0..switches {
+            t.add_switch(SwitchId::new(s));
+        }
+        for s in 1..switches {
+            t.add_trunk(SwitchId::new(s - 1), SwitchId::new(s))
+                .expect("a chain cannot form a cycle");
+        }
+        for s in 0..switches {
+            for k in 0..nodes_per_switch {
+                t.attach_node(NodeId::new(s * nodes_per_switch + k), SwitchId::new(s))
+                    .expect("fresh node");
+            }
+        }
+        t
+    }
+
+    /// Add a switch (idempotent).
+    pub fn add_switch(&mut self, switch: SwitchId) {
+        self.switches.insert(switch);
+        self.adjacency.entry(switch).or_default();
+    }
+
+    /// Attach an end node to a switch.
+    pub fn attach_node(&mut self, node: NodeId, switch: SwitchId) -> RtResult<()> {
+        if !self.switches.contains(&switch) {
+            return Err(RtError::Config(format!("unknown switch {switch}")));
+        }
+        if self.attachments.contains_key(&node) {
+            return Err(RtError::Config(format!("{node} is already attached")));
+        }
+        self.attachments.insert(node, switch);
+        Ok(())
+    }
+
+    /// Connect two switches with a full-duplex trunk link.  Rejects edges
+    /// that would create a cycle (the switch graph must stay a tree) or
+    /// self-loops.
+    pub fn add_trunk(&mut self, a: SwitchId, b: SwitchId) -> RtResult<()> {
+        if a == b {
+            return Err(RtError::Config(
+                "a trunk cannot connect a switch to itself".into(),
+            ));
+        }
+        for s in [a, b] {
+            if !self.switches.contains(&s) {
+                return Err(RtError::Config(format!("unknown switch {s}")));
+            }
+        }
+        if self.switch_path(a, b).is_some() {
+            return Err(RtError::Config(format!(
+                "trunk {a} <-> {b} would create a cycle in the switch graph"
+            )));
+        }
+        self.adjacency.entry(a).or_default().insert(b);
+        self.adjacency.entry(b).or_default().insert(a);
+        Ok(())
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of attached end nodes.
+    pub fn node_count(&self) -> usize {
+        self.attachments.len()
+    }
+
+    /// The switches, in ascending id order.
+    pub fn switches(&self) -> impl Iterator<Item = SwitchId> + '_ {
+        self.switches.iter().copied()
+    }
+
+    /// The undirected trunk edges, each reported once with `from < to`.
+    pub fn trunks(&self) -> impl Iterator<Item = (SwitchId, SwitchId)> + '_ {
+        self.adjacency
+            .iter()
+            .flat_map(|(&a, nbrs)| nbrs.iter().map(move |&b| (a, b)))
+            .filter(|(a, b)| a < b)
+    }
+
+    /// The switch an end node is attached to.
+    pub fn switch_of(&self, node: NodeId) -> Option<SwitchId> {
+        self.attachments.get(&node).copied()
+    }
+
+    /// The attached end nodes, in ascending id order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.attachments.keys().copied()
+    }
+
+    /// The end nodes attached to one switch, in ascending id order.
+    pub fn nodes_of(&self, switch: SwitchId) -> impl Iterator<Item = NodeId> + '_ {
+        self.attachments
+            .iter()
+            .filter(move |(_, &s)| s == switch)
+            .map(|(&n, _)| n)
+    }
+
+    /// `true` if every switch can reach every other switch over trunks.
+    pub fn is_connected(&self) -> bool {
+        let Some(&first) = self.switches.iter().next() else {
+            return true;
+        };
+        let mut seen = BTreeSet::from([first]);
+        let mut queue = VecDeque::from([first]);
+        while let Some(current) = queue.pop_front() {
+            if let Some(neighbours) = self.adjacency.get(&current) {
+                for &next in neighbours {
+                    if seen.insert(next) {
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        seen.len() == self.switches.len()
+    }
+
+    /// The unique switch-to-switch path (inclusive of both endpoints), or
+    /// `None` if the switches are not connected.
+    pub fn switch_path(&self, from: SwitchId, to: SwitchId) -> Option<Vec<SwitchId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        if !self.switches.contains(&from) || !self.switches.contains(&to) {
+            return None;
+        }
+        let mut predecessor: BTreeMap<SwitchId, SwitchId> = BTreeMap::new();
+        let mut queue = VecDeque::from([from]);
+        let mut seen = BTreeSet::from([from]);
+        while let Some(current) = queue.pop_front() {
+            if current == to {
+                break;
+            }
+            if let Some(neighbours) = self.adjacency.get(&current) {
+                for &next in neighbours {
+                    if seen.insert(next) {
+                        predecessor.insert(next, current);
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        if !predecessor.contains_key(&to) {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut current = to;
+        while current != from {
+            current = predecessor[&current];
+            path.push(current);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// The directed links an RT channel from `source` to `destination`
+    /// traverses: uplink, trunk hops, downlink.
+    pub fn route(&self, source: NodeId, destination: NodeId) -> RtResult<Vec<HopLink>> {
+        if source == destination {
+            return Err(RtError::InvalidChannelSpec(
+                "source and destination must differ".into(),
+            ));
+        }
+        let src_switch = self.switch_of(source).ok_or(RtError::UnknownNode(source))?;
+        let dst_switch = self
+            .switch_of(destination)
+            .ok_or(RtError::UnknownNode(destination))?;
+        let switch_path = self.switch_path(src_switch, dst_switch).ok_or_else(|| {
+            RtError::Config(format!(
+                "switches {src_switch} and {dst_switch} are not connected"
+            ))
+        })?;
+        let mut links = Vec::with_capacity(switch_path.len() + 1);
+        links.push(HopLink::Uplink(source));
+        for pair in switch_path.windows(2) {
+            links.push(HopLink::Trunk {
+                from: pair[0],
+                to: pair[1],
+            });
+        }
+        links.push(HopLink::Downlink(destination));
+        Ok(links)
+    }
+
+    /// The next-hop forwarding table of the trunk graph: for every ordered
+    /// pair of distinct connected switches `(at, towards)`, the neighbour of
+    /// `at` on the unique path towards `towards`.  Precomputed by the fabric
+    /// simulator so per-frame forwarding is a map lookup.
+    pub fn next_hop_table(&self) -> BTreeMap<(SwitchId, SwitchId), SwitchId> {
+        let mut table = BTreeMap::new();
+        for &from in &self.switches {
+            // One BFS per source switch over the tree.
+            let mut predecessor: BTreeMap<SwitchId, SwitchId> = BTreeMap::new();
+            let mut seen = BTreeSet::from([from]);
+            let mut queue = VecDeque::from([from]);
+            while let Some(current) = queue.pop_front() {
+                if let Some(neighbours) = self.adjacency.get(&current) {
+                    for &next in neighbours {
+                        if seen.insert(next) {
+                            predecessor.insert(next, current);
+                            queue.push_back(next);
+                        }
+                    }
+                }
+            }
+            for &to in &self.switches {
+                if to == from || !predecessor.contains_key(&to) {
+                    continue;
+                }
+                // Walk back from `to` until the step out of `from`.
+                let mut step = to;
+                while predecessor[&step] != from {
+                    step = predecessor[&step];
+                }
+                table.insert((from, to), step);
+            }
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dumbbell(m: u32, s: u32) -> Topology {
+        let mut t = Topology::new();
+        t.add_switch(SwitchId::new(0));
+        t.add_switch(SwitchId::new(1));
+        t.add_trunk(SwitchId::new(0), SwitchId::new(1)).unwrap();
+        for i in 0..m {
+            t.attach_node(NodeId::new(i), SwitchId::new(0)).unwrap();
+        }
+        for i in 0..s {
+            t.attach_node(NodeId::new(m + i), SwitchId::new(1)).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn construction_and_validation() {
+        let mut t = Topology::new();
+        t.add_switch(SwitchId::new(0));
+        t.add_switch(SwitchId::new(1));
+        t.add_switch(SwitchId::new(2));
+        assert!(t.attach_node(NodeId::new(0), SwitchId::new(9)).is_err());
+        t.attach_node(NodeId::new(0), SwitchId::new(0)).unwrap();
+        assert!(t.attach_node(NodeId::new(0), SwitchId::new(1)).is_err());
+        t.add_trunk(SwitchId::new(0), SwitchId::new(1)).unwrap();
+        t.add_trunk(SwitchId::new(1), SwitchId::new(2)).unwrap();
+        assert!(t.add_trunk(SwitchId::new(0), SwitchId::new(2)).is_err());
+        assert!(t.add_trunk(SwitchId::new(0), SwitchId::new(0)).is_err());
+        assert!(t.add_trunk(SwitchId::new(0), SwitchId::new(7)).is_err());
+        assert_eq!(t.switch_count(), 3);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.switch_of(NodeId::new(0)), Some(SwitchId::new(0)));
+        assert!(t.is_connected());
+        assert_eq!(t.trunks().count(), 2);
+    }
+
+    #[test]
+    fn star_and_line_builders() {
+        let star = Topology::star(SwitchId::new(0), (0..4).map(NodeId::new));
+        assert_eq!(star.switch_count(), 1);
+        assert_eq!(star.node_count(), 4);
+        assert_eq!(star.nodes_of(SwitchId::new(0)).count(), 4);
+
+        let line = Topology::line(3, 2);
+        assert_eq!(line.switch_count(), 3);
+        assert_eq!(line.node_count(), 6);
+        assert_eq!(line.switch_of(NodeId::new(5)), Some(SwitchId::new(2)));
+        assert!(line.is_connected());
+        // End-to-end route: uplink + 2 trunks + downlink.
+        let route = line.route(NodeId::new(0), NodeId::new(5)).unwrap();
+        assert_eq!(route.len(), 4);
+    }
+
+    #[test]
+    fn switch_paths_and_routes() {
+        let t = dumbbell(2, 2);
+        assert_eq!(
+            t.switch_path(SwitchId::new(0), SwitchId::new(1)),
+            Some(vec![SwitchId::new(0), SwitchId::new(1)])
+        );
+        assert_eq!(
+            t.switch_path(SwitchId::new(0), SwitchId::new(0)),
+            Some(vec![SwitchId::new(0)])
+        );
+        assert_eq!(t.switch_path(SwitchId::new(0), SwitchId::new(9)), None);
+
+        let route = t.route(NodeId::new(0), NodeId::new(2)).unwrap();
+        assert_eq!(
+            route,
+            vec![
+                HopLink::Uplink(NodeId::new(0)),
+                HopLink::Trunk {
+                    from: SwitchId::new(0),
+                    to: SwitchId::new(1)
+                },
+                HopLink::Downlink(NodeId::new(2)),
+            ]
+        );
+        let route = t.route(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert_eq!(route.len(), 2);
+        assert!(t.route(NodeId::new(0), NodeId::new(0)).is_err());
+        assert!(t.route(NodeId::new(0), NodeId::new(99)).is_err());
+    }
+
+    #[test]
+    fn next_hop_table_matches_paths() {
+        let t = Topology::line(4, 1);
+        let table = t.next_hop_table();
+        // sw0 towards sw3 goes via sw1; sw3 towards sw0 via sw2.
+        assert_eq!(
+            table[&(SwitchId::new(0), SwitchId::new(3))],
+            SwitchId::new(1)
+        );
+        assert_eq!(
+            table[&(SwitchId::new(3), SwitchId::new(0))],
+            SwitchId::new(2)
+        );
+        assert_eq!(
+            table[&(SwitchId::new(1), SwitchId::new(2))],
+            SwitchId::new(2)
+        );
+        // 4 switches, ordered pairs: 4*3 = 12 entries.
+        assert_eq!(table.len(), 12);
+    }
+
+    #[test]
+    fn disconnected_switches_have_no_route() {
+        let mut t = Topology::new();
+        t.add_switch(SwitchId::new(0));
+        t.add_switch(SwitchId::new(1));
+        t.attach_node(NodeId::new(0), SwitchId::new(0)).unwrap();
+        t.attach_node(NodeId::new(1), SwitchId::new(1)).unwrap();
+        assert!(!t.is_connected());
+        assert!(t.route(NodeId::new(0), NodeId::new(1)).is_err());
+        assert!(t.next_hop_table().is_empty());
+    }
+}

@@ -30,7 +30,10 @@ fn main() {
     // (1) The application asks its RT layer; the layer emits a RequestFrame
     //     addressed to the switch.
     let (request_id, eth) = source.request_channel(NodeId::new(1), spec).unwrap();
-    println!("node0  -> switch : RequestFrame (request id {request_id}, {} bytes on the wire)", eth.wire_bytes());
+    println!(
+        "node0  -> switch : RequestFrame (request id {request_id}, {} bytes on the wire)",
+        eth.wire_bytes()
+    );
 
     // (2) The switch runs admission control and forwards the annotated
     //     request to the destination.
@@ -52,7 +55,10 @@ fn main() {
 
     // (3) The destination answers with a ResponseFrame.
     let (response_eth, accepted) = destination.handle_forwarded_request(&forwarded).unwrap();
-    println!("node1  -> switch : ResponseFrame ({})", if accepted { "OK" } else { "Not OK" });
+    println!(
+        "node1  -> switch : ResponseFrame ({})",
+        if accepted { "OK" } else { "Not OK" }
+    );
     let response = match Frame::classify(response_eth).unwrap() {
         Frame::Response(r) => r,
         _ => unreachable!(),
@@ -89,7 +95,9 @@ fn main() {
         };
         let actions = switch.handle_request(&request).unwrap();
         match &actions[0] {
-            SwitchAction::ForwardRequest { .. } => println!("request #{n}: feasible, forwarded to node2"),
+            SwitchAction::ForwardRequest { .. } => {
+                println!("request #{n}: feasible, forwarded to node2")
+            }
             SwitchAction::SendResponse { frame, .. } => {
                 println!(
                     "request #{n}: rejected directly by the switch (verdict OK={})",

@@ -30,7 +30,12 @@ fn run(be_frames: u64) -> (u64, u64, u64, Duration) {
     let slot = network.simulator().config().link_speed.slot_duration();
     for k in 0..be_frames {
         network
-            .send_best_effort(NodeId::new(0), NodeId::new(1), 1400, start + slot.saturating_mul(k))
+            .send_best_effort(
+                NodeId::new(0),
+                NodeId::new(1),
+                1400,
+                start + slot.saturating_mul(k),
+            )
             .expect("best effort");
     }
     network.run_to_completion().expect("run");
@@ -46,12 +51,23 @@ fn run(be_frames: u64) -> (u64, u64, u64, Duration) {
 
 fn main() {
     println!("RT channel (C=3, P=100, d=40) sharing its links with a best-effort flood:\n");
-    println!("{:>10} {:>10} {:>10} {:>12} {:>16}", "BE frames", "RT frames", "RT misses", "BE delivered", "RT worst latency");
+    println!(
+        "{:>10} {:>10} {:>10} {:>12} {:>16}",
+        "BE frames", "RT frames", "RT misses", "BE delivered", "RT worst latency"
+    );
     for be_frames in [0u64, 100, 500, 2000] {
         let (rt, misses, be, worst) = run(be_frames);
-        println!("{be_frames:>10} {rt:>10} {misses:>10} {be:>12} {:>16}", worst.to_string());
-        assert_eq!(misses, 0, "real-time deadlines must hold under any best-effort load");
+        println!(
+            "{be_frames:>10} {rt:>10} {misses:>10} {be:>12} {:>16}",
+            worst.to_string()
+        );
+        assert_eq!(
+            misses, 0,
+            "real-time deadlines must hold under any best-effort load"
+        );
     }
-    println!("\nreal-time deadline misses stay at zero no matter how much best-effort load is offered;");
+    println!(
+        "\nreal-time deadline misses stay at zero no matter how much best-effort load is offered;"
+    );
     println!("best-effort throughput simply absorbs the remaining link capacity.");
 }

@@ -82,7 +82,12 @@ fn main() {
     // A best-effort firmware download to the drive over the same links.
     for k in 0..500u64 {
         network
-            .send_best_effort(controller, NodeId::new(1), 1400, start + slot.saturating_mul(2 * k))
+            .send_best_effort(
+                controller,
+                NodeId::new(1),
+                1400,
+                start + slot.saturating_mul(2 * k),
+            )
             .expect("send best effort");
     }
 

@@ -72,7 +72,8 @@ pub mod traffic {
 }
 
 pub use rt_core::{
-    AdmissionController, Adps, DeadlinePartitioningScheme, DpsKind, RtChannel, RtChannelSpec,
-    RtNetwork, RtNetworkConfig, Sdps, SystemState,
+    AdmissionController, Adps, DeadlinePartitioningScheme, DpsKind, FabricChannelManager,
+    MultiHopAdmission, MultiHopDps, RtChannel, RtChannelSpec, RtNetwork, RtNetworkConfig, Sdps,
+    SystemState,
 };
-pub use rt_types::{ChannelId, LinkId, NodeId, Slots};
+pub use rt_types::{ChannelId, HopLink, LinkId, NodeId, Slots, SwitchId, Topology};

@@ -17,7 +17,8 @@ fn rt_deadlines_hold_under_best_effort_overload() {
         .unwrap();
 
     let start = net.now() + Duration::from_millis(1);
-    net.send_periodic(NodeId::new(0), tx.id, 15, 1400, start).unwrap();
+    net.send_periodic(NodeId::new(0), tx.id, 15, 1400, start)
+        .unwrap();
 
     // Offer more best-effort traffic than the shared links can carry.
     let slot = net.simulator().config().link_speed.slot_duration();
@@ -34,12 +35,19 @@ fn rt_deadlines_hold_under_best_effort_overload() {
 
     let stats = net.simulator().stats();
     assert_eq!(stats.total_deadline_misses, 0);
-    assert_eq!(stats.rt_delivered, 15 * 3 + 4, "45 data frames + 4 handshake frames");
+    assert_eq!(
+        stats.rt_delivered,
+        15 * 3 + 4,
+        "45 data frames + 4 handshake frames"
+    );
     assert!(stats.worst_case_latency().unwrap() <= net.deadline_bound(&spec));
     // The overloaded best-effort queue eventually drops frames — that is the
     // intended failure mode (RT traffic is never dropped).
     assert!(stats.be_delivered > 0);
-    assert!(stats.be_dropped > 0, "expected best-effort drops under 2x overload");
+    assert!(
+        stats.be_dropped > 0,
+        "expected best-effort drops under 2x overload"
+    );
 }
 
 #[test]
@@ -108,10 +116,16 @@ fn bounded_best_effort_queues_protect_memory_not_rt_traffic() {
         .unwrap()
         .unwrap();
     let start = net.now() + Duration::from_millis(1);
-    net.send_periodic(NodeId::new(0), tx.id, 10, 800, start).unwrap();
+    net.send_periodic(NodeId::new(0), tx.id, 10, 800, start)
+        .unwrap();
     for k in 0..500u64 {
-        net.send_best_effort(NodeId::new(0), NodeId::new(1), 1400, start + Duration::from_micros(5 * k))
-            .unwrap();
+        net.send_best_effort(
+            NodeId::new(0),
+            NodeId::new(1),
+            1400,
+            start + Duration::from_micros(5 * k),
+        )
+        .unwrap();
     }
     net.run_to_completion().unwrap();
     let stats = net.simulator().stats();

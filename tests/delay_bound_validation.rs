@@ -16,7 +16,10 @@ fn run_and_validate(dps: DpsKind, channels: u64, messages: u64, spec: RtChannelS
     let requests = RequestPattern::MasterSlaveRoundRobin.generate(&scenario, channels, spec);
     let mut established = Vec::new();
     for r in &requests {
-        if let Some(tx) = net.establish_channel(r.source, r.destination, r.spec).unwrap() {
+        if let Some(tx) = net
+            .establish_channel(r.source, r.destination, r.spec)
+            .unwrap()
+        {
             established.push((r.source, tx));
         }
     }
@@ -24,12 +27,16 @@ fn run_and_validate(dps: DpsKind, channels: u64, messages: u64, spec: RtChannelS
 
     let start = net.now() + Duration::from_millis(1);
     for (source, tx) in &established {
-        net.send_periodic(*source, tx.id, messages, 1000, start).unwrap();
+        net.send_periodic(*source, tx.id, messages, 1000, start)
+            .unwrap();
     }
     net.run_to_completion().unwrap();
 
     let stats = net.simulator().stats();
-    assert_eq!(stats.total_deadline_misses, 0, "admitted traffic missed deadlines");
+    assert_eq!(
+        stats.total_deadline_misses, 0,
+        "admitted traffic missed deadlines"
+    );
     let bound = net.deadline_bound(&spec);
     for (_, tx) in &established {
         let ch = stats.channel(tx.id).expect("channel delivered frames");
@@ -88,7 +95,8 @@ fn saturated_adps_system_still_meets_every_deadline() {
     assert!(established.len() >= 8, "expected a heavily loaded uplink");
     let start = net.now() + Duration::from_millis(1);
     for tx in &established {
-        net.send_periodic(NodeId::new(0), tx.id, 8, 1400, start).unwrap();
+        net.send_periodic(NodeId::new(0), tx.id, 8, 1400, start)
+            .unwrap();
     }
     net.run_to_completion().unwrap();
     let stats = net.simulator().stats();

@@ -7,11 +7,11 @@
 //! `rt-edf` (analysis and schedule generation) and `rt-traffic` (workload
 //! generation).
 
-use proptest::prelude::*;
 use switched_rt_ethernet::core::{AdmissionController, DpsKind, SystemState};
 use switched_rt_ethernet::edf::schedule::simulate_over_hyperperiod;
 use switched_rt_ethernet::edf::FeasibilityTester;
 use switched_rt_ethernet::traffic::{HeterogeneousSpecs, RequestPattern, Scenario};
+use switched_rt_ethernet::types::rng::Xoshiro256;
 use switched_rt_ethernet::types::Slots;
 
 fn assert_all_links_schedulable(controller: &AdmissionController) {
@@ -35,49 +35,48 @@ fn assert_all_links_schedulable(controller: &AdmissionController) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Whatever the DPS, request pattern, scenario size and channel specs,
-    /// everything the switch admits is schedulable on every link.
-    #[test]
-    fn admitted_systems_are_schedulable(
-        seed in 0u64..1_000,
-        masters in 2u32..6,
-        slaves in 2u32..10,
-        requested in 10u64..60,
-        dps_idx in 0usize..4,
-    ) {
+/// Whatever the DPS, request pattern, scenario size and channel specs,
+/// everything the switch admits is schedulable on every link.
+#[test]
+fn admitted_systems_are_schedulable() {
+    let mut rng = Xoshiro256::new(0xc055_0001);
+    for _ in 0..16 {
+        let seed = rng.below(1_000);
+        let masters = rng.range_inclusive(2, 5) as u32;
+        let slaves = rng.range_inclusive(2, 9) as u32;
+        let requested = rng.range_inclusive(10, 59);
+        let dps = DpsKind::ALL[rng.below(4) as usize];
         let scenario = Scenario::new(masters, slaves);
-        let dps = DpsKind::ALL[dps_idx];
         let mut specs = HeterogeneousSpecs::new(seed);
         let requests = RequestPattern::Uniform { seed }
             .generate_with(&scenario, requested, |_| specs.next_spec());
-        let mut controller = AdmissionController::new(
-            SystemState::with_nodes(scenario.nodes()),
-            dps.build(),
-        );
+        let mut controller =
+            AdmissionController::new(SystemState::with_nodes(scenario.nodes()), dps.build());
         for r in &requests {
             let _ = controller.request(r.source, r.destination, r.spec).unwrap();
         }
         assert_all_links_schedulable(&controller);
     }
+}
 
-    /// The same holds for the paper's homogeneous master/slave workload at
-    /// any load level.
-    #[test]
-    fn paper_workload_is_schedulable_after_admission(
-        requested in 1u64..250,
-        asymmetric in any::<bool>(),
-    ) {
+/// The same holds for the paper's homogeneous master/slave workload at any
+/// load level.
+#[test]
+fn paper_workload_is_schedulable_after_admission() {
+    let mut rng = Xoshiro256::new(0xc055_0002);
+    for _ in 0..16 {
+        let requested = rng.range_inclusive(1, 249);
+        let asymmetric = rng.chance(0.5);
         let scenario = Scenario::paper_master_slave();
-        let dps = if asymmetric { DpsKind::Asymmetric } else { DpsKind::Symmetric };
+        let dps = if asymmetric {
+            DpsKind::Asymmetric
+        } else {
+            DpsKind::Symmetric
+        };
         let spec = switched_rt_ethernet::core::RtChannelSpec::paper_default();
         let requests = RequestPattern::MasterSlaveRoundRobin.generate(&scenario, requested, spec);
-        let mut controller = AdmissionController::new(
-            SystemState::with_nodes(scenario.nodes()),
-            dps.build(),
-        );
+        let mut controller =
+            AdmissionController::new(SystemState::with_nodes(scenario.nodes()), dps.build());
         for r in &requests {
             let _ = controller.request(r.source, r.destination, r.spec).unwrap();
         }
@@ -110,5 +109,8 @@ fn utilisation_only_admission_produces_deadline_misses() {
             simulate_over_hyperperiod(&controller.state().link_taskset(link), Slots::new(100_000));
         misses += outcome.misses.len() as u64;
     }
-    assert!(misses > 0, "expected deadline misses under utilisation-only admission");
+    assert!(
+        misses > 0,
+        "expected deadline misses under utilisation-only admission"
+    );
 }

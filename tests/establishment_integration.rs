@@ -20,7 +20,10 @@ fn establishes_channels_between_many_pairs() {
             }
         }
     }
-    assert_eq!(established, 16, "a lightly loaded network accepts all 16 channels");
+    assert_eq!(
+        established, 16,
+        "a lightly loaded network accepts all 16 channels"
+    );
     assert_eq!(net.manager().channel_count(), 16);
     // Every destination registered its incoming channels.
     for dst in 4..8u32 {
@@ -115,7 +118,8 @@ fn teardown_frees_capacity_end_to_end() {
         .unwrap()
         .is_none());
     // Tear one down over the wire; the freed capacity admits a new channel.
-    net.teardown_channel(NodeId::new(0), channels[0].id).unwrap();
+    net.teardown_channel(NodeId::new(0), channels[0].id)
+        .unwrap();
     assert_eq!(net.manager().channel_count(), 5);
     assert!(net
         .establish_channel(NodeId::new(0), NodeId::new(7), spec)

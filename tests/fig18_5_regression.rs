@@ -27,7 +27,10 @@ fn below_saturation_both_schemes_accept_everything() {
     let pattern = RequestPattern::MasterSlaveRoundRobin;
     for requested in [20, 40, 60] {
         assert_eq!(accepted(DpsKind::Symmetric, requested, &pattern), requested);
-        assert_eq!(accepted(DpsKind::Asymmetric, requested, &pattern), requested);
+        assert_eq!(
+            accepted(DpsKind::Asymmetric, requested, &pattern),
+            requested
+        );
     }
 }
 
@@ -89,6 +92,9 @@ fn random_slave_assignment_preserves_the_shape() {
     let pattern = RequestPattern::MasterSlaveRandom { seed: 2004 };
     let sdps = accepted(DpsKind::Symmetric, 200, &pattern);
     let adps = accepted(DpsKind::Asymmetric, 200, &pattern);
-    assert_eq!(sdps, 60, "SDPS is limited by the uplinks regardless of slave choice");
+    assert_eq!(
+        sdps, 60,
+        "SDPS is limited by the uplinks regardless of slave choice"
+    );
     assert!(adps as f64 >= 1.5 * sdps as f64);
 }

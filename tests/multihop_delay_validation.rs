@@ -1,0 +1,157 @@
+//! Integration test for the multi-hop analogue of the Eq. 18.1 guarantee:
+//! channels admitted through a 3-switch line topology by the multi-hop
+//! admission control are established over the simulated wire (handshake
+//! frames crossing the trunks), driven with periodic traffic, and every
+//! simulated delivery must meet both its stamped deadline and the per-hop
+//! analytical bound `d_i·slot + T_latency(hops)`.
+
+use switched_rt_ethernet::core::{MultiHopAdmission, MultiHopDps, RtChannelSpec};
+use switched_rt_ethernet::core::{RtNetwork, RtNetworkConfig};
+use switched_rt_ethernet::netsim::SimConfig;
+use switched_rt_ethernet::traffic::FabricScenario;
+use switched_rt_ethernet::types::{Duration, HopLink, SwitchId};
+
+/// A 3-switch line with 2 masters and 2 slaves per switch.
+fn scenario() -> FabricScenario {
+    FabricScenario::line(3, 2, 2)
+}
+
+#[test]
+fn admitted_multihop_channels_meet_deadline_and_analytical_bound() {
+    let fabric = scenario();
+    let spec = RtChannelSpec::paper_default();
+    let requests = fabric.cross_switch_requests(12, spec);
+
+    // Analytical reference: the same requests through a bare MultiHopAdmission.
+    let mut analysis = MultiHopAdmission::new(fabric.topology(), MultiHopDps::Asymmetric);
+    let analytically_accepted: Vec<bool> = requests
+        .iter()
+        .map(|r| {
+            analysis
+                .request(r.source, r.destination, r.spec)
+                .expect("valid request")
+                .is_ok()
+        })
+        .collect();
+    assert!(
+        analytically_accepted.iter().any(|&a| a),
+        "the analysis must admit at least one channel"
+    );
+
+    // The same requests over the wire.
+    let mut net = RtNetwork::new(RtNetworkConfig::with_topology(
+        fabric.topology(),
+        MultiHopDps::Asymmetric,
+    ));
+    let mut established = Vec::new();
+    for (r, &expected) in requests.iter().zip(&analytically_accepted) {
+        let tx = net
+            .establish_channel(r.source, r.destination, r.spec)
+            .expect("establishment cannot error on a known topology");
+        assert_eq!(
+            tx.is_some(),
+            expected,
+            "wire-level admission disagrees with the analysis for {r:?}"
+        );
+        if let Some(tx) = tx {
+            established.push((r.source, tx));
+        }
+    }
+
+    // Drive periodic traffic on every admitted channel.
+    let start = net.now() + Duration::from_millis(1);
+    for (source, tx) in &established {
+        net.send_periodic(*source, tx.id, 10, 1200, start)
+            .expect("channel was just established");
+    }
+    net.run_to_completion().expect("simulation completes");
+
+    // Every delivery met its stamped deadline...
+    let stats = net.simulator().stats();
+    assert!(stats.rt_delivered > 0);
+    assert_eq!(
+        stats.total_deadline_misses, 0,
+        "admitted multi-hop traffic missed stamped deadlines"
+    );
+    assert!(net.received_messages().iter().all(|m| !m.missed_deadline));
+
+    // ...and every channel's worst-case latency respects the per-hop
+    // analytical bound, which is strictly larger than the star bound for
+    // cross-switch channels.
+    for (_, tx) in &established {
+        let channel = net
+            .fabric_manager()
+            .expect("fabric network")
+            .channel(tx.id)
+            .expect("established channel is known to the manager");
+        let hops = channel.path.len();
+        assert!(hops >= 3, "cross-switch channels traverse at least 3 links");
+        let bound = net
+            .channel_deadline_bound(tx.id)
+            .expect("established channel has a bound");
+        let measured = stats
+            .channel(tx.id)
+            .expect("channel delivered frames")
+            .max_latency;
+        assert!(
+            measured <= bound,
+            "channel {} measured {measured} exceeds its {hops}-hop bound {bound}",
+            tx.id
+        );
+        // The per-link deadlines of the route sum to the end-to-end deadline.
+        let sum: u64 = channel.link_deadlines.iter().map(|s| s.get()).sum();
+        assert_eq!(sum, spec.deadline.get());
+    }
+
+    // The handshake and data frames really crossed both trunks.
+    for (from, to) in [(0u32, 1u32), (1, 2)] {
+        assert!(
+            net.simulator()
+                .stats()
+                .hop_link(HopLink::Trunk {
+                    from: SwitchId::new(from),
+                    to: SwitchId::new(to),
+                })
+                .is_some(),
+            "trunk sw{from}->sw{to} carried no frames"
+        );
+    }
+}
+
+#[test]
+fn multihop_traffic_survives_best_effort_cross_traffic_on_the_trunk() {
+    let fabric = scenario();
+    let spec = RtChannelSpec::paper_default();
+    let mut net = RtNetwork::new(RtNetworkConfig {
+        sim: SimConfig::default(),
+        ..RtNetworkConfig::with_topology(fabric.topology(), MultiHopDps::Asymmetric)
+    });
+    // One RT channel across the whole line: sw0 master -> sw2 slave.
+    let tx = net
+        .establish_channel(fabric.master(0, 0), fabric.slave(2, 0), spec)
+        .unwrap()
+        .expect("empty fabric accepts the channel");
+    let start = net.now() + Duration::from_millis(1);
+    net.send_periodic(fabric.master(0, 0), tx.id, 10, 1400, start)
+        .unwrap();
+    // Best-effort flood sharing both trunks (master on sw0 to slave on sw2).
+    for k in 0..400u64 {
+        net.send_best_effort(
+            fabric.master(0, 1),
+            fabric.slave(2, 1),
+            1400,
+            start + Duration::from_micros(40 * k),
+        )
+        .unwrap();
+    }
+    net.run_to_completion().unwrap();
+    let stats = net.simulator().stats();
+    assert_eq!(
+        stats.total_deadline_misses, 0,
+        "RT frames missed under BE load"
+    );
+    assert!(net.best_effort_received() > 0);
+    let bound = net.channel_deadline_bound(tx.id).unwrap();
+    let worst = stats.channel(tx.id).unwrap().max_latency;
+    assert!(worst <= bound, "worst {worst} exceeds bound {bound}");
+}
