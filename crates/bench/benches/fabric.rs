@@ -1,13 +1,22 @@
 //! Micro-bench: fabric event throughput — a 1-switch star vs. a 4-switch
-//! tree at equal node counts, at equal injected frame counts.
+//! tree vs. a 4-switch ring mesh at equal node counts, at equal injected
+//! frame counts.
 //!
 //! This is the perf baseline for the topology-driven simulator: the tree
 //! routes every cross-switch frame over trunk ports (more events per frame:
 //! extra TrunkTxComplete / ArriveAtSwitch pairs), so events/frame grows with
-//! the hop count while events/second should stay flat.
+//! the hop count while events/second should stay flat.  The ring's closing
+//! trunk shortens the worst routes, so its events/frame sits between star
+//! and tree.
+//!
+//! The run always dumps its numbers as `BENCH_fabric.json` (via the in-repo
+//! JSON encoder) so CI can archive the throughput baseline per PR; set
+//! `BENCH_FABRIC_JSON` to override the path.
 
+use std::path::Path;
 use std::time::Instant;
 
+use rt_bench::report::{json_object, write_json, ToJson};
 use rt_bench::MicroBench;
 use rt_frames::rt_data::{DeadlineStamp, RtDataFrame};
 use rt_netsim::{SimConfig, Simulator};
@@ -34,6 +43,11 @@ fn tree_topology() -> Topology {
     Topology::line(4, NODES / 4)
 }
 
+/// The same 4 switches closed into a ring (a cyclic mesh).
+fn ring_topology() -> Topology {
+    Topology::ring(4, NODES / 4)
+}
+
 /// A 1-switch star over the same node count.
 fn star_topology() -> Topology {
     Topology::star(SwitchId::new(0), (0..NODES).map(NodeId::new))
@@ -57,6 +71,29 @@ fn drive(topology: Topology) -> u64 {
     sim.events_processed()
 }
 
+/// One fabric's throughput numbers, encoded with the in-repo JSON encoder.
+struct ThroughputRow {
+    fabric: &'static str,
+    events: u64,
+    elapsed_ns: u64,
+    events_per_second: f64,
+    events_per_frame: f64,
+}
+
+impl ToJson for ThroughputRow {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("fabric", self.fabric.to_json()),
+            ("nodes", NODES.to_json()),
+            ("frames", FRAMES.to_json()),
+            ("events", self.events.to_json()),
+            ("elapsed_ns", self.elapsed_ns.to_json()),
+            ("events_per_second", self.events_per_second.to_json()),
+            ("events_per_frame", self.events_per_frame.to_json()),
+        ])
+    }
+}
+
 fn main() {
     let mut harness = MicroBench::new();
     harness.bench(&format!("star_{NODES}_nodes_{FRAMES}_frames"), || {
@@ -65,11 +102,19 @@ fn main() {
     harness.bench(&format!("tree_4sw_{NODES}_nodes_{FRAMES}_frames"), || {
         drive(tree_topology())
     });
-    harness.finish("fabric event throughput (1-switch star vs 4-switch tree)");
+    harness.bench(&format!("ring_4sw_{NODES}_nodes_{FRAMES}_frames"), || {
+        drive(ring_topology())
+    });
+    harness.finish("fabric event throughput (star vs 4-switch tree vs 4-switch ring)");
 
     // Report events/second alongside: the useful capacity number for the
-    // ROADMAP's scale goals.
-    for (name, topo) in [("star", star_topology()), ("tree", tree_topology())] {
+    // ROADMAP's scale goals — and the rows CI archives per PR.
+    let mut rows = Vec::new();
+    for (name, topo) in [
+        ("star", star_topology()),
+        ("tree", tree_topology()),
+        ("ring", ring_topology()),
+    ] {
         let start = Instant::now();
         let events = drive(topo);
         let elapsed = start.elapsed();
@@ -79,5 +124,21 @@ fn main() {
             events as f64 / elapsed.as_secs_f64() / 1e6,
             events as f64 / FRAMES as f64,
         );
+        rows.push(ThroughputRow {
+            fabric: name,
+            events,
+            elapsed_ns: elapsed.as_nanos() as u64,
+            events_per_second: events as f64 / elapsed.as_secs_f64(),
+            events_per_frame: events as f64 / FRAMES as f64,
+        });
+    }
+
+    // `cargo bench` runs with the package directory as cwd, so anchor the
+    // default at the workspace root where CI picks the artifact up.
+    let path = std::env::var("BENCH_FABRIC_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fabric.json").into());
+    match write_json(Path::new(&path), &rows) {
+        Ok(()) => println!("throughput baseline written to {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
     }
 }

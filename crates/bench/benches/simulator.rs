@@ -2,7 +2,7 @@
 //! end-to-end cost of the channel-establishment handshake over the wire.
 
 use rt_bench::MicroBench;
-use rt_core::{DpsKind, RtChannelSpec, RtNetwork, RtNetworkConfig};
+use rt_core::{DpsKind, RtChannelSpec, RtNetwork};
 use rt_frames::rt_data::{DeadlineStamp, RtDataFrame};
 use rt_netsim::{SimConfig, Simulator};
 use rt_types::{ChannelId, MacAddr, NodeId, SimTime};
@@ -42,7 +42,11 @@ fn main() {
     }
 
     harness.bench("channel_establishment_handshake", || {
-        let mut net = RtNetwork::new(RtNetworkConfig::with_nodes(8, DpsKind::Asymmetric));
+        let mut net = RtNetwork::builder()
+            .star(8)
+            .dps(DpsKind::Asymmetric)
+            .build()
+            .expect("a star always builds");
         net.establish_channel(
             NodeId::new(0),
             NodeId::new(1),

@@ -1,9 +1,7 @@
 //! Reusable experiment drivers shared by the harness binaries and the
 //! Criterion benches.
 
-use rt_core::{
-    AdmissionController, DpsKind, RtChannelSpec, RtNetwork, RtNetworkConfig, SystemState,
-};
+use rt_core::{AdmissionController, DpsKind, RtChannelSpec, RtNetwork, SystemState};
 use rt_traffic::{ChannelRequest, RequestPattern, Scenario};
 use rt_types::{Duration, LinkDirection, NodeId, SimTime};
 
@@ -205,11 +203,11 @@ impl ToJson for DelayValidationResult {
 pub fn delay_validation(channels: u64, messages: u64, dps: DpsKind) -> DelayValidationResult {
     let scenario = Scenario::paper_master_slave();
     let spec = RtChannelSpec::paper_default();
-    let mut net = RtNetwork::new(RtNetworkConfig {
-        nodes: scenario.nodes(),
-        dps,
-        ..RtNetworkConfig::with_nodes(scenario.node_count(), dps)
-    });
+    let mut net = RtNetwork::builder()
+        .nodes(scenario.nodes())
+        .dps(dps)
+        .build()
+        .expect("a star always builds");
     let requests = RequestPattern::MasterSlaveRoundRobin.generate(&scenario, channels, spec);
     let mut established = Vec::new();
     for req in &requests {
@@ -286,11 +284,11 @@ pub fn coexistence_run(
     let scenario = Scenario::new(2, 4);
     let spec = RtChannelSpec::paper_default();
     let dps = DpsKind::Asymmetric;
-    let mut net = RtNetwork::new(RtNetworkConfig {
-        nodes: scenario.nodes(),
-        dps,
-        ..RtNetworkConfig::with_nodes(scenario.node_count(), dps)
-    });
+    let mut net = RtNetwork::builder()
+        .nodes(scenario.nodes())
+        .dps(dps)
+        .build()
+        .expect("a star always builds");
     // RT channels all from master 0 to slave 2 (same uplink and downlink).
     let mut established = Vec::new();
     for _ in 0..rt_channels {

@@ -20,11 +20,13 @@
 //!   receive,
 //! * [`protocol`] — shared definitions for the establishment handshake,
 //! * [`network`] — glue that runs the whole stack over the [`rt_netsim`]
-//!   simulator: establishment over the wire, periodic traffic on admitted
-//!   channels, end-to-end delay measurement against the Eq. 18.1 bound,
-//! * [`multihop`] — the paper's stated future work: trees of interconnected
-//!   switches, path routing, multi-hop deadline partitioning and per-link
-//!   admission control along the whole path.
+//!   simulator through the [`network::RtNetworkBuilder`]: establishment over
+//!   the wire, periodic traffic on admitted channels, end-to-end delay
+//!   measurement against the Eq. 18.1 bound,
+//! * [`multihop`] — the paper's stated future work and one step beyond:
+//!   interconnected switches (trees and meshes), pluggable path selection
+//!   via [`rt_types::Router`], multi-hop deadline partitioning and per-link
+//!   admission control along the whole routed path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,11 +44,11 @@ pub mod system_state;
 pub use admission::{AdmissionController, AdmissionDecision};
 pub use channel::{DeadlineSplit, RtChannel, RtChannelSpec};
 pub use dps::{Adps, DeadlinePartitioningScheme, DpsKind, Sdps, SearchDps, WeightedAdps};
-pub use manager::SwitchChannelManager;
+pub use manager::{ChannelManager, ChannelRoute, ReleasedChannel, SwitchChannelManager};
 pub use multihop::{
-    FabricChannelManager, HopLink, MultiHopAdmission, MultiHopChannel, MultiHopDps, SwitchId,
-    Topology,
+    FabricChannelManager, HopLink, MultiHopAdmission, MultiHopChannel, MultiHopDps, Route, Router,
+    SwitchId, Topology,
 };
-pub use network::{RtNetwork, RtNetworkConfig};
+pub use network::{RtNetwork, RtNetworkBuilder};
 pub use rtlayer::RtLayer;
 pub use system_state::SystemState;

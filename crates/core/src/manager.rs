@@ -18,13 +18,17 @@
 //! caller's job (`rt-core::network` does it through the simulator).
 
 use std::collections::HashMap;
+use std::fmt;
 
 use rt_frames::rt_response::ResponseVerdict;
 use rt_frames::{RequestFrame, ResponseFrame};
-use rt_types::{ChannelId, ConnectionRequestId, MacAddr, NodeId, RtError, RtResult};
+use rt_types::{
+    ChannelId, ConnectionRequestId, HopLink, LinkId, MacAddr, NodeId, Route, RtError, RtResult,
+    Slots,
+};
 
 use crate::admission::{AdmissionController, AdmissionDecision};
-use crate::channel::RtChannel;
+use crate::channel::{RtChannel, RtChannelSpec};
 use crate::protocol::ChannelRequest;
 
 /// Something the switch wants to transmit as a result of handling a frame.
@@ -44,6 +48,82 @@ pub enum SwitchAction {
         /// The response.
         frame: ResponseFrame,
     },
+}
+
+/// What the network glue needs to know about a channel it just tore down:
+/// which id was released and which destination node should forget it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReleasedChannel {
+    /// The released channel id.
+    pub id: ChannelId,
+    /// The node that was receiving on the channel.
+    pub destination: NodeId,
+}
+
+/// The unified, manager-agnostic view of an established channel: its
+/// contract, the route it was admitted on and the per-link deadline split.
+///
+/// A single-switch star channel reports the two-link route `uplink →
+/// downlink` with the `d_iu`/`d_id` split of Eq. 18.8; a fabric channel
+/// reports the full multi-hop route with its partitioned deadlines.  Either
+/// way `path.len()` is the hop count `h` of the hop-aware Eq. 18.1 bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelRoute {
+    /// The channel id.
+    pub id: ChannelId,
+    /// Source node.
+    pub source: NodeId,
+    /// Destination node.
+    pub destination: NodeId,
+    /// Traffic contract.
+    pub spec: RtChannelSpec,
+    /// The admitted route (derefs to its `[HopLink]`s).
+    pub path: Route,
+    /// Per-link deadline budgets, in the same order as `path`; they sum to
+    /// the end-to-end deadline `d_i`.
+    pub link_deadlines: Vec<Slots>,
+}
+
+/// The switch-side RT channel management software, star or fabric: the one
+/// interface `RtNetwork` drives, whatever the topology.
+///
+/// A channel manager is a pure state machine — decoded control frames in,
+/// [`SwitchAction`]s out — plus read access to the channels it has
+/// established.  [`SwitchChannelManager`] implements it for the paper's
+/// single-switch star (two-link admission, four DPS variants);
+/// [`crate::multihop::FabricChannelManager`] for multi-switch fabrics
+/// (per-link admission along the whole route).
+pub trait ChannelManager: fmt::Debug {
+    /// Handle a RequestFrame received from a source node.
+    fn handle_request(&mut self, frame: &RequestFrame) -> RtResult<Vec<SwitchAction>>;
+
+    /// Handle a ResponseFrame received from a destination node.
+    fn handle_response(&mut self, frame: &ResponseFrame) -> RtResult<Vec<SwitchAction>>;
+
+    /// Handle a channel tear-down: release the reserved capacity on every
+    /// link the channel occupied.
+    fn handle_teardown(&mut self, channel: ChannelId) -> RtResult<ReleasedChannel>;
+
+    /// Established (confirmed or pending) channel count.
+    fn channel_count(&self) -> usize;
+
+    /// Number of reservations still waiting for the destination's answer.
+    fn pending_count(&self) -> usize;
+
+    /// The ids of all established channels, in ascending order.
+    fn channel_ids(&self) -> Vec<ChannelId>;
+
+    /// The route view of an established channel, or `None` if unknown.
+    fn channel_route(&self, id: ChannelId) -> Option<ChannelRoute>;
+
+    /// The number of channels currently traversing a directed link.
+    fn link_load(&self, link: HopLink) -> usize;
+
+    /// `true` if admitted channels carry per-hop deadline budgets that the
+    /// wire-level simulator should enforce per link (multi-hop deadline
+    /// partitioning).  The star manager keeps the paper's end-to-end EDF
+    /// stamps instead.
+    fn schedules_hops(&self) -> bool;
 }
 
 /// A reservation waiting for the destination node's confirmation.
@@ -150,6 +230,66 @@ impl SwitchChannelManager {
     /// Established (confirmed or pending) channel count, for reporting.
     pub fn channel_count(&self) -> usize {
         self.admission.state().channel_count()
+    }
+}
+
+impl ChannelManager for SwitchChannelManager {
+    fn handle_request(&mut self, frame: &RequestFrame) -> RtResult<Vec<SwitchAction>> {
+        SwitchChannelManager::handle_request(self, frame)
+    }
+
+    fn handle_response(&mut self, frame: &ResponseFrame) -> RtResult<Vec<SwitchAction>> {
+        SwitchChannelManager::handle_response(self, frame)
+    }
+
+    fn handle_teardown(&mut self, channel: ChannelId) -> RtResult<ReleasedChannel> {
+        let released = SwitchChannelManager::handle_teardown(self, channel)?;
+        Ok(ReleasedChannel {
+            id: released.id,
+            destination: released.destination.node,
+        })
+    }
+
+    fn channel_count(&self) -> usize {
+        SwitchChannelManager::channel_count(self)
+    }
+
+    fn pending_count(&self) -> usize {
+        SwitchChannelManager::pending_count(self)
+    }
+
+    fn channel_ids(&self) -> Vec<ChannelId> {
+        self.admission.state().channels().map(|c| c.id).collect()
+    }
+
+    fn channel_route(&self, id: ChannelId) -> Option<ChannelRoute> {
+        let channel = self.admission.state().channel(id)?;
+        let path = Route::from_links(vec![
+            HopLink::Uplink(channel.source.node),
+            HopLink::Downlink(channel.destination.node),
+        ])
+        .expect("uplink + downlink is a valid route");
+        Some(ChannelRoute {
+            id: channel.id,
+            source: channel.source.node,
+            destination: channel.destination.node,
+            spec: channel.spec,
+            path,
+            link_deadlines: vec![channel.split.uplink, channel.split.downlink],
+        })
+    }
+
+    fn link_load(&self, link: HopLink) -> usize {
+        match link {
+            HopLink::Uplink(n) => self.admission.state().link_load(LinkId::uplink(n)),
+            HopLink::Downlink(n) => self.admission.state().link_load(LinkId::downlink(n)),
+            // A single-switch star has no trunks.
+            HopLink::Trunk { .. } => 0,
+        }
+    }
+
+    fn schedules_hops(&self) -> bool {
+        false
     }
 }
 

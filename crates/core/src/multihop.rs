@@ -2,39 +2,45 @@
 //!
 //! The paper's conclusions call for "investigating the use of more complex
 //! network topologies, i.e. networks consisting of many interconnected
-//! switches".  This module generalises the single-switch machinery to a
-//! *tree* of switches:
+//! switches".  This module generalises the single-switch machinery to an
+//! arbitrary connected fabric of switches:
 //!
 //! * a [`Topology`] describes which switch every end node attaches to and
-//!   which trunk links connect the switches,
-//! * an RT channel now traverses a *path* of directed links — the source's
+//!   which trunk links connect the switches (trees *and* meshes),
+//! * a [`Router`] selects the [`Route`] an RT channel takes — the source's
 //!   uplink, zero or more directed trunk hops, and the destination's
-//!   downlink,
-//! * the end-to-end deadline is partitioned over all links of the path by a
+//!   downlink; [`rt_types::TreeRouter`] reproduces the unique-tree-path
+//!   behaviour, [`rt_types::ShortestPathRouter`] and [`rt_types::EcmpRouter`]
+//!   open up cyclic fabrics with redundant trunks,
+//! * the end-to-end deadline is partitioned over all links of the route by a
 //!   [`MultiHopDps`]: the symmetric scheme gives every hop `d_i / k`, the
 //!   asymmetric scheme distributes the slack `d_i − k·C_i` proportionally to
 //!   the per-link load (the natural generalisation of Eq. 18.16),
 //! * admission control ([`MultiHopAdmission`]) runs the same per-link EDF
-//!   feasibility test on every link of the path and commits the channel only
+//!   feasibility test on every link of the route and commits the channel only
 //!   if all of them pass.
 //!
 //! The generalisation keeps the paper's analytical structure: each directed
 //! link is still an independent EDF "processor", and the channel is feasible
-//! iff every link on its path can schedule its share of the deadline.
+//! iff every link on its path can schedule its share of the deadline.  Only
+//! *path selection* is policy; the acceptance theory is untouched.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 use rt_edf::{FeasibilityTester, PeriodicTask, TaskSet};
 use rt_frames::rt_response::ResponseVerdict;
 use rt_frames::{RequestFrame, ResponseFrame};
-use rt_types::{ChannelId, ConnectionRequestId, MacAddr, NodeId, RtError, RtResult, Slots};
-// The topology types themselves live in `rt-types` (shared with the fabric
-// simulator); re-exported here for backwards compatibility.
-pub use rt_types::{HopLink, SwitchId, Topology};
+use rt_types::{
+    ChannelId, ConnectionRequestId, MacAddr, NodeId, RtError, RtResult, ShortestPathRouter, Slots,
+};
+// The topology and routing types themselves live in `rt-types` (shared with
+// the fabric simulator); re-exported here for backwards compatibility.
+pub use rt_types::{HopLink, Route, Router, SwitchId, Topology};
 
 use crate::channel::RtChannelSpec;
-use crate::manager::SwitchAction;
+use crate::manager::{ChannelManager, ChannelRoute, ReleasedChannel, SwitchAction};
 use crate::protocol::ChannelRequest;
 
 /// How the end-to-end deadline is split over the links of a multi-hop path.
@@ -117,8 +123,8 @@ pub struct MultiHopChannel {
     pub destination: NodeId,
     /// Traffic contract.
     pub spec: RtChannelSpec,
-    /// The links of the path, in order.
-    pub path: Vec<HopLink>,
+    /// The route the channel was admitted on (derefs to its `[HopLink]`s).
+    pub path: Route,
     /// The per-link deadline of each hop, in the same order as `path`.
     pub link_deadlines: Vec<Slots>,
 }
@@ -126,6 +132,7 @@ pub struct MultiHopChannel {
 /// Admission control over a multi-switch topology.
 pub struct MultiHopAdmission {
     topology: Topology,
+    router: Arc<dyn Router>,
     dps: MultiHopDps,
     tester: FeasibilityTester,
     link_tasks: BTreeMap<HopLink, TaskSet>,
@@ -138,6 +145,7 @@ pub struct MultiHopAdmission {
 impl fmt::Debug for MultiHopAdmission {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MultiHopAdmission")
+            .field("router", &self.router.name())
             .field("dps", &self.dps)
             .field("channels", &self.channels.len())
             .field("accepted", &self.accepted)
@@ -147,10 +155,22 @@ impl fmt::Debug for MultiHopAdmission {
 }
 
 impl MultiHopAdmission {
-    /// Create an admission controller for `topology` using `dps`.
+    /// Create an admission controller for `topology` using `dps`, routing
+    /// with the default [`ShortestPathRouter`] (identical to the tree path
+    /// on tree topologies, shortest paths on meshes).
     pub fn new(topology: Topology, dps: MultiHopDps) -> Self {
+        Self::with_router(topology, dps, Arc::new(ShortestPathRouter::new()))
+    }
+
+    /// Create an admission controller with an explicit path-selection
+    /// policy.  The router's capability check runs per request (through
+    /// [`Router::route`]); callers that want to fail fast should invoke
+    /// [`Router::validate`] when the network is built, as
+    /// `rt_core::RtNetworkBuilder` does.
+    pub fn with_router(topology: Topology, dps: MultiHopDps, router: Arc<dyn Router>) -> Self {
         MultiHopAdmission {
             topology,
+            router,
             dps,
             tester: FeasibilityTester::new(),
             link_tasks: BTreeMap::new(),
@@ -164,6 +184,11 @@ impl MultiHopAdmission {
     /// The topology being managed.
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    /// The path-selection policy in use.
+    pub fn router(&self) -> &Arc<dyn Router> {
+        &self.router
     }
 
     /// Number of active channels.
@@ -201,6 +226,11 @@ impl MultiHopAdmission {
         self.channels.get(&id.get())
     }
 
+    /// The active channels, in ascending id order.
+    pub fn channels(&self) -> impl Iterator<Item = &MultiHopChannel> {
+        self.channels.values()
+    }
+
     fn allocate_channel_id(&mut self) -> RtResult<ChannelId> {
         for _ in 0..u16::MAX {
             let candidate = self.next_channel_id;
@@ -225,7 +255,7 @@ impl MultiHopAdmission {
         spec: RtChannelSpec,
     ) -> RtResult<Result<MultiHopChannel, (Option<HopLink>, String)>> {
         spec.validate()?;
-        let path = self.topology.route(source, destination)?;
+        let path = self.router.route(&self.topology, source, destination)?;
         let loads: Vec<usize> = path.iter().map(|l| self.link_load(*l)).collect();
         let deadlines = match self.dps.partition(&spec, &path, &loads) {
             Ok(d) => d,
@@ -416,6 +446,56 @@ impl FabricChannelManager {
     }
 }
 
+impl ChannelManager for FabricChannelManager {
+    fn handle_request(&mut self, frame: &RequestFrame) -> RtResult<Vec<SwitchAction>> {
+        FabricChannelManager::handle_request(self, frame)
+    }
+
+    fn handle_response(&mut self, frame: &ResponseFrame) -> RtResult<Vec<SwitchAction>> {
+        FabricChannelManager::handle_response(self, frame)
+    }
+
+    fn handle_teardown(&mut self, channel: ChannelId) -> RtResult<ReleasedChannel> {
+        let released = FabricChannelManager::handle_teardown(self, channel)?;
+        Ok(ReleasedChannel {
+            id: released.id,
+            destination: released.destination,
+        })
+    }
+
+    fn channel_count(&self) -> usize {
+        FabricChannelManager::channel_count(self)
+    }
+
+    fn pending_count(&self) -> usize {
+        FabricChannelManager::pending_count(self)
+    }
+
+    fn channel_ids(&self) -> Vec<ChannelId> {
+        self.admission.channels().map(|c| c.id).collect()
+    }
+
+    fn channel_route(&self, id: ChannelId) -> Option<ChannelRoute> {
+        let channel = self.admission.channel(id)?;
+        Some(ChannelRoute {
+            id: channel.id,
+            source: channel.source,
+            destination: channel.destination,
+            spec: channel.spec,
+            path: channel.path.clone(),
+            link_deadlines: channel.link_deadlines.clone(),
+        })
+    }
+
+    fn link_load(&self, link: HopLink) -> usize {
+        self.admission.link_load(link)
+    }
+
+    fn schedules_hops(&self) -> bool {
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,10 +527,13 @@ mod tests {
         assert!(t.attach_node(NodeId::new(0), SwitchId::new(1)).is_err());
         t.add_trunk(SwitchId::new(0), SwitchId::new(1)).unwrap();
         t.add_trunk(SwitchId::new(1), SwitchId::new(2)).unwrap();
-        // Cycle and self-loop rejected.
-        assert!(t.add_trunk(SwitchId::new(0), SwitchId::new(2)).is_err());
+        // Self-loop, unknown switch and duplicate trunk rejected; a cycle
+        // is legal (meshes are a router concern, not a topology one).
         assert!(t.add_trunk(SwitchId::new(0), SwitchId::new(0)).is_err());
         assert!(t.add_trunk(SwitchId::new(0), SwitchId::new(7)).is_err());
+        assert!(t.add_trunk(SwitchId::new(1), SwitchId::new(0)).is_err());
+        t.add_trunk(SwitchId::new(0), SwitchId::new(2)).unwrap();
+        assert!(!t.is_tree());
         assert_eq!(t.switch_count(), 3);
         assert_eq!(t.node_count(), 1);
         assert_eq!(t.switch_of(NodeId::new(0)), Some(SwitchId::new(0)));

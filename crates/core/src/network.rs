@@ -1,19 +1,28 @@
 //! Glue: the complete RT-layer stack running over the simulated switched
 //! Ethernet.
 //!
-//! [`RtNetwork`] instantiates a fabric — the single-switch star of §18.1 by
-//! default, or an arbitrary multi-switch tree [`Topology`] (the paper's
-//! stated future work) — and wires the control plane into it:
+//! [`RtNetwork`] instantiates a fabric — from the single-switch star of
+//! §18.1 up to arbitrary connected meshes (the paper's stated future work,
+//! one step further) — and wires the control plane into it:
 //!
 //! * each end node gets an [`RtLayer`],
-//! * the managing switch gets a channel manager — a
+//! * the managing switch gets a [`ChannelManager`] — a
 //!   [`SwitchChannelManager`] on the star, a
 //!   [`crate::multihop::FabricChannelManager`] (admission over every link of
-//!   the route, multi-hop deadline partitioning) on a fabric,
+//!   the route, multi-hop deadline partitioning) on a fabric — behind one
+//!   trait, so callers never care which,
+//! * a [`Router`] picks the path of every admitted channel; the network
+//!   registers the route's forwarding entries and per-hop deadline budgets
+//!   with the simulator at establishment time,
 //! * every RT-layer action (RequestFrame, ResponseFrame, data frame,
 //!   TeardownFrame) is carried as a real Ethernet frame through the
 //!   [`rt_netsim::Simulator`], so channel establishment itself competes for
 //!   the links — and crosses the trunks — exactly as in the paper.
+//!
+//! Networks are built through [`RtNetworkBuilder`] (see
+//! [`RtNetwork::builder`]): topology, routing policy, deadline partitioning,
+//! link parameters and admission limits all in one place, with the star as
+//! the one-switch degenerate build.
 //!
 //! On top of that the type offers the conveniences the experiments need:
 //! establishing channels and waiting for the handshake to complete, driving
@@ -23,69 +32,249 @@
 //! paths).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use rt_frames::{EthernetFrame, Frame};
 use rt_netsim::{Delivery, SimConfig, Simulator};
 use rt_types::constants::ETHERTYPE_IPV4;
 use rt_types::{
-    ChannelId, ConnectionRequestId, Duration, HopLink, Ipv4Address, MacAddr, NodeId, RtError,
-    RtResult, SimTime, Slots, Topology,
+    ChannelId, ConnectionRequestId, Duration, HopLink, Ipv4Address, LinkSpeed, MacAddr, NodeId,
+    Router, RtError, RtResult, ShortestPathRouter, SimTime, Slots, SwitchId, Topology,
 };
 
 use crate::admission::AdmissionController;
 use crate::channel::RtChannelSpec;
 use crate::dps::DpsKind;
-use crate::manager::{SwitchAction, SwitchChannelManager};
+use crate::manager::{ChannelManager, SwitchAction, SwitchChannelManager};
 use crate::multihop::{FabricChannelManager, MultiHopAdmission, MultiHopDps};
 use crate::rtlayer::{EstablishmentOutcome, ReceivedMessage, RtLayer, RtLayerConfig, TxChannel};
 use crate::system_state::SystemState;
 
-/// Configuration of a simulated RT network.
+/// Which channel-management software the managing switch runs.
 #[derive(Debug, Clone)]
-pub struct RtNetworkConfig {
-    /// The data-plane simulator configuration.
-    pub sim: SimConfig,
-    /// Which deadline-partitioning scheme the switch uses (single-switch
-    /// star mode).
-    pub dps: DpsKind,
-    /// The end nodes attached to the switch (star mode; ignored when a
-    /// topology is given — the topology's attachments win).
-    pub nodes: Vec<NodeId>,
-    /// Per-node limit on incoming channels (`None` = unlimited).
-    pub max_incoming_channels: Option<usize>,
-    /// An explicit multi-switch topology.  `None` builds the single-switch
-    /// star over `nodes`.
-    pub topology: Option<Topology>,
-    /// The multi-hop deadline-partitioning scheme (used only with an
-    /// explicit topology).
-    pub multihop_dps: MultiHopDps,
+enum FabricShape {
+    /// Single-switch star over the given nodes: the paper's §18.3 two-link
+    /// admission with the full set of DPS variants.
+    Star(Vec<NodeId>),
+    /// Explicit multi-switch topology: per-link admission along routed
+    /// paths.
+    Fabric(Topology),
 }
 
-impl RtNetworkConfig {
-    /// A star network of `n` nodes (ids `0..n`) with default simulator
-    /// settings and the given DPS.
-    pub fn with_nodes(n: u32, dps: DpsKind) -> Self {
-        RtNetworkConfig {
-            sim: SimConfig::default(),
-            dps,
-            nodes: (0..n).map(NodeId::new).collect(),
-            max_incoming_channels: None,
-            topology: None,
-            multihop_dps: MultiHopDps::Asymmetric,
-        }
-    }
+/// Builder for a simulated RT network — the single entry point for stars,
+/// trees and meshes.
+///
+/// A star is just the one-switch degenerate build:
+///
+/// ```
+/// use rt_core::{DpsKind, RtChannelSpec, RtNetwork};
+/// use rt_types::NodeId;
+///
+/// let mut net = RtNetwork::builder()
+///     .star(4)
+///     .dps(DpsKind::Asymmetric)
+///     .build()
+///     .unwrap();
+/// let tx = net
+///     .establish_channel(NodeId::new(0), NodeId::new(1), RtChannelSpec::paper_default())
+///     .unwrap()
+///     .expect("the empty star accepts the first channel");
+/// assert_eq!(net.manager().channel_count(), 1);
+/// # let _ = tx;
+/// ```
+///
+/// A tree fabric routes over unique paths (the default shortest-path
+/// routing coincides with [`rt_types::TreeRouter`] on trees):
+///
+/// ```
+/// use rt_core::{MultiHopDps, RtChannelSpec, RtNetwork};
+/// use rt_types::{NodeId, Topology};
+///
+/// let mut net = RtNetwork::builder()
+///     .topology(Topology::line(3, 2)) // sw0 - sw1 - sw2, 2 nodes each
+///     .multihop_dps(MultiHopDps::Asymmetric)
+///     .build()
+///     .unwrap();
+/// let tx = net
+///     .establish_channel(NodeId::new(0), NodeId::new(5), RtChannelSpec::paper_default())
+///     .unwrap()
+///     .expect("4-hop channel across both trunks");
+/// assert_eq!(net.manager().channel_route(tx.id).unwrap().path.len(), 4);
+/// ```
+///
+/// A ring is a *cyclic* mesh: shortest-path (or ECMP) routing picks the
+/// short way around, and admission, deadline partitioning and the wire all
+/// follow that route:
+///
+/// ```
+/// use rt_core::{MultiHopDps, RtChannelSpec, RtNetwork};
+/// use rt_types::{NodeId, ShortestPathRouter, Topology};
+///
+/// let mut net = RtNetwork::builder()
+///     .topology(Topology::ring(4, 1)) // sw0 - sw1 - sw2 - sw3 - sw0
+///     .router(ShortestPathRouter::new())
+///     .multihop_dps(MultiHopDps::Symmetric)
+///     .build()
+///     .unwrap();
+/// // node 0 (sw0) -> node 3 (sw3): one trunk hop via the closing edge.
+/// let tx = net
+///     .establish_channel(NodeId::new(0), NodeId::new(3), RtChannelSpec::paper_default())
+///     .unwrap()
+///     .expect("accepted");
+/// assert_eq!(net.manager().channel_route(tx.id).unwrap().path.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct RtNetworkBuilder {
+    sim: SimConfig,
+    dps: DpsKind,
+    multihop_dps: MultiHopDps,
+    shape: Option<FabricShape>,
+    router: Option<Arc<dyn Router>>,
+    max_incoming_channels: Option<usize>,
+}
 
-    /// A multi-switch fabric over `topology` with default simulator
-    /// settings and the given multi-hop DPS.
-    pub fn with_topology(topology: Topology, multihop_dps: MultiHopDps) -> Self {
-        RtNetworkConfig {
+impl Default for RtNetworkBuilder {
+    fn default() -> Self {
+        RtNetworkBuilder {
             sim: SimConfig::default(),
             dps: DpsKind::Asymmetric,
-            nodes: topology.nodes().collect(),
+            multihop_dps: MultiHopDps::Asymmetric,
+            shape: None,
+            router: None,
             max_incoming_channels: None,
-            topology: Some(topology),
-            multihop_dps,
         }
+    }
+}
+
+impl RtNetworkBuilder {
+    /// Start an empty builder (equivalent to [`RtNetwork::builder`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build the paper's single-switch star over nodes `0..n`.
+    pub fn star(self, n: u32) -> Self {
+        self.nodes((0..n).map(NodeId::new))
+    }
+
+    /// Build a single-switch star over an explicit node set.
+    pub fn nodes(mut self, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        self.shape = Some(FabricShape::Star(nodes.into_iter().collect()));
+        self
+    }
+
+    /// Build a multi-switch fabric over `topology` (tree or mesh).  The
+    /// topology's attachments define the end nodes.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.shape = Some(FabricShape::Fabric(topology));
+        self
+    }
+
+    /// The deadline-partitioning scheme of a star build (ignored on
+    /// fabrics; see [`RtNetworkBuilder::multihop_dps`]).
+    pub fn dps(mut self, dps: DpsKind) -> Self {
+        self.dps = dps;
+        self
+    }
+
+    /// The multi-hop deadline-partitioning scheme of a fabric build
+    /// (ignored on stars; see [`RtNetworkBuilder::dps`]).
+    pub fn multihop_dps(mut self, dps: MultiHopDps) -> Self {
+        self.multihop_dps = dps;
+        self
+    }
+
+    /// The data-plane simulator configuration (link speed, propagation
+    /// delay, switch latency, best-effort queue bound).
+    pub fn sim_config(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Shorthand: override only the link speed of the simulator
+    /// configuration.
+    pub fn link_speed(mut self, speed: LinkSpeed) -> Self {
+        self.sim.link_speed = speed;
+        self
+    }
+
+    /// The path-selection policy.  Defaults to [`ShortestPathRouter`]
+    /// (identical to the historical tree routing on trees and stars; picks
+    /// shortest paths on meshes).  Use [`rt_types::TreeRouter`] to *enforce*
+    /// acyclic fabrics, or [`rt_types::EcmpRouter`] to spread equal-cost
+    /// channels over redundant trunks.
+    pub fn router(self, router: impl Router + 'static) -> Self {
+        self.router_arc(Arc::new(router))
+    }
+
+    /// Like [`RtNetworkBuilder::router`], for an already-shared router.
+    pub fn router_arc(mut self, router: Arc<dyn Router>) -> Self {
+        self.router = Some(router);
+        self
+    }
+
+    /// Per-node limit on incoming channels (`None` = unlimited).
+    pub fn max_incoming_channels(mut self, limit: impl Into<Option<usize>>) -> Self {
+        self.max_incoming_channels = limit.into();
+        self
+    }
+
+    /// Build the network: validate the topology against the router, build
+    /// the simulator fabric, the channel manager and one RT layer per node.
+    pub fn build(self) -> RtResult<RtNetwork> {
+        let shape = self.shape.ok_or_else(|| {
+            RtError::Config(
+                "RtNetworkBuilder needs a fabric: call .star(n), .nodes(..) or .topology(..)"
+                    .into(),
+            )
+        })?;
+        let router: Arc<dyn Router> = self
+            .router
+            .unwrap_or_else(|| Arc::new(ShortestPathRouter::new()));
+        let (topology, manager): (Topology, Box<dyn ChannelManager>) = match shape {
+            FabricShape::Star(nodes) => {
+                let topology = Topology::star(SwitchId::new(0), nodes.iter().copied());
+                let admission = AdmissionController::new(
+                    SystemState::with_nodes(nodes.iter().copied()),
+                    self.dps.build(),
+                );
+                (topology, Box::new(SwitchChannelManager::new(admission)))
+            }
+            FabricShape::Fabric(topology) => {
+                let admission = MultiHopAdmission::with_router(
+                    topology.clone(),
+                    self.multihop_dps,
+                    Arc::clone(&router),
+                );
+                (topology, Box::new(FabricChannelManager::new(admission)))
+            }
+        };
+        // Simulator::with_router runs the router's capability check (e.g.
+        // TreeRouter rejecting cyclic graphs) on this same topology.
+        let sim = Simulator::with_router(self.sim, topology, Arc::clone(&router))?;
+        // Eq. 18.1's constant term for the two-hop star path; multi-hop
+        // channels get a per-channel override once their route is known.
+        let t_latency = self.sim.t_latency();
+        let layer_config = RtLayerConfig {
+            link_speed: self.sim.link_speed,
+            t_latency,
+            max_incoming_channels: self.max_incoming_channels,
+        };
+        let layers: BTreeMap<u32, RtLayer> = sim
+            .topology()
+            .nodes()
+            .map(|n| (n.get(), RtLayer::new(n, layer_config)))
+            .collect();
+        Ok(RtNetwork {
+            sim,
+            manager,
+            router,
+            layers,
+            outcomes: BTreeMap::new(),
+            received: Vec::new(),
+            be_received: 0,
+            t_latency,
+        })
     }
 }
 
@@ -102,19 +291,11 @@ pub struct DeliveredMessage {
     pub missed_deadline: bool,
 }
 
-/// The channel-management software of the managing switch: star or fabric.
-#[derive(Debug)]
-enum NetworkManager {
-    /// Single-switch star: the paper's §18.3 admission over two links.
-    Star(SwitchChannelManager),
-    /// Multi-switch tree: per-link admission along the whole route.
-    Fabric(FabricChannelManager),
-}
-
 /// The full stack: simulator + switch manager + per-node RT layers.
 pub struct RtNetwork {
     sim: Simulator,
-    manager: NetworkManager,
+    manager: Box<dyn ChannelManager>,
+    router: Arc<dyn Router>,
     layers: BTreeMap<u32, RtLayer>,
     outcomes: BTreeMap<(u32, u8), EstablishmentOutcome>,
     received: Vec<DeliveredMessage>,
@@ -133,52 +314,10 @@ impl std::fmt::Debug for RtNetwork {
 }
 
 impl RtNetwork {
-    /// Build the network.
-    pub fn new(config: RtNetworkConfig) -> Self {
-        let (sim, manager) = match config.topology {
-            None => {
-                let sim = Simulator::new(config.sim, config.nodes.iter().copied());
-                let admission = AdmissionController::new(
-                    SystemState::with_nodes(config.nodes.iter().copied()),
-                    config.dps.build(),
-                );
-                (
-                    sim,
-                    NetworkManager::Star(SwitchChannelManager::new(admission)),
-                )
-            }
-            Some(topology) => {
-                let sim = Simulator::with_topology(config.sim, topology.clone())
-                    .expect("RtNetworkConfig carries a valid topology");
-                let admission = MultiHopAdmission::new(topology, config.multihop_dps);
-                (
-                    sim,
-                    NetworkManager::Fabric(FabricChannelManager::new(admission)),
-                )
-            }
-        };
-        // Eq. 18.1's constant term for the two-hop star path; multi-hop
-        // channels get a per-channel override once their route is known.
-        let t_latency = config.sim.t_latency();
-        let layer_config = RtLayerConfig {
-            link_speed: config.sim.link_speed,
-            t_latency,
-            max_incoming_channels: config.max_incoming_channels,
-        };
-        let layers: BTreeMap<u32, RtLayer> = sim
-            .topology()
-            .nodes()
-            .map(|n| (n.get(), RtLayer::new(n, layer_config)))
-            .collect();
-        RtNetwork {
-            sim,
-            manager,
-            layers,
-            outcomes: BTreeMap::new(),
-            received: Vec::new(),
-            be_received: 0,
-            t_latency,
-        }
+    /// Start building a network: star, tree or mesh, all through the same
+    /// [`RtNetworkBuilder`].
+    pub fn builder() -> RtNetworkBuilder {
+        RtNetworkBuilder::new()
     }
 
     /// The underlying simulator (read access for statistics).
@@ -186,34 +325,20 @@ impl RtNetwork {
         &self.sim
     }
 
-    /// The switch-side channel manager of a single-switch star.
-    ///
-    /// # Panics
-    /// Panics on a multi-switch fabric — use
-    /// [`RtNetwork::fabric_manager`] there.
-    pub fn manager(&self) -> &SwitchChannelManager {
-        match &self.manager {
-            NetworkManager::Star(m) => m,
-            NetworkManager::Fabric(_) => {
-                panic!("this network runs a multi-switch fabric; use fabric_manager()")
-            }
-        }
+    /// The switch-side channel manager — star or fabric, behind one
+    /// interface.  Infallible: every network has exactly one.
+    pub fn manager(&self) -> &dyn ChannelManager {
+        self.manager.as_ref()
     }
 
-    /// The channel manager of a multi-switch fabric, or `None` on a star.
-    pub fn fabric_manager(&self) -> Option<&FabricChannelManager> {
-        match &self.manager {
-            NetworkManager::Star(_) => None,
-            NetworkManager::Fabric(m) => Some(m),
-        }
+    /// The path-selection policy the network was built with.
+    pub fn router(&self) -> &Arc<dyn Router> {
+        &self.router
     }
 
     /// Established channel count, in either mode.
     pub fn channel_count(&self) -> usize {
-        match &self.manager {
-            NetworkManager::Star(m) => m.channel_count(),
-            NetworkManager::Fabric(m) => m.channel_count(),
-        }
+        self.manager.channel_count()
     }
 
     /// The RT layer of `node`.
@@ -247,17 +372,10 @@ impl RtNetwork {
     /// Eq. 18.1.  `None` if the channel is unknown.
     pub fn channel_deadline_bound(&self, channel: ChannelId) -> Option<Duration> {
         let link_speed = self.sim.config().link_speed;
-        match &self.manager {
-            NetworkManager::Star(m) => m
-                .admission()
-                .state()
-                .channel(channel)
-                .map(|ch| link_speed.slots_to_duration(ch.spec.deadline) + self.t_latency),
-            NetworkManager::Fabric(m) => m.channel(channel).map(|ch| {
-                link_speed.slots_to_duration(ch.spec.deadline)
-                    + self.sim.config().t_latency_for_hops(ch.path.len())
-            }),
-        }
+        self.manager.channel_route(channel).map(|route| {
+            link_speed.slots_to_duration(route.spec.deadline)
+                + self.sim.config().t_latency_for_hops(route.path.len())
+        })
     }
 
     /// Real-time messages delivered to their destination so far.
@@ -295,7 +413,7 @@ impl RtNetwork {
         self.pump()?;
         match self.outcomes.remove(&(source.get(), request_id.get())) {
             Some(EstablishmentOutcome::Established(tx)) => {
-                self.finish_fabric_establishment(source, &tx);
+                self.finish_establishment(source, &tx);
                 Ok(Some(tx))
             }
             Some(EstablishmentOutcome::Rejected { .. }) => Ok(None),
@@ -306,27 +424,28 @@ impl RtNetwork {
     }
 
     /// After a fabric handshake completes: push the per-hop deadline
-    /// schedule into the simulator and the per-channel `T_latency` into the
-    /// source RT layer.
-    fn finish_fabric_establishment(&mut self, source: NodeId, tx: &TxChannel) {
-        let NetworkManager::Fabric(manager) = &self.manager else {
+    /// schedule and the route's forwarding entries into the simulator, and
+    /// the per-channel `T_latency` into the source RT layer.  Star networks
+    /// keep the paper's end-to-end EDF stamps, so nothing to do there.
+    fn finish_establishment(&mut self, source: NodeId, tx: &TxChannel) {
+        if !self.manager.schedules_hops() {
             return;
-        };
-        let Some(channel) = manager.channel(tx.id) else {
+        }
+        let Some(route) = self.manager.channel_route(tx.id) else {
             return;
         };
         let config = *self.sim.config();
         let link_speed = config.link_speed;
-        let hops = channel.path.len();
+        let hops = route.path.len();
         // Cumulative per-hop budgets: by the end of link k the frame has
         // consumed the first k per-link deadlines plus the constant
         // overheads of k link traversals.
         let mut offsets: Vec<(HopLink, Duration)> = Vec::with_capacity(hops);
         let mut cumulative = Slots::ZERO;
-        for (k, (link, deadline)) in channel
+        for (k, (link, deadline)) in route
             .path
             .iter()
-            .zip(channel.link_deadlines.iter())
+            .zip(route.link_deadlines.iter())
             .enumerate()
         {
             cumulative += *deadline;
@@ -440,20 +559,11 @@ impl RtNetwork {
     }
 
     fn handle_control_teardown(&mut self, channel: ChannelId) -> RtResult<()> {
-        let (id, destination) = match &mut self.manager {
-            NetworkManager::Star(m) => {
-                let ch = m.handle_teardown(channel)?;
-                (ch.id, ch.destination.node)
-            }
-            NetworkManager::Fabric(m) => {
-                let ch = m.handle_teardown(channel)?;
-                (ch.id, ch.destination)
-            }
-        };
-        self.sim.clear_channel_hop_schedule(id);
+        let released = self.manager.handle_teardown(channel)?;
+        self.sim.clear_channel_hop_schedule(released.id);
         // Let the destination forget the channel too.
-        if let Some(layer) = self.layers.get_mut(&destination.get()) {
-            layer.forget_rx_channel(id);
+        if let Some(layer) = self.layers.get_mut(&released.destination.get()) {
+            layer.forget_rx_channel(released.id);
         }
         Ok(())
     }
@@ -464,14 +574,8 @@ impl RtNetwork {
         if delivery.receiver == NodeId::SWITCH {
             // Control-plane traffic addressed to the managing switch.
             let actions = match frame {
-                Frame::Request(req) => match &mut self.manager {
-                    NetworkManager::Star(m) => m.handle_request(&req)?,
-                    NetworkManager::Fabric(m) => m.handle_request(&req)?,
-                },
-                Frame::Response(resp) => match &mut self.manager {
-                    NetworkManager::Star(m) => m.handle_response(&resp)?,
-                    NetworkManager::Fabric(m) => m.handle_response(&resp)?,
-                },
+                Frame::Request(req) => self.manager.handle_request(&req)?,
+                Frame::Response(resp) => self.manager.handle_response(&resp)?,
                 Frame::Teardown(td) => {
                     self.handle_control_teardown(td.rt_channel_id)?;
                     Vec::new()
@@ -553,10 +657,14 @@ impl RtNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rt_types::SwitchId;
+    use rt_types::{EcmpRouter, TreeRouter};
 
     fn network(nodes: u32, dps: DpsKind) -> RtNetwork {
-        RtNetwork::new(RtNetworkConfig::with_nodes(nodes, dps))
+        RtNetwork::builder()
+            .star(nodes)
+            .dps(dps)
+            .build()
+            .expect("a star always builds")
     }
 
     #[test]
@@ -683,7 +791,11 @@ mod tests {
 
     /// A 3-switch line with 2 nodes per switch (nodes 0..6, switch-major).
     fn fabric(dps: MultiHopDps) -> RtNetwork {
-        RtNetwork::new(RtNetworkConfig::with_topology(Topology::line(3, 2), dps))
+        RtNetwork::builder()
+            .topology(Topology::line(3, 2))
+            .multihop_dps(dps)
+            .build()
+            .expect("a line fabric always builds")
     }
 
     #[test]
@@ -695,9 +807,8 @@ mod tests {
             .establish_channel(NodeId::new(0), NodeId::new(5), spec)
             .unwrap()
             .expect("an empty fabric accepts the first channel");
-        assert!(net.fabric_manager().is_some());
         assert_eq!(net.channel_count(), 1);
-        let channel = net.fabric_manager().unwrap().channel(tx.id).unwrap();
+        let channel = net.manager().channel_route(tx.id).unwrap();
         assert_eq!(channel.path.len(), 4);
         // The handshake itself crossed the trunks.
         assert!(net
@@ -752,7 +863,7 @@ mod tests {
             .establish_channel(NodeId::new(2), NodeId::new(3), spec)
             .unwrap()
             .unwrap();
-        let channel = net.fabric_manager().unwrap().channel(tx.id).unwrap();
+        let channel = net.manager().channel_route(tx.id).unwrap();
         assert_eq!(channel.path.len(), 2);
         assert_eq!(channel.link_deadlines, vec![Slots::new(20), Slots::new(20)]);
         assert_eq!(
@@ -778,16 +889,10 @@ mod tests {
             from: SwitchId::new(0),
             to: SwitchId::new(1),
         };
-        assert_eq!(
-            net.fabric_manager().unwrap().admission().link_load(trunk),
-            1
-        );
+        assert_eq!(net.manager().link_load(trunk), 1);
         net.teardown_channel(NodeId::new(0), tx.id).unwrap();
         assert_eq!(net.channel_count(), 0);
-        assert_eq!(
-            net.fabric_manager().unwrap().admission().link_load(trunk),
-            0
-        );
+        assert_eq!(net.manager().link_load(trunk), 0);
         assert_eq!(net.layer(NodeId::new(5)).unwrap().rx_channels().count(), 0);
     }
 
@@ -810,5 +915,133 @@ mod tests {
         assert!(accepted > 0, "an empty fabric must accept some channels");
         assert!(rejected > 0, "the shared trunks must eventually saturate");
         assert_eq!(net.channel_count(), accepted);
+    }
+
+    // --- builder + router (mesh) ------------------------------------------
+
+    #[test]
+    fn builder_requires_a_fabric_shape() {
+        assert!(RtNetwork::builder().build().is_err());
+        assert!(RtNetwork::builder().star(0).build().is_ok());
+    }
+
+    #[test]
+    fn tree_router_rejects_mesh_builds_at_build_time() {
+        let result = RtNetwork::builder()
+            .topology(Topology::ring(4, 1))
+            .router(TreeRouter::new())
+            .build();
+        assert!(result.is_err(), "a TreeRouter must refuse a cyclic fabric");
+        // The same router on the spanning line is fine.
+        assert!(RtNetwork::builder()
+            .topology(Topology::line(4, 1))
+            .router(TreeRouter::new())
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn ring_mesh_establishes_channels_and_meets_the_hop_aware_bound() {
+        // The acceptance bar of the mesh redesign: a cyclic topology built
+        // through the builder admits channels via shortest-path routing and
+        // every measured delay stays within d·slot + T_latency(h).
+        let mut net = RtNetwork::builder()
+            .topology(Topology::ring(4, 2))
+            .router(ShortestPathRouter::new())
+            .multihop_dps(MultiHopDps::Asymmetric)
+            .build()
+            .unwrap();
+        let spec = RtChannelSpec::paper_default();
+        // node 1 (sw0) -> node 7 (sw3): the closing trunk makes this 3 hops.
+        let tx = net
+            .establish_channel(NodeId::new(1), NodeId::new(7), spec)
+            .unwrap()
+            .expect("the empty ring accepts the channel");
+        let route = net.manager().channel_route(tx.id).unwrap();
+        assert_eq!(route.path.len(), 3, "shortest path uses the closing trunk");
+        assert!(route.path.contains(&HopLink::Trunk {
+            from: SwitchId::new(0),
+            to: SwitchId::new(3),
+        }));
+        let start = net.now() + Duration::from_millis(1);
+        net.send_periodic(NodeId::new(1), tx.id, 20, 1000, start)
+            .unwrap();
+        net.run_to_completion().unwrap();
+        assert_eq!(net.received_messages().len(), 20 * 3);
+        assert!(net.simulator().stats().all_deadlines_met());
+        let bound = net.channel_deadline_bound(tx.id).unwrap();
+        let worst = net.simulator().stats().channel(tx.id).unwrap().max_latency;
+        assert!(worst <= bound, "worst {worst} exceeds mesh bound {bound}");
+        // The data really used the closing trunk, not the long way.
+        assert!(net
+            .simulator()
+            .stats()
+            .hop_link(HopLink::Trunk {
+                from: SwitchId::new(1),
+                to: SwitchId::new(2),
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn ecmp_router_is_deterministic_end_to_end() {
+        let run = |seed: u64| {
+            let mut net = RtNetwork::builder()
+                .topology(Topology::ring(4, 2))
+                .router(EcmpRouter::new(seed))
+                .multihop_dps(MultiHopDps::Symmetric)
+                .build()
+                .unwrap();
+            let spec = RtChannelSpec::paper_default();
+            let mut routes = Vec::new();
+            // Opposite corners of the ring: sw0 -> sw2 has two equal-cost
+            // paths; every (src, dst) pair hashes to one of them.
+            for (src, dst) in [(0u32, 4u32), (1, 5), (0, 5), (1, 4)] {
+                let tx = net
+                    .establish_channel(NodeId::new(src), NodeId::new(dst), spec)
+                    .unwrap()
+                    .expect("ring has capacity for four channels");
+                routes.push(net.manager().channel_route(tx.id).unwrap().path.clone());
+            }
+            routes
+        };
+        let first = run(42);
+        let second = run(42);
+        assert_eq!(first, second, "a fixed seed must reproduce every route");
+        for route in &first {
+            assert_eq!(route.len(), 4, "ECMP must pick a shortest (2-trunk) path");
+        }
+    }
+
+    #[test]
+    fn unified_manager_reports_channels_in_both_modes() {
+        let spec = RtChannelSpec::paper_default();
+        let mut star = network(4, DpsKind::Asymmetric);
+        let tx = star
+            .establish_channel(NodeId::new(0), NodeId::new(1), spec)
+            .unwrap()
+            .unwrap();
+        assert_eq!(star.manager().channel_ids(), vec![tx.id]);
+        let route = star.manager().channel_route(tx.id).unwrap();
+        assert_eq!(route.path.len(), 2, "a star channel is uplink + downlink");
+        assert_eq!(
+            route.link_deadlines.iter().map(|s| s.get()).sum::<u64>(),
+            spec.deadline.get()
+        );
+        assert_eq!(star.manager().link_load(HopLink::Uplink(NodeId::new(0))), 1);
+        assert_eq!(star.manager().pending_count(), 0);
+        assert!(!star.manager().schedules_hops());
+
+        let mut fab = fabric(MultiHopDps::Asymmetric);
+        let ftx = fab
+            .establish_channel(NodeId::new(0), NodeId::new(5), spec)
+            .unwrap()
+            .unwrap();
+        assert_eq!(fab.manager().channel_ids(), vec![ftx.id]);
+        assert!(fab.manager().schedules_hops());
+        assert_eq!(
+            fab.manager().channel_route(ftx.id).unwrap().destination,
+            NodeId::new(5)
+        );
     }
 }

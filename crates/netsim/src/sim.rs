@@ -5,7 +5,8 @@
 //!
 //! * A [`Topology`] describes the fabric: every end node has one full-duplex
 //!   cable to its access switch, and switches are connected by full-duplex
-//!   trunk links forming a tree.  Every *directed* edge of that graph is
+//!   trunk links forming any connected graph — a tree or a cyclic mesh with
+//!   redundant trunks.  Every *directed* edge of that graph is
 //!   driven by one [`OutputPort`]: the node → switch direction (the *uplink*)
 //!   by the node's NIC, the switch → node direction (the *downlink*) and each
 //!   switch → switch direction (a *trunk port*) by the owning switch.  Every
@@ -20,9 +21,15 @@
 //!   added per link traversal.  These constant terms, together with one
 //!   non-preemptable frame already on the wire per link, form the paper's
 //!   `T_latency` (Eq. 18.1) — see [`SimConfig::t_latency_for_hops`].
-//! * Forwarding is topology-driven: at each switch the frame either leaves on
-//!   the downlink of a locally attached destination or on the trunk port
-//!   towards the next switch of the unique tree path.
+//! * Forwarding is route-driven: frames of an admitted RT channel follow the
+//!   per-switch forwarding entries installed for that channel's [`Route`] at
+//!   admission time ([`Simulator::set_channel_hop_schedule`]), so a channel
+//!   pinned to a non-shortest path by its router really takes that path on
+//!   the wire.  Everything else (control frames, best-effort traffic,
+//!   channels without an installed route) falls back to the fabric's
+//!   next-hop table, computed once per topology by the [`Router`] the
+//!   simulator was built with — shortest paths on a mesh, the unique path on
+//!   a tree.
 //! * Frames addressed to the switch MAC itself (RT-layer control traffic)
 //!   are forwarded to the *managing switch* (the lowest switch id) and
 //!   delivered to its "control plane" — the caller; the caller can originate
@@ -41,11 +48,12 @@
 //! produce identical event sequences, deliveries and statistics.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rt_frames::{EthernetFrame, Frame};
 use rt_types::{
-    ChannelId, Duration, HopLink, LinkId, MacAddr, NodeId, RtError, RtResult, SimTime, SwitchId,
-    Topology,
+    ChannelId, Duration, HopLink, LinkId, MacAddr, NextHopTable, NodeId, Route, Router, RtError,
+    RtResult, ShortestPathRouter, SimTime, SwitchId, Topology,
 };
 
 use crate::event::{Event, EventQueue};
@@ -171,14 +179,30 @@ impl Delivery {
     }
 }
 
+/// Per-channel wire state installed at admission time: the EDF deadline
+/// budget of every link of the route, plus the per-switch forwarding
+/// entries that pin the channel's frames to the admitted route (which on a
+/// mesh need not be the next-hop table's shortest path).
+#[derive(Debug, Default)]
+struct ChannelWireState {
+    /// Per-link EDF deadline budget (offset from injection time).
+    offsets: HashMap<HopLink, Duration>,
+    /// At each switch of the route, the egress the channel's frames take.
+    forwarding: HashMap<SwitchId, HopLink>,
+}
+
 /// The simulator.
 #[derive(Debug)]
 pub struct Simulator {
     config: SimConfig,
     events: EventQueue,
     topology: Topology,
-    /// `(at, towards) → neighbour` forwarding table of the trunk tree.
-    next_hop: HashMap<(SwitchId, SwitchId), SwitchId>,
+    /// The path-selection policy the fabric was built with.
+    router: Arc<dyn Router>,
+    /// `(at, towards) → neighbour` forwarding table of the trunk graph, for
+    /// traffic without per-route forwarding state (computed once by the
+    /// router, cached per topology fingerprint).
+    next_hop: Arc<NextHopTable>,
     /// One output port per directed edge of the fabric.
     ports: HashMap<HopLink, OutputPort>,
     /// MAC → node forwarding table (static, built from the attached nodes).
@@ -187,8 +211,8 @@ pub struct Simulator {
     switch_mac: MacAddr,
     /// The switch hosting the RT channel management software.
     manager_switch: SwitchId,
-    /// Per-channel, per-link EDF deadline budgets (offsets from injection).
-    hop_schedules: HashMap<u16, HashMap<HopLink, Duration>>,
+    /// Per-channel route state (deadline budgets + forwarding entries).
+    channel_wire: HashMap<u16, ChannelWireState>,
     frames: Vec<FrameRecord>,
     pending_deliveries: Vec<Delivery>,
     stats: SimStats,
@@ -205,16 +229,30 @@ impl Simulator {
             .expect("a single-switch star is always a valid topology")
     }
 
-    /// Build a simulator over an arbitrary (tree) multi-switch topology:
-    /// one output port per directed edge — node uplinks, switch downlinks
-    /// and both directions of every trunk.
+    /// Build a simulator over an arbitrary connected multi-switch topology
+    /// (tree or mesh) with the default [`ShortestPathRouter`] forwarding
+    /// fabric-internal traffic: one output port per directed edge — node
+    /// uplinks, switch downlinks and both directions of every trunk.
     pub fn with_topology(config: SimConfig, topology: Topology) -> RtResult<Self> {
+        Simulator::with_router(config, topology, Arc::new(ShortestPathRouter::new()))
+    }
+
+    /// Build a simulator over `topology` with an explicit [`Router`]: the
+    /// router's capability check runs once here (a [`rt_types::TreeRouter`]
+    /// rejects cyclic graphs), and its cached next-hop table forwards all
+    /// traffic that has no per-route forwarding entries.
+    pub fn with_router(
+        config: SimConfig,
+        topology: Topology,
+        router: Arc<dyn Router>,
+    ) -> RtResult<Self> {
         if topology.switch_count() == 0 {
             return Err(RtError::Config("a fabric needs at least one switch".into()));
         }
         if !topology.is_connected() {
             return Err(RtError::Config("the switch graph must be connected".into()));
         }
+        router.validate(&topology)?;
         let make_port = || match config.be_queue_capacity {
             Some(cap) => OutputPort::with_be_capacity(cap),
             None => OutputPort::new(),
@@ -234,17 +272,18 @@ impl Simulator {
             .switches()
             .next()
             .expect("switch_count checked above");
-        let next_hop: HashMap<_, _> = topology.next_hop_table().into_iter().collect();
+        let next_hop = router.next_hop_table(&topology);
         Ok(Simulator {
             config,
             events: EventQueue::new(),
             topology,
+            router,
             next_hop,
             ports,
             forwarding,
             switch_mac: MacAddr::for_switch(),
             manager_switch,
-            hop_schedules: HashMap::new(),
+            channel_wire: HashMap::new(),
             frames: Vec::new(),
             pending_deliveries: Vec::new(),
             stats: SimStats::default(),
@@ -259,6 +298,11 @@ impl Simulator {
     /// The topology the fabric was built from.
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    /// The path-selection policy the fabric was built with.
+    pub fn router(&self) -> &Arc<dyn Router> {
+        &self.router
     }
 
     /// The switch hosting the control plane (the lowest switch id).
@@ -291,23 +335,59 @@ impl Simulator {
         std::mem::take(&mut self.pending_deliveries)
     }
 
-    /// Register the per-hop EDF deadline budgets of an admitted multi-hop
-    /// channel: for each link of its path, the offset from a frame's
-    /// injection time by which the frame should have finished crossing that
-    /// link.  Ports on the path then EDF-sort the channel's frames by the
-    /// per-hop deadline instead of the end-to-end stamp.
+    /// Register the wire state of an admitted multi-hop channel: for each
+    /// link of its route, the offset from a frame's injection time by which
+    /// the frame should have finished crossing that link.  Ports on the
+    /// route then EDF-sort the channel's frames by the per-hop deadline
+    /// instead of the end-to-end stamp, and — because the links identify the
+    /// route — every switch on it gains a per-channel forwarding entry, so
+    /// the channel's frames follow the *admitted* route even where it
+    /// differs from the next-hop table (ECMP or pinned paths on a mesh).
     pub fn set_channel_hop_schedule(
         &mut self,
         channel: ChannelId,
         offsets: impl IntoIterator<Item = (HopLink, Duration)>,
     ) {
-        self.hop_schedules
-            .insert(channel.get(), offsets.into_iter().collect());
+        let mut state = ChannelWireState::default();
+        for (link, offset) in offsets {
+            self.add_forwarding_entry(&mut state, link);
+            state.offsets.insert(link, offset);
+        }
+        self.channel_wire.insert(channel.get(), state);
     }
 
-    /// Forget a channel's per-hop schedule (tear-down).
+    /// Install the forwarding entries of an admitted channel's [`Route`]
+    /// without per-hop deadline budgets (frames keep EDF-sorting by their
+    /// end-to-end stamp).  Useful when the route was pinned by a router but
+    /// no deadline partitioning applies.
+    pub fn set_channel_route(&mut self, channel: ChannelId, route: &Route) {
+        let mut state = ChannelWireState::default();
+        for &link in route.links() {
+            self.add_forwarding_entry(&mut state, link);
+        }
+        self.channel_wire.insert(channel.get(), state);
+    }
+
+    /// The per-switch forwarding entry one route link contributes: a trunk
+    /// is the egress of its transmitting switch, a downlink the egress of
+    /// the destination's access switch, an uplink belongs to the node.
+    fn add_forwarding_entry(&self, state: &mut ChannelWireState, link: HopLink) {
+        match link {
+            HopLink::Trunk { from, .. } => {
+                state.forwarding.insert(from, link);
+            }
+            HopLink::Downlink(node) => {
+                if let Some(switch) = self.topology.switch_of(node) {
+                    state.forwarding.insert(switch, link);
+                }
+            }
+            HopLink::Uplink(_) => {}
+        }
+    }
+
+    /// Forget a channel's wire state (tear-down).
     pub fn clear_channel_hop_schedule(&mut self, channel: ChannelId) {
-        self.hop_schedules.remove(&channel.get());
+        self.channel_wire.remove(&channel.get());
     }
 
     fn classify(
@@ -427,9 +507,21 @@ impl Simulator {
     }
 
     /// The output port a frame takes when it sits in switch `at` and must
-    /// reach end node `destination`: the local downlink, or the trunk port
-    /// towards the next switch on the tree path.
-    fn egress_port(&self, at: SwitchId, destination: NodeId) -> Option<HopLink> {
+    /// reach end node `destination`: the channel's installed route entry
+    /// when one exists, otherwise the local downlink or the trunk port
+    /// towards the next switch of the next-hop table.
+    fn egress_port(
+        &self,
+        at: SwitchId,
+        destination: NodeId,
+        channel: Option<ChannelId>,
+    ) -> Option<HopLink> {
+        if let Some(link) = channel
+            .and_then(|c| self.channel_wire.get(&c.get()))
+            .and_then(|state| state.forwarding.get(&at))
+        {
+            return Some(*link);
+        }
         let target = self.topology.switch_of(destination)?;
         if target == at {
             return Some(HopLink::Downlink(destination));
@@ -458,7 +550,9 @@ impl Simulator {
                 self.try_start_tx(now, HopLink::Uplink(node));
             }
             Event::ArriveAtSwitch { switch, frame } => {
-                let dst = self.frames[frame.0 as usize].eth.dst;
+                let record = &self.frames[frame.0 as usize];
+                let dst = record.eth.dst;
+                let channel = record.channel;
                 if dst == self.switch_mac {
                     // Control-plane traffic: deliver at the managing switch,
                     // forward over trunks towards it from anywhere else.
@@ -478,7 +572,7 @@ impl Simulator {
                     .forwarding
                     .get(&dst)
                     .copied()
-                    .and_then(|node| self.egress_port(switch, node))
+                    .and_then(|node| self.egress_port(switch, node, channel))
                 {
                     self.enqueue_at_port(frame, port);
                     self.try_start_tx(now, port);
@@ -488,7 +582,7 @@ impl Simulator {
             }
             Event::EnqueueAtSwitch { to, frame } => {
                 // Control-plane origination at the managing switch.
-                match self.egress_port(self.manager_switch, to) {
+                match self.egress_port(self.manager_switch, to, None) {
                     Some(port) => {
                         self.enqueue_at_port(frame, port);
                         self.try_start_tx(now, port);
@@ -528,9 +622,9 @@ impl Simulator {
     fn queue_deadline(&self, record: &FrameRecord, link: HopLink) -> Option<SimTime> {
         if let Some(channel) = record.channel {
             if let Some(offset) = self
-                .hop_schedules
+                .channel_wire
                 .get(&channel.get())
-                .and_then(|per_link| per_link.get(&link))
+                .and_then(|state| state.offsets.get(&link))
             {
                 return Some(record.injected_at + *offset);
             }
@@ -1227,6 +1321,143 @@ mod tests {
         assert_eq!(run(false), vec![2, 1]);
         // With per-hop schedules, channel 1's tighter trunk budget wins.
         assert_eq!(run(true), vec![1, 2]);
+    }
+
+    #[test]
+    fn mesh_frames_take_the_shortest_path_by_default() {
+        // Ring of 4 switches, one node each: node 0 -> node 3 must use the
+        // closing trunk (1 trunk hop), not the 3-hop line path.
+        let config = SimConfig::default();
+        let mut sim = Simulator::with_topology(config, Topology::ring(4, 1)).unwrap();
+        let eth = be_frame(NodeId::new(0), NodeId::new(3), 600);
+        let wire = eth.wire_bytes();
+        sim.inject(NodeId::new(0), eth, SimTime::ZERO).unwrap();
+        sim.run_to_idle();
+        let deliveries = sim.poll_deliveries();
+        assert_eq!(deliveries.len(), 1);
+        // 3 links (uplink, closing trunk, downlink), 2 switches.
+        let expected = config.link_speed.transmission_time(wire) * 3
+            + config.propagation_delay * 3
+            + config.switch_latency * 2;
+        assert_eq!(deliveries[0].latency(), expected);
+        assert!(sim
+            .stats()
+            .hop_link(HopLink::Trunk {
+                from: SwitchId::new(0),
+                to: SwitchId::new(3),
+            })
+            .is_some());
+        assert!(sim
+            .stats()
+            .hop_link(HopLink::Trunk {
+                from: SwitchId::new(0),
+                to: SwitchId::new(1),
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn installed_route_overrides_the_next_hop_table() {
+        // Pin an RT channel to the LONG way around the ring; its frames
+        // must follow the installed route while unpinned traffic still
+        // takes the short way.
+        let mut sim = Simulator::with_topology(SimConfig::default(), Topology::ring(4, 1)).unwrap();
+        let long_way = Route::from_links(vec![
+            HopLink::Uplink(NodeId::new(0)),
+            HopLink::Trunk {
+                from: SwitchId::new(0),
+                to: SwitchId::new(1),
+            },
+            HopLink::Trunk {
+                from: SwitchId::new(1),
+                to: SwitchId::new(2),
+            },
+            HopLink::Trunk {
+                from: SwitchId::new(2),
+                to: SwitchId::new(3),
+            },
+            HopLink::Downlink(NodeId::new(3)),
+        ])
+        .unwrap();
+        sim.set_channel_route(ChannelId::new(9), &long_way);
+        sim.inject(
+            NodeId::new(0),
+            rt_frame(
+                NodeId::new(0),
+                NodeId::new(3),
+                9,
+                SimTime::from_millis(10),
+                500,
+            ),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        sim.run_to_idle();
+        assert_eq!(sim.poll_deliveries().len(), 1);
+        for (from, to) in [(0u32, 1u32), (1, 2), (2, 3)] {
+            assert!(
+                sim.stats()
+                    .hop_link(HopLink::Trunk {
+                        from: SwitchId::new(from),
+                        to: SwitchId::new(to),
+                    })
+                    .is_some(),
+                "pinned route must cross sw{from}->sw{to}"
+            );
+        }
+        assert!(sim
+            .stats()
+            .hop_link(HopLink::Trunk {
+                from: SwitchId::new(0),
+                to: SwitchId::new(3),
+            })
+            .is_none());
+        // Tear-down forgets the pin: the next frame takes the short way.
+        sim.clear_channel_hop_schedule(ChannelId::new(9));
+        sim.inject(
+            NodeId::new(0),
+            rt_frame(
+                NodeId::new(0),
+                NodeId::new(3),
+                9,
+                SimTime::from_millis(20),
+                500,
+            ),
+            sim.now(),
+        )
+        .unwrap();
+        sim.run_to_idle();
+        assert!(sim
+            .stats()
+            .hop_link(HopLink::Trunk {
+                from: SwitchId::new(0),
+                to: SwitchId::new(3),
+            })
+            .is_some());
+    }
+
+    #[test]
+    fn with_router_runs_the_capability_check() {
+        use std::sync::Arc;
+        // A TreeRouter-backed simulator refuses a cyclic fabric...
+        assert!(Simulator::with_router(
+            SimConfig::default(),
+            Topology::ring(4, 1),
+            Arc::new(rt_types::TreeRouter::new()),
+        )
+        .is_err());
+        // ...but accepts a line, and produces the same next-hop table as
+        // the default shortest-path router (unique paths on a tree).
+        let tree = Simulator::with_router(
+            SimConfig::default(),
+            Topology::line(3, 1),
+            Arc::new(rt_types::TreeRouter::new()),
+        )
+        .unwrap();
+        let shortest =
+            Simulator::with_topology(SimConfig::default(), Topology::line(3, 1)).unwrap();
+        assert_eq!(*tree.next_hop, *shortest.next_hop);
+        assert_eq!(tree.router().name(), "tree");
     }
 
     #[test]

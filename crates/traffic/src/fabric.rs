@@ -2,48 +2,124 @@
 //! where, and request patterns that exercise the trunks.
 //!
 //! The star [`crate::scenario::Scenario`] covers the paper's evaluation; the
-//! fabric scenario covers its stated future work — trees of interconnected
-//! switches — by building a line of access switches, each carrying its own
-//! masters and slaves, and generating channel requests that deliberately
-//! cross switch boundaries so the trunks become the shared resource.
+//! fabric scenario covers its stated future work — interconnected switches —
+//! in three shapes:
+//!
+//! * [`FabricScenario::line`] — a chain of access switches (a tree: unique
+//!   paths, servable by every router),
+//! * [`FabricScenario::ring`] — the line plus a closing trunk: the smallest
+//!   *cyclic* mesh, needing shortest-path or ECMP routing,
+//! * [`FabricScenario::leaf_spine`] — a 2-connected fat-tree-ish fabric:
+//!   every access (leaf) switch is trunked to two node-less spine switches,
+//!   so every leaf pair has two disjoint 2-trunk paths.
+//!
+//! Each access switch carries its own masters and slaves; the request
+//! generators deliberately cross switch boundaries so the trunks become the
+//! shared resource.
 
 use rt_core::RtChannelSpec;
-use rt_types::{NodeId, Topology};
+use rt_types::{NodeId, SwitchId, Topology};
 
 use crate::pattern::ChannelRequest;
 
-/// A line-of-switches scenario: `switches` access switches connected in a
-/// chain, each with `masters_per_switch` masters and `slaves_per_switch`
-/// slaves attached.
+/// The trunk-graph shape of a [`FabricScenario`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricShape {
+    /// A chain of access switches (tree).
+    Line,
+    /// A closed chain of access switches (cyclic mesh).
+    Ring,
+    /// Access leaves, each trunked to two node-less spines (2-connected).
+    LeafSpine,
+}
+
+/// A multi-switch scenario: `switches` *access* switches in the given
+/// [`FabricShape`], each with `masters_per_switch` masters and
+/// `slaves_per_switch` slaves attached.
 ///
-/// Node ids are allocated switch-major, masters first: switch `s` owns ids
-/// `s·k .. (s+1)·k` with `k = masters_per_switch + slaves_per_switch`.
+/// Node ids are allocated access-switch-major, masters first: access switch
+/// `s` owns ids `s·k .. (s+1)·k` with `k = masters_per_switch +
+/// slaves_per_switch`.  Leaf-spine spines carry no nodes and take the switch
+/// ids after the leaves.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FabricScenario {
+    shape: FabricShape,
     switches: u32,
     masters_per_switch: u32,
     slaves_per_switch: u32,
 }
 
 impl FabricScenario {
-    /// Build a line scenario.  Requires at least one switch and at least one
-    /// node per switch.
-    pub fn line(switches: u32, masters_per_switch: u32, slaves_per_switch: u32) -> Self {
+    fn build(
+        shape: FabricShape,
+        switches: u32,
+        masters_per_switch: u32,
+        slaves_per_switch: u32,
+    ) -> Self {
         assert!(switches > 0, "a fabric needs at least one switch");
         assert!(
             masters_per_switch + slaves_per_switch > 0,
             "each switch needs at least one node"
         );
         FabricScenario {
+            shape,
             switches,
             masters_per_switch,
             slaves_per_switch,
         }
     }
 
-    /// Number of switches.
+    /// Build a line scenario.  Requires at least one switch and at least one
+    /// node per switch.
+    pub fn line(switches: u32, masters_per_switch: u32, slaves_per_switch: u32) -> Self {
+        Self::build(
+            FabricShape::Line,
+            switches,
+            masters_per_switch,
+            slaves_per_switch,
+        )
+    }
+
+    /// Build a ring scenario: the line plus a closing trunk (a cyclic mesh
+    /// for three or more switches).
+    pub fn ring(switches: u32, masters_per_switch: u32, slaves_per_switch: u32) -> Self {
+        Self::build(
+            FabricShape::Ring,
+            switches,
+            masters_per_switch,
+            slaves_per_switch,
+        )
+    }
+
+    /// Build a leaf-spine scenario: `leaves` access switches, each trunked
+    /// to two node-less spine switches (ids `leaves` and `leaves + 1`).
+    /// Every leaf pair has two disjoint 2-trunk paths — the fabric survives
+    /// a spine loss and gives ECMP routing something to spread over.
+    pub fn leaf_spine(leaves: u32, masters_per_switch: u32, slaves_per_switch: u32) -> Self {
+        Self::build(
+            FabricShape::LeafSpine,
+            leaves,
+            masters_per_switch,
+            slaves_per_switch,
+        )
+    }
+
+    /// The trunk-graph shape.
+    pub fn shape(&self) -> FabricShape {
+        self.shape
+    }
+
+    /// Number of *access* (node-bearing) switches.
     pub fn switch_count(&self) -> u32 {
         self.switches
+    }
+
+    /// Total number of switches, including leaf-spine spines.
+    pub fn total_switch_count(&self) -> u32 {
+        match self.shape {
+            FabricShape::Line | FabricShape::Ring => self.switches,
+            FabricShape::LeafSpine => self.switches + 2,
+        }
     }
 
     /// Nodes per switch.
@@ -75,12 +151,44 @@ impl FabricScenario {
         )
     }
 
-    /// Build the [`Topology`]: a chain of switches with every node attached
-    /// to its home switch.  The node-id allocation is exactly
-    /// [`Topology::line`]'s (switch-major), which is what
+    /// Build the [`Topology`] for the scenario's shape, with every node
+    /// attached to its home access switch.  The node-id allocation is
+    /// exactly [`Topology::line`]'s (access-switch-major), which is what
     /// [`FabricScenario::master`] / [`FabricScenario::slave`] index into.
     pub fn topology(&self) -> Topology {
-        Topology::line(self.switches, self.nodes_per_switch())
+        match self.shape {
+            FabricShape::Line => Topology::line(self.switches, self.nodes_per_switch()),
+            FabricShape::Ring => Topology::ring(self.switches, self.nodes_per_switch()),
+            FabricShape::LeafSpine => {
+                let mut t = Topology::new();
+                for leaf in 0..self.switches {
+                    t.add_switch(SwitchId::new(leaf));
+                }
+                let spines = [
+                    SwitchId::new(self.switches),
+                    SwitchId::new(self.switches + 1),
+                ];
+                for spine in spines {
+                    t.add_switch(spine);
+                }
+                for leaf in 0..self.switches {
+                    for spine in spines {
+                        t.add_trunk(SwitchId::new(leaf), spine)
+                            .expect("leaf-spine trunks are fresh");
+                    }
+                }
+                for leaf in 0..self.switches {
+                    for k in 0..self.nodes_per_switch() {
+                        t.attach_node(
+                            NodeId::new(leaf * self.nodes_per_switch() + k),
+                            SwitchId::new(leaf),
+                        )
+                        .expect("fresh node");
+                    }
+                }
+                t
+            }
+        }
     }
 
     /// Generate `count` channel requests that all cross at least one trunk:
@@ -159,6 +267,50 @@ mod tests {
             assert!(reqs
                 .iter()
                 .any(|r| t.switch_of(r.source) == Some(SwitchId::new(s))));
+        }
+    }
+
+    #[test]
+    fn ring_scenario_closes_the_cycle() {
+        let f = FabricScenario::ring(4, 1, 1);
+        assert_eq!(f.shape(), FabricShape::Ring);
+        let t = f.topology();
+        assert_eq!(t.switch_count(), 4);
+        assert_eq!(f.total_switch_count(), 4);
+        assert_eq!(t.trunk_count(), 4);
+        assert!(t.is_connected());
+        assert!(!t.is_tree());
+        // Same node allocation as the line.
+        assert_eq!(f.master(3, 0), NodeId::new(6));
+        assert_eq!(f.slave(3, 0), NodeId::new(7));
+        // The shortest route between adjacent-via-closing-trunk switches is
+        // a single trunk hop.
+        let route = t.route(f.master(0, 0), f.slave(3, 0)).unwrap();
+        assert_eq!(route.len(), 3);
+    }
+
+    #[test]
+    fn leaf_spine_scenario_is_two_connected() {
+        let f = FabricScenario::leaf_spine(3, 1, 1);
+        assert_eq!(f.shape(), FabricShape::LeafSpine);
+        assert_eq!(f.switch_count(), 3);
+        assert_eq!(f.total_switch_count(), 5);
+        let t = f.topology();
+        assert_eq!(t.switch_count(), 5);
+        assert_eq!(t.trunk_count(), 6, "every leaf reaches both spines");
+        assert!(t.is_connected());
+        assert!(!t.is_tree());
+        // Spines carry no nodes.
+        assert_eq!(t.nodes_of(SwitchId::new(3)).count(), 0);
+        assert_eq!(t.nodes_of(SwitchId::new(4)).count(), 0);
+        assert_eq!(t.node_count(), 6);
+        // Leaf-to-leaf routes cross exactly one spine (2 trunk hops).
+        let route = t.route(f.master(0, 0), f.slave(2, 0)).unwrap();
+        assert_eq!(route.len(), 4);
+        // Requests still cross access switches.
+        let reqs = f.cross_switch_requests(12, RtChannelSpec::paper_default());
+        for r in &reqs {
+            assert_ne!(t.switch_of(r.source), t.switch_of(r.destination));
         }
     }
 

@@ -5,9 +5,9 @@
 //! * [`scenario`] — network scenarios (which nodes exist, which are masters
 //!   and which are slaves), including the paper's 10-master / 50-slave
 //!   configuration,
-//! * [`fabric`] — multi-switch fabric scenarios (a line of access switches
-//!   with masters and slaves on each) and request patterns that exercise
-//!   the trunks,
+//! * [`fabric`] — multi-switch fabric scenarios (lines, rings and
+//!   2-connected leaf-spine fabrics of access switches with masters and
+//!   slaves on each) and request patterns that exercise the trunks,
 //! * [`pattern`] — channel-request patterns: the paper's master→slave
 //!   pattern plus uniform and hotspot patterns used by the ablations, and a
 //!   generator of heterogeneous channel specs,
@@ -28,6 +28,6 @@ pub mod rng;
 pub mod scenario;
 
 pub use background::{BackgroundTraffic, BurstyConfig, PoissonConfig};
-pub use fabric::FabricScenario;
+pub use fabric::{FabricScenario, FabricShape};
 pub use pattern::{ChannelRequest, HeterogeneousSpecs, RequestPattern};
 pub use scenario::Scenario;

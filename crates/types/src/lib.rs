@@ -21,6 +21,7 @@ pub mod constants;
 pub mod error;
 pub mod ids;
 pub mod rng;
+pub mod router;
 pub mod time;
 pub mod topology;
 
@@ -29,5 +30,6 @@ pub use constants::*;
 pub use error::{RtError, RtResult};
 pub use ids::{ChannelId, ConnectionRequestId, LinkDirection, LinkId, NodeId, PortId};
 pub use rng::Xoshiro256;
+pub use router::{EcmpRouter, NextHopTable, Route, Router, ShortestPathRouter, TreeRouter};
 pub use time::{Duration, LinkSpeed, SimTime, Slots};
 pub use topology::{HopLink, SwitchId, Topology};

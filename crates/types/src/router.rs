@@ -1,0 +1,691 @@
+//! Path selection over a [`Topology`]: the [`Router`] trait and its three
+//! stock implementations.
+//!
+//! Hoang & Jonsson's analysis treats every *directed link* as an independent
+//! EDF processor, so nothing in the admission theory cares how a channel's
+//! path was chosen — only that the path is fixed at establishment time and
+//! that every link on it passes the per-link feasibility test.  That makes
+//! path selection a pluggable policy:
+//!
+//! * [`TreeRouter`] — the pre-mesh behaviour, byte for byte: requires the
+//!   switch graph to be a tree (its *capability check*) and returns the
+//!   unique path.
+//! * [`ShortestPathRouter`] — BFS shortest paths over arbitrary connected
+//!   meshes, deterministic tie-break (lowest switch id first).
+//! * [`EcmpRouter`] — equal-cost multi-path: enumerates (by counting, not
+//!   materialising) all shortest paths and picks one by a deterministic
+//!   hash of `(seed, source, destination)` through the in-repo
+//!   [`Xoshiro256`] PRNG, so different channels spread over redundant
+//!   trunks while a fixed seed always yields the same route.
+//!
+//! All three share a per-topology cache of the next-hop forwarding table
+//! keyed by [`Topology::fingerprint`], so constructing many simulators (or
+//! routing many channels) over the same fabric computes the O(V·E) table
+//! once.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex};
+
+use crate::error::{RtError, RtResult};
+use crate::ids::NodeId;
+use crate::rng::Xoshiro256;
+use crate::topology::{HopLink, SwitchId, Topology};
+
+/// The next-hop forwarding table of a trunk graph: `(at, towards) →
+/// neighbour of `at` on a shortest path towards `towards``.
+pub type NextHopTable = BTreeMap<(SwitchId, SwitchId), SwitchId>;
+
+/// The path an RT channel takes through the fabric: the source's uplink,
+/// zero or more directed trunk hops, the destination's downlink.
+///
+/// A `Route` is what a [`Router`] produces and what admission control and
+/// the wire-level simulator consume: each [`HopLink`] in it is one EDF
+/// "processor" of the feasibility analysis and one output port of the
+/// simulated fabric.  Derefs to `[HopLink]`, so `route.len()` is the hop
+/// count `h` of the hop-aware Eq. 18.1 bound `d·slot + T_latency(h)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Route {
+    links: Vec<HopLink>,
+}
+
+impl Route {
+    /// Build a route from its directed links, validating its shape: at
+    /// least two links, starting with the source's uplink, ending with the
+    /// destination's downlink, and — in between — a contiguous chain of
+    /// trunks that never revisits a switch.  The contiguity check matters
+    /// because the simulator installs one forwarding entry *per switch* of
+    /// the route: a switch-revisiting route would silently overwrite its
+    /// own entries and could loop frames forever.
+    pub fn from_links(links: Vec<HopLink>) -> RtResult<Self> {
+        if links.len() < 2 {
+            return Err(RtError::Config(format!(
+                "a route needs at least an uplink and a downlink, got {} link(s)",
+                links.len()
+            )));
+        }
+        if !matches!(links.first(), Some(HopLink::Uplink(_))) {
+            return Err(RtError::Config(
+                "a route must start with the source's uplink".into(),
+            ));
+        }
+        if !matches!(links.last(), Some(HopLink::Downlink(_))) {
+            return Err(RtError::Config(
+                "a route must end with the destination's downlink".into(),
+            ));
+        }
+        let mut visited = std::collections::BTreeSet::new();
+        let mut previous: Option<SwitchId> = None;
+        for link in &links[1..links.len() - 1] {
+            let HopLink::Trunk { from, to } = link else {
+                return Err(RtError::Config(format!(
+                    "interior links of a route must be trunks, got [{link}]"
+                )));
+            };
+            if from == to {
+                return Err(RtError::Config(format!(
+                    "a route cannot contain the self-loop trunk [{link}]"
+                )));
+            }
+            if let Some(previous) = previous {
+                if previous != *from {
+                    return Err(RtError::Config(format!(
+                        "discontiguous route: trunk [{link}] does not start at {previous}"
+                    )));
+                }
+            }
+            if !visited.insert(*from) {
+                return Err(RtError::Config(format!(
+                    "a route cannot revisit switch {from}"
+                )));
+            }
+            previous = Some(*to);
+        }
+        if let Some(last) = previous {
+            if visited.contains(&last) {
+                return Err(RtError::Config(format!(
+                    "a route cannot revisit switch {last}"
+                )));
+            }
+        }
+        Ok(Route { links })
+    }
+
+    /// The directed links of the route, in traversal order.
+    pub fn links(&self) -> &[HopLink] {
+        &self.links
+    }
+
+    /// Number of directed links (the `h` of `T_latency(h)`).
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The source node (owner of the first link).
+    pub fn source(&self) -> NodeId {
+        match self.links[0] {
+            HopLink::Uplink(n) => n,
+            _ => unreachable!("validated in from_links"),
+        }
+    }
+
+    /// The destination node (owner of the last link).
+    pub fn destination(&self) -> NodeId {
+        match self.links[self.links.len() - 1] {
+            HopLink::Downlink(n) => n,
+            _ => unreachable!("validated in from_links"),
+        }
+    }
+
+    /// Consume the route, yielding its links.
+    pub fn into_links(self) -> Vec<HopLink> {
+        self.links
+    }
+}
+
+impl Deref for Route {
+    type Target = [HopLink];
+
+    fn deref(&self) -> &[HopLink] {
+        &self.links
+    }
+}
+
+impl<'a> IntoIterator for &'a Route {
+    type Item = &'a HopLink;
+    type IntoIter = std::slice::Iter<'a, HopLink>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.links.iter()
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, link) in self.links.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "[{link}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// A path-selection policy over a [`Topology`].
+///
+/// Implementations must be deterministic: the same topology, source and
+/// destination always yield the same route (that is what makes admission
+/// decisions and simulated delivery sequences reproducible).
+pub trait Router: fmt::Debug + Send + Sync {
+    /// A short policy name for reports and error messages.
+    fn name(&self) -> &'static str;
+
+    /// Capability check: can this router serve the given topology at all?
+    /// [`TreeRouter`] rejects cyclic graphs here; the mesh routers only
+    /// require connectivity.  Called once when a network or simulator is
+    /// built, not per route.
+    fn validate(&self, topology: &Topology) -> RtResult<()>;
+
+    /// Select the path for an RT channel from `source` to `destination`.
+    fn route(&self, topology: &Topology, source: NodeId, destination: NodeId) -> RtResult<Route>;
+
+    /// The next-hop forwarding table used for traffic that carries no
+    /// per-route forwarding state (control-plane and best-effort frames).
+    /// Implementations cache this per topology fingerprint.
+    fn next_hop_table(&self, topology: &Topology) -> Arc<NextHopTable>;
+}
+
+/// A per-topology memo of the next-hop table, keyed by
+/// [`Topology::fingerprint`].  Shared by all stock routers so repeated
+/// simulator constructions over the same fabric reuse one table.
+#[derive(Debug, Default)]
+pub struct NextHopCache {
+    inner: Mutex<Option<(u64, Arc<NextHopTable>)>>,
+}
+
+impl NextHopCache {
+    /// The cached table for `topology`, computing it on first use (or after
+    /// the topology changed).
+    pub fn get(&self, topology: &Topology) -> Arc<NextHopTable> {
+        let fp = topology.fingerprint();
+        let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((cached_fp, table)) = guard.as_ref() {
+            if *cached_fp == fp {
+                return Arc::clone(table);
+            }
+        }
+        let table = Arc::new(topology.next_hop_table());
+        *guard = Some((fp, Arc::clone(&table)));
+        table
+    }
+}
+
+/// Resolve and sanity-check the endpoints of a requested route.
+fn route_endpoints(
+    topology: &Topology,
+    source: NodeId,
+    destination: NodeId,
+) -> RtResult<(SwitchId, SwitchId)> {
+    if source == destination {
+        return Err(RtError::InvalidChannelSpec(
+            "source and destination must differ".into(),
+        ));
+    }
+    let src_switch = topology
+        .switch_of(source)
+        .ok_or(RtError::UnknownNode(source))?;
+    let dst_switch = topology
+        .switch_of(destination)
+        .ok_or(RtError::UnknownNode(destination))?;
+    Ok((src_switch, dst_switch))
+}
+
+/// Walk the next-hop table from the source's switch to the destination's,
+/// producing the uplink + trunks + downlink route.
+fn walk_table(
+    table: &NextHopTable,
+    topology: &Topology,
+    source: NodeId,
+    destination: NodeId,
+) -> RtResult<Route> {
+    let (src_switch, dst_switch) = route_endpoints(topology, source, destination)?;
+    let mut links = vec![HopLink::Uplink(source)];
+    let mut at = src_switch;
+    while at != dst_switch {
+        let next = *table.get(&(at, dst_switch)).ok_or_else(|| {
+            RtError::Config(format!(
+                "switches {src_switch} and {dst_switch} are not connected"
+            ))
+        })?;
+        links.push(HopLink::Trunk { from: at, to: next });
+        at = next;
+    }
+    links.push(HopLink::Downlink(destination));
+    Route::from_links(links)
+}
+
+/// The pre-mesh routing policy: the switch graph must be a tree and the
+/// route is the unique path through it.  Identical, link for link, to the
+/// routing `Topology::route` performed before path selection became
+/// pluggable.
+#[derive(Debug, Default)]
+pub struct TreeRouter {
+    cache: NextHopCache,
+    /// Fingerprint of the last topology that passed the tree check.
+    checked: Mutex<Option<u64>>,
+}
+
+impl TreeRouter {
+    /// Create a tree router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_tree(&self, topology: &Topology) -> RtResult<()> {
+        let fp = topology.fingerprint();
+        let mut guard = self.checked.lock().unwrap_or_else(|e| e.into_inner());
+        if *guard == Some(fp) {
+            return Ok(());
+        }
+        if !topology.is_tree() {
+            return Err(RtError::Config(format!(
+                "TreeRouter requires a tree, but the switch graph has {} switches and {} trunks{}",
+                topology.switch_count(),
+                topology.trunk_count(),
+                if topology.is_connected() {
+                    " (cyclic)"
+                } else {
+                    " (disconnected)"
+                }
+            )));
+        }
+        *guard = Some(fp);
+        Ok(())
+    }
+}
+
+impl Router for TreeRouter {
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+
+    fn validate(&self, topology: &Topology) -> RtResult<()> {
+        self.ensure_tree(topology)
+    }
+
+    fn route(&self, topology: &Topology, source: NodeId, destination: NodeId) -> RtResult<Route> {
+        self.ensure_tree(topology)?;
+        walk_table(&self.cache.get(topology), topology, source, destination)
+    }
+
+    fn next_hop_table(&self, topology: &Topology) -> Arc<NextHopTable> {
+        self.cache.get(topology)
+    }
+}
+
+/// BFS shortest-path routing over arbitrary connected meshes, with a
+/// deterministic tie-break (the BFS visits neighbours in ascending switch
+/// id, so among equal-cost paths the lexicographically smallest wins).  On
+/// a tree this coincides with [`TreeRouter`].
+#[derive(Debug, Default)]
+pub struct ShortestPathRouter {
+    cache: NextHopCache,
+}
+
+impl ShortestPathRouter {
+    /// Create a shortest-path router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Router for ShortestPathRouter {
+    fn name(&self) -> &'static str {
+        "shortest-path"
+    }
+
+    fn validate(&self, topology: &Topology) -> RtResult<()> {
+        if !topology.is_connected() {
+            return Err(RtError::Config("the switch graph must be connected".into()));
+        }
+        Ok(())
+    }
+
+    fn route(&self, topology: &Topology, source: NodeId, destination: NodeId) -> RtResult<Route> {
+        walk_table(&self.cache.get(topology), topology, source, destination)
+    }
+
+    fn next_hop_table(&self, topology: &Topology) -> Arc<NextHopTable> {
+        self.cache.get(topology)
+    }
+}
+
+/// Equal-cost multi-path routing: among *all* shortest paths between two
+/// switches, pick one by a deterministic hash of `(seed, source,
+/// destination)`.  Distinct node pairs therefore spread over redundant
+/// trunks, while a fixed seed makes every run exactly reproducible.
+///
+/// The selection never materialises the path set: a BFS from the
+/// destination switch yields distances, the per-switch shortest-path
+/// *counts* are accumulated in distance order, and the hash picks the k-th
+/// path by descending through the counts.
+#[derive(Debug)]
+pub struct EcmpRouter {
+    seed: u64,
+    cache: NextHopCache,
+}
+
+impl EcmpRouter {
+    /// Create an ECMP router with the given hash seed.
+    pub fn new(seed: u64) -> Self {
+        EcmpRouter {
+            seed,
+            cache: NextHopCache::default(),
+        }
+    }
+
+    /// The hash seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The deterministic per-pair selector: a PRNG keyed on the seed and
+    /// the endpoints, independent of call order.
+    fn pick(&self, source: NodeId, destination: NodeId, count: u64) -> u64 {
+        if count <= 1 {
+            return 0;
+        }
+        let key = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (u64::from(source.get()) << 32)
+            ^ u64::from(destination.get());
+        Xoshiro256::new(key).below(count)
+    }
+}
+
+impl Router for EcmpRouter {
+    fn name(&self) -> &'static str {
+        "ecmp"
+    }
+
+    fn validate(&self, topology: &Topology) -> RtResult<()> {
+        if !topology.is_connected() {
+            return Err(RtError::Config("the switch graph must be connected".into()));
+        }
+        Ok(())
+    }
+
+    fn route(&self, topology: &Topology, source: NodeId, destination: NodeId) -> RtResult<Route> {
+        let (src_switch, dst_switch) = route_endpoints(topology, source, destination)?;
+        if src_switch == dst_switch {
+            return Route::from_links(vec![
+                HopLink::Uplink(source),
+                HopLink::Downlink(destination),
+            ]);
+        }
+        // BFS distances towards the destination switch.
+        let mut dist: BTreeMap<SwitchId, u64> = BTreeMap::from([(dst_switch, 0)]);
+        let mut queue = std::collections::VecDeque::from([dst_switch]);
+        while let Some(current) = queue.pop_front() {
+            let d = dist[&current];
+            for next in topology.neighbours(current) {
+                if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(next) {
+                    e.insert(d + 1);
+                    queue.push_back(next);
+                }
+            }
+        }
+        if !dist.contains_key(&src_switch) {
+            return Err(RtError::Config(format!(
+                "switches {src_switch} and {dst_switch} are not connected"
+            )));
+        }
+        // Shortest-path counts towards the destination, accumulated in
+        // ascending distance (saturating: the count only steers the hash).
+        let mut by_distance: Vec<(u64, SwitchId)> = dist.iter().map(|(&s, &d)| (d, s)).collect();
+        by_distance.sort_unstable();
+        let mut count: BTreeMap<SwitchId, u64> = BTreeMap::from([(dst_switch, 1)]);
+        for &(d, s) in by_distance.iter().skip(1) {
+            let total = topology
+                .neighbours(s)
+                .filter(|n| dist.get(n) == Some(&(d - 1)))
+                .map(|n| count.get(&n).copied().unwrap_or(0))
+                .fold(0u64, u64::saturating_add);
+            count.insert(s, total);
+        }
+        // Pick the k-th shortest path and walk it.
+        let mut remaining = self.pick(source, destination, count[&src_switch]);
+        let mut links = vec![HopLink::Uplink(source)];
+        let mut at = src_switch;
+        while at != dst_switch {
+            let d = dist[&at];
+            let mut chosen = None;
+            for next in topology.neighbours(at) {
+                if dist.get(&next) != Some(&(d - 1)) {
+                    continue;
+                }
+                let paths_via = count.get(&next).copied().unwrap_or(0);
+                if remaining < paths_via {
+                    chosen = Some(next);
+                    break;
+                }
+                remaining -= paths_via;
+            }
+            let next = chosen.expect("counts cover every shortest path");
+            links.push(HopLink::Trunk { from: at, to: next });
+            at = next;
+        }
+        links.push(HopLink::Downlink(destination));
+        Route::from_links(links)
+    }
+
+    fn next_hop_table(&self, topology: &Topology) -> Arc<NextHopTable> {
+        self.cache.get(topology)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring4() -> Topology {
+        Topology::ring(4, 1)
+    }
+
+    #[test]
+    fn route_shape_is_validated() {
+        assert!(Route::from_links(vec![]).is_err());
+        assert!(Route::from_links(vec![HopLink::Uplink(NodeId::new(0))]).is_err());
+        assert!(Route::from_links(vec![
+            HopLink::Downlink(NodeId::new(0)),
+            HopLink::Uplink(NodeId::new(1)),
+        ])
+        .is_err());
+        let trunk = |from: u32, to: u32| HopLink::Trunk {
+            from: SwitchId::new(from),
+            to: SwitchId::new(to),
+        };
+        // Interior links must be trunks.
+        assert!(Route::from_links(vec![
+            HopLink::Uplink(NodeId::new(0)),
+            HopLink::Uplink(NodeId::new(1)),
+            HopLink::Downlink(NodeId::new(2)),
+        ])
+        .is_err());
+        // Discontiguous trunk chains are rejected.
+        assert!(Route::from_links(vec![
+            HopLink::Uplink(NodeId::new(0)),
+            trunk(2, 3),
+            HopLink::Downlink(NodeId::new(1)),
+        ])
+        .is_ok()); // a single trunk has nothing to be contiguous with
+        assert!(Route::from_links(vec![
+            HopLink::Uplink(NodeId::new(0)),
+            trunk(0, 1),
+            trunk(2, 3),
+            HopLink::Downlink(NodeId::new(1)),
+        ])
+        .is_err());
+        // Self-loop trunks and switch-revisiting walks are rejected.
+        assert!(Route::from_links(vec![
+            HopLink::Uplink(NodeId::new(0)),
+            trunk(1, 1),
+            HopLink::Downlink(NodeId::new(1)),
+        ])
+        .is_err());
+        assert!(Route::from_links(vec![
+            HopLink::Uplink(NodeId::new(0)),
+            trunk(0, 1),
+            trunk(1, 2),
+            trunk(2, 1),
+            HopLink::Downlink(NodeId::new(1)),
+        ])
+        .is_err());
+        assert!(Route::from_links(vec![
+            HopLink::Uplink(NodeId::new(0)),
+            trunk(0, 1),
+            trunk(1, 0),
+            HopLink::Downlink(NodeId::new(1)),
+        ])
+        .is_err());
+        // A legal multi-trunk chain passes.
+        assert!(Route::from_links(vec![
+            HopLink::Uplink(NodeId::new(0)),
+            trunk(0, 1),
+            trunk(1, 2),
+            HopLink::Downlink(NodeId::new(1)),
+        ])
+        .is_ok());
+        let r = Route::from_links(vec![
+            HopLink::Uplink(NodeId::new(0)),
+            HopLink::Downlink(NodeId::new(1)),
+        ])
+        .unwrap();
+        assert_eq!(r.hops(), 2);
+        assert_eq!(r.source(), NodeId::new(0));
+        assert_eq!(r.destination(), NodeId::new(1));
+        assert_eq!(r.links().len(), 2);
+        assert_eq!(format!("{r}"), "[node0/uplink] [node1/downlink]");
+    }
+
+    #[test]
+    fn tree_router_matches_topology_route_on_trees() {
+        let t = Topology::line(4, 2);
+        let router = TreeRouter::new();
+        router.validate(&t).unwrap();
+        for src in 0..8u32 {
+            for dst in 0..8u32 {
+                if src == dst {
+                    continue;
+                }
+                let legacy = t.route(NodeId::new(src), NodeId::new(dst)).unwrap();
+                let routed = router
+                    .route(&t, NodeId::new(src), NodeId::new(dst))
+                    .unwrap();
+                assert_eq!(routed.links(), legacy.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn tree_router_rejects_cycles_and_disconnection() {
+        let router = TreeRouter::new();
+        assert!(router.validate(&ring4()).is_err());
+        assert!(router
+            .route(&ring4(), NodeId::new(0), NodeId::new(2))
+            .is_err());
+        let mut disconnected = Topology::new();
+        disconnected.add_switch(SwitchId::new(0));
+        disconnected.add_switch(SwitchId::new(1));
+        assert!(router.validate(&disconnected).is_err());
+        // Trees still pass after a rejection (the check is per topology).
+        router.validate(&Topology::line(3, 1)).unwrap();
+    }
+
+    #[test]
+    fn shortest_path_router_accepts_cycles() {
+        let t = ring4();
+        let router = ShortestPathRouter::new();
+        router.validate(&t).unwrap();
+        // sw0 -> sw3 uses the closing trunk: 3 links, not 5.
+        let route = router.route(&t, NodeId::new(0), NodeId::new(3)).unwrap();
+        assert_eq!(route.hops(), 3);
+        assert_eq!(
+            route.links()[1],
+            HopLink::Trunk {
+                from: SwitchId::new(0),
+                to: SwitchId::new(3)
+            }
+        );
+        let mut disconnected = Topology::new();
+        disconnected.add_switch(SwitchId::new(0));
+        disconnected.add_switch(SwitchId::new(1));
+        assert!(router.validate(&disconnected).is_err());
+    }
+
+    #[test]
+    fn routers_report_consistent_errors() {
+        let t = Topology::line(2, 1);
+        let routers: [&dyn Router; 3] = [
+            &TreeRouter::new(),
+            &ShortestPathRouter::new(),
+            &EcmpRouter::new(7),
+        ];
+        for r in routers {
+            assert!(r.route(&t, NodeId::new(0), NodeId::new(0)).is_err());
+            assert!(r.route(&t, NodeId::new(0), NodeId::new(99)).is_err());
+            assert!(r.route(&t, NodeId::new(99), NodeId::new(0)).is_err());
+        }
+    }
+
+    #[test]
+    fn ecmp_is_deterministic_per_seed_and_spreads_over_paths() {
+        let t = ring4();
+        let a = EcmpRouter::new(42);
+        let b = EcmpRouter::new(42);
+        // Equal-cost pair: sw0 -> sw2 has two 2-trunk paths.
+        for (src, dst) in [(0u32, 2u32), (1, 3), (2, 0), (3, 1)] {
+            let ra = a.route(&t, NodeId::new(src), NodeId::new(dst)).unwrap();
+            let rb = b.route(&t, NodeId::new(src), NodeId::new(dst)).unwrap();
+            assert_eq!(ra, rb, "same seed must give the same route");
+            assert_eq!(ra.hops(), 4, "ECMP must still pick a shortest path");
+        }
+        // Over many node pairs on a larger ring, both equal-cost branches
+        // are exercised.
+        let big = Topology::ring(4, 8);
+        let router = EcmpRouter::new(1);
+        let mut via_sw1 = 0u32;
+        let mut via_sw3 = 0u32;
+        for k in 0..8u32 {
+            for j in 0..8u32 {
+                let route = router
+                    .route(&big, NodeId::new(k), NodeId::new(16 + j))
+                    .unwrap();
+                match route.links()[1] {
+                    HopLink::Trunk { to, .. } if to == SwitchId::new(1) => via_sw1 += 1,
+                    HopLink::Trunk { to, .. } if to == SwitchId::new(3) => via_sw3 += 1,
+                    other => panic!("unexpected first trunk {other:?}"),
+                }
+            }
+        }
+        assert!(via_sw1 > 0 && via_sw3 > 0, "ECMP must use both branches");
+    }
+
+    #[test]
+    fn next_hop_cache_reuses_the_table() {
+        let t = Topology::line(5, 1);
+        let router = ShortestPathRouter::new();
+        let first = router.next_hop_table(&t);
+        let second = router.next_hop_table(&t);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "same topology reuses the table"
+        );
+        assert_eq!(first.len(), 5 * 4);
+        // A structurally different topology misses the cache.
+        let other = Topology::line(4, 1);
+        let third = router.next_hop_table(&other);
+        assert!(!Arc::ptr_eq(&first, &third));
+    }
+}

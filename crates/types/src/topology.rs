@@ -3,10 +3,13 @@
 //! The paper analyses a single-switch star and names "networks consisting of
 //! many interconnected switches" as future work.  A [`Topology`] describes
 //! such a network: which switch every end node attaches to and which trunk
-//! links connect the switches.  The switch graph must be a *tree* (checked
-//! when trunks are added), so the path between any two switches is unique —
-//! which keeps routing, the admission analysis and the simulator
-//! deterministic.
+//! links connect the switches.  The switch graph may be an arbitrary
+//! connected *mesh* — trees, rings, redundant trunks are all valid; nothing
+//! in the per-link EDF analysis requires unique paths.  Which path a channel
+//! takes through a mesh is the job of a [`crate::router::Router`]: the
+//! [`crate::router::TreeRouter`] insists on a tree (unique paths, the
+//! pre-mesh behaviour), while the shortest-path and ECMP routers accept any
+//! connected graph.
 //!
 //! The types live here (rather than in the admission-control crate) because
 //! both the analytical side (`rt-core`'s multi-hop admission) and the
@@ -110,13 +113,31 @@ impl Topology {
         }
         for s in 1..switches {
             t.add_trunk(SwitchId::new(s - 1), SwitchId::new(s))
-                .expect("a chain cannot form a cycle");
+                .expect("a chain has no duplicate trunks");
         }
         for s in 0..switches {
             for k in 0..nodes_per_switch {
                 t.attach_node(NodeId::new(s * nodes_per_switch + k), SwitchId::new(s))
                     .expect("fresh node");
             }
+        }
+        t
+    }
+
+    /// A ring of `switches` switches (the line of [`Topology::line`] plus a
+    /// closing trunk between the last and the first switch) with
+    /// `nodes_per_switch` end nodes on each, node ids allocated
+    /// switch-major.  With fewer than three switches the closing trunk would
+    /// duplicate an existing one, so the result degenerates to a line.
+    ///
+    /// A ring is the smallest *cyclic* fabric: every pair of switches is
+    /// connected by two disjoint paths, so it needs a mesh-capable router
+    /// (shortest-path or ECMP) — [`crate::router::TreeRouter`] rejects it.
+    pub fn ring(switches: u32, nodes_per_switch: u32) -> Self {
+        let mut t = Topology::line(switches, nodes_per_switch);
+        if switches >= 3 {
+            t.add_trunk(SwitchId::new(switches - 1), SwitchId::new(0))
+                .expect("the closing trunk of a >=3 ring is fresh");
         }
         t
     }
@@ -139,9 +160,10 @@ impl Topology {
         Ok(())
     }
 
-    /// Connect two switches with a full-duplex trunk link.  Rejects edges
-    /// that would create a cycle (the switch graph must stay a tree) or
-    /// self-loops.
+    /// Connect two switches with a full-duplex trunk link.  Cycles are
+    /// allowed (the switch graph may be any mesh — path selection is a
+    /// [`crate::router::Router`] concern); self-loops, unknown switches and
+    /// duplicate trunks are rejected.
     pub fn add_trunk(&mut self, a: SwitchId, b: SwitchId) -> RtResult<()> {
         if a == b {
             return Err(RtError::Config(
@@ -153,10 +175,8 @@ impl Topology {
                 return Err(RtError::Config(format!("unknown switch {s}")));
             }
         }
-        if self.switch_path(a, b).is_some() {
-            return Err(RtError::Config(format!(
-                "trunk {a} <-> {b} would create a cycle in the switch graph"
-            )));
+        if self.adjacency.get(&a).is_some_and(|nbrs| nbrs.contains(&b)) {
+            return Err(RtError::Config(format!("trunk {a} <-> {b} already exists")));
         }
         self.adjacency.entry(a).or_default().insert(b);
         self.adjacency.entry(b).or_default().insert(a);
@@ -166,6 +186,47 @@ impl Topology {
     /// Number of switches.
     pub fn switch_count(&self) -> usize {
         self.switches.len()
+    }
+
+    /// Number of (undirected) trunk links.
+    pub fn trunk_count(&self) -> usize {
+        self.trunks().count()
+    }
+
+    /// `true` if the switch graph is a *tree*: connected with exactly
+    /// `switch_count − 1` trunks, so the path between any two switches is
+    /// unique.  This is the capability [`crate::router::TreeRouter`] checks.
+    pub fn is_tree(&self) -> bool {
+        if self.switches.is_empty() {
+            return true;
+        }
+        self.is_connected() && self.trunk_count() == self.switches.len() - 1
+    }
+
+    /// A cheap structural fingerprint (FNV-1a over switches, attachments and
+    /// trunks).  Routers key their cached forwarding tables on it, so equal
+    /// fingerprints must mean equal graphs for routing purposes — which they
+    /// do, because the maps iterate in a canonical (sorted) order.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mix = |h: u64, v: u64| (h ^ v).wrapping_mul(PRIME);
+        for s in &self.switches {
+            h = mix(h, 1);
+            h = mix(h, u64::from(s.0));
+        }
+        for (n, s) in &self.attachments {
+            h = mix(h, 2);
+            h = mix(h, u64::from(n.get()));
+            h = mix(h, u64::from(s.0));
+        }
+        for (a, b) in self.trunks() {
+            h = mix(h, 3);
+            h = mix(h, u64::from(a.0));
+            h = mix(h, u64::from(b.0));
+        }
+        h
     }
 
     /// Number of attached end nodes.
@@ -189,6 +250,11 @@ impl Topology {
     /// The switch an end node is attached to.
     pub fn switch_of(&self, node: NodeId) -> Option<SwitchId> {
         self.attachments.get(&node).copied()
+    }
+
+    /// The trunk neighbours of a switch, in ascending id order.
+    pub fn neighbours(&self, switch: SwitchId) -> impl Iterator<Item = SwitchId> + '_ {
+        self.adjacency.get(&switch).into_iter().flatten().copied()
     }
 
     /// The attached end nodes, in ascending id order.
@@ -223,8 +289,10 @@ impl Topology {
         seen.len() == self.switches.len()
     }
 
-    /// The unique switch-to-switch path (inclusive of both endpoints), or
-    /// `None` if the switches are not connected.
+    /// A shortest switch-to-switch path (inclusive of both endpoints), or
+    /// `None` if the switches are not connected.  BFS over the sorted
+    /// adjacency, so the result is deterministic; on a tree it is the unique
+    /// path.
     pub fn switch_path(&self, from: SwitchId, to: SwitchId) -> Option<Vec<SwitchId>> {
         if from == to {
             return Some(vec![from]);
@@ -262,7 +330,11 @@ impl Topology {
     }
 
     /// The directed links an RT channel from `source` to `destination`
-    /// traverses: uplink, trunk hops, downlink.
+    /// traverses along a shortest path: uplink, trunk hops, downlink.
+    ///
+    /// This is the BFS primitive the routers build on; prefer going through
+    /// a [`crate::router::Router`], which adds capability checks, caching
+    /// and (for ECMP) multi-path selection.
     pub fn route(&self, source: NodeId, destination: NodeId) -> RtResult<Vec<HopLink>> {
         if source == destination {
             return Err(RtError::InvalidChannelSpec(
@@ -292,12 +364,15 @@ impl Topology {
 
     /// The next-hop forwarding table of the trunk graph: for every ordered
     /// pair of distinct connected switches `(at, towards)`, the neighbour of
-    /// `at` on the unique path towards `towards`.  Precomputed by the fabric
-    /// simulator so per-frame forwarding is a map lookup.
+    /// `at` on a shortest path towards `towards` (the unique path on a
+    /// tree).  Deterministic: BFS over sorted adjacency.  This is O(V·E);
+    /// routers cache the result per topology fingerprint so the simulator
+    /// does not recompute it per construction — prefer
+    /// [`crate::router::Router::next_hop_table`].
     pub fn next_hop_table(&self) -> BTreeMap<(SwitchId, SwitchId), SwitchId> {
         let mut table = BTreeMap::new();
         for &from in &self.switches {
-            // One BFS per source switch over the tree.
+            // One BFS per source switch.
             let mut predecessor: BTreeMap<SwitchId, SwitchId> = BTreeMap::new();
             let mut seen = BTreeSet::from([from]);
             let mut queue = VecDeque::from([from]);
@@ -351,19 +426,29 @@ mod tests {
         t.add_switch(SwitchId::new(0));
         t.add_switch(SwitchId::new(1));
         t.add_switch(SwitchId::new(2));
+        // Duplicate switch ids are idempotent, not an error.
+        t.add_switch(SwitchId::new(0));
+        assert_eq!(t.switch_count(), 3);
         assert!(t.attach_node(NodeId::new(0), SwitchId::new(9)).is_err());
         t.attach_node(NodeId::new(0), SwitchId::new(0)).unwrap();
+        // A node attached twice is an error.
         assert!(t.attach_node(NodeId::new(0), SwitchId::new(1)).is_err());
         t.add_trunk(SwitchId::new(0), SwitchId::new(1)).unwrap();
         t.add_trunk(SwitchId::new(1), SwitchId::new(2)).unwrap();
-        assert!(t.add_trunk(SwitchId::new(0), SwitchId::new(2)).is_err());
+        assert!(t.is_tree());
+        // A closing trunk is now legal (meshes allowed)...
+        t.add_trunk(SwitchId::new(0), SwitchId::new(2)).unwrap();
+        assert!(!t.is_tree());
+        assert!(t.is_connected());
+        // ...but self-loops, unknown switches and duplicates are not.
         assert!(t.add_trunk(SwitchId::new(0), SwitchId::new(0)).is_err());
         assert!(t.add_trunk(SwitchId::new(0), SwitchId::new(7)).is_err());
+        assert!(t.add_trunk(SwitchId::new(2), SwitchId::new(0)).is_err());
         assert_eq!(t.switch_count(), 3);
         assert_eq!(t.node_count(), 1);
         assert_eq!(t.switch_of(NodeId::new(0)), Some(SwitchId::new(0)));
-        assert!(t.is_connected());
-        assert_eq!(t.trunks().count(), 2);
+        assert_eq!(t.trunks().count(), 3);
+        assert_eq!(t.trunk_count(), 3);
     }
 
     #[test]
@@ -378,9 +463,65 @@ mod tests {
         assert_eq!(line.node_count(), 6);
         assert_eq!(line.switch_of(NodeId::new(5)), Some(SwitchId::new(2)));
         assert!(line.is_connected());
+        assert!(line.is_tree());
         // End-to-end route: uplink + 2 trunks + downlink.
         let route = line.route(NodeId::new(0), NodeId::new(5)).unwrap();
         assert_eq!(route.len(), 4);
+    }
+
+    #[test]
+    fn ring_builder_closes_the_cycle() {
+        let ring = Topology::ring(4, 1);
+        assert_eq!(ring.switch_count(), 4);
+        assert_eq!(ring.trunk_count(), 4);
+        assert!(ring.is_connected());
+        assert!(!ring.is_tree());
+        // The closing trunk makes sw0 -> sw3 a single hop.
+        assert_eq!(
+            ring.switch_path(SwitchId::new(0), SwitchId::new(3)),
+            Some(vec![SwitchId::new(0), SwitchId::new(3)])
+        );
+        // Small rings degenerate to lines (no duplicate trunk).
+        assert_eq!(Topology::ring(2, 1).trunk_count(), 1);
+        assert!(Topology::ring(2, 1).is_tree());
+        assert_eq!(Topology::ring(1, 2).trunk_count(), 0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure() {
+        let a = Topology::line(3, 2);
+        let b = Topology::line(3, 2);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = Topology::line(3, 2);
+        c.add_trunk(SwitchId::new(0), SwitchId::new(2)).unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = Topology::line(3, 2);
+        d.attach_node(NodeId::new(99), SwitchId::new(1)).unwrap();
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn mesh_routes_take_a_shortest_path() {
+        // A ring of 4: node 0 on sw0, node 3 on sw3 — one trunk hop via the
+        // closing edge, not three through the line.
+        let t = Topology::ring(4, 1);
+        let route = t.route(NodeId::new(0), NodeId::new(3)).unwrap();
+        assert_eq!(
+            route,
+            vec![
+                HopLink::Uplink(NodeId::new(0)),
+                HopLink::Trunk {
+                    from: SwitchId::new(0),
+                    to: SwitchId::new(3)
+                },
+                HopLink::Downlink(NodeId::new(3)),
+            ]
+        );
+        // Equal-cost pair (sw0 -> sw2): BFS tie-break is deterministic.
+        let first = t.route(NodeId::new(0), NodeId::new(2)).unwrap();
+        let second = t.route(NodeId::new(0), NodeId::new(2)).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 4);
     }
 
     #[test]

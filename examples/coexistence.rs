@@ -9,11 +9,15 @@
 //!
 //! Run with: `cargo run --example coexistence`
 
-use switched_rt_ethernet::core::{DpsKind, RtChannelSpec, RtNetwork, RtNetworkConfig};
+use switched_rt_ethernet::core::{DpsKind, RtChannelSpec, RtNetwork};
 use switched_rt_ethernet::types::{Duration, NodeId};
 
 fn run(be_frames: u64) -> (u64, u64, u64, Duration) {
-    let mut network = RtNetwork::new(RtNetworkConfig::with_nodes(3, DpsKind::Asymmetric));
+    let mut network = RtNetwork::builder()
+        .star(3)
+        .dps(DpsKind::Asymmetric)
+        .build()
+        .expect("a star always builds");
     let spec = RtChannelSpec::paper_default();
     let tx = network
         .establish_channel(NodeId::new(0), NodeId::new(1), spec)

@@ -16,7 +16,7 @@
 //!
 //! Run with: `cargo run --example factory_automation`
 
-use switched_rt_ethernet::core::{DpsKind, RtChannelSpec, RtNetwork, RtNetworkConfig};
+use switched_rt_ethernet::core::{DpsKind, RtChannelSpec, RtNetwork};
 use switched_rt_ethernet::types::{Duration, NodeId, Slots};
 
 struct ControlLoop {
@@ -28,7 +28,11 @@ struct ControlLoop {
 
 fn main() {
     // Node 0: the controller (master).  Nodes 1..=3: drive, valve, sensor.
-    let mut network = RtNetwork::new(RtNetworkConfig::with_nodes(5, DpsKind::Asymmetric));
+    let mut network = RtNetwork::builder()
+        .star(5)
+        .dps(DpsKind::Asymmetric)
+        .build()
+        .expect("a star always builds");
     let controller = NodeId::new(0);
 
     let loops = [

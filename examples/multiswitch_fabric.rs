@@ -15,17 +15,18 @@
 //!
 //! Run with: `cargo run --example multiswitch_fabric`
 
-use switched_rt_ethernet::core::{MultiHopDps, RtChannelSpec, RtNetwork, RtNetworkConfig};
+use switched_rt_ethernet::core::{MultiHopDps, RtChannelSpec, RtNetwork};
 use switched_rt_ethernet::traffic::FabricScenario;
 use switched_rt_ethernet::types::{Duration, HopLink, SwitchId};
 
 fn main() {
     // 1. The fabric: sw0 -- sw1 -- sw2, nodes 0..12 attached switch-major.
     let fabric = FabricScenario::line(3, 2, 2);
-    let mut network = RtNetwork::new(RtNetworkConfig::with_topology(
-        fabric.topology(),
-        MultiHopDps::Asymmetric,
-    ));
+    let mut network = RtNetwork::builder()
+        .topology(fabric.topology())
+        .multihop_dps(MultiHopDps::Asymmetric)
+        .build()
+        .expect("a line fabric always builds");
     println!(
         "fabric: {} switches in a line, {} end nodes, managing switch {}",
         fabric.switch_count(),
@@ -45,9 +46,8 @@ fn main() {
         {
             Some(tx) => {
                 let hops = network
-                    .fabric_manager()
-                    .expect("fabric network")
-                    .channel(tx.id)
+                    .manager()
+                    .channel_route(tx.id)
                     .expect("channel known")
                     .path
                     .len();

@@ -9,12 +9,16 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use switched_rt_ethernet::core::{DpsKind, RtChannelSpec, RtNetwork, RtNetworkConfig};
+use switched_rt_ethernet::core::{DpsKind, RtChannelSpec, RtNetwork};
 use switched_rt_ethernet::types::{Duration, NodeId};
 
 fn main() {
     // 1. A star network with 4 end nodes, ADPS deadline partitioning.
-    let mut network = RtNetwork::new(RtNetworkConfig::with_nodes(4, DpsKind::Asymmetric));
+    let mut network = RtNetwork::builder()
+        .star(4)
+        .dps(DpsKind::Asymmetric)
+        .build()
+        .expect("a star always builds");
 
     // 2. Ask for an RT channel from node 0 to node 1 with the paper's
     //    traffic contract: 3 maximum-sized frames every 100 slots, to be

@@ -72,8 +72,11 @@ pub mod traffic {
 }
 
 pub use rt_core::{
-    AdmissionController, Adps, DeadlinePartitioningScheme, DpsKind, FabricChannelManager,
-    MultiHopAdmission, MultiHopDps, RtChannel, RtChannelSpec, RtNetwork, RtNetworkConfig, Sdps,
-    SystemState,
+    AdmissionController, Adps, ChannelManager, DeadlinePartitioningScheme, DpsKind,
+    FabricChannelManager, MultiHopAdmission, MultiHopDps, RtChannel, RtChannelSpec, RtNetwork,
+    RtNetworkBuilder, Sdps, SystemState,
 };
-pub use rt_types::{ChannelId, HopLink, LinkId, NodeId, Slots, SwitchId, Topology};
+pub use rt_types::{
+    ChannelId, EcmpRouter, HopLink, LinkId, NodeId, Route, Router, ShortestPathRouter, Slots,
+    SwitchId, Topology, TreeRouter,
+};

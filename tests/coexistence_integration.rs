@@ -2,14 +2,18 @@
 //! best-effort traffic still makes progress (Figure 18.2's two-queue
 //! architecture working end to end).
 
-use switched_rt_ethernet::core::{DpsKind, RtChannelSpec, RtNetwork, RtNetworkConfig};
+use switched_rt_ethernet::core::{DpsKind, RtChannelSpec, RtNetwork};
 use switched_rt_ethernet::netsim::SimConfig;
 use switched_rt_ethernet::traffic::{BackgroundTraffic, PoissonConfig, Scenario};
 use switched_rt_ethernet::types::{Duration, NodeId};
 
 #[test]
 fn rt_deadlines_hold_under_best_effort_overload() {
-    let mut net = RtNetwork::new(RtNetworkConfig::with_nodes(4, DpsKind::Asymmetric));
+    let mut net = RtNetwork::builder()
+        .star(4)
+        .dps(DpsKind::Asymmetric)
+        .build()
+        .unwrap();
     let spec = RtChannelSpec::paper_default();
     let tx = net
         .establish_channel(NodeId::new(0), NodeId::new(1), spec)
@@ -55,11 +59,11 @@ fn poisson_background_traffic_across_the_whole_star() {
     // Several RT channels across different node pairs plus Poisson
     // best-effort traffic between random pairs.
     let scenario = Scenario::new(2, 4);
-    let mut net = RtNetwork::new(RtNetworkConfig {
-        nodes: scenario.nodes(),
-        dps: DpsKind::Asymmetric,
-        ..RtNetworkConfig::with_nodes(scenario.node_count(), DpsKind::Asymmetric)
-    });
+    let mut net = RtNetwork::builder()
+        .nodes(scenario.nodes())
+        .dps(DpsKind::Asymmetric)
+        .build()
+        .unwrap();
     let spec = RtChannelSpec::paper_default();
     let mut channels = Vec::new();
     for i in 0..4u64 {
@@ -102,14 +106,15 @@ fn poisson_background_traffic_across_the_whole_star() {
 fn bounded_best_effort_queues_protect_memory_not_rt_traffic() {
     // A tiny best-effort queue: drops appear quickly, but RT frames are
     // never dropped and never late.
-    let config = RtNetworkConfig {
-        sim: SimConfig {
+    let mut net = RtNetwork::builder()
+        .star(3)
+        .dps(DpsKind::Symmetric)
+        .sim_config(SimConfig {
             be_queue_capacity: Some(4),
             ..SimConfig::default()
-        },
-        ..RtNetworkConfig::with_nodes(3, DpsKind::Symmetric)
-    };
-    let mut net = RtNetwork::new(config);
+        })
+        .build()
+        .unwrap();
     let spec = RtChannelSpec::paper_default();
     let tx = net
         .establish_channel(NodeId::new(0), NodeId::new(1), spec)

@@ -2,17 +2,17 @@
 //! RT channel is delivered within `d_i + T_latency`, measured end to end on
 //! the simulated network (establishment handshake + periodic data traffic).
 
-use switched_rt_ethernet::core::{DpsKind, RtChannelSpec, RtNetwork, RtNetworkConfig};
+use switched_rt_ethernet::core::{DpsKind, RtChannelSpec, RtNetwork};
 use switched_rt_ethernet::traffic::{RequestPattern, Scenario};
 use switched_rt_ethernet::types::{Duration, NodeId, Slots};
 
 fn run_and_validate(dps: DpsKind, channels: u64, messages: u64, spec: RtChannelSpec) {
     let scenario = Scenario::new(4, 12);
-    let mut net = RtNetwork::new(RtNetworkConfig {
-        nodes: scenario.nodes(),
-        dps,
-        ..RtNetworkConfig::with_nodes(scenario.node_count(), dps)
-    });
+    let mut net = RtNetwork::builder()
+        .nodes(scenario.nodes())
+        .dps(dps)
+        .build()
+        .unwrap();
     let requests = RequestPattern::MasterSlaveRoundRobin.generate(&scenario, channels, spec);
     let mut established = Vec::new();
     for r in &requests {
@@ -82,7 +82,11 @@ fn saturated_adps_system_still_meets_every_deadline() {
     // Load one master uplink close to its ADPS capacity and verify the
     // guarantee still holds for every admitted channel.
     let spec = RtChannelSpec::paper_default();
-    let mut net = RtNetwork::new(RtNetworkConfig::with_nodes(14, DpsKind::Asymmetric));
+    let mut net = RtNetwork::builder()
+        .star(14)
+        .dps(DpsKind::Asymmetric)
+        .build()
+        .unwrap();
     let mut established = Vec::new();
     for dst in 1..=13u32 {
         if let Some(tx) = net

@@ -2,12 +2,16 @@
 //! over the simulated switched Ethernet (source RT layer ↔ switch ↔
 //! destination RT layer, every protocol frame actually crossing the wire).
 
-use switched_rt_ethernet::core::{DpsKind, RtChannelSpec, RtNetwork, RtNetworkConfig};
+use switched_rt_ethernet::core::{DpsKind, RtChannelSpec, RtNetwork};
 use switched_rt_ethernet::types::{NodeId, Slots};
 
 #[test]
 fn establishes_channels_between_many_pairs() {
-    let mut net = RtNetwork::new(RtNetworkConfig::with_nodes(8, DpsKind::Asymmetric));
+    let mut net = RtNetwork::builder()
+        .star(8)
+        .dps(DpsKind::Asymmetric)
+        .build()
+        .unwrap();
     let spec = RtChannelSpec::paper_default();
     let mut established = 0;
     for src in 0..4u32 {
@@ -35,10 +39,9 @@ fn establishes_channels_between_many_pairs() {
     // Channel ids handed out over the wire are unique.
     let mut ids: Vec<u16> = net
         .manager()
-        .admission()
-        .state()
-        .channels()
-        .map(|c| c.id.get())
+        .channel_ids()
+        .iter()
+        .map(|c| c.get())
         .collect();
     ids.sort_unstable();
     ids.dedup();
@@ -49,7 +52,11 @@ fn establishes_channels_between_many_pairs() {
 fn switch_rejection_travels_back_to_the_source() {
     // SDPS + paper parameters: the 7th channel from one node must be
     // rejected by the switch and the source must see the rejection.
-    let mut net = RtNetwork::new(RtNetworkConfig::with_nodes(10, DpsKind::Symmetric));
+    let mut net = RtNetwork::builder()
+        .star(10)
+        .dps(DpsKind::Symmetric)
+        .build()
+        .unwrap();
     let spec = RtChannelSpec::paper_default();
     let mut results = Vec::new();
     for dst in 1..=8u32 {
@@ -74,11 +81,12 @@ fn destination_rejection_rolls_back_reserved_capacity() {
     // Destinations that only accept one incoming channel force the switch
     // to roll back the second reservation, freeing the capacity for a third
     // request towards another destination.
-    let config = RtNetworkConfig {
-        max_incoming_channels: Some(1),
-        ..RtNetworkConfig::with_nodes(4, DpsKind::Symmetric)
-    };
-    let mut net = RtNetwork::new(config);
+    let mut net = RtNetwork::builder()
+        .star(4)
+        .dps(DpsKind::Symmetric)
+        .max_incoming_channels(1)
+        .build()
+        .unwrap();
     let spec = RtChannelSpec::paper_default();
 
     assert!(net
@@ -102,7 +110,11 @@ fn destination_rejection_rolls_back_reserved_capacity() {
 
 #[test]
 fn teardown_frees_capacity_end_to_end() {
-    let mut net = RtNetwork::new(RtNetworkConfig::with_nodes(10, DpsKind::Symmetric));
+    let mut net = RtNetwork::builder()
+        .star(10)
+        .dps(DpsKind::Symmetric)
+        .build()
+        .unwrap();
     let spec = RtChannelSpec::paper_default();
     let mut channels = Vec::new();
     for dst in 1..=6u32 {
@@ -129,7 +141,11 @@ fn teardown_frees_capacity_end_to_end() {
 
 #[test]
 fn invalid_specs_are_rejected_without_touching_the_network() {
-    let mut net = RtNetwork::new(RtNetworkConfig::with_nodes(3, DpsKind::Asymmetric));
+    let mut net = RtNetwork::builder()
+        .star(3)
+        .dps(DpsKind::Asymmetric)
+        .build()
+        .unwrap();
     // Deadline shorter than 2C: invalid for a store-and-forward switch.
     let bad = RtChannelSpec {
         period: Slots::new(100),
@@ -147,7 +163,11 @@ fn establishment_handshake_takes_bounded_wire_time() {
     // Each handshake is 4 control frames (request, forwarded request,
     // response, forwarded response), all minimum-size: it must complete in
     // well under a millisecond of simulated time on an idle network.
-    let mut net = RtNetwork::new(RtNetworkConfig::with_nodes(3, DpsKind::Symmetric));
+    let mut net = RtNetwork::builder()
+        .star(3)
+        .dps(DpsKind::Symmetric)
+        .build()
+        .unwrap();
     let spec = RtChannelSpec::paper_default();
     let before = net.now();
     net.establish_channel(NodeId::new(0), NodeId::new(1), spec)

@@ -5,8 +5,8 @@
 //! simulated delivery must meet both its stamped deadline and the per-hop
 //! analytical bound `d_i·slot + T_latency(hops)`.
 
+use switched_rt_ethernet::core::RtNetwork;
 use switched_rt_ethernet::core::{MultiHopAdmission, MultiHopDps, RtChannelSpec};
-use switched_rt_ethernet::core::{RtNetwork, RtNetworkConfig};
 use switched_rt_ethernet::netsim::SimConfig;
 use switched_rt_ethernet::traffic::FabricScenario;
 use switched_rt_ethernet::types::{Duration, HopLink, SwitchId};
@@ -39,10 +39,11 @@ fn admitted_multihop_channels_meet_deadline_and_analytical_bound() {
     );
 
     // The same requests over the wire.
-    let mut net = RtNetwork::new(RtNetworkConfig::with_topology(
-        fabric.topology(),
-        MultiHopDps::Asymmetric,
-    ));
+    let mut net = RtNetwork::builder()
+        .topology(fabric.topology())
+        .multihop_dps(MultiHopDps::Asymmetric)
+        .build()
+        .unwrap();
     let mut established = Vec::new();
     for (r, &expected) in requests.iter().zip(&analytically_accepted) {
         let tx = net
@@ -80,9 +81,8 @@ fn admitted_multihop_channels_meet_deadline_and_analytical_bound() {
     // cross-switch channels.
     for (_, tx) in &established {
         let channel = net
-            .fabric_manager()
-            .expect("fabric network")
-            .channel(tx.id)
+            .manager()
+            .channel_route(tx.id)
             .expect("established channel is known to the manager");
         let hops = channel.path.len();
         assert!(hops >= 3, "cross-switch channels traverse at least 3 links");
@@ -122,10 +122,12 @@ fn admitted_multihop_channels_meet_deadline_and_analytical_bound() {
 fn multihop_traffic_survives_best_effort_cross_traffic_on_the_trunk() {
     let fabric = scenario();
     let spec = RtChannelSpec::paper_default();
-    let mut net = RtNetwork::new(RtNetworkConfig {
-        sim: SimConfig::default(),
-        ..RtNetworkConfig::with_topology(fabric.topology(), MultiHopDps::Asymmetric)
-    });
+    let mut net = RtNetwork::builder()
+        .topology(fabric.topology())
+        .multihop_dps(MultiHopDps::Asymmetric)
+        .sim_config(SimConfig::default())
+        .build()
+        .unwrap();
     // One RT channel across the whole line: sw0 master -> sw2 slave.
     let tx = net
         .establish_channel(fabric.master(0, 0), fabric.slave(2, 0), spec)
