@@ -1,6 +1,11 @@
 //! Micro-bench: event throughput of the discrete-event simulator and
 //! end-to-end cost of the channel-establishment handshake over the wire.
+//!
+//! Always dumps its rows as `BENCH_simulator.json` at the workspace root
+//! (override with `BENCH_SIMULATOR_JSON`) so CI archives the trajectory the
+//! same way it archives `BENCH_fabric.json`.
 
+use rt_bench::report::write_artifact;
 use rt_bench::MicroBench;
 use rt_core::{DpsKind, RtChannelSpec, RtNetwork};
 use rt_frames::rt_data::{DeadlineStamp, RtDataFrame};
@@ -55,4 +60,9 @@ fn main() {
         .unwrap()
     });
     harness.finish("simulator");
+    write_artifact(
+        "BENCH_SIMULATOR_JSON",
+        "BENCH_simulator.json",
+        harness.results(),
+    );
 }

@@ -1,0 +1,175 @@
+//! Benchmark-trajectory gate: compare a fresh `BENCH_fabric.json` (or any
+//! artifact of the same row shape) against the previous run's artifact and
+//! fail on throughput regressions.
+//!
+//! Rows are matched by `(fabric, scheduler)` (falling back to `fabric`, then
+//! `name`, when a key is absent) and compared on `events_per_second`.  A row
+//! whose throughput drops by more than the threshold (default 20 %) fails
+//! the run; new rows (no baseline counterpart) and removed rows only warn.
+//! A missing baseline file is not an error — the first run of a trajectory
+//! has nothing to compare against.
+//!
+//! Usage: `cargo run -p rt-bench --bin bench_diff -- <baseline.json>
+//! <current.json> [threshold]`, threshold as a fraction (e.g. `0.2`).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use rt_bench::report::{parse_json, JsonValue, Table};
+
+/// The comparison key of one row: whatever identity fields it carries.
+fn row_key(row: &JsonValue) -> String {
+    let fabric = row
+        .get("fabric")
+        .or_else(|| row.get("name"))
+        .and_then(|v| v.as_str())
+        .unwrap_or("?");
+    match row.get("scheduler").and_then(|v| v.as_str()) {
+        Some(scheduler) => format!("{fabric}/{scheduler}"),
+        None => fabric.to_string(),
+    }
+}
+
+/// Extract `key → events_per_second` from a parsed artifact (an array of
+/// row objects).
+fn throughputs(doc: &JsonValue) -> Result<BTreeMap<String, f64>, String> {
+    let rows = doc
+        .as_array()
+        .ok_or_else(|| "expected a top-level JSON array of rows".to_string())?;
+    let mut out = BTreeMap::new();
+    for row in rows {
+        if let Some(eps) = row.get("events_per_second").and_then(|v| v.as_f64()) {
+            out.insert(row_key(row), eps);
+        }
+    }
+    if out.is_empty() {
+        return Err("no rows with an events_per_second field".into());
+    }
+    Ok(out)
+}
+
+fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    throughputs(&parse_json(&text).map_err(|e| format!("parse {path}: {e}"))?)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(baseline_path), Some(current_path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: bench_diff <baseline.json> <current.json> [threshold]");
+        return ExitCode::from(2);
+    };
+    let threshold: f64 = args
+        .get(2)
+        .map(|t| t.parse().expect("threshold must be a number"))
+        .unwrap_or(0.20);
+
+    if !std::path::Path::new(baseline_path).exists() {
+        println!(
+            "no baseline at {baseline_path}: nothing to compare (first run of the trajectory)"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let baseline = match load(baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            // A corrupt baseline must not wedge the pipeline forever.
+            eprintln!("warning: unusable baseline ({e}); skipping comparison");
+            return ExitCode::SUCCESS;
+        }
+    };
+    let current = match load(current_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: unusable current artifact ({e})");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut table = Table::new(&["benchmark", "baseline ev/s", "current ev/s", "change"]);
+    let mut regressions = Vec::new();
+    for (key, &now) in &current {
+        match baseline.get(key) {
+            Some(&before) if before > 0.0 => {
+                let change = now / before - 1.0;
+                table.row_strings(vec![
+                    key.clone(),
+                    format!("{before:.0}"),
+                    format!("{now:.0}"),
+                    format!("{:+.1}%", change * 100.0),
+                ]);
+                if change < -threshold {
+                    regressions.push((key.clone(), change));
+                }
+            }
+            _ => {
+                table.row_strings(vec![
+                    key.clone(),
+                    "(new)".into(),
+                    format!("{now:.0}"),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    for key in baseline.keys() {
+        if !current.contains_key(key) {
+            println!("note: baseline row '{key}' has no current counterpart");
+        }
+    }
+    table.print();
+
+    if regressions.is_empty() {
+        println!(
+            "\nno regression beyond {:.0}% against {baseline_path}",
+            threshold * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        for (key, change) in &regressions {
+            eprintln!(
+                "REGRESSION: {key} dropped {:.1}% (> {:.0}% threshold)",
+                -change * 100.0,
+                threshold * 100.0
+            );
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rows: &[(&str, &str, f64)]) -> JsonValue {
+        JsonValue::Array(
+            rows.iter()
+                .map(|(fabric, scheduler, eps)| {
+                    let mut m = BTreeMap::new();
+                    m.insert("fabric".into(), JsonValue::String(fabric.to_string()));
+                    m.insert("scheduler".into(), JsonValue::String(scheduler.to_string()));
+                    m.insert("events_per_second".into(), JsonValue::Number(*eps));
+                    JsonValue::Object(m)
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn keys_combine_fabric_and_scheduler() {
+        let t = throughputs(&doc(&[("star", "heap", 1e6), ("star", "calendar", 2e6)])).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t["star/heap"], 1e6);
+        assert_eq!(t["star/calendar"], 2e6);
+    }
+
+    #[test]
+    fn rows_without_throughput_are_skipped() {
+        let mut m = BTreeMap::new();
+        m.insert("name".into(), JsonValue::String("x".into()));
+        let only_named = JsonValue::Array(vec![JsonValue::Object(m)]);
+        assert!(throughputs(&only_named).is_err());
+        assert!(throughputs(&JsonValue::Array(vec![])).is_err());
+        assert!(throughputs(&JsonValue::Null).is_err());
+    }
+}

@@ -25,13 +25,25 @@
 //! middle-trunk bottleneck, so the mesh admits more channels; every admitted
 //! channel is again validated on the wire against its hop-aware bound.
 //!
-//! Usage: `cargo run -p rt-bench --bin multiswitch [results.json]`
+//! **Part 3 — event scheduler A/B.**  The part-2 ring run (establishment
+//! handshakes + periodic traffic + bound validation) repeated under the
+//! `HeapScheduler` and the `CalendarScheduler`: outcomes must be identical
+//! (the scheduler may never change what happens on the wire, only how fast
+//! the simulation computes it) and the per-scheduler events/s lands in the
+//! JSON artifact next to the fabric baseline's rows.
+//!
+//! Usage: `cargo run -p rt-bench --bin multiswitch [results.json]`.  The
+//! results are additionally always written to `BENCH_multiswitch.json` at
+//! the workspace root (override with `BENCH_MULTISWITCH_JSON`) so CI can
+//! archive the trajectory like the fabric baseline.
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use rt_bench::report::{json_object, maybe_write_json_from_args, Table, ToJson};
+use rt_bench::report::{json_object, maybe_write_json_from_args, write_artifact, Table, ToJson};
 use rt_core::multihop::{HopLink, MultiHopAdmission, MultiHopDps, SwitchId, Topology};
 use rt_core::{RtChannelSpec, RtNetwork};
+use rt_netsim::SchedulerKind;
 use rt_traffic::FabricScenario;
 use rt_types::{Duration, NodeId, Router, ShortestPathRouter, TreeRouter};
 
@@ -82,6 +94,8 @@ struct WireOutcome {
     misses: u64,
     worst_latency_ns: u64,
     worst_bound_ns: u64,
+    /// Simulation events processed (for the scheduler A/B of part 3).
+    events: u64,
 }
 
 #[derive(Debug)]
@@ -110,11 +124,33 @@ impl ToJson for MeshRow {
     }
 }
 
+/// One scheduler's wall-clock numbers for the identical ring workload.
+#[derive(Debug)]
+struct SchedulerRow {
+    scheduler: &'static str,
+    events: u64,
+    elapsed_ns: u64,
+    events_per_second: f64,
+}
+
+impl ToJson for SchedulerRow {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("fabric", "multiswitch_ring".to_json()),
+            ("scheduler", self.scheduler.to_json()),
+            ("events", self.events.to_json()),
+            ("elapsed_ns", self.elapsed_ns.to_json()),
+            ("events_per_second", self.events_per_second.to_json()),
+        ])
+    }
+}
+
 /// The whole experiment, for the JSON dump.
 #[derive(Debug)]
 struct Results {
     dumbbell: Vec<MultiSwitchRow>,
     mesh: Vec<MeshRow>,
+    schedulers: Vec<SchedulerRow>,
 }
 
 impl ToJson for Results {
@@ -122,6 +158,7 @@ impl ToJson for Results {
         json_object(&[
             ("dumbbell", self.dumbbell.to_json()),
             ("mesh_vs_tree", self.mesh.to_json()),
+            ("scheduler_comparison", self.schedulers.to_json()),
         ])
     }
 }
@@ -197,6 +234,7 @@ fn drive_on_the_wire(
         established: established.len() as u64,
         frames: stats.rt_delivered,
         misses: stats.total_deadline_misses,
+        events: net.simulator().events_processed(),
         ..WireOutcome::default()
     };
     for (_, tx) in &established {
@@ -385,12 +423,73 @@ fn part2_mesh(messages: u64) -> Vec<MeshRow> {
     rows
 }
 
+/// Part 3: the identical ring workload under both event schedulers —
+/// outcomes must match exactly, only the wall clock may differ.
+fn part3_schedulers(messages: u64) -> Vec<SchedulerRow> {
+    let ring = FabricScenario::ring(4, 2, 2);
+    let spec = RtChannelSpec::paper_default();
+    let requests: Vec<(NodeId, NodeId)> = ring
+        .cross_switch_requests(32, spec)
+        .iter()
+        .map(|r| (r.source, r.destination))
+        .collect();
+    println!("\nPart 3 — event scheduler A/B (ring fabric, identical workload)");
+    let mut rows = Vec::new();
+    let mut reference: Option<(u64, u64, u64, u64, u64)> = None;
+    for scheduler in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+        let net = RtNetwork::builder()
+            .topology(ring.topology())
+            .router(ShortestPathRouter::new())
+            .scheduler(scheduler)
+            .multihop_dps(MultiHopDps::Asymmetric)
+            .build()
+            .expect("the ring builds under shortest-path routing");
+        let start = Instant::now();
+        let wire = drive_on_the_wire(net, &requests, messages);
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        let signature = (
+            wire.established,
+            wire.frames,
+            wire.misses,
+            wire.worst_latency_ns,
+            wire.events,
+        );
+        match reference {
+            None => reference = Some(signature),
+            Some(expected) => assert_eq!(
+                signature, expected,
+                "schedulers must produce identical wire-level outcomes"
+            ),
+        }
+        let events_per_second = wire.events as f64 / (elapsed_ns as f64 / 1e9);
+        println!(
+            "  {:<8} {:>7} events in {:>6.1} ms -> {:>5.2} M events/s (outcomes identical)",
+            scheduler.name(),
+            wire.events,
+            elapsed_ns as f64 / 1e6,
+            events_per_second / 1e6,
+        );
+        rows.push(SchedulerRow {
+            scheduler: scheduler.name(),
+            events: wire.events,
+            elapsed_ns,
+            events_per_second,
+        });
+    }
+    rows
+}
+
 fn main() {
     let messages = 10u64;
     let dumbbell_rows = part1_dumbbell(10, 50, messages);
     let mesh_rows = part2_mesh(messages);
-    maybe_write_json_from_args(&Results {
+    let scheduler_rows = part3_schedulers(messages);
+    let results = Results {
         dumbbell: dumbbell_rows,
         mesh: mesh_rows,
-    });
+        schedulers: scheduler_rows,
+    };
+    println!();
+    write_artifact("BENCH_MULTISWITCH_JSON", "BENCH_multiswitch.json", &results);
+    maybe_write_json_from_args(&results);
 }

@@ -198,6 +198,14 @@ impl RtNetworkBuilder {
         self
     }
 
+    /// Shorthand: pick the event scheduler the simulator runs on — the
+    /// calendar queue by default, [`rt_netsim::SchedulerKind::Heap`] for the
+    /// bit-exact reference.
+    pub fn scheduler(mut self, scheduler: rt_netsim::SchedulerKind) -> Self {
+        self.sim.scheduler = scheduler;
+        self
+    }
+
     /// The path-selection policy.  Defaults to [`ShortestPathRouter`]
     /// (identical to the historical tree routing on trees and stars; picks
     /// shortest paths on meshes).  Use [`rt_types::TreeRouter`] to *enforce*
@@ -923,6 +931,49 @@ mod tests {
     fn builder_requires_a_fabric_shape() {
         assert!(RtNetwork::builder().build().is_err());
         assert!(RtNetwork::builder().star(0).build().is_ok());
+    }
+
+    #[test]
+    fn builder_wires_the_scheduler_through() {
+        use rt_netsim::SchedulerKind;
+        let heap = RtNetwork::builder()
+            .star(2)
+            .scheduler(SchedulerKind::Heap)
+            .build()
+            .unwrap();
+        assert_eq!(heap.simulator().scheduler_kind(), SchedulerKind::Heap);
+        let default = RtNetwork::builder().star(2).build().unwrap();
+        assert_eq!(
+            default.simulator().scheduler_kind(),
+            SchedulerKind::default()
+        );
+    }
+
+    #[test]
+    fn schedulers_agree_on_an_established_channel_run() {
+        use rt_netsim::SchedulerKind;
+        let drive = |scheduler: SchedulerKind| {
+            let mut net = RtNetwork::builder()
+                .topology(Topology::ring(4, 2))
+                .scheduler(scheduler)
+                .multihop_dps(MultiHopDps::Asymmetric)
+                .build()
+                .unwrap();
+            let spec = RtChannelSpec::paper_default();
+            let tx = net
+                .establish_channel(NodeId::new(0), NodeId::new(7), spec)
+                .unwrap()
+                .expect("empty ring accepts the channel");
+            let start = net.now() + Duration::from_millis(1);
+            net.send_periodic(NodeId::new(0), tx.id, 10, 900, start)
+                .unwrap();
+            net.run_to_completion().unwrap();
+            net.received_messages()
+                .iter()
+                .map(|m| (m.receiver, m.delivered_at))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(drive(SchedulerKind::Heap), drive(SchedulerKind::Calendar));
     }
 
     #[test]

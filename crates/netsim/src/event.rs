@@ -1,9 +1,14 @@
 //! The discrete-event core: a time-ordered event queue with deterministic
-//! tie-breaking.
+//! tie-breaking, behind a pluggable [`EventScheduler`].
 //!
 //! Determinism matters: the experiments must be exactly reproducible from a
 //! seed, so events scheduled for the same instant are processed in the order
-//! they were scheduled (FIFO), never in heap order.
+//! they were scheduled (FIFO), never in heap or bucket order.  Every
+//! scheduler implementation must honour the total order `(time, seq)`; the
+//! [`HeapScheduler`] is the straightforward reference, the
+//! [`CalendarScheduler`] is the O(1)-amortised structure the fabric runs on
+//! at scale, and a test suite asserts they produce byte-for-byte identical
+//! delivery sequences.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -97,19 +102,627 @@ impl PartialOrd for ScheduledEvent {
     }
 }
 
-/// A time-ordered event queue with FIFO tie-breaking and a monotone clock.
+/// Which [`EventScheduler`] an [`EventQueue`] (and hence a simulator) runs
+/// on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// The binary-heap reference scheduler: O(log n) per operation, exact
+    /// and simple.
+    Heap,
+    /// The calendar-queue scheduler: O(1) amortised per operation at any
+    /// pending-event population, identical `(time, seq)` ordering.  The
+    /// default.
+    #[default]
+    Calendar,
+}
+
+impl SchedulerKind {
+    /// A short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Heap => "heap",
+            SchedulerKind::Calendar => "calendar",
+        }
+    }
+}
+
+/// The pending-event store of the simulation: a priority queue over the
+/// total order `(time, seq)` — earliest time first, FIFO (ascending `seq`)
+/// among equal times.
+///
+/// Implementations must be exact: `pop` always returns the global minimum,
+/// never an approximation, so that every scheduler yields the identical
+/// event sequence for identical inputs.
+pub trait EventScheduler: std::fmt::Debug {
+    /// Insert an event.  `seq` values arrive strictly increasing, and
+    /// `time` is never earlier than the time of the last popped event.
+    fn push(&mut self, time: SimTime, seq: u64, event: Event);
+
+    /// Remove and return the `(time, seq)`-minimal event.
+    fn pop(&mut self) -> Option<(SimTime, Event)>;
+
+    /// Remove and return the minimal event only if its time is at or
+    /// before `limit`.  Semantically `peek_time() <= limit` then `pop()`,
+    /// but implementations whose peek is not O(1) override it to run the
+    /// min search once (the windowed `run_until` path calls this per
+    /// event).
+    fn pop_at_or_before(&mut self, limit: SimTime) -> Option<(SimTime, Event)> {
+        if self.peek_time()? <= limit {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// The time of the minimal event without removing it.
+    fn peek_time(&self) -> Option<SimTime>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// `true` if no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The scheduler's [`SchedulerKind`].
+    fn kind(&self) -> SchedulerKind;
+}
+
+/// The reference scheduler: a plain binary heap.  O(log n) per operation
+/// and increasingly cache-hostile as the pending population grows, but
+/// trivially correct — the [`CalendarScheduler`] is validated against it.
 #[derive(Debug, Default)]
-pub struct EventQueue {
+pub struct HeapScheduler {
     heap: BinaryHeap<ScheduledEvent>,
+}
+
+impl HeapScheduler {
+    /// An empty heap scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EventScheduler for HeapScheduler {
+    fn push(&mut self, time: SimTime, seq: u64, event: Event) {
+        self.heap.push(ScheduledEvent { time, seq, event });
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Heap
+    }
+}
+
+/// One slab slot of the calendar queue: a pending event plus an intrusive
+/// link (`next` chains slots within a bucket, within the overflow list, or
+/// within the free list).
+#[derive(Debug)]
+struct CalendarSlot {
+    time: u64,
+    seq: u64,
+    next: u32,
+    event: Event,
+}
+
+/// "No slot" sentinel for the intrusive links.
+const NIL: u32 = u32::MAX;
+
+/// A placeholder event for vacated slots (never observable outside).
+fn placeholder_event() -> Event {
+    Event::EnqueueAtNode {
+        node: NodeId::new(0),
+        frame: FrameId::new(0),
+    }
+}
+
+/// A Brown-style calendar queue: an array of time buckets of self-resizing
+/// width, unordered within a bucket (the pop selects the `(time, seq)`
+/// minimum, which preserves FIFO exactly), with a lazily sorted overflow
+/// list for events beyond the current bucket "year".
+///
+/// ## Layout
+///
+/// The pending set lives in one contiguous **slab** of [`CalendarSlot`]s
+/// with intrusive `next` links; a bucket is a 4-byte head index into the
+/// slab, and vacated slots go on a free list for reuse.  This keeps the
+/// bucket array small enough to stay cache-resident at six-figure pending
+/// populations and makes push/pop allocation-free in steady state — the
+/// naive `Vec<Vec<Entry>>` layout measurably slowed the *rest* of the
+/// simulator down by evicting its hot state from cache.
+///
+/// ## Behaviour
+///
+/// * An event with time `t` in the current year lands in bucket
+///   `(t >> width_shift) & bucket_mask`; later years go to the `overflow`
+///   list.
+/// * `pop` advances a cursor over the buckets of the current year; because
+///   bucket index is monotone in time within a year, the first non-empty
+///   bucket at or after the cursor holds the global minimum.
+/// * When the year drains, the earliest year present in the overflow is
+///   migrated into the buckets ("lazily sorted": the overflow is scanned,
+///   never kept ordered).
+/// * When the pending population outgrows (or far undershoots) the bucket
+///   count, the queue resizes: the bucket count tracks the population and
+///   the bucket width is re-estimated from the observed event spacing, so
+///   the average bucket holds O(1) events.
+///
+/// All decisions are functions of queue content only — no wall clock, no
+/// randomness — so the structure is exactly deterministic.
+///
+/// ## Known degenerate case
+///
+/// A bucket's entries are unordered, so a *huge* population of events at
+/// the **exact same nanosecond** collapses into one bucket whose min scan
+/// is linear — draining `n` same-instant events costs O(n²) comparisons
+/// (resizing cannot split them: they hash to one bucket at any width).
+/// Simulation workloads schedule at distinct times at nanosecond
+/// resolution, so this does not arise in practice; a trace that really
+/// floods one instant should run on the [`HeapScheduler`] reference, which
+/// is O(log n) regardless of time distribution.
+#[derive(Debug)]
+pub struct CalendarScheduler {
+    /// Slot storage; `buckets`, `overflow_head` and `free_head` index into
+    /// this.
+    slab: Vec<CalendarSlot>,
+    /// Head slot of each bucket (`NIL` = empty).
+    buckets: Vec<u32>,
+    /// Head of the free-slot list.
+    free_head: u32,
+    /// Head of the (unsorted) overflow list: events in years after
+    /// `current_year`.
+    overflow_head: u32,
+    /// Events on the overflow list.
+    overflow_len: usize,
+    /// log2 of the bucket width in nanoseconds.
+    width_shift: u32,
+    /// `buckets.len() - 1` (the bucket count is a power of two).
+    bucket_mask: u64,
+    /// The year currently spread over `buckets` (`time >> year_shift`).
+    current_year: u64,
+    /// Next bucket index to examine in the current year.
+    cursor: usize,
+    /// Events currently stored in buckets (all in `current_year`).
+    in_buckets: usize,
+    /// Time of the last popped event: the lower bound the
+    /// [`EventScheduler`] contract guarantees for every future push.  The
+    /// resize anchor — `current_year` may never advance past this year, or
+    /// a later legal push at a nearer time would be misfiled.
+    floor: u64,
+    /// Resizes performed (exposed for tests and diagnostics).
+    resizes: u64,
+}
+
+/// Initial and minimal number of buckets.
+const MIN_BUCKETS: usize = 16;
+/// Hard cap on the bucket count (2^20 head indices = 4 MiB).
+const MAX_BUCKETS: usize = 1 << 20;
+/// Initial bucket width: 2^13 ns ≈ 8.2 µs, about one small-frame slot.
+const INITIAL_WIDTH_SHIFT: u32 = 13;
+/// Events per bucket the resize aims for.  A handful keeps the bucket
+/// array (the randomly-accessed part) several times smaller than the
+/// pending set while the in-bucket min scan stays a short walk over
+/// adjacent slab slots.
+const TARGET_OCCUPANCY: usize = 1;
+
+impl Default for CalendarScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CalendarScheduler {
+    /// An empty calendar queue with the initial geometry.
+    pub fn new() -> Self {
+        CalendarScheduler {
+            slab: Vec::new(),
+            buckets: vec![NIL; MIN_BUCKETS],
+            free_head: NIL,
+            overflow_head: NIL,
+            overflow_len: 0,
+            width_shift: INITIAL_WIDTH_SHIFT,
+            bucket_mask: (MIN_BUCKETS - 1) as u64,
+            current_year: 0,
+            cursor: 0,
+            in_buckets: 0,
+            floor: 0,
+            resizes: 0,
+        }
+    }
+
+    /// Number of resizes performed so far (test hook).
+    pub fn resizes(&self) -> u64 {
+        self.resizes
+    }
+
+    /// Current bucket count (test hook).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Events currently parked in the overflow list (test hook).
+    pub fn overflow_len(&self) -> usize {
+        self.overflow_len
+    }
+
+    #[inline]
+    fn year_shift(&self) -> u32 {
+        self.width_shift + self.buckets.len().trailing_zeros()
+    }
+
+    #[inline]
+    fn year_of(&self, time: u64) -> u64 {
+        time >> self.year_shift()
+    }
+
+    #[inline]
+    fn bucket_of(&self, time: u64) -> usize {
+        ((time >> self.width_shift) & self.bucket_mask) as usize
+    }
+
+    /// Take a slot off the free list (or grow the slab) and fill it.
+    fn alloc_slot(&mut self, time: u64, seq: u64, event: Event) -> u32 {
+        if self.free_head != NIL {
+            let slot = self.free_head;
+            let s = &mut self.slab[slot as usize];
+            self.free_head = s.next;
+            s.time = time;
+            s.seq = seq;
+            s.event = event;
+            slot
+        } else {
+            let slot = self.slab.len() as u32;
+            self.slab.push(CalendarSlot {
+                time,
+                seq,
+                next: NIL,
+                event,
+            });
+            slot
+        }
+    }
+
+    /// Return a slot to the free list and move its event out.
+    fn release_slot(&mut self, slot: u32) -> (u64, Event) {
+        let s = &mut self.slab[slot as usize];
+        let time = s.time;
+        let event = std::mem::replace(&mut s.event, placeholder_event());
+        s.next = self.free_head;
+        self.free_head = slot;
+        (time, event)
+    }
+
+    /// Link an (already filled) slot into its home: a current-year bucket
+    /// or the overflow list.
+    fn link(&mut self, slot: u32) {
+        let time = self.slab[slot as usize].time;
+        if self.year_of(time) == self.current_year {
+            let bucket = self.bucket_of(time);
+            self.slab[slot as usize].next = self.buckets[bucket];
+            self.buckets[bucket] = slot;
+            self.in_buckets += 1;
+            // Never skip an event inserted behind the scan position.
+            if bucket < self.cursor {
+                self.cursor = bucket;
+            }
+        } else {
+            debug_assert!(
+                self.year_of(time) > self.current_year,
+                "insert into a past year: {} < {}",
+                self.year_of(time),
+                self.current_year
+            );
+            self.slab[slot as usize].next = self.overflow_head;
+            self.overflow_head = slot;
+            self.overflow_len += 1;
+        }
+    }
+
+    /// Move the earliest overflow year into the buckets.  Called when the
+    /// current year has drained.
+    fn migrate_next_year(&mut self) {
+        debug_assert_eq!(self.in_buckets, 0);
+        if self.overflow_head == NIL {
+            return;
+        }
+        let mut min_year = u64::MAX;
+        let mut walk = self.overflow_head;
+        while walk != NIL {
+            let s = &self.slab[walk as usize];
+            min_year = min_year.min(self.year_of(s.time));
+            walk = s.next;
+        }
+        self.current_year = min_year;
+        self.cursor = 0;
+        // Detach the whole list, re-link every slot: this-year slots land
+        // in buckets, the rest re-forms the overflow list.
+        let mut walk = std::mem::replace(&mut self.overflow_head, NIL);
+        self.overflow_len = 0;
+        while walk != NIL {
+            let next = self.slab[walk as usize].next;
+            self.link(walk);
+            walk = next;
+        }
+    }
+
+    /// Collect every live slot index (buckets + overflow).
+    fn live_slots(&self) -> Vec<u32> {
+        let mut slots = Vec::with_capacity(self.len());
+        for &head in &self.buckets {
+            let mut walk = head;
+            while walk != NIL {
+                slots.push(walk);
+                walk = self.slab[walk as usize].next;
+            }
+        }
+        let mut walk = self.overflow_head;
+        while walk != NIL {
+            slots.push(walk);
+            walk = self.slab[walk as usize].next;
+        }
+        slots
+    }
+
+    /// Grow or shrink so the population fits the bucket count, and
+    /// re-estimate the bucket width from the observed event spacing.
+    fn resize(&mut self) {
+        let total = self.len();
+        let target_buckets = (total / TARGET_OCCUPANCY)
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
+
+        let slots = self.live_slots();
+
+        // Estimate the typical spacing between consecutive events from the
+        // spread of the nearest ~64 pending times: the k-th smallest time
+        // minus the smallest, divided by k.  This tracks the local event
+        // density and ignores far-future outliers.
+        let mut times: Vec<u64> = slots.iter().map(|&s| self.slab[s as usize].time).collect();
+        let new_width_shift = if times.len() >= 2 {
+            let k = (times.len() - 1).min(64);
+            let (_, kth, _) = times.select_nth_unstable(k);
+            let kth = *kth;
+            let min = *times[..k].iter().min().unwrap_or(&kth).min(&kth);
+            let gap = (kth - min) / k as u64;
+            if gap == 0 {
+                // Degenerate (many simultaneous events): keep the width.
+                self.width_shift
+            } else {
+                // Width ≈ TARGET_OCCUPANCY × typical gap.
+                let width = gap.saturating_mul(TARGET_OCCUPANCY as u64);
+                (64 - width.leading_zeros()).clamp(4, 40)
+            }
+        } else {
+            self.width_shift
+        };
+
+        if target_buckets == self.buckets.len() && new_width_shift == self.width_shift {
+            return;
+        }
+
+        // Re-seat under the new geometry: only links move, the slab stays.
+        self.buckets = vec![NIL; target_buckets];
+        self.bucket_mask = (target_buckets - 1) as u64;
+        self.width_shift = new_width_shift;
+        self.overflow_head = NIL;
+        self.overflow_len = 0;
+        self.in_buckets = 0;
+        self.cursor = 0;
+        // Anchor the new year at the push floor, NOT at the earliest
+        // pending event: a future push may legally carry any time >= floor,
+        // and anchoring past it would misfile that push into a "past year".
+        // If everything pending is far in the future the buckets simply
+        // stay empty until pop migrates — correctness over a one-off scan.
+        self.current_year = self.year_of(self.floor);
+        self.resizes += 1;
+        for slot in slots {
+            self.link(slot);
+        }
+    }
+
+    /// `(slot, predecessor)` of the minimal entry, or `None` when the
+    /// buckets are empty (`predecessor == NIL` means the bucket head).
+    fn find_min(&self) -> Option<(u32, u32, usize)> {
+        if self.in_buckets == 0 {
+            return None;
+        }
+        let mut cursor = self.cursor;
+        while self.buckets[cursor] == NIL {
+            cursor += 1;
+            debug_assert!(cursor < self.buckets.len(), "in_buckets out of sync");
+        }
+        let mut best = self.buckets[cursor];
+        let mut best_prev = NIL;
+        let mut prev = best;
+        let mut walk = self.slab[best as usize].next;
+        while walk != NIL {
+            let s = &self.slab[walk as usize];
+            let b = &self.slab[best as usize];
+            if (s.time, s.seq) < (b.time, b.seq) {
+                best = walk;
+                best_prev = prev;
+            }
+            prev = walk;
+            walk = s.next;
+        }
+        Some((best, best_prev, cursor))
+    }
+
+    /// The earliest time on the overflow list (linear scan; the overflow
+    /// is lazily sorted).
+    fn overflow_min_time(&self) -> Option<u64> {
+        let mut min: Option<u64> = None;
+        let mut walk = self.overflow_head;
+        while walk != NIL {
+            let s = &self.slab[walk as usize];
+            min = Some(min.map_or(s.time, |m| m.min(s.time)));
+            walk = s.next;
+        }
+        min
+    }
+
+    /// Make sure the buckets hold the global minimum, migrating the next
+    /// overflow year in when the current year has drained.  Returns `false`
+    /// when the queue is empty.  **Callers must pop immediately after a
+    /// migration** — the migrated year runs ahead of the push floor until
+    /// the pop re-aligns it.
+    fn bring_min_into_buckets(&mut self) -> bool {
+        if self.in_buckets > 0 {
+            return true;
+        }
+        if self.overflow_head == NIL {
+            return false;
+        }
+        self.migrate_next_year();
+        // A migrated year may hold far more events than the buckets were
+        // sized for.  The resize re-anchors at the (older) floor, which can
+        // push the migrated year back to overflow — migrate again under the
+        // new geometry in that case.
+        if self.in_buckets > 2 * TARGET_OCCUPANCY * self.buckets.len()
+            && self.buckets.len() < MAX_BUCKETS
+        {
+            self.resize();
+            if self.in_buckets == 0 {
+                self.migrate_next_year();
+            }
+        }
+        true
+    }
+
+    /// Unlink and release the minimal slot located by
+    /// [`CalendarScheduler::find_min`], advancing the push floor.
+    fn take(&mut self, slot: u32, prev: u32, bucket: usize) -> (SimTime, Event) {
+        let next = self.slab[slot as usize].next;
+        if prev == NIL {
+            self.buckets[bucket] = next;
+        } else {
+            self.slab[prev as usize].next = next;
+        }
+        self.in_buckets -= 1;
+        let (time, event) = self.release_slot(slot);
+        // The popped minimum is the new lower bound for future pushes.
+        self.floor = time;
+        if self.len() * 8 < self.buckets.len() && self.buckets.len() > MIN_BUCKETS {
+            self.resize();
+        }
+        (SimTime::from_nanos(time), event)
+    }
+}
+
+impl EventScheduler for CalendarScheduler {
+    fn push(&mut self, time: SimTime, seq: u64, event: Event) {
+        let slot = self.alloc_slot(time.as_nanos(), seq, event);
+        self.link(slot);
+        if self.len() > 2 * TARGET_OCCUPANCY * self.buckets.len()
+            && self.buckets.len() < MAX_BUCKETS
+        {
+            self.resize();
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, Event)> {
+        if !self.bring_min_into_buckets() {
+            return None;
+        }
+        let (slot, prev, bucket) = self.find_min().expect("buckets hold the minimum");
+        self.cursor = bucket;
+        Some(self.take(slot, prev, bucket))
+    }
+
+    fn pop_at_or_before(&mut self, limit: SimTime) -> Option<(SimTime, Event)> {
+        // One min search per call (a peek-then-pop pair would run it
+        // twice); committing the cursor even on a refusal keeps repeated
+        // window probes from rescanning the same empty buckets.
+        if self.in_buckets == 0 {
+            // Migrating advances `current_year`, which is only safe when a
+            // pop follows immediately (it re-establishes the floor/year
+            // invariant) — so refuse far-future overflow *before*
+            // migrating, or a later near-time push would be misfiled into
+            // a "past year".
+            match self.overflow_min_time() {
+                Some(min) if min <= limit.as_nanos() => {
+                    let migrated = self.bring_min_into_buckets();
+                    debug_assert!(migrated, "overflow was non-empty");
+                }
+                _ => return None,
+            }
+        }
+        let (slot, prev, bucket) = self.find_min().expect("buckets hold the minimum");
+        self.cursor = bucket;
+        if self.slab[slot as usize].time > limit.as_nanos() {
+            return None;
+        }
+        Some(self.take(slot, prev, bucket))
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        if let Some((slot, _, _)) = self.find_min() {
+            return Some(SimTime::from_nanos(self.slab[slot as usize].time));
+        }
+        // Buckets drained: the minimum lives in the overflow list.
+        self.overflow_min_time().map(SimTime::from_nanos)
+    }
+
+    fn len(&self) -> usize {
+        self.in_buckets + self.overflow_len
+    }
+
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Calendar
+    }
+}
+
+/// A time-ordered event queue with FIFO tie-breaking and a monotone clock,
+/// over a pluggable [`EventScheduler`].
+#[derive(Debug)]
+pub struct EventQueue {
+    scheduler: Box<dyn EventScheduler>,
     next_seq: u64,
     now: SimTime,
     processed: u64,
 }
 
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::with_scheduler(SchedulerKind::default())
+    }
+}
+
 impl EventQueue {
-    /// An empty queue at time zero.
+    /// An empty queue at time zero on the default scheduler.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty queue at time zero on the given scheduler.
+    pub fn with_scheduler(kind: SchedulerKind) -> Self {
+        let scheduler: Box<dyn EventScheduler> = match kind {
+            SchedulerKind::Heap => Box::new(HeapScheduler::new()),
+            SchedulerKind::Calendar => Box::new(CalendarScheduler::new()),
+        };
+        EventQueue {
+            scheduler,
+            next_seq: 0,
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Which scheduler the queue runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.scheduler.kind()
     }
 
     /// The current simulation time (the time of the last event popped).
@@ -124,53 +737,54 @@ impl EventQueue {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.scheduler.len()
     }
 
     /// `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.scheduler.is_empty()
     }
 
     /// Schedule `event` at absolute time `at`.  Scheduling in the past is a
     /// programming error and panics in debug builds; in release builds the
-    /// event is clamped to `now` so the simulation stays causally ordered.
-    pub fn schedule(&mut self, at: SimTime, event: Event) {
+    /// event is clamped to `now` so the simulation stays causally ordered,
+    /// and the clamp is reported (returns `true`) so the caller can count
+    /// it — the simulator folds this into `SimStats::clamped_events`, where
+    /// the bug cannot hide.
+    pub fn schedule(&mut self, at: SimTime, event: Event) -> bool {
         debug_assert!(
             at >= self.now,
             "event scheduled in the past: {at} < {} ({event:?})",
             self.now
         );
+        let clamped = at < self.now;
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent {
-            time: at,
-            seq,
-            event,
-        });
+        self.scheduler.push(at, seq, event);
+        clamped
     }
 
     /// The time of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.scheduler.peek_time()
     }
 
     /// Pop the next event, advancing the clock to its time.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        let e = self.heap.pop()?;
-        self.now = e.time;
+        let (time, event) = self.scheduler.pop()?;
+        self.now = time;
         self.processed += 1;
-        Some((e.time, e.event))
+        Some((time, event))
     }
 
-    /// Pop the next event only if it is scheduled at or before `limit`.
+    /// Pop the next event only if it is scheduled at or before `limit`
+    /// (one min search on schedulers whose peek is not O(1)).
     pub fn pop_until(&mut self, limit: SimTime) -> Option<(SimTime, Event)> {
-        if self.peek_time()? <= limit {
-            self.pop()
-        } else {
-            None
-        }
+        let (time, event) = self.scheduler.pop_at_or_before(limit)?;
+        self.now = time;
+        self.processed += 1;
+        Some((time, event))
     }
 }
 
@@ -185,48 +799,59 @@ mod tests {
         }
     }
 
+    fn queues() -> [EventQueue; 2] {
+        [
+            EventQueue::with_scheduler(SchedulerKind::Heap),
+            EventQueue::with_scheduler(SchedulerKind::Calendar),
+        ]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_nanos(30), ev(3, 3));
-        q.schedule(SimTime::from_nanos(10), ev(1, 1));
-        q.schedule(SimTime::from_nanos(20), ev(2, 2));
-        assert_eq!(q.len(), 3);
-        let (t1, e1) = q.pop().unwrap();
-        assert_eq!(t1, SimTime::from_nanos(10));
-        assert_eq!(e1, ev(1, 1));
-        assert_eq!(q.now(), SimTime::from_nanos(10));
-        assert_eq!(q.pop().unwrap().0, SimTime::from_nanos(20));
-        assert_eq!(q.pop().unwrap().0, SimTime::from_nanos(30));
-        assert!(q.pop().is_none());
-        assert_eq!(q.processed(), 3);
+        for mut q in queues() {
+            q.schedule(SimTime::from_nanos(30), ev(3, 3));
+            q.schedule(SimTime::from_nanos(10), ev(1, 1));
+            q.schedule(SimTime::from_nanos(20), ev(2, 2));
+            assert_eq!(q.len(), 3);
+            let (t1, e1) = q.pop().unwrap();
+            assert_eq!(t1, SimTime::from_nanos(10));
+            assert_eq!(e1, ev(1, 1));
+            assert_eq!(q.now(), SimTime::from_nanos(10));
+            assert_eq!(q.pop().unwrap().0, SimTime::from_nanos(20));
+            assert_eq!(q.pop().unwrap().0, SimTime::from_nanos(30));
+            assert!(q.pop().is_none());
+            assert_eq!(q.processed(), 3);
+        }
     }
 
     #[test]
     fn simultaneous_events_are_fifo() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_micros(5);
-        for i in 0..10 {
-            q.schedule(t, ev(i, i as u64));
-        }
-        for i in 0..10 {
-            let (_, e) = q.pop().unwrap();
-            assert_eq!(e, ev(i, i as u64), "event {i} out of order");
+        for mut q in queues() {
+            let t = SimTime::from_micros(5);
+            for i in 0..10 {
+                q.schedule(t, ev(i, i as u64));
+            }
+            for i in 0..10 {
+                let (_, e) = q.pop().unwrap();
+                assert_eq!(e, ev(i, i as u64), "event {i} out of order");
+            }
         }
     }
 
     #[test]
     fn pop_until_respects_limit() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_nanos(100), ev(1, 1));
-        q.schedule(SimTime::from_nanos(200), ev(2, 2));
-        assert!(q.pop_until(SimTime::from_nanos(50)).is_none());
-        assert!(q.pop_until(SimTime::from_nanos(100)).is_some());
-        assert!(q.pop_until(SimTime::from_nanos(150)).is_none());
-        assert_eq!(q.len(), 1);
+        for mut q in queues() {
+            q.schedule(SimTime::from_nanos(100), ev(1, 1));
+            q.schedule(SimTime::from_nanos(200), ev(2, 2));
+            assert!(q.pop_until(SimTime::from_nanos(50)).is_none());
+            assert!(q.pop_until(SimTime::from_nanos(100)).is_some());
+            assert!(q.pop_until(SimTime::from_nanos(150)).is_none());
+            assert_eq!(q.len(), 1);
+        }
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "scheduled in the past")]
     fn scheduling_in_the_past_panics_in_debug() {
         let mut q = EventQueue::new();
@@ -235,16 +860,270 @@ mod tests {
         q.schedule(SimTime::from_nanos(50), ev(2, 2));
     }
 
+    /// In release builds the past-time clamp is counted instead of
+    /// panicking (debug builds assert, so this can only run there).
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn clamped_events_are_counted_in_release() {
+        for mut q in queues() {
+            assert!(!q.schedule(SimTime::from_nanos(100), ev(1, 1)));
+            q.pop();
+            assert!(q.schedule(SimTime::from_nanos(50), ev(2, 2)));
+            // The clamped event runs at `now`, keeping causal order.
+            let (t, _) = q.pop().unwrap();
+            assert_eq!(t, SimTime::from_nanos(100));
+        }
+    }
+
     #[test]
     fn clock_is_monotone() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_nanos(10), ev(1, 1));
-        q.schedule(SimTime::from_nanos(10), ev(2, 2));
-        q.schedule(SimTime::from_nanos(40), ev(3, 3));
+        for mut q in queues() {
+            q.schedule(SimTime::from_nanos(10), ev(1, 1));
+            q.schedule(SimTime::from_nanos(10), ev(2, 2));
+            q.schedule(SimTime::from_nanos(40), ev(3, 3));
+            let mut prev = SimTime::ZERO;
+            while let Some((t, _)) = q.pop() {
+                assert!(t >= prev);
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_kinds_report_their_names() {
+        let [heap, calendar] = queues();
+        assert_eq!(heap.scheduler_kind(), SchedulerKind::Heap);
+        assert_eq!(calendar.scheduler_kind(), SchedulerKind::Calendar);
+        assert_eq!(SchedulerKind::Heap.name(), "heap");
+        assert_eq!(SchedulerKind::Calendar.name(), "calendar");
+        assert_eq!(EventQueue::new().scheduler_kind(), SchedulerKind::default());
+    }
+
+    // --- calendar-specific behaviour -------------------------------------
+
+    /// Deterministic pseudo-random times without external crates.
+    fn scramble(k: u64) -> u64 {
+        k.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+    }
+
+    #[test]
+    fn calendar_matches_heap_on_a_large_scrambled_workload() {
+        let mut heap = EventQueue::with_scheduler(SchedulerKind::Heap);
+        let mut cal = EventQueue::with_scheduler(SchedulerKind::Calendar);
+        // Mixed phases: bulk pre-load, then interleaved push/pop with times
+        // clustered at several scales (including exact ties).
+        for k in 0..5_000u64 {
+            let t = SimTime::from_nanos(scramble(k) % 10_000_000);
+            heap.schedule(t, ev(0, k));
+            cal.schedule(t, ev(0, k));
+        }
+        let mut seq = 5_000u64;
+        for round in 0..5_000u64 {
+            let (th, eh) = heap.pop().unwrap();
+            let (tc, ec) = cal.pop().unwrap();
+            assert_eq!((th, &eh), (tc, &ec), "divergence at round {round}");
+            // Re-schedule a couple of follow-ups relative to `now`,
+            // including same-instant ties and far-future spikes.
+            for offset in [0u64, 1, 777, 123_456, 500_000_000] {
+                let t = th + rt_types::Duration::from_nanos(offset + scramble(round) % 9_999);
+                heap.schedule(t, ev(1, seq));
+                cal.schedule(t, ev(1, seq));
+                seq += 1;
+            }
+        }
+        // Drain both completely.
+        loop {
+            match (heap.pop(), cal.pop()) {
+                (None, None) => break,
+                (h, c) => assert_eq!(h, c),
+            }
+        }
+    }
+
+    #[test]
+    fn calendar_resizes_under_load() {
+        let mut cal = CalendarScheduler::new();
+        assert_eq!(cal.bucket_count(), MIN_BUCKETS);
+        for k in 0..10_000u64 {
+            cal.push(SimTime::from_nanos(k * 1000), k, ev(0, k));
+        }
+        assert!(cal.resizes() > 0, "10k events must trigger growth");
+        assert!(
+            cal.bucket_count() >= 10_000 / (2 * TARGET_OCCUPANCY),
+            "bucket count {} must track the population",
+            cal.bucket_count()
+        );
+        // Drain; shrink back towards the floor.
         let mut prev = SimTime::ZERO;
-        while let Some((t, _)) = q.pop() {
+        for _ in 0..10_000 {
+            let (t, _) = cal.pop().unwrap();
             assert!(t >= prev);
             prev = t;
         }
+        assert!(cal.pop().is_none());
+        assert_eq!(cal.bucket_count(), MIN_BUCKETS, "drained queue shrinks");
+    }
+
+    #[test]
+    fn calendar_far_future_events_go_to_overflow_and_come_back_ordered() {
+        let mut cal = CalendarScheduler::new();
+        // A cluster now, plus far-future stragglers years of bucket-time
+        // away.
+        for k in 0..50u64 {
+            cal.push(SimTime::from_nanos(k * 100), k, ev(0, k));
+        }
+        for k in 0..50u64 {
+            cal.push(SimTime::from_secs(3600 + k), 50 + k, ev(1, 50 + k));
+        }
+        assert!(
+            cal.overflow_len() > 0,
+            "hour-away events must be parked in overflow"
+        );
+        // peek_time never reports an overflow event while nearer ones wait.
+        assert_eq!(cal.peek_time(), Some(SimTime::ZERO));
+        let mut prev = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = cal.pop() {
+            assert!(t >= prev, "overflow migration broke the order");
+            prev = t;
+            popped += 1;
+        }
+        assert_eq!(popped, 100);
+        assert_eq!(cal.overflow_len(), 0);
+    }
+
+    /// Regression: a growth resize while *only* far-future events are
+    /// pending must not advance the year anchor past the push floor — a
+    /// later, perfectly legal near-time push (time >= now) would otherwise
+    /// be misfiled behind the far-future events (and trip a debug assert).
+    #[test]
+    fn calendar_resize_keeps_the_anchor_at_the_push_floor() {
+        for variant in ["fresh", "after_pop"] {
+            let mut q = EventQueue::with_scheduler(SchedulerKind::Calendar);
+            let mut h = EventQueue::with_scheduler(SchedulerKind::Heap);
+            if variant == "after_pop" {
+                // Advance the clock a little first so floor > 0.
+                for queue in [&mut q, &mut h] {
+                    queue.schedule(SimTime::from_nanos(500), ev(9, 999));
+                    queue.pop();
+                }
+            }
+            // Enough hour-away events to trigger the growth resize while
+            // nothing near-time is pending.
+            for k in 0..40u64 {
+                let t = SimTime::from_secs(3600) + rt_types::Duration::from_nanos(k * 100);
+                q.schedule(t, ev(0, k));
+                h.schedule(t, ev(0, k));
+            }
+            // A legal near-time event must still come out first.
+            q.schedule(SimTime::from_micros(1), ev(1, 40));
+            h.schedule(SimTime::from_micros(1), ev(1, 40));
+            let mut prev = SimTime::ZERO;
+            loop {
+                let (qp, hp) = (q.pop(), h.pop());
+                assert_eq!(qp, hp, "calendar diverged from heap ({variant})");
+                match qp {
+                    Some((t, _)) => {
+                        assert!(t >= prev, "clock ran backwards ({variant})");
+                        prev = t;
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Regression: `pop_until` with only far-future events pending must
+    /// refuse *without* migrating the calendar's year forward — a later
+    /// near-time push (legal: time >= now) would otherwise land in a
+    /// "past year".  This is the windowed `run_until` / `run_with_source`
+    /// sequence.
+    #[test]
+    fn calendar_refused_pop_until_does_not_break_later_near_pushes() {
+        let mut q = EventQueue::with_scheduler(SchedulerKind::Calendar);
+        let mut h = EventQueue::with_scheduler(SchedulerKind::Heap);
+        for k in 0..40u64 {
+            let t = SimTime::from_secs(3600 + k);
+            q.schedule(t, ev(0, k));
+            h.schedule(t, ev(0, k));
+        }
+        // A windowed probe far below the pending minimum refuses...
+        assert!(q.pop_until(SimTime::from_millis(1)).is_none());
+        assert!(h.pop_until(SimTime::from_millis(1)).is_none());
+        // ...and a near-time push afterwards must still order first.
+        q.schedule(SimTime::from_micros(7), ev(1, 40));
+        h.schedule(SimTime::from_micros(7), ev(1, 40));
+        loop {
+            let (qp, hp) = (q.pop(), h.pop());
+            assert_eq!(qp, hp, "calendar diverged after a refused pop_until");
+            if qp.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Regression, shrink-path variant: draining a large near-time
+    /// population down to a far-future remainder triggers shrink resizes;
+    /// a near-time push right after a pop must still order correctly.
+    #[test]
+    fn calendar_shrink_resize_keeps_the_anchor_at_the_push_floor() {
+        let mut q = EventQueue::with_scheduler(SchedulerKind::Calendar);
+        let mut h = EventQueue::with_scheduler(SchedulerKind::Heap);
+        for k in 0..2_000u64 {
+            let t = SimTime::from_nanos(k * 50);
+            q.schedule(t, ev(0, k));
+            h.schedule(t, ev(0, k));
+        }
+        for k in 0..20u64 {
+            let t = SimTime::from_secs(100 + k);
+            q.schedule(t, ev(1, 2_000 + k));
+            h.schedule(t, ev(1, 2_000 + k));
+        }
+        // Drain the near population (forcing shrink resizes while the
+        // far-future tail remains), pushing a fresh near event every so
+        // often.
+        let mut seq = 3_000u64;
+        let mut prev = SimTime::ZERO;
+        loop {
+            let (qp, hp) = (q.pop(), h.pop());
+            assert_eq!(qp, hp, "calendar diverged from heap during drain");
+            let Some((t, _)) = qp else { break };
+            assert!(t >= prev);
+            prev = t;
+            if seq < 3_200 && t < SimTime::from_secs(1) {
+                let near = t + rt_types::Duration::from_nanos(25);
+                q.schedule(near, ev(2, seq));
+                h.schedule(near, ev(2, seq));
+                seq += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn calendar_identical_times_preserve_fifo_across_resizes() {
+        let mut cal = CalendarScheduler::new();
+        let t = SimTime::from_micros(123);
+        for k in 0..1000u64 {
+            cal.push(t, k, ev(0, k));
+        }
+        for k in 0..1000u64 {
+            let (pt, e) = cal.pop().unwrap();
+            assert_eq!(pt, t);
+            assert_eq!(e, ev(0, k), "FIFO broken at {k}");
+        }
+    }
+
+    #[test]
+    fn calendar_empty_year_gaps_are_skipped() {
+        let mut cal = CalendarScheduler::new();
+        // Three events in three distant years.
+        cal.push(SimTime::from_nanos(5), 0, ev(0, 0));
+        cal.push(SimTime::from_secs(10), 1, ev(0, 1));
+        cal.push(SimTime::from_secs(20), 2, ev(0, 2));
+        assert_eq!(cal.pop().unwrap().0, SimTime::from_nanos(5));
+        assert_eq!(cal.pop().unwrap().0, SimTime::from_secs(10));
+        assert_eq!(cal.pop().unwrap().0, SimTime::from_secs(20));
+        assert!(cal.pop().is_none());
+        assert!(cal.peek_time().is_none());
     }
 }

@@ -15,7 +15,8 @@
 //! frames.
 //!
 //! Modules:
-//! * [`event`] — the time-ordered event queue and simulation clock,
+//! * [`event`] — the simulation clock and the pluggable event scheduler
+//!   (binary-heap reference vs. calendar queue),
 //! * [`port`] — the dual-queue (RT + best effort) output port model,
 //! * [`sim`] — the simulator proper: nodes, switch, links, frame delivery,
 //! * [`stats`] — latency / deadline-miss / utilisation accounting.
@@ -28,7 +29,9 @@ pub mod port;
 pub mod sim;
 pub mod stats;
 
-pub use event::{Event, EventQueue};
+pub use event::{
+    CalendarScheduler, Event, EventQueue, EventScheduler, HeapScheduler, SchedulerKind,
+};
 pub use port::{OutputPort, QueuedFrame, TrafficClass};
-pub use sim::{Delivery, FrameId, SimConfig, Simulator};
+pub use sim::{Delivery, FrameId, FrameInjection, SimConfig, Simulator, TrafficSource};
 pub use stats::{ChannelStats, LinkStats, SimStats};

@@ -6,6 +6,12 @@
 //! guaranteed bound `d_i + T_latency`, so the statistics keep exact minimum /
 //! maximum / mean latencies per RT channel as well as the number of frames
 //! delivered after their absolute deadline.
+//!
+//! Link accounting is on the per-event hot path (every transmission records
+//! one entry), so it is stored *densely*: one [`LinkStats`] slot per output
+//! port, indexed by the simulator's contiguous port ids, with the
+//! [`HopLink`]-keyed queries resolving against the port registry only on the
+//! (cold) read side.
 
 use std::collections::BTreeMap;
 
@@ -77,6 +83,7 @@ pub struct LinkStats {
 }
 
 impl LinkStats {
+    #[inline]
     fn record(&mut self, wire_bytes: usize, tx_time: Duration) {
         self.frames += 1;
         self.wire_bytes += wire_bytes as u64;
@@ -99,8 +106,11 @@ impl LinkStats {
 pub struct SimStats {
     /// Per-RT-channel latency statistics.
     pub channels: BTreeMap<u16, ChannelStats>,
-    /// Per-directed-link transmission statistics.
-    pub links: BTreeMap<HopLink, LinkStats>,
+    /// The directed link of every port, indexed by dense port id
+    /// (installed by the simulator at construction).
+    port_links: Vec<HopLink>,
+    /// Per-port transmission statistics, same indexing.
+    port_stats: Vec<LinkStats>,
     /// Real-time frames delivered (data + control).
     pub rt_delivered: u64,
     /// Best-effort frames delivered.
@@ -111,9 +121,24 @@ pub struct SimStats {
     pub unroutable_dropped: u64,
     /// Total real-time deadline misses across all channels.
     pub total_deadline_misses: u64,
+    /// Events whose scheduled time lay in the past and was clamped to the
+    /// current simulation time.  Debug builds panic instead; a non-zero
+    /// count in a release build is a causality bug that must not hide.
+    pub clamped_events: u64,
 }
 
 impl SimStats {
+    /// Statistics over a fixed set of output ports: `port_links[p]` is the
+    /// directed link driven by dense port id `p`.
+    pub fn for_ports(port_links: Vec<HopLink>) -> Self {
+        let port_stats = vec![LinkStats::default(); port_links.len()];
+        SimStats {
+            port_links,
+            port_stats,
+            ..SimStats::default()
+        }
+    }
+
     /// Record the delivery of a real-time data frame belonging to `channel`.
     pub fn record_rt_delivery(
         &mut self,
@@ -151,13 +176,22 @@ impl SimStats {
         self.unroutable_dropped += 1;
     }
 
-    /// Record a transmission on the directed link `link` (an access link
-    /// or a switch-to-switch trunk).
-    pub fn record_transmission(&mut self, link: HopLink, wire_bytes: usize, tx_time: Duration) {
-        self.links
-            .entry(link)
-            .or_default()
-            .record(wire_bytes, tx_time);
+    /// Record a past-time event clamped to the current simulation time.
+    pub fn record_clamped(&mut self) {
+        self.clamped_events += 1;
+    }
+
+    /// Record a transmission on the port with dense id `port` (hot path:
+    /// one array write, no map).  Ports are registered via
+    /// [`SimStats::for_ports`]; an unregistered port id is a caller bug and
+    /// asserts in debug builds (release builds drop the sample rather than
+    /// panicking mid-simulation).
+    #[inline]
+    pub fn record_transmission(&mut self, port: usize, wire_bytes: usize, tx_time: Duration) {
+        match self.port_stats.get_mut(port) {
+            Some(stats) => stats.record(wire_bytes, tx_time),
+            None => debug_assert!(false, "transmission on unregistered port {port}"),
+        }
     }
 
     /// Statistics for one channel, if any frame was delivered on it.
@@ -173,12 +207,26 @@ impl SimStats {
             rt_types::LinkDirection::Uplink => HopLink::Uplink(id.node),
             rt_types::LinkDirection::Downlink => HopLink::Downlink(id.node),
         };
-        self.links.get(&hop)
+        self.hop_link(hop)
     }
 
     /// Statistics for any directed link of the fabric, including trunks.
+    /// `None` if the link never transmitted (or is not a port of the
+    /// fabric).
     pub fn hop_link(&self, link: HopLink) -> Option<&LinkStats> {
-        self.links.get(&link)
+        let port = self.port_links.iter().position(|&l| l == link)?;
+        let stats = &self.port_stats[port];
+        (stats.frames > 0).then_some(stats)
+    }
+
+    /// Every directed link that transmitted at least one frame, with its
+    /// statistics.
+    pub fn links(&self) -> impl Iterator<Item = (HopLink, &LinkStats)> {
+        self.port_links
+            .iter()
+            .zip(self.port_stats.iter())
+            .filter(|(_, s)| s.frames > 0)
+            .map(|(&l, s)| (l, s))
     }
 
     /// The worst (largest) per-channel maximum latency, if any channel
@@ -190,6 +238,20 @@ impl SimStats {
     /// `true` if no real-time frame missed its deadline.
     pub fn all_deadlines_met(&self) -> bool {
         self.total_deadline_misses == 0
+    }
+
+    /// A one-line human summary of the run's global counters — what the
+    /// examples and experiment binaries print at the end.
+    pub fn summary(&self) -> String {
+        format!(
+            "rt={} be={} be_dropped={} unroutable={} deadline_misses={} clamped_events={}",
+            self.rt_delivered,
+            self.be_delivered,
+            self.be_dropped,
+            self.unroutable_dropped,
+            self.total_deadline_misses,
+            self.clamped_events,
+        )
     }
 }
 
@@ -236,10 +298,11 @@ mod tests {
 
     #[test]
     fn link_stats_utilisation() {
-        let mut s = SimStats::default();
         let link = HopLink::Uplink(NodeId::new(3));
-        s.record_transmission(link, 1538, Duration::from_micros(123));
-        s.record_transmission(link, 1538, Duration::from_micros(123));
+        let other = HopLink::Downlink(NodeId::new(3));
+        let mut s = SimStats::for_ports(vec![link, other]);
+        s.record_transmission(0, 1538, Duration::from_micros(123));
+        s.record_transmission(0, 1538, Duration::from_micros(123));
         // Both the HopLink and the legacy LinkId view resolve the entry.
         assert!(s.link(LinkId::uplink(NodeId::new(3))).is_some());
         let l = s.hop_link(link).unwrap();
@@ -249,6 +312,9 @@ mod tests {
         let u = l.utilisation(Duration::from_micros(1000));
         assert!((u - 0.246).abs() < 1e-9);
         assert_eq!(l.utilisation(Duration::ZERO), 0.0);
+        // A port that never transmitted reports no stats.
+        assert!(s.hop_link(other).is_none());
+        assert_eq!(s.links().count(), 1);
     }
 
     #[test]
@@ -258,9 +324,13 @@ mod tests {
         s.record_be_delivery();
         s.record_be_drop();
         s.record_unroutable();
+        s.record_clamped();
         assert_eq!(s.be_delivered, 2);
         assert_eq!(s.be_dropped, 1);
         assert_eq!(s.unroutable_dropped, 1);
+        assert_eq!(s.clamped_events, 1);
+        assert!(s.summary().contains("clamped_events=1"));
+        assert!(s.summary().contains("be_dropped=1"));
     }
 
     #[test]
@@ -270,5 +340,6 @@ mod tests {
         assert!(s.channel(ChannelId::new(1)).is_none());
         assert!(s.link(LinkId::uplink(NodeId::new(0))).is_none());
         assert!(s.all_deadlines_met());
+        assert_eq!(s.links().count(), 0);
     }
 }

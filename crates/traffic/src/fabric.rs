@@ -31,6 +31,15 @@ pub enum FabricShape {
     Ring,
     /// Access leaves, each trunked to two node-less spines (2-connected).
     LeafSpine,
+    /// A 2D torus of access switches (wrap-around grid): the
+    /// thousand-node-scale shape — an `8 × 8` torus with 16 nodes per
+    /// switch is 64 switches and 1024 end nodes.
+    Torus {
+        /// Grid rows.
+        rows: u32,
+        /// Grid columns.
+        cols: u32,
+    },
 }
 
 /// A multi-switch scenario: `switches` *access* switches in the given
@@ -104,6 +113,20 @@ impl FabricScenario {
         )
     }
 
+    /// Build a torus scenario: a `rows × cols` wrap-around grid of access
+    /// switches ([`Topology::torus`]), each carrying its own masters and
+    /// slaves.  `FabricScenario::torus(8, 8, 8, 8)` is the 64-switch /
+    /// 1024-node fabric of the scaling benchmarks.
+    pub fn torus(rows: u32, cols: u32, masters_per_switch: u32, slaves_per_switch: u32) -> Self {
+        assert!(rows > 0 && cols > 0, "a torus needs at least one switch");
+        Self::build(
+            FabricShape::Torus { rows, cols },
+            rows * cols,
+            masters_per_switch,
+            slaves_per_switch,
+        )
+    }
+
     /// The trunk-graph shape.
     pub fn shape(&self) -> FabricShape {
         self.shape
@@ -117,7 +140,7 @@ impl FabricScenario {
     /// Total number of switches, including leaf-spine spines.
     pub fn total_switch_count(&self) -> u32 {
         match self.shape {
-            FabricShape::Line | FabricShape::Ring => self.switches,
+            FabricShape::Line | FabricShape::Ring | FabricShape::Torus { .. } => self.switches,
             FabricShape::LeafSpine => self.switches + 2,
         }
     }
@@ -159,6 +182,9 @@ impl FabricScenario {
         match self.shape {
             FabricShape::Line => Topology::line(self.switches, self.nodes_per_switch()),
             FabricShape::Ring => Topology::ring(self.switches, self.nodes_per_switch()),
+            FabricShape::Torus { rows, cols } => {
+                Topology::torus(rows, cols, self.nodes_per_switch())
+            }
             FabricShape::LeafSpine => {
                 let mut t = Topology::new();
                 for leaf in 0..self.switches {
@@ -191,28 +217,38 @@ impl FabricScenario {
         }
     }
 
-    /// Generate `count` channel requests that all cross at least one trunk:
-    /// request `i` goes from a master on switch `i mod S` to a slave on a
-    /// *different* switch, rotating over the other switches so every trunk
-    /// direction carries load.  With a single switch this degenerates to
-    /// same-switch master→slave requests.
+    /// The `i`-th cross-switch `(master, slave)` pair: the source sits on
+    /// access switch `i mod S`, the destination on a *different* switch,
+    /// rotating over the others so every trunk direction carries load.
+    /// With a single switch this degenerates to same-switch master→slave
+    /// pairs.  This one walk feeds both the admission-side request
+    /// generator ([`FabricScenario::cross_switch_requests`]) and the
+    /// wire-side frame generator (`ScenarioFrameSource`), so the two
+    /// workloads always correspond.
+    pub fn cross_switch_pair(&self, i: u64) -> (NodeId, NodeId) {
+        let src_switch = (i % u64::from(self.switches)) as u32;
+        let dst_switch = if self.switches == 1 {
+            0
+        } else {
+            let offset = 1 + (i / u64::from(self.switches)) % u64::from(self.switches - 1);
+            ((u64::from(src_switch) + offset) % u64::from(self.switches)) as u32
+        };
+        (self.master(src_switch, i), self.slave(dst_switch, i))
+    }
+
+    /// Generate `count` channel requests over the
+    /// [`FabricScenario::cross_switch_pair`] walk.
     pub fn cross_switch_requests(&self, count: u64, spec: RtChannelSpec) -> Vec<ChannelRequest> {
-        let mut out = Vec::with_capacity(count as usize);
-        for i in 0..count {
-            let src_switch = (i % u64::from(self.switches)) as u32;
-            let dst_switch = if self.switches == 1 {
-                0
-            } else {
-                let offset = 1 + (i / u64::from(self.switches)) % u64::from(self.switches - 1);
-                ((u64::from(src_switch) + offset) % u64::from(self.switches)) as u32
-            };
-            out.push(ChannelRequest {
-                source: self.master(src_switch, i),
-                destination: self.slave(dst_switch, i),
-                spec,
-            });
-        }
-        out
+        (0..count)
+            .map(|i| {
+                let (source, destination) = self.cross_switch_pair(i);
+                ChannelRequest {
+                    source,
+                    destination,
+                    spec,
+                }
+            })
+            .collect()
     }
 }
 
@@ -309,6 +345,31 @@ mod tests {
         assert_eq!(route.len(), 4);
         // Requests still cross access switches.
         let reqs = f.cross_switch_requests(12, RtChannelSpec::paper_default());
+        for r in &reqs {
+            assert_ne!(t.switch_of(r.source), t.switch_of(r.destination));
+        }
+    }
+
+    #[test]
+    fn torus_scenario_scales_to_a_thousand_nodes() {
+        let f = FabricScenario::torus(8, 8, 8, 8);
+        assert_eq!(f.shape(), FabricShape::Torus { rows: 8, cols: 8 });
+        assert_eq!(f.switch_count(), 64);
+        assert_eq!(f.total_switch_count(), 64);
+        assert_eq!(f.node_count(), 1024);
+        let t = f.topology();
+        assert_eq!(t.switch_count(), 64);
+        assert_eq!(t.node_count(), 1024);
+        assert!(t.is_connected());
+        assert!(!t.is_tree());
+        // Each switch has 4 trunk neighbours on an 8x8 torus.
+        assert_eq!(t.trunk_count(), 2 * 64);
+        // Node allocation stays switch-major, so master()/slave() index
+        // straight into the topology.
+        assert_eq!(t.switch_of(f.master(63, 0)), Some(SwitchId::new(63)));
+        assert_eq!(t.switch_of(f.slave(0, 0)), Some(SwitchId::new(0)));
+        // Cross-switch requests cross switches, as on every other shape.
+        let reqs = f.cross_switch_requests(128, RtChannelSpec::paper_default());
         for r in &reqs {
             assert_ne!(t.switch_of(r.source), t.switch_of(r.destination));
         }

@@ -5,9 +5,13 @@
 //! * [`scenario`] — network scenarios (which nodes exist, which are masters
 //!   and which are slaves), including the paper's 10-master / 50-slave
 //!   configuration,
-//! * [`fabric`] — multi-switch fabric scenarios (lines, rings and
-//!   2-connected leaf-spine fabrics of access switches with masters and
-//!   slaves on each) and request patterns that exercise the trunks,
+//! * [`fabric`] — multi-switch fabric scenarios (lines, rings, 2-connected
+//!   leaf-spine fabrics and thousand-node tori of access switches with
+//!   masters and slaves on each) and request patterns that exercise the
+//!   trunks,
+//! * [`source`] — wire-level frame generation: deadline-stamped cross-switch
+//!   workloads as bulk batches or as a pull-driven
+//!   [`rt_netsim::TrafficSource`],
 //! * [`pattern`] — channel-request patterns: the paper's master→slave
 //!   pattern plus uniform and hotspot patterns used by the ablations, and a
 //!   generator of heterogeneous channel specs,
@@ -26,8 +30,10 @@ pub mod fabric;
 pub mod pattern;
 pub mod rng;
 pub mod scenario;
+pub mod source;
 
 pub use background::{BackgroundTraffic, BurstyConfig, PoissonConfig};
 pub use fabric::{FabricScenario, FabricShape};
 pub use pattern::{ChannelRequest, HeterogeneousSpecs, RequestPattern};
 pub use scenario::Scenario;
+pub use source::ScenarioFrameSource;

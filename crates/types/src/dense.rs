@@ -1,0 +1,139 @@
+//! Dense index mapping for hot paths.
+//!
+//! The simulator processes millions of events per second, and every event
+//! resolves a handful of entity ids (switches, nodes, ports).  Hash or tree
+//! lookups per event dominate the run time long before the actual queueing
+//! work does, so the hot paths key their tables by *contiguous indices*
+//! instead: an [`IdIndex`] maps the raw `u32` ids of a fixed entity set
+//! (assigned once at construction) onto `0..len`, after which every lookup
+//! is one bounds-checked array access.
+//!
+//! Ids in this workspace are in practice small and contiguous (`0..n`), so
+//! the default representation is a direct lookup vector.  Pathologically
+//! sparse id sets (a node called `4_000_000_000`) would make that vector
+//! huge, so construction falls back to binary search over the sorted ids
+//! when the largest id is far beyond the entity count.
+
+use std::fmt;
+
+/// Sentinel for "no index" in packed `u32` tables.
+pub const NO_INDEX: u32 = u32::MAX;
+
+/// An immutable map from a fixed set of raw `u32` ids to contiguous indices
+/// `0..len`, in ascending id order.
+#[derive(Clone, Default)]
+pub struct IdIndex {
+    /// Sorted, deduplicated raw ids; the position in this vector *is* the
+    /// dense index.
+    ids: Vec<u32>,
+    /// Direct raw-id → index table (`NO_INDEX` for absent ids), present
+    /// unless the id space is too sparse to justify it.
+    direct: Option<Vec<u32>>,
+}
+
+impl IdIndex {
+    /// Build the index over `ids` (need not be sorted; duplicates collapse).
+    pub fn new(ids: impl IntoIterator<Item = u32>) -> Self {
+        let mut ids: Vec<u32> = ids.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let direct = match ids.last() {
+            Some(&max) if (max as usize) < 4 * ids.len() + 1024 => {
+                let mut table = vec![NO_INDEX; max as usize + 1];
+                for (index, &id) in ids.iter().enumerate() {
+                    table[id as usize] = index as u32;
+                }
+                Some(table)
+            }
+            _ => None,
+        };
+        IdIndex { ids, direct }
+    }
+
+    /// The dense index of `id`, or `None` if the id is not in the set.
+    #[inline]
+    pub fn get(&self, id: u32) -> Option<u32> {
+        match &self.direct {
+            Some(table) => match table.get(id as usize) {
+                Some(&index) if index != NO_INDEX => Some(index),
+                _ => None,
+            },
+            None => self.ids.binary_search(&id).ok().map(|i| i as u32),
+        }
+    }
+
+    /// The raw id at dense index `index` (panics if out of range).
+    #[inline]
+    pub fn id_at(&self, index: u32) -> u32 {
+        self.ids[index as usize]
+    }
+
+    /// Number of ids in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` if the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The raw ids in dense-index (ascending) order.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+}
+
+impl fmt::Debug for IdIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IdIndex")
+            .field("len", &self.ids.len())
+            .field("direct", &self.direct.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_ids_use_the_direct_table() {
+        let index = IdIndex::new(0..16u32);
+        assert_eq!(index.len(), 16);
+        for id in 0..16 {
+            assert_eq!(index.get(id), Some(id));
+            assert_eq!(index.id_at(id), id);
+        }
+        assert_eq!(index.get(16), None);
+        assert_eq!(index.get(u32::MAX), None);
+    }
+
+    #[test]
+    fn sparse_ids_fall_back_to_binary_search() {
+        let index = IdIndex::new([7, 4_000_000_000, 3]);
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.get(3), Some(0));
+        assert_eq!(index.get(7), Some(1));
+        assert_eq!(index.get(4_000_000_000), Some(2));
+        assert_eq!(index.get(8), None);
+        assert_eq!(index.id_at(2), 4_000_000_000);
+    }
+
+    #[test]
+    fn duplicates_and_order_are_normalised() {
+        let index = IdIndex::new([5, 1, 5, 3, 1]);
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.ids(), &[1, 3, 5]);
+        assert_eq!(index.get(5), Some(2));
+    }
+
+    #[test]
+    fn empty_index() {
+        let index = IdIndex::new(std::iter::empty());
+        assert!(index.is_empty());
+        assert_eq!(index.get(0), None);
+    }
+}

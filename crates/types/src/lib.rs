@@ -18,6 +18,7 @@
 
 pub mod addr;
 pub mod constants;
+pub mod dense;
 pub mod error;
 pub mod ids;
 pub mod rng;
@@ -27,9 +28,12 @@ pub mod topology;
 
 pub use addr::{Ipv4Address, MacAddr};
 pub use constants::*;
+pub use dense::{IdIndex, NO_INDEX};
 pub use error::{RtError, RtResult};
 pub use ids::{ChannelId, ConnectionRequestId, LinkDirection, LinkId, NodeId, PortId};
 pub use rng::Xoshiro256;
-pub use router::{EcmpRouter, NextHopTable, Route, Router, ShortestPathRouter, TreeRouter};
+pub use router::{
+    DenseNextHop, EcmpRouter, NextHopTable, Route, Router, ShortestPathRouter, TreeRouter,
+};
 pub use time::{Duration, LinkSpeed, SimTime, Slots};
 pub use topology::{HopLink, SwitchId, Topology};

@@ -28,6 +28,7 @@ use std::fmt;
 use std::ops::Deref;
 use std::sync::{Arc, Mutex};
 
+use crate::dense::{IdIndex, NO_INDEX};
 use crate::error::{RtError, RtResult};
 use crate::ids::NodeId;
 use crate::rng::Xoshiro256;
@@ -36,6 +37,80 @@ use crate::topology::{HopLink, SwitchId, Topology};
 /// The next-hop forwarding table of a trunk graph: `(at, towards) →
 /// neighbour of `at` on a shortest path towards `towards``.
 pub type NextHopTable = BTreeMap<(SwitchId, SwitchId), SwitchId>;
+
+/// The [`NextHopTable`] flattened for the per-event hot path: switches get
+/// contiguous indices (via [`IdIndex`]) and the table becomes one `S × S`
+/// vector of next-hop indices, so a forwarding decision is two array reads
+/// instead of a tree descent.
+///
+/// The dense form carries the *same* routes as the `BTreeMap` it was built
+/// from — the simulator uses it for speed, not policy.
+#[derive(Debug)]
+pub struct DenseNextHop {
+    index: IdIndex,
+    /// `table[at * S + towards]` = dense index of the next switch, or
+    /// [`NO_INDEX`] when unreachable (or `at == towards`).
+    table: Vec<u32>,
+}
+
+impl DenseNextHop {
+    /// Flatten `table` over the switches of `topology`.
+    pub fn build(topology: &Topology, table: &NextHopTable) -> Self {
+        let index = IdIndex::new(topology.switches().map(|s| s.get()));
+        let n = index.len();
+        let mut dense = vec![NO_INDEX; n * n];
+        for (&(from, to), &next) in table {
+            let (Some(f), Some(t), Some(x)) = (
+                index.get(from.get()),
+                index.get(to.get()),
+                index.get(next.get()),
+            ) else {
+                continue;
+            };
+            dense[f as usize * n + t as usize] = x;
+        }
+        DenseNextHop {
+            index,
+            table: dense,
+        }
+    }
+
+    /// Number of switches.
+    #[inline]
+    pub fn switch_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The dense index of a switch.
+    #[inline]
+    pub fn index_of(&self, switch: SwitchId) -> Option<u32> {
+        self.index.get(switch.get())
+    }
+
+    /// The switch at a dense index (panics if out of range).
+    #[inline]
+    pub fn switch_at(&self, index: u32) -> SwitchId {
+        SwitchId::new(self.index.id_at(index))
+    }
+
+    /// The next hop from dense index `at` towards dense index `towards`,
+    /// as a dense index.  This is the per-event fast path.
+    #[inline]
+    pub fn next_hop_index(&self, at: u32, towards: u32) -> Option<u32> {
+        let n = self.index.len();
+        match self.table[at as usize * n + towards as usize] {
+            NO_INDEX => None,
+            next => Some(next),
+        }
+    }
+
+    /// The next hop by switch id (convenience for cold paths and tests).
+    pub fn next_hop(&self, at: SwitchId, towards: SwitchId) -> Option<SwitchId> {
+        let at = self.index_of(at)?;
+        let towards = self.index_of(towards)?;
+        self.next_hop_index(at, towards).map(|i| self.switch_at(i))
+    }
+}
 
 /// The path an RT channel takes through the fabric: the source's uplink,
 /// zero or more directed trunk hops, the destination's downlink.
@@ -195,30 +270,63 @@ pub trait Router: fmt::Debug + Send + Sync {
     /// per-route forwarding state (control-plane and best-effort frames).
     /// Implementations cache this per topology fingerprint.
     fn next_hop_table(&self, topology: &Topology) -> Arc<NextHopTable>;
+
+    /// The [`DenseNextHop`] flattening of [`Router::next_hop_table`], which
+    /// is what the simulator's per-event hot path consumes.  The default
+    /// builds it fresh; the stock routers override this with the shared
+    /// per-topology cache.
+    fn dense_next_hop(&self, topology: &Topology) -> Arc<DenseNextHop> {
+        Arc::new(DenseNextHop::build(
+            topology,
+            &self.next_hop_table(topology),
+        ))
+    }
 }
 
-/// A per-topology memo of the next-hop table, keyed by
-/// [`Topology::fingerprint`].  Shared by all stock routers so repeated
+/// A per-topology memo of the next-hop table (tree and dense forms), keyed
+/// by [`Topology::fingerprint`].  Shared by all stock routers so repeated
 /// simulator constructions over the same fabric reuse one table.
 #[derive(Debug, Default)]
 pub struct NextHopCache {
-    inner: Mutex<Option<(u64, Arc<NextHopTable>)>>,
+    inner: Mutex<Option<CacheEntry>>,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    fingerprint: u64,
+    table: Arc<NextHopTable>,
+    dense: Arc<DenseNextHop>,
 }
 
 impl NextHopCache {
-    /// The cached table for `topology`, computing it on first use (or after
-    /// the topology changed).
-    pub fn get(&self, topology: &Topology) -> Arc<NextHopTable> {
+    fn entry(&self, topology: &Topology) -> (Arc<NextHopTable>, Arc<DenseNextHop>) {
         let fp = topology.fingerprint();
         let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some((cached_fp, table)) = guard.as_ref() {
-            if *cached_fp == fp {
-                return Arc::clone(table);
+        if let Some(entry) = guard.as_ref() {
+            if entry.fingerprint == fp {
+                return (Arc::clone(&entry.table), Arc::clone(&entry.dense));
             }
         }
         let table = Arc::new(topology.next_hop_table());
-        *guard = Some((fp, Arc::clone(&table)));
-        table
+        let dense = Arc::new(DenseNextHop::build(topology, &table));
+        *guard = Some(CacheEntry {
+            fingerprint: fp,
+            table: Arc::clone(&table),
+            dense: Arc::clone(&dense),
+        });
+        (table, dense)
+    }
+
+    /// The cached table for `topology`, computing it on first use (or after
+    /// the topology changed).
+    pub fn get(&self, topology: &Topology) -> Arc<NextHopTable> {
+        self.entry(topology).0
+    }
+
+    /// The cached dense flattening for `topology`, computed together with
+    /// the table.
+    pub fn get_dense(&self, topology: &Topology) -> Arc<DenseNextHop> {
+        self.entry(topology).1
     }
 }
 
@@ -323,6 +431,10 @@ impl Router for TreeRouter {
     fn next_hop_table(&self, topology: &Topology) -> Arc<NextHopTable> {
         self.cache.get(topology)
     }
+
+    fn dense_next_hop(&self, topology: &Topology) -> Arc<DenseNextHop> {
+        self.cache.get_dense(topology)
+    }
 }
 
 /// BFS shortest-path routing over arbitrary connected meshes, with a
@@ -359,6 +471,10 @@ impl Router for ShortestPathRouter {
 
     fn next_hop_table(&self, topology: &Topology) -> Arc<NextHopTable> {
         self.cache.get(topology)
+    }
+
+    fn dense_next_hop(&self, topology: &Topology) -> Arc<DenseNextHop> {
+        self.cache.get_dense(topology)
     }
 }
 
@@ -482,6 +598,10 @@ impl Router for EcmpRouter {
 
     fn next_hop_table(&self, topology: &Topology) -> Arc<NextHopTable> {
         self.cache.get(topology)
+    }
+
+    fn dense_next_hop(&self, topology: &Topology) -> Arc<DenseNextHop> {
+        self.cache.get_dense(topology)
     }
 }
 
@@ -670,6 +790,43 @@ mod tests {
             }
         }
         assert!(via_sw1 > 0 && via_sw3 > 0, "ECMP must use both branches");
+    }
+
+    #[test]
+    fn dense_next_hop_matches_the_tree_table() {
+        for topology in [Topology::line(5, 1), Topology::ring(6, 1)] {
+            let router = ShortestPathRouter::new();
+            let table = router.next_hop_table(&topology);
+            let dense = router.dense_next_hop(&topology);
+            assert_eq!(dense.switch_count(), topology.switch_count());
+            for from in topology.switches() {
+                for to in topology.switches() {
+                    let expected = if from == to {
+                        None
+                    } else {
+                        table.get(&(from, to)).copied()
+                    };
+                    assert_eq!(dense.next_hop(from, to), expected, "{from} -> {to}");
+                }
+            }
+            // Unknown switches resolve to nothing.
+            assert_eq!(dense.next_hop(SwitchId::new(99), SwitchId::new(0)), None);
+            assert!(dense.index_of(SwitchId::new(99)).is_none());
+        }
+    }
+
+    #[test]
+    fn dense_next_hop_is_cached_per_topology() {
+        let t = Topology::line(4, 1);
+        let router = ShortestPathRouter::new();
+        let first = router.dense_next_hop(&t);
+        let second = router.dense_next_hop(&t);
+        assert!(Arc::ptr_eq(&first, &second));
+        // The table and its dense form come from one cache entry.
+        let table = router.next_hop_table(&t);
+        let third = router.dense_next_hop(&t);
+        assert!(Arc::ptr_eq(&first, &third));
+        assert_eq!(table.len(), 4 * 3);
     }
 
     #[test]

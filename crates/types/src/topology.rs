@@ -142,6 +142,49 @@ impl Topology {
         t
     }
 
+    /// A `rows × cols` torus: switch `(r, c)` has id `r·cols + c` and is
+    /// trunked to its right and lower neighbours, with wrap-around trunks
+    /// closing each row and column into a ring, and `nodes_per_switch` end
+    /// nodes on each switch (node ids allocated switch-major).  This is the
+    /// classic thousand-node fabric shape: an `8 × 8` torus with 16 nodes
+    /// per switch is 64 switches, 256 directed trunk ports and 1024 nodes.
+    ///
+    /// Rows or columns shorter than three skip the wrap-around trunk in
+    /// that dimension (it would duplicate an existing edge), exactly as
+    /// [`Topology::ring`] degenerates to a line.
+    pub fn torus(rows: u32, cols: u32, nodes_per_switch: u32) -> Self {
+        let mut t = Topology::new();
+        let id = |r: u32, c: u32| SwitchId::new(r * cols + c);
+        for r in 0..rows {
+            for c in 0..cols {
+                t.add_switch(id(r, c));
+            }
+        }
+        for r in 0..rows {
+            for c in 0..cols {
+                // Rightward trunk (wrap only when the row has >= 3 switches).
+                if c + 1 < cols {
+                    t.add_trunk(id(r, c), id(r, c + 1)).expect("fresh trunk");
+                } else if cols >= 3 {
+                    t.add_trunk(id(r, c), id(r, 0)).expect("fresh wrap trunk");
+                }
+                // Downward trunk (wrap only when the column has >= 3).
+                if r + 1 < rows {
+                    t.add_trunk(id(r, c), id(r + 1, c)).expect("fresh trunk");
+                } else if rows >= 3 {
+                    t.add_trunk(id(r, c), id(0, c)).expect("fresh wrap trunk");
+                }
+            }
+        }
+        for s in 0..rows * cols {
+            for k in 0..nodes_per_switch {
+                t.attach_node(NodeId::new(s * nodes_per_switch + k), SwitchId::new(s))
+                    .expect("fresh node");
+            }
+        }
+        t
+    }
+
     /// Add a switch (idempotent).
     pub fn add_switch(&mut self, switch: SwitchId) {
         self.switches.insert(switch);
@@ -485,6 +528,33 @@ mod tests {
         assert_eq!(Topology::ring(2, 1).trunk_count(), 1);
         assert!(Topology::ring(2, 1).is_tree());
         assert_eq!(Topology::ring(1, 2).trunk_count(), 0);
+    }
+
+    #[test]
+    fn torus_builder_wraps_both_dimensions() {
+        let t = Topology::torus(4, 4, 2);
+        assert_eq!(t.switch_count(), 16);
+        assert_eq!(t.node_count(), 32);
+        // A 2D torus has 2 trunks per switch (each edge counted once).
+        assert_eq!(t.trunk_count(), 32);
+        assert!(t.is_connected());
+        assert!(!t.is_tree());
+        // Wrap-around: (0,0) and (0,3) are direct neighbours, as are
+        // (0,0) and (3,0).
+        assert!(t
+            .neighbours(SwitchId::new(0))
+            .any(|s| s == SwitchId::new(3)));
+        assert!(t
+            .neighbours(SwitchId::new(0))
+            .any(|s| s == SwitchId::new(12)));
+        // Node allocation is switch-major.
+        assert_eq!(t.switch_of(NodeId::new(31)), Some(SwitchId::new(15)));
+
+        // Degenerate shapes skip the duplicate wrap trunk.
+        assert_eq!(Topology::torus(1, 2, 1).trunk_count(), 1);
+        assert_eq!(Topology::torus(2, 2, 1).trunk_count(), 4);
+        assert_eq!(Topology::torus(1, 4, 1).trunk_count(), 4); // a ring
+        assert!(Topology::torus(2, 2, 1).is_connected());
     }
 
     #[test]

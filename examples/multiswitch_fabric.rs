@@ -110,10 +110,12 @@ fn main() {
         "\ndelivered {} real-time frames over the fabric, deadline misses: {}",
         stats.rt_delivered, stats.total_deadline_misses
     );
+    println!("run summary: {}", stats.summary());
     assert!(
         stats.rt_delivered > 1000,
         "the example must drive > 1000 RT frames"
     );
     assert!(stats.all_deadlines_met());
+    assert_eq!(stats.clamped_events, 0, "no causality clamps may occur");
     println!("every frame met its deadline -> the multi-hop guarantee HELD");
 }
