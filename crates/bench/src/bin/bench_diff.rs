@@ -1,13 +1,22 @@
-//! Benchmark-trajectory gate: compare a fresh `BENCH_fabric.json` (or any
-//! artifact of the same row shape) against the previous run's artifact and
-//! fail on throughput regressions.
+//! Benchmark-trajectory gate: compare a fresh `BENCH_fabric.json` /
+//! `BENCH_multiswitch.json` (or any artifact of the same row shapes)
+//! against the previous run's artifact and fail on regressions.
 //!
-//! Rows are matched by `(fabric, scheduler)` (falling back to `fabric`, then
-//! `name`, when a key is absent) and compared on `events_per_second`.  A row
-//! whose throughput drops by more than the threshold (default 20 %) fails
-//! the run; new rows (no baseline counterpart) and removed rows only warn.
-//! A missing baseline file is not an error — the first run of a trajectory
-//! has nothing to compare against.
+//! Two metrics are gated:
+//!
+//! * **throughput** — rows carrying `events_per_second`, matched by
+//!   `(fabric, scheduler)` (falling back to `fabric`, then `name`);
+//!   a drop beyond the threshold (default 20 %) fails the run,
+//! * **admission quality** — rows carrying `accepted_channels`; these are
+//!   deterministic integers, so *any* decrease against the baseline fails
+//!   the run (fewer admitted channels means the admission control or the
+//!   fail-over path lost capacity, which no throughput number excuses).
+//!
+//! An artifact may be a top-level array of rows or an object whose
+//! top-level values are arrays of rows (the `multiswitch` shape); new rows
+//! (no baseline counterpart) and removed rows only warn.  A missing
+//! baseline file is not an error — the first run of a trajectory has
+//! nothing to compare against.
 //!
 //! Usage: `cargo run -p rt-bench --bin bench_diff -- <baseline.json>
 //! <current.json> [threshold]`, threshold as a fraction (e.g. `0.2`).
@@ -30,27 +39,48 @@ fn row_key(row: &JsonValue) -> String {
     }
 }
 
-/// Extract `key → events_per_second` from a parsed artifact (an array of
-/// row objects).
-fn throughputs(doc: &JsonValue) -> Result<BTreeMap<String, f64>, String> {
-    let rows = doc
-        .as_array()
-        .ok_or_else(|| "expected a top-level JSON array of rows".to_string())?;
-    let mut out = BTreeMap::new();
-    for row in rows {
+/// The rows of an artifact: a top-level array, or every element of every
+/// array value of a top-level object (the `multiswitch` results shape).
+fn rows_of(doc: &JsonValue) -> Vec<&JsonValue> {
+    match doc {
+        JsonValue::Array(rows) => rows.iter().collect(),
+        JsonValue::Object(map) => map
+            .values()
+            .filter_map(|v| v.as_array())
+            .flatten()
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// The two gated metric tables of one artifact.
+#[derive(Debug, Default)]
+struct Metrics {
+    /// `key → events_per_second`.
+    throughput: BTreeMap<String, f64>,
+    /// `key → accepted_channels`.
+    accepted: BTreeMap<String, f64>,
+}
+
+fn metrics(doc: &JsonValue) -> Result<Metrics, String> {
+    let mut out = Metrics::default();
+    for row in rows_of(doc) {
         if let Some(eps) = row.get("events_per_second").and_then(|v| v.as_f64()) {
-            out.insert(row_key(row), eps);
+            out.throughput.insert(row_key(row), eps);
+        }
+        if let Some(accepted) = row.get("accepted_channels").and_then(|v| v.as_f64()) {
+            out.accepted.insert(row_key(row), accepted);
         }
     }
-    if out.is_empty() {
-        return Err("no rows with an events_per_second field".into());
+    if out.throughput.is_empty() && out.accepted.is_empty() {
+        return Err("no rows with an events_per_second or accepted_channels field".into());
     }
     Ok(out)
 }
 
-fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
+fn load(path: &str) -> Result<Metrics, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    throughputs(&parse_json(&text).map_err(|e| format!("parse {path}: {e}"))?)
+    metrics(&parse_json(&text).map_err(|e| format!("parse {path}: {e}"))?)
 }
 
 fn main() -> ExitCode {
@@ -86,10 +116,12 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut table = Table::new(&["benchmark", "baseline ev/s", "current ev/s", "change"]);
     let mut regressions = Vec::new();
-    for (key, &now) in &current {
-        match baseline.get(key) {
+
+    // Throughput: fail beyond the fractional threshold.
+    let mut table = Table::new(&["benchmark", "baseline ev/s", "current ev/s", "change"]);
+    for (key, &now) in &current.throughput {
+        match baseline.throughput.get(key) {
             Some(&before) if before > 0.0 => {
                 let change = now / before - 1.0;
                 table.row_strings(vec![
@@ -99,7 +131,11 @@ fn main() -> ExitCode {
                     format!("{:+.1}%", change * 100.0),
                 ]);
                 if change < -threshold {
-                    regressions.push((key.clone(), change));
+                    regressions.push(format!(
+                        "{key} events/s dropped {:.1}% (> {:.0}% threshold)",
+                        -change * 100.0,
+                        threshold * 100.0
+                    ));
                 }
             }
             _ => {
@@ -112,26 +148,67 @@ fn main() -> ExitCode {
             }
         }
     }
-    for key in baseline.keys() {
-        if !current.contains_key(key) {
-            println!("note: baseline row '{key}' has no current counterpart");
-        }
-    }
     table.print();
+
+    // Admission quality: deterministic counts, any decrease fails.
+    if !current.accepted.is_empty() || !baseline.accepted.is_empty() {
+        let mut table = Table::new(&[
+            "scenario",
+            "baseline accepted",
+            "current accepted",
+            "change",
+        ]);
+        for (key, &now) in &current.accepted {
+            match baseline.accepted.get(key) {
+                Some(&before) => {
+                    table.row_strings(vec![
+                        key.clone(),
+                        format!("{before:.0}"),
+                        format!("{now:.0}"),
+                        format!("{:+.0}", now - before),
+                    ]);
+                    if now < before {
+                        regressions.push(format!(
+                            "{key} accepted channels dropped {before:.0} -> {now:.0}"
+                        ));
+                    }
+                }
+                None => {
+                    table.row_strings(vec![
+                        key.clone(),
+                        "(new)".into(),
+                        format!("{now:.0}"),
+                        "-".into(),
+                    ]);
+                }
+            }
+        }
+        table.print();
+    }
+
+    for key in baseline
+        .throughput
+        .keys()
+        .filter(|k| !current.throughput.contains_key(*k))
+        .chain(
+            baseline
+                .accepted
+                .keys()
+                .filter(|k| !current.accepted.contains_key(*k)),
+        )
+    {
+        println!("note: baseline row '{key}' has no current counterpart");
+    }
 
     if regressions.is_empty() {
         println!(
-            "\nno regression beyond {:.0}% against {baseline_path}",
+            "\nno throughput regression beyond {:.0}% and no accepted-channel regression against {baseline_path}",
             threshold * 100.0
         );
         ExitCode::SUCCESS
     } else {
-        for (key, change) in &regressions {
-            eprintln!(
-                "REGRESSION: {key} dropped {:.1}% (> {:.0}% threshold)",
-                -change * 100.0,
-                threshold * 100.0
-            );
+        for regression in &regressions {
+            eprintln!("REGRESSION: {regression}");
         }
         ExitCode::FAILURE
     }
@@ -155,21 +232,68 @@ mod tests {
         )
     }
 
-    #[test]
-    fn keys_combine_fabric_and_scheduler() {
-        let t = throughputs(&doc(&[("star", "heap", 1e6), ("star", "calendar", 2e6)])).unwrap();
-        assert_eq!(t.len(), 2);
-        assert_eq!(t["star/heap"], 1e6);
-        assert_eq!(t["star/calendar"], 2e6);
+    fn admission_doc(rows: &[(&str, f64)]) -> JsonValue {
+        let rows: Vec<JsonValue> = rows
+            .iter()
+            .map(|(fabric, accepted)| {
+                let mut m = BTreeMap::new();
+                m.insert("fabric".into(), JsonValue::String(fabric.to_string()));
+                m.insert("accepted_channels".into(), JsonValue::Number(*accepted));
+                JsonValue::Object(m)
+            })
+            .collect();
+        let mut top = BTreeMap::new();
+        top.insert("admission_quality".into(), JsonValue::Array(rows));
+        JsonValue::Object(top)
     }
 
     #[test]
-    fn rows_without_throughput_are_skipped() {
+    fn keys_combine_fabric_and_scheduler() {
+        let m = metrics(&doc(&[("star", "heap", 1e6), ("star", "calendar", 2e6)])).unwrap();
+        assert_eq!(m.throughput.len(), 2);
+        assert_eq!(m.throughput["star/heap"], 1e6);
+        assert_eq!(m.throughput["star/calendar"], 2e6);
+        assert!(m.accepted.is_empty());
+    }
+
+    #[test]
+    fn rows_without_gated_metrics_are_skipped() {
         let mut m = BTreeMap::new();
         m.insert("name".into(), JsonValue::String("x".into()));
         let only_named = JsonValue::Array(vec![JsonValue::Object(m)]);
-        assert!(throughputs(&only_named).is_err());
-        assert!(throughputs(&JsonValue::Array(vec![])).is_err());
-        assert!(throughputs(&JsonValue::Null).is_err());
+        assert!(metrics(&only_named).is_err());
+        assert!(metrics(&JsonValue::Array(vec![])).is_err());
+        assert!(metrics(&JsonValue::Null).is_err());
+    }
+
+    #[test]
+    fn object_docs_flatten_their_arrays() {
+        let m = metrics(&admission_doc(&[
+            ("ring_shortest_path", 24.0),
+            ("torus_1024_failover", 40.0),
+        ]))
+        .unwrap();
+        assert!(m.throughput.is_empty());
+        assert_eq!(m.accepted.len(), 2);
+        assert_eq!(m.accepted["ring_shortest_path"], 24.0);
+        assert_eq!(m.accepted["torus_1024_failover"], 40.0);
+    }
+
+    #[test]
+    fn mixed_docs_carry_both_metric_tables() {
+        // One object with a throughput array and an admission array, as the
+        // multiswitch artifact emits.
+        let mut top = BTreeMap::new();
+        let JsonValue::Array(sched) = doc(&[("multiswitch_ring", "heap", 3e6)]) else {
+            unreachable!()
+        };
+        top.insert("scheduler_comparison".into(), JsonValue::Array(sched));
+        let JsonValue::Object(adm) = admission_doc(&[("dumbbell_asymmetric", 60.0)]) else {
+            unreachable!()
+        };
+        top.extend(adm);
+        let m = metrics(&JsonValue::Object(top)).unwrap();
+        assert_eq!(m.throughput["multiswitch_ring/heap"], 3e6);
+        assert_eq!(m.accepted["dumbbell_asymmetric"], 60.0);
     }
 }

@@ -32,6 +32,18 @@
 //! the simulation computes it) and the per-scheduler events/s lands in the
 //! JSON artifact next to the fabric baseline's rows.
 //!
+//! **Part 4 — survivability (1024-node torus, scripted trunk cut).**  Forty
+//! channels are admitted over the 8×8×16 torus with `KShortestRouter`
+//! fallback, eight of them pinned across one grid trunk.  Mid-run that
+//! trunk is cut: every affected channel must be re-routed (the torus is
+//! redundant — zero drops), traffic generated after re-admission must meet
+//! the new hop-aware bounds with zero deadline misses, and every channel
+//! whose links are disjoint from the failure and the re-routes must deliver
+//! byte-for-byte identically to a fault-free reference run.  The
+//! accepted / re-routed / dropped counts land in the JSON artifact as
+//! admission-quality rows, which the `bench_diff` gate tracks alongside
+//! events/s.
+//!
 //! Usage: `cargo run -p rt-bench --bin multiswitch [results.json]`.  The
 //! results are additionally always written to `BENCH_multiswitch.json` at
 //! the workspace root (override with `BENCH_MULTISWITCH_JSON`) so CI can
@@ -40,12 +52,16 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use std::collections::BTreeSet;
+
 use rt_bench::report::{json_object, maybe_write_json_from_args, write_artifact, Table, ToJson};
 use rt_core::multihop::{HopLink, MultiHopAdmission, MultiHopDps, SwitchId, Topology};
-use rt_core::{RtChannelSpec, RtNetwork};
+use rt_core::{ChannelRoute, RtChannelSpec, RtNetwork};
 use rt_netsim::SchedulerKind;
-use rt_traffic::FabricScenario;
-use rt_types::{Duration, NodeId, Router, ShortestPathRouter, TreeRouter};
+use rt_traffic::{FabricScenario, FailoverScenario};
+use rt_types::{
+    ChannelId, Duration, KShortestRouter, NodeId, Router, ShortestPathRouter, SimTime, TreeRouter,
+};
 
 #[derive(Debug)]
 struct MultiSwitchRow {
@@ -145,12 +161,72 @@ impl ToJson for SchedulerRow {
     }
 }
 
+/// One fail-over survivability run (part 4).
+#[derive(Debug)]
+struct FailoverRow {
+    requested: u64,
+    accepted: u64,
+    rerouted: u64,
+    dropped: u64,
+    deadline_misses: u64,
+    link_failure_drops: u64,
+    unaffected_identical: bool,
+    events: u64,
+    elapsed_ns: u64,
+}
+
+impl ToJson for FailoverRow {
+    fn to_json(&self) -> String {
+        // No events_per_second here on purpose: this run is dominated by
+        // fixed costs (18 ms of wall clock), so a throughput gate on it
+        // would be noise; the throughput trajectory lives in
+        // `benches/fabric.rs`.  The admission-quality fields are the gated
+        // metrics.
+        json_object(&[
+            ("fabric", "torus_1024_failover".to_json()),
+            ("requested", self.requested.to_json()),
+            ("accepted_channels", self.accepted.to_json()),
+            ("rerouted_channels", self.rerouted.to_json()),
+            ("dropped_channels", self.dropped.to_json()),
+            ("deadline_misses", self.deadline_misses.to_json()),
+            ("link_failure_drops", self.link_failure_drops.to_json()),
+            ("unaffected_identical", self.unaffected_identical.to_json()),
+            ("events", self.events.to_json()),
+            ("elapsed_ns", self.elapsed_ns.to_json()),
+        ])
+    }
+}
+
+/// Per-scenario admission-quality metrics for the trajectory gate: how many
+/// channels each scenario accepted (and, for fail-over scenarios, re-routed
+/// / dropped).  `bench_diff` fails CI when `accepted_channels` regresses.
+#[derive(Debug)]
+struct AdmissionRow {
+    scenario: String,
+    accepted: u64,
+    rerouted: u64,
+    dropped: u64,
+}
+
+impl ToJson for AdmissionRow {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("fabric", self.scenario.to_json()),
+            ("accepted_channels", self.accepted.to_json()),
+            ("rerouted_channels", self.rerouted.to_json()),
+            ("dropped_channels", self.dropped.to_json()),
+        ])
+    }
+}
+
 /// The whole experiment, for the JSON dump.
 #[derive(Debug)]
 struct Results {
     dumbbell: Vec<MultiSwitchRow>,
     mesh: Vec<MeshRow>,
     schedulers: Vec<SchedulerRow>,
+    failover: Vec<FailoverRow>,
+    admission_quality: Vec<AdmissionRow>,
 }
 
 impl ToJson for Results {
@@ -159,6 +235,8 @@ impl ToJson for Results {
             ("dumbbell", self.dumbbell.to_json()),
             ("mesh_vs_tree", self.mesh.to_json()),
             ("scheduler_comparison", self.schedulers.to_json()),
+            ("failover", self.failover.to_json()),
+            ("admission_quality", self.admission_quality.to_json()),
         ])
     }
 }
@@ -479,15 +557,256 @@ fn part3_schedulers(messages: u64) -> Vec<SchedulerRow> {
     rows
 }
 
+/// The links of a route, as a set for disjointness checks.
+fn link_set(route: &ChannelRoute) -> BTreeSet<HopLink> {
+    route.path.iter().copied().collect()
+}
+
+/// Part 4: scripted mid-run trunk cut on the 1024-node torus with
+/// k-shortest fail-over — the survivability experiment of the fail-over PR.
+fn part4_survivability(messages: u64) -> FailoverRow {
+    let scenario = FailoverScenario::torus_link_cut(8, 8, 8, 8);
+    let (cut_from, cut_to) = scenario.cut_trunk();
+    let spec = RtChannelSpec::paper_default();
+    println!("\nPart 4 — survivability (8x8 torus, 1024 nodes; cut trunk {cut_from} <-> {cut_to} mid-run)");
+    println!(
+        "40 channels admitted with KShortestRouter fallback, 8 pinned across the doomed trunk"
+    );
+
+    // Eight channels guaranteed to cross the doomed trunk (masters on sw0
+    // -> slaves on sw1) plus 32 background neighbour-to-neighbour channels
+    // that stay clear of it (switches 1..33, each to its successor — the
+    // direct trunk, never via sw0).  The pinned channels get a roomier
+    // deadline (60 slots): after the cut, their 3-trunk detours have two
+    // more hops than the direct route, and the experiment's contract is
+    // that *every* one of them re-admits.
+    let pinned_spec = RtChannelSpec::new(spec.period, spec.capacity, rt_types::Slots::new(60))
+        .expect("valid pinned spec");
+    let mut pairs: Vec<(NodeId, NodeId, RtChannelSpec)> = (0..8u64)
+        .map(|i| {
+            (
+                scenario.fabric().master(0, i),
+                scenario.fabric().slave(1, i),
+                pinned_spec,
+            )
+        })
+        .collect();
+    pairs.extend((1..33u32).map(|s| {
+        (
+            scenario.fabric().master(s, u64::from(s)),
+            scenario.fabric().slave(s + 1, u64::from(s)),
+            spec,
+        )
+    }));
+    let requested = pairs.len() as u64;
+
+    // Drive one run; `cut` selects the failure world.  Both worlds use the
+    // same fixed timeline so their traces are comparable.
+    type ChannelTrace = Vec<(u32, u64, bool)>;
+    struct RunOutcome {
+        traces: std::collections::BTreeMap<u16, ChannelTrace>,
+        routes_before: Vec<ChannelRoute>,
+        rerouted: Vec<ChannelRoute>,
+        dropped: Vec<ChannelRoute>,
+        misses: u64,
+        link_drops: u64,
+        events: u64,
+    }
+    let drive = |cut: bool| -> RunOutcome {
+        let mut net = RtNetwork::builder()
+            .topology(scenario.fabric().topology())
+            .router(KShortestRouter::new(4))
+            .multihop_dps(MultiHopDps::Asymmetric)
+            .build()
+            .expect("the torus builds under k-shortest routing");
+        let mut established: Vec<(NodeId, ChannelId)> = Vec::new();
+        for &(src, dst, pair_spec) in &pairs {
+            if let Some(tx) = net
+                .establish_channel(src, dst, pair_spec)
+                .expect("establishment cannot error on a known topology")
+            {
+                established.push((src, tx.id));
+            }
+        }
+        let routes_before: Vec<ChannelRoute> = established
+            .iter()
+            .filter_map(|&(_, id)| net.manager().channel_route(id))
+            .collect();
+        // Fixed timeline: batch 1 well after establishment, the cut lands
+        // mid-flight of its first messages, batch 2 after re-admission.
+        let start1 = SimTime::from_millis(100);
+        assert!(
+            net.now() < start1,
+            "establishment must finish before batch 1"
+        );
+        for &(src, id) in &established {
+            net.send_periodic(src, id, messages, 1000, start1)
+                .expect("channel was just established");
+        }
+        let cut_at = start1 + Duration::from_micros(400);
+        net.run_until(cut_at).expect("pre-cut traffic dispatches");
+        let (rerouted, dropped) = if cut {
+            let report = net
+                .fail_trunk(cut_from, cut_to)
+                .expect("the doomed trunk exists");
+            (report.rerouted, report.dropped)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let start2 = cut_at + Duration::from_millis(5);
+        for &(src, id) in &established {
+            if net.manager().channel_route(id).is_some() {
+                net.send_periodic(src, id, messages, 1000, start2)
+                    .expect("channel is still admitted");
+            }
+        }
+        net.run_to_completion().expect("simulation completes");
+        let stats = net.simulator().stats();
+        assert_eq!(
+            net.simulator().injected_count(),
+            stats.total_delivered() + stats.total_dropped(),
+            "frame conservation must hold, cut={cut}"
+        );
+        let mut traces: std::collections::BTreeMap<u16, ChannelTrace> =
+            std::collections::BTreeMap::new();
+        for m in net.received_messages() {
+            traces.entry(m.message.channel.get()).or_default().push((
+                m.receiver.get(),
+                m.delivered_at.as_nanos(),
+                m.missed_deadline,
+            ));
+        }
+        RunOutcome {
+            traces,
+            routes_before,
+            rerouted,
+            dropped,
+            misses: stats.total_deadline_misses,
+            link_drops: stats.failed_link_dropped,
+            events: net.simulator().events_processed(),
+        }
+    };
+
+    let started = Instant::now();
+    let with_cut = drive(true);
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+    let reference = drive(false);
+
+    let accepted = with_cut.routes_before.len() as u64;
+    // Every affected channel must have been re-routed: the torus is
+    // redundant, so nothing may be dropped.
+    assert!(
+        with_cut.dropped.is_empty(),
+        "the torus must re-route every affected channel, dropped {:?}",
+        with_cut.dropped.iter().map(|r| r.id).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        with_cut.rerouted.len(),
+        8,
+        "exactly the eight pinned channels cross the doomed trunk"
+    );
+    // Zero deadline misses — including the frames generated after
+    // re-admission, which are stamped and scheduled against the new routes.
+    assert_eq!(
+        with_cut.misses, 0,
+        "fail-over must not cause a single deadline miss"
+    );
+
+    // Byte-for-byte: channels whose links are disjoint from every affected
+    // channel's old and new route cannot tell the two worlds apart.
+    let affected_ids: BTreeSet<u16> = with_cut.rerouted.iter().map(|r| r.id.get()).collect();
+    let mut excluded_links: BTreeSet<HopLink> = BTreeSet::new();
+    for route in with_cut
+        .routes_before
+        .iter()
+        .filter(|r| affected_ids.contains(&r.id.get()))
+        .chain(with_cut.rerouted.iter())
+    {
+        excluded_links.extend(link_set(route));
+    }
+    let mut compared = 0u64;
+    let mut identical = true;
+    for route in &with_cut.routes_before {
+        if affected_ids.contains(&route.id.get()) || !link_set(route).is_disjoint(&excluded_links) {
+            continue;
+        }
+        compared += 1;
+        if with_cut.traces.get(&route.id.get()) != reference.traces.get(&route.id.get()) {
+            identical = false;
+        }
+    }
+    assert!(
+        compared > 0,
+        "the workload must contain unaffected channels"
+    );
+    assert!(
+        identical,
+        "channels off the failed path must deliver byte-for-byte identically"
+    );
+
+    println!(
+        "  accepted {accepted}/{requested}, re-routed {}, dropped 0, misses 0, \
+         {} frames lost on the dead trunk, {compared} unaffected channels byte-for-byte identical",
+        with_cut.rerouted.len(),
+        with_cut.link_drops,
+    );
+    println!(
+        "  {} events in {:.1} ms",
+        with_cut.events,
+        elapsed_ns as f64 / 1e6,
+    );
+    FailoverRow {
+        requested,
+        accepted,
+        rerouted: with_cut.rerouted.len() as u64,
+        dropped: with_cut.dropped.len() as u64,
+        deadline_misses: with_cut.misses,
+        link_failure_drops: with_cut.link_drops,
+        unaffected_identical: identical,
+        events: with_cut.events,
+        elapsed_ns,
+    }
+}
+
 fn main() {
     let messages = 10u64;
     let dumbbell_rows = part1_dumbbell(10, 50, messages);
     let mesh_rows = part2_mesh(messages);
     let scheduler_rows = part3_schedulers(messages);
+    let failover_row = part4_survivability(3);
+    // Admission-quality trajectory: one row per scenario, gated by
+    // bench_diff (an accepted-channel regression fails CI).  The torus
+    // fail-over run is NOT duplicated here — its FailoverRow already
+    // carries the gated fields under the "torus_1024_failover" key, and
+    // two rows with one key would shadow each other in the gate.
+    let last_dumbbell = dumbbell_rows.last().expect("part 1 sweeps at least once");
+    let last_mesh = mesh_rows.last().expect("part 2 sweeps at least once");
+    let admission_quality = vec![
+        AdmissionRow {
+            scenario: "dumbbell_asymmetric".into(),
+            accepted: last_dumbbell.asymmetric_accepted,
+            rerouted: 0,
+            dropped: 0,
+        },
+        AdmissionRow {
+            scenario: "line_tree_router".into(),
+            accepted: last_mesh.tree.established,
+            rerouted: 0,
+            dropped: 0,
+        },
+        AdmissionRow {
+            scenario: "ring_shortest_path".into(),
+            accepted: last_mesh.mesh.established,
+            rerouted: 0,
+            dropped: 0,
+        },
+    ];
     let results = Results {
         dumbbell: dumbbell_rows,
         mesh: mesh_rows,
         schedulers: scheduler_rows,
+        failover: vec![failover_row],
+        admission_quality,
     };
     println!();
     write_artifact("BENCH_MULTISWITCH_JSON", "BENCH_multiswitch.json", &results);

@@ -44,7 +44,9 @@ pub mod system_state;
 pub use admission::{AdmissionController, AdmissionDecision};
 pub use channel::{DeadlineSplit, RtChannel, RtChannelSpec};
 pub use dps::{Adps, DeadlinePartitioningScheme, DpsKind, Sdps, SearchDps, WeightedAdps};
-pub use manager::{ChannelManager, ChannelRoute, ReleasedChannel, SwitchChannelManager};
+pub use manager::{
+    ChannelManager, ChannelRoute, FailoverReport, ReleasedChannel, SwitchChannelManager,
+};
 pub use multihop::{
     FabricChannelManager, HopLink, MultiHopAdmission, MultiHopChannel, MultiHopDps, Route, Router,
     SwitchId, Topology,

@@ -24,7 +24,7 @@ use rt_frames::rt_response::ResponseVerdict;
 use rt_frames::{RequestFrame, ResponseFrame};
 use rt_types::{
     ChannelId, ConnectionRequestId, HopLink, LinkId, MacAddr, NodeId, Route, RtError, RtResult,
-    Slots,
+    Slots, SwitchId,
 };
 
 use crate::admission::{AdmissionController, AdmissionDecision};
@@ -84,6 +84,36 @@ pub struct ChannelRoute {
     pub link_deadlines: Vec<Slots>,
 }
 
+/// The manager's answer to a trunk failure: which admitted channels were
+/// re-routed over surviving paths (with their *new* routes), which had to be
+/// dropped because no surviving route could admit them (with their *old*,
+/// now-released routes), and how many were untouched.
+///
+/// The capacity story is exact: every affected channel's reservation was
+/// released on all links of its old path; re-routed channels hold fresh
+/// reservations on every link of their new path; dropped channels hold
+/// nothing.
+#[derive(Debug, Clone)]
+pub struct FailoverReport {
+    /// The failed trunk, as given to the failure handler.
+    pub link: (SwitchId, SwitchId),
+    /// Channels re-admitted over surviving routes, with their new
+    /// [`ChannelRoute`] views (route + fresh per-link deadline split).
+    pub rerouted: Vec<ChannelRoute>,
+    /// Channels released without a surviving feasible route, with the route
+    /// view they had before the failure.
+    pub dropped: Vec<ChannelRoute>,
+    /// Channels whose route never touched the failed trunk.
+    pub unaffected: usize,
+}
+
+impl FailoverReport {
+    /// Number of channels whose route crossed the failed trunk.
+    pub fn affected(&self) -> usize {
+        self.rerouted.len() + self.dropped.len()
+    }
+}
+
 /// The switch-side RT channel management software, star or fabric: the one
 /// interface `RtNetwork` drives, whatever the topology.
 ///
@@ -124,6 +154,20 @@ pub trait ChannelManager: fmt::Debug {
     /// partitioning).  The star manager keeps the paper's end-to-end EDF
     /// stamps instead.
     fn schedules_hops(&self) -> bool;
+
+    /// React to a trunk failure: release the reservations of every admitted
+    /// channel whose route crossed the failed trunk and re-admit each over
+    /// the surviving routes (trying the router's candidate paths in order),
+    /// preserving channel ids so the endpoints' state stays valid.  Channels
+    /// no surviving route can admit are dropped.  Channels off the failed
+    /// trunk are untouched — their reservations, routes and deadline splits
+    /// stay byte-for-byte identical.
+    fn handle_link_failure(&mut self, from: SwitchId, to: SwitchId) -> RtResult<FailoverReport>;
+
+    /// React to a trunk repair: restore the trunk for *future* admissions.
+    /// Established channels stay on the routes they were (re-)admitted on —
+    /// deliberately, so a repair never perturbs running traffic.
+    fn handle_link_repair(&mut self, from: SwitchId, to: SwitchId) -> RtResult<()>;
 }
 
 /// A reservation waiting for the destination node's confirmation.
@@ -290,6 +334,18 @@ impl ChannelManager for SwitchChannelManager {
 
     fn schedules_hops(&self) -> bool {
         false
+    }
+
+    fn handle_link_failure(&mut self, from: SwitchId, to: SwitchId) -> RtResult<FailoverReport> {
+        Err(RtError::Config(format!(
+            "a single-switch star has no trunk {from} <-> {to} to fail"
+        )))
+    }
+
+    fn handle_link_repair(&mut self, from: SwitchId, to: SwitchId) -> RtResult<()> {
+        Err(RtError::Config(format!(
+            "a single-switch star has no trunk {from} <-> {to} to repair"
+        )))
     }
 }
 

@@ -40,7 +40,7 @@ use rt_types::{
 pub use rt_types::{HopLink, Route, Router, SwitchId, Topology};
 
 use crate::channel::RtChannelSpec;
-use crate::manager::{ChannelManager, ChannelRoute, ReleasedChannel, SwitchAction};
+use crate::manager::{ChannelManager, ChannelRoute, FailoverReport, ReleasedChannel, SwitchAction};
 use crate::protocol::ChannelRequest;
 
 /// How the end-to-end deadline is split over the links of a multi-hop path.
@@ -129,6 +129,20 @@ pub struct MultiHopChannel {
     pub link_deadlines: Vec<Slots>,
 }
 
+impl MultiHopChannel {
+    /// The manager-agnostic [`ChannelRoute`] view of this channel.
+    pub fn to_route(&self) -> ChannelRoute {
+        ChannelRoute {
+            id: self.id,
+            source: self.source,
+            destination: self.destination,
+            spec: self.spec,
+            path: self.path.clone(),
+            link_deadlines: self.link_deadlines.clone(),
+        }
+    }
+}
+
 /// Admission control over a multi-switch topology.
 pub struct MultiHopAdmission {
     topology: Topology,
@@ -140,6 +154,8 @@ pub struct MultiHopAdmission {
     next_channel_id: u16,
     accepted: u64,
     rejected: u64,
+    rerouted: u64,
+    dropped_on_failure: u64,
 }
 
 impl fmt::Debug for MultiHopAdmission {
@@ -178,6 +194,8 @@ impl MultiHopAdmission {
             next_channel_id: 1,
             accepted: 0,
             rejected: 0,
+            rerouted: 0,
+            dropped_on_failure: 0,
         }
     }
 
@@ -204,6 +222,16 @@ impl MultiHopAdmission {
     /// Requests rejected so far.
     pub fn rejected_count(&self) -> u64 {
         self.rejected
+    }
+
+    /// Channels re-routed over a surviving path after a trunk failure.
+    pub fn rerouted_count(&self) -> u64 {
+        self.rerouted
+    }
+
+    /// Channels dropped because no surviving route could re-admit them.
+    pub fn failure_dropped_count(&self) -> u64 {
+        self.dropped_on_failure
     }
 
     /// The number of channels currently traversing `link`.
@@ -246,44 +274,48 @@ impl MultiHopAdmission {
         Err(RtError::ChannelIdsExhausted)
     }
 
-    /// Request a channel from `source` to `destination`.  Returns the
-    /// admitted channel, or the rejection (which link failed and why).
-    pub fn request(
-        &mut self,
-        source: NodeId,
-        destination: NodeId,
-        spec: RtChannelSpec,
-    ) -> RtResult<Result<MultiHopChannel, (Option<HopLink>, String)>> {
-        spec.validate()?;
-        let path = self.router.route(&self.topology, source, destination)?;
+    /// Partition the deadline over `path` and run the per-link feasibility
+    /// test with the candidate added, without committing anything.  Returns
+    /// the per-link deadlines on success, or which link failed and why.
+    fn try_admit(
+        &self,
+        spec: &RtChannelSpec,
+        path: &Route,
+    ) -> Result<Vec<Slots>, (Option<HopLink>, String)> {
         let loads: Vec<usize> = path.iter().map(|l| self.link_load(*l)).collect();
-        let deadlines = match self.dps.partition(&spec, &path, &loads) {
-            Ok(d) => d,
-            Err(e) => {
-                self.rejected += 1;
-                return Ok(Err((None, e.to_string())));
-            }
-        };
-
-        // Per-link feasibility with the candidate added.
+        let deadlines = self
+            .dps
+            .partition(spec, path, &loads)
+            .map_err(|e| (None, e.to_string()))?;
         for (link, &deadline) in path.iter().zip(deadlines.iter()) {
-            let task = PeriodicTask::new(spec.period, spec.capacity, deadline)?;
+            let task = PeriodicTask::new(spec.period, spec.capacity, deadline)
+                .map_err(|e| (Some(*link), e.to_string()))?;
             let set = self.link_taskset(*link);
             let outcome = self.tester.test_with_candidate(&set, &task);
             if !outcome.is_feasible() {
-                self.rejected += 1;
-                return Ok(Err((
+                return Err((
                     Some(*link),
                     format!(
                         "link {link} infeasible with d={deadline}: {:?}",
                         outcome.verdict
                     ),
-                )));
+                ));
             }
         }
+        Ok(deadlines)
+    }
 
-        // Commit.
-        let id = self.allocate_channel_id()?;
+    /// Commit an already-tested channel: reserve capacity on every link of
+    /// the path under the given id.
+    fn commit(
+        &mut self,
+        id: ChannelId,
+        source: NodeId,
+        destination: NodeId,
+        spec: RtChannelSpec,
+        path: Route,
+        deadlines: Vec<Slots>,
+    ) -> RtResult<MultiHopChannel> {
         for (link, &deadline) in path.iter().zip(deadlines.iter()) {
             let task = PeriodicTask::new(spec.period, spec.capacity, deadline)?;
             self.link_tasks.entry(*link).or_default().push(task);
@@ -297,8 +329,117 @@ impl MultiHopAdmission {
             link_deadlines: deadlines,
         };
         self.channels.insert(id.get(), channel.clone());
-        self.accepted += 1;
-        Ok(Ok(channel))
+        Ok(channel)
+    }
+
+    /// Request a channel from `source` to `destination`.  Returns the
+    /// admitted channel, or the rejection (which link failed and why).
+    ///
+    /// The router's candidate routes are tried in preference order: with a
+    /// single-route policy this is exactly the classic one-shot admission,
+    /// while a [`rt_types::KShortestRouter`] turns a saturated (or cut)
+    /// primary path into a detour instead of a rejection.  A rejection
+    /// reports the *primary* path's failure — that is the bound the caller
+    /// asked about.
+    pub fn request(
+        &mut self,
+        source: NodeId,
+        destination: NodeId,
+        spec: RtChannelSpec,
+    ) -> RtResult<Result<MultiHopChannel, (Option<HopLink>, String)>> {
+        spec.validate()?;
+        let candidates = self.router.routes(&self.topology, source, destination)?;
+        let mut primary_failure: Option<(Option<HopLink>, String)> = None;
+        for path in candidates {
+            match self.try_admit(&spec, &path) {
+                Ok(deadlines) => {
+                    let id = self.allocate_channel_id()?;
+                    let channel = self.commit(id, source, destination, spec, path, deadlines)?;
+                    self.accepted += 1;
+                    return Ok(Ok(channel));
+                }
+                Err(failure) => {
+                    if primary_failure.is_none() {
+                        primary_failure = Some(failure);
+                    }
+                }
+            }
+        }
+        self.rejected += 1;
+        Ok(Err(
+            primary_failure.expect("Router::routes yields at least one candidate")
+        ))
+    }
+
+    /// Fail a trunk and fail over: every admitted channel whose route
+    /// crossed it is released (capacity freed on *all* its links) and
+    /// re-admitted over the surviving candidate routes, keeping its channel
+    /// id so endpoint and wire state stay addressable.  Channels that no
+    /// surviving route can admit are dropped.  Channels off the failed
+    /// trunk are not touched at all.
+    pub fn fail_trunk(&mut self, from: SwitchId, to: SwitchId) -> RtResult<FailoverReport> {
+        self.topology.fail_trunk(from, to)?;
+        let crosses = |c: &MultiHopChannel| {
+            c.path.iter().any(|l| {
+                matches!(l, HopLink::Trunk { from: f, to: t }
+                    if (*f == from && *t == to) || (*f == to && *t == from))
+            })
+        };
+        let affected: Vec<u16> = self
+            .channels
+            .iter()
+            .filter(|(_, c)| crosses(c))
+            .map(|(&id, _)| id)
+            .collect();
+        let unaffected = self.channels.len() - affected.len();
+        let mut report = FailoverReport {
+            link: (from, to),
+            rerouted: Vec::new(),
+            dropped: Vec::new(),
+            unaffected,
+        };
+        // Release *every* affected channel before re-admitting any: a
+        // one-at-a-time release would feasibility-test early re-admissions
+        // against the stale reservations of later affected channels and
+        // drop channels the surviving fabric could actually carry.
+        let released: Vec<MultiHopChannel> = affected
+            .into_iter()
+            .map(|raw_id| self.release(ChannelId::new(raw_id)))
+            .collect::<RtResult<_>>()?;
+        for old in released {
+            let candidates = self
+                .router
+                .routes(&self.topology, old.source, old.destination)
+                .unwrap_or_default();
+            let mut readmitted = false;
+            for path in candidates {
+                if let Ok(deadlines) = self.try_admit(&old.spec, &path) {
+                    let channel = self.commit(
+                        old.id,
+                        old.source,
+                        old.destination,
+                        old.spec,
+                        path,
+                        deadlines,
+                    )?;
+                    report.rerouted.push(channel.to_route());
+                    self.rerouted += 1;
+                    readmitted = true;
+                    break;
+                }
+            }
+            if !readmitted {
+                report.dropped.push(old.to_route());
+                self.dropped_on_failure += 1;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Repair a previously failed trunk: future admissions (and fail-overs)
+    /// see the restored edge; established channels stay where they are.
+    pub fn repair_trunk(&mut self, from: SwitchId, to: SwitchId) -> RtResult<()> {
+        self.topology.repair_trunk(from, to)
     }
 
     /// Tear down a channel, releasing its capacity on every link of its
@@ -476,15 +617,7 @@ impl ChannelManager for FabricChannelManager {
     }
 
     fn channel_route(&self, id: ChannelId) -> Option<ChannelRoute> {
-        let channel = self.admission.channel(id)?;
-        Some(ChannelRoute {
-            id: channel.id,
-            source: channel.source,
-            destination: channel.destination,
-            spec: channel.spec,
-            path: channel.path.clone(),
-            link_deadlines: channel.link_deadlines.clone(),
-        })
+        Some(self.admission.channel(id)?.to_route())
     }
 
     fn link_load(&self, link: HopLink) -> usize {
@@ -493,6 +626,19 @@ impl ChannelManager for FabricChannelManager {
 
     fn schedules_hops(&self) -> bool {
         true
+    }
+
+    fn handle_link_failure(&mut self, from: SwitchId, to: SwitchId) -> RtResult<FailoverReport> {
+        let report = self.admission.fail_trunk(from, to)?;
+        // A dropped channel can no longer complete a pending handshake.
+        for dropped in &report.dropped {
+            self.pending.remove(&dropped.id);
+        }
+        Ok(report)
+    }
+
+    fn handle_link_repair(&mut self, from: SwitchId, to: SwitchId) -> RtResult<()> {
+        self.admission.repair_trunk(from, to)
     }
 }
 
@@ -755,6 +901,121 @@ mod tests {
         );
         assert!(admission.rejected_count() > 0);
         assert!(admission.accepted_count() > 0);
+    }
+
+    // --- fail-over ---------------------------------------------------------
+
+    #[test]
+    fn fail_trunk_reroutes_around_a_ring() {
+        let spec = RtChannelSpec::paper_default();
+        let mut admission = MultiHopAdmission::new(Topology::ring(4, 1), MultiHopDps::Symmetric);
+        // node 0 (sw0) -> node 3 (sw3): the closing trunk, 3 hops.
+        let affected = admission
+            .request(NodeId::new(0), NodeId::new(3), spec)
+            .unwrap()
+            .unwrap();
+        assert_eq!(affected.path.len(), 3);
+        // node 1 (sw1) -> node 2 (sw2): off the closing trunk.
+        let untouched = admission
+            .request(NodeId::new(1), NodeId::new(2), spec)
+            .unwrap()
+            .unwrap();
+        let untouched_before = admission.channel(untouched.id).unwrap().clone();
+
+        let report = admission
+            .fail_trunk(SwitchId::new(3), SwitchId::new(0))
+            .unwrap();
+        assert_eq!(report.link, (SwitchId::new(3), SwitchId::new(0)));
+        assert_eq!(report.rerouted.len(), 1);
+        assert_eq!(report.dropped.len(), 0);
+        assert_eq!(report.unaffected, 1);
+        assert_eq!(report.affected(), 1);
+        // Same id, new 5-hop route the long way around.
+        let rerouted = &report.rerouted[0];
+        assert_eq!(rerouted.id, affected.id);
+        assert_eq!(rerouted.path.len(), 5);
+        assert_eq!(
+            rerouted.link_deadlines.iter().map(|s| s.get()).sum::<u64>(),
+            spec.deadline.get()
+        );
+        // Capacity follows the channel: the long-way trunks now carry it.
+        assert_eq!(
+            admission.link_load(HopLink::Trunk {
+                from: SwitchId::new(0),
+                to: SwitchId::new(1)
+            }),
+            1
+        );
+        // The untouched channel is byte-for-byte identical.
+        assert_eq!(admission.channel(untouched.id).unwrap(), &untouched_before);
+        assert_eq!(admission.rerouted_count(), 1);
+        assert_eq!(admission.failure_dropped_count(), 0);
+
+        // Repair restores the trunk for future requests.
+        admission
+            .repair_trunk(SwitchId::new(0), SwitchId::new(3))
+            .unwrap();
+        let fresh = admission
+            .request(NodeId::new(0), NodeId::new(3), spec)
+            .unwrap()
+            .unwrap();
+        assert_eq!(fresh.path.len(), 3, "new requests use the repaired trunk");
+        // ...but the re-routed channel stays on its detour.
+        assert_eq!(admission.channel(affected.id).unwrap().path.len(), 5);
+    }
+
+    #[test]
+    fn fail_trunk_drops_channels_when_the_fabric_splits() {
+        let spec = RtChannelSpec::paper_default();
+        let mut admission = MultiHopAdmission::new(dumbbell(1, 1), MultiHopDps::Symmetric);
+        let channel = admission
+            .request(NodeId::new(0), NodeId::new(1), spec)
+            .unwrap()
+            .unwrap();
+        let report = admission
+            .fail_trunk(SwitchId::new(0), SwitchId::new(1))
+            .unwrap();
+        assert_eq!(report.rerouted.len(), 0);
+        assert_eq!(report.dropped.len(), 1);
+        assert_eq!(report.dropped[0].id, channel.id);
+        assert_eq!(admission.channel_count(), 0, "the dropped channel is gone");
+        assert_eq!(
+            admission.link_load(HopLink::Uplink(NodeId::new(0))),
+            0,
+            "released on every hop"
+        );
+        assert_eq!(admission.failure_dropped_count(), 1);
+        // Failing a non-existent trunk is an error, not a silent no-op.
+        assert!(admission
+            .fail_trunk(SwitchId::new(0), SwitchId::new(1))
+            .is_err());
+    }
+
+    #[test]
+    fn k_shortest_fallback_admits_past_a_saturated_primary() {
+        let spec = RtChannelSpec::paper_default();
+        // Ring of 4 with 12 nodes per switch: masters on sw0 talk to slaves
+        // on sw1 over the direct trunk until it saturates; the k-shortest
+        // router then detours the long way around instead of rejecting.
+        let run = |router: Arc<dyn Router>| -> u64 {
+            let mut admission = MultiHopAdmission::with_router(
+                Topology::ring(4, 12),
+                MultiHopDps::Symmetric,
+                router,
+            );
+            for i in 0..10u32 {
+                let _ = admission
+                    .request(NodeId::new(i), NodeId::new(12 + i), spec)
+                    .unwrap();
+            }
+            admission.accepted_count()
+        };
+        let shortest_only = run(Arc::new(rt_types::ShortestPathRouter::new()));
+        let with_fallback = run(Arc::new(rt_types::KShortestRouter::new(3)));
+        assert!(
+            with_fallback > shortest_only,
+            "k-shortest fallback ({with_fallback}) must beat single-path ({shortest_only})"
+        );
     }
 
     // --- FabricChannelManager (handshake over the fabric) -----------------

@@ -45,7 +45,7 @@ use rt_types::{
 use crate::admission::AdmissionController;
 use crate::channel::RtChannelSpec;
 use crate::dps::DpsKind;
-use crate::manager::{ChannelManager, SwitchAction, SwitchChannelManager};
+use crate::manager::{ChannelManager, FailoverReport, SwitchAction, SwitchChannelManager};
 use crate::multihop::{FabricChannelManager, MultiHopAdmission, MultiHopDps};
 use crate::rtlayer::{EstablishmentOutcome, ReceivedMessage, RtLayer, RtLayerConfig, TxChannel};
 use crate::system_state::SystemState;
@@ -442,6 +442,16 @@ impl RtNetwork {
         let Some(route) = self.manager.channel_route(tx.id) else {
             return;
         };
+        debug_assert_eq!(route.source, source);
+        self.install_channel_wire(&route);
+    }
+
+    /// Register a channel's wire state from its [`ChannelRoute`] view: the
+    /// per-switch forwarding entries pinning the route, the per-hop EDF
+    /// deadline budgets, and the hop-count-aware `T_latency` at the source
+    /// RT layer.  Used at establishment *and* at fail-over re-admission (the
+    /// new route simply replaces the old wire state under the same id).
+    fn install_channel_wire(&mut self, route: &crate::manager::ChannelRoute) {
         let config = *self.sim.config();
         let link_speed = config.link_speed;
         let hops = route.path.len();
@@ -461,9 +471,9 @@ impl RtNetwork {
                 link_speed.slots_to_duration(cumulative) + config.t_latency_for_hops(k + 1);
             offsets.push((*link, offset));
         }
-        self.sim.set_channel_hop_schedule(tx.id, offsets);
-        if let Some(layer) = self.layers.get_mut(&source.get()) {
-            layer.set_channel_t_latency(tx.id, config.t_latency_for_hops(hops));
+        self.sim.set_channel_hop_schedule(route.id, offsets);
+        if let Some(layer) = self.layers.get_mut(&route.source.get()) {
+            layer.set_channel_t_latency(route.id, config.t_latency_for_hops(hops));
         }
     }
 
@@ -478,6 +488,43 @@ impl RtNetwork {
             .teardown_channel(channel)?;
         self.sim.inject(source, eth, now)?;
         self.pump()
+    }
+
+    // --- fault injection -----------------------------------------------------
+
+    /// Cut a trunk at the current simulated time and fail over: the wire
+    /// loses the link first (queued and in-flight frames on the dead edge
+    /// are lost and counted), then the manager releases every admitted
+    /// channel whose route crossed it and re-admits each over the surviving
+    /// routes — keeping channel ids — and the new routes' forwarding entries
+    /// and per-hop budgets replace the old wire state.  Channels that no
+    /// surviving route can admit are dropped end to end: wire state torn
+    /// down (their late frames drop, counted), source and destination RT
+    /// layers forget them.  Channels off the failed trunk are untouched.
+    pub fn fail_trunk(&mut self, from: SwitchId, to: SwitchId) -> RtResult<FailoverReport> {
+        self.sim.fail_link(from, to)?;
+        let report = self.manager.handle_link_failure(from, to)?;
+        for route in &report.rerouted {
+            self.install_channel_wire(route);
+        }
+        for old in &report.dropped {
+            self.sim.release_channel(old.id);
+            if let Some(layer) = self.layers.get_mut(&old.destination.get()) {
+                layer.forget_rx_channel(old.id);
+            }
+            if let Some(layer) = self.layers.get_mut(&old.source.get()) {
+                layer.forget_tx_channel(old.id);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Splice a previously cut trunk back, on the wire and in admission
+    /// control.  Established channels stay on their current routes; the
+    /// restored trunk serves future admissions and fail-overs.
+    pub fn repair_trunk(&mut self, from: SwitchId, to: SwitchId) -> RtResult<()> {
+        self.sim.repair_link(from, to)?;
+        self.manager.handle_link_repair(from, to)
     }
 
     // --- data plane ----------------------------------------------------------
@@ -552,10 +599,34 @@ impl RtNetwork {
         Ok(self.sim.now())
     }
 
-    /// Run-and-dispatch until the event queue drains.
+    /// Run and dispatch up to `limit` (inclusive); events after `limit`
+    /// stay pending.  This is how a mid-run fault is scripted at the
+    /// network level: run to the cut instant, call
+    /// [`RtNetwork::fail_trunk`], then keep running.  Like
+    /// [`RtNetwork::run_to_completion`], every delivery is dispatched at
+    /// its simulated time, so a teardown inside the window takes effect on
+    /// the traffic behind it.
+    pub fn run_until(&mut self, limit: SimTime) -> RtResult<SimTime> {
+        loop {
+            self.sim.run_until_delivery_before(limit);
+            let deliveries = self.sim.poll_deliveries();
+            if deliveries.is_empty() {
+                return Ok(self.sim.now());
+            }
+            for delivery in deliveries {
+                self.dispatch(delivery)?;
+            }
+        }
+    }
+
+    /// Run-and-dispatch until the event queue drains, reacting to every
+    /// delivery at its simulated time (not after the queue empties): the
+    /// switch software processes a control frame — and e.g. releases a
+    /// channel's wire state — while later traffic is still in flight,
+    /// exactly as a real switch would.
     fn pump(&mut self) -> RtResult<()> {
         loop {
-            self.sim.run_to_idle();
+            self.sim.run_until_delivery();
             let deliveries = self.sim.poll_deliveries();
             if deliveries.is_empty() {
                 return Ok(());
@@ -568,7 +639,11 @@ impl RtNetwork {
 
     fn handle_control_teardown(&mut self, channel: ChannelId) -> RtResult<()> {
         let released = self.manager.handle_teardown(channel)?;
-        self.sim.clear_channel_hop_schedule(released.id);
+        // Real wire-level teardown: forwarding entries and per-hop budgets
+        // are forgotten AND late frames of the released channel are dropped
+        // at the first switch (counted in the statistics), never delivered
+        // on the stale route.
+        self.sim.release_channel(released.id);
         // Let the destination forget the channel too.
         if let Some(layer) = self.layers.get_mut(&released.destination.get()) {
             layer.forget_rx_channel(released.id);
@@ -618,14 +693,24 @@ impl RtNetwork {
                     .insert((node_key, resp.connection_request_id.get()), outcome);
             }
             Frame::RtData(data) => {
-                let message = layer.handle_data(&data)?;
-                let missed = delivery.deadline.is_some_and(|d| delivery.delivered_at > d);
-                self.received.push(DeliveredMessage {
-                    receiver: delivery.receiver,
-                    message,
-                    delivered_at: delivery.delivered_at,
-                    missed_deadline: missed,
-                });
+                match layer.handle_data(&data) {
+                    Ok(message) => {
+                        let missed = delivery.deadline.is_some_and(|d| delivery.delivered_at > d);
+                        self.received.push(DeliveredMessage {
+                            receiver: delivery.receiver,
+                            message,
+                            delivered_at: delivery.delivered_at,
+                            missed_deadline: missed,
+                        });
+                    }
+                    // A frame of a channel released while it was already
+                    // past its last switch (on the downlink when the
+                    // teardown / fail-over drop landed): the receiver has
+                    // forgotten the channel, so the late frame is ignored —
+                    // a mid-run release must never abort the whole run.
+                    Err(RtError::UnknownChannel(_)) => {}
+                    Err(e) => return Err(e),
+                }
             }
             Frame::Teardown(_) => {
                 // Nodes do not receive teardown frames in this protocol.
@@ -1062,6 +1147,153 @@ mod tests {
         for route in &first {
             assert_eq!(route.len(), 4, "ECMP must pick a shortest (2-trunk) path");
         }
+    }
+
+    // --- fault injection and fail-over --------------------------------------
+
+    #[test]
+    fn fail_trunk_reroutes_established_channels_on_the_wire() {
+        let mut net = RtNetwork::builder()
+            .topology(Topology::ring(4, 1))
+            .router(rt_types::KShortestRouter::new(3))
+            .multihop_dps(MultiHopDps::Symmetric)
+            .build()
+            .unwrap();
+        let spec = RtChannelSpec::paper_default();
+        // node 0 (sw0) -> node 3 (sw3): 3 hops via the closing trunk.
+        let tx = net
+            .establish_channel(NodeId::new(0), NodeId::new(3), spec)
+            .unwrap()
+            .unwrap();
+        assert_eq!(net.manager().channel_route(tx.id).unwrap().path.len(), 3);
+        let bound_before = net.channel_deadline_bound(tx.id).unwrap();
+
+        let report = net.fail_trunk(SwitchId::new(3), SwitchId::new(0)).unwrap();
+        assert_eq!(report.rerouted.len(), 1);
+        assert!(report.dropped.is_empty());
+        // The re-routed channel now runs the long way around, same id.
+        let route = net.manager().channel_route(tx.id).unwrap();
+        assert_eq!(route.path.len(), 5);
+        let bound_after = net.channel_deadline_bound(tx.id).unwrap();
+        assert!(bound_after > bound_before, "more hops, larger bound");
+
+        // Traffic flows on the surviving route and meets the new bound.
+        let start = net.now() + Duration::from_millis(1);
+        net.send_periodic(NodeId::new(0), tx.id, 15, 900, start)
+            .unwrap();
+        net.run_to_completion().unwrap();
+        assert_eq!(net.received_messages().len(), 15 * 3);
+        assert!(net.simulator().stats().all_deadlines_met());
+        let worst = net.simulator().stats().channel(tx.id).unwrap().max_latency;
+        assert!(
+            worst <= bound_after,
+            "worst {worst} exceeds post-failover bound {bound_after}"
+        );
+        // The wire really used the detour.
+        assert!(net
+            .simulator()
+            .stats()
+            .hop_link(HopLink::Trunk {
+                from: SwitchId::new(1),
+                to: SwitchId::new(2),
+            })
+            .is_some());
+        assert_eq!(net.simulator().stats().failed_link_dropped, 0);
+    }
+
+    #[test]
+    fn fail_trunk_drops_unroutable_channels_end_to_end() {
+        // A 2-switch line: cutting the only trunk splits the fabric, so the
+        // cross-switch channel cannot be re-admitted anywhere.
+        let mut net = RtNetwork::builder()
+            .topology(Topology::line(2, 1))
+            .multihop_dps(MultiHopDps::Symmetric)
+            .build()
+            .unwrap();
+        let spec = RtChannelSpec::paper_default();
+        let tx = net
+            .establish_channel(NodeId::new(0), NodeId::new(1), spec)
+            .unwrap()
+            .unwrap();
+        let report = net.fail_trunk(SwitchId::new(0), SwitchId::new(1)).unwrap();
+        assert!(report.rerouted.is_empty());
+        assert_eq!(report.dropped.len(), 1);
+        assert_eq!(report.dropped[0].id, tx.id);
+        assert_eq!(net.channel_count(), 0);
+        // Source and destination both forgot the channel.
+        assert_eq!(net.layer(NodeId::new(0)).unwrap().tx_channels().count(), 0);
+        assert_eq!(net.layer(NodeId::new(1)).unwrap().rx_channels().count(), 0);
+        assert!(net
+            .send_periodic(NodeId::new(0), tx.id, 1, 100, net.now())
+            .is_err());
+        // Repair restores the fabric for fresh establishments.
+        net.repair_trunk(SwitchId::new(0), SwitchId::new(1))
+            .unwrap();
+        assert!(net
+            .establish_channel(NodeId::new(0), NodeId::new(1), spec)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn unaffected_channels_deliver_identically_with_and_without_a_cut() {
+        // A same-switch channel (both endpoints on sw2) shares no link with
+        // the cut trunk or any re-route, so its delivery sequence must be
+        // byte-for-byte identical between a failure run and a fault-free
+        // run.
+        let drive = |cut: bool| {
+            let mut net = RtNetwork::builder()
+                .topology(Topology::ring(4, 2))
+                .multihop_dps(MultiHopDps::Symmetric)
+                .build()
+                .unwrap();
+            let spec = RtChannelSpec::paper_default();
+            // The affected channel: node 0 (sw0) -> node 7 (sw3).
+            let affected = net
+                .establish_channel(NodeId::new(0), NodeId::new(7), spec)
+                .unwrap()
+                .unwrap();
+            // The unaffected channel: node 4 -> node 5, both on sw2.
+            let local = net
+                .establish_channel(NodeId::new(4), NodeId::new(5), spec)
+                .unwrap()
+                .unwrap();
+            let start = net.now() + Duration::from_millis(1);
+            net.send_periodic(NodeId::new(0), affected.id, 10, 700, start)
+                .unwrap();
+            net.send_periodic(NodeId::new(4), local.id, 10, 700, start)
+                .unwrap();
+            let cut_at = start + Duration::from_micros(2500);
+            net.run_until(cut_at).unwrap();
+            if cut {
+                net.fail_trunk(SwitchId::new(3), SwitchId::new(0)).unwrap();
+            }
+            net.run_to_completion().unwrap();
+            let local_seq: Vec<(u64, bool)> = net
+                .received_messages()
+                .iter()
+                .filter(|m| m.message.channel == local.id)
+                .map(|m| (m.delivered_at.as_nanos(), m.missed_deadline))
+                .collect();
+            (local_seq, net.simulator().stats().all_deadlines_met())
+        };
+        let (with_cut, _) = drive(true);
+        let (without_cut, clean) = drive(false);
+        assert!(clean);
+        assert!(!with_cut.is_empty());
+        assert_eq!(
+            with_cut, without_cut,
+            "a same-switch channel must not notice a remote trunk cut"
+        );
+    }
+
+    #[test]
+    fn star_networks_reject_link_failures() {
+        let mut net = network(3, DpsKind::Symmetric);
+        assert!(net.fail_trunk(SwitchId::new(0), SwitchId::new(1)).is_err());
+        assert!(net
+            .repair_trunk(SwitchId::new(0), SwitchId::new(1))
+            .is_err());
     }
 
     #[test]

@@ -402,6 +402,18 @@ impl RtLayer {
     pub fn forget_rx_channel(&mut self, channel: ChannelId) {
         self.rx_channels.remove(&channel.get());
     }
+
+    /// Forget an outgoing channel *without* emitting a TeardownFrame — the
+    /// network side of a fail-over drop: the fabric already released the
+    /// channel because no surviving route could re-admit it, so the source
+    /// merely stops believing it can transmit on it.  Like
+    /// [`RtLayer::teardown_channel`], the per-channel `T_latency` override
+    /// goes with it — a recycled channel id must not inherit a dead
+    /// channel's constant.
+    pub fn forget_tx_channel(&mut self, channel: ChannelId) {
+        self.tx_channels.remove(&channel.get());
+        self.tx_latency_overrides.remove(&channel.get());
+    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,23 @@ pub enum Event {
         /// The frame.
         frame: FrameId,
     },
+    /// Fault injection: the trunk between `from` and `to` is cut at this
+    /// instant.  Both directed ports die, their queues are lost, and frames
+    /// mid-serialisation are lost with the cable.
+    FailTrunk {
+        /// One end of the trunk.
+        from: SwitchId,
+        /// The other end.
+        to: SwitchId,
+    },
+    /// Fault injection: a previously failed trunk comes back at this
+    /// instant; forwarding tables recover on the spot.
+    RepairTrunk {
+        /// One end of the trunk.
+        from: SwitchId,
+        /// The other end.
+        to: SwitchId,
+    },
 }
 
 /// An event plus its scheduled time and a FIFO sequence number.

@@ -33,5 +33,7 @@ pub use event::{
     CalendarScheduler, Event, EventQueue, EventScheduler, HeapScheduler, SchedulerKind,
 };
 pub use port::{OutputPort, QueuedFrame, TrafficClass};
-pub use sim::{Delivery, FrameId, FrameInjection, SimConfig, Simulator, TrafficSource};
+pub use sim::{
+    Delivery, FaultScript, FrameId, FrameInjection, LinkFault, SimConfig, Simulator, TrafficSource,
+};
 pub use stats::{ChannelStats, LinkStats, SimStats};

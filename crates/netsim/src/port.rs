@@ -145,6 +145,21 @@ impl OutputPort {
         next
     }
 
+    /// Remove and return every waiting frame (RT first, in EDF order, then
+    /// best-effort in FCFS order) *without* counting them as transmitted —
+    /// what happens to a port's queues when its link is cut: the frames are
+    /// lost, not sent.
+    pub fn drain(&mut self) -> Vec<QueuedFrame> {
+        let mut lost = Vec::with_capacity(self.queued());
+        while let Some((_, f)) = self.rt.pop() {
+            lost.push(f);
+        }
+        while let Some(f) = self.be.pop() {
+            lost.push(f);
+        }
+        lost
+    }
+
     /// Number of frames waiting (both classes).
     pub fn queued(&self) -> usize {
         self.rt.len() + self.be.len()

@@ -229,6 +229,68 @@ pub struct FrameInjection {
     pub at: SimTime,
 }
 
+/// One scripted fabric fault: a trunk cut or a trunk repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFault {
+    /// Cut the trunk between the two switches.
+    Fail {
+        /// One end of the trunk.
+        from: SwitchId,
+        /// The other end.
+        to: SwitchId,
+    },
+    /// Splice a previously cut trunk back.
+    Repair {
+        /// One end of the trunk.
+        from: SwitchId,
+        /// The other end.
+        to: SwitchId,
+    },
+}
+
+/// A scripted sequence of link failures and repairs, injected up front like
+/// a traffic workload ([`Simulator::schedule_faults`]): each fault becomes a
+/// first-class simulator event, totally ordered with the frames around it,
+/// so a fail-over scenario is exactly as reproducible as a fault-free run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultScript {
+    events: Vec<(SimTime, LinkFault)>,
+}
+
+impl FaultScript {
+    /// An empty script.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a trunk cut at `at` (builder style).
+    pub fn fail_at(mut self, at: SimTime, from: SwitchId, to: SwitchId) -> Self {
+        self.events.push((at, LinkFault::Fail { from, to }));
+        self
+    }
+
+    /// Add a trunk repair at `at` (builder style).
+    pub fn repair_at(mut self, at: SimTime, from: SwitchId, to: SwitchId) -> Self {
+        self.events.push((at, LinkFault::Repair { from, to }));
+        self
+    }
+
+    /// The scheduled faults, in insertion order.
+    pub fn events(&self) -> &[(SimTime, LinkFault)] {
+        &self.events
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if the script holds no faults.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
 /// A pull-driven workload generator: instead of scheduling every frame of a
 /// long experiment up front (bloating the pending-event set), the simulator
 /// asks the source for the next window's worth of frames as simulated time
@@ -330,6 +392,18 @@ pub struct Simulator {
     /// Per-channel route state (deadline budgets + forwarding entries),
     /// indexed by raw channel id.
     channel_wire: Vec<Option<ChannelWireState>>,
+    /// Channels whose wire state was torn down ([`Simulator::release_channel`]),
+    /// indexed by raw channel id: their late frames are dropped at the first
+    /// switch and counted, never silently delivered.  Re-installing a hop
+    /// schedule (re-admission under the same id) clears the flag.
+    released_channels: Vec<bool>,
+    /// Ports whose link is currently failed, by dense port id.  Only trunk
+    /// ports can die today; access links never fail.
+    dead_ports: Vec<bool>,
+    /// Ports that had a frame mid-serialisation when their link was cut:
+    /// that frame is lost even if the link is repaired before the
+    /// transmission-complete event fires.
+    doomed_ports: Vec<bool>,
     frames: Vec<FrameRecord>,
     pending_deliveries: Vec<Delivery>,
     stats: SimStats,
@@ -418,6 +492,7 @@ impl Simulator {
             .index_of(manager_switch)
             .expect("manager is a topology switch");
         let stats = SimStats::for_ports(port_links.clone());
+        let port_count = ports.len();
         Ok(Simulator {
             config,
             events: EventQueue::with_scheduler(config.scheduler),
@@ -435,6 +510,9 @@ impl Simulator {
             manager_switch,
             manager_index,
             channel_wire: Vec::new(),
+            released_channels: Vec::new(),
+            dead_ports: vec![false; port_count],
+            doomed_ports: vec![false; port_count],
             frames: Vec::new(),
             pending_deliveries: Vec::new(),
             stats,
@@ -490,6 +568,14 @@ impl Simulator {
     /// Number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events.processed()
+    }
+
+    /// Number of frames ever registered with the fabric (every injection
+    /// path counts, including switch-originated control frames).  Once the
+    /// event queue drains, `injected_count() == stats().total_delivered() +
+    /// stats().total_dropped()` — frame conservation.
+    pub fn injected_count(&self) -> u64 {
+        self.frames.len() as u64
     }
 
     /// Number of events still pending.
@@ -567,6 +653,7 @@ impl Simulator {
             }
         }
         *self.channel_wire_slot(channel) = Some(state);
+        self.mark_released(channel, false);
     }
 
     /// Install the forwarding entries of an admitted channel's [`Route`]
@@ -579,6 +666,7 @@ impl Simulator {
             self.add_forwarding_entry(&mut state, link);
         }
         *self.channel_wire_slot(channel) = Some(state);
+        self.mark_released(channel, false);
     }
 
     /// The per-switch forwarding entry one route link contributes: a trunk
@@ -602,11 +690,47 @@ impl Simulator {
         }
     }
 
-    /// Forget a channel's wire state (tear-down).
+    /// Forget a channel's wire state (the raw table edit; most callers want
+    /// the full [`Simulator::release_channel`] teardown).
     pub fn clear_channel_hop_schedule(&mut self, channel: ChannelId) {
         if let Some(slot) = self.channel_wire.get_mut(channel.get() as usize) {
             *slot = None;
         }
+    }
+
+    /// Wire-level teardown of a released channel: its forwarding entries and
+    /// per-hop budgets are forgotten *and* the channel is marked released,
+    /// so any of its frames still in (or entering) the fabric are dropped at
+    /// the first switch and counted in
+    /// [`SimStats::released_channel_dropped`] — a real switch that tore a
+    /// channel down does not keep delivering for it.  Re-admitting a channel
+    /// under the same id ([`Simulator::set_channel_hop_schedule`]) clears
+    /// the flag.
+    pub fn release_channel(&mut self, channel: ChannelId) {
+        self.clear_channel_hop_schedule(channel);
+        self.mark_released(channel, true);
+    }
+
+    fn mark_released(&mut self, channel: ChannelId, released: bool) {
+        let idx = channel.get() as usize;
+        if idx >= self.released_channels.len() {
+            if !released {
+                return;
+            }
+            self.released_channels.resize(idx + 1, false);
+        }
+        self.released_channels[idx] = released;
+    }
+
+    /// `true` if the channel's wire state was torn down and not re-installed.
+    #[inline]
+    fn is_released(&self, channel: Option<ChannelId>) -> bool {
+        channel.is_some_and(|c| {
+            self.released_channels
+                .get(c.get() as usize)
+                .copied()
+                .unwrap_or(false)
+        })
     }
 
     fn channel_wire_slot(&mut self, channel: ChannelId) -> &mut Option<ChannelWireState> {
@@ -621,6 +745,94 @@ impl Simulator {
     #[inline]
     fn channel_state(&self, channel: Option<ChannelId>) -> Option<&ChannelWireState> {
         self.channel_wire.get(channel?.get() as usize)?.as_ref()
+    }
+
+    // --- fault injection --------------------------------------------------
+
+    /// Cut the trunk between `from` and `to` *now*: the topology degrades
+    /// ([`Topology::fail_trunk`], so the router's cached tables invalidate
+    /// via the changed fingerprint and control/best-effort forwarding
+    /// immediately avoids the dead edge), both directed trunk ports die,
+    /// every frame queued at them is lost, and a frame mid-serialisation is
+    /// lost with the cable.  Per-channel forwarding entries that still point
+    /// at the dead ports drop (and count) their frames until the channel is
+    /// re-routed.
+    pub fn fail_link(&mut self, from: SwitchId, to: SwitchId) -> RtResult<()> {
+        self.topology.fail_trunk(from, to)?;
+        let now = self.now();
+        let f = self.switch_idx(from);
+        let t = self.switch_idx(to);
+        for (a, b) in [(f, t), (t, f)] {
+            if let Some(port) = self.trunk_port(a, b) {
+                let p = port as usize;
+                self.dead_ports[p] = true;
+                if self.ports[p].is_busy(now) {
+                    self.doomed_ports[p] = true;
+                }
+                for _ in self.ports[p].drain() {
+                    self.stats.record_failed_link_drop();
+                }
+            }
+        }
+        self.refresh_routing_tables();
+        Ok(())
+    }
+
+    /// Splice a previously cut trunk back: the topology recovers
+    /// ([`Topology::repair_trunk`]), both trunk ports come back to life and
+    /// the forwarding tables see the restored edge from this instant on.
+    /// Channels stay on whatever route they were (re-)admitted on — route
+    /// re-selection after a repair is an admission-control decision, not a
+    /// wire-level one.
+    pub fn repair_link(&mut self, from: SwitchId, to: SwitchId) -> RtResult<()> {
+        self.topology.repair_trunk(from, to)?;
+        let f = self.switch_idx(from);
+        let t = self.switch_idx(to);
+        for (a, b) in [(f, t), (t, f)] {
+            if let Some(port) = self.trunk_port(a, b) {
+                self.dead_ports[port as usize] = false;
+            }
+        }
+        self.refresh_routing_tables();
+        Ok(())
+    }
+
+    /// Re-pull the next-hop tables from the router after a topology
+    /// mutation.  The router caches per fingerprint, so this is cheap when
+    /// nothing changed and exactly one recompute when something did.  The
+    /// dense switch indexing is stable across failures (the switch set
+    /// never changes), so ports and trunk indices stay valid.
+    fn refresh_routing_tables(&mut self) {
+        self.next_hop = self.router.next_hop_table(&self.topology);
+        self.dense_next_hop = self.router.dense_next_hop(&self.topology);
+    }
+
+    /// Schedule a single fault as a first-class simulator event: it fires in
+    /// `(time, seq)` order with every other event, so a cut interleaves
+    /// deterministically with the traffic around it.
+    pub fn schedule_fault(&mut self, at: SimTime, fault: LinkFault) -> RtResult<()> {
+        if at < self.now() {
+            return Err(Self::past_injection_error(at, self.now()));
+        }
+        let event = match fault {
+            LinkFault::Fail { from, to } => Event::FailTrunk { from, to },
+            LinkFault::Repair { from, to } => Event::RepairTrunk { from, to },
+        };
+        self.schedule_event(at, event);
+        Ok(())
+    }
+
+    /// Schedule a whole [`FaultScript`] up front, like a traffic workload.
+    pub fn schedule_faults(&mut self, script: &FaultScript) -> RtResult<()> {
+        for &(at, fault) in script.events() {
+            self.schedule_fault(at, fault)?;
+        }
+        Ok(())
+    }
+
+    /// The currently failed trunks (each once, `from < to`).
+    pub fn failed_links(&self) -> Vec<(SwitchId, SwitchId)> {
+        self.topology.failed_trunks().collect()
     }
 
     // --- injection -------------------------------------------------------
@@ -792,6 +1004,33 @@ impl Simulator {
         self.now()
     }
 
+    /// Run until at least one delivery is pending (`true`) or the event
+    /// queue drains (`false`).  This is what a control-plane driver wants:
+    /// react to each delivery *at its simulated time* instead of after the
+    /// whole event queue has drained — a teardown or a fault must take
+    /// effect while later traffic is still in flight, not after it.
+    pub fn run_until_delivery(&mut self) -> bool {
+        while self.pending_deliveries.is_empty() {
+            if !self.step() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The time-bounded form of [`Simulator::run_until_delivery`]: run
+    /// until a delivery is pending (`true`) or no event at or before
+    /// `limit` remains (`false`).  Events after `limit` stay pending.
+    pub fn run_until_delivery_before(&mut self, limit: SimTime) -> bool {
+        while self.pending_deliveries.is_empty() {
+            match self.events.pop_until(limit) {
+                Some((time, event)) => self.handle(time, event),
+                None => return false,
+            }
+        }
+        true
+    }
+
     /// Run until `limit` (inclusive); events after `limit` stay pending.
     pub fn run_until(&mut self, limit: SimTime) {
         while let Some((time, event)) = self.events.pop_until(limit) {
@@ -912,13 +1151,28 @@ impl Simulator {
                     FrameDest::Node {
                         node: dest_node,
                         switch: dest_switch,
-                    } => match self.egress_port(at, dest_node, dest_switch, channel) {
-                        Some(port) => {
-                            self.enqueue_at_port(frame, port);
-                            self.try_start_tx(now, port);
+                    } => {
+                        if self.is_released(channel) {
+                            // The channel was torn down: the switch has no
+                            // state for it any more, so the frame is
+                            // discarded, not delivered on a stale route.
+                            self.stats.record_released_channel_drop();
+                            return;
                         }
-                        None => self.stats.record_unroutable(),
-                    },
+                        match self.egress_port(at, dest_node, dest_switch, channel) {
+                            Some(port) if self.dead_ports[port as usize] => {
+                                // A stale per-channel forwarding entry still
+                                // points at the cut trunk; the frame is lost
+                                // until the channel is re-routed.
+                                self.stats.record_failed_link_drop();
+                            }
+                            Some(port) => {
+                                self.enqueue_at_port(frame, port);
+                                self.try_start_tx(now, port);
+                            }
+                            None => self.stats.record_unroutable(),
+                        }
+                    }
                     FrameDest::Unknown => self.stats.record_unroutable(),
                 }
             }
@@ -945,7 +1199,20 @@ impl Simulator {
                 let from_idx = self.switch_idx(from);
                 let to_idx = self.switch_idx(to);
                 if let Some(port) = self.trunk_port(from_idx, to_idx) {
-                    self.ports[port as usize].clear_busy();
+                    let p = port as usize;
+                    self.ports[p].clear_busy();
+                    if self.doomed_ports[p] || self.dead_ports[p] {
+                        // The cable was cut while this frame was on it (or
+                        // is still cut): the frame never arrives.  A dead
+                        // port has empty queues (drained at failure time,
+                        // enqueues blocked), but a *repaired* port may have
+                        // picked up new frames while this doomed
+                        // transmission still held it busy — restart it.
+                        self.doomed_ports[p] = false;
+                        self.stats.record_failed_link_drop();
+                        self.try_start_tx(now, port);
+                        return;
+                    }
                     // Store-and-forward at the receiving switch, exactly as
                     // for a frame arriving over an uplink.
                     let arrive = now + self.config.propagation_delay + self.config.switch_latency;
@@ -955,6 +1222,17 @@ impl Simulator {
             }
             Event::ArriveAtNode { node, frame } => {
                 self.deliver(frame, node, now);
+            }
+            Event::FailTrunk { from, to } => {
+                // A scripted cut of an already-failed (or unknown) trunk is
+                // a script bug in debug builds; release builds ignore it
+                // rather than corrupting the run.
+                let result = self.fail_link(from, to);
+                debug_assert!(result.is_ok(), "scripted FailTrunk failed: {result:?}");
+            }
+            Event::RepairTrunk { from, to } => {
+                let result = self.repair_link(from, to);
+                debug_assert!(result.is_ok(), "scripted RepairTrunk failed: {result:?}");
             }
         }
     }
@@ -2008,5 +2286,352 @@ mod tests {
                 to: SwitchId::new(500),
             })
             .is_some());
+    }
+
+    // --- fault injection --------------------------------------------------
+
+    #[test]
+    fn released_channel_frames_are_dropped_and_counted() {
+        // A channel with installed wire state is released mid-run: frames
+        // injected before the teardown but still in flight, and frames
+        // injected after it, are dropped at the first switch — never
+        // silently delivered — and the drop is counted.
+        let mut sim = dumbbell_sim(SimConfig::default());
+        let (n0, n1) = (NodeId::new(0), NodeId::new(1));
+        let ch = ChannelId::new(5);
+        let route = Route::from_links(vec![
+            HopLink::Uplink(n0),
+            HopLink::Trunk {
+                from: SwitchId::new(0),
+                to: SwitchId::new(1),
+            },
+            HopLink::Downlink(n1),
+        ])
+        .unwrap();
+        sim.set_channel_route(ch, &route);
+        // Before release: delivered normally.
+        sim.inject(
+            n0,
+            rt_frame(n0, n1, 5, SimTime::from_millis(5), 400),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        sim.run_to_idle();
+        assert_eq!(sim.poll_deliveries().len(), 1);
+        assert_eq!(sim.stats().released_channel_dropped, 0);
+
+        // Release, then send two more frames on the dead channel.
+        sim.release_channel(ch);
+        for _ in 0..2 {
+            sim.inject(
+                n0,
+                rt_frame(n0, n1, 5, SimTime::from_millis(9), 400),
+                sim.now(),
+            )
+            .unwrap();
+        }
+        sim.run_to_idle();
+        assert_eq!(
+            sim.poll_deliveries().len(),
+            0,
+            "released channel must not deliver"
+        );
+        assert_eq!(sim.stats().released_channel_dropped, 2);
+        // Conservation: every frame is accounted for.
+        assert_eq!(
+            sim.injected_count(),
+            sim.stats().total_delivered() + sim.stats().total_dropped()
+        );
+
+        // Re-admission under the same id clears the flag.
+        sim.set_channel_route(ch, &route);
+        sim.inject(
+            n0,
+            rt_frame(n0, n1, 5, SimTime::from_millis(20), 400),
+            sim.now(),
+        )
+        .unwrap();
+        sim.run_to_idle();
+        assert_eq!(sim.poll_deliveries().len(), 1);
+        assert_eq!(sim.stats().released_channel_dropped, 2);
+    }
+
+    #[test]
+    fn failed_trunk_loses_queued_and_in_flight_frames() {
+        let config = SimConfig::default();
+        // Two masters on sw0, one slave on sw1: parallel uplinks let the
+        // trunk queue actually build up.
+        let mut t = Topology::new();
+        t.add_switch(SwitchId::new(0));
+        t.add_switch(SwitchId::new(1));
+        t.add_trunk(SwitchId::new(0), SwitchId::new(1)).unwrap();
+        t.attach_node(NodeId::new(0), SwitchId::new(0)).unwrap();
+        t.attach_node(NodeId::new(1), SwitchId::new(0)).unwrap();
+        t.attach_node(NodeId::new(2), SwitchId::new(0)).unwrap();
+        t.attach_node(NodeId::new(3), SwitchId::new(1)).unwrap();
+        let mut sim = Simulator::with_topology(config, t).unwrap();
+        let dst = NodeId::new(3);
+        // Three 1400-byte frames from three parallel uplinks arrive at the
+        // switch together (~122 us): one starts serialising on the trunk,
+        // two wait in its queue.  The cut at 200 us dooms the in-flight
+        // frame and drains the two queued ones.
+        for n in 0..3u32 {
+            let src = NodeId::new(n);
+            sim.inject(src, be_frame(src, dst, 1400), SimTime::ZERO)
+                .unwrap();
+        }
+        sim.schedule_fault(
+            SimTime::from_micros(200),
+            LinkFault::Fail {
+                from: SwitchId::new(0),
+                to: SwitchId::new(1),
+            },
+        )
+        .unwrap();
+        sim.run_to_idle();
+        assert_eq!(sim.poll_deliveries().len(), 0);
+        assert_eq!(sim.stats().failed_link_dropped, 3);
+        assert_eq!(
+            sim.injected_count(),
+            sim.stats().total_delivered() + sim.stats().total_dropped()
+        );
+        assert_eq!(
+            sim.failed_links(),
+            vec![(SwitchId::new(0), SwitchId::new(1))]
+        );
+        // After the cut, cross-switch traffic is unroutable (the dumbbell
+        // has no alternate path)...
+        sim.inject(
+            NodeId::new(0),
+            be_frame(NodeId::new(0), dst, 400),
+            sim.now(),
+        )
+        .unwrap();
+        sim.run_to_idle();
+        assert_eq!(sim.stats().unroutable_dropped, 1);
+        // ...until the repair, after which delivery resumes.
+        sim.repair_link(SwitchId::new(1), SwitchId::new(0)).unwrap();
+        assert!(sim.failed_links().is_empty());
+        sim.inject(
+            NodeId::new(0),
+            be_frame(NodeId::new(0), dst, 400),
+            sim.now(),
+        )
+        .unwrap();
+        sim.run_to_idle();
+        assert_eq!(sim.poll_deliveries().len(), 1);
+    }
+
+    #[test]
+    fn repair_during_a_doomed_transmission_restarts_the_port() {
+        // A fail/repair flap shorter than one serialisation: the in-flight
+        // frame is lost with the cable, but a frame that queued at the
+        // repaired port while the doomed transmission still held it busy
+        // must start transmitting when the doomed one completes.
+        let mut t = Topology::new();
+        t.add_switch(SwitchId::new(0));
+        t.add_switch(SwitchId::new(1));
+        t.add_trunk(SwitchId::new(0), SwitchId::new(1)).unwrap();
+        t.attach_node(NodeId::new(0), SwitchId::new(0)).unwrap();
+        t.attach_node(NodeId::new(1), SwitchId::new(0)).unwrap();
+        t.attach_node(NodeId::new(2), SwitchId::new(1)).unwrap();
+        let mut sim = Simulator::with_topology(SimConfig::default(), t).unwrap();
+        let dst = NodeId::new(2);
+        // Frame A: on the trunk from ~123 us to ~240 us.
+        sim.inject(
+            NodeId::new(0),
+            be_frame(NodeId::new(0), dst, 1400),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        // Frame B: reaches the switch at ~153 us, after the repair, while
+        // the trunk is still busy with doomed frame A.
+        sim.inject(
+            NodeId::new(1),
+            be_frame(NodeId::new(1), dst, 1400),
+            SimTime::from_micros(30),
+        )
+        .unwrap();
+        let script = FaultScript::new()
+            .fail_at(
+                SimTime::from_micros(150),
+                SwitchId::new(0),
+                SwitchId::new(1),
+            )
+            .repair_at(
+                SimTime::from_micros(152),
+                SwitchId::new(0),
+                SwitchId::new(1),
+            );
+        sim.schedule_faults(&script).unwrap();
+        sim.run_to_idle();
+        let deliveries = sim.poll_deliveries();
+        assert_eq!(deliveries.len(), 1, "frame B must cross the repaired trunk");
+        assert_eq!(deliveries[0].source, NodeId::new(1));
+        assert_eq!(
+            sim.stats().failed_link_dropped,
+            1,
+            "frame A died with the cable"
+        );
+        assert_eq!(
+            sim.injected_count(),
+            sim.stats().total_delivered() + sim.stats().total_dropped()
+        );
+        assert_eq!(sim.events_pending(), 0);
+    }
+
+    #[test]
+    fn ring_reroutes_around_a_cut_trunk() {
+        // On a ring the next-hop table recovers instantly: after the
+        // closing trunk dies, node 0 -> node 3 goes the long way around.
+        let mut sim = Simulator::with_topology(SimConfig::default(), Topology::ring(4, 1)).unwrap();
+        sim.fail_link(SwitchId::new(3), SwitchId::new(0)).unwrap();
+        sim.inject(
+            NodeId::new(0),
+            be_frame(NodeId::new(0), NodeId::new(3), 500),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        sim.run_to_idle();
+        let deliveries = sim.poll_deliveries();
+        assert_eq!(deliveries.len(), 1, "the ring survives a single cut");
+        for (from, to) in [(0u32, 1u32), (1, 2), (2, 3)] {
+            assert!(sim
+                .stats()
+                .hop_link(HopLink::Trunk {
+                    from: SwitchId::new(from),
+                    to: SwitchId::new(to),
+                })
+                .is_some());
+        }
+        assert_eq!(sim.stats().failed_link_dropped, 0);
+    }
+
+    #[test]
+    fn stale_channel_forwarding_over_a_dead_trunk_drops() {
+        // A channel pinned to the closing trunk keeps its (stale) entry
+        // after the cut: its frames drop and are counted until re-routing
+        // installs a fresh route.
+        let mut sim = Simulator::with_topology(SimConfig::default(), Topology::ring(4, 1)).unwrap();
+        let ch = ChannelId::new(3);
+        let pinned = Route::from_links(vec![
+            HopLink::Uplink(NodeId::new(0)),
+            HopLink::Trunk {
+                from: SwitchId::new(0),
+                to: SwitchId::new(3),
+            },
+            HopLink::Downlink(NodeId::new(3)),
+        ])
+        .unwrap();
+        sim.set_channel_route(ch, &pinned);
+        sim.fail_link(SwitchId::new(0), SwitchId::new(3)).unwrap();
+        sim.inject(
+            NodeId::new(0),
+            rt_frame(
+                NodeId::new(0),
+                NodeId::new(3),
+                3,
+                SimTime::from_millis(5),
+                400,
+            ),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        sim.run_to_idle();
+        assert_eq!(sim.poll_deliveries().len(), 0);
+        assert_eq!(sim.stats().failed_link_dropped, 1);
+        // Re-route: install the surviving path; frames flow again.
+        let around = Route::from_links(vec![
+            HopLink::Uplink(NodeId::new(0)),
+            HopLink::Trunk {
+                from: SwitchId::new(0),
+                to: SwitchId::new(1),
+            },
+            HopLink::Trunk {
+                from: SwitchId::new(1),
+                to: SwitchId::new(2),
+            },
+            HopLink::Trunk {
+                from: SwitchId::new(2),
+                to: SwitchId::new(3),
+            },
+            HopLink::Downlink(NodeId::new(3)),
+        ])
+        .unwrap();
+        sim.set_channel_route(ch, &around);
+        sim.inject(
+            NodeId::new(0),
+            rt_frame(
+                NodeId::new(0),
+                NodeId::new(3),
+                3,
+                SimTime::from_millis(10),
+                400,
+            ),
+            sim.now(),
+        )
+        .unwrap();
+        sim.run_to_idle();
+        assert_eq!(sim.poll_deliveries().len(), 1);
+    }
+
+    #[test]
+    fn fault_script_interleaves_deterministically() {
+        // Fail + repair scripted around a traffic burst: the same script
+        // always yields the same outcome, on either scheduler.
+        let run = |scheduler| {
+            let config = SimConfig {
+                scheduler,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulator::with_topology(config, Topology::ring(4, 1)).unwrap();
+            let script = FaultScript::new()
+                .fail_at(
+                    SimTime::from_micros(300),
+                    SwitchId::new(3),
+                    SwitchId::new(0),
+                )
+                .repair_at(SimTime::from_millis(2), SwitchId::new(3), SwitchId::new(0));
+            assert_eq!(script.len(), 2);
+            assert!(!script.is_empty());
+            sim.schedule_faults(&script).unwrap();
+            for k in 0..8u64 {
+                sim.inject(
+                    NodeId::new(0),
+                    be_frame(NodeId::new(0), NodeId::new(3), 900),
+                    SimTime::from_micros(100 * k),
+                )
+                .unwrap();
+            }
+            sim.run_to_idle();
+            let deliveries: Vec<_> = sim
+                .poll_deliveries()
+                .iter()
+                .map(|d| (d.frame.get(), d.delivered_at.as_nanos()))
+                .collect();
+            (deliveries, sim.stats().summary())
+        };
+        use crate::event::SchedulerKind;
+        let heap = run(SchedulerKind::Heap);
+        let calendar = run(SchedulerKind::Calendar);
+        assert_eq!(heap, calendar);
+        // Scheduling a fault in the past is rejected like any injection.
+        let mut sim = Simulator::with_topology(SimConfig::default(), Topology::ring(4, 1)).unwrap();
+        sim.inject(
+            NodeId::new(0),
+            be_frame(NodeId::new(0), NodeId::new(1), 200),
+            SimTime::from_millis(1),
+        )
+        .unwrap();
+        sim.run_to_idle();
+        assert!(sim
+            .schedule_fault(
+                SimTime::ZERO,
+                LinkFault::Fail {
+                    from: SwitchId::new(0),
+                    to: SwitchId::new(1)
+                }
+            )
+            .is_err());
     }
 }

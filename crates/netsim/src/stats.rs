@@ -119,6 +119,14 @@ pub struct SimStats {
     pub be_dropped: u64,
     /// Frames dropped because the switch had no forwarding entry.
     pub unroutable_dropped: u64,
+    /// Frames lost to a failed link: drained from a dead port's queues,
+    /// cut mid-serialisation, or forwarded onto a dead trunk by a stale
+    /// per-channel forwarding entry before re-routing caught up.
+    pub failed_link_dropped: u64,
+    /// Frames of a *released* (torn-down) RT channel dropped at the first
+    /// switch: the fabric forgets a channel's wire state on release, so
+    /// late frames are discarded, never silently delivered.
+    pub released_channel_dropped: u64,
     /// Total real-time deadline misses across all channels.
     pub total_deadline_misses: u64,
     /// Events whose scheduled time lay in the past and was clamped to the
@@ -174,6 +182,33 @@ impl SimStats {
     /// Record a frame dropped for lack of a forwarding entry.
     pub fn record_unroutable(&mut self) {
         self.unroutable_dropped += 1;
+    }
+
+    /// Record a frame lost to a failed link.
+    pub fn record_failed_link_drop(&mut self) {
+        self.failed_link_dropped += 1;
+    }
+
+    /// Record a frame of a released channel dropped at a switch.
+    pub fn record_released_channel_drop(&mut self) {
+        self.released_channel_dropped += 1;
+    }
+
+    /// Frames delivered to a final receiver, either class.
+    pub fn total_delivered(&self) -> u64 {
+        self.rt_delivered + self.be_delivered
+    }
+
+    /// Frames dropped for any reason.  Together with
+    /// [`SimStats::total_delivered`] this accounts for every frame the
+    /// simulator ever registered: once the event queue drains, `injected =
+    /// delivered + dropped` — the conservation invariant the property
+    /// harness pins.
+    pub fn total_dropped(&self) -> u64 {
+        self.be_dropped
+            + self.unroutable_dropped
+            + self.failed_link_dropped
+            + self.released_channel_dropped
     }
 
     /// Record a past-time event clamped to the current simulation time.
@@ -244,11 +279,13 @@ impl SimStats {
     /// examples and experiment binaries print at the end.
     pub fn summary(&self) -> String {
         format!(
-            "rt={} be={} be_dropped={} unroutable={} deadline_misses={} clamped_events={}",
+            "rt={} be={} be_dropped={} unroutable={} link_failed={} released={} deadline_misses={} clamped_events={}",
             self.rt_delivered,
             self.be_delivered,
             self.be_dropped,
             self.unroutable_dropped,
+            self.failed_link_dropped,
+            self.released_channel_dropped,
             self.total_deadline_misses,
             self.clamped_events,
         )
@@ -331,6 +368,24 @@ mod tests {
         assert_eq!(s.clamped_events, 1);
         assert!(s.summary().contains("clamped_events=1"));
         assert!(s.summary().contains("be_dropped=1"));
+    }
+
+    #[test]
+    fn failure_counters_roll_into_total_dropped() {
+        let mut s = SimStats::default();
+        s.record_be_delivery();
+        s.record_rt_delivery(None, SimTime::ZERO, SimTime::from_micros(1), None);
+        s.record_be_drop();
+        s.record_unroutable();
+        s.record_failed_link_drop();
+        s.record_failed_link_drop();
+        s.record_released_channel_drop();
+        assert_eq!(s.failed_link_dropped, 2);
+        assert_eq!(s.released_channel_dropped, 1);
+        assert_eq!(s.total_delivered(), 2);
+        assert_eq!(s.total_dropped(), 5);
+        assert!(s.summary().contains("link_failed=2"));
+        assert!(s.summary().contains("released=1"));
     }
 
     #[test]

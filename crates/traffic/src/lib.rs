@@ -17,6 +17,9 @@
 //!   generator of heterogeneous channel specs,
 //! * [`background`] — best-effort background traffic generators (Poisson and
 //!   bursty on/off) for the coexistence experiment,
+//! * [`failover`] — fail-over scenarios: a fabric scenario plus the
+//!   deterministic trunk cut (ring closing trunk, torus grid trunk) and the
+//!   fault script that performs it,
 //! * [`rng`] — seeded, reproducible random number helpers.
 //!
 //! Everything is deterministic given a seed, so every experiment run is
@@ -27,6 +30,7 @@
 
 pub mod background;
 pub mod fabric;
+pub mod failover;
 pub mod pattern;
 pub mod rng;
 pub mod scenario;
@@ -34,6 +38,7 @@ pub mod source;
 
 pub use background::{BackgroundTraffic, BurstyConfig, PoissonConfig};
 pub use fabric::{FabricScenario, FabricShape};
+pub use failover::FailoverScenario;
 pub use pattern::{ChannelRequest, HeterogeneousSpecs, RequestPattern};
 pub use scenario::Scenario;
 pub use source::ScenarioFrameSource;

@@ -33,7 +33,8 @@ pub use error::{RtError, RtResult};
 pub use ids::{ChannelId, ConnectionRequestId, LinkDirection, LinkId, NodeId, PortId};
 pub use rng::Xoshiro256;
 pub use router::{
-    DenseNextHop, EcmpRouter, NextHopTable, Route, Router, ShortestPathRouter, TreeRouter,
+    DenseNextHop, EcmpRouter, KShortestRouter, NextHopTable, Route, Router, ShortestPathRouter,
+    TreeRouter,
 };
 pub use time::{Duration, LinkSpeed, SimTime, Slots};
 pub use topology::{HopLink, SwitchId, Topology};

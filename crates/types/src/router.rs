@@ -281,6 +281,21 @@ pub trait Router: fmt::Debug + Send + Sync {
             &self.next_hop_table(topology),
         ))
     }
+
+    /// Candidate routes in preference order, primary first.  Admission
+    /// control tries them in order and accepts the first feasible one, so a
+    /// router that can enumerate alternates (the [`KShortestRouter`]) turns
+    /// "the shortest path is saturated" from a rejection into a detour.
+    /// The default is the single [`Router::route`] — existing policies keep
+    /// their exact behaviour.
+    fn routes(
+        &self,
+        topology: &Topology,
+        source: NodeId,
+        destination: NodeId,
+    ) -> RtResult<Vec<Route>> {
+        Ok(vec![self.route(topology, source, destination)?])
+    }
 }
 
 /// A per-topology memo of the next-hop table (tree and dense forms), keyed
@@ -605,6 +620,206 @@ impl Router for EcmpRouter {
     }
 }
 
+/// Breadth-first shortest switch path from `from` to `to` that avoids
+/// `banned_nodes` and the *directed* `banned_edges`, over sorted adjacency
+/// (deterministic: the lexicographically smallest shortest path wins).
+fn bfs_switch_path(
+    topology: &Topology,
+    from: SwitchId,
+    to: SwitchId,
+    banned_nodes: &std::collections::BTreeSet<SwitchId>,
+    banned_edges: &std::collections::BTreeSet<(SwitchId, SwitchId)>,
+) -> Option<Vec<SwitchId>> {
+    if from == to {
+        return Some(vec![from]);
+    }
+    let mut predecessor: BTreeMap<SwitchId, SwitchId> = BTreeMap::new();
+    let mut seen = std::collections::BTreeSet::from([from]);
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(current) = queue.pop_front() {
+        if current == to {
+            break;
+        }
+        for next in topology.neighbours(current) {
+            if banned_nodes.contains(&next) || banned_edges.contains(&(current, next)) {
+                continue;
+            }
+            if seen.insert(next) {
+                predecessor.insert(next, current);
+                queue.push_back(next);
+            }
+        }
+    }
+    if !predecessor.contains_key(&to) {
+        return None;
+    }
+    let mut path = vec![to];
+    let mut current = to;
+    while current != from {
+        current = predecessor[&current];
+        path.push(current);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// K-shortest-path routing with admission fallback: the primary route is
+/// the BFS shortest path, and [`Router::routes`] enumerates up to `k`
+/// loop-free switch paths in ascending length (Yen's algorithm, ties broken
+/// lexicographically) so admission control can fall back to a detour when
+/// the shortest path's feasibility test fails — and fail-over can re-admit
+/// channels over whatever survives a trunk cut.
+///
+/// Deterministic like every router: same topology and endpoints always
+/// yield the same candidate list.
+#[derive(Debug)]
+pub struct KShortestRouter {
+    k: usize,
+    cache: NextHopCache,
+}
+
+impl KShortestRouter {
+    /// Create a router that offers up to `k` candidate paths per request
+    /// (`k` is clamped to at least 1).
+    pub fn new(k: usize) -> Self {
+        KShortestRouter {
+            k: k.max(1),
+            cache: NextHopCache::default(),
+        }
+    }
+
+    /// The number of candidate paths offered per request.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Up to `k` loop-free switch paths from `from` to `to`, shortest first
+    /// (Yen's algorithm over the trunk graph).  Fewer than `k` when the
+    /// graph has fewer distinct loop-free paths.
+    pub fn switch_paths(
+        &self,
+        topology: &Topology,
+        from: SwitchId,
+        to: SwitchId,
+    ) -> Vec<Vec<SwitchId>> {
+        let none_banned = std::collections::BTreeSet::new();
+        let no_edges = std::collections::BTreeSet::new();
+        let Some(first) = bfs_switch_path(topology, from, to, &none_banned, &no_edges) else {
+            return Vec::new();
+        };
+        let mut paths = vec![first];
+        // Candidates ordered by (length, lexicographic path): ascending
+        // iteration pops the best next path deterministically.
+        let mut candidates: std::collections::BTreeSet<(usize, Vec<SwitchId>)> =
+            std::collections::BTreeSet::new();
+        while paths.len() < self.k {
+            let prev = paths.last().expect("paths starts non-empty").clone();
+            for i in 0..prev.len() - 1 {
+                let spur = prev[i];
+                let root = &prev[..=i];
+                // Edges already used by accepted paths sharing this root
+                // must not be reused for the spur.
+                let mut banned_edges = std::collections::BTreeSet::new();
+                for p in &paths {
+                    if p.len() > i + 1 && p[..=i] == *root {
+                        banned_edges.insert((p[i], p[i + 1]));
+                    }
+                }
+                // Root nodes before the spur must not be revisited.
+                let banned_nodes: std::collections::BTreeSet<SwitchId> =
+                    root[..i].iter().copied().collect();
+                if let Some(spur_path) =
+                    bfs_switch_path(topology, spur, to, &banned_nodes, &banned_edges)
+                {
+                    let mut total: Vec<SwitchId> = root[..i].to_vec();
+                    total.extend(spur_path);
+                    if !paths.contains(&total) {
+                        candidates.insert((total.len(), total));
+                    }
+                }
+            }
+            let Some(best) = candidates.iter().next().cloned() else {
+                break;
+            };
+            candidates.remove(&best);
+            paths.push(best.1);
+        }
+        paths
+    }
+
+    /// Wrap a switch path into the uplink + trunks + downlink [`Route`].
+    fn route_from_switch_path(
+        source: NodeId,
+        destination: NodeId,
+        path: &[SwitchId],
+    ) -> RtResult<Route> {
+        let mut links = Vec::with_capacity(path.len() + 1);
+        links.push(HopLink::Uplink(source));
+        for pair in path.windows(2) {
+            links.push(HopLink::Trunk {
+                from: pair[0],
+                to: pair[1],
+            });
+        }
+        links.push(HopLink::Downlink(destination));
+        Route::from_links(links)
+    }
+}
+
+impl Router for KShortestRouter {
+    fn name(&self) -> &'static str {
+        "k-shortest"
+    }
+
+    fn validate(&self, topology: &Topology) -> RtResult<()> {
+        if !topology.is_connected() {
+            return Err(RtError::Config("the switch graph must be connected".into()));
+        }
+        Ok(())
+    }
+
+    fn route(&self, topology: &Topology, source: NodeId, destination: NodeId) -> RtResult<Route> {
+        let (src_switch, dst_switch) = route_endpoints(topology, source, destination)?;
+        let none = std::collections::BTreeSet::new();
+        let no_edges = std::collections::BTreeSet::new();
+        let path = bfs_switch_path(topology, src_switch, dst_switch, &none, &no_edges).ok_or_else(
+            || {
+                RtError::Config(format!(
+                    "switches {src_switch} and {dst_switch} are not connected"
+                ))
+            },
+        )?;
+        Self::route_from_switch_path(source, destination, &path)
+    }
+
+    fn routes(
+        &self,
+        topology: &Topology,
+        source: NodeId,
+        destination: NodeId,
+    ) -> RtResult<Vec<Route>> {
+        let (src_switch, dst_switch) = route_endpoints(topology, source, destination)?;
+        let paths = self.switch_paths(topology, src_switch, dst_switch);
+        if paths.is_empty() {
+            return Err(RtError::Config(format!(
+                "switches {src_switch} and {dst_switch} are not connected"
+            )));
+        }
+        paths
+            .iter()
+            .map(|p| Self::route_from_switch_path(source, destination, p))
+            .collect()
+    }
+
+    fn next_hop_table(&self, topology: &Topology) -> Arc<NextHopTable> {
+        self.cache.get(topology)
+    }
+
+    fn dense_next_hop(&self, topology: &Topology) -> Arc<DenseNextHop> {
+        self.cache.get_dense(topology)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -790,6 +1005,97 @@ mod tests {
             }
         }
         assert!(via_sw1 > 0 && via_sw3 > 0, "ECMP must use both branches");
+    }
+
+    #[test]
+    fn default_routes_is_the_single_primary() {
+        let t = Topology::line(3, 1);
+        let router = ShortestPathRouter::new();
+        let routes = router.routes(&t, NodeId::new(0), NodeId::new(2)).unwrap();
+        assert_eq!(routes.len(), 1);
+        assert_eq!(
+            routes[0],
+            router.route(&t, NodeId::new(0), NodeId::new(2)).unwrap()
+        );
+    }
+
+    #[test]
+    fn k_shortest_enumerates_both_ways_around_a_ring() {
+        let t = ring4();
+        let router = KShortestRouter::new(4);
+        router.validate(&t).unwrap();
+        // sw0 -> sw2: two loop-free paths exist (via sw1 and via sw3).
+        let paths = router.switch_paths(&t, SwitchId::new(0), SwitchId::new(2));
+        assert_eq!(paths.len(), 2);
+        assert_eq!(
+            paths[0],
+            vec![SwitchId::new(0), SwitchId::new(1), SwitchId::new(2)]
+        );
+        assert_eq!(
+            paths[1],
+            vec![SwitchId::new(0), SwitchId::new(3), SwitchId::new(2)]
+        );
+        // sw0 -> sw1: the direct trunk, then the long way around.
+        let paths = router.switch_paths(&t, SwitchId::new(0), SwitchId::new(1));
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0], vec![SwitchId::new(0), SwitchId::new(1)]);
+        assert_eq!(
+            paths[1],
+            vec![
+                SwitchId::new(0),
+                SwitchId::new(3),
+                SwitchId::new(2),
+                SwitchId::new(1)
+            ]
+        );
+        // As routes: primary first, every candidate a valid Route.
+        let routes = router.routes(&t, NodeId::new(0), NodeId::new(1)).unwrap();
+        assert_eq!(routes.len(), 2);
+        assert_eq!(
+            routes[0],
+            router.route(&t, NodeId::new(0), NodeId::new(1)).unwrap()
+        );
+        assert_eq!(routes[0].hops(), 3);
+        assert_eq!(routes[1].hops(), 5);
+    }
+
+    #[test]
+    fn k_shortest_is_deterministic_and_respects_k() {
+        let t = Topology::torus(3, 3, 1);
+        let a = KShortestRouter::new(3);
+        let b = KShortestRouter::new(3);
+        let pa = a.switch_paths(&t, SwitchId::new(0), SwitchId::new(4));
+        let pb = b.switch_paths(&t, SwitchId::new(0), SwitchId::new(4));
+        assert_eq!(pa, pb);
+        assert_eq!(pa.len(), 3, "a torus has at least 3 loop-free paths");
+        // Ascending length, shortest first.
+        for w in pa.windows(2) {
+            assert!(w[0].len() <= w[1].len());
+        }
+        // k = 1 degenerates to the single shortest path.
+        let single = KShortestRouter::new(0); // clamped to 1
+        assert_eq!(single.k(), 1);
+        assert_eq!(
+            single
+                .switch_paths(&t, SwitchId::new(0), SwitchId::new(4))
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn k_shortest_survives_a_trunk_cut() {
+        let mut t = ring4();
+        let router = KShortestRouter::new(2);
+        let before = router.routes(&t, NodeId::new(0), NodeId::new(3)).unwrap();
+        assert_eq!(before[0].hops(), 3, "closing trunk is the primary");
+        t.fail_trunk(SwitchId::new(3), SwitchId::new(0)).unwrap();
+        let after = router.routes(&t, NodeId::new(0), NodeId::new(3)).unwrap();
+        assert_eq!(after.len(), 1, "the degraded ring is a line: one path");
+        assert_eq!(after[0].hops(), 5, "re-route goes the long way around");
+        // Same-switch pairs never need the trunk graph.
+        let local = router.routes(&t, NodeId::new(0), NodeId::new(0));
+        assert!(local.is_err(), "same node is still rejected");
     }
 
     #[test]

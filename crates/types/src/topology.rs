@@ -78,12 +78,24 @@ impl fmt::Display for HopLink {
 }
 
 /// A network of switches connected by trunk links, with end nodes attached.
+///
+/// A topology is *mutable orchestration state*, not a construction-time
+/// constant: [`Topology::fail_trunk`] and [`Topology::repair_trunk`] model a
+/// cable being cut and spliced back while the fabric keeps running.  A
+/// failed trunk leaves the adjacency (so routing, connectivity checks and
+/// [`Topology::fingerprint`] all see the degraded graph — which is what
+/// invalidates every [`crate::router::NextHopCache`] entry keyed on the
+/// fingerprint) but is remembered in a failed set so a repair restores
+/// exactly the link that was lost.
 #[derive(Debug, Clone, Default)]
 pub struct Topology {
     switches: BTreeSet<SwitchId>,
     attachments: BTreeMap<NodeId, SwitchId>,
-    /// Adjacency of the (undirected) trunk graph.
+    /// Adjacency of the (undirected) trunk graph — *healthy* trunks only.
     adjacency: BTreeMap<SwitchId, BTreeSet<SwitchId>>,
+    /// Trunks currently failed, canonical `(a, b)` with `a < b`.  Disjoint
+    /// from the adjacency; [`Topology::repair_trunk`] moves them back.
+    failed: BTreeSet<(SwitchId, SwitchId)>,
 }
 
 impl Topology {
@@ -221,9 +233,66 @@ impl Topology {
         if self.adjacency.get(&a).is_some_and(|nbrs| nbrs.contains(&b)) {
             return Err(RtError::Config(format!("trunk {a} <-> {b} already exists")));
         }
+        if self.failed.contains(&(a.min(b), a.max(b))) {
+            return Err(RtError::Config(format!(
+                "trunk {a} <-> {b} exists but is failed; repair it instead"
+            )));
+        }
         self.adjacency.entry(a).or_default().insert(b);
         self.adjacency.entry(b).or_default().insert(a);
         Ok(())
+    }
+
+    /// Fail a trunk: the link disappears from the adjacency (routing,
+    /// connectivity and the fingerprint all see the degraded graph) and is
+    /// remembered for [`Topology::repair_trunk`].  Rejects unknown and
+    /// already-failed trunks, so a double cut cannot silently pass.
+    pub fn fail_trunk(&mut self, a: SwitchId, b: SwitchId) -> RtResult<()> {
+        let key = (a.min(b), a.max(b));
+        if self.failed.contains(&key) {
+            return Err(RtError::Config(format!(
+                "trunk {a} <-> {b} is already failed"
+            )));
+        }
+        if !self.adjacency.get(&a).is_some_and(|nbrs| nbrs.contains(&b)) {
+            return Err(RtError::Config(format!("no trunk {a} <-> {b} to fail")));
+        }
+        self.adjacency
+            .get_mut(&a)
+            .expect("checked above")
+            .remove(&b);
+        self.adjacency
+            .get_mut(&b)
+            .expect("trunks are symmetric")
+            .remove(&a);
+        self.failed.insert(key);
+        Ok(())
+    }
+
+    /// Repair a previously failed trunk, restoring the adjacency exactly as
+    /// it was before the failure.  Only trunks failed through
+    /// [`Topology::fail_trunk`] can be repaired.
+    pub fn repair_trunk(&mut self, a: SwitchId, b: SwitchId) -> RtResult<()> {
+        let key = (a.min(b), a.max(b));
+        if !self.failed.remove(&key) {
+            return Err(RtError::Config(format!(
+                "trunk {a} <-> {b} is not failed, nothing to repair"
+            )));
+        }
+        self.adjacency.entry(a).or_default().insert(b);
+        self.adjacency.entry(b).or_default().insert(a);
+        Ok(())
+    }
+
+    /// The currently failed trunks, each reported once with `from < to`.
+    pub fn failed_trunks(&self) -> impl Iterator<Item = (SwitchId, SwitchId)> + '_ {
+        self.failed.iter().copied()
+    }
+
+    /// `true` if the (undirected) trunk between `a` and `b` exists and is
+    /// healthy.
+    pub fn has_trunk(&self, a: SwitchId, b: SwitchId) -> bool {
+        self.adjacency.get(&a).is_some_and(|nbrs| nbrs.contains(&b))
     }
 
     /// Number of switches.
@@ -644,6 +713,56 @@ mod tests {
         );
         // 4 switches, ordered pairs: 4*3 = 12 entries.
         assert_eq!(table.len(), 12);
+    }
+
+    #[test]
+    fn fail_and_repair_trunk_round_trips() {
+        let mut t = Topology::ring(4, 1);
+        let fp_healthy = t.fingerprint();
+        assert!(t.has_trunk(SwitchId::new(3), SwitchId::new(0)));
+
+        // Failing the closing trunk degrades the ring to a line.
+        t.fail_trunk(SwitchId::new(3), SwitchId::new(0)).unwrap();
+        assert!(!t.has_trunk(SwitchId::new(3), SwitchId::new(0)));
+        assert!(!t.has_trunk(SwitchId::new(0), SwitchId::new(3)));
+        assert_eq!(t.trunk_count(), 3);
+        assert!(t.is_connected());
+        assert!(t.is_tree());
+        assert_eq!(
+            t.failed_trunks().collect::<Vec<_>>(),
+            vec![(SwitchId::new(0), SwitchId::new(3))]
+        );
+        // The fingerprint changed, so NextHopCache entries invalidate.
+        assert_ne!(t.fingerprint(), fp_healthy);
+        // Routing sees the degraded graph: sw0 -> sw3 is now 3 trunk hops.
+        assert_eq!(t.route(NodeId::new(0), NodeId::new(3)).unwrap().len(), 5);
+
+        // Double-failing, failing a non-existent trunk and re-adding a
+        // failed trunk are all rejected.
+        assert!(t.fail_trunk(SwitchId::new(3), SwitchId::new(0)).is_err());
+        assert!(t.fail_trunk(SwitchId::new(0), SwitchId::new(2)).is_err());
+        assert!(t.add_trunk(SwitchId::new(0), SwitchId::new(3)).is_err());
+
+        // Repair restores the graph and the fingerprint exactly.
+        t.repair_trunk(SwitchId::new(0), SwitchId::new(3)).unwrap();
+        assert_eq!(t.fingerprint(), fp_healthy);
+        assert_eq!(t.failed_trunks().count(), 0);
+        assert_eq!(t.route(NodeId::new(0), NodeId::new(3)).unwrap().len(), 3);
+        // Repairing a healthy trunk is an error.
+        assert!(t.repair_trunk(SwitchId::new(0), SwitchId::new(3)).is_err());
+    }
+
+    #[test]
+    fn failing_a_bridge_disconnects_the_graph() {
+        let mut t = Topology::line(3, 1);
+        t.fail_trunk(SwitchId::new(1), SwitchId::new(2)).unwrap();
+        assert!(!t.is_connected());
+        assert!(t.route(NodeId::new(0), NodeId::new(2)).is_err());
+        assert!(!t
+            .next_hop_table()
+            .contains_key(&(SwitchId::new(0), SwitchId::new(2))));
+        t.repair_trunk(SwitchId::new(2), SwitchId::new(1)).unwrap();
+        assert!(t.is_connected());
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Randomized property harness for the fabric: random connected topologies
+//! and random workloads, checked against invariants that must hold on
+//! *every* fabric — not just the hand-picked scenarios of the unit tests.
+//!
+//! The invariants, each checked across a fixed seed matrix (seeds `0..32`,
+//! via the in-repo deterministic PRNG, in the spirit of `rt-edf`'s
+//! `testgen`):
+//!
+//! 1. **Frame conservation** — once the event queue drains, every injected
+//!    frame is accounted for: `injected = delivered + dropped` (best-effort
+//!    overflow, unroutable, failed-link and released-channel drops), with
+//!    and without fault injection.
+//! 2. **Scheduler equivalence** — the calendar queue and the binary heap
+//!    produce byte-for-byte identical delivery sequences and statistics on
+//!    the same random fabric + workload (+ fault script).
+//! 3. **Admission soundness** — channels admitted by the per-link EDF
+//!    analysis never miss a deadline on the wire, and every measured
+//!    latency stays below the hop-aware Eq. 18.1 bound
+//!    `d·slot + T_latency(h)`.
+//!
+//! A failing seed reproduces exactly: every random choice derives from the
+//! seed through `Xoshiro256`.
+
+use switched_rt_ethernet::core::{MultiHopDps, RtChannelSpec, RtNetwork};
+use switched_rt_ethernet::netsim::{
+    Delivery, FaultScript, FrameInjection, SchedulerKind, SimConfig, Simulator,
+};
+use switched_rt_ethernet::types::{
+    ChannelId, Duration, KShortestRouter, MacAddr, NodeId, SimTime, Slots, SwitchId, Topology,
+    Xoshiro256,
+};
+
+/// The fixed seed matrix: every invariant below holds for all of these.
+const SEEDS: u64 = 32;
+
+// --- generators -----------------------------------------------------------
+
+/// A random *connected* topology: a random spanning tree over 2–5 switches,
+/// up to two extra (redundant) trunks, and 1–3 nodes per switch.
+fn random_topology(rng: &mut Xoshiro256) -> Topology {
+    let switches = rng.range_inclusive(2, 5) as u32;
+    let mut t = Topology::new();
+    for s in 0..switches {
+        t.add_switch(SwitchId::new(s));
+    }
+    // Spanning tree: each switch hangs off a random earlier one.
+    for s in 1..switches {
+        let parent = rng.below(u64::from(s)) as u32;
+        t.add_trunk(SwitchId::new(s), SwitchId::new(parent))
+            .expect("tree trunks are fresh");
+    }
+    // Redundant extras (duplicates and self-loops are simply skipped).
+    for _ in 0..rng.below(3) {
+        let a = rng.below(u64::from(switches)) as u32;
+        let b = rng.below(u64::from(switches)) as u32;
+        if a != b {
+            let _ = t.add_trunk(SwitchId::new(a), SwitchId::new(b));
+        }
+    }
+    let mut next_node = 0u32;
+    for s in 0..switches {
+        for _ in 0..rng.range_inclusive(1, 3) {
+            t.attach_node(NodeId::new(next_node), SwitchId::new(s))
+                .expect("fresh node");
+            next_node += 1;
+        }
+    }
+    t
+}
+
+fn be_frame(from: NodeId, to: NodeId, payload_len: usize) -> rt_frames::EthernetFrame {
+    let udp = rt_frames::UdpHeader::new(1000, 2000, payload_len).unwrap();
+    let ip = rt_frames::Ipv4Header::udp(
+        switched_rt_ethernet::types::Ipv4Address::for_node(from),
+        switched_rt_ethernet::types::Ipv4Address::for_node(to),
+        8 + payload_len,
+    )
+    .unwrap();
+    let mut bytes = ip.encode();
+    bytes.extend_from_slice(&udp.encode());
+    bytes.extend(std::iter::repeat_n(0x5au8, payload_len));
+    rt_frames::EthernetFrame::new(
+        MacAddr::for_node(to),
+        MacAddr::for_node(from),
+        switched_rt_ethernet::types::constants::ETHERTYPE_IPV4,
+        bytes,
+    )
+    .unwrap()
+}
+
+fn rt_frame(
+    from: NodeId,
+    to: NodeId,
+    channel: u16,
+    deadline: SimTime,
+    payload_len: usize,
+) -> rt_frames::EthernetFrame {
+    rt_frames::rt_data::RtDataFrame {
+        eth_src: MacAddr::for_node(from),
+        eth_dst: MacAddr::for_node(to),
+        stamp: rt_frames::rt_data::DeadlineStamp::new(deadline.as_nanos(), ChannelId::new(channel))
+            .unwrap(),
+        src_port: 5000,
+        dst_port: 5001,
+        payload: vec![0u8; payload_len],
+    }
+    .into_ethernet()
+    .unwrap()
+}
+
+/// A random mixed workload over the attached nodes: RT frames with random
+/// channels/deadlines plus best-effort frames, at random times within ~2 ms.
+fn random_workload(rng: &mut Xoshiro256, topology: &Topology) -> Vec<FrameInjection> {
+    let nodes: Vec<NodeId> = topology.nodes().collect();
+    let frames = rng.range_inclusive(40, 160);
+    let mut batch = Vec::with_capacity(frames as usize);
+    for _ in 0..frames {
+        let src = nodes[rng.below(nodes.len() as u64) as usize];
+        let mut dst = nodes[rng.below(nodes.len() as u64) as usize];
+        if dst == src {
+            dst = nodes[(nodes.iter().position(|&n| n == src).unwrap() + 1) % nodes.len()];
+        }
+        let at = SimTime::from_nanos(rng.below(2_000_000));
+        let payload = rng.range_inclusive(50, 1400) as usize;
+        let eth = if rng.chance(0.5) {
+            let channel = rng.range_inclusive(1, 6) as u16;
+            let deadline = at + Duration::from_nanos(rng.range_inclusive(50_000, 3_000_000));
+            rt_frame(src, dst, channel, deadline, payload)
+        } else {
+            be_frame(src, dst, payload)
+        };
+        batch.push(FrameInjection { node: src, eth, at });
+    }
+    batch
+}
+
+/// A random fault script over the topology's trunks: one cut somewhere in
+/// the workload window, sometimes followed by a repair.
+fn random_faults(rng: &mut Xoshiro256, topology: &Topology) -> FaultScript {
+    let trunks: Vec<(SwitchId, SwitchId)> = topology.trunks().collect();
+    if trunks.is_empty() {
+        return FaultScript::new();
+    }
+    let (a, b) = trunks[rng.below(trunks.len() as u64) as usize];
+    let cut_at = SimTime::from_nanos(rng.range_inclusive(100_000, 1_500_000));
+    let mut script = FaultScript::new().fail_at(cut_at, a, b);
+    if rng.chance(0.5) {
+        script = script.repair_at(cut_at + Duration::from_millis(1), a, b);
+    }
+    script
+}
+
+// --- invariant drivers ----------------------------------------------------
+
+type Snapshot = Vec<(u64, NodeId, u64, Vec<u8>)>;
+
+fn snapshot(deliveries: &[Delivery]) -> Snapshot {
+    deliveries
+        .iter()
+        .map(|d| {
+            (
+                d.frame.get(),
+                d.receiver,
+                d.delivered_at.as_nanos(),
+                d.eth.encode(),
+            )
+        })
+        .collect()
+}
+
+/// Run one seed's workload (and optional fault script) on one scheduler;
+/// assert conservation; return the observable outcome.
+fn drive(seed: u64, scheduler: SchedulerKind, with_faults: bool) -> (Snapshot, String) {
+    let mut rng = Xoshiro256::new(seed);
+    let topology = random_topology(&mut rng);
+    let workload = random_workload(&mut rng, &topology);
+    let faults = random_faults(&mut rng, &topology);
+    let config = SimConfig {
+        scheduler,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::with_topology(config, topology).expect("generated fabric is valid");
+    sim.inject_batch(workload).expect("workload is valid");
+    if with_faults {
+        sim.schedule_faults(&faults).expect("faults are in-window");
+    }
+    sim.run_to_idle();
+    let stats = sim.stats();
+    assert_eq!(
+        sim.injected_count(),
+        stats.total_delivered() + stats.total_dropped(),
+        "seed {seed}: conservation violated ({} injected, {} delivered, {} dropped; {})",
+        sim.injected_count(),
+        stats.total_delivered(),
+        stats.total_dropped(),
+        stats.summary(),
+    );
+    assert_eq!(stats.clamped_events, 0, "seed {seed}: causality violated");
+    (snapshot(&sim.poll_deliveries()), sim.stats().summary())
+}
+
+// --- the properties -------------------------------------------------------
+
+/// Invariants 1 + 2 on fault-free fabrics: conservation on every seed, and
+/// heap/calendar byte-for-byte equivalence.
+#[test]
+fn random_fabrics_conserve_frames_and_are_scheduler_invariant() {
+    for seed in 0..SEEDS {
+        let heap = drive(seed, SchedulerKind::Heap, false);
+        let calendar = drive(seed, SchedulerKind::Calendar, false);
+        assert_eq!(heap, calendar, "seed {seed}: schedulers diverge");
+    }
+}
+
+/// Invariants 1 + 2 *under fault injection*: a scripted trunk cut (and
+/// sometimes a repair) mid-workload must neither lose track of a frame nor
+/// introduce any scheduler-dependent behaviour.
+#[test]
+fn random_fabrics_with_faults_conserve_frames_and_are_scheduler_invariant() {
+    for seed in 0..SEEDS {
+        let heap = drive(seed, SchedulerKind::Heap, true);
+        let calendar = drive(seed, SchedulerKind::Calendar, true);
+        assert_eq!(
+            heap, calendar,
+            "seed {seed}: schedulers diverge under faults"
+        );
+    }
+}
+
+/// Invariant 3: on random fabrics, every channel the analysis admits keeps
+/// its promise on the wire — zero deadline misses and every latency within
+/// the hop-aware Eq. 18.1 bound.
+#[test]
+fn admitted_channels_never_miss_deadlines_on_random_fabrics() {
+    for seed in 0..SEEDS {
+        let mut rng = Xoshiro256::new(0x5eed_0000 ^ seed);
+        let topology = random_topology(&mut rng);
+        let nodes: Vec<NodeId> = topology.nodes().collect();
+        let mut net = RtNetwork::builder()
+            .topology(topology)
+            .router(KShortestRouter::new(3))
+            .multihop_dps(if rng.chance(0.5) {
+                MultiHopDps::Asymmetric
+            } else {
+                MultiHopDps::Symmetric
+            })
+            .build()
+            .expect("generated fabric builds");
+        // A handful of random channel requests; rejections are fine (that
+        // is admission doing its job), admitted ones must deliver.
+        let mut admitted = Vec::new();
+        for _ in 0..6 {
+            let src = nodes[rng.below(nodes.len() as u64) as usize];
+            let mut dst = nodes[rng.below(nodes.len() as u64) as usize];
+            if dst == src {
+                dst = nodes[(nodes.iter().position(|&n| n == src).unwrap() + 1) % nodes.len()];
+            }
+            let spec = RtChannelSpec::new(
+                Slots::new(rng.range_inclusive(60, 140)),
+                Slots::new(rng.range_inclusive(1, 3)),
+                Slots::new(rng.range_inclusive(30, 60)),
+            )
+            .expect("generated spec is valid");
+            if let Some(tx) = net.establish_channel(src, dst, spec).unwrap() {
+                admitted.push((src, tx.id));
+            }
+        }
+        let start = net.now() + Duration::from_millis(1);
+        for &(src, id) in &admitted {
+            net.send_periodic(src, id, 5, 600, start).unwrap();
+        }
+        net.run_to_completion().unwrap();
+        let stats = net.simulator().stats();
+        assert!(
+            stats.all_deadlines_met(),
+            "seed {seed}: {} admitted channels missed deadlines ({})",
+            admitted.len(),
+            stats.summary()
+        );
+        assert!(net.received_messages().iter().all(|m| !m.missed_deadline));
+        for &(_, id) in &admitted {
+            let bound = net.channel_deadline_bound(id).expect("admitted channel");
+            if let Some(ch) = stats.channel(id) {
+                assert!(
+                    ch.max_latency <= bound,
+                    "seed {seed}: channel {id} worst {} exceeds bound {bound}",
+                    ch.max_latency
+                );
+            }
+        }
+        // Conservation holds for the full stack too (handshake frames
+        // included).
+        assert_eq!(
+            net.simulator().injected_count(),
+            stats.total_delivered() + stats.total_dropped(),
+            "seed {seed}: full-stack conservation violated ({})",
+            stats.summary()
+        );
+    }
+}

@@ -1,0 +1,355 @@
+//! Deterministic fail-over regressions: cut a ring / torus trunk mid-run
+//! and prove the three guarantees of the failure model:
+//!
+//! 1. every affected admitted channel is re-routed over a surviving path
+//!    (or reported dropped when none can admit it), keeping its channel id,
+//! 2. frames generated after re-admission meet the hop-aware Eq. 18.1 bound
+//!    of the *new* route — zero post-re-admission deadline misses,
+//! 3. channels whose links are disjoint from the failure and from every
+//!    re-route keep byte-for-byte identical delivery sequences to a
+//!    fault-free run, and the whole fail-over story is scheduler-invariant
+//!    and frame-conserving.
+
+use switched_rt_ethernet::core::{MultiHopDps, RtChannelSpec, RtNetwork};
+use switched_rt_ethernet::netsim::SchedulerKind;
+use switched_rt_ethernet::traffic::FailoverScenario;
+use switched_rt_ethernet::types::{Duration, HopLink, KShortestRouter, SimTime, SwitchId};
+
+fn conservation_holds(net: &RtNetwork) {
+    let stats = net.simulator().stats();
+    assert_eq!(
+        net.simulator().injected_count(),
+        stats.total_delivered() + stats.total_dropped(),
+        "conservation violated: {}",
+        stats.summary()
+    );
+}
+
+/// Ring closing-trunk cut mid-run: the affected channel is re-routed the
+/// long way around (same id), frames in flight over the dead trunk are lost
+/// and counted, post-re-admission traffic meets the new 5-hop bound, and a
+/// same-switch bystander channel delivers byte-for-byte as in a fault-free
+/// run.
+#[test]
+fn ring_trunk_cut_mid_run_reroutes_and_meets_bounds() {
+    let scenario = FailoverScenario::ring_trunk_cut(4, 1, 1);
+    let (cut_from, cut_to) = scenario.cut_trunk();
+    let spec = RtChannelSpec::paper_default();
+    let start1 = SimTime::from_millis(5);
+    // Mid-flight cut: 100 us after the first message's frames start, some
+    // are still crossing the fabric.
+    let cut_at = start1 + Duration::from_micros(100);
+    let start2 = cut_at + Duration::from_millis(1);
+
+    let drive = |cut: bool| {
+        let mut net = RtNetwork::builder()
+            .topology(scenario.fabric().topology())
+            .router(KShortestRouter::new(3))
+            .multihop_dps(MultiHopDps::Symmetric)
+            .build()
+            .unwrap();
+        // Affected: master on sw0 -> slave on sw3 via the closing trunk.
+        let affected_src = scenario.fabric().master(0, 0);
+        let affected = net
+            .establish_channel(affected_src, scenario.fabric().slave(3, 0), spec)
+            .unwrap()
+            .expect("empty ring admits the channel");
+        assert_eq!(
+            net.manager().channel_route(affected.id).unwrap().path.len(),
+            3
+        );
+        // Bystander: master -> slave on sw2, disjoint from the cut trunk
+        // and from the affected channel's re-route (which only adds trunk
+        // hops and the same sw3 downlink).
+        let local_src = scenario.fabric().master(2, 0);
+        let local = net
+            .establish_channel(local_src, scenario.fabric().slave(2, 0), spec)
+            .unwrap()
+            .expect("same-switch channel is admitted");
+
+        net.send_periodic(affected_src, affected.id, 3, 700, start1)
+            .unwrap();
+        net.send_periodic(local_src, local.id, 8, 700, start1)
+            .unwrap();
+        net.run_until(cut_at).unwrap();
+        if cut {
+            let report = net.fail_trunk(cut_from, cut_to).unwrap();
+            assert_eq!(report.rerouted.len(), 1, "the cross-ring channel re-routes");
+            assert_eq!(
+                report.rerouted[0].id, affected.id,
+                "channel id is preserved"
+            );
+            assert_eq!(report.rerouted[0].path.len(), 5, "the long way around");
+            assert!(report.dropped.is_empty());
+            assert_eq!(report.unaffected, 1);
+            // Post-re-admission traffic on the new route.
+            net.send_periodic(affected_src, affected.id, 5, 700, start2)
+                .unwrap();
+        }
+        net.run_to_completion().unwrap();
+        conservation_holds(&net);
+
+        let local_seq: Vec<(u64, bool)> = net
+            .received_messages()
+            .iter()
+            .filter(|m| m.message.channel == local.id)
+            .map(|m| (m.delivered_at.as_nanos(), m.missed_deadline))
+            .collect();
+        (net, affected.id, local_seq)
+    };
+
+    let (net, affected_id, local_with_cut) = drive(true);
+    let stats = net.simulator().stats();
+    // Nothing — pre-cut, in-flight or post-re-admission — missed a
+    // deadline; frames lost on the dead trunk are counted, not delivered.
+    assert!(
+        stats.all_deadlines_met(),
+        "deadline misses after fail-over: {}",
+        stats.summary()
+    );
+    assert!(net.received_messages().iter().all(|m| !m.missed_deadline));
+    // Every measured latency on the re-routed channel fits the *new* 5-hop
+    // bound (post-re-admission the layer stamps against it, and the wire
+    // enforces the re-partitioned per-hop budgets).
+    let bound_after = net.channel_deadline_bound(affected_id).unwrap();
+    let worst = stats.channel(affected_id).unwrap().max_latency;
+    assert!(
+        worst <= bound_after,
+        "worst {worst} exceeds post-fail-over bound {bound_after}"
+    );
+    // The re-route really avoided the dead trunk and used the detour.
+    assert!(net
+        .simulator()
+        .stats()
+        .hop_link(HopLink::Trunk {
+            from: SwitchId::new(1),
+            to: SwitchId::new(2),
+        })
+        .is_some());
+
+    // Byte-for-byte: the sw2-local channel cannot tell the two worlds
+    // apart.
+    let (_, _, local_without_cut) = drive(false);
+    assert!(!local_with_cut.is_empty());
+    assert_eq!(
+        local_with_cut, local_without_cut,
+        "a channel off the failed path must keep its exact delivery sequence"
+    );
+}
+
+/// Torus grid-trunk cut: a redundant fabric re-routes *every* affected
+/// channel (nothing is dropped), and post-cut traffic meets the new bounds
+/// with zero misses.
+#[test]
+fn torus_link_cut_reroutes_all_affected_channels() {
+    let scenario = FailoverScenario::torus_link_cut(3, 3, 1, 1);
+    let (cut_from, cut_to) = scenario.cut_trunk();
+    let spec = RtChannelSpec::paper_default();
+    let mut net = RtNetwork::builder()
+        .topology(scenario.fabric().topology())
+        .router(KShortestRouter::new(4))
+        .multihop_dps(MultiHopDps::Asymmetric)
+        .build()
+        .unwrap();
+    // Two channels crossing the doomed trunk (one per direction) and one
+    // far away.
+    let crossing = [
+        (
+            scenario.fabric().master(0, 0),
+            scenario.fabric().slave(1, 0),
+        ),
+        (
+            scenario.fabric().master(1, 0),
+            scenario.fabric().slave(0, 0),
+        ),
+    ];
+    let mut affected_ids = Vec::new();
+    for &(src, dst) in &crossing {
+        let tx = net.establish_channel(src, dst, spec).unwrap().unwrap();
+        assert_eq!(
+            net.manager().channel_route(tx.id).unwrap().path.len(),
+            3,
+            "pre-cut routes use the direct trunk"
+        );
+        affected_ids.push((src, tx.id));
+    }
+    let far_src = scenario.fabric().master(4, 0);
+    let far = net
+        .establish_channel(far_src, scenario.fabric().slave(5, 0), spec)
+        .unwrap()
+        .unwrap();
+
+    let report = net.fail_trunk(cut_from, cut_to).unwrap();
+    assert_eq!(report.rerouted.len(), 2, "the torus re-routes everything");
+    assert!(report.dropped.is_empty(), "redundancy means no drops");
+    assert_eq!(report.unaffected, 1);
+    for (_, id) in &affected_ids {
+        let route = net.manager().channel_route(*id).unwrap();
+        assert_eq!(route.path.len(), 4, "the detour adds exactly one trunk hop");
+        assert!(!route.path.iter().any(|l| matches!(
+            l,
+            HopLink::Trunk { from, to }
+            if (*from == cut_from && *to == cut_to) || (*from == cut_to && *to == cut_from)
+        )));
+    }
+
+    // Post-re-admission traffic on all three channels: zero misses, every
+    // latency within its channel's (new) bound.
+    let start = net.now() + Duration::from_millis(1);
+    for &(src, id) in &affected_ids {
+        net.send_periodic(src, id, 6, 900, start).unwrap();
+    }
+    net.send_periodic(far_src, far.id, 6, 900, start).unwrap();
+    net.run_to_completion().unwrap();
+    conservation_holds(&net);
+    let stats = net.simulator().stats();
+    assert!(stats.all_deadlines_met(), "{}", stats.summary());
+    for (_, id) in affected_ids.iter().chain([(far_src, far.id)].iter()) {
+        let bound = net.channel_deadline_bound(*id).unwrap();
+        let worst = stats.channel(*id).unwrap().max_latency;
+        assert!(worst <= bound, "channel {id}: {worst} > {bound}");
+    }
+}
+
+/// A released channel's frames are dropped on the wire and counted — the
+/// full-stack version of the teardown satellite: teardown races ahead of
+/// already-scheduled periodic traffic, and none of it is delivered.
+#[test]
+fn teardown_drops_late_frames_instead_of_delivering_them() {
+    let scenario = FailoverScenario::ring_trunk_cut(4, 1, 1);
+    let spec = RtChannelSpec::paper_default();
+    let mut net = RtNetwork::builder()
+        .topology(scenario.fabric().topology())
+        .multihop_dps(MultiHopDps::Symmetric)
+        .build()
+        .unwrap();
+    let src = scenario.fabric().master(0, 0);
+    let tx = net
+        .establish_channel(src, scenario.fabric().slave(3, 0), spec)
+        .unwrap()
+        .unwrap();
+    // Schedule 4 messages (12 frames) well in the future, then tear the
+    // channel down before any of them reaches the fabric.
+    let start = net.now() + Duration::from_millis(20);
+    net.send_periodic(src, tx.id, 4, 500, start).unwrap();
+    net.teardown_channel(src, tx.id).unwrap();
+    assert_eq!(net.channel_count(), 0);
+    net.run_to_completion().unwrap();
+
+    let stats = net.simulator().stats();
+    assert_eq!(
+        net.received_messages().len(),
+        0,
+        "released channel must not deliver"
+    );
+    assert_eq!(
+        stats.released_channel_dropped,
+        4 * spec.capacity.get(),
+        "every late frame is dropped and counted: {}",
+        stats.summary()
+    );
+    conservation_holds(&net);
+}
+
+/// A teardown landing while data frames are at *every* stage of flight —
+/// on the uplink, inside a switch, already on the destination downlink —
+/// must never abort the run: frames behind the release are dropped and
+/// counted, frames already past their last switch are delivered to a
+/// receiver that has forgotten the channel and are simply ignored.
+#[test]
+fn mid_flight_teardown_never_aborts_the_run() {
+    use switched_rt_ethernet::core::RtNetwork;
+    use switched_rt_ethernet::types::Topology;
+    let spec = RtChannelSpec::paper_default();
+    // Sweep the teardown instant across the delivery pipeline of one
+    // 3-frame message over a 3-hop route.
+    for offset_us in [10u64, 60, 90, 120, 150, 180, 400] {
+        let mut net = RtNetwork::builder()
+            .topology(Topology::line(2, 1))
+            .multihop_dps(MultiHopDps::Symmetric)
+            .build()
+            .unwrap();
+        let src = switched_rt_ethernet::types::NodeId::new(0);
+        let dst = switched_rt_ethernet::types::NodeId::new(1);
+        let tx = net.establish_channel(src, dst, spec).unwrap().unwrap();
+        let start = net.now();
+        net.send_periodic(src, tx.id, 1, 500, start).unwrap();
+        net.run_until(start + Duration::from_micros(offset_us))
+            .unwrap();
+        net.teardown_channel(src, tx.id).unwrap();
+        net.run_to_completion()
+            .unwrap_or_else(|e| panic!("offset {offset_us} us: run aborted: {e}"));
+        conservation_holds(&net);
+        assert_eq!(net.channel_count(), 0);
+    }
+}
+
+/// The entire fail-over path — establishment, mid-run cut, re-admission,
+/// post-cut traffic — is byte-for-byte identical under the heap and the
+/// calendar scheduler.
+#[test]
+fn failover_runs_are_scheduler_invariant() {
+    let scenario = FailoverScenario::ring_trunk_cut(4, 2, 2);
+    let (cut_from, cut_to) = scenario.cut_trunk();
+    let spec = RtChannelSpec::paper_default();
+    let drive = |scheduler: SchedulerKind| {
+        let mut net = RtNetwork::builder()
+            .topology(scenario.fabric().topology())
+            .router(KShortestRouter::new(3))
+            .scheduler(scheduler)
+            .multihop_dps(MultiHopDps::Asymmetric)
+            .build()
+            .unwrap();
+        let pairs = [
+            (
+                scenario.fabric().master(0, 0),
+                scenario.fabric().slave(3, 0),
+            ),
+            (
+                scenario.fabric().master(1, 0),
+                scenario.fabric().slave(2, 0),
+            ),
+            (
+                scenario.fabric().master(2, 1),
+                scenario.fabric().slave(0, 1),
+            ),
+        ];
+        let mut channels = Vec::new();
+        for &(src, dst) in &pairs {
+            if let Some(tx) = net.establish_channel(src, dst, spec).unwrap() {
+                channels.push((src, tx.id));
+            }
+        }
+        let start = SimTime::from_millis(5);
+        for &(src, id) in &channels {
+            net.send_periodic(src, id, 4, 800, start).unwrap();
+        }
+        let cut_at = start + Duration::from_micros(150);
+        net.run_until(cut_at).unwrap();
+        net.fail_trunk(cut_from, cut_to).unwrap();
+        let start2 = cut_at + Duration::from_millis(1);
+        for &(src, id) in &channels {
+            if net.manager().channel_route(id).is_some() {
+                net.send_periodic(src, id, 4, 800, start2).unwrap();
+            }
+        }
+        net.run_to_completion().unwrap();
+        conservation_holds(&net);
+        let trace: Vec<(u32, u16, u64, bool)> = net
+            .received_messages()
+            .iter()
+            .map(|m| {
+                (
+                    m.receiver.get(),
+                    m.message.channel.get(),
+                    m.delivered_at.as_nanos(),
+                    m.missed_deadline,
+                )
+            })
+            .collect();
+        (trace, net.simulator().stats().summary())
+    };
+    let heap = drive(SchedulerKind::Heap);
+    let calendar = drive(SchedulerKind::Calendar);
+    assert_eq!(heap, calendar, "schedulers diverge on the fail-over path");
+}
