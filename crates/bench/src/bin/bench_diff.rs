@@ -2,7 +2,7 @@
 //! `BENCH_multiswitch.json` (or any artifact of the same row shapes)
 //! against the previous run's artifact and fail on regressions.
 //!
-//! Two metrics are gated:
+//! Three checks are gated:
 //!
 //! * **throughput** — rows carrying `events_per_second`, matched by
 //!   `(fabric, scheduler)` (falling back to `fabric`, then `name`);
@@ -10,7 +10,13 @@
 //! * **admission quality** — rows carrying `accepted_channels`; these are
 //!   deterministic integers, so *any* decrease against the baseline fails
 //!   the run (fewer admitted channels means the admission control or the
-//!   fail-over path lost capacity, which no throughput number excuses).
+//!   fail-over path lost capacity, which no throughput number excuses),
+//! * **central-vs-distributed parity** — rows carrying both
+//!   `accepted_channels_central` and `accepted_channels_distributed` (the
+//!   multiswitch part-5 parity row) are checked *within the current
+//!   artifact*, no baseline needed: the distributed control plane must
+//!   admit exactly the central oracle's channel count, and an
+//!   `identical_channel_set: false` flag fails outright.
 //!
 //! An artifact may be a top-level array of rows or an object whose
 //! top-level values are arrays of rows (the `multiswitch` shape); new rows
@@ -83,6 +89,36 @@ fn load(path: &str) -> Result<Metrics, String> {
     metrics(&parse_json(&text).map_err(|e| format!("parse {path}: {e}"))?)
 }
 
+/// In-artifact parity check: every row that reports both a central and a
+/// distributed accepted-channel count must agree (and must not carry an
+/// explicit `identical_channel_set: false`).  Returns the violations.
+fn parity_violations(doc: &JsonValue) -> Vec<String> {
+    let mut violations = Vec::new();
+    for row in rows_of(doc) {
+        let central = row
+            .get("accepted_channels_central")
+            .and_then(|v| v.as_f64());
+        let distributed = row
+            .get("accepted_channels_distributed")
+            .and_then(|v| v.as_f64());
+        if let (Some(c), Some(d)) = (central, distributed) {
+            if c != d {
+                violations.push(format!(
+                    "{}: distributed accepted {d:.0} != central accepted {c:.0}",
+                    row_key(row)
+                ));
+            }
+        }
+        if let Some(JsonValue::Bool(false)) = row.get("identical_channel_set") {
+            violations.push(format!(
+                "{}: accepted counts match but the channel sets differ",
+                row_key(row)
+            ));
+        }
+    }
+    violations
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (Some(baseline_path), Some(current_path)) = (args.first(), args.get(1)) else {
@@ -94,18 +130,45 @@ fn main() -> ExitCode {
         .map(|t| t.parse().expect("threshold must be a number"))
         .unwrap_or(0.20);
 
+    // Central-vs-distributed parity: checked within the current artifact —
+    // deterministic, so no baseline is involved and it gates even the
+    // first run of a trajectory.
+    let parity_regressions = match std::fs::read_to_string(current_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| parse_json(&text).map_err(|e| e.to_string()))
+    {
+        Ok(doc) => parity_violations(&doc),
+        Err(e) => {
+            eprintln!("error: unusable current artifact ({e})");
+            return ExitCode::FAILURE;
+        }
+    };
+
     if !std::path::Path::new(baseline_path).exists() {
         println!(
             "no baseline at {baseline_path}: nothing to compare (first run of the trajectory)"
         );
-        return ExitCode::SUCCESS;
+        if parity_regressions.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+        for regression in &parity_regressions {
+            eprintln!("REGRESSION: {regression}");
+        }
+        return ExitCode::FAILURE;
     }
     let baseline = match load(baseline_path) {
         Ok(b) => b,
         Err(e) => {
-            // A corrupt baseline must not wedge the pipeline forever.
+            // A corrupt baseline must not wedge the pipeline forever
+            // (parity, being baseline-free, still gates).
             eprintln!("warning: unusable baseline ({e}); skipping comparison");
-            return ExitCode::SUCCESS;
+            if parity_regressions.is_empty() {
+                return ExitCode::SUCCESS;
+            }
+            for regression in &parity_regressions {
+                eprintln!("REGRESSION: {regression}");
+            }
+            return ExitCode::FAILURE;
         }
     };
     let current = match load(current_path) {
@@ -116,7 +179,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut regressions = Vec::new();
+    let mut regressions = parity_regressions;
 
     // Throughput: fail beyond the fractional threshold.
     let mut table = Table::new(&["benchmark", "baseline ev/s", "current ev/s", "change"]);
@@ -245,6 +308,47 @@ mod tests {
         let mut top = BTreeMap::new();
         top.insert("admission_quality".into(), JsonValue::Array(rows));
         JsonValue::Object(top)
+    }
+
+    fn parity_doc(central: f64, distributed: f64, identical: bool) -> JsonValue {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "fabric".into(),
+            JsonValue::String("torus_1024_parity".into()),
+        );
+        m.insert(
+            "accepted_channels_central".into(),
+            JsonValue::Number(central),
+        );
+        m.insert(
+            "accepted_channels_distributed".into(),
+            JsonValue::Number(distributed),
+        );
+        m.insert("identical_channel_set".into(), JsonValue::Bool(identical));
+        let mut top = BTreeMap::new();
+        top.insert(
+            "distributed_parity".into(),
+            JsonValue::Array(vec![JsonValue::Object(m)]),
+        );
+        JsonValue::Object(top)
+    }
+
+    #[test]
+    fn parity_passes_when_counts_and_sets_match() {
+        assert!(parity_violations(&parity_doc(40.0, 40.0, true)).is_empty());
+        // Rows without parity fields are ignored.
+        assert!(parity_violations(&admission_doc(&[("ring", 24.0)])).is_empty());
+    }
+
+    #[test]
+    fn parity_fails_on_count_mismatch_or_divergent_sets() {
+        let v = parity_violations(&parity_doc(40.0, 38.0, true));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("38 != central accepted 40"), "{v:?}");
+        // Equal counts but different channel sets is still a failure.
+        let v = parity_violations(&parity_doc(40.0, 40.0, false));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("channel sets differ"), "{v:?}");
     }
 
     #[test]

@@ -44,6 +44,19 @@
 //! admission-quality rows, which the `bench_diff` gate tracks alongside
 //! events/s.
 //!
+//! **Part 5 — central vs distributed control plane (1024-node torus).**
+//! The same request sequence — a cross-switch sweep plus a *hot-trunk*
+//! block in which every request contends for the `sw0 <-> sw1` trunk's
+//! slack — is driven twice over the 8×8×16 torus: once under the paper's
+//! centralised manager (control frames teleport… well, forward to one
+//! switch) and once under the distributed per-switch managers with
+//! two-phase reservation frames hopping the fabric.  The accepted channel
+//! sets must be *identical* (ids, routes, deadline splits — the central
+//! manager is the oracle); what differs is the honest price: control-frame
+//! count, control-frame link traversals ("admission hops") and admission
+//! latency in simulated time all land in the artifact, and `bench_diff`
+//! fails CI if the accepted sets ever diverge.
+//!
 //! Usage: `cargo run -p rt-bench --bin multiswitch [results.json]`.  The
 //! results are additionally always written to `BENCH_multiswitch.json` at
 //! the workspace root (override with `BENCH_MULTISWITCH_JSON`) so CI can
@@ -60,7 +73,8 @@ use rt_core::{ChannelRoute, RtChannelSpec, RtNetwork};
 use rt_netsim::SchedulerKind;
 use rt_traffic::{FabricScenario, FailoverScenario};
 use rt_types::{
-    ChannelId, Duration, KShortestRouter, NodeId, Router, ShortestPathRouter, SimTime, TreeRouter,
+    ChannelId, Duration, KShortestRouter, ManagerPlacement, NodeId, Router, ShortestPathRouter,
+    SimTime, TreeRouter,
 };
 
 #[derive(Debug)]
@@ -219,6 +233,69 @@ impl ToJson for AdmissionRow {
     }
 }
 
+/// One control-plane placement's numbers for the identical torus workload
+/// (part 5).
+#[derive(Debug)]
+struct DistributedRow {
+    placement: &'static str,
+    requested: u64,
+    accepted: u64,
+    control_frames: u64,
+    control_hops: u64,
+    /// Simulated time consumed by all establishment handshakes.
+    admission_ns: u64,
+    /// Mean control-frame link traversals per *accepted* channel — the
+    /// admission latency measured in real hops.
+    hops_per_accepted: f64,
+    events: u64,
+    elapsed_ns: u64,
+}
+
+impl ToJson for DistributedRow {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("fabric", format!("torus_1024_{}", self.placement).to_json()),
+            ("placement", self.placement.to_json()),
+            ("requested", self.requested.to_json()),
+            ("accepted_channels", self.accepted.to_json()),
+            ("rerouted_channels", 0u64.to_json()),
+            ("dropped_channels", 0u64.to_json()),
+            ("control_frames", self.control_frames.to_json()),
+            ("control_hops", self.control_hops.to_json()),
+            ("admission_ns", self.admission_ns.to_json()),
+            ("hops_per_accepted", self.hops_per_accepted.to_json()),
+            ("events", self.events.to_json()),
+            ("elapsed_ns", self.elapsed_ns.to_json()),
+        ])
+    }
+}
+
+/// The central-vs-distributed parity verdict (part 5), gated in-artifact by
+/// `bench_diff`: the two accepted counts must be equal.
+#[derive(Debug)]
+struct ParityRow {
+    central_accepted: u64,
+    distributed_accepted: u64,
+    identical_channel_set: bool,
+}
+
+impl ToJson for ParityRow {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("fabric", "torus_1024_parity".to_json()),
+            ("accepted_channels_central", self.central_accepted.to_json()),
+            (
+                "accepted_channels_distributed",
+                self.distributed_accepted.to_json(),
+            ),
+            (
+                "identical_channel_set",
+                self.identical_channel_set.to_json(),
+            ),
+        ])
+    }
+}
+
 /// The whole experiment, for the JSON dump.
 #[derive(Debug)]
 struct Results {
@@ -226,6 +303,8 @@ struct Results {
     mesh: Vec<MeshRow>,
     schedulers: Vec<SchedulerRow>,
     failover: Vec<FailoverRow>,
+    distributed: Vec<DistributedRow>,
+    parity: Vec<ParityRow>,
     admission_quality: Vec<AdmissionRow>,
 }
 
@@ -236,6 +315,8 @@ impl ToJson for Results {
             ("mesh_vs_tree", self.mesh.to_json()),
             ("scheduler_comparison", self.schedulers.to_json()),
             ("failover", self.failover.to_json()),
+            ("distributed_admission", self.distributed.to_json()),
+            ("distributed_parity", self.parity.to_json()),
             ("admission_quality", self.admission_quality.to_json()),
         ])
     }
@@ -768,12 +849,138 @@ fn part4_survivability(messages: u64) -> FailoverRow {
     }
 }
 
+/// Part 5: central vs distributed admission on the 1024-node torus — same
+/// request sequence, identical accepted channel set, honestly-priced
+/// control plane.
+fn part5_distributed() -> (Vec<DistributedRow>, ParityRow) {
+    let fabric = FabricScenario::torus(8, 8, 8, 8);
+    let spec = RtChannelSpec::paper_default();
+    // A cross-switch sweep over the whole torus plus a hot-trunk block:
+    // sixteen requests all contending for the sw0 <-> sw1 trunk's slack,
+    // sized beyond its capacity so the later ones must detour (k-shortest)
+    // or be rejected — with their partial reservations rolled back.
+    let mut requests: Vec<(NodeId, NodeId)> = fabric
+        .cross_switch_requests(32, spec)
+        .iter()
+        .map(|r| (r.source, r.destination))
+        .collect();
+    requests.extend(
+        fabric
+            .hot_trunk_requests(16, spec)
+            .iter()
+            .map(|r| (r.source, r.destination)),
+    );
+    let requested = requests.len() as u64;
+    println!(
+        "\nPart 5 — central vs distributed control plane (8x8 torus, 1024 nodes, {requested} requests)"
+    );
+    println!("32 spread across the fabric + 16 contending for the sw0<->sw1 trunk's slack");
+
+    type ChannelSig = (u16, Vec<HopLink>, Vec<u64>);
+    let drive = |placement: ManagerPlacement| -> (Vec<ChannelSig>, DistributedRow) {
+        let mut net = RtNetwork::builder()
+            .topology(fabric.topology())
+            .router(KShortestRouter::new(3))
+            .multihop_dps(MultiHopDps::Asymmetric)
+            .manager_placement(placement)
+            .build()
+            .expect("the torus builds under k-shortest routing");
+        let started = Instant::now();
+        let mut admitted: Vec<ChannelSig> = Vec::new();
+        for &(src, dst) in &requests {
+            if let Some(tx) = net
+                .establish_channel(src, dst, spec)
+                .expect("establishment cannot error on a known topology")
+            {
+                let route = net
+                    .manager()
+                    .channel_route(tx.id)
+                    .expect("admitted channel has a route");
+                admitted.push((
+                    tx.id.get(),
+                    route.path.iter().copied().collect(),
+                    route.link_deadlines.iter().map(|s| s.get()).collect(),
+                ));
+            }
+        }
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
+        let stats = net.simulator().stats();
+        let accepted = admitted.len() as u64;
+        let row = DistributedRow {
+            placement: match placement {
+                ManagerPlacement::Central => "central",
+                ManagerPlacement::Distributed => "distributed",
+            },
+            requested,
+            accepted,
+            control_frames: stats.control_frames,
+            control_hops: stats.control_hops,
+            admission_ns: net.now().as_nanos(),
+            hops_per_accepted: if accepted == 0 {
+                0.0
+            } else {
+                stats.control_hops as f64 / accepted as f64
+            },
+            events: net.simulator().events_processed(),
+            elapsed_ns,
+        };
+        (admitted, row)
+    };
+
+    let (central_set, central_row) = drive(ManagerPlacement::Central);
+    let (dist_set, dist_row) = drive(ManagerPlacement::Distributed);
+    assert!(central_row.accepted > 0, "the torus must admit channels");
+    assert!(
+        central_row.accepted < requested,
+        "the hot trunk must reject some requests"
+    );
+    let identical = central_set == dist_set;
+    assert!(
+        identical,
+        "the distributed manager must admit the oracle's exact channel set"
+    );
+    let mut table = Table::new(&[
+        "placement",
+        "accepted",
+        "control frames",
+        "control hops",
+        "hops/accepted",
+        "admission (sim ms)",
+    ]);
+    for row in [&central_row, &dist_row] {
+        table.row_strings(vec![
+            row.placement.to_string(),
+            format!("{}/{}", row.accepted, row.requested),
+            row.control_frames.to_string(),
+            row.control_hops.to_string(),
+            format!("{:.1}", row.hops_per_accepted),
+            format!("{:.2}", row.admission_ns as f64 / 1e6),
+        ]);
+    }
+    table.print();
+    println!(
+        "identical accepted channel set: YES ({} channels, ids/routes/deadline splits all equal)",
+        central_row.accepted
+    );
+    println!(
+        "the distributed control plane pays its admission latency in real store-and-forward hops;"
+    );
+    println!("bench_diff gates the parity (and the accepted counts) in CI.");
+    let parity = ParityRow {
+        central_accepted: central_row.accepted,
+        distributed_accepted: dist_row.accepted,
+        identical_channel_set: identical,
+    };
+    (vec![central_row, dist_row], parity)
+}
+
 fn main() {
     let messages = 10u64;
     let dumbbell_rows = part1_dumbbell(10, 50, messages);
     let mesh_rows = part2_mesh(messages);
     let scheduler_rows = part3_schedulers(messages);
     let failover_row = part4_survivability(3);
+    let (distributed_rows, parity_row) = part5_distributed();
     // Admission-quality trajectory: one row per scenario, gated by
     // bench_diff (an accepted-channel regression fails CI).  The torus
     // fail-over run is NOT duplicated here — its FailoverRow already
@@ -806,6 +1013,8 @@ fn main() {
         mesh: mesh_rows,
         schedulers: scheduler_rows,
         failover: vec![failover_row],
+        distributed: distributed_rows,
+        parity: vec![parity_row],
         admission_quality,
     };
     println!();

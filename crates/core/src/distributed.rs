@@ -1,0 +1,1391 @@
+//! The distributed control plane: per-switch channel managers and the
+//! deterministic two-phase reservation protocol that replaces "teleport
+//! every control frame to the one managing switch".
+//!
+//! ## The shape
+//!
+//! Every switch runs its own manager — a [`SlackLedger`] covering exactly
+//! the links that switch *owns* (its outgoing trunk ports plus the uplinks
+//! and downlinks of its attached nodes), so control-plane work scales with
+//! switch count and no switch is a single point of failure.  Slack moves
+//! only through [`ReservationFrame`]s that really traverse the fabric —
+//! admission latency is paid in store-and-forward wire hops, not in a
+//! zero-cost teleport.
+//!
+//! ## The protocol (per candidate route, coordinated by the source's access
+//! switch)
+//!
+//! 1. **Probe** (forward): hops the route's switch sequence; each switch
+//!    appends the current load of the route links it owns.  The collected
+//!    loads are exactly what the central manager would have read, so the
+//!    deadline partition ([`MultiHopDps`]) is identical.
+//! 2. **Reserve** (backward, started by the destination's access switch
+//!    after partitioning): each switch feasibility-tests and *tentatively
+//!    reserves* its owned links under the per-link deadlines the frame
+//!    carries, keyed by `(coordinator, token)`.
+//! 3. On a mid-path failure, a **Rollback** sweeps the already-reserved
+//!    switches and the destination switch answers **ReserveFailed** to the
+//!    coordinator — which tries the next candidate route only *after* the
+//!    rollback completed, so partial reservations never leak slack and a
+//!    retry never reads its own stale state.
+//! 4. On success the coordinator assigns the channel id and forwards the
+//!    annotated request to the destination node, exactly as the paper's
+//!    manager does; the destination's answer is relayed back by its access
+//!    switch as a **Confirm** (commit) or a rolling-back rejection.
+//!
+//! ## The oracle
+//!
+//! On a quiescent fabric the protocol admits the *identical* channel set —
+//! same ids, same routes, same per-link deadline splits — as the
+//! centralised [`crate::multihop::FabricChannelManager`], which therefore
+//! stays in the tree as the property-tested oracle
+//! (`tests/fabric_properties.rs` drives both over 32 seeds).  Two
+//! deliberate modelling simplifications, documented rather than hidden:
+//! every switch shares the converged topology view (link-state flooding is
+//! assumed instantaneous), and channel ids come from a fabric-wide
+//! sequencer so they match the oracle's ids exactly (a production system
+//! would shard the id space per switch at the cost of that parity).
+//!
+//! Fail-over is **driven by the switches adjacent to the cut**: they own
+//! the dead trunk's directed ports, so their ledgers name exactly the
+//! channels that crossed it; those are released everywhere and re-admitted
+//! over surviving routes with their ids preserved.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use rt_edf::PeriodicTask;
+use rt_frames::rt_response::ResponseVerdict;
+use rt_frames::{
+    Frame, RequestFrame, ReservationFrame, ReservationOp, ReservationReason, ResponseFrame,
+};
+use rt_types::{
+    ChannelId, ConnectionRequestId, MacAddr, NodeId, Route, Router, RtError, RtResult, Slots,
+    SwitchId, Topology,
+};
+
+use crate::channel::RtChannelSpec;
+use crate::ledger::{ReservationKey, SlackLedger};
+use crate::manager::{
+    ChannelManager, ChannelRoute, ControlOutcome, FailoverReport, ReleasedChannel, SwitchAction,
+};
+use crate::multihop::{HopLink, MultiHopDps};
+use crate::protocol::ChannelRequest;
+
+/// An in-flight admission, owned by its coordinator (the source's access
+/// switch).
+#[derive(Debug)]
+struct Coordination {
+    source: NodeId,
+    destination: NodeId,
+    spec: RtChannelSpec,
+    request_id: ConnectionRequestId,
+    /// The router's candidate routes, tried in order.
+    candidates: Vec<Route>,
+    /// Index of the candidate currently being probed / reserved.
+    candidate: usize,
+    /// Per-link deadline split, once the Reserve pass completed.
+    deadlines: Option<Vec<Slots>>,
+    /// The assigned channel id, once the whole route is reserved.
+    channel: Option<ChannelId>,
+}
+
+/// Destination-side pending state: the destination's access switch must
+/// relay the destination node's answer back to the coordinator.
+#[derive(Debug, Clone, Copy)]
+struct DestPending {
+    coordinator: SwitchId,
+    token: u16,
+    source: NodeId,
+    spec: RtChannelSpec,
+    candidate: u8,
+}
+
+/// One switch's control-plane state.
+#[derive(Debug, Default)]
+struct Site {
+    /// The slack ledger of the links this switch owns.
+    ledger: SlackLedger,
+    /// Admissions this switch coordinates, by token.
+    coordinations: BTreeMap<u16, Coordination>,
+    /// Destination-side pending relays, by raw channel id — the one
+    /// network-unique key the destination node echoes back, so concurrent
+    /// admissions from different sources can never collide here.
+    expecting: BTreeMap<u16, DestPending>,
+}
+
+/// A committed channel, registered at commit time with the coordinator that
+/// owns its reservation key.
+#[derive(Debug, Clone)]
+struct DistChannel {
+    id: ChannelId,
+    source: NodeId,
+    destination: NodeId,
+    spec: RtChannelSpec,
+    path: Route,
+    link_deadlines: Vec<Slots>,
+    coordinator: SwitchId,
+    token: u16,
+}
+
+impl DistChannel {
+    fn key(&self) -> ReservationKey {
+        ReservationKey::token(self.coordinator, self.token)
+    }
+
+    fn to_route(&self) -> ChannelRoute {
+        ChannelRoute {
+            id: self.id,
+            source: self.source,
+            destination: self.destination,
+            spec: self.spec,
+            path: self.path.clone(),
+            link_deadlines: self.link_deadlines.clone(),
+        }
+    }
+}
+
+/// The distributed channel manager: one [`Site`] per switch behind the one
+/// [`ChannelManager`] seam, driven through
+/// [`ChannelManager::handle_frame_at`] with real switch context.
+pub struct DistributedChannelManager {
+    topology: Topology,
+    router: Arc<dyn Router>,
+    dps: MultiHopDps,
+    sites: BTreeMap<SwitchId, Site>,
+    /// Memo of the router's candidate lists, keyed by `(topology
+    /// fingerprint, source, destination)`: reservation frames carry only
+    /// the candidate *index* and every hop re-derives the route, so without
+    /// this a k-shortest enumeration would rerun per control-frame hop.
+    /// The fingerprint key makes entries self-invalidating across topology
+    /// changes.
+    route_cache: BTreeMap<(u64, u32, u32), Vec<Route>>,
+    /// Committed channels, by raw id.
+    registry: BTreeMap<u16, DistChannel>,
+    /// Fabric-wide channel-id sequencer (see the module docs: shared so the
+    /// ids match the central oracle's exactly).
+    next_channel_id: u16,
+    next_token: u16,
+    switch_mac: MacAddr,
+    accepted: u64,
+    rejected: u64,
+    rerouted: u64,
+    dropped_on_failure: u64,
+}
+
+impl fmt::Debug for DistributedChannelManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DistributedChannelManager")
+            .field("router", &self.router.name())
+            .field("dps", &self.dps)
+            .field("sites", &self.sites.len())
+            .field("channels", &self.registry.len())
+            .field("accepted", &self.accepted)
+            .field("rejected", &self.rejected)
+            .finish()
+    }
+}
+
+impl DistributedChannelManager {
+    /// Create a distributed control plane over `topology`: one manager per
+    /// switch, the given deadline-partitioning scheme and path-selection
+    /// policy shared by all (every site sees the same converged topology,
+    /// so candidate routes are recomputed identically at every hop instead
+    /// of being carried in the frames).
+    pub fn new(topology: Topology, dps: MultiHopDps, router: Arc<dyn Router>) -> Self {
+        let sites = topology.switches().map(|s| (s, Site::default())).collect();
+        DistributedChannelManager {
+            topology,
+            router,
+            dps,
+            sites,
+            route_cache: BTreeMap::new(),
+            registry: BTreeMap::new(),
+            next_channel_id: 1,
+            next_token: 1,
+            switch_mac: MacAddr::for_switch(),
+            accepted: 0,
+            rejected: 0,
+            rerouted: 0,
+            dropped_on_failure: 0,
+        }
+    }
+
+    /// The shared topology view.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Requests accepted so far (fabric-wide).
+    pub fn accepted_count(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Requests rejected so far (fabric-wide).
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Channels re-routed over a surviving path after a failure.
+    pub fn rerouted_count(&self) -> u64 {
+        self.rerouted
+    }
+
+    /// Channels dropped because no surviving route could re-admit them.
+    pub fn failure_dropped_count(&self) -> u64 {
+        self.dropped_on_failure
+    }
+
+    // --- ownership and geometry ------------------------------------------
+
+    /// The switch that owns a link's slack: the access switch for uplinks
+    /// and downlinks, the transmitting switch for trunks.
+    fn owner_of(&self, link: HopLink) -> Option<SwitchId> {
+        match link {
+            HopLink::Uplink(n) | HopLink::Downlink(n) => self.topology.switch_of(n),
+            HopLink::Trunk { from, .. } => Some(from),
+        }
+    }
+
+    /// The link indices (into the route) owned by the switch at position
+    /// `i` of the switch sequence: the uplink at position 0, the outgoing
+    /// trunk at every interior position, the downlink at the last.
+    fn owned_link_indices(route_len: usize, seq_len: usize, i: usize) -> Vec<usize> {
+        let mut owned = Vec::with_capacity(2);
+        if i == 0 {
+            owned.push(0);
+        }
+        if i + 1 < seq_len {
+            owned.push(1 + i);
+        }
+        if i + 1 == seq_len {
+            owned.push(route_len - 1);
+        }
+        owned
+    }
+
+    /// The router's candidate list for one node pair, memoised per topology
+    /// fingerprint (every reservation-frame hop re-derives its route from
+    /// `(source, destination, candidate)`, and a k-shortest enumeration is
+    /// far too expensive to rerun per hop).
+    fn candidate_routes(&mut self, source: NodeId, destination: NodeId) -> RtResult<Vec<Route>> {
+        let key = (self.topology.fingerprint(), source.get(), destination.get());
+        if let Some(candidates) = self.route_cache.get(&key) {
+            return Ok(candidates.clone());
+        }
+        let candidates = self.router.routes(&self.topology, source, destination)?;
+        // A runaway-workload backstop, not an LRU: stale fingerprints never
+        // match again, so dropping everything is always safe.
+        if self.route_cache.len() >= 4096 {
+            self.route_cache.clear();
+        }
+        self.route_cache.insert(key, candidates.clone());
+        Ok(candidates)
+    }
+
+    /// The candidate route a reservation frame refers to, re-derived from
+    /// the shared topology and the deterministic router.
+    fn candidate_route(&mut self, frame: &ReservationFrame) -> RtResult<Route> {
+        let candidates = self.candidate_routes(frame.source, frame.destination)?;
+        candidates
+            .into_iter()
+            .nth(frame.candidate as usize)
+            .ok_or_else(|| {
+                RtError::ProtocolViolation(format!(
+                    "candidate {} of {} -> {} no longer exists",
+                    frame.candidate, frame.source, frame.destination
+                ))
+            })
+    }
+
+    fn site(&mut self, switch: SwitchId) -> RtResult<&mut Site> {
+        self.sites
+            .get_mut(&switch)
+            .ok_or_else(|| RtError::Config(format!("unknown switch {switch}")))
+    }
+
+    fn allocate_token(&mut self, coordinator: SwitchId) -> u16 {
+        loop {
+            let candidate = self.next_token;
+            self.next_token = if self.next_token == u16::MAX {
+                1
+            } else {
+                self.next_token + 1
+            };
+            let in_use = self.sites[&coordinator]
+                .coordinations
+                .contains_key(&candidate)
+                || self
+                    .registry
+                    .values()
+                    .any(|c| c.coordinator == coordinator && c.token == candidate);
+            if !in_use {
+                return candidate;
+            }
+        }
+    }
+
+    /// Allocate the next free channel id from the fabric-wide sequencer —
+    /// the same skip-in-use walk the central manager performs, so ids match
+    /// the oracle's on identical request sequences.
+    fn allocate_channel_id(&mut self) -> RtResult<ChannelId> {
+        let in_flight: BTreeSet<u16> = self
+            .sites
+            .values()
+            .flat_map(|s| s.coordinations.values())
+            .filter_map(|c| c.channel.map(|id| id.get()))
+            .collect();
+        for _ in 0..u16::MAX {
+            let candidate = self.next_channel_id;
+            self.next_channel_id = if self.next_channel_id == u16::MAX {
+                1
+            } else {
+                self.next_channel_id + 1
+            };
+            if !self.registry.contains_key(&candidate) && !in_flight.contains(&candidate) {
+                return Ok(ChannelId::new(candidate));
+            }
+        }
+        Err(RtError::ChannelIdsExhausted)
+    }
+
+    // --- frame construction ----------------------------------------------
+
+    fn reservation_frame(
+        op: ReservationOp,
+        coordination: (&Coordination, SwitchId, u16),
+        hop: u8,
+        values: Vec<u64>,
+    ) -> ReservationFrame {
+        let (coord, coordinator, token) = coordination;
+        ReservationFrame {
+            op,
+            reason: ReservationReason::None,
+            coordinator,
+            token,
+            source: coord.source,
+            destination: coord.destination,
+            request_id: coord.request_id,
+            candidate: coord.candidate as u8,
+            hop,
+            channel: coord.channel,
+            period: coord.spec.period,
+            capacity: coord.spec.capacity,
+            deadline: coord.spec.deadline,
+            values,
+        }
+    }
+
+    /// Derive a follow-up frame from a received one, keeping the request
+    /// identity and changing op / hop / values.
+    fn follow_up(
+        received: &ReservationFrame,
+        op: ReservationOp,
+        reason: ReservationReason,
+        hop: u8,
+        values: Vec<u64>,
+    ) -> ReservationFrame {
+        ReservationFrame {
+            op,
+            reason,
+            hop,
+            values,
+            ..received.clone()
+        }
+    }
+
+    // --- the coordinator side --------------------------------------------
+
+    /// Begin an admission: the source node's RequestFrame arrived at its
+    /// access switch, which becomes the coordinator.
+    fn begin_request(&mut self, at: SwitchId, frame: &RequestFrame) -> RtResult<ControlOutcome> {
+        let request = ChannelRequest::from_frame(frame)?;
+        request.spec.validate()?;
+        let access = self
+            .topology
+            .switch_of(request.source)
+            .ok_or(RtError::UnknownNode(request.source))?;
+        if access != at {
+            return Err(RtError::ProtocolViolation(format!(
+                "request from {} reached {at}, but its access switch is {access}",
+                request.source
+            )));
+        }
+        let candidates = self.candidate_routes(request.source, request.destination)?;
+        let token = self.allocate_token(at);
+        self.site(at)?.coordinations.insert(
+            token,
+            Coordination {
+                source: request.source,
+                destination: request.destination,
+                spec: request.spec,
+                request_id: request.request_id,
+                candidates,
+                candidate: 0,
+                deadlines: None,
+                channel: None,
+            },
+        );
+        self.try_candidate(at, token)
+    }
+
+    /// Try the coordination's current candidate route: run the whole
+    /// reservation locally when the route never leaves this switch, start
+    /// the Probe pass otherwise.  Exhausted candidates reject the request.
+    fn try_candidate(&mut self, coordinator: SwitchId, token: u16) -> RtResult<ControlOutcome> {
+        loop {
+            let coord = &self.sites[&coordinator].coordinations[&token];
+            let Some(route) = coord.candidates.get(coord.candidate).cloned() else {
+                // Every candidate failed: reject, exactly like the central
+                // manager answering the source directly.
+                let coord = self
+                    .site(coordinator)?
+                    .coordinations
+                    .remove(&token)
+                    .expect("coordination exists");
+                self.rejected += 1;
+                return Ok(ControlOutcome::emissions_at(
+                    coordinator,
+                    vec![SwitchAction::SendResponse {
+                        to: coord.source,
+                        frame: ResponseFrame {
+                            rt_channel_id: None,
+                            switch_mac: self.switch_mac,
+                            verdict: ResponseVerdict::Rejected,
+                            connection_request_id: coord.request_id,
+                        },
+                    }],
+                ));
+            };
+            let seq = Self::route_switches(&self.topology, &route);
+            if seq.len() == 1 {
+                // Same-switch route: probe + reserve collapse to local
+                // ledger operations on the one access switch.
+                match self.reserve_local(coordinator, token, &route) {
+                    Ok(()) => return self.complete_reservation(coordinator, token),
+                    Err(()) => {
+                        self.site(coordinator)?
+                            .coordinations
+                            .get_mut(&token)
+                            .expect("coordination exists")
+                            .candidate += 1;
+                        continue;
+                    }
+                }
+            }
+            // Multi-switch: append the coordinator's own loads and send the
+            // Probe to the next switch of the sequence.
+            let coord = &self.sites[&coordinator].coordinations[&token];
+            let mut values = Vec::with_capacity(route.len());
+            for idx in Self::owned_link_indices(route.len(), seq.len(), 0) {
+                values.push(self.sites[&coordinator].ledger.link_load(route[idx]) as u64);
+            }
+            let frame = Self::reservation_frame(
+                ReservationOp::Probe,
+                (coord, coordinator, token),
+                1,
+                values,
+            );
+            return Ok(ControlOutcome::emissions_at(
+                coordinator,
+                vec![SwitchAction::SendControl { to: seq[1], frame }],
+            ));
+        }
+    }
+
+    /// Same-switch admission: partition and reserve both access links on
+    /// the one site.  `Err(())` means "this candidate is infeasible".
+    fn reserve_local(
+        &mut self,
+        coordinator: SwitchId,
+        token: u16,
+        route: &Route,
+    ) -> Result<(), ()> {
+        let spec = self.sites[&coordinator].coordinations[&token].spec;
+        let ledger = &self.sites[&coordinator].ledger;
+        let loads: Vec<usize> = route.iter().map(|l| ledger.link_load(*l)).collect();
+        let deadlines = self.dps.partition(&spec, route, &loads).map_err(|_| ())?;
+        let key = ReservationKey::token(coordinator, token);
+        let mut tasks = Vec::with_capacity(route.len());
+        for (link, &deadline) in route.iter().zip(deadlines.iter()) {
+            let task = PeriodicTask::new(spec.period, spec.capacity, deadline).map_err(|_| ())?;
+            if !self.sites[&coordinator]
+                .ledger
+                .feasible_with(*link, &task)
+                .is_feasible()
+            {
+                return Err(());
+            }
+            tasks.push((*link, task));
+        }
+        let site = self.sites.get_mut(&coordinator).expect("site exists");
+        for (link, task) in tasks {
+            site.ledger.reserve(link, key, task);
+        }
+        let coord = site
+            .coordinations
+            .get_mut(&token)
+            .expect("coordination exists");
+        coord.deadlines = Some(deadlines);
+        Ok(())
+    }
+
+    /// The whole route is reserved: assign the channel id, register the
+    /// destination-side relay state at the destination's access switch
+    /// (keyed by the new — unique — channel id, which the destination node
+    /// echoes back in its ResponseFrame), and forward the annotated request
+    /// to the destination node.
+    ///
+    /// The relay registration is a cross-site write without a wire frame —
+    /// the one place the commit message from coordinator to destination
+    /// switch is modelled as instantaneous, alongside the topology
+    /// convergence and id-sequencer simplifications in the module docs.  (A
+    /// production switch would learn it from the annotated request passing
+    /// through its egress.)
+    fn complete_reservation(
+        &mut self,
+        coordinator: SwitchId,
+        token: u16,
+    ) -> RtResult<ControlOutcome> {
+        let id = self.allocate_channel_id()?;
+        self.accepted += 1;
+        let coord = self
+            .site(coordinator)?
+            .coordinations
+            .get_mut(&token)
+            .expect("coordination exists");
+        coord.channel = Some(id);
+        let request = ChannelRequest {
+            source: coord.source,
+            destination: coord.destination,
+            spec: coord.spec,
+            request_id: coord.request_id,
+        };
+        let pending = DestPending {
+            coordinator,
+            token,
+            source: request.source,
+            spec: request.spec,
+            candidate: coord.candidate as u8,
+        };
+        let dest_switch = self
+            .topology
+            .switch_of(request.destination)
+            .ok_or(RtError::UnknownNode(request.destination))?;
+        self.site(dest_switch)?.expecting.insert(id.get(), pending);
+        let mut annotated = request.to_frame();
+        annotated.rt_channel_id = Some(id);
+        Ok(ControlOutcome::emissions_at(
+            coordinator,
+            vec![SwitchAction::ForwardRequest {
+                to: request.destination,
+                frame: annotated,
+            }],
+        ))
+    }
+
+    // --- the per-hop reservation protocol --------------------------------
+
+    fn on_reservation(
+        &mut self,
+        at: SwitchId,
+        frame: &ReservationFrame,
+    ) -> RtResult<ControlOutcome> {
+        match frame.op {
+            ReservationOp::Probe => self.on_probe(at, frame),
+            ReservationOp::Reserve => self.on_reserve(at, frame),
+            ReservationOp::Rollback => self.on_rollback(at, frame),
+            ReservationOp::ReserveFailed => self.on_reserve_failed(at, frame),
+            ReservationOp::Confirm => self.on_confirm(at, frame),
+            ReservationOp::Release => self.on_release(at, frame),
+        }
+    }
+
+    /// Probe: append the loads of our owned links; forward, or — at the
+    /// destination's access switch — partition the deadline and start the
+    /// backward Reserve pass.
+    fn on_probe(&mut self, at: SwitchId, frame: &ReservationFrame) -> RtResult<ControlOutcome> {
+        let route = self.candidate_route(frame)?;
+        let seq = Self::route_switches(&self.topology, &route);
+        let i = frame.hop as usize;
+        if seq.get(i) != Some(&at) {
+            return Err(RtError::ProtocolViolation(format!(
+                "probe hop {i} delivered to {at}, expected {:?}",
+                seq.get(i)
+            )));
+        }
+        let mut values = frame.values.clone();
+        for idx in Self::owned_link_indices(route.len(), seq.len(), i) {
+            values.push(self.sites[&at].ledger.link_load(route[idx]) as u64);
+        }
+        if i + 1 < seq.len() {
+            let next = seq[i + 1];
+            let forwarded = Self::follow_up(
+                frame,
+                ReservationOp::Probe,
+                ReservationReason::None,
+                frame.hop + 1,
+                values,
+            );
+            return Ok(ControlOutcome::emissions_at(
+                at,
+                vec![SwitchAction::SendControl {
+                    to: next,
+                    frame: forwarded,
+                }],
+            ));
+        }
+        // Last switch: all loads collected — partition and start Reserve.
+        let spec = RtChannelSpec::new(frame.period, frame.capacity, frame.deadline)?;
+        let loads: Vec<usize> = values.iter().map(|&v| v as usize).collect();
+        let deadlines = match self.dps.partition(&spec, &route, &loads) {
+            Ok(d) => d,
+            Err(_) => {
+                // The candidate cannot even be partitioned: tell the
+                // coordinator to move on.  Nothing was reserved anywhere.
+                let failed = Self::follow_up(
+                    frame,
+                    ReservationOp::ReserveFailed,
+                    ReservationReason::Infeasible,
+                    frame.hop,
+                    Vec::new(),
+                );
+                return Ok(ControlOutcome::emissions_at(
+                    at,
+                    vec![SwitchAction::SendControl {
+                        to: frame.coordinator,
+                        frame: failed,
+                    }],
+                ));
+            }
+        };
+        // No relay state yet: it is registered — keyed by the then-known
+        // channel id — only once the whole route is reserved
+        // (`complete_reservation`), so failed candidates leave nothing to
+        // clean up here.
+        let reserve = Self::follow_up(
+            frame,
+            ReservationOp::Reserve,
+            ReservationReason::None,
+            (seq.len() - 1) as u8,
+            deadlines.iter().map(|d| d.get()).collect(),
+        );
+        // Process our own (last-hop) reserve step inline — same switch, no
+        // wire hop — then the frame travels backward.
+        self.on_reserve(at, &reserve)
+    }
+
+    /// Reserve: feasibility-test and reserve our owned links; forward
+    /// backward, or complete at the coordinator.  On failure, roll back the
+    /// switches that already reserved (they sit *behind* us on the backward
+    /// pass) and have the destination switch notify the coordinator.
+    fn on_reserve(&mut self, at: SwitchId, frame: &ReservationFrame) -> RtResult<ControlOutcome> {
+        let route = self.candidate_route(frame)?;
+        let seq = Self::route_switches(&self.topology, &route);
+        let i = frame.hop as usize;
+        if seq.get(i) != Some(&at) {
+            return Err(RtError::ProtocolViolation(format!(
+                "reserve hop {i} delivered to {at}, expected {:?}",
+                seq.get(i)
+            )));
+        }
+        if frame.values.len() != route.len() {
+            return Err(RtError::ProtocolViolation(format!(
+                "reserve carries {} deadlines for a {}-link route",
+                frame.values.len(),
+                route.len()
+            )));
+        }
+        let spec = RtChannelSpec::new(frame.period, frame.capacity, frame.deadline)?;
+        let key = ReservationKey::token(frame.coordinator, frame.token);
+        let mut reserved: Vec<HopLink> = Vec::with_capacity(2);
+        let mut feasible = true;
+        for idx in Self::owned_link_indices(route.len(), seq.len(), i) {
+            let link = route[idx];
+            let deadline = Slots::new(frame.values[idx]);
+            let Ok(task) = PeriodicTask::new(spec.period, spec.capacity, deadline) else {
+                feasible = false;
+                break;
+            };
+            let site = self.site(at)?;
+            if site.ledger.feasible_with(link, &task).is_feasible() {
+                site.ledger.reserve(link, key, task);
+                reserved.push(link);
+            } else {
+                feasible = false;
+                break;
+            }
+        }
+        if feasible {
+            if i > 0 {
+                let backward = Self::follow_up(
+                    frame,
+                    ReservationOp::Reserve,
+                    ReservationReason::None,
+                    frame.hop - 1,
+                    frame.values.clone(),
+                );
+                return Ok(ControlOutcome::emissions_at(
+                    at,
+                    vec![SwitchAction::SendControl {
+                        to: seq[i - 1],
+                        frame: backward,
+                    }],
+                ));
+            }
+            // hop 0: the coordinator itself just reserved — the route is
+            // fully held.
+            let deadlines: Vec<Slots> = frame.values.iter().map(|&v| Slots::new(v)).collect();
+            self.site(at)?
+                .coordinations
+                .get_mut(&frame.token)
+                .ok_or_else(|| {
+                    RtError::ProtocolViolation(format!(
+                        "reserve for unknown token {} at {at}",
+                        frame.token
+                    ))
+                })?
+                .deadlines = Some(deadlines);
+            return self.complete_reservation(at, frame.token);
+        }
+        // Infeasible here: undo our partial step, sweep the switches that
+        // already reserved (i+1 ..= last) with a Rollback; the destination
+        // switch then answers ReserveFailed to the coordinator.
+        for link in reserved {
+            self.site(at)?.ledger.release(link, key);
+        }
+        if i + 1 < seq.len() {
+            let rollback = Self::follow_up(
+                frame,
+                ReservationOp::Rollback,
+                ReservationReason::Infeasible,
+                frame.hop + 1,
+                Vec::new(),
+            );
+            return Ok(ControlOutcome::emissions_at(
+                at,
+                vec![SwitchAction::SendControl {
+                    to: seq[i + 1],
+                    frame: rollback,
+                }],
+            ));
+        }
+        // We *are* the destination switch (only possible when the reserve
+        // failed on its very first step; no relay state exists yet — it is
+        // only registered at commit time): notify the coordinator directly.
+        if at == frame.coordinator {
+            // Degenerate single-switch candidate: move on inline.
+            self.site(at)?
+                .coordinations
+                .get_mut(&frame.token)
+                .expect("coordination exists")
+                .candidate += 1;
+            return self.try_candidate(at, frame.token);
+        }
+        let failed = Self::follow_up(
+            frame,
+            ReservationOp::ReserveFailed,
+            ReservationReason::Infeasible,
+            frame.hop,
+            Vec::new(),
+        );
+        Ok(ControlOutcome::emissions_at(
+            at,
+            vec![SwitchAction::SendControl {
+                to: frame.coordinator,
+                frame: failed,
+            }],
+        ))
+    }
+
+    /// Rollback: release whatever this reservation holds here, then keep
+    /// sweeping.  `Infeasible` rollbacks ascend towards the destination
+    /// switch (which then answers ReserveFailed); `DestinationRejected`
+    /// rollbacks descend towards the coordinator (which then answers the
+    /// source).
+    fn on_rollback(&mut self, at: SwitchId, frame: &ReservationFrame) -> RtResult<ControlOutcome> {
+        let key = ReservationKey::token(frame.coordinator, frame.token);
+        self.site(at)?.ledger.release_key(key);
+        let route = self.candidate_route(frame)?;
+        let seq = Self::route_switches(&self.topology, &route);
+        let i = frame.hop as usize;
+        match frame.reason {
+            ReservationReason::Infeasible => {
+                if i + 1 < seq.len() {
+                    let onward = Self::follow_up(
+                        frame,
+                        ReservationOp::Rollback,
+                        frame.reason,
+                        frame.hop + 1,
+                        Vec::new(),
+                    );
+                    return Ok(ControlOutcome::emissions_at(
+                        at,
+                        vec![SwitchAction::SendControl {
+                            to: seq[i + 1],
+                            frame: onward,
+                        }],
+                    ));
+                }
+                // Destination switch: the sweep is complete (no relay state
+                // exists for a never-committed reservation) — tell the
+                // coordinator to try the next candidate.
+                let failed = Self::follow_up(
+                    frame,
+                    ReservationOp::ReserveFailed,
+                    ReservationReason::Infeasible,
+                    frame.hop,
+                    Vec::new(),
+                );
+                Ok(ControlOutcome::emissions_at(
+                    at,
+                    vec![SwitchAction::SendControl {
+                        to: frame.coordinator,
+                        frame: failed,
+                    }],
+                ))
+            }
+            ReservationReason::DestinationRejected => {
+                if i > 0 {
+                    let onward = Self::follow_up(
+                        frame,
+                        ReservationOp::Rollback,
+                        frame.reason,
+                        frame.hop - 1,
+                        Vec::new(),
+                    );
+                    return Ok(ControlOutcome::emissions_at(
+                        at,
+                        vec![SwitchAction::SendControl {
+                            to: seq[i - 1],
+                            frame: onward,
+                        }],
+                    ));
+                }
+                // Coordinator: the whole-route release is complete; answer
+                // the source.  The consumed channel id is not reused —
+                // exactly the central manager's behaviour on a destination
+                // rejection.
+                self.finish_destination_reject(at, frame.token)
+            }
+            ReservationReason::None => Err(RtError::ProtocolViolation(
+                "rollback without a reason".into(),
+            )),
+        }
+    }
+
+    fn finish_destination_reject(
+        &mut self,
+        coordinator: SwitchId,
+        token: u16,
+    ) -> RtResult<ControlOutcome> {
+        let coord = self
+            .site(coordinator)?
+            .coordinations
+            .remove(&token)
+            .ok_or_else(|| {
+                RtError::ProtocolViolation(format!(
+                    "destination-reject rollback for unknown token {token}"
+                ))
+            })?;
+        Ok(ControlOutcome::emissions_at(
+            coordinator,
+            vec![SwitchAction::SendResponse {
+                to: coord.source,
+                frame: ResponseFrame {
+                    rt_channel_id: coord.channel,
+                    switch_mac: self.switch_mac,
+                    verdict: ResponseVerdict::Rejected,
+                    connection_request_id: coord.request_id,
+                },
+            }],
+        ))
+    }
+
+    /// ReserveFailed (direct to the coordinator): the current candidate is
+    /// dead and its rollback has completed — try the next one.
+    fn on_reserve_failed(
+        &mut self,
+        at: SwitchId,
+        frame: &ReservationFrame,
+    ) -> RtResult<ControlOutcome> {
+        if at != frame.coordinator {
+            return Err(RtError::ProtocolViolation(format!(
+                "ReserveFailed delivered to {at}, coordinator is {}",
+                frame.coordinator
+            )));
+        }
+        self.site(at)?
+            .coordinations
+            .get_mut(&frame.token)
+            .ok_or_else(|| {
+                RtError::ProtocolViolation(format!(
+                    "ReserveFailed for unknown token {} at {at}",
+                    frame.token
+                ))
+            })?
+            .candidate += 1;
+        self.try_candidate(at, frame.token)
+    }
+
+    /// Confirm (direct to the coordinator): the destination accepted —
+    /// commit the channel and answer the source.
+    fn on_confirm(&mut self, at: SwitchId, frame: &ReservationFrame) -> RtResult<ControlOutcome> {
+        if at != frame.coordinator {
+            return Err(RtError::ProtocolViolation(format!(
+                "Confirm delivered to {at}, coordinator is {}",
+                frame.coordinator
+            )));
+        }
+        self.commit_confirmed(at, frame.token)
+    }
+
+    fn commit_confirmed(&mut self, coordinator: SwitchId, token: u16) -> RtResult<ControlOutcome> {
+        let coord = self
+            .site(coordinator)?
+            .coordinations
+            .remove(&token)
+            .ok_or_else(|| {
+                RtError::ProtocolViolation(format!("Confirm for unknown token {token}"))
+            })?;
+        let id = coord.channel.ok_or_else(|| {
+            RtError::ProtocolViolation("Confirm for a reservation without a channel id".into())
+        })?;
+        let path = coord
+            .candidates
+            .get(coord.candidate)
+            .cloned()
+            .ok_or_else(|| {
+                RtError::ProtocolViolation("Confirm for a reservation without a route".into())
+            })?;
+        let link_deadlines = coord.deadlines.clone().ok_or_else(|| {
+            RtError::ProtocolViolation("Confirm for a reservation without deadlines".into())
+        })?;
+        self.registry.insert(
+            id.get(),
+            DistChannel {
+                id,
+                source: coord.source,
+                destination: coord.destination,
+                spec: coord.spec,
+                path,
+                link_deadlines,
+                coordinator,
+                token,
+            },
+        );
+        Ok(ControlOutcome::emissions_at(
+            coordinator,
+            vec![SwitchAction::SendResponse {
+                to: coord.source,
+                frame: ResponseFrame {
+                    rt_channel_id: Some(id),
+                    switch_mac: self.switch_mac,
+                    verdict: ResponseVerdict::Accepted,
+                    connection_request_id: coord.request_id,
+                },
+            }],
+        ))
+    }
+
+    /// The destination node answered: its access switch relays the verdict
+    /// — Confirm on accept, a descending rollback on reject.  The relay
+    /// state is matched by the channel id the destination echoed back (the
+    /// one key that is unique fabric-wide even under concurrent admissions
+    /// from different sources).
+    fn on_response(
+        &mut self,
+        at: SwitchId,
+        from: NodeId,
+        resp: &ResponseFrame,
+    ) -> RtResult<ControlOutcome> {
+        let channel = resp.rt_channel_id.ok_or_else(|| {
+            RtError::ProtocolViolation("destination response carries no RT channel id".into())
+        })?;
+        let pending = self
+            .site(at)?
+            .expecting
+            .remove(&channel.get())
+            .ok_or_else(|| {
+                RtError::UnknownRequest(format!(
+                    "no pending reservation for channel {channel} ({from} request {})",
+                    resp.connection_request_id
+                ))
+            })?;
+        let notice = ReservationFrame {
+            op: ReservationOp::Confirm,
+            reason: ReservationReason::None,
+            coordinator: pending.coordinator,
+            token: pending.token,
+            source: pending.source,
+            destination: from,
+            request_id: resp.connection_request_id,
+            candidate: pending.candidate,
+            hop: 0,
+            channel: resp.rt_channel_id,
+            period: pending.spec.period,
+            capacity: pending.spec.capacity,
+            deadline: pending.spec.deadline,
+            values: Vec::new(),
+        };
+        if resp.verdict.is_accepted() {
+            if at == pending.coordinator {
+                return self.commit_confirmed(at, pending.token);
+            }
+            return Ok(ControlOutcome::emissions_at(
+                at,
+                vec![SwitchAction::SendControl {
+                    to: pending.coordinator,
+                    frame: notice,
+                }],
+            ));
+        }
+        // Destination refused: release the whole route, ending at the
+        // coordinator which answers the source.
+        let key = ReservationKey::token(pending.coordinator, pending.token);
+        self.site(at)?.ledger.release_key(key);
+        let mut rollback = notice;
+        rollback.op = ReservationOp::Rollback;
+        rollback.reason = ReservationReason::DestinationRejected;
+        let route = self.candidate_route(&rollback)?;
+        let seq = Self::route_switches(&self.topology, &route);
+        if seq.len() == 1 {
+            return self.finish_destination_reject(at, pending.token);
+        }
+        rollback.hop = (seq.len() - 2) as u8;
+        Ok(ControlOutcome::emissions_at(
+            at,
+            vec![SwitchAction::SendControl {
+                to: seq[seq.len() - 2],
+                frame: rollback,
+            }],
+        ))
+    }
+
+    // --- tear-down --------------------------------------------------------
+
+    /// A TeardownFrame arrived at the channel's coordinator (the source's
+    /// access switch): release locally and send the Release pass down the
+    /// admitted route.
+    fn on_teardown(&mut self, at: SwitchId, channel: ChannelId) -> RtResult<ControlOutcome> {
+        let dist = self
+            .registry
+            .remove(&channel.get())
+            .ok_or(RtError::UnknownChannel(channel))?;
+        let key = dist.key();
+        self.site(at)?.ledger.release_key(key);
+        let seq = Self::route_switches(&self.topology, &dist.path);
+        let mut emissions = Vec::new();
+        if seq.len() > 1 {
+            // The itinerary travels in the frame: the admitted route must
+            // be released even if the topology has changed since.
+            let release = ReservationFrame {
+                op: ReservationOp::Release,
+                reason: ReservationReason::None,
+                coordinator: dist.coordinator,
+                token: dist.token,
+                source: dist.source,
+                destination: dist.destination,
+                request_id: ConnectionRequestId::new(0),
+                candidate: 0,
+                hop: 1,
+                channel: Some(dist.id),
+                period: dist.spec.period,
+                capacity: dist.spec.capacity,
+                deadline: dist.spec.deadline,
+                values: seq.iter().map(|s| u64::from(s.get())).collect(),
+            };
+            emissions.push((
+                at,
+                SwitchAction::SendControl {
+                    to: seq[1],
+                    frame: release,
+                },
+            ));
+        }
+        Ok(ControlOutcome {
+            emissions,
+            released: vec![ReleasedChannel {
+                id: dist.id,
+                destination: dist.destination,
+            }],
+        })
+    }
+
+    /// Release: free this reservation here and keep walking the itinerary
+    /// carried in the frame.
+    fn on_release(&mut self, at: SwitchId, frame: &ReservationFrame) -> RtResult<ControlOutcome> {
+        let key = ReservationKey::token(frame.coordinator, frame.token);
+        self.site(at)?.ledger.release_key(key);
+        let i = frame.hop as usize;
+        if i + 1 < frame.values.len() {
+            let next = SwitchId::new(frame.values[i + 1] as u32);
+            let onward = Self::follow_up(
+                frame,
+                ReservationOp::Release,
+                ReservationReason::None,
+                frame.hop + 1,
+                frame.values.clone(),
+            );
+            return Ok(ControlOutcome::emissions_at(
+                at,
+                vec![SwitchAction::SendControl {
+                    to: next,
+                    frame: onward,
+                }],
+            ));
+        }
+        Ok(ControlOutcome::empty())
+    }
+
+    // --- fail-over (driven by the switches adjacent to the cut) -----------
+
+    /// The shared fail-over engine: the topology is already degraded; the
+    /// switches adjacent to each cut trunk name the affected channels from
+    /// their own ledgers, everything affected is released fabric-wide, then
+    /// re-admitted (ascending id, ids preserved) over surviving routes.
+    fn fail_over(
+        &mut self,
+        cut: &[(SwitchId, SwitchId)],
+        link: (SwitchId, SwitchId),
+    ) -> FailoverReport {
+        // Reverse map (coordinator, token) -> channel id.
+        let by_key: BTreeMap<(u32, u16), u16> = self
+            .registry
+            .values()
+            .map(|c| ((c.coordinator.get(), c.token), c.id.get()))
+            .collect();
+        let mut affected: BTreeSet<u16> = BTreeSet::new();
+        for &(a, b) in cut {
+            for (from, to) in [(a, b), (b, a)] {
+                let trunk = HopLink::Trunk { from, to };
+                if let Some(site) = self.sites.get(&from) {
+                    for key in site.ledger.keys_on(trunk) {
+                        if let ReservationKey::Token(coordinator, token) = key {
+                            if let Some(&id) = by_key.get(&(coordinator, token)) {
+                                affected.insert(id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let unaffected = self.registry.len() - affected.len();
+        let mut report = FailoverReport {
+            link,
+            rerouted: Vec::new(),
+            dropped: Vec::new(),
+            unaffected,
+        };
+        // Release every affected channel fabric-wide before re-admitting
+        // any (the same all-then-readmit rule as the central manager).
+        let released: Vec<DistChannel> = affected
+            .iter()
+            .map(|id| {
+                let dist = self
+                    .registry
+                    .remove(id)
+                    .expect("affected ids come from the registry");
+                let key = dist.key();
+                for site in self.sites.values_mut() {
+                    site.ledger.release_key(key);
+                }
+                dist
+            })
+            .collect();
+        for old in released {
+            let candidates = self
+                .candidate_routes(old.source, old.destination)
+                .unwrap_or_default();
+            let key = old.key();
+            let mut readmitted = false;
+            for route in candidates {
+                if let Some(deadlines) = self.try_reserve_sync(key, &old.spec, &route) {
+                    let renewed = DistChannel {
+                        path: route,
+                        link_deadlines: deadlines,
+                        ..old.clone()
+                    };
+                    report.rerouted.push(renewed.to_route());
+                    self.registry.insert(renewed.id.get(), renewed);
+                    self.rerouted += 1;
+                    readmitted = true;
+                    break;
+                }
+            }
+            if !readmitted {
+                report.dropped.push(old.to_route());
+                self.dropped_on_failure += 1;
+            }
+        }
+        report
+    }
+
+    /// Synchronous reservation across the owning sites (used by fail-over,
+    /// where the re-admission runs as one atomic control-plane decision):
+    /// the same loads → partition → per-link feasibility → reserve sequence
+    /// the wire protocol performs hop by hop.
+    fn try_reserve_sync(
+        &mut self,
+        key: ReservationKey,
+        spec: &RtChannelSpec,
+        route: &Route,
+    ) -> Option<Vec<Slots>> {
+        let loads: Vec<usize> = route
+            .iter()
+            .map(|l| {
+                self.owner_of(*l)
+                    .and_then(|owner| self.sites.get(&owner))
+                    .map_or(0, |site| site.ledger.link_load(*l))
+            })
+            .collect();
+        let deadlines = self.dps.partition(spec, route, &loads).ok()?;
+        let mut plan: Vec<(SwitchId, HopLink, PeriodicTask)> = Vec::with_capacity(route.len());
+        for (link, &deadline) in route.iter().zip(deadlines.iter()) {
+            let owner = self.owner_of(*link)?;
+            let task = PeriodicTask::new(spec.period, spec.capacity, deadline).ok()?;
+            if !self
+                .sites
+                .get(&owner)?
+                .ledger
+                .feasible_with(*link, &task)
+                .is_feasible()
+            {
+                return None;
+            }
+            plan.push((owner, *link, task));
+        }
+        for (owner, link, task) in plan {
+            self.sites
+                .get_mut(&owner)
+                .expect("owner checked above")
+                .ledger
+                .reserve(link, key, task);
+        }
+        Some(deadlines)
+    }
+
+    /// The switch sequence of a route — module-level so both the
+    /// construction and the per-hop handlers agree on geometry.
+    fn route_switches(topology: &Topology, route: &Route) -> Vec<SwitchId> {
+        let mut seq = Vec::with_capacity(route.len());
+        for link in route.iter() {
+            if let HopLink::Trunk { from, to } = link {
+                if seq.is_empty() {
+                    seq.push(*from);
+                }
+                seq.push(*to);
+            }
+        }
+        if seq.is_empty() {
+            if let Some(access) = topology.switch_of(route.source()) {
+                seq.push(access);
+            }
+        }
+        seq
+    }
+}
+
+impl ChannelManager for DistributedChannelManager {
+    fn handle_request(&mut self, _frame: &RequestFrame) -> RtResult<Vec<SwitchAction>> {
+        Err(RtError::ProtocolViolation(
+            "the distributed control plane needs switch context; drive it through handle_frame_at"
+                .into(),
+        ))
+    }
+
+    fn handle_response(&mut self, _frame: &ResponseFrame) -> RtResult<Vec<SwitchAction>> {
+        Err(RtError::ProtocolViolation(
+            "the distributed control plane needs switch context; drive it through handle_frame_at"
+                .into(),
+        ))
+    }
+
+    fn handle_teardown(&mut self, channel: ChannelId) -> RtResult<ReleasedChannel> {
+        // Direct (API-level) teardown: release fabric-wide synchronously.
+        let dist = self
+            .registry
+            .remove(&channel.get())
+            .ok_or(RtError::UnknownChannel(channel))?;
+        let key = dist.key();
+        for site in self.sites.values_mut() {
+            site.ledger.release_key(key);
+        }
+        Ok(ReleasedChannel {
+            id: dist.id,
+            destination: dist.destination,
+        })
+    }
+
+    fn channel_count(&self) -> usize {
+        let in_flight = self
+            .sites
+            .values()
+            .flat_map(|s| s.coordinations.values())
+            .filter(|c| c.channel.is_some())
+            .count();
+        self.registry.len() + in_flight
+    }
+
+    fn pending_count(&self) -> usize {
+        self.sites
+            .values()
+            .flat_map(|s| s.coordinations.values())
+            .filter(|c| c.channel.is_some())
+            .count()
+    }
+
+    fn channel_ids(&self) -> Vec<ChannelId> {
+        self.registry.keys().map(|&id| ChannelId::new(id)).collect()
+    }
+
+    fn channel_route(&self, id: ChannelId) -> Option<ChannelRoute> {
+        Some(self.registry.get(&id.get())?.to_route())
+    }
+
+    fn link_load(&self, link: HopLink) -> usize {
+        match self.owner_of(link) {
+            Some(owner) => self
+                .sites
+                .get(&owner)
+                .map_or(0, |site| site.ledger.link_load(link)),
+            None => 0,
+        }
+    }
+
+    fn schedules_hops(&self) -> bool {
+        true
+    }
+
+    fn handle_link_failure(&mut self, from: SwitchId, to: SwitchId) -> RtResult<FailoverReport> {
+        self.topology.fail_trunk(from, to)?;
+        Ok(self.fail_over(&[(from, to)], (from, to)))
+    }
+
+    fn handle_link_repair(&mut self, from: SwitchId, to: SwitchId) -> RtResult<()> {
+        self.topology.repair_trunk(from, to)
+    }
+
+    fn handle_switch_failure(&mut self, switch: SwitchId) -> RtResult<FailoverReport> {
+        let cut = self.topology.fail_switch(switch)?;
+        Ok(self.fail_over(&cut, (switch, switch)))
+    }
+
+    fn handle_frame_at(
+        &mut self,
+        at: SwitchId,
+        from: NodeId,
+        frame: &Frame,
+    ) -> RtResult<ControlOutcome> {
+        match frame {
+            Frame::Request(req) => self.begin_request(at, req),
+            Frame::Response(resp) => self.on_response(at, from, resp),
+            Frame::Teardown(td) => self.on_teardown(at, td.rt_channel_id),
+            Frame::Reservation(rf) => self.on_reservation(at, rf),
+            other => Err(RtError::ProtocolViolation(format!(
+                "unexpected frame at the switch control plane: {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! The slack ledger: the per-link reservation book-keeping that admission
+//! control is built on, split out of [`crate::multihop::MultiHopAdmission`]
+//! so one ledger can serve *either* shape of control plane:
+//!
+//! * the **central** manager keeps one ledger covering every link of the
+//!   fabric (the paper's model — and the oracle the distributed manager is
+//!   property-tested against),
+//! * the **distributed** manager gives every switch its own ledger covering
+//!   only the links that switch owns (its outgoing trunk ports, plus the
+//!   uplinks and downlinks of its attached nodes), and slack moves only
+//!   through reservation frames that traverse the fabric.
+//!
+//! A ledger entry is keyed by a [`ReservationKey`] — a committed channel id,
+//! or a `(coordinator, token)` pair for a two-phase reservation that has not
+//! been assigned a channel id yet — so a rollback can release exactly what a
+//! reserve put in, whether or not the admission ever completed.
+
+use std::collections::BTreeMap;
+
+use rt_edf::{FeasibilityOutcome, FeasibilityTester, PeriodicTask, TaskSet};
+use rt_types::{ChannelId, HopLink, SwitchId};
+
+/// What a ledger entry belongs to: an established channel, or an in-flight
+/// two-phase reservation identified by its coordinator switch and token.
+///
+/// The ordering is total and deterministic (channels sort before tokens), so
+/// ledger iteration — and therefore every derived task set — is reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ReservationKey {
+    /// A committed channel.
+    Channel(u16),
+    /// An in-flight reservation: `(coordinator switch id, token)`.
+    Token(u32, u16),
+}
+
+impl ReservationKey {
+    /// The key of a committed channel.
+    pub fn channel(id: ChannelId) -> Self {
+        ReservationKey::Channel(id.get())
+    }
+
+    /// The key of an in-flight two-phase reservation.
+    pub fn token(coordinator: SwitchId, token: u16) -> Self {
+        ReservationKey::Token(coordinator.get(), token)
+    }
+}
+
+/// Per-link reservation state plus the feasibility tester that guards it.
+///
+/// The ledger itself never decides admission policy — it answers "is this
+/// task feasible on this link given what I hold?" and records reserves and
+/// releases.  Deadline partitioning, candidate routes and the commit /
+/// rollback protocol live in its callers.
+#[derive(Debug, Default)]
+pub struct SlackLedger {
+    tester: FeasibilityTester,
+    links: BTreeMap<HopLink, BTreeMap<ReservationKey, PeriodicTask>>,
+}
+
+impl SlackLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        SlackLedger {
+            tester: FeasibilityTester::new(),
+            links: BTreeMap::new(),
+        }
+    }
+
+    /// Number of reservations currently held on `link`.
+    pub fn link_load(&self, link: HopLink) -> usize {
+        self.links.get(&link).map_or(0, |m| m.len())
+    }
+
+    /// The task set currently reserved on `link`, in deterministic
+    /// (reservation-key) order.
+    pub fn taskset(&self, link: HopLink) -> TaskSet {
+        match self.links.get(&link) {
+            Some(m) => TaskSet::from_tasks(m.values().copied().collect()),
+            None => TaskSet::default(),
+        }
+    }
+
+    /// Links that currently hold at least one reservation.
+    pub fn loaded_links(&self) -> impl Iterator<Item = (HopLink, usize)> + '_ {
+        self.links.iter().map(|(l, m)| (*l, m.len()))
+    }
+
+    /// Run the per-link EDF feasibility test with `task` added to the
+    /// link's current reservations, committing nothing.
+    pub fn feasible_with(&self, link: HopLink, task: &PeriodicTask) -> FeasibilityOutcome {
+        self.tester.test_with_candidate(&self.taskset(link), task)
+    }
+
+    /// Reserve `task` on `link` under `key` (replacing any prior entry for
+    /// the same key — a key holds at most one task per link).
+    pub fn reserve(&mut self, link: HopLink, key: ReservationKey, task: PeriodicTask) {
+        self.links.entry(link).or_default().insert(key, task);
+    }
+
+    /// Release the reservation `key` holds on `link`.  Returns `false` if
+    /// there was none (a rollback may race a release; releasing twice must
+    /// be harmless, never double-free someone else's slack).
+    pub fn release(&mut self, link: HopLink, key: ReservationKey) -> bool {
+        let Some(entries) = self.links.get_mut(&link) else {
+            return false;
+        };
+        let removed = entries.remove(&key).is_some();
+        if entries.is_empty() {
+            self.links.remove(&link);
+        }
+        removed
+    }
+
+    /// Release everything `key` holds, on every link of this ledger.
+    /// Returns the number of link reservations freed.
+    pub fn release_key(&mut self, key: ReservationKey) -> usize {
+        let mut freed = 0;
+        self.links.retain(|_, entries| {
+            if entries.remove(&key).is_some() {
+                freed += 1;
+            }
+            !entries.is_empty()
+        });
+        freed
+    }
+
+    /// The reservation keys currently holding slack on `link`, ascending.
+    pub fn keys_on(&self, link: HopLink) -> Vec<ReservationKey> {
+        self.links
+            .get(&link)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// `true` if `key` holds a reservation on `link`.
+    pub fn holds(&self, link: HopLink, key: ReservationKey) -> bool {
+        self.links.get(&link).is_some_and(|m| m.contains_key(&key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_types::{NodeId, Slots};
+
+    fn task(period: u64, capacity: u64, deadline: u64) -> PeriodicTask {
+        PeriodicTask::new(
+            Slots::new(period),
+            Slots::new(capacity),
+            Slots::new(deadline),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reserve_release_round_trip() {
+        let mut ledger = SlackLedger::new();
+        let link = HopLink::Uplink(NodeId::new(0));
+        let key = ReservationKey::channel(ChannelId::new(1));
+        assert_eq!(ledger.link_load(link), 0);
+        ledger.reserve(link, key, task(100, 3, 20));
+        assert_eq!(ledger.link_load(link), 1);
+        assert!(ledger.holds(link, key));
+        assert_eq!(ledger.keys_on(link), vec![key]);
+        assert!(ledger.release(link, key));
+        assert!(!ledger.release(link, key), "double release is a no-op");
+        assert_eq!(ledger.link_load(link), 0);
+        assert_eq!(ledger.loaded_links().count(), 0);
+    }
+
+    #[test]
+    fn release_key_frees_every_link() {
+        let mut ledger = SlackLedger::new();
+        let key = ReservationKey::token(SwitchId::new(2), 7);
+        let links = [
+            HopLink::Uplink(NodeId::new(0)),
+            HopLink::Trunk {
+                from: SwitchId::new(0),
+                to: SwitchId::new(1),
+            },
+            HopLink::Downlink(NodeId::new(3)),
+        ];
+        for link in links {
+            ledger.reserve(link, key, task(100, 3, 13));
+        }
+        assert_eq!(ledger.loaded_links().count(), 3);
+        assert_eq!(ledger.release_key(key), 3);
+        assert_eq!(ledger.loaded_links().count(), 0);
+        assert_eq!(ledger.release_key(key), 0);
+    }
+
+    #[test]
+    fn feasibility_respects_held_reservations() {
+        let mut ledger = SlackLedger::new();
+        let link = HopLink::Downlink(NodeId::new(1));
+        // Fill the link with six paper-default channels (d split 20/20):
+        // the uplink share of 20 slots holds 6 × C=3.
+        for i in 0..6u16 {
+            let key = ReservationKey::channel(ChannelId::new(i + 1));
+            let t = task(100, 3, 20);
+            assert!(ledger.feasible_with(link, &t).is_feasible(), "channel {i}");
+            ledger.reserve(link, key, t);
+        }
+        assert!(!ledger.feasible_with(link, &task(100, 3, 20)).is_feasible());
+        // Tokens and channels share the same book.
+        ledger.release(link, ReservationKey::channel(ChannelId::new(1)));
+        assert!(ledger.feasible_with(link, &task(100, 3, 20)).is_feasible());
+    }
+
+    #[test]
+    fn keys_order_deterministically() {
+        let mut ledger = SlackLedger::new();
+        let link = HopLink::Uplink(NodeId::new(9));
+        let token = ReservationKey::token(SwitchId::new(0), 1);
+        let channel = ReservationKey::channel(ChannelId::new(500));
+        ledger.reserve(link, token, task(100, 1, 50));
+        ledger.reserve(link, channel, task(100, 1, 50));
+        // Channels sort before tokens, whatever the insertion order.
+        assert_eq!(ledger.keys_on(link), vec![channel, token]);
+        assert_eq!(ledger.taskset(link).len(), 2);
+    }
+}

@@ -33,7 +33,9 @@
 
 pub mod admission;
 pub mod channel;
+pub mod distributed;
 pub mod dps;
+pub mod ledger;
 pub mod manager;
 pub mod multihop;
 pub mod network;
@@ -43,9 +45,12 @@ pub mod system_state;
 
 pub use admission::{AdmissionController, AdmissionDecision};
 pub use channel::{DeadlineSplit, RtChannel, RtChannelSpec};
+pub use distributed::DistributedChannelManager;
 pub use dps::{Adps, DeadlinePartitioningScheme, DpsKind, Sdps, SearchDps, WeightedAdps};
+pub use ledger::{ReservationKey, SlackLedger};
 pub use manager::{
-    ChannelManager, ChannelRoute, FailoverReport, ReleasedChannel, SwitchChannelManager,
+    ChannelManager, ChannelRoute, ControlOutcome, FailoverReport, ReleasedChannel,
+    SwitchChannelManager,
 };
 pub use multihop::{
     FabricChannelManager, HopLink, MultiHopAdmission, MultiHopChannel, MultiHopDps, Route, Router,

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use rt_frames::rt_response::ResponseVerdict;
-use rt_frames::{RequestFrame, ResponseFrame};
+use rt_frames::{Frame, RequestFrame, ReservationFrame, ResponseFrame};
 use rt_types::{
     ChannelId, ConnectionRequestId, HopLink, LinkId, MacAddr, NodeId, Route, RtError, RtResult,
     Slots, SwitchId,
@@ -48,6 +48,47 @@ pub enum SwitchAction {
         /// The response.
         frame: ResponseFrame,
     },
+    /// Send a reservation frame to another switch's control plane (the
+    /// distributed two-phase admission protocol; central managers never
+    /// emit this).
+    SendControl {
+        /// The addressed switch.
+        to: SwitchId,
+        /// The reservation frame.
+        frame: ReservationFrame,
+    },
+}
+
+/// Everything a control-plane frame made the manager decide: frames to put
+/// on the wire (each originating at a specific switch) and channels whose
+/// wire state must be torn down.
+///
+/// This is the switch-located generalisation of the bare
+/// `Vec<SwitchAction>`: the central managers originate everything at the
+/// managing switch, while the distributed manager emits from whichever
+/// switch handled the frame.
+#[derive(Debug, Default)]
+pub struct ControlOutcome {
+    /// Frames to transmit, each from the given switch.
+    pub emissions: Vec<(SwitchId, SwitchAction)>,
+    /// Channels released by this frame (tear-downs): the caller must clear
+    /// their wire state and tell the destination RT layer to forget them.
+    pub released: Vec<ReleasedChannel>,
+}
+
+impl ControlOutcome {
+    /// An outcome that transmits nothing and releases nothing.
+    pub fn empty() -> Self {
+        ControlOutcome::default()
+    }
+
+    /// Wrap legacy actions, all originating at one switch.
+    pub fn emissions_at(at: SwitchId, actions: Vec<SwitchAction>) -> Self {
+        ControlOutcome {
+            emissions: actions.into_iter().map(|a| (at, a)).collect(),
+            released: Vec::new(),
+        }
+    }
 }
 
 /// What the network glue needs to know about a channel it just tore down:
@@ -168,6 +209,52 @@ pub trait ChannelManager: fmt::Debug {
     /// Established channels stay on the routes they were (re-)admitted on —
     /// deliberately, so a repair never perturbs running traffic.
     fn handle_link_repair(&mut self, from: SwitchId, to: SwitchId) -> RtResult<()>;
+
+    /// React to a whole-switch failure: every healthy trunk incident to
+    /// `switch` goes down atomically, then every channel that crossed any
+    /// of them fails over as in [`ChannelManager::handle_link_failure`].
+    /// The default rejects (a single-switch star has no trunks to lose).
+    fn handle_switch_failure(&mut self, switch: SwitchId) -> RtResult<FailoverReport> {
+        Err(RtError::Config(format!(
+            "this manager cannot fail switch {switch}: no trunk fabric"
+        )))
+    }
+
+    /// Handle any control-plane frame delivered to the control plane of
+    /// switch `at`, originated by `from` (`NodeId::SWITCH` for
+    /// switch-originated reservation traffic).
+    ///
+    /// This is the one entry point the network glue drives.  The default
+    /// implementation reproduces the centralised behaviour: `at` is ignored
+    /// (every control frame was forwarded to the managing switch anyway),
+    /// the legacy per-kind handlers run, and all emissions originate at
+    /// `at`.  The distributed manager overrides this with the per-switch
+    /// two-phase reservation protocol.
+    fn handle_frame_at(
+        &mut self,
+        at: SwitchId,
+        from: NodeId,
+        frame: &Frame,
+    ) -> RtResult<ControlOutcome> {
+        let _ = from;
+        match frame {
+            Frame::Request(req) => Ok(ControlOutcome::emissions_at(at, self.handle_request(req)?)),
+            Frame::Response(resp) => Ok(ControlOutcome::emissions_at(
+                at,
+                self.handle_response(resp)?,
+            )),
+            Frame::Teardown(td) => {
+                let released = self.handle_teardown(td.rt_channel_id)?;
+                Ok(ControlOutcome {
+                    emissions: Vec::new(),
+                    released: vec![released],
+                })
+            }
+            other => Err(RtError::ProtocolViolation(format!(
+                "unexpected frame at the switch control plane: {other:?}"
+            ))),
+        }
+    }
 }
 
 /// A reservation waiting for the destination node's confirmation.

@@ -29,7 +29,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
-use rt_edf::{FeasibilityTester, PeriodicTask, TaskSet};
+use rt_edf::{PeriodicTask, TaskSet};
 use rt_frames::rt_response::ResponseVerdict;
 use rt_frames::{RequestFrame, ResponseFrame};
 use rt_types::{
@@ -40,6 +40,7 @@ use rt_types::{
 pub use rt_types::{HopLink, Route, Router, SwitchId, Topology};
 
 use crate::channel::RtChannelSpec;
+use crate::ledger::{ReservationKey, SlackLedger};
 use crate::manager::{ChannelManager, ChannelRoute, FailoverReport, ReleasedChannel, SwitchAction};
 use crate::protocol::ChannelRequest;
 
@@ -144,12 +145,15 @@ impl MultiHopChannel {
 }
 
 /// Admission control over a multi-switch topology.
+///
+/// The reservation book-keeping lives in one fabric-wide [`SlackLedger`] —
+/// the central control plane is the degenerate "one switch owns every link"
+/// placement of the same ledger the distributed manager shards per switch.
 pub struct MultiHopAdmission {
     topology: Topology,
     router: Arc<dyn Router>,
     dps: MultiHopDps,
-    tester: FeasibilityTester,
-    link_tasks: BTreeMap<HopLink, TaskSet>,
+    ledger: SlackLedger,
     channels: BTreeMap<u16, MultiHopChannel>,
     next_channel_id: u16,
     accepted: u64,
@@ -188,8 +192,7 @@ impl MultiHopAdmission {
             topology,
             router,
             dps,
-            tester: FeasibilityTester::new(),
-            link_tasks: BTreeMap::new(),
+            ledger: SlackLedger::new(),
             channels: BTreeMap::new(),
             next_channel_id: 1,
             accepted: 0,
@@ -236,17 +239,17 @@ impl MultiHopAdmission {
 
     /// The number of channels currently traversing `link`.
     pub fn link_load(&self, link: HopLink) -> usize {
-        self.link_tasks.get(&link).map_or(0, |s| s.len())
+        self.ledger.link_load(link)
     }
 
     /// The task set currently reserved on `link`.
     pub fn link_taskset(&self, link: HopLink) -> TaskSet {
-        self.link_tasks.get(&link).cloned().unwrap_or_default()
+        self.ledger.taskset(link)
     }
 
     /// Links that currently carry at least one channel.
     pub fn loaded_links(&self) -> impl Iterator<Item = (HopLink, usize)> + '_ {
-        self.link_tasks.iter().map(|(l, s)| (*l, s.len()))
+        self.ledger.loaded_links()
     }
 
     /// Look up an active channel.
@@ -290,8 +293,7 @@ impl MultiHopAdmission {
         for (link, &deadline) in path.iter().zip(deadlines.iter()) {
             let task = PeriodicTask::new(spec.period, spec.capacity, deadline)
                 .map_err(|e| (Some(*link), e.to_string()))?;
-            let set = self.link_taskset(*link);
-            let outcome = self.tester.test_with_candidate(&set, &task);
+            let outcome = self.ledger.feasible_with(*link, &task);
             if !outcome.is_feasible() {
                 return Err((
                     Some(*link),
@@ -318,7 +320,8 @@ impl MultiHopAdmission {
     ) -> RtResult<MultiHopChannel> {
         for (link, &deadline) in path.iter().zip(deadlines.iter()) {
             let task = PeriodicTask::new(spec.period, spec.capacity, deadline)?;
-            self.link_tasks.entry(*link).or_default().push(task);
+            self.ledger
+                .reserve(*link, ReservationKey::channel(id), task);
         }
         let channel = MultiHopChannel {
             id,
@@ -379,12 +382,38 @@ impl MultiHopAdmission {
     /// trunk are not touched at all.
     pub fn fail_trunk(&mut self, from: SwitchId, to: SwitchId) -> RtResult<FailoverReport> {
         self.topology.fail_trunk(from, to)?;
+        Ok(self.fail_over(&[(from, to)], (from, to)))
+    }
+
+    /// Fail a whole switch: every healthy trunk incident to it goes down
+    /// *atomically* (the topology degrades in one step before any
+    /// re-admission runs, so no fail-over re-route can be placed across a
+    /// trunk that is about to die), and every admitted channel that crossed
+    /// any of those trunks fails over exactly as in
+    /// [`MultiHopAdmission::fail_trunk`].  The reported `link` is the
+    /// degenerate `(switch, switch)` pair.
+    pub fn fail_switch(&mut self, switch: SwitchId) -> RtResult<FailoverReport> {
+        let cut = self.topology.fail_switch(switch)?;
+        Ok(self.fail_over(&cut, (switch, switch)))
+    }
+
+    /// The shared fail-over engine: given the trunks that just died (the
+    /// topology is already degraded), release every channel crossing any of
+    /// them and re-admit each over the surviving candidate routes.
+    fn fail_over(
+        &mut self,
+        cut: &[(SwitchId, SwitchId)],
+        link: (SwitchId, SwitchId),
+    ) -> FailoverReport {
         let crosses = |c: &MultiHopChannel| {
             c.path.iter().any(|l| {
                 matches!(l, HopLink::Trunk { from: f, to: t }
-                    if (*f == from && *t == to) || (*f == to && *t == from))
+                    if cut
+                        .iter()
+                        .any(|&(a, b)| (*f == a && *t == b) || (*f == b && *t == a)))
             })
         };
+        let (from, to) = link;
         let affected: Vec<u16> = self
             .channels
             .iter()
@@ -404,8 +433,11 @@ impl MultiHopAdmission {
         // drop channels the surviving fabric could actually carry.
         let released: Vec<MultiHopChannel> = affected
             .into_iter()
-            .map(|raw_id| self.release(ChannelId::new(raw_id)))
-            .collect::<RtResult<_>>()?;
+            .map(|raw_id| {
+                self.release(ChannelId::new(raw_id))
+                    .expect("affected ids come from the live channel table")
+            })
+            .collect();
         for old in released {
             let candidates = self
                 .router
@@ -414,14 +446,16 @@ impl MultiHopAdmission {
             let mut readmitted = false;
             for path in candidates {
                 if let Ok(deadlines) = self.try_admit(&old.spec, &path) {
-                    let channel = self.commit(
-                        old.id,
-                        old.source,
-                        old.destination,
-                        old.spec,
-                        path,
-                        deadlines,
-                    )?;
+                    let channel = self
+                        .commit(
+                            old.id,
+                            old.source,
+                            old.destination,
+                            old.spec,
+                            path,
+                            deadlines,
+                        )
+                        .expect("deadlines were just validated by try_admit");
                     report.rerouted.push(channel.to_route());
                     self.rerouted += 1;
                     readmitted = true;
@@ -433,7 +467,7 @@ impl MultiHopAdmission {
                 self.dropped_on_failure += 1;
             }
         }
-        Ok(report)
+        report
     }
 
     /// Repair a previously failed trunk: future admissions (and fail-overs)
@@ -449,15 +483,7 @@ impl MultiHopAdmission {
             .channels
             .remove(&id.get())
             .ok_or(RtError::UnknownChannel(id))?;
-        for (link, &deadline) in channel.path.iter().zip(channel.link_deadlines.iter()) {
-            let task = PeriodicTask::new(channel.spec.period, channel.spec.capacity, deadline)?;
-            if let Some(set) = self.link_tasks.get_mut(link) {
-                set.remove_one(&task);
-                if set.is_empty() {
-                    self.link_tasks.remove(link);
-                }
-            }
-        }
+        self.ledger.release_key(ReservationKey::channel(id));
         Ok(channel)
     }
 }
@@ -639,6 +665,14 @@ impl ChannelManager for FabricChannelManager {
 
     fn handle_link_repair(&mut self, from: SwitchId, to: SwitchId) -> RtResult<()> {
         self.admission.repair_trunk(from, to)
+    }
+
+    fn handle_switch_failure(&mut self, switch: SwitchId) -> RtResult<FailoverReport> {
+        let report = self.admission.fail_switch(switch)?;
+        for dropped in &report.dropped {
+            self.pending.remove(&dropped.id);
+        }
+        Ok(report)
     }
 }
 
@@ -1094,6 +1128,7 @@ mod tests {
                     assert_eq!(frame.rt_channel_id, None);
                     rejected = true;
                 }
+                other => panic!("unexpected {other:?}"),
             }
         }
         assert!(rejected, "the trunk should have saturated");

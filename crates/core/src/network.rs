@@ -38,14 +38,18 @@ use rt_frames::{EthernetFrame, Frame};
 use rt_netsim::{Delivery, SimConfig, Simulator};
 use rt_types::constants::ETHERTYPE_IPV4;
 use rt_types::{
-    ChannelId, ConnectionRequestId, Duration, HopLink, Ipv4Address, LinkSpeed, MacAddr, NodeId,
-    Router, RtError, RtResult, ShortestPathRouter, SimTime, Slots, SwitchId, Topology,
+    ChannelId, ConnectionRequestId, Duration, HopLink, Ipv4Address, LinkSpeed, MacAddr,
+    ManagerPlacement, NodeId, Router, RtError, RtResult, ShortestPathRouter, SimTime, Slots,
+    SwitchId, Topology,
 };
 
 use crate::admission::AdmissionController;
 use crate::channel::RtChannelSpec;
+use crate::distributed::DistributedChannelManager;
 use crate::dps::DpsKind;
-use crate::manager::{ChannelManager, FailoverReport, SwitchAction, SwitchChannelManager};
+use crate::manager::{
+    ChannelManager, FailoverReport, ReleasedChannel, SwitchAction, SwitchChannelManager,
+};
 use crate::multihop::{FabricChannelManager, MultiHopAdmission, MultiHopDps};
 use crate::rtlayer::{EstablishmentOutcome, ReceivedMessage, RtLayer, RtLayerConfig, TxChannel};
 use crate::system_state::SystemState;
@@ -131,6 +135,7 @@ pub struct RtNetworkBuilder {
     shape: Option<FabricShape>,
     router: Option<Arc<dyn Router>>,
     max_incoming_channels: Option<usize>,
+    placement: ManagerPlacement,
 }
 
 impl Default for RtNetworkBuilder {
@@ -142,6 +147,7 @@ impl Default for RtNetworkBuilder {
             shape: None,
             router: None,
             max_incoming_channels: None,
+            placement: ManagerPlacement::Central,
         }
     }
 }
@@ -227,6 +233,24 @@ impl RtNetworkBuilder {
         self
     }
 
+    /// Run the control plane *distributed*: every switch hosts its own
+    /// channel manager owning the slack ledgers of its local links, and
+    /// multi-hop admission runs as a two-phase reservation in control
+    /// frames that really traverse the fabric (see
+    /// [`DistributedChannelManager`]).  Requires a
+    /// [`RtNetworkBuilder::topology`] fabric — the single-switch star has
+    /// nothing to distribute.
+    pub fn distributed_control(self) -> Self {
+        self.manager_placement(ManagerPlacement::Distributed)
+    }
+
+    /// Select the channel-management placement explicitly (central — the
+    /// paper's model and the default — or distributed).
+    pub fn manager_placement(mut self, placement: ManagerPlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+
     /// Build the network: validate the topology against the router, build
     /// the simulator fabric, the channel manager and one RT layer per node.
     pub fn build(self) -> RtResult<RtNetwork> {
@@ -241,6 +265,13 @@ impl RtNetworkBuilder {
             .unwrap_or_else(|| Arc::new(ShortestPathRouter::new()));
         let (topology, manager): (Topology, Box<dyn ChannelManager>) = match shape {
             FabricShape::Star(nodes) => {
+                if self.placement == ManagerPlacement::Distributed {
+                    return Err(RtError::Config(
+                        "distributed control needs a .topology(..) fabric: a single-switch \
+                         star has nothing to distribute"
+                            .into(),
+                    ));
+                }
                 let topology = Topology::star(SwitchId::new(0), nodes.iter().copied());
                 let admission = AdmissionController::new(
                     SystemState::with_nodes(nodes.iter().copied()),
@@ -248,13 +279,26 @@ impl RtNetworkBuilder {
                 );
                 (topology, Box::new(SwitchChannelManager::new(admission)))
             }
-            FabricShape::Fabric(topology) => {
-                let admission = MultiHopAdmission::with_router(
-                    topology.clone(),
-                    self.multihop_dps,
-                    Arc::clone(&router),
-                );
-                (topology, Box::new(FabricChannelManager::new(admission)))
+            FabricShape::Fabric(mut topology) => {
+                topology.set_manager_placement(self.placement);
+                match self.placement {
+                    ManagerPlacement::Central => {
+                        let admission = MultiHopAdmission::with_router(
+                            topology.clone(),
+                            self.multihop_dps,
+                            Arc::clone(&router),
+                        );
+                        (topology, Box::new(FabricChannelManager::new(admission)))
+                    }
+                    ManagerPlacement::Distributed => {
+                        let manager = DistributedChannelManager::new(
+                            topology.clone(),
+                            self.multihop_dps,
+                            Arc::clone(&router),
+                        );
+                        (topology, Box::new(manager))
+                    }
+                }
             }
         };
         // Simulator::with_router runs the router's capability check (e.g.
@@ -519,6 +563,31 @@ impl RtNetwork {
         Ok(report)
     }
 
+    /// Fail a whole switch at the current simulated time: every healthy
+    /// trunk incident to it dies atomically on the wire (queued and
+    /// in-flight frames lost and counted), then admission fails over every
+    /// channel that crossed any of those trunks — re-routes keep their ids
+    /// and get fresh wire state, unroutable channels are torn down end to
+    /// end, exactly as in [`RtNetwork::fail_trunk`].  The switch keeps its
+    /// access links: its local nodes can still talk to each other.
+    pub fn fail_switch(&mut self, switch: SwitchId) -> RtResult<FailoverReport> {
+        self.sim.fail_switch(switch)?;
+        let report = self.manager.handle_switch_failure(switch)?;
+        for route in &report.rerouted {
+            self.install_channel_wire(route);
+        }
+        for old in &report.dropped {
+            self.sim.release_channel(old.id);
+            if let Some(layer) = self.layers.get_mut(&old.destination.get()) {
+                layer.forget_rx_channel(old.id);
+            }
+            if let Some(layer) = self.layers.get_mut(&old.source.get()) {
+                layer.forget_tx_channel(old.id);
+            }
+        }
+        Ok(report)
+    }
+
     /// Splice a previously cut trunk back, on the wire and in admission
     /// control.  Established channels stay on their current routes; the
     /// restored trunk serves future admissions and fail-overs.
@@ -637,40 +706,32 @@ impl RtNetwork {
         }
     }
 
-    fn handle_control_teardown(&mut self, channel: ChannelId) -> RtResult<()> {
-        let released = self.manager.handle_teardown(channel)?;
-        // Real wire-level teardown: forwarding entries and per-hop budgets
-        // are forgotten AND late frames of the released channel are dropped
-        // at the first switch (counted in the statistics), never delivered
-        // on the stale route.
+    /// Tear a released channel down on the wire and at the endpoints: its
+    /// forwarding entries and per-hop budgets are forgotten AND its late
+    /// frames are dropped at the first switch (counted in the statistics),
+    /// never delivered on the stale route; the destination RT layer forgets
+    /// it too.
+    fn process_released(&mut self, released: ReleasedChannel) {
         self.sim.release_channel(released.id);
-        // Let the destination forget the channel too.
         if let Some(layer) = self.layers.get_mut(&released.destination.get()) {
             layer.forget_rx_channel(released.id);
         }
-        Ok(())
     }
 
     fn dispatch(&mut self, delivery: Delivery) -> RtResult<()> {
         let now = self.sim.now();
         let frame = Frame::classify(delivery.eth.clone())?;
         if delivery.receiver == NodeId::SWITCH {
-            // Control-plane traffic addressed to the managing switch.
-            let actions = match frame {
-                Frame::Request(req) => self.manager.handle_request(&req)?,
-                Frame::Response(resp) => self.manager.handle_response(&resp)?,
-                Frame::Teardown(td) => {
-                    self.handle_control_teardown(td.rt_channel_id)?;
-                    Vec::new()
-                }
-                other => {
-                    return Err(RtError::ProtocolViolation(format!(
-                        "unexpected frame at the switch control plane: {other:?}"
-                    )))
-                }
-            };
-            for action in actions {
-                self.emit(action, now)?;
+            // Control-plane traffic: the delivery names the switch whose
+            // control plane received the frame (the managing switch under
+            // central placement, any switch under distributed placement).
+            let at = delivery.switch.unwrap_or(self.sim.manager_switch());
+            let outcome = self.manager.handle_frame_at(at, delivery.source, &frame)?;
+            for (origin, action) in outcome.emissions {
+                self.emit(origin, action, now)?;
+            }
+            for released in outcome.released {
+                self.process_released(released);
             }
             return Ok(());
         }
@@ -712,8 +773,9 @@ impl RtNetwork {
                     Err(e) => return Err(e),
                 }
             }
-            Frame::Teardown(_) => {
-                // Nodes do not receive teardown frames in this protocol.
+            Frame::Teardown(_) | Frame::Reservation(_) => {
+                // Nodes do not receive teardown or reservation frames in
+                // this protocol.
             }
             Frame::BestEffort(_) => {
                 self.be_received += 1;
@@ -722,15 +784,20 @@ impl RtNetwork {
         Ok(())
     }
 
-    fn emit(&mut self, action: SwitchAction, now: SimTime) -> RtResult<()> {
+    fn emit(&mut self, origin: SwitchId, action: SwitchAction, now: SimTime) -> RtResult<()> {
         match action {
             SwitchAction::ForwardRequest { to, frame } => {
                 let eth = frame.into_ethernet(MacAddr::for_switch(), MacAddr::for_node(to))?;
-                self.sim.inject_from_switch(to, eth, now)?;
+                self.sim.inject_at_switch(origin, eth, now)?;
             }
             SwitchAction::SendResponse { to, frame } => {
                 let eth = frame.into_ethernet(MacAddr::for_switch(), MacAddr::for_node(to))?;
-                self.sim.inject_from_switch(to, eth, now)?;
+                self.sim.inject_at_switch(origin, eth, now)?;
+            }
+            SwitchAction::SendControl { to, frame } => {
+                let eth = frame
+                    .into_ethernet(MacAddr::for_switch_id(origin), MacAddr::for_switch_id(to))?;
+                self.sim.inject_at_switch(origin, eth, now)?;
             }
         }
         Ok(())

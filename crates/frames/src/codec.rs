@@ -13,14 +13,15 @@
 
 use rt_types::{
     constants::{
-        ETHERTYPE_IPV4, ETHERTYPE_RT_CONTROL, RT_FRAME_TYPE_CONNECT, RT_FRAME_TYPE_RESPONSE,
-        RT_FRAME_TYPE_TEARDOWN,
+        ETHERTYPE_IPV4, ETHERTYPE_RT_CONTROL, RT_FRAME_TYPE_CONNECT, RT_FRAME_TYPE_RESERVATION,
+        RT_FRAME_TYPE_RESPONSE, RT_FRAME_TYPE_TEARDOWN,
     },
     ChannelId, RtError, RtResult,
 };
 
 use crate::ethernet::EthernetFrame;
 use crate::ipv4::Ipv4Header;
+use crate::reservation::ReservationFrame;
 use crate::rt_data::RtDataFrame;
 use crate::rt_request::RequestFrame;
 use crate::rt_response::ResponseFrame;
@@ -71,6 +72,9 @@ pub enum Frame {
     Response(ResponseFrame),
     /// RT channel tear-down (extension).
     Teardown(TeardownFrame),
+    /// Switch-to-switch reservation traffic of the distributed control
+    /// plane (extension).
+    Reservation(ReservationFrame),
     /// Deadline-stamped real-time data (§18.2.2).
     RtData(RtDataFrame),
     /// Anything else — ordinary best-effort traffic handled FCFS.
@@ -101,6 +105,9 @@ impl Frame {
                     RT_FRAME_TYPE_TEARDOWN => {
                         Ok(Frame::Teardown(TeardownFrame::decode(&eth.payload)?))
                     }
+                    RT_FRAME_TYPE_RESERVATION => {
+                        Ok(Frame::Reservation(ReservationFrame::decode(&eth.payload)?))
+                    }
                     other => Err(RtError::FrameDecode(format!(
                         "unknown RT control frame type {other:#04x}"
                     ))),
@@ -122,7 +129,20 @@ impl Frame {
     pub fn is_realtime(&self) -> bool {
         matches!(
             self,
-            Frame::Request(_) | Frame::Response(_) | Frame::Teardown(_) | Frame::RtData(_)
+            Frame::Request(_)
+                | Frame::Response(_)
+                | Frame::Teardown(_)
+                | Frame::Reservation(_)
+                | Frame::RtData(_)
+        )
+    }
+
+    /// `true` if this is a control-plane frame (establishment, reservation
+    /// or tear-down traffic, as opposed to data or best effort).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Frame::Request(_) | Frame::Response(_) | Frame::Teardown(_) | Frame::Reservation(_)
         )
     }
 }

@@ -23,6 +23,7 @@
 pub mod codec;
 pub mod ethernet;
 pub mod ipv4;
+pub mod reservation;
 pub mod rt_data;
 pub mod rt_request;
 pub mod rt_response;
@@ -32,6 +33,7 @@ pub mod wire;
 pub use codec::Frame;
 pub use ethernet::EthernetFrame;
 pub use ipv4::Ipv4Header;
+pub use reservation::{ReservationFrame, ReservationOp, ReservationReason};
 pub use rt_data::RtDataFrame;
 pub use rt_request::RequestFrame;
 pub use rt_response::ResponseFrame;

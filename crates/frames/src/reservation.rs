@@ -1,0 +1,438 @@
+//! The switch-to-switch control frames of the *distributed* control plane
+//! (an extension beyond the paper, whose channel management is centralised
+//! in one switch).
+//!
+//! Distributed admission is a deterministic two-phase reservation along the
+//! candidate route, carried in frames that really traverse the fabric:
+//!
+//! * **Probe** (forward, source access switch → destination access switch):
+//!   each visited switch appends the current load of the route links it
+//!   owns, so the deadline partition is computed from the same loads the
+//!   central manager would have seen,
+//! * **Reserve** (backward, destination access switch → coordinator): each
+//!   visited switch feasibility-tests and tentatively reserves its owned
+//!   links under the per-link deadlines carried by the frame,
+//! * **Rollback** (from wherever a step failed, releasing every switch it
+//!   visits): partial reservations never leak slack,
+//! * **ReserveFailed** / **Confirm** (direct notifications to the
+//!   coordinator): try the next candidate route, or commit the channel,
+//! * **Release** (forward along the admitted route): tear an established
+//!   channel's reservations down switch by switch.
+//!
+//! One wire format serves all six operations; the op-specific payload (`
+//! collected loads, per-link deadlines or the switch itinerary) rides in the
+//! variable-length `values` list.
+
+use rt_types::{
+    constants::{ETHERTYPE_RT_CONTROL, RT_FRAME_TYPE_RESERVATION},
+    ChannelId, ConnectionRequestId, MacAddr, NodeId, RtError, RtResult, Slots, SwitchId,
+};
+
+use crate::ethernet::EthernetFrame;
+use crate::wire::{ByteReader, ByteWriter};
+
+/// Wire size of the fixed part of a reservation payload, in bytes.
+pub const RESERVATION_FRAME_FIXED_BYTES: usize = 35;
+
+/// What a reservation frame asks the receiving switch to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReservationOp {
+    /// Forward pass: append the loads of the route links you own and pass
+    /// the frame on (the destination access switch then partitions the
+    /// deadline and starts the Reserve pass).
+    Probe,
+    /// Backward pass: feasibility-test and tentatively reserve your owned
+    /// links under the carried per-link deadlines.
+    Reserve,
+    /// Release the tentative (or committed) reservations of this request at
+    /// every switch the frame visits.
+    Rollback,
+    /// Direct notification to the coordinator: the current candidate route
+    /// failed its reservation; try the next one.
+    ReserveFailed,
+    /// Direct notification to the coordinator: the destination accepted,
+    /// the reservation is committed end to end.
+    Confirm,
+    /// Tear-down pass along an admitted route: release the committed
+    /// reservations switch by switch.
+    Release,
+}
+
+impl ReservationOp {
+    fn to_wire(self) -> u8 {
+        match self {
+            ReservationOp::Probe => 1,
+            ReservationOp::Reserve => 2,
+            ReservationOp::Rollback => 3,
+            ReservationOp::ReserveFailed => 4,
+            ReservationOp::Confirm => 5,
+            ReservationOp::Release => 6,
+        }
+    }
+
+    fn from_wire(v: u8) -> RtResult<Self> {
+        Ok(match v {
+            1 => ReservationOp::Probe,
+            2 => ReservationOp::Reserve,
+            3 => ReservationOp::Rollback,
+            4 => ReservationOp::ReserveFailed,
+            5 => ReservationOp::Confirm,
+            6 => ReservationOp::Release,
+            other => {
+                return Err(RtError::FrameDecode(format!(
+                    "ReservationFrame: unknown op {other:#04x}"
+                )))
+            }
+        })
+    }
+}
+
+/// Why a Rollback / ReserveFailed was issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReservationReason {
+    /// No failure (the op is not a failure notification).
+    #[default]
+    None,
+    /// A link of the candidate route failed its feasibility test (or the
+    /// deadline could not be partitioned over its hops).
+    Infeasible,
+    /// The destination node refused the channel.
+    DestinationRejected,
+}
+
+impl ReservationReason {
+    fn to_wire(self) -> u8 {
+        match self {
+            ReservationReason::None => 0,
+            ReservationReason::Infeasible => 1,
+            ReservationReason::DestinationRejected => 2,
+        }
+    }
+
+    fn from_wire(v: u8) -> RtResult<Self> {
+        Ok(match v {
+            0 => ReservationReason::None,
+            1 => ReservationReason::Infeasible,
+            2 => ReservationReason::DestinationRejected,
+            other => {
+                return Err(RtError::FrameDecode(format!(
+                    "ReservationFrame: unknown reason {other:#04x}"
+                )))
+            }
+        })
+    }
+}
+
+/// One switch-to-switch control frame of the two-phase reservation protocol.
+///
+/// The route itself is *not* carried: every switch shares the converged
+/// topology and the deterministic router, so `(source, destination,
+/// candidate)` identifies the candidate route exactly — each hop recomputes
+/// it locally.  Only the `Release` op (which may outlive topology changes)
+/// carries its switch itinerary explicitly, in `values`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReservationFrame {
+    /// The operation requested of the receiving switch.
+    pub op: ReservationOp,
+    /// Failure reason (Rollback / ReserveFailed), [`ReservationReason::None`]
+    /// otherwise.
+    pub reason: ReservationReason,
+    /// The coordinating switch — the source node's access switch, which
+    /// owns the in-flight reservation state for this request.
+    pub coordinator: SwitchId,
+    /// Coordinator-unique token identifying the in-flight reservation.
+    pub token: u16,
+    /// Source node of the requested channel.
+    pub source: NodeId,
+    /// Destination node of the requested channel.
+    pub destination: NodeId,
+    /// The source node's connection request id (echoed into the final
+    /// response).
+    pub request_id: ConnectionRequestId,
+    /// Index of the candidate route being attempted (into the router's
+    /// deterministic candidate list).
+    pub candidate: u8,
+    /// Current position in the candidate route's switch sequence.
+    pub hop: u8,
+    /// The assigned channel id, once one exists (`None` on the wire as 0).
+    pub channel: Option<ChannelId>,
+    /// Requested period `P_i` in slots.
+    pub period: Slots,
+    /// Requested capacity `C_i` in slots.
+    pub capacity: Slots,
+    /// Requested end-to-end deadline `d_i` in slots.
+    pub deadline: Slots,
+    /// Op-specific payload: collected per-link loads (Probe), per-link
+    /// deadline slots (Reserve), or the switch itinerary (Release).
+    pub values: Vec<u64>,
+}
+
+impl ReservationFrame {
+    /// Serialise the payload: 35 fixed bytes plus `4·values.len()`.
+    ///
+    /// Layout (offsets in bytes): `0` type, `1` op, `2` reason,
+    /// `3` request id, `4` candidate, `5` hop, `6..8` token,
+    /// `8..10` channel id, `10..14` coordinator, `14..18` source,
+    /// `18..22` destination, `22..26` period, `26..30` capacity,
+    /// `30..34` deadline, `34` value count, then the 32-bit values.
+    pub fn encode(&self) -> RtResult<Vec<u8>> {
+        for (name, v) in [
+            ("period", self.period.get()),
+            ("capacity", self.capacity.get()),
+            ("deadline", self.deadline.get()),
+        ] {
+            if v > u32::MAX as u64 {
+                return Err(RtError::FrameEncode(format!(
+                    "ReservationFrame: {name} of {v} does not fit the 32-bit wire field"
+                )));
+            }
+        }
+        if self.values.len() > u8::MAX as usize {
+            return Err(RtError::FrameEncode(format!(
+                "ReservationFrame: {} values do not fit the 8-bit count",
+                self.values.len()
+            )));
+        }
+        for &v in &self.values {
+            if v > u32::MAX as u64 {
+                return Err(RtError::FrameEncode(format!(
+                    "ReservationFrame: value {v} does not fit the 32-bit wire field"
+                )));
+            }
+        }
+        let mut w =
+            ByteWriter::with_capacity(RESERVATION_FRAME_FIXED_BYTES + 4 * self.values.len());
+        w.put_u8(RT_FRAME_TYPE_RESERVATION);
+        w.put_u8(self.op.to_wire());
+        w.put_u8(self.reason.to_wire());
+        w.put_u8(self.request_id.get());
+        w.put_u8(self.candidate);
+        w.put_u8(self.hop);
+        w.put_u16(self.token);
+        w.put_u16(self.channel.map_or(0, |c| c.get()));
+        w.put_u32(self.coordinator.get());
+        w.put_u32(self.source.get());
+        w.put_u32(self.destination.get());
+        w.put_u32(self.period.get() as u32);
+        w.put_u32(self.capacity.get() as u32);
+        w.put_u32(self.deadline.get() as u32);
+        w.put_u8(self.values.len() as u8);
+        for &v in &self.values {
+            w.put_u32(v as u32);
+        }
+        let out = w.into_vec();
+        debug_assert_eq!(
+            out.len(),
+            RESERVATION_FRAME_FIXED_BYTES + 4 * self.values.len()
+        );
+        Ok(out)
+    }
+
+    /// Parse a reservation payload.  Trailing padding (from Ethernet
+    /// minimum-size padding) is tolerated and ignored.
+    pub fn decode(bytes: &[u8]) -> RtResult<Self> {
+        let mut r = ByteReader::new(bytes, "ReservationFrame");
+        let ty = r.get_u8()?;
+        if ty != RT_FRAME_TYPE_RESERVATION {
+            return Err(RtError::FrameDecode(format!(
+                "ReservationFrame: type byte {ty:#04x} is not a reservation packet"
+            )));
+        }
+        let op = ReservationOp::from_wire(r.get_u8()?)?;
+        let reason = ReservationReason::from_wire(r.get_u8()?)?;
+        let request_id = ConnectionRequestId::new(r.get_u8()?);
+        let candidate = r.get_u8()?;
+        let hop = r.get_u8()?;
+        let token = r.get_u16()?;
+        let raw_channel = r.get_u16()?;
+        let coordinator = SwitchId::new(r.get_u32()?);
+        let source = NodeId::new(r.get_u32()?);
+        let destination = NodeId::new(r.get_u32()?);
+        let period = Slots::new(u64::from(r.get_u32()?));
+        let capacity = Slots::new(u64::from(r.get_u32()?));
+        let deadline = Slots::new(u64::from(r.get_u32()?));
+        let count = r.get_u8()? as usize;
+        let mut values = Vec::with_capacity(count);
+        for _ in 0..count {
+            values.push(u64::from(r.get_u32()?));
+        }
+        Ok(ReservationFrame {
+            op,
+            reason,
+            coordinator,
+            token,
+            source,
+            destination,
+            request_id,
+            candidate,
+            hop,
+            channel: if raw_channel == 0 {
+                None
+            } else {
+                Some(ChannelId::new(raw_channel))
+            },
+            period,
+            capacity,
+            deadline,
+            values,
+        })
+    }
+
+    /// Wrap this frame in Ethernet between two per-switch control-plane
+    /// addresses ([`MacAddr::for_switch_id`]).
+    pub fn into_ethernet(&self, eth_src: MacAddr, eth_dst: MacAddr) -> RtResult<EthernetFrame> {
+        EthernetFrame::new(eth_dst, eth_src, ETHERTYPE_RT_CONTROL, self.encode()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_types::rng::Xoshiro256;
+
+    fn sample() -> ReservationFrame {
+        ReservationFrame {
+            op: ReservationOp::Probe,
+            reason: ReservationReason::None,
+            coordinator: SwitchId::new(3),
+            token: 0x1234,
+            source: NodeId::new(7),
+            destination: NodeId::new(19),
+            request_id: ConnectionRequestId::new(5),
+            candidate: 1,
+            hop: 2,
+            channel: None,
+            period: Slots::new(100),
+            capacity: Slots::new(3),
+            deadline: Slots::new(40),
+            values: vec![0, 4, 2],
+        }
+    }
+
+    #[test]
+    fn golden_bytes_layout() {
+        let bytes = sample().encode().unwrap();
+        assert_eq!(bytes.len(), RESERVATION_FRAME_FIXED_BYTES + 4 * 3);
+        assert_eq!(bytes[0], RT_FRAME_TYPE_RESERVATION);
+        assert_eq!(bytes[1], 1); // op = Probe
+        assert_eq!(bytes[2], 0); // reason = None
+        assert_eq!(bytes[3], 5); // request id
+        assert_eq!(bytes[4], 1); // candidate
+        assert_eq!(bytes[5], 2); // hop
+        assert_eq!(&bytes[6..8], &0x1234u16.to_be_bytes());
+        assert_eq!(&bytes[8..10], &[0, 0]); // unassigned channel
+        assert_eq!(&bytes[10..14], &3u32.to_be_bytes()); // coordinator
+        assert_eq!(&bytes[14..18], &7u32.to_be_bytes()); // source
+        assert_eq!(&bytes[18..22], &19u32.to_be_bytes()); // destination
+        assert_eq!(&bytes[22..26], &100u32.to_be_bytes()); // period
+        assert_eq!(&bytes[26..30], &3u32.to_be_bytes()); // capacity
+        assert_eq!(&bytes[30..34], &40u32.to_be_bytes()); // deadline
+        assert_eq!(bytes[34], 3); // value count
+        assert_eq!(&bytes[35..39], &0u32.to_be_bytes());
+        assert_eq!(&bytes[39..43], &4u32.to_be_bytes());
+        assert_eq!(&bytes[43..47], &2u32.to_be_bytes());
+    }
+
+    #[test]
+    fn round_trip_every_op_and_reason() {
+        for op in [
+            ReservationOp::Probe,
+            ReservationOp::Reserve,
+            ReservationOp::Rollback,
+            ReservationOp::ReserveFailed,
+            ReservationOp::Confirm,
+            ReservationOp::Release,
+        ] {
+            for reason in [
+                ReservationReason::None,
+                ReservationReason::Infeasible,
+                ReservationReason::DestinationRejected,
+            ] {
+                let mut f = sample();
+                f.op = op;
+                f.reason = reason;
+                f.channel = Some(ChannelId::new(9));
+                assert_eq!(ReservationFrame::decode(&f.encode().unwrap()).unwrap(), f);
+            }
+        }
+    }
+
+    #[test]
+    fn tolerates_ethernet_padding() {
+        let mut f = sample();
+        f.values.clear(); // 35-byte payload, padded to 46 by Ethernet
+        let eth = f
+            .into_ethernet(
+                MacAddr::for_switch_id(SwitchId::new(0)),
+                MacAddr::for_switch_id(SwitchId::new(1)),
+            )
+            .unwrap();
+        let decoded = EthernetFrame::decode(&eth.encode()).unwrap();
+        assert_eq!(decoded.payload.len(), 46);
+        assert_eq!(ReservationFrame::decode(&decoded.payload).unwrap(), f);
+    }
+
+    #[test]
+    fn rejects_malformed_frames() {
+        let mut bytes = sample().encode().unwrap();
+        bytes[0] = 0x7f;
+        assert!(ReservationFrame::decode(&bytes).is_err());
+        let mut bytes = sample().encode().unwrap();
+        bytes[1] = 0x7f; // unknown op
+        assert!(ReservationFrame::decode(&bytes).is_err());
+        let mut bytes = sample().encode().unwrap();
+        bytes[2] = 0x7f; // unknown reason
+        assert!(ReservationFrame::decode(&bytes).is_err());
+        let bytes = sample().encode().unwrap();
+        // Truncated inside the value list.
+        assert!(ReservationFrame::decode(&bytes[..bytes.len() - 2]).is_err());
+        // Oversized fields fail encode.
+        let mut f = sample();
+        f.period = Slots::new(u64::from(u32::MAX) + 1);
+        assert!(f.encode().is_err());
+        let mut f = sample();
+        f.values = vec![u64::from(u32::MAX) + 1];
+        assert!(f.encode().is_err());
+        let mut f = sample();
+        f.values = vec![1; 300];
+        assert!(f.encode().is_err());
+    }
+
+    /// Randomised frames survive encode → decode.
+    #[test]
+    fn prop_round_trip() {
+        let mut rng = Xoshiro256::new(0x4e5e_44e5);
+        for _ in 0..512 {
+            let ops = [
+                ReservationOp::Probe,
+                ReservationOp::Reserve,
+                ReservationOp::Rollback,
+                ReservationOp::ReserveFailed,
+                ReservationOp::Confirm,
+                ReservationOp::Release,
+            ];
+            let chan = rng.below(1 << 16) as u16;
+            let f = ReservationFrame {
+                op: ops[rng.below(ops.len() as u64) as usize],
+                reason: ReservationReason::None,
+                coordinator: SwitchId::new(rng.below(1 << 32) as u32),
+                token: rng.below(1 << 16) as u16,
+                source: NodeId::new(rng.below(1 << 32) as u32),
+                destination: NodeId::new(rng.below(1 << 32) as u32),
+                request_id: ConnectionRequestId::new(rng.below(256) as u8),
+                candidate: rng.below(256) as u8,
+                hop: rng.below(256) as u8,
+                channel: if chan == 0 {
+                    None
+                } else {
+                    Some(ChannelId::new(chan))
+                },
+                period: Slots::new(rng.below(1 << 32)),
+                capacity: Slots::new(rng.below(1 << 32)),
+                deadline: Slots::new(rng.below(1 << 32)),
+                values: (0..rng.below(20)).map(|_| rng.below(1 << 32)).collect(),
+            };
+            assert_eq!(ReservationFrame::decode(&f.encode().unwrap()).unwrap(), f);
+        }
+    }
+}

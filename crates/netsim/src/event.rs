@@ -93,6 +93,13 @@ pub enum Event {
         /// The other end.
         to: SwitchId,
     },
+    /// Fault injection: every healthy trunk incident to `switch` is cut at
+    /// this instant, atomically (a whole switch dropping off the fabric).
+    /// Repairs splice the trunks back one at a time.
+    FailSwitch {
+        /// The switch losing all its trunks.
+        switch: SwitchId,
+    },
 }
 
 /// An event plus its scheduled time and a FIFO sequence number.

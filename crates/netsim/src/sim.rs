@@ -155,8 +155,17 @@ enum FrameDest {
         /// Dense index of the node's access switch.
         switch: u32,
     },
-    /// The switch MAC: deliver to the managing switch's control plane.
+    /// The generic switch MAC: deliver to the managing switch's control
+    /// plane (central placement) or to the first switch that receives the
+    /// frame (distributed placement).
     ControlPlane,
+    /// The per-switch control-plane MAC of one specific switch (dense
+    /// index): forwarded over trunks and delivered to that switch's control
+    /// plane — the transport of the distributed reservation protocol.
+    Switch {
+        /// Dense index of the addressed switch.
+        switch: u32,
+    },
     /// No attached node owns the MAC; dropped as unroutable at the first
     /// switch (exactly as the per-hop lookup used to).
     Unknown,
@@ -188,6 +197,9 @@ pub struct Delivery {
     pub frame: FrameId,
     /// The receiving entity (`NodeId::SWITCH` for control-plane deliveries).
     pub receiver: NodeId,
+    /// For control-plane deliveries: *which* switch's control plane
+    /// received the frame.  `None` for deliveries to end nodes.
+    pub switch: Option<SwitchId>,
     /// The node (or switch) that injected the frame.
     pub source: NodeId,
     /// The decoded Ethernet frame.
@@ -246,6 +258,12 @@ pub enum LinkFault {
         /// The other end.
         to: SwitchId,
     },
+    /// Cut every healthy trunk incident to one switch, atomically (the
+    /// switch dropping off the fabric; its access links survive).
+    FailSwitch {
+        /// The switch losing all its trunks.
+        switch: SwitchId,
+    },
 }
 
 /// A scripted sequence of link failures and repairs, injected up front like
@@ -272,6 +290,13 @@ impl FaultScript {
     /// Add a trunk repair at `at` (builder style).
     pub fn repair_at(mut self, at: SimTime, from: SwitchId, to: SwitchId) -> Self {
         self.events.push((at, LinkFault::Repair { from, to }));
+        self
+    }
+
+    /// Add a whole-switch failure at `at` (builder style): every healthy
+    /// trunk incident to `switch` is cut in one atomic event.
+    pub fn fail_switch_at(mut self, at: SimTime, switch: SwitchId) -> Self {
+        self.events.push((at, LinkFault::FailSwitch { switch }));
         self
     }
 
@@ -383,12 +408,21 @@ pub struct Simulator {
     port_links: Vec<HopLink>,
     /// MAC → node table (static; consulted once per frame at injection).
     forwarding: HashMap<MacAddr, NodeId>,
-    /// The switch MAC address (control-plane traffic is addressed here).
+    /// The generic switch MAC address (node-originated control traffic is
+    /// addressed here).
     switch_mac: MacAddr,
+    /// Per-switch control-plane MAC → dense switch index (the transport of
+    /// switch-to-switch reservation frames).
+    switch_macs: HashMap<MacAddr, u32>,
     /// The switch hosting the RT channel management software.
     manager_switch: SwitchId,
     /// Dense index of the managing switch.
     manager_index: u32,
+    /// `true` when the topology places a channel manager on every switch:
+    /// frames addressed to the generic switch MAC are then consumed by the
+    /// first switch that receives them instead of being forwarded to the
+    /// managing switch.
+    distributed_control: bool,
     /// Per-channel route state (deadline budgets + forwarding entries),
     /// indexed by raw channel id.
     channel_wire: Vec<Option<ChannelWireState>>,
@@ -491,6 +525,15 @@ impl Simulator {
         let manager_index = dense_next_hop
             .index_of(manager_switch)
             .expect("manager is a topology switch");
+        let mut switch_macs = HashMap::with_capacity(switch_count);
+        for switch in topology.switches() {
+            let idx = dense_next_hop
+                .index_of(switch)
+                .expect("switches are indexed");
+            switch_macs.insert(MacAddr::for_switch_id(switch), idx);
+        }
+        let distributed_control =
+            topology.manager_placement() == rt_types::ManagerPlacement::Distributed;
         let stats = SimStats::for_ports(port_links.clone());
         let port_count = ports.len();
         Ok(Simulator {
@@ -507,8 +550,10 @@ impl Simulator {
             port_links,
             forwarding,
             switch_mac: MacAddr::for_switch(),
+            switch_macs,
             manager_switch,
             manager_index,
+            distributed_control,
             channel_wire: Vec::new(),
             released_channels: Vec::new(),
             dead_ports: vec![false; port_count],
@@ -760,10 +805,19 @@ impl Simulator {
     pub fn fail_link(&mut self, from: SwitchId, to: SwitchId) -> RtResult<()> {
         self.topology.fail_trunk(from, to)?;
         let now = self.now();
-        let f = self.switch_idx(from);
-        let t = self.switch_idx(to);
-        for (a, b) in [(f, t), (t, f)] {
-            if let Some(port) = self.trunk_port(a, b) {
+        self.kill_trunk_ports(from, to, now);
+        self.refresh_routing_tables();
+        Ok(())
+    }
+
+    /// Kill both directed ports of one trunk: mark them dead, doom a frame
+    /// mid-serialisation (lost with the cable even across a repair), and
+    /// drain + count their queues.
+    fn kill_trunk_ports(&mut self, a: SwitchId, b: SwitchId, now: SimTime) {
+        let f = self.switch_idx(a);
+        let t = self.switch_idx(b);
+        for (x, y) in [(f, t), (t, f)] {
+            if let Some(port) = self.trunk_port(x, y) {
                 let p = port as usize;
                 self.dead_ports[p] = true;
                 if self.ports[p].is_busy(now) {
@@ -774,8 +828,6 @@ impl Simulator {
                 }
             }
         }
-        self.refresh_routing_tables();
-        Ok(())
     }
 
     /// Splice a previously cut trunk back: the topology recovers
@@ -792,6 +844,23 @@ impl Simulator {
             if let Some(port) = self.trunk_port(a, b) {
                 self.dead_ports[port as usize] = false;
             }
+        }
+        self.refresh_routing_tables();
+        Ok(())
+    }
+
+    /// Cut every healthy trunk incident to `switch` *now*, atomically: the
+    /// topology degrades in one step ([`Topology::fail_switch`]) and then
+    /// every incident directed trunk port dies exactly as in
+    /// [`Simulator::fail_link`] — queues drained and counted, frames
+    /// mid-serialisation lost with their cables.  The switch itself (and
+    /// its access links) survives; repairs splice trunks back one at a
+    /// time via [`Simulator::repair_link`].
+    pub fn fail_switch(&mut self, switch: SwitchId) -> RtResult<()> {
+        let cut = self.topology.fail_switch(switch)?;
+        let now = self.now();
+        for &(a, b) in &cut {
+            self.kill_trunk_ports(a, b, now);
         }
         self.refresh_routing_tables();
         Ok(())
@@ -817,6 +886,7 @@ impl Simulator {
         let event = match fault {
             LinkFault::Fail { from, to } => Event::FailTrunk { from, to },
             LinkFault::Repair { from, to } => Event::RepairTrunk { from, to },
+            LinkFault::FailSwitch { switch } => Event::FailSwitch { switch },
         };
         self.schedule_event(at, event);
         Ok(())
@@ -846,7 +916,7 @@ impl Simulator {
                 Some(SimTime::from_nanos(data.stamp.absolute_deadline)),
                 Some(data.stamp.channel),
             )),
-            Frame::Request(_) | Frame::Response(_) | Frame::Teardown(_) => {
+            Frame::Request(_) | Frame::Response(_) | Frame::Teardown(_) | Frame::Reservation(_) => {
                 // Control frames ride the RT queue with an immediate
                 // deadline so that channel management is never starved.
                 Ok((TrafficClass::RealTime, None, None))
@@ -859,6 +929,9 @@ impl Simulator {
     fn resolve_dest(&self, dst: MacAddr) -> FrameDest {
         if dst == self.switch_mac {
             return FrameDest::ControlPlane;
+        }
+        if let Some(&switch) = self.switch_macs.get(&dst) {
+            return FrameDest::Switch { switch };
         }
         match self.forwarding.get(&dst) {
             Some(&node) => {
@@ -898,6 +971,9 @@ impl Simulator {
         let dest = self.resolve_dest(eth.dst);
         let wire_bytes = eth.wire_bytes();
         let id = FrameId(self.frames.len() as u64);
+        if Self::is_control_record(class, channel) {
+            self.stats.record_control_frame();
+        }
         self.frames.push(FrameRecord {
             eth,
             class,
@@ -909,6 +985,14 @@ impl Simulator {
             wire_bytes,
         });
         id
+    }
+
+    /// `true` if a frame of this classification is control-plane traffic:
+    /// real-time class without a data channel (establishment, reservation
+    /// and tear-down frames; RT data always carries its channel id).
+    #[inline]
+    fn is_control_record(class: TrafficClass, channel: Option<ChannelId>) -> bool {
+        class == TrafficClass::RealTime && channel.is_none()
     }
 
     /// One checked gate for every injection path: the entry point must be an
@@ -993,6 +1077,36 @@ impl Simulator {
         self.validate_injection(to, at)?;
         let id = self.register_frame(eth, NodeId::SWITCH, at)?;
         self.schedule_event(at, Event::EnqueueAtSwitch { to, frame: id });
+        Ok(id)
+    }
+
+    /// Inject a frame originated by the control plane of a *specific*
+    /// switch: it enters that switch's forwarding at time `at` and is
+    /// routed by its destination MAC — to an attached node, or to another
+    /// switch's control-plane address, crossing (and queueing on) every
+    /// trunk in between.  This is the transport of the distributed
+    /// reservation protocol: a probe of a five-trunk route really costs
+    /// five store-and-forward traversals of wire time.
+    pub fn inject_at_switch(
+        &mut self,
+        at_switch: SwitchId,
+        eth: EthernetFrame,
+        at: SimTime,
+    ) -> RtResult<FrameId> {
+        if self.dense_next_hop.index_of(at_switch).is_none() {
+            return Err(RtError::Config(format!("unknown switch {at_switch}")));
+        }
+        if at < self.now() {
+            return Err(Self::past_injection_error(at, self.now()));
+        }
+        let id = self.register_frame(eth, NodeId::SWITCH, at)?;
+        self.schedule_event(
+            at,
+            Event::ArriveAtSwitch {
+                switch: at_switch,
+                frame: id,
+            },
+        );
         Ok(id)
     }
 
@@ -1132,14 +1246,35 @@ impl Simulator {
                 let channel = record.channel;
                 match record.dest {
                     FrameDest::ControlPlane => {
-                        // Control-plane traffic: deliver at the managing
-                        // switch, forward over trunks towards it from
-                        // anywhere else.
-                        if at == self.manager_index {
-                            self.deliver(frame, NodeId::SWITCH, now);
+                        // Generic control-plane traffic.  Distributed
+                        // placement: the first switch to see the frame runs
+                        // a manager and consumes it.  Central placement:
+                        // deliver at the managing switch, forward over
+                        // trunks towards it from anywhere else.
+                        if self.distributed_control || at == self.manager_index {
+                            let switch = self.dense_next_hop.switch_at(at);
+                            self.deliver_to_switch(frame, switch, now);
                         } else if let Some(port) = self
                             .dense_next_hop
                             .next_hop_index(at, self.manager_index)
+                            .and_then(|next| self.trunk_port(at, next))
+                        {
+                            self.enqueue_at_port(frame, port);
+                            self.try_start_tx(now, port);
+                        } else {
+                            self.stats.record_unroutable();
+                        }
+                    }
+                    FrameDest::Switch { switch: target } => {
+                        // Switch-to-switch control traffic (reservation
+                        // frames): deliver at the addressed switch, forward
+                        // over trunks towards it from anywhere else.
+                        if at == target {
+                            let switch = self.dense_next_hop.switch_at(at);
+                            self.deliver_to_switch(frame, switch, now);
+                        } else if let Some(port) = self
+                            .dense_next_hop
+                            .next_hop_index(at, target)
                             .and_then(|next| self.trunk_port(at, next))
                         {
                             self.enqueue_at_port(frame, port);
@@ -1234,6 +1369,10 @@ impl Simulator {
                 let result = self.repair_link(from, to);
                 debug_assert!(result.is_ok(), "scripted RepairTrunk failed: {result:?}");
             }
+            Event::FailSwitch { switch } => {
+                let result = self.fail_switch(switch);
+                debug_assert!(result.is_ok(), "scripted FailSwitch failed: {result:?}");
+            }
         }
     }
 
@@ -1279,7 +1418,11 @@ impl Simulator {
         let Some(queued) = out.dequeue_next() else {
             return;
         };
-        let wire_bytes = self.frames[queued.frame.0 as usize].wire_bytes;
+        let record = &self.frames[queued.frame.0 as usize];
+        let wire_bytes = record.wire_bytes;
+        if Self::is_control_record(record.class, record.channel) {
+            self.stats.record_control_hop();
+        }
         let tx = self.config.link_speed.transmission_time(wire_bytes);
         let done = now + tx;
         self.ports[port as usize].set_busy_until(done);
@@ -1304,6 +1447,22 @@ impl Simulator {
     }
 
     fn deliver(&mut self, frame: FrameId, receiver: NodeId, now: SimTime) {
+        self.deliver_inner(frame, receiver, None, now);
+    }
+
+    /// Deliver a frame to a switch's control plane (`receiver` is
+    /// [`NodeId::SWITCH`]; the `switch` field says which one).
+    fn deliver_to_switch(&mut self, frame: FrameId, switch: SwitchId, now: SimTime) {
+        self.deliver_inner(frame, NodeId::SWITCH, Some(switch), now);
+    }
+
+    fn deliver_inner(
+        &mut self,
+        frame: FrameId,
+        receiver: NodeId,
+        switch: Option<SwitchId>,
+        now: SimTime,
+    ) {
         let record = &self.frames[frame.0 as usize];
         match record.class {
             TrafficClass::RealTime => {
@@ -1319,6 +1478,7 @@ impl Simulator {
         self.pending_deliveries.push(Delivery {
             frame,
             receiver,
+            switch,
             source: record.source,
             eth: record.eth.clone(),
             injected_at: record.injected_at,

@@ -127,6 +127,16 @@ pub struct SimStats {
     /// switch: the fabric forgets a channel's wire state on release, so
     /// late frames are discarded, never silently delivered.
     pub released_channel_dropped: u64,
+    /// Control-plane frames (establishment, reservation, tear-down) ever
+    /// registered with the fabric, from any injection path.  The
+    /// control-plane *overhead* of a run: under distributed admission the
+    /// two-phase reservation emits more of these than the paper's
+    /// teleport-to-the-manager model.
+    pub control_frames: u64,
+    /// Link traversals by control-plane frames: every port transmission of
+    /// a control frame counts one.  Admission latency in *real hops* — the
+    /// wire work the control plane consumed.
+    pub control_hops: u64,
     /// Total real-time deadline misses across all channels.
     pub total_deadline_misses: u64,
     /// Events whose scheduled time lay in the past and was clamped to the
@@ -214,6 +224,17 @@ impl SimStats {
     /// Record a past-time event clamped to the current simulation time.
     pub fn record_clamped(&mut self) {
         self.clamped_events += 1;
+    }
+
+    /// Record the injection of a control-plane frame.
+    pub fn record_control_frame(&mut self) {
+        self.control_frames += 1;
+    }
+
+    /// Record one link traversal by a control-plane frame.
+    #[inline]
+    pub fn record_control_hop(&mut self) {
+        self.control_hops += 1;
     }
 
     /// Record a transmission on the port with dense id `port` (hot path:

@@ -250,6 +250,35 @@ impl FabricScenario {
             })
             .collect()
     }
+
+    /// The `i`-th `(master, slave)` pair of the *hot-trunk* walk: every
+    /// pair runs from a master on switch 0 to a slave on switch 1, so every
+    /// requested channel competes for the slack of the same `sw0 <-> sw1`
+    /// trunk.  This is the contention workload the two-phase reservation
+    /// protocol is sized against: size `count` beyond the trunk's capacity
+    /// and the later requests must be turned away with their partial
+    /// reservations rolled back — under either control-plane placement,
+    /// with the identical accepted prefix.
+    pub fn hot_trunk_pair(&self, i: u64) -> (NodeId, NodeId) {
+        assert!(self.switches >= 2, "a hot trunk needs two switches");
+        (self.master(0, i), self.slave(1, i))
+    }
+
+    /// Generate `count` channel requests over the
+    /// [`FabricScenario::hot_trunk_pair`] walk — all contending for the
+    /// same trunk's slack.
+    pub fn hot_trunk_requests(&self, count: u64, spec: RtChannelSpec) -> Vec<ChannelRequest> {
+        (0..count)
+            .map(|i| {
+                let (source, destination) = self.hot_trunk_pair(i);
+                ChannelRequest {
+                    source,
+                    destination,
+                    spec,
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -303,6 +332,24 @@ mod tests {
             assert!(reqs
                 .iter()
                 .any(|r| t.switch_of(r.source) == Some(SwitchId::new(s))));
+        }
+    }
+
+    #[test]
+    fn hot_trunk_requests_all_contend_for_one_trunk() {
+        let f = FabricScenario::ring(4, 2, 2);
+        let t = f.topology();
+        let reqs = f.hot_trunk_requests(16, RtChannelSpec::paper_default());
+        assert_eq!(reqs.len(), 16);
+        for r in &reqs {
+            assert_eq!(t.switch_of(r.source), Some(SwitchId::new(0)));
+            assert_eq!(t.switch_of(r.destination), Some(SwitchId::new(1)));
+            // The shortest route is the direct sw0 -> sw1 trunk.
+            let route = t.route(r.source, r.destination).unwrap();
+            assert!(route.contains(&HopLink::Trunk {
+                from: SwitchId::new(0),
+                to: SwitchId::new(1)
+            }));
         }
     }
 

@@ -63,8 +63,42 @@ impl MacAddr {
     }
 
     /// The MAC address used for the switch in simulated networks.
+    ///
+    /// This is the *generic* switch address: a node addressing its control
+    /// frames here reaches "the control plane", wherever it runs — the
+    /// managing switch under central management, the node's access switch
+    /// under distributed management.  Switch-to-switch control traffic uses
+    /// the per-switch [`MacAddr::for_switch_id`] addresses instead.
     pub const fn for_switch() -> Self {
         MacAddr([0x02, 0xff, 0xff, 0xff, 0xff, 0xfe])
+    }
+
+    /// The per-switch control-plane MAC address of one specific switch,
+    /// derived deterministically from its id.  Distinct from every
+    /// [`MacAddr::for_node`] address (`02:00:…`) and from the generic
+    /// [`MacAddr::for_switch`] address (`02:ff:…`).
+    pub const fn for_switch_id(switch: crate::topology::SwitchId) -> Self {
+        let s = switch.get();
+        MacAddr([
+            0x02,
+            0xfe,
+            ((s >> 24) & 0xff) as u8,
+            ((s >> 16) & 0xff) as u8,
+            ((s >> 8) & 0xff) as u8,
+            (s & 0xff) as u8,
+        ])
+    }
+
+    /// The switch id a [`MacAddr::for_switch_id`] address encodes, or `None`
+    /// for any other address.
+    pub const fn switch_id(self) -> Option<crate::topology::SwitchId> {
+        let o = self.0;
+        if o[0] != 0x02 || o[1] != 0xfe {
+            return None;
+        }
+        Some(crate::topology::SwitchId::new(
+            ((o[2] as u32) << 24) | ((o[3] as u32) << 16) | ((o[4] as u32) << 8) | (o[5] as u32),
+        ))
     }
 
     /// `true` if this is the broadcast address.

@@ -76,6 +76,11 @@ pub const RT_FRAME_TYPE_RESPONSE: u8 = 0x02;
 /// the paper, needed for dynamic channel removal).
 pub const RT_FRAME_TYPE_TEARDOWN: u8 = 0x03;
 
+/// Frame-type discriminator: switch-to-switch reservation traffic of the
+/// distributed control plane (probe / reserve / rollback / confirm /
+/// release), an extension beyond the paper's centralised management.
+pub const RT_FRAME_TYPE_RESERVATION: u8 = 0x04;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,4 +37,4 @@ pub use router::{
     TreeRouter,
 };
 pub use time::{Duration, LinkSpeed, SimTime, Slots};
-pub use topology::{HopLink, SwitchId, Topology};
+pub use topology::{HopLink, ManagerPlacement, SwitchId, Topology};

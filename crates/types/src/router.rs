@@ -620,9 +620,12 @@ impl Router for EcmpRouter {
     }
 }
 
-/// Breadth-first shortest switch path from `from` to `to` that avoids
-/// `banned_nodes` and the *directed* `banned_edges`, over sorted adjacency
-/// (deterministic: the lexicographically smallest shortest path wins).
+/// Cheapest switch path from `from` to `to` that avoids `banned_nodes` and
+/// the *directed* `banned_edges` — the one shared search of
+/// [`Topology::cheapest_predecessors_banned`] (BFS on uniform costs, byte
+/// for byte the historical behaviour; deterministic Dijkstra on weighted
+/// trunks), so the routers and `Topology`'s own paths can never disagree on
+/// tie-breaks.
 fn bfs_switch_path(
     topology: &Topology,
     from: SwitchId,
@@ -633,23 +636,8 @@ fn bfs_switch_path(
     if from == to {
         return Some(vec![from]);
     }
-    let mut predecessor: BTreeMap<SwitchId, SwitchId> = BTreeMap::new();
-    let mut seen = std::collections::BTreeSet::from([from]);
-    let mut queue = std::collections::VecDeque::from([from]);
-    while let Some(current) = queue.pop_front() {
-        if current == to {
-            break;
-        }
-        for next in topology.neighbours(current) {
-            if banned_nodes.contains(&next) || banned_edges.contains(&(current, next)) {
-                continue;
-            }
-            if seen.insert(next) {
-                predecessor.insert(next, current);
-                queue.push_back(next);
-            }
-        }
-    }
+    let predecessor =
+        topology.cheapest_predecessors_banned(from, Some(to), banned_nodes, banned_edges);
     if !predecessor.contains_key(&to) {
         return None;
     }
@@ -661,6 +649,14 @@ fn bfs_switch_path(
     }
     path.reverse();
     Some(path)
+}
+
+/// The summed trunk cost of a switch path (1 per trunk on unweighted
+/// fabrics, so ordering by cost coincides with ordering by length there).
+fn switch_path_cost(topology: &Topology, path: &[SwitchId]) -> u64 {
+    path.windows(2)
+        .map(|w| topology.trunk_cost(w[0], w[1]).unwrap_or(1))
+        .sum()
 }
 
 /// K-shortest-path routing with admission fallback: the primary route is
@@ -708,9 +704,11 @@ impl KShortestRouter {
             return Vec::new();
         };
         let mut paths = vec![first];
-        // Candidates ordered by (length, lexicographic path): ascending
-        // iteration pops the best next path deterministically.
-        let mut candidates: std::collections::BTreeSet<(usize, Vec<SwitchId>)> =
+        // Candidates ordered by (cost, lexicographic path): ascending
+        // iteration pops the best next path deterministically.  On an
+        // unweighted fabric cost = trunks = length − 1, so the order is the
+        // historical (length, path) one, byte for byte.
+        let mut candidates: std::collections::BTreeSet<(u64, Vec<SwitchId>)> =
             std::collections::BTreeSet::new();
         while paths.len() < self.k {
             let prev = paths.last().expect("paths starts non-empty").clone();
@@ -734,7 +732,7 @@ impl KShortestRouter {
                     let mut total: Vec<SwitchId> = root[..i].to_vec();
                     total.extend(spur_path);
                     if !paths.contains(&total) {
-                        candidates.insert((total.len(), total));
+                        candidates.insert((switch_path_cost(topology, &total), total));
                     }
                 }
             }

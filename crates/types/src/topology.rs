@@ -23,6 +23,27 @@ use std::fmt;
 use crate::error::{RtError, RtResult};
 use crate::ids::NodeId;
 
+/// Where the fabric's RT channel management software runs.
+///
+/// The paper centralises channel management in one switch; the distributed
+/// placement gives every switch its own manager owning the slack ledgers of
+/// its local links, with admission running as a two-phase reservation in
+/// control frames that traverse the fabric.  The placement is carried on the
+/// [`Topology`] because the *wire* needs it too: it decides where a control
+/// frame addressed to the generic switch MAC is delivered — the managing
+/// switch (central) or the first switch that receives it (distributed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ManagerPlacement {
+    /// All control frames are forwarded to one managing switch (the lowest
+    /// switch id), which runs the only channel manager.  The paper's model.
+    #[default]
+    Central,
+    /// Every switch runs its own channel manager; control frames addressed
+    /// to the generic switch MAC are consumed by the receiving node's access
+    /// switch, and switch-to-switch reservation frames hop the fabric.
+    Distributed,
+}
+
 /// Identifier of a switch in a multi-switch topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SwitchId(pub u32);
@@ -96,6 +117,13 @@ pub struct Topology {
     /// Trunks currently failed, canonical `(a, b)` with `a < b`.  Disjoint
     /// from the adjacency; [`Topology::repair_trunk`] moves them back.
     failed: BTreeSet<(SwitchId, SwitchId)>,
+    /// Per-trunk routing cost, canonical `(a, b)` with `a < b`.  Only
+    /// non-default costs are stored; every absent trunk costs 1 (so an
+    /// all-default topology routes by hop count, byte for byte as before).
+    /// Costs survive [`Topology::fail_trunk`] and are restored on repair.
+    costs: BTreeMap<(SwitchId, SwitchId), u64>,
+    /// Where the channel management software runs (see [`ManagerPlacement`]).
+    placement: ManagerPlacement,
 }
 
 impl Topology {
@@ -243,6 +271,70 @@ impl Topology {
         Ok(())
     }
 
+    /// Connect two switches with a full-duplex trunk of the given routing
+    /// cost (`cost >= 1`; cost 1 is the hop-count default, so an all-ones
+    /// fabric routes exactly as an unweighted one).  Cost-aware routers
+    /// ([`crate::router::ShortestPathRouter`], [`crate::router::KShortestRouter`])
+    /// minimise the summed trunk cost instead of the trunk count.
+    pub fn add_trunk_weighted(&mut self, a: SwitchId, b: SwitchId, cost: u64) -> RtResult<()> {
+        if cost == 0 {
+            return Err(RtError::Config(format!(
+                "trunk {a} <-> {b}: cost must be at least 1"
+            )));
+        }
+        self.add_trunk(a, b)?;
+        if cost != 1 {
+            self.costs.insert((a.min(b), a.max(b)), cost);
+        }
+        Ok(())
+    }
+
+    /// Change the routing cost of an existing trunk (healthy or failed —
+    /// the cost survives a failure and is restored with the repair).
+    pub fn set_trunk_cost(&mut self, a: SwitchId, b: SwitchId, cost: u64) -> RtResult<()> {
+        if cost == 0 {
+            return Err(RtError::Config(format!(
+                "trunk {a} <-> {b}: cost must be at least 1"
+            )));
+        }
+        let key = (a.min(b), a.max(b));
+        if !self.has_trunk(a, b) && !self.failed.contains(&key) {
+            return Err(RtError::Config(format!("no trunk {a} <-> {b}")));
+        }
+        if cost == 1 {
+            self.costs.remove(&key);
+        } else {
+            self.costs.insert(key, cost);
+        }
+        Ok(())
+    }
+
+    /// The routing cost of the (undirected) trunk between `a` and `b`, or
+    /// `None` when no healthy trunk connects them.
+    pub fn trunk_cost(&self, a: SwitchId, b: SwitchId) -> Option<u64> {
+        if !self.has_trunk(a, b) {
+            return None;
+        }
+        Some(self.costs.get(&(a.min(b), a.max(b))).copied().unwrap_or(1))
+    }
+
+    /// `true` if every healthy trunk has the default cost 1, in which case
+    /// cost-aware routing degenerates to plain hop-count BFS.
+    pub fn has_uniform_cost(&self) -> bool {
+        self.costs.iter().all(|(&(a, b), _)| !self.has_trunk(a, b))
+    }
+
+    /// Where the channel management software runs.  Defaults to
+    /// [`ManagerPlacement::Central`], the paper's model.
+    pub fn manager_placement(&self) -> ManagerPlacement {
+        self.placement
+    }
+
+    /// Select the channel-management placement (see [`ManagerPlacement`]).
+    pub fn set_manager_placement(&mut self, placement: ManagerPlacement) {
+        self.placement = placement;
+    }
+
     /// Fail a trunk: the link disappears from the adjacency (routing,
     /// connectivity and the fingerprint all see the degraded graph) and is
     /// remembered for [`Topology::repair_trunk`].  Rejects unknown and
@@ -282,6 +374,32 @@ impl Topology {
         self.adjacency.entry(a).or_default().insert(b);
         self.adjacency.entry(b).or_default().insert(a);
         Ok(())
+    }
+
+    /// Fail a *switch*: every healthy trunk incident to it is failed
+    /// atomically (the validation runs before the first mutation, so either
+    /// all incident trunks fail or none do).  The switch itself stays in the
+    /// topology — its access links never fail — but it is unreachable over
+    /// trunks until repairs splice it back in, one trunk at a time via
+    /// [`Topology::repair_trunk`].  Returns the trunks that were failed,
+    /// each as `(switch, neighbour)`.
+    pub fn fail_switch(&mut self, switch: SwitchId) -> RtResult<Vec<(SwitchId, SwitchId)>> {
+        if !self.switches.contains(&switch) {
+            return Err(RtError::Config(format!("unknown switch {switch}")));
+        }
+        let neighbours: Vec<SwitchId> = self.neighbours(switch).collect();
+        if neighbours.is_empty() {
+            return Err(RtError::Config(format!(
+                "switch {switch} has no healthy incident trunk to fail"
+            )));
+        }
+        let mut cut = Vec::with_capacity(neighbours.len());
+        for n in neighbours {
+            self.fail_trunk(switch, n)
+                .expect("incident trunks are healthy by construction");
+            cut.push((switch, n));
+        }
+        Ok(cut)
     }
 
     /// The currently failed trunks, each reported once with `from < to`.
@@ -333,10 +451,23 @@ impl Topology {
             h = mix(h, u64::from(n.get()));
             h = mix(h, u64::from(s.0));
         }
+        let mut trunk_costs = Vec::new();
         for (a, b) in self.trunks() {
             h = mix(h, 3);
             h = mix(h, u64::from(a.0));
             h = mix(h, u64::from(b.0));
+            let cost = self.costs.get(&(a, b)).copied().unwrap_or(1);
+            if cost != 1 {
+                trunk_costs.push((a, b, cost));
+            }
+        }
+        // Costs are mixed separately (and only when non-default) so that
+        // all-default topologies keep their historical fingerprints.
+        for (a, b, cost) in trunk_costs {
+            h = mix(h, 4);
+            h = mix(h, u64::from(a.0));
+            h = mix(h, u64::from(b.0));
+            h = mix(h, cost);
         }
         h
     }
@@ -401,10 +532,12 @@ impl Topology {
         seen.len() == self.switches.len()
     }
 
-    /// A shortest switch-to-switch path (inclusive of both endpoints), or
-    /// `None` if the switches are not connected.  BFS over the sorted
-    /// adjacency, so the result is deterministic; on a tree it is the unique
-    /// path.
+    /// A cheapest switch-to-switch path (inclusive of both endpoints), or
+    /// `None` if the switches are not connected.  With all-default trunk
+    /// costs this is BFS over the sorted adjacency (byte for byte the
+    /// historical hop-count behaviour); with weighted trunks it is a
+    /// deterministic Dijkstra minimising the summed cost.  On a tree it is
+    /// the unique path either way.
     pub fn switch_path(&self, from: SwitchId, to: SwitchId) -> Option<Vec<SwitchId>> {
         if from == to {
             return Some(vec![from]);
@@ -412,22 +545,7 @@ impl Topology {
         if !self.switches.contains(&from) || !self.switches.contains(&to) {
             return None;
         }
-        let mut predecessor: BTreeMap<SwitchId, SwitchId> = BTreeMap::new();
-        let mut queue = VecDeque::from([from]);
-        let mut seen = BTreeSet::from([from]);
-        while let Some(current) = queue.pop_front() {
-            if current == to {
-                break;
-            }
-            if let Some(neighbours) = self.adjacency.get(&current) {
-                for &next in neighbours {
-                    if seen.insert(next) {
-                        predecessor.insert(next, current);
-                        queue.push_back(next);
-                    }
-                }
-            }
-        }
+        let predecessor = self.cheapest_predecessors(from, Some(to));
         if !predecessor.contains_key(&to) {
             return None;
         }
@@ -439,6 +557,94 @@ impl Topology {
         }
         path.reverse();
         Some(path)
+    }
+
+    /// Predecessor map of cheapest paths out of `from` (optionally stopping
+    /// early once `until` is settled): BFS when every trunk costs 1, a
+    /// deterministic Dijkstra (frontier popped in `(distance, switch id)`
+    /// order, neighbours relaxed in ascending id, ties keep the first
+    /// finder) otherwise.
+    fn cheapest_predecessors(
+        &self,
+        from: SwitchId,
+        until: Option<SwitchId>,
+    ) -> BTreeMap<SwitchId, SwitchId> {
+        self.cheapest_predecessors_banned(from, until, &BTreeSet::new(), &BTreeSet::new())
+    }
+
+    /// The ban-aware form of [`Topology::cheapest_predecessors`], shared
+    /// with the k-shortest router (Yen's spur searches ban root switches
+    /// and the *directed* edges of already-accepted paths).  One
+    /// implementation carries both so the tie-break rules — which decide
+    /// which equal-cost path the whole stack agrees on — can never drift
+    /// apart between plain routing and candidate enumeration.
+    pub(crate) fn cheapest_predecessors_banned(
+        &self,
+        from: SwitchId,
+        until: Option<SwitchId>,
+        banned_nodes: &BTreeSet<SwitchId>,
+        banned_edges: &BTreeSet<(SwitchId, SwitchId)>,
+    ) -> BTreeMap<SwitchId, SwitchId> {
+        let banned = |current: SwitchId, next: SwitchId| {
+            banned_nodes.contains(&next) || banned_edges.contains(&(current, next))
+        };
+        let mut predecessor: BTreeMap<SwitchId, SwitchId> = BTreeMap::new();
+        if self.has_uniform_cost() {
+            let mut queue = VecDeque::from([from]);
+            let mut seen = BTreeSet::from([from]);
+            while let Some(current) = queue.pop_front() {
+                if until == Some(current) {
+                    break;
+                }
+                if let Some(neighbours) = self.adjacency.get(&current) {
+                    for &next in neighbours {
+                        if banned(current, next) {
+                            continue;
+                        }
+                        if seen.insert(next) {
+                            predecessor.insert(next, current);
+                            queue.push_back(next);
+                        }
+                    }
+                }
+            }
+            return predecessor;
+        }
+        let mut dist: BTreeMap<SwitchId, u64> = BTreeMap::from([(from, 0)]);
+        let mut frontier: BTreeSet<(u64, SwitchId)> = BTreeSet::from([(0, from)]);
+        let mut settled: BTreeSet<SwitchId> = BTreeSet::new();
+        while let Some(&(d, current)) = frontier.iter().next() {
+            frontier.remove(&(d, current));
+            if !settled.insert(current) {
+                continue;
+            }
+            if until == Some(current) {
+                break;
+            }
+            if let Some(neighbours) = self.adjacency.get(&current) {
+                for &next in neighbours {
+                    if settled.contains(&next) || banned(current, next) {
+                        continue;
+                    }
+                    let cost = self
+                        .costs
+                        .get(&(current.min(next), current.max(next)))
+                        .copied()
+                        .unwrap_or(1);
+                    let candidate = d + cost;
+                    let better = dist.get(&next).is_none_or(|&known| candidate < known);
+                    if better {
+                        if let Some(&known) = dist.get(&next) {
+                            frontier.remove(&(known, next));
+                        }
+                        dist.insert(next, candidate);
+                        predecessor.insert(next, current);
+                        frontier.insert((candidate, next));
+                    }
+                }
+            }
+        }
+        predecessor
     }
 
     /// The directed links an RT channel from `source` to `destination`
@@ -476,28 +682,17 @@ impl Topology {
 
     /// The next-hop forwarding table of the trunk graph: for every ordered
     /// pair of distinct connected switches `(at, towards)`, the neighbour of
-    /// `at` on a shortest path towards `towards` (the unique path on a
-    /// tree).  Deterministic: BFS over sorted adjacency.  This is O(V·E);
-    /// routers cache the result per topology fingerprint so the simulator
-    /// does not recompute it per construction — prefer
+    /// `at` on a cheapest path towards `towards` (the unique path on a
+    /// tree).  Deterministic: BFS over sorted adjacency with all-default
+    /// trunk costs, a deterministic Dijkstra with weighted trunks.  This is
+    /// O(V·E log V); routers cache the result per topology fingerprint so
+    /// the simulator does not recompute it per construction — prefer
     /// [`crate::router::Router::next_hop_table`].
     pub fn next_hop_table(&self) -> BTreeMap<(SwitchId, SwitchId), SwitchId> {
         let mut table = BTreeMap::new();
         for &from in &self.switches {
-            // One BFS per source switch.
-            let mut predecessor: BTreeMap<SwitchId, SwitchId> = BTreeMap::new();
-            let mut seen = BTreeSet::from([from]);
-            let mut queue = VecDeque::from([from]);
-            while let Some(current) = queue.pop_front() {
-                if let Some(neighbours) = self.adjacency.get(&current) {
-                    for &next in neighbours {
-                        if seen.insert(next) {
-                            predecessor.insert(next, current);
-                            queue.push_back(next);
-                        }
-                    }
-                }
-            }
+            // One search per source switch.
+            let predecessor = self.cheapest_predecessors(from, None);
             for &to in &self.switches {
                 if to == from || !predecessor.contains_key(&to) {
                     continue;

@@ -50,7 +50,7 @@ fn main() {
             );
             *frame
         }
-        SwitchAction::SendResponse { .. } => unreachable!("first channel is feasible"),
+        other => unreachable!("first channel is feasible, got {other:?}"),
     };
 
     // (3) The destination answers with a ResponseFrame.
@@ -104,6 +104,7 @@ fn main() {
                     frame.verdict.is_accepted()
                 );
             }
+            other => unreachable!("a star switch only forwards or answers, got {other:?}"),
         }
     }
     println!("\nwith SDPS and C=3, d_iu=20, a single uplink fits exactly 6 channels (6*3 <= 20).");

@@ -1,0 +1,553 @@
+//! Deterministic regressions for the distributed control plane: per-switch
+//! managers, two-phase reservation over the wire, rollback hygiene,
+//! fail-over driven by the switches adjacent to the cut, and whole-switch
+//! failures.
+//!
+//! The randomized central-vs-distributed equivalence property (32 seeds)
+//! lives in `tests/fabric_properties.rs`; these are the hand-picked
+//! scenarios with exact expectations.
+
+use switched_rt_ethernet::core::{MultiHopDps, RtChannelSpec, RtNetwork, RtNetworkBuilder};
+use switched_rt_ethernet::types::{
+    Duration, HopLink, KShortestRouter, ManagerPlacement, NodeId, ShortestPathRouter, SimTime,
+    Slots, SwitchId, Topology,
+};
+
+fn spec() -> RtChannelSpec {
+    RtChannelSpec::paper_default()
+}
+
+fn distributed(topology: Topology) -> RtNetworkBuilder {
+    RtNetwork::builder()
+        .topology(topology)
+        .router(ShortestPathRouter::new())
+        .multihop_dps(MultiHopDps::Asymmetric)
+        .distributed_control()
+}
+
+#[test]
+fn distributed_control_requires_a_fabric() {
+    assert!(RtNetwork::builder()
+        .star(4)
+        .distributed_control()
+        .build()
+        .is_err());
+    assert!(distributed(Topology::line(3, 2)).build().is_ok());
+}
+
+#[test]
+fn distributed_establishment_crosses_the_fabric_and_meets_the_bound() {
+    let mut net = distributed(Topology::line(3, 2)).build().unwrap();
+    // node 0 (sw0) -> node 5 (sw2): 4 link hops, coordinator sw0, probe and
+    // reserve really cross both trunks.
+    let tx = net
+        .establish_channel(NodeId::new(0), NodeId::new(5), spec())
+        .unwrap()
+        .expect("an empty fabric accepts the first channel");
+    let route = net.manager().channel_route(tx.id).unwrap();
+    assert_eq!(route.path.len(), 4);
+    assert_eq!(
+        route.link_deadlines.iter().map(|s| s.get()).sum::<u64>(),
+        spec().deadline.get()
+    );
+    // The reservation protocol consumed real wire time and real hops.
+    assert!(net.now() > SimTime::ZERO);
+    let stats = net.simulator().stats();
+    assert!(
+        stats.control_frames >= 6,
+        "probe/reserve/confirm legs expected, saw {} control frames",
+        stats.control_frames
+    );
+    assert!(stats.control_hops > stats.control_frames / 2);
+    // Slack is held on every hop, owned by the right switches.
+    assert_eq!(net.manager().link_load(HopLink::Uplink(NodeId::new(0))), 1);
+    assert_eq!(
+        net.manager().link_load(HopLink::Trunk {
+            from: SwitchId::new(0),
+            to: SwitchId::new(1)
+        }),
+        1
+    );
+    assert_eq!(
+        net.manager().link_load(HopLink::Downlink(NodeId::new(5))),
+        1
+    );
+
+    // Traffic on the admitted channel meets the hop-aware bound.
+    let start = net.now() + Duration::from_millis(1);
+    net.send_periodic(NodeId::new(0), tx.id, 20, 1000, start)
+        .unwrap();
+    net.run_to_completion().unwrap();
+    assert_eq!(net.received_messages().len(), 20 * 3);
+    assert!(net.simulator().stats().all_deadlines_met());
+    let bound = net.channel_deadline_bound(tx.id).unwrap();
+    let worst = net.simulator().stats().channel(tx.id).unwrap().max_latency;
+    assert!(worst <= bound, "worst {worst} exceeds bound {bound}");
+}
+
+#[test]
+fn same_switch_channels_never_leave_the_access_switch() {
+    let mut net = distributed(Topology::line(3, 2)).build().unwrap();
+    // node 2 and node 3 both live on sw1: no reservation frame may cross a
+    // trunk.
+    let tx = net
+        .establish_channel(NodeId::new(2), NodeId::new(3), spec())
+        .unwrap()
+        .expect("same-switch channel admitted");
+    assert_eq!(net.manager().channel_route(tx.id).unwrap().path.len(), 2);
+    for (a, b) in [(0u32, 1u32), (1, 2)] {
+        for (f, t) in [(a, b), (b, a)] {
+            assert!(
+                net.simulator()
+                    .stats()
+                    .hop_link(HopLink::Trunk {
+                        from: SwitchId::new(f),
+                        to: SwitchId::new(t),
+                    })
+                    .is_none(),
+                "trunk {f}->{t} must stay idle for a same-switch admission"
+            );
+        }
+    }
+}
+
+/// Drive an identical request sequence through the central and the
+/// distributed control planes; the admitted sets must match exactly —
+/// ids, routes and per-link deadline splits — and the rejections too.
+#[test]
+fn central_and_distributed_admit_the_identical_channel_set() {
+    let requests: Vec<(u32, u32)> = (0..24u32).map(|i| (i % 4, 8 + (i % 8))).collect();
+    let drive = |placement: ManagerPlacement| {
+        let mut net = RtNetwork::builder()
+            .topology(Topology::ring(4, 4))
+            .router(ShortestPathRouter::new())
+            .multihop_dps(MultiHopDps::Asymmetric)
+            .manager_placement(placement)
+            .build()
+            .unwrap();
+        let mut admitted = Vec::new();
+        for &(src, dst) in &requests {
+            if let Some(tx) = net
+                .establish_channel(NodeId::new(src), NodeId::new(dst), spec())
+                .unwrap()
+            {
+                let route = net.manager().channel_route(tx.id).unwrap();
+                admitted.push((tx.id, route.path.clone(), route.link_deadlines.clone()));
+            }
+        }
+        (admitted, net.manager().channel_count())
+    };
+    let (central, central_count) = drive(ManagerPlacement::Central);
+    let (dist, dist_count) = drive(ManagerPlacement::Distributed);
+    assert!(!central.is_empty(), "the workload must admit something");
+    assert!(
+        central.len() < requests.len(),
+        "the workload must also reject something"
+    );
+    assert_eq!(central, dist, "admitted sets must match the oracle exactly");
+    assert_eq!(central_count, dist_count);
+}
+
+/// The two worlds must also *deliver* identically: same channel ids mean
+/// byte-for-byte identical data frames, and identical admission means
+/// identical wire schedules.
+#[test]
+fn central_and_distributed_deliver_data_byte_for_byte() {
+    let drive = |placement: ManagerPlacement| {
+        let mut net = RtNetwork::builder()
+            .topology(Topology::ring(4, 2))
+            .router(ShortestPathRouter::new())
+            .multihop_dps(MultiHopDps::Symmetric)
+            .manager_placement(placement)
+            .build()
+            .unwrap();
+        let mut admitted = Vec::new();
+        for (src, dst) in [(0u32, 7u32), (1, 4), (2, 5)] {
+            if let Some(tx) = net
+                .establish_channel(NodeId::new(src), NodeId::new(dst), spec())
+                .unwrap()
+            {
+                admitted.push((NodeId::new(src), tx.id));
+            }
+        }
+        // A fixed absolute timeline, safely after both control planes are
+        // done establishing, so the data world is identical by construction.
+        let start = SimTime::from_millis(50);
+        assert!(net.now() < start);
+        for &(src, id) in &admitted {
+            net.send_periodic(src, id, 10, 700, start).unwrap();
+        }
+        net.run_to_completion().unwrap();
+        net.received_messages()
+            .iter()
+            .map(|m| {
+                (
+                    m.receiver,
+                    m.message.channel,
+                    m.message.payload.clone(),
+                    m.delivered_at.as_nanos(),
+                    m.missed_deadline,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let central = drive(ManagerPlacement::Central);
+    let dist = drive(ManagerPlacement::Distributed);
+    assert!(!central.is_empty());
+    assert_eq!(
+        central, dist,
+        "data delivery must be byte-for-byte identical"
+    );
+}
+
+/// A failed reservation must leave no slack behind — on any switch of the
+/// attempted route.
+#[test]
+fn rejected_requests_leak_no_slack_anywhere() {
+    let mut net = distributed(Topology::line(3, 1)).build().unwrap();
+    // Saturate the two trunks: every channel crosses sw0 -> sw1 -> sw2
+    // (4 hops, 10 slots per hop symmetric-ish under asymmetric first fit).
+    let mut accepted = Vec::new();
+    for _ in 0..12 {
+        if let Some(tx) = net
+            .establish_channel(NodeId::new(0), NodeId::new(2), spec())
+            .unwrap()
+        {
+            accepted.push(tx.id);
+        }
+    }
+    assert!(!accepted.is_empty(), "an empty fabric admits something");
+    assert!(accepted.len() < 12, "the trunks must saturate");
+    // Link loads equal the accepted channel count exactly: the rejected
+    // attempts' probes and reserves all rolled back.
+    for link in [
+        HopLink::Uplink(NodeId::new(0)),
+        HopLink::Trunk {
+            from: SwitchId::new(0),
+            to: SwitchId::new(1),
+        },
+        HopLink::Trunk {
+            from: SwitchId::new(1),
+            to: SwitchId::new(2),
+        },
+        HopLink::Downlink(NodeId::new(2)),
+    ] {
+        assert_eq!(
+            net.manager().link_load(link),
+            accepted.len(),
+            "leaked reservation on {link}"
+        );
+    }
+}
+
+#[test]
+fn destination_rejection_rolls_the_whole_path_back() {
+    let mut net = distributed(Topology::line(3, 2))
+        .max_incoming_channels(0)
+        .build()
+        .unwrap();
+    let outcome = net
+        .establish_channel(NodeId::new(0), NodeId::new(5), spec())
+        .unwrap();
+    assert!(outcome.is_none(), "the destination refuses every channel");
+    assert_eq!(net.manager().channel_count(), 0);
+    assert_eq!(net.manager().pending_count(), 0);
+    for link in [
+        HopLink::Uplink(NodeId::new(0)),
+        HopLink::Trunk {
+            from: SwitchId::new(0),
+            to: SwitchId::new(1),
+        },
+        HopLink::Trunk {
+            from: SwitchId::new(1),
+            to: SwitchId::new(2),
+        },
+        HopLink::Downlink(NodeId::new(5)),
+    ] {
+        assert_eq!(net.manager().link_load(link), 0, "leak on {link}");
+    }
+}
+
+#[test]
+fn teardown_releases_every_hop_over_the_wire() {
+    let mut net = distributed(Topology::line(3, 2)).build().unwrap();
+    let tx = net
+        .establish_channel(NodeId::new(0), NodeId::new(5), spec())
+        .unwrap()
+        .unwrap();
+    let trunk = HopLink::Trunk {
+        from: SwitchId::new(1),
+        to: SwitchId::new(2),
+    };
+    assert_eq!(net.manager().link_load(trunk), 1);
+    net.teardown_channel(NodeId::new(0), tx.id).unwrap();
+    assert_eq!(net.manager().channel_count(), 0);
+    assert_eq!(
+        net.manager().link_load(trunk),
+        0,
+        "release pass must walk the route"
+    );
+    assert_eq!(net.layer(NodeId::new(5)).unwrap().rx_channels().count(), 0);
+}
+
+/// The acceptance scenario: a trunk cut adjacent to the *former* managing
+/// switch (sw0 hosted the central manager; under distributed control it is
+/// just another switch).  The fabric must survive with re-routes and zero
+/// deadline misses.
+#[test]
+fn trunk_cut_adjacent_to_the_former_manager_is_survived() {
+    let mut net = RtNetwork::builder()
+        .topology(Topology::ring(4, 1))
+        .router(KShortestRouter::new(3))
+        .multihop_dps(MultiHopDps::Symmetric)
+        .distributed_control()
+        .build()
+        .unwrap();
+    // node 0 (sw0) -> node 3 (sw3): 3 hops over the closing trunk, which is
+    // adjacent to sw0 — the switch that used to host the whole control
+    // plane.
+    let tx = net
+        .establish_channel(NodeId::new(0), NodeId::new(3), spec())
+        .unwrap()
+        .unwrap();
+    assert_eq!(net.manager().channel_route(tx.id).unwrap().path.len(), 3);
+
+    let report = net.fail_trunk(SwitchId::new(3), SwitchId::new(0)).unwrap();
+    assert_eq!(report.rerouted.len(), 1);
+    assert!(report.dropped.is_empty());
+    let route = net.manager().channel_route(tx.id).unwrap();
+    assert_eq!(route.path.len(), 5, "re-route goes the long way around");
+
+    // Establishment still works after the cut — through the degraded
+    // fabric, coordinated by sw1 (also adjacent to nothing special).
+    let tx2 = net
+        .establish_channel(NodeId::new(1), NodeId::new(2), spec())
+        .unwrap()
+        .expect("the degraded ring still admits");
+
+    let start = net.now() + Duration::from_millis(1);
+    net.send_periodic(NodeId::new(0), tx.id, 15, 900, start)
+        .unwrap();
+    net.send_periodic(NodeId::new(1), tx2.id, 15, 900, start)
+        .unwrap();
+    net.run_to_completion().unwrap();
+    assert_eq!(net.received_messages().len(), 2 * 15 * 3);
+    assert!(net.simulator().stats().all_deadlines_met(), "0 misses");
+    let bound = net.channel_deadline_bound(tx.id).unwrap();
+    let worst = net.simulator().stats().channel(tx.id).unwrap().max_latency;
+    assert!(worst <= bound);
+}
+
+// --- whole-switch failures (satellite: Topology::fail_switch) -------------
+
+#[test]
+fn topology_fail_switch_is_atomic() {
+    let mut t = Topology::ring(4, 1);
+    let cut = t.fail_switch(SwitchId::new(2)).unwrap();
+    assert_eq!(
+        cut,
+        vec![
+            (SwitchId::new(2), SwitchId::new(1)),
+            (SwitchId::new(2), SwitchId::new(3)),
+        ]
+    );
+    assert_eq!(t.failed_trunks().count(), 2);
+    assert!(!t.is_connected(), "sw2 is now isolated");
+    // Unknown switches and already-isolated switches are errors.
+    assert!(t.fail_switch(SwitchId::new(9)).is_err());
+    assert!(t.fail_switch(SwitchId::new(2)).is_err());
+    // Repairs splice trunks back individually.
+    t.repair_trunk(SwitchId::new(2), SwitchId::new(1)).unwrap();
+    t.repair_trunk(SwitchId::new(2), SwitchId::new(3)).unwrap();
+    assert!(t.is_connected());
+}
+
+#[test]
+fn ring_switch_failure_reroutes_through_traffic_and_drops_local_endpoints() {
+    // Ring of 4, 2 nodes per switch, central manager with k-shortest
+    // fallback: a channel *through* sw1 must re-route the long way, a
+    // channel *terminating* at sw1 keeps only its access links (which never
+    // fail) — but sw1's nodes lose all cross-switch connectivity, so such
+    // channels are dropped.
+    let mut net = RtNetwork::builder()
+        .topology(Topology::ring(4, 2))
+        .router(KShortestRouter::new(4))
+        .multihop_dps(MultiHopDps::Symmetric)
+        .build()
+        .unwrap();
+    // Through-channel: node 0 (sw0) -> node 4 (sw2), shortest via sw1.
+    let through = net
+        .establish_channel(NodeId::new(0), NodeId::new(4), spec())
+        .unwrap()
+        .unwrap();
+    assert!(net
+        .manager()
+        .channel_route(through.id)
+        .unwrap()
+        .path
+        .contains(&HopLink::Trunk {
+            from: SwitchId::new(0),
+            to: SwitchId::new(1)
+        }));
+    // Terminating channel: node 0 (sw0) -> node 2 (sw1).
+    let terminating = net
+        .establish_channel(NodeId::new(0), NodeId::new(2), spec())
+        .unwrap()
+        .unwrap();
+    // Local channel on sw1: unaffected (access links never fail).
+    let local = net
+        .establish_channel(NodeId::new(2), NodeId::new(3), spec())
+        .unwrap()
+        .unwrap();
+
+    let report = net.fail_switch(SwitchId::new(1)).unwrap();
+    assert_eq!(report.link, (SwitchId::new(1), SwitchId::new(1)));
+    assert_eq!(report.rerouted.len(), 1);
+    assert_eq!(report.rerouted[0].id, through.id);
+    assert_eq!(report.rerouted[0].path.len(), 4, "0 -> 3 -> 2 detour");
+    assert_eq!(report.dropped.len(), 1);
+    assert_eq!(report.dropped[0].id, terminating.id);
+    assert_eq!(report.unaffected, 1);
+
+    let start = net.now() + Duration::from_millis(1);
+    net.send_periodic(NodeId::new(0), through.id, 10, 800, start)
+        .unwrap();
+    net.send_periodic(NodeId::new(2), local.id, 10, 800, start)
+        .unwrap();
+    net.run_to_completion().unwrap();
+    assert_eq!(net.received_messages().len(), 2 * 10 * 3);
+    assert!(net.simulator().stats().all_deadlines_met());
+    // The dropped channel is gone end to end.
+    assert!(net
+        .send_periodic(NodeId::new(0), terminating.id, 1, 100, net.now())
+        .is_err());
+}
+
+#[test]
+fn torus_switch_failure_reroutes_everything_with_zero_misses() {
+    // 3x3 torus, 1 node per switch: fail the centre switch; channels
+    // crossing it re-route over the wrap-around trunks (k-shortest).
+    // Distributed control plane: the fail-over is driven by the four
+    // adjacent switches' ledgers.
+    let mut net = RtNetwork::builder()
+        .topology(Topology::torus(3, 3, 1))
+        .router(KShortestRouter::new(6))
+        .multihop_dps(MultiHopDps::Symmetric)
+        .distributed_control()
+        .build()
+        .unwrap();
+    // node 0 (sw0) -> node 8 (sw8, the far corner): the deterministic
+    // shortest path runs through sw2 (BFS tie-break), which is about to
+    // die.
+    let spec60 = RtChannelSpec::new(Slots::new(100), Slots::new(3), Slots::new(60)).unwrap();
+    let tx = net
+        .establish_channel(NodeId::new(0), NodeId::new(8), spec60)
+        .unwrap()
+        .unwrap();
+    let before = net.manager().channel_route(tx.id).unwrap();
+    assert!(before.path.iter().any(|l| matches!(
+        l,
+        HopLink::Trunk { from, to } if from == &SwitchId::new(2) || to == &SwitchId::new(2)
+    )));
+
+    let report = net.fail_switch(SwitchId::new(2)).unwrap();
+    assert_eq!(report.rerouted.len(), 1);
+    assert!(report.dropped.is_empty(), "the torus is redundant");
+    let after = net.manager().channel_route(tx.id).unwrap();
+    assert!(after.path.iter().all(|l| !matches!(
+        l,
+        HopLink::Trunk { from, to } if from == &SwitchId::new(2) || to == &SwitchId::new(2)
+    )));
+
+    let start = net.now() + Duration::from_millis(1);
+    net.send_periodic(NodeId::new(0), tx.id, 12, 900, start)
+        .unwrap();
+    net.run_to_completion().unwrap();
+    assert_eq!(net.received_messages().len(), 12 * 3);
+    assert!(net.simulator().stats().all_deadlines_met(), "0 misses");
+}
+
+// --- weighted links (satellite) -------------------------------------------
+
+#[test]
+fn weighted_trunks_steer_routing_and_admission() {
+    // A triangle: sw0 - sw1 direct (cost 10) vs sw0 - sw2 - sw1 (cost 1+1).
+    let mut t = Topology::new();
+    for s in 0..3 {
+        t.add_switch(SwitchId::new(s));
+    }
+    t.add_trunk_weighted(SwitchId::new(0), SwitchId::new(1), 10)
+        .unwrap();
+    t.add_trunk(SwitchId::new(0), SwitchId::new(2)).unwrap();
+    t.add_trunk(SwitchId::new(2), SwitchId::new(1)).unwrap();
+    t.attach_node(NodeId::new(0), SwitchId::new(0)).unwrap();
+    t.attach_node(NodeId::new(1), SwitchId::new(1)).unwrap();
+    assert!(!t.has_uniform_cost());
+    assert_eq!(t.trunk_cost(SwitchId::new(0), SwitchId::new(1)), Some(10));
+
+    // Cheapest path avoids the expensive direct trunk.
+    assert_eq!(
+        t.switch_path(SwitchId::new(0), SwitchId::new(1)),
+        Some(vec![SwitchId::new(0), SwitchId::new(2), SwitchId::new(1)])
+    );
+
+    // The whole stack (admission + wire) follows the cheap detour.
+    let mut net = RtNetwork::builder()
+        .topology(t)
+        .router(ShortestPathRouter::new())
+        .multihop_dps(MultiHopDps::Symmetric)
+        .distributed_control()
+        .build()
+        .unwrap();
+    let tx = net
+        .establish_channel(NodeId::new(0), NodeId::new(1), spec())
+        .unwrap()
+        .unwrap();
+    let route = net.manager().channel_route(tx.id).unwrap();
+    assert_eq!(route.path.len(), 4, "uplink + 2 cheap trunks + downlink");
+    assert!(route.path.contains(&HopLink::Trunk {
+        from: SwitchId::new(0),
+        to: SwitchId::new(2)
+    }));
+    let start = net.now() + Duration::from_millis(1);
+    net.send_periodic(NodeId::new(0), tx.id, 10, 800, start)
+        .unwrap();
+    net.run_to_completion().unwrap();
+    assert!(net.simulator().stats().all_deadlines_met());
+    // The expensive trunk never carried a data frame.
+    assert!(net
+        .simulator()
+        .stats()
+        .hop_link(HopLink::Trunk {
+            from: SwitchId::new(0),
+            to: SwitchId::new(1)
+        })
+        .is_none());
+}
+
+#[test]
+fn k_shortest_orders_candidates_by_cost() {
+    // Square: sw0-sw1-sw2 (costs 1,1) vs sw0-sw3-sw2 (costs 5,5).
+    let mut t = Topology::new();
+    for s in 0..4 {
+        t.add_switch(SwitchId::new(s));
+    }
+    t.add_trunk(SwitchId::new(0), SwitchId::new(1)).unwrap();
+    t.add_trunk(SwitchId::new(1), SwitchId::new(2)).unwrap();
+    t.add_trunk_weighted(SwitchId::new(0), SwitchId::new(3), 5)
+        .unwrap();
+    t.add_trunk_weighted(SwitchId::new(3), SwitchId::new(2), 5)
+        .unwrap();
+    let router = KShortestRouter::new(2);
+    let paths = router.switch_paths(&t, SwitchId::new(0), SwitchId::new(2));
+    assert_eq!(paths.len(), 2);
+    assert_eq!(
+        paths[0],
+        vec![SwitchId::new(0), SwitchId::new(1), SwitchId::new(2)],
+        "the cheap branch is the primary"
+    );
+    assert_eq!(
+        paths[1],
+        vec![SwitchId::new(0), SwitchId::new(3), SwitchId::new(2)]
+    );
+}

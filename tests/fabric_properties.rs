@@ -26,8 +26,8 @@ use switched_rt_ethernet::netsim::{
     Delivery, FaultScript, FrameInjection, SchedulerKind, SimConfig, Simulator,
 };
 use switched_rt_ethernet::types::{
-    ChannelId, Duration, KShortestRouter, MacAddr, NodeId, SimTime, Slots, SwitchId, Topology,
-    Xoshiro256,
+    ChannelId, Duration, KShortestRouter, MacAddr, ManagerPlacement, NodeId, SimTime, Slots,
+    SwitchId, Topology, Xoshiro256,
 };
 
 /// The fixed seed matrix: every invariant below holds for all of these.
@@ -223,6 +223,111 @@ fn random_fabrics_with_faults_conserve_frames_and_are_scheduler_invariant() {
         assert_eq!(
             heap, calendar,
             "seed {seed}: schedulers diverge under faults"
+        );
+    }
+}
+
+/// Invariant 4: on fault-free random fabrics, the *distributed* control
+/// plane (per-switch slack ledgers, two-phase reservation in control frames
+/// that traverse the wire) admits the **identical** channel set as the
+/// central [`FabricChannelManager`] oracle — same ids, same routes, same
+/// per-link deadline splits, same rejections — and the admitted channels'
+/// data frames deliver byte-for-byte identically.
+#[test]
+fn central_and_distributed_control_planes_are_equivalent_on_random_fabrics() {
+    for seed in 0..SEEDS {
+        let drive = |placement: ManagerPlacement| {
+            let mut rng = Xoshiro256::new(0xd15c_0000 ^ seed);
+            let topology = random_topology(&mut rng);
+            let nodes: Vec<NodeId> = topology.nodes().collect();
+            let mut net = RtNetwork::builder()
+                .topology(topology)
+                .router(KShortestRouter::new(3))
+                .multihop_dps(if rng.chance(0.5) {
+                    MultiHopDps::Asymmetric
+                } else {
+                    MultiHopDps::Symmetric
+                })
+                .manager_placement(placement)
+                .build()
+                .expect("generated fabric builds");
+            // A random request sequence sized to provoke both admissions
+            // and rejections (the trunks of the small fabrics saturate).
+            let mut admitted = Vec::new();
+            let mut verdicts = Vec::new();
+            for _ in 0..10 {
+                let src = nodes[rng.below(nodes.len() as u64) as usize];
+                let mut dst = nodes[rng.below(nodes.len() as u64) as usize];
+                if dst == src {
+                    dst = nodes[(nodes.iter().position(|&n| n == src).unwrap() + 1) % nodes.len()];
+                }
+                let spec = RtChannelSpec::new(
+                    Slots::new(rng.range_inclusive(60, 140)),
+                    Slots::new(rng.range_inclusive(1, 3)),
+                    Slots::new(rng.range_inclusive(30, 60)),
+                )
+                .expect("generated spec is valid");
+                match net.establish_channel(src, dst, spec).unwrap() {
+                    Some(tx) => {
+                        let route = net
+                            .manager()
+                            .channel_route(tx.id)
+                            .expect("admitted channel has a route");
+                        verdicts.push(true);
+                        admitted.push((src, tx.id, route.path.clone(), route.link_deadlines));
+                    }
+                    None => verdicts.push(false),
+                }
+            }
+            // Periodic traffic on a fixed absolute timeline (identical in
+            // both worlds, regardless of how long establishment took).
+            let start = SimTime::from_millis(50);
+            assert!(
+                net.now() < start,
+                "seed {seed}: establishment must finish before the data timeline"
+            );
+            for &(src, id, _, _) in &admitted {
+                net.send_periodic(src, id, 5, 600, start).unwrap();
+            }
+            net.run_to_completion().unwrap();
+            let stats = net.simulator().stats();
+            assert_eq!(
+                net.simulator().injected_count(),
+                stats.total_delivered() + stats.total_dropped(),
+                "seed {seed}: conservation violated under {placement:?} ({})",
+                stats.summary()
+            );
+            assert!(
+                stats.all_deadlines_met(),
+                "seed {seed}: {placement:?} missed"
+            );
+            let deliveries: Vec<_> = net
+                .received_messages()
+                .iter()
+                .map(|m| {
+                    (
+                        m.receiver,
+                        m.message.channel,
+                        m.message.payload.clone(),
+                        m.delivered_at.as_nanos(),
+                    )
+                })
+                .collect();
+            (verdicts, admitted, deliveries)
+        };
+        let central = drive(ManagerPlacement::Central);
+        let distributed = drive(ManagerPlacement::Distributed);
+        assert_eq!(
+            central.0, distributed.0,
+            "seed {seed}: accept/reject verdicts diverge"
+        );
+        assert_eq!(
+            central.1, distributed.1,
+            "seed {seed}: admitted channel sets diverge (ids / routes / deadline splits)"
+        );
+        assert_eq!(
+            central.2, distributed.2,
+            "seed {seed}: data delivery diverges byte-for-byte"
         );
     }
 }
