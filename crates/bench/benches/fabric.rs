@@ -1,16 +1,22 @@
-//! Micro-bench: fabric event throughput, heap vs. calendar scheduler.
+//! Micro-bench: fabric event throughput, heap vs. calendar scheduler,
+//! arena-pooled vs. owned frame store.
 //!
 //! Four fabrics at two scales — the 16-node star / 4-switch tree / 4-switch
 //! ring baselines of the earlier PRs, plus the 64-switch / 1024-node torus
 //! (`FabricScenario::torus(8, 8, 8, 8)`) that is the point of the
-//! calendar-queue scheduler.  Every fabric is driven twice with the
-//! *identical* pre-generated workload: once on the `BinaryHeap` reference
-//! scheduler and once on the calendar queue.  The workload is injected up
-//! front (`inject_batch`), so the pending-event population is proportional
-//! to the frame count — exactly the regime where the heap's O(log n)
-//! cache-hostile operations dominate and the calendar queue's O(1) bucket
-//! operations pay off.  Delivered-frame counts are asserted equal between
-//! the two schedulers, so the comparison can never drift semantically.
+//! calendar-queue scheduler.  Every fabric is driven four times with the
+//! *identical* pre-generated workload: {heap, calendar} × {arena, owned}.
+//! The workload is injected up front (`inject_batch`), so the pending-event
+//! population is proportional to the frame count — exactly the regime where
+//! the heap's O(log n) cache-hostile operations dominate and the calendar
+//! queue's O(1) bucket operations pay off.  Delivered-frame counts are
+//! asserted equal between all four combinations, so the comparison can
+//! never drift semantically.
+//!
+//! Row keying: the arena store is the simulator default, so its rows keep
+//! the bare fabric names the trajectory has always used (`star/heap`, …) —
+//! `bench_diff` keeps comparing apples to apples across the store switch.
+//! The owned-store rows ride along under a `+owned` fabric suffix.
 //!
 //! The run always dumps its numbers as `BENCH_fabric.json` (via the in-repo
 //! JSON encoder) so CI can archive the throughput trajectory per PR and
@@ -20,7 +26,7 @@
 use std::time::Instant;
 
 use rt_bench::report::{json_object, write_artifact, ToJson};
-use rt_netsim::{SchedulerKind, SimConfig, Simulator};
+use rt_netsim::{FrameStoreKind, SchedulerKind, SimConfig, Simulator};
 use rt_traffic::{FabricScenario, ScenarioFrameSource};
 use rt_types::{Duration, Topology};
 
@@ -98,12 +104,17 @@ struct DriveOutcome {
     elapsed_ns: u64,
 }
 
-/// Run one workload on one scheduler: build the fabric, inject the whole
-/// pre-generated batch, drain.  Only the simulation (not the frame
-/// generation) is timed.
-fn drive(workload: &Workload, scheduler: SchedulerKind) -> DriveOutcome {
+/// Run one workload on one scheduler and frame store: build the fabric,
+/// inject the whole pre-generated batch, drain.  Only the simulation (not
+/// the frame generation) is timed.
+fn drive(
+    workload: &Workload,
+    scheduler: SchedulerKind,
+    frame_store: FrameStoreKind,
+) -> DriveOutcome {
     let config = SimConfig {
         scheduler,
+        frame_store,
         ..SimConfig::default()
     };
     let mut sim = Simulator::with_topology(config, workload.topology.clone())
@@ -120,10 +131,13 @@ fn drive(workload: &Workload, scheduler: SchedulerKind) -> DriveOutcome {
     }
 }
 
-/// One (fabric, scheduler) measurement, encoded with the in-repo encoder.
+/// One (fabric, scheduler, store) measurement, encoded with the in-repo
+/// encoder.  `fabric` carries the store suffix for non-default stores (see
+/// the module docs), `store` records it explicitly either way.
 struct ThroughputRow {
-    fabric: &'static str,
+    fabric: String,
     scheduler: &'static str,
+    store: &'static str,
     nodes: u32,
     frames: u64,
     spacing_ns: u64,
@@ -138,6 +152,7 @@ impl ToJson for ThroughputRow {
         json_object(&[
             ("fabric", self.fabric.to_json()),
             ("scheduler", self.scheduler.to_json()),
+            ("store", self.store.to_json()),
             ("nodes", self.nodes.to_json()),
             ("frames", self.frames.to_json()),
             ("spacing_ns", self.spacing_ns.to_json()),
@@ -151,10 +166,12 @@ impl ToJson for ThroughputRow {
 
 fn main() {
     let mut rows = Vec::new();
-    println!("fabric event throughput: heap vs calendar scheduler");
+    println!("fabric event throughput: heap vs calendar scheduler, arena vs owned store");
     println!("(workloads injected up front; identical frame sequences per fabric)\n");
     for workload in workloads() {
-        let mut per_second = [0.0f64; 2];
+        // calendar-arena / heap-arena and calendar-arena / calendar-owned.
+        let mut arena_per_second = [0.0f64; 2];
+        let mut owned_calendar_per_second = 0.0f64;
         // Keep the fastest of several runs (the usual micro-bench "least
         // disturbed run" summary); correctness is checked on every run.
         // The millisecond-scale fabrics get extra samples because they are
@@ -162,53 +179,69 @@ fn main() {
         // multi-second torus is dominated by its own working set and stays
         // at two.
         let runs = if workload.frames > 100_000 { 2 } else { 5 };
-        for (i, scheduler) in [SchedulerKind::Heap, SchedulerKind::Calendar]
-            .into_iter()
-            .enumerate()
-        {
-            let mut best: Option<DriveOutcome> = None;
-            for _ in 0..runs {
-                let outcome = drive(&workload, scheduler);
-                assert_eq!(
-                    outcome.delivered,
-                    workload.frames,
-                    "{}/{}: every injected frame must be delivered",
-                    workload.name,
-                    scheduler.name()
+        for store in [FrameStoreKind::Arena, FrameStoreKind::Owned] {
+            // The default (arena) rows keep the bare fabric names so the
+            // bench_diff trajectory stays continuous across the store
+            // switch; the owned comparison rows get an explicit suffix.
+            let fabric = match store {
+                FrameStoreKind::Arena => workload.name.to_string(),
+                FrameStoreKind::Owned => format!("{}+owned", workload.name),
+            };
+            for (i, scheduler) in [SchedulerKind::Heap, SchedulerKind::Calendar]
+                .into_iter()
+                .enumerate()
+            {
+                let mut best: Option<DriveOutcome> = None;
+                for _ in 0..runs {
+                    let outcome = drive(&workload, scheduler, store);
+                    assert_eq!(
+                        outcome.delivered,
+                        workload.frames,
+                        "{fabric}/{}: every injected frame must be delivered",
+                        scheduler.name()
+                    );
+                    best = match best {
+                        Some(b) if b.elapsed_ns <= outcome.elapsed_ns => Some(b),
+                        _ => Some(outcome),
+                    };
+                }
+                let outcome = best.expect("at least one run happened");
+                let events_per_second = outcome.events as f64 / (outcome.elapsed_ns as f64 / 1e9);
+                match store {
+                    FrameStoreKind::Arena => arena_per_second[i] = events_per_second,
+                    FrameStoreKind::Owned if i == 1 => {
+                        owned_calendar_per_second = events_per_second
+                    }
+                    FrameStoreKind::Owned => {}
+                }
+                println!(
+                    "{:<22} {:<8} {:>8} events in {:>7.1} ms -> {:>6.2} M events/s, {:>5.1} events/frame",
+                    fabric,
+                    scheduler.name(),
+                    outcome.events,
+                    outcome.elapsed_ns as f64 / 1e6,
+                    events_per_second / 1e6,
+                    outcome.events as f64 / workload.frames as f64,
                 );
-                best = match best {
-                    Some(b) if b.elapsed_ns <= outcome.elapsed_ns => Some(b),
-                    _ => Some(outcome),
-                };
+                rows.push(ThroughputRow {
+                    fabric: fabric.clone(),
+                    scheduler: scheduler.name(),
+                    store: store.name(),
+                    nodes: workload.nodes,
+                    frames: workload.frames,
+                    spacing_ns: workload.spacing.as_nanos(),
+                    events: outcome.events,
+                    elapsed_ns: outcome.elapsed_ns,
+                    events_per_second,
+                    events_per_frame: outcome.events as f64 / workload.frames as f64,
+                });
             }
-            let outcome = best.expect("at least one run happened");
-            let events_per_second = outcome.events as f64 / (outcome.elapsed_ns as f64 / 1e9);
-            per_second[i] = events_per_second;
-            println!(
-                "{:<16} {:<8} {:>8} events in {:>7.1} ms -> {:>6.2} M events/s, {:>5.1} events/frame",
-                workload.name,
-                scheduler.name(),
-                outcome.events,
-                outcome.elapsed_ns as f64 / 1e6,
-                events_per_second / 1e6,
-                outcome.events as f64 / workload.frames as f64,
-            );
-            rows.push(ThroughputRow {
-                fabric: workload.name,
-                scheduler: scheduler.name(),
-                nodes: workload.nodes,
-                frames: workload.frames,
-                spacing_ns: workload.spacing.as_nanos(),
-                events: outcome.events,
-                elapsed_ns: outcome.elapsed_ns,
-                events_per_second,
-                events_per_frame: outcome.events as f64 / workload.frames as f64,
-            });
         }
         println!(
-            "{:<16} calendar/heap speed-up: {:.2}x\n",
+            "{:<22} calendar/heap speed-up: {:.2}x, arena/owned (calendar): {:.2}x\n",
             workload.name,
-            per_second[1] / per_second[0]
+            arena_per_second[1] / arena_per_second[0],
+            arena_per_second[1] / owned_calendar_per_second,
         );
     }
 

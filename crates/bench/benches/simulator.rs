@@ -1,16 +1,62 @@
-//! Micro-bench: event throughput of the discrete-event simulator and
-//! end-to-end cost of the channel-establishment handshake over the wire.
+//! Micro-bench: event throughput of the discrete-event simulator,
+//! end-to-end cost of the channel-establishment handshake over the wire,
+//! and — the regression thermometer for the zero-copy frame path — heap
+//! allocations per forwarded frame on the 1024-node torus.
+//!
+//! The allocation count comes from a counting `#[global_allocator]` that
+//! wraps [`System`]: the simulator crates themselves `forbid(unsafe_code)`,
+//! so the instrumentation lives here in the bench binary, outside the code
+//! under test.  The count is deterministic for a deterministic simulation
+//! (same workload → same `Vec` growth → same number), so `bench_diff` can
+//! gate on it far more tightly than on any wall-clock number.
 //!
 //! Always dumps its rows as `BENCH_simulator.json` at the workspace root
 //! (override with `BENCH_SIMULATOR_JSON`) so CI archives the trajectory the
 //! same way it archives `BENCH_fabric.json`.
 
-use rt_bench::report::write_artifact;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rt_bench::report::{json_object, write_artifact, Table, ToJson};
 use rt_bench::MicroBench;
 use rt_core::{DpsKind, RtChannelSpec, RtNetwork};
 use rt_frames::rt_data::{DeadlineStamp, RtDataFrame};
-use rt_netsim::{SimConfig, Simulator};
-use rt_types::{ChannelId, MacAddr, NodeId, SimTime};
+use rt_netsim::{FrameStoreKind, SimConfig, Simulator};
+use rt_traffic::{FabricScenario, ScenarioFrameSource};
+use rt_types::{ChannelId, Duration, MacAddr, NodeId, SimTime};
+
+/// A [`System`] wrapper that counts every allocation the process makes.
+/// Frees are not counted: the gated metric is allocation *pressure* per
+/// frame, and every path that allocates also frees.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure delegation to `System`; the counter is a relaxed atomic add
+// with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn rt_eth(from: u32, to: u32, deadline_ns: u64) -> rt_frames::EthernetFrame {
     RtDataFrame {
@@ -23,6 +69,120 @@ fn rt_eth(from: u32, to: u32, deadline_ns: u64) -> rt_frames::EthernetFrame {
     }
     .into_ethernet()
     .unwrap()
+}
+
+/// Injection spacing and window size of the allocation measurement: the
+/// spacing keeps the torus in steady state (frames drain while later ones
+/// inject), the window bounds how many frames are in flight at once.
+const SPACING: Duration = Duration::from_micros(20);
+const WINDOW: Duration = Duration::from_millis(5);
+const WINDOW_FRAMES: u64 = WINDOW.as_nanos() / SPACING.as_nanos();
+
+/// Serves pre-generated injections window by window, so the counted region
+/// contains the simulator's own allocations (plus one batch `Vec` per
+/// window), not the cost of *generating* 100k frames.
+struct PrebuiltSource {
+    items: std::iter::Peekable<std::vec::IntoIter<rt_netsim::FrameInjection>>,
+}
+
+impl rt_netsim::TrafficSource for PrebuiltSource {
+    fn next_batch(&mut self, horizon: SimTime) -> Vec<rt_netsim::FrameInjection> {
+        // Pre-sized so the window batches themselves don't show up in the
+        // allocation count being measured.
+        let mut batch = Vec::with_capacity(WINDOW_FRAMES as usize + 1);
+        while self.items.peek().is_some_and(|f| f.at < horizon) {
+            batch.push(self.items.next().expect("peeked an item"));
+        }
+        batch
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.items.len() == 0
+    }
+}
+
+/// One allocation measurement: allocations inside the windowed
+/// `run_with_source` loop on the 1024-node torus, everything else (fabric
+/// build, frame generation) outside the counted window.
+///
+/// Windowed injection matters: frames register (and pool buffers allocate)
+/// at injection time, so the arena's outstanding population tracks the
+/// *in-flight* frames of one window, not the whole experiment.  That is
+/// the steady-state regime the zero-copy path is built for — after a brief
+/// warm-up every pooled buffer is a reuse, and the only per-frame
+/// allocation left is materialising the `Delivery` at the receiver.
+/// Injecting the full batch up front would instead measure peak in-flight
+/// frames (one fresh pool buffer each): a memory-footprint question, not
+/// an allocation-pressure one.
+struct AllocRow {
+    name: String,
+    store: &'static str,
+    frames: u64,
+    allocs: u64,
+    allocs_per_frame: f64,
+}
+
+impl ToJson for AllocRow {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("name", self.name.to_json()),
+            ("store", self.store.to_json()),
+            ("frames", self.frames.to_json()),
+            ("allocs", self.allocs.to_json()),
+            ("allocs_per_frame", self.allocs_per_frame.to_json()),
+        ])
+    }
+}
+
+/// Measure allocations per forwarded frame for one frame store.  The arena
+/// row keeps the bare name (it is the simulator default — the trajectory
+/// key stays stable); the owned row rides along under a `+owned` suffix.
+fn measure_allocs(store: FrameStoreKind) -> AllocRow {
+    const FRAMES: u64 = 100_000;
+    let scenario = FabricScenario::torus(8, 8, 8, 8);
+    let topology = scenario.topology();
+    let batch = ScenarioFrameSource::new(scenario, FRAMES, SPACING)
+        .payload_len(64)
+        .drain_all();
+    let config = SimConfig {
+        frame_store: store,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::with_topology(config, topology).expect("the torus fabric is valid");
+    let mut source = PrebuiltSource {
+        items: batch.into_iter().peekable(),
+    };
+    let before = ALLOCS.load(Ordering::Relaxed);
+    sim.run_with_source(&mut source, WINDOW)
+        .expect("bench injections are valid");
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        sim.poll_deliveries().len() as u64,
+        FRAMES,
+        "{}: every injected frame must be delivered",
+        store.name()
+    );
+    let name = match store {
+        FrameStoreKind::Arena => "torus_8x8_1024_hot_path".to_string(),
+        FrameStoreKind::Owned => "torus_8x8_1024_hot_path+owned".to_string(),
+    };
+    AllocRow {
+        name,
+        store: store.name(),
+        frames: FRAMES,
+        allocs,
+        allocs_per_frame: allocs as f64 / FRAMES as f64,
+    }
+}
+
+/// A pre-encoded JSON row, so timing rows and allocation rows can share one
+/// artifact array.
+struct RawJson(String);
+
+impl ToJson for RawJson {
+    fn to_json(&self) -> String {
+        self.0.clone()
+    }
 }
 
 fn main() {
@@ -60,9 +220,28 @@ fn main() {
         .unwrap()
     });
     harness.finish("simulator");
-    write_artifact(
-        "BENCH_SIMULATOR_JSON",
-        "BENCH_simulator.json",
-        harness.results(),
-    );
+
+    println!("\nallocations per forwarded frame (1024-node torus, 100k frames)");
+    let alloc_rows: Vec<AllocRow> = [FrameStoreKind::Arena, FrameStoreKind::Owned]
+        .into_iter()
+        .map(measure_allocs)
+        .collect();
+    let mut table = Table::new(&["measurement", "store", "allocs", "allocs/frame"]);
+    for row in &alloc_rows {
+        table.row_strings(vec![
+            row.name.clone(),
+            row.store.to_string(),
+            row.allocs.to_string(),
+            format!("{:.2}", row.allocs_per_frame),
+        ]);
+    }
+    table.print();
+
+    let artifact: Vec<RawJson> = harness
+        .results()
+        .iter()
+        .map(|r| RawJson(r.to_json()))
+        .chain(alloc_rows.iter().map(|r| RawJson(r.to_json())))
+        .collect();
+    write_artifact("BENCH_SIMULATOR_JSON", "BENCH_simulator.json", &artifact);
 }

@@ -2,11 +2,16 @@
 //! `BENCH_multiswitch.json` (or any artifact of the same row shapes)
 //! against the previous run's artifact and fail on regressions.
 //!
-//! Three checks are gated:
+//! Four checks are gated:
 //!
 //! * **throughput** — rows carrying `events_per_second`, matched by
 //!   `(fabric, scheduler)` (falling back to `fabric`, then `name`);
 //!   a drop beyond the threshold (default 20 %) fails the run,
+//! * **allocation pressure** — rows carrying `allocs_per_frame` (the
+//!   counting-allocator rows of `BENCH_simulator.json`); the gate is
+//!   *inverted* — lower is better — so an **increase** beyond the same
+//!   threshold fails the run (an alloc-count regression means the
+//!   zero-copy frame path grew a per-frame allocation back),
 //! * **admission quality** — rows carrying `accepted_channels`; these are
 //!   deterministic integers, so *any* decrease against the baseline fails
 //!   the run (fewer admitted channels means the admission control or the
@@ -59,13 +64,15 @@ fn rows_of(doc: &JsonValue) -> Vec<&JsonValue> {
     }
 }
 
-/// The two gated metric tables of one artifact.
+/// The gated metric tables of one artifact.
 #[derive(Debug, Default)]
 struct Metrics {
     /// `key → events_per_second`.
     throughput: BTreeMap<String, f64>,
     /// `key → accepted_channels`.
     accepted: BTreeMap<String, f64>,
+    /// `key → allocs_per_frame` (gated inverted: an increase fails).
+    allocs: BTreeMap<String, f64>,
 }
 
 fn metrics(doc: &JsonValue) -> Result<Metrics, String> {
@@ -77,11 +84,57 @@ fn metrics(doc: &JsonValue) -> Result<Metrics, String> {
         if let Some(accepted) = row.get("accepted_channels").and_then(|v| v.as_f64()) {
             out.accepted.insert(row_key(row), accepted);
         }
+        if let Some(apf) = row.get("allocs_per_frame").and_then(|v| v.as_f64()) {
+            out.allocs.insert(row_key(row), apf);
+        }
     }
-    if out.throughput.is_empty() && out.accepted.is_empty() {
-        return Err("no rows with an events_per_second or accepted_channels field".into());
+    if out.throughput.is_empty() && out.accepted.is_empty() && out.allocs.is_empty() {
+        return Err(
+            "no rows with an events_per_second, accepted_channels or allocs_per_frame field".into(),
+        );
     }
     Ok(out)
+}
+
+/// The inverted allocation-pressure gate: fail any `allocs_per_frame` that
+/// *rose* beyond the fractional threshold against its baseline row.
+/// Returns `(table rows, regressions)`.
+fn alloc_regressions(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    threshold: f64,
+) -> (Vec<Vec<String>>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut regressions = Vec::new();
+    for (key, &now) in current {
+        match baseline.get(key) {
+            Some(&before) if before > 0.0 => {
+                let change = now / before - 1.0;
+                rows.push(vec![
+                    key.clone(),
+                    format!("{before:.2}"),
+                    format!("{now:.2}"),
+                    format!("{:+.1}%", change * 100.0),
+                ]);
+                if change > threshold {
+                    regressions.push(format!(
+                        "{key} allocs/frame rose {:.1}% (> {:.0}% threshold)",
+                        change * 100.0,
+                        threshold * 100.0
+                    ));
+                }
+            }
+            _ => {
+                rows.push(vec![
+                    key.clone(),
+                    "(new)".into(),
+                    format!("{now:.2}"),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    (rows, regressions)
 }
 
 fn load(path: &str) -> Result<Metrics, String> {
@@ -213,6 +266,24 @@ fn main() -> ExitCode {
     }
     table.print();
 
+    // Allocation pressure: inverted gate, an increase beyond the threshold
+    // fails.
+    if !current.allocs.is_empty() || !baseline.allocs.is_empty() {
+        let mut table = Table::new(&[
+            "measurement",
+            "baseline allocs/frame",
+            "current allocs/frame",
+            "change",
+        ]);
+        let (rows, alloc_failures) =
+            alloc_regressions(&baseline.allocs, &current.allocs, threshold);
+        for row in rows {
+            table.row_strings(row);
+        }
+        table.print();
+        regressions.extend(alloc_failures);
+    }
+
     // Admission quality: deterministic counts, any decrease fails.
     if !current.accepted.is_empty() || !baseline.accepted.is_empty() {
         let mut table = Table::new(&[
@@ -259,13 +330,19 @@ fn main() -> ExitCode {
                 .keys()
                 .filter(|k| !current.accepted.contains_key(*k)),
         )
+        .chain(
+            baseline
+                .allocs
+                .keys()
+                .filter(|k| !current.allocs.contains_key(*k)),
+        )
     {
         println!("note: baseline row '{key}' has no current counterpart");
     }
 
     if regressions.is_empty() {
         println!(
-            "\nno throughput regression beyond {:.0}% and no accepted-channel regression against {baseline_path}",
+            "\nno throughput or allocs/frame regression beyond {:.0}% and no accepted-channel regression against {baseline_path}",
             threshold * 100.0
         );
         ExitCode::SUCCESS
@@ -349,6 +426,49 @@ mod tests {
         let v = parity_violations(&parity_doc(40.0, 40.0, false));
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("channel sets differ"), "{v:?}");
+    }
+
+    fn alloc_doc(rows: &[(&str, f64)]) -> JsonValue {
+        JsonValue::Array(
+            rows.iter()
+                .map(|(name, apf)| {
+                    let mut m = BTreeMap::new();
+                    m.insert("name".into(), JsonValue::String(name.to_string()));
+                    m.insert("allocs_per_frame".into(), JsonValue::Number(*apf));
+                    JsonValue::Object(m)
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn allocs_per_frame_rows_are_collected() {
+        let m = metrics(&alloc_doc(&[("torus_hot_path", 1.1), ("torus+owned", 1.4)])).unwrap();
+        assert_eq!(m.allocs.len(), 2);
+        assert_eq!(m.allocs["torus_hot_path"], 1.1);
+        assert!(m.throughput.is_empty() && m.accepted.is_empty());
+    }
+
+    #[test]
+    fn alloc_gate_is_inverted() {
+        let base = metrics(&alloc_doc(&[("torus", 1.0)])).unwrap().allocs;
+        // A decrease (improvement) passes, however large.
+        let better = metrics(&alloc_doc(&[("torus", 0.2)])).unwrap().allocs;
+        assert!(alloc_regressions(&base, &better, 0.2).1.is_empty());
+        // An increase within the threshold passes.
+        let close = metrics(&alloc_doc(&[("torus", 1.15)])).unwrap().allocs;
+        assert!(alloc_regressions(&base, &close, 0.2).1.is_empty());
+        // An increase beyond the threshold fails.
+        let worse = metrics(&alloc_doc(&[("torus", 1.3)])).unwrap().allocs;
+        let (rows, failures) = alloc_regressions(&base, &worse, 0.2);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("rose 30.0%"), "{failures:?}");
+        // New rows (no baseline) only report, never fail.
+        let fresh = metrics(&alloc_doc(&[("ring", 9.0)])).unwrap().allocs;
+        let (rows, failures) = alloc_regressions(&base, &fresh, 0.2);
+        assert_eq!(rows[0][1], "(new)");
+        assert!(failures.is_empty());
     }
 
     #[test]

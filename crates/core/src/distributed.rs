@@ -386,12 +386,25 @@ impl DistributedChannelManager {
         hop: u8,
         values: Vec<u64>,
     ) -> ReservationFrame {
+        // Field-by-field rather than `..received.clone()`: the update
+        // syntax would clone the received frame's `values` vector (the only
+        // non-`Copy` field) just to drop it — one heap round-trip per
+        // forwarded hop on the reservation path.
         ReservationFrame {
             op,
             reason,
+            coordinator: received.coordinator,
+            token: received.token,
+            source: received.source,
+            destination: received.destination,
+            request_id: received.request_id,
+            candidate: received.candidate,
             hop,
+            channel: received.channel,
+            period: received.period,
+            capacity: received.capacity,
+            deadline: received.deadline,
             values,
-            ..received.clone()
         }
     }
 

@@ -22,7 +22,7 @@ use rt_types::{
 use crate::ethernet::EthernetFrame;
 use crate::ipv4::Ipv4Header;
 use crate::reservation::ReservationFrame;
-use crate::rt_data::RtDataFrame;
+use crate::rt_data::{DeadlineStamp, RtDataFrame};
 use crate::rt_request::RequestFrame;
 use crate::rt_response::ResponseFrame;
 use crate::wire::ByteReader;
@@ -43,9 +43,15 @@ impl TeardownFrame {
     /// Serialise: type byte + channel id.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(Self::BYTES);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the serialised payload to `out` (same bytes as
+    /// [`TeardownFrame::encode`]).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.push(RT_FRAME_TYPE_TEARDOWN);
         out.extend_from_slice(&self.rt_channel_id.get().to_be_bytes());
-        out
     }
 
     /// Parse a tear-down payload.
@@ -61,6 +67,21 @@ impl TeardownFrame {
             rt_channel_id: ChannelId::new(r.get_u16()?),
         })
     }
+}
+
+/// The result of classifying a *borrowed* Ethernet frame with
+/// [`Frame::peek`]: the queueing-relevant facts, without materialising the
+/// decoded payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FramePeek {
+    /// A valid RT control frame (request / response / teardown /
+    /// reservation) — real-time class, handled by the control plane.
+    Control,
+    /// A deadline-stamped real-time datagram; the stamp carries the absolute
+    /// deadline and channel ID the queues need.
+    RtData(DeadlineStamp),
+    /// Everything else — FCFS best-effort traffic.
+    BestEffort,
 }
 
 /// A classified, decoded frame as seen by the RT layer.
@@ -122,6 +143,54 @@ impl Frame {
                 }
             }
             _ => Ok(Frame::BestEffort(eth)),
+        }
+    }
+
+    /// Classify a *borrowed* Ethernet frame without decoding it into owned
+    /// structures — the zero-copy counterpart of [`Frame::classify`] used by
+    /// the simulator hot path.
+    ///
+    /// Accepts and rejects exactly the same set of frames as `classify`
+    /// (control frames are fully validated, RT IPv4 frames are validated via
+    /// [`RtDataFrame::peek_stamp`]); it only skips materialising the decoded
+    /// payload.
+    pub fn peek(eth: &EthernetFrame) -> RtResult<FramePeek> {
+        match eth.ethertype {
+            ETHERTYPE_RT_CONTROL => {
+                let ty = *eth
+                    .payload
+                    .first()
+                    .ok_or_else(|| RtError::FrameDecode("empty RT control frame".into()))?;
+                match ty {
+                    RT_FRAME_TYPE_CONNECT => {
+                        RequestFrame::decode(&eth.payload)?;
+                    }
+                    RT_FRAME_TYPE_RESPONSE => {
+                        ResponseFrame::decode(&eth.payload)?;
+                    }
+                    RT_FRAME_TYPE_TEARDOWN => {
+                        TeardownFrame::decode(&eth.payload)?;
+                    }
+                    RT_FRAME_TYPE_RESERVATION => {
+                        ReservationFrame::decode(&eth.payload)?;
+                    }
+                    other => {
+                        return Err(RtError::FrameDecode(format!(
+                            "unknown RT control frame type {other:#04x}"
+                        )))
+                    }
+                }
+                Ok(FramePeek::Control)
+            }
+            ETHERTYPE_IPV4 => {
+                let ip = Ipv4Header::decode(&eth.payload)?;
+                if ip.is_realtime() {
+                    Ok(FramePeek::RtData(RtDataFrame::peek_stamp(eth)?))
+                } else {
+                    Ok(FramePeek::BestEffort)
+                }
+            }
+            _ => Ok(FramePeek::BestEffort),
         }
     }
 
@@ -216,6 +285,9 @@ mod tests {
             rt_channel_id: ChannelId::new(65535),
         };
         assert_eq!(TeardownFrame::decode(&td.encode()).unwrap(), td);
+        let mut out = vec![0x99];
+        td.encode_into(&mut out);
+        assert_eq!(&out[1..], &td.encode()[..]);
         assert!(TeardownFrame::decode(&[RT_FRAME_TYPE_TEARDOWN]).is_err());
         assert!(TeardownFrame::decode(&[0xff, 0, 1]).is_err());
     }
@@ -259,6 +331,126 @@ mod tests {
             Frame::classify(eth).unwrap(),
             Frame::BestEffort(_)
         ));
+    }
+
+    /// `peek` must agree with `classify` on both acceptance and class for a
+    /// representative zoo of frames, including malformed ones.
+    #[test]
+    fn peek_agrees_with_classify() {
+        // Well-formed control frames.
+        let mut zoo: Vec<EthernetFrame> = vec![request()
+            .into_ethernet(MacAddr::ZERO, MacAddr::for_switch())
+            .unwrap()];
+        let resp = ResponseFrame {
+            rt_channel_id: Some(ChannelId::new(3)),
+            switch_mac: MacAddr::for_switch(),
+            verdict: crate::rt_response::ResponseVerdict::Accepted,
+            connection_request_id: ConnectionRequestId::new(1),
+        };
+        zoo.push(
+            resp.into_ethernet(MacAddr::for_switch(), MacAddr::ZERO)
+                .unwrap(),
+        );
+        let td = TeardownFrame {
+            rt_channel_id: ChannelId::new(7),
+        };
+        zoo.push(
+            EthernetFrame::new(
+                MacAddr::for_switch(),
+                MacAddr::ZERO,
+                ETHERTYPE_RT_CONTROL,
+                td.encode(),
+            )
+            .unwrap(),
+        );
+        // RT data.
+        let data = RtDataFrame {
+            eth_src: MacAddr::ZERO,
+            eth_dst: MacAddr::for_switch(),
+            stamp: crate::rt_data::DeadlineStamp::new(99, ChannelId::new(4)).unwrap(),
+            src_port: 1,
+            dst_port: 2,
+            payload: vec![1, 2, 3],
+        };
+        zoo.push(data.into_ethernet().unwrap());
+        // Plain best-effort IPv4 and a foreign EtherType.
+        let ip = Ipv4Header::udp(
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+            8,
+        )
+        .unwrap();
+        let mut payload = ip.encode();
+        payload.extend_from_slice(&crate::udp::UdpHeader::new(1, 2, 0).unwrap().encode());
+        zoo.push(
+            EthernetFrame::new(MacAddr::BROADCAST, MacAddr::ZERO, ETHERTYPE_IPV4, payload).unwrap(),
+        );
+        zoo.push(
+            EthernetFrame::new(MacAddr::BROADCAST, MacAddr::ZERO, 0x0806, vec![0; 28]).unwrap(),
+        );
+        // Malformed: unknown control type, empty control payload, truncated
+        // request, garbage IPv4.
+        zoo.push(
+            EthernetFrame::new(
+                MacAddr::for_switch(),
+                MacAddr::ZERO,
+                ETHERTYPE_RT_CONTROL,
+                vec![0x7f, 1, 2, 3],
+            )
+            .unwrap(),
+        );
+        zoo.push(
+            EthernetFrame::new(
+                MacAddr::for_switch(),
+                MacAddr::ZERO,
+                ETHERTYPE_RT_CONTROL,
+                vec![],
+            )
+            .unwrap(),
+        );
+        zoo.push(
+            EthernetFrame::new(
+                MacAddr::for_switch(),
+                MacAddr::ZERO,
+                ETHERTYPE_RT_CONTROL,
+                vec![RT_FRAME_TYPE_CONNECT, 1, 2],
+            )
+            .unwrap(),
+        );
+        zoo.push(
+            EthernetFrame::new(
+                MacAddr::BROADCAST,
+                MacAddr::ZERO,
+                ETHERTYPE_IPV4,
+                vec![0; 30],
+            )
+            .unwrap(),
+        );
+
+        for eth in zoo {
+            let peeked = Frame::peek(&eth);
+            let classified = Frame::classify(eth.clone());
+            match (peeked, classified) {
+                (Err(_), Err(_)) => {}
+                (Ok(p), Ok(c)) => {
+                    match p {
+                        FramePeek::Control => assert!(c.is_control()),
+                        FramePeek::RtData(stamp) => match &c {
+                            Frame::RtData(d) => assert_eq!(d.stamp, stamp),
+                            other => panic!("peek said RtData, classify said {other:?}"),
+                        },
+                        FramePeek::BestEffort => {
+                            assert!(matches!(c, Frame::BestEffort(_)))
+                        }
+                    }
+                    assert_eq!(
+                        matches!(p, FramePeek::Control | FramePeek::RtData(_)),
+                        c.is_realtime()
+                    );
+                }
+                (p, c) => panic!("peek/classify disagree on {eth:?}: {p:?} vs {c:?}"),
+            }
+        }
     }
 
     #[test]

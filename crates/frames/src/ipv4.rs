@@ -72,7 +72,16 @@ impl Ipv4Header {
 
     /// Serialise the header (20 bytes) with a correct header checksum.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = ByteWriter::with_capacity(IPV4_HEADER_BYTES);
+        let mut out = Vec::with_capacity(IPV4_HEADER_BYTES);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the serialised header to `out` (same bytes as
+    /// [`Ipv4Header::encode`]).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let base = out.len();
+        let mut w = ByteWriter::from_vec(std::mem::take(out));
         w.put_u8(0x45); // version 4, IHL 5
         w.put_u8(self.tos);
         w.put_u16(self.total_length);
@@ -84,9 +93,9 @@ impl Ipv4Header {
         w.put_slice(&self.src.octets());
         w.put_slice(&self.dst.octets());
         let mut bytes = w.into_vec();
-        let csum = internet_checksum(&bytes);
-        bytes[10..12].copy_from_slice(&csum.to_be_bytes());
-        bytes
+        let csum = internet_checksum(&bytes[base..]);
+        bytes[base + 10..base + 12].copy_from_slice(&csum.to_be_bytes());
+        *out = bytes;
     }
 
     /// Parse a header from the first 20 bytes of `bytes`, verifying version,
@@ -213,6 +222,19 @@ mod tests {
         assert!(h.is_realtime());
         let g = Ipv4Header::decode(&h.encode()).unwrap();
         assert!(g.is_realtime());
+    }
+
+    #[test]
+    fn encode_into_matches_owned_encode_at_any_offset() {
+        let h = sample();
+        let mut out = Vec::new();
+        h.encode_into(&mut out);
+        assert_eq!(out, h.encode());
+        // Appending after existing bytes must checksum only the header.
+        let mut out = vec![0xaa, 0xbb];
+        h.encode_into(&mut out);
+        assert_eq!(&out[..2], &[0xaa, 0xbb]);
+        assert_eq!(&out[2..], &h.encode()[..]);
     }
 
     #[test]

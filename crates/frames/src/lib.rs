@@ -12,7 +12,15 @@
 //!   over the IP source/destination addresses and the ToS field is set to
 //!   255 ([`rt_data`]),
 //! * a top-level [`codec::Frame`] enum that classifies and round-trips any of
-//!   the above.
+//!   the above (plus [`codec::Frame::peek`], the borrowed zero-copy
+//!   classifier the simulator hot path uses),
+//! * an arena of reusable frame buffers ([`arena`]) so the simulator can
+//!   pass a [`arena::FrameRef`] index hop to hop instead of cloning payloads.
+//!
+//! Every codec offers both an owned `encode() -> Vec<u8>` entry point and an
+//! `encode_into(&mut Vec<u8>)` variant that appends to a caller-supplied
+//! (typically arena-pooled) buffer; the two are byte-for-byte identical,
+//! which the golden-bytes tests in each module enforce.
 //!
 //! Everything is plain safe Rust over `Vec<u8>`/`&[u8]`; no external byte
 //! crates are required.
@@ -20,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod codec;
 pub mod ethernet;
 pub mod ipv4;
@@ -30,7 +39,8 @@ pub mod rt_response;
 pub mod udp;
 pub mod wire;
 
-pub use codec::Frame;
+pub use arena::{ArenaStats, FrameArena, FrameRef};
+pub use codec::{Frame, FramePeek};
 pub use ethernet::EthernetFrame;
 pub use ipv4::Ipv4Header;
 pub use reservation::{ReservationFrame, ReservationOp, ReservationReason};

@@ -176,6 +176,14 @@ impl ReservationFrame {
     /// `18..22` destination, `22..26` period, `26..30` capacity,
     /// `30..34` deadline, `34` value count, then the 32-bit values.
     pub fn encode(&self) -> RtResult<Vec<u8>> {
+        let mut out = Vec::with_capacity(RESERVATION_FRAME_FIXED_BYTES + 4 * self.values.len());
+        self.encode_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Append the serialised payload to `out` (same bytes as
+    /// [`ReservationFrame::encode`]).
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> RtResult<()> {
         for (name, v) in [
             ("period", self.period.get()),
             ("capacity", self.capacity.get()),
@@ -200,8 +208,8 @@ impl ReservationFrame {
                 )));
             }
         }
-        let mut w =
-            ByteWriter::with_capacity(RESERVATION_FRAME_FIXED_BYTES + 4 * self.values.len());
+        let base = out.len();
+        let mut w = ByteWriter::from_vec(std::mem::take(out));
         w.put_u8(RT_FRAME_TYPE_RESERVATION);
         w.put_u8(self.op.to_wire());
         w.put_u8(self.reason.to_wire());
@@ -220,12 +228,12 @@ impl ReservationFrame {
         for &v in &self.values {
             w.put_u32(v as u32);
         }
-        let out = w.into_vec();
         debug_assert_eq!(
-            out.len(),
+            w.len() - base,
             RESERVATION_FRAME_FIXED_BYTES + 4 * self.values.len()
         );
-        Ok(out)
+        *out = w.into_vec();
+        Ok(())
     }
 
     /// Parse a reservation payload.  Trailing padding (from Ethernet
@@ -370,6 +378,20 @@ mod tests {
         let decoded = EthernetFrame::decode(&eth.encode()).unwrap();
         assert_eq!(decoded.payload.len(), 46);
         assert_eq!(ReservationFrame::decode(&decoded.payload).unwrap(), f);
+    }
+
+    #[test]
+    fn encode_into_matches_owned_encode() {
+        let mut f = sample();
+        f.channel = Some(ChannelId::new(9));
+        let mut out = vec![0x42];
+        f.encode_into(&mut out).unwrap();
+        assert_eq!(&out[1..], &f.encode().unwrap()[..]);
+        // Oversized fields fail encode_into the same way they fail encode.
+        let mut f = sample();
+        f.values = vec![u64::from(u32::MAX) + 1];
+        let mut out = Vec::new();
+        assert!(f.encode_into(&mut out).is_err());
     }
 
     #[test]

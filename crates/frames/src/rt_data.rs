@@ -123,6 +123,17 @@ pub struct RtDataFrame {
 impl RtDataFrame {
     /// Build the on-the-wire Ethernet frame for this RT datagram.
     pub fn into_ethernet(&self) -> RtResult<EthernetFrame> {
+        let mut bytes =
+            Vec::with_capacity(IPV4_HEADER_BYTES + UDP_HEADER_BYTES + self.payload.len());
+        self.encode_payload_into(&mut bytes)?;
+        EthernetFrame::new(self.eth_dst, self.eth_src, ETHERTYPE_IPV4, bytes)
+    }
+
+    /// Append the Ethernet *payload* of this datagram (stamped IPv4 header +
+    /// UDP header + application payload) to `out` — the same bytes
+    /// [`RtDataFrame::into_ethernet`] wraps in a frame, without the
+    /// intermediate allocations.
+    pub fn encode_payload_into(&self, out: &mut Vec<u8>) -> RtResult<()> {
         let udp = UdpHeader::new(self.src_port, self.dst_port, self.payload.len())?;
         let ip = Ipv4Header::udp(
             Ipv4Address::UNSPECIFIED,
@@ -130,15 +141,17 @@ impl RtDataFrame {
             UDP_HEADER_BYTES + self.payload.len(),
         )?;
         let stamped = self.stamp.apply(&ip);
-        let mut bytes = stamped.encode();
-        bytes.extend_from_slice(&udp.encode());
-        bytes.extend_from_slice(&self.payload);
-        EthernetFrame::new(self.eth_dst, self.eth_src, ETHERTYPE_IPV4, bytes)
+        stamped.encode_into(out);
+        udp.encode_into(out);
+        out.extend_from_slice(&self.payload);
+        Ok(())
     }
 
-    /// Parse an RT data frame back out of an Ethernet frame.  Fails when the
-    /// frame is not IPv4/UDP or not marked real-time.
-    pub fn from_ethernet(frame: &EthernetFrame) -> RtResult<Self> {
+    /// Validate an Ethernet frame as an RT data frame and extract its stamp
+    /// *without copying the payload*.  Performs exactly the checks of
+    /// [`RtDataFrame::from_ethernet`] (which is implemented on top of this),
+    /// so the two accept and reject the same set of frames.
+    pub fn peek_stamp(frame: &EthernetFrame) -> RtResult<DeadlineStamp> {
         if frame.ethertype != ETHERTYPE_IPV4 {
             return Err(RtError::FrameDecode(format!(
                 "RtDataFrame: ethertype {:#06x} is not IPv4",
@@ -159,7 +172,17 @@ impl RtDataFrame {
                 "RtDataFrame: datagram too short for a UDP header".into(),
             ));
         }
+        UdpHeader::decode(&frame.payload[IPV4_HEADER_BYTES..])?;
+        Ok(stamp)
+    }
+
+    /// Parse an RT data frame back out of an Ethernet frame.  Fails when the
+    /// frame is not IPv4/UDP or not marked real-time.
+    pub fn from_ethernet(frame: &EthernetFrame) -> RtResult<Self> {
+        let stamp = Self::peek_stamp(frame)?;
+        let ip = Ipv4Header::decode(&frame.payload)?;
         let udp = UdpHeader::decode(&frame.payload[IPV4_HEADER_BYTES..])?;
+        let ip_payload_end = (ip.total_length as usize).min(frame.payload.len());
         let payload_start = IPV4_HEADER_BYTES + UDP_HEADER_BYTES;
         let payload_end = (payload_start + udp.payload_length()).min(ip_payload_end);
         let payload = frame.payload[payload_start..payload_end].to_vec();
@@ -265,6 +288,21 @@ mod tests {
         )
         .unwrap();
         assert!(RtDataFrame::from_ethernet(&eth).is_err());
+    }
+
+    #[test]
+    fn encode_payload_into_matches_into_ethernet() {
+        let frame = RtDataFrame {
+            eth_src: MacAddr::new([2, 0, 0, 0, 0, 1]),
+            eth_dst: MacAddr::for_switch(),
+            stamp: DeadlineStamp::new(123_456_789, ChannelId::new(9)).unwrap(),
+            src_port: 5555,
+            dst_port: 6666,
+            payload: b"sensor reading 42".to_vec(),
+        };
+        let mut out = Vec::new();
+        frame.encode_payload_into(&mut out).unwrap();
+        assert_eq!(out, frame.into_ethernet().unwrap().payload);
     }
 
     #[test]

@@ -59,6 +59,14 @@ impl RequestFrame {
     /// `20..24` destination IP, `24..28` period, `28..32` capacity,
     /// `32..36` deadline.
     pub fn encode(&self) -> RtResult<Vec<u8>> {
+        let mut out = Vec::with_capacity(REQUEST_FRAME_BYTES);
+        self.encode_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Append the serialised payload to `out` (same bytes as
+    /// [`RequestFrame::encode`]).
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> RtResult<()> {
         for (name, v) in [
             ("period", self.period),
             ("capacity", self.capacity),
@@ -70,7 +78,8 @@ impl RequestFrame {
                 )));
             }
         }
-        let mut w = ByteWriter::with_capacity(REQUEST_FRAME_BYTES);
+        let base = out.len();
+        let mut w = ByteWriter::from_vec(std::mem::take(out));
         w.put_u8(RT_FRAME_TYPE_CONNECT);
         w.put_u8(self.connection_request_id.get());
         w.put_u16(self.rt_channel_id.map_or(0, |c| c.get()));
@@ -81,9 +90,9 @@ impl RequestFrame {
         w.put_u32(self.period.get() as u32);
         w.put_u32(self.capacity.get() as u32);
         w.put_u32(self.deadline.get() as u32);
-        let out = w.into_vec();
-        debug_assert_eq!(out.len(), REQUEST_FRAME_BYTES);
-        Ok(out)
+        debug_assert_eq!(w.len() - base, REQUEST_FRAME_BYTES);
+        *out = w.into_vec();
+        Ok(())
     }
 
     /// Parse a RequestFrame payload.  Trailing padding (from Ethernet
@@ -202,6 +211,17 @@ mod tests {
         let mut f = sample();
         f.period = Slots::new(u64::from(u32::MAX) + 1);
         assert!(f.encode().is_err());
+        let mut out = Vec::new();
+        assert!(f.encode_into(&mut out).is_err());
+    }
+
+    #[test]
+    fn encode_into_matches_owned_encode() {
+        let mut f = sample();
+        f.rt_channel_id = Some(ChannelId::new(0x0905));
+        let mut out = vec![0xcc];
+        f.encode_into(&mut out).unwrap();
+        assert_eq!(&out[1..], &f.encode().unwrap()[..]);
     }
 
     /// Randomised requests survive encode → decode at the fixed wire size.

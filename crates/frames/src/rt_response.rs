@@ -56,7 +56,16 @@ impl ResponseFrame {
     /// Layout (offsets in bytes): `0` type, `1` connection request ID,
     /// `2..4` RT channel ID, `4..10` switch MAC, `10` response code.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = ByteWriter::with_capacity(RESPONSE_FRAME_BYTES);
+        let mut out = Vec::with_capacity(RESPONSE_FRAME_BYTES);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the serialised payload to `out` (same bytes as
+    /// [`ResponseFrame::encode`]).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let base = out.len();
+        let mut w = ByteWriter::from_vec(std::mem::take(out));
         w.put_u8(RT_FRAME_TYPE_RESPONSE);
         w.put_u8(self.connection_request_id.get());
         w.put_u16(self.rt_channel_id.map_or(0, |c| c.get()));
@@ -65,9 +74,8 @@ impl ResponseFrame {
             ResponseVerdict::Accepted => 1,
             ResponseVerdict::Rejected => 0,
         });
-        let out = w.into_vec();
-        debug_assert_eq!(out.len(), RESPONSE_FRAME_BYTES);
-        out
+        debug_assert_eq!(w.len() - base, RESPONSE_FRAME_BYTES);
+        *out = w.into_vec();
     }
 
     /// Parse a ResponseFrame payload; Ethernet padding after the 11 bytes is
@@ -152,6 +160,16 @@ mod tests {
         let g = ResponseFrame::decode(&f.encode()).unwrap();
         assert_eq!(g.rt_channel_id, None);
         assert!(!g.verdict.is_accepted());
+    }
+
+    #[test]
+    fn encode_into_matches_owned_encode() {
+        for v in [ResponseVerdict::Accepted, ResponseVerdict::Rejected] {
+            let f = sample(v);
+            let mut out = vec![0x11, 0x22];
+            f.encode_into(&mut out);
+            assert_eq!(&out[2..], &f.encode()[..]);
+        }
     }
 
     #[test]

@@ -49,12 +49,20 @@ impl UdpHeader {
 
     /// Serialise the header (8 bytes) without computing a checksum.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = ByteWriter::with_capacity(UDP_HEADER_BYTES);
+        let mut out = Vec::with_capacity(UDP_HEADER_BYTES);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the serialised header to `out` (same bytes as
+    /// [`UdpHeader::encode`]).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::from_vec(std::mem::take(out));
         w.put_u16(self.src_port);
         w.put_u16(self.dst_port);
         w.put_u16(self.length);
         w.put_u16(self.checksum);
-        w.into_vec()
+        *out = w.into_vec();
     }
 
     /// Serialise the header with the checksum computed over the IPv4
@@ -144,6 +152,14 @@ mod tests {
     #[test]
     fn oversized_payload_rejected() {
         assert!(UdpHeader::new(1, 2, 70_000).is_err());
+    }
+
+    #[test]
+    fn encode_into_matches_owned_encode() {
+        let h = UdpHeader::new(5000, 6000, 100).unwrap();
+        let mut out = vec![0xfe];
+        h.encode_into(&mut out);
+        assert_eq!(&out[1..], &h.encode()[..]);
     }
 
     #[test]

@@ -25,6 +25,13 @@ impl ByteWriter {
         }
     }
 
+    /// Create a writer that appends to an existing buffer, preserving its
+    /// contents and capacity.  This is how the `encode_into` codec entry
+    /// points reuse arena-pooled buffers without reallocating.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        ByteWriter { buf }
+    }
+
     /// Number of bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -232,6 +239,20 @@ mod tests {
         assert_eq!(r.get_slice(3).unwrap(), &[9, 9, 9]);
         assert_eq!(r.get_rest(), &[0, 0]);
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn from_vec_appends_and_keeps_capacity() {
+        let mut base = Vec::with_capacity(64);
+        base.extend_from_slice(&[1, 2]);
+        let ptr = base.as_ptr();
+        let mut w = ByteWriter::from_vec(base);
+        w.put_u16(0x0304);
+        let out = w.into_vec();
+        assert_eq!(out, [1, 2, 3, 4]);
+        assert!(out.capacity() >= 64);
+        // Small writes into pre-allocated capacity must not reallocate.
+        assert_eq!(out.as_ptr(), ptr);
     }
 
     #[test]

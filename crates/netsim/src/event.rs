@@ -178,6 +178,34 @@ pub trait EventScheduler: std::fmt::Debug {
         }
     }
 
+    /// Remove the `(time, seq)`-minimal event *and every other event
+    /// scheduled at the same time*, appending them to `out` in FIFO
+    /// (ascending `seq`) order.  Returns the run's time, or `None` when
+    /// empty.  Semantically a `pop` followed by `peek_time`-guarded pops;
+    /// implementations whose min search is not O(1) override it to locate
+    /// the run once.
+    fn pop_run(&mut self, out: &mut Vec<Event>) -> Option<SimTime> {
+        let (time, event) = self.pop()?;
+        out.push(event);
+        while self.peek_time() == Some(time) {
+            let (_, event) = self.pop().expect("peeked a pending event");
+            out.push(event);
+        }
+        Some(time)
+    }
+
+    /// [`EventScheduler::pop_run`] gated on the window: drains the minimal
+    /// same-time run only if its time is at or before `limit`.
+    fn pop_run_at_or_before(&mut self, limit: SimTime, out: &mut Vec<Event>) -> Option<SimTime> {
+        let (time, event) = self.pop_at_or_before(limit)?;
+        out.push(event);
+        while self.peek_time() == Some(time) {
+            let (_, event) = self.pop().expect("peeked a pending event");
+            out.push(event);
+        }
+        Some(time)
+    }
+
     /// The time of the minimal event without removing it.
     fn peek_time(&self) -> Option<SimTime>;
 
@@ -327,6 +355,8 @@ pub struct CalendarScheduler {
     floor: u64,
     /// Resizes performed (exposed for tests and diagnostics).
     resizes: u64,
+    /// Reusable `(seq, slot)` scratch for the batched same-time drain.
+    run_scratch: Vec<(u64, u32)>,
 }
 
 /// Initial and minimal number of buckets.
@@ -363,6 +393,7 @@ impl CalendarScheduler {
             in_buckets: 0,
             floor: 0,
             resizes: 0,
+            run_scratch: Vec::new(),
         }
     }
 
@@ -625,6 +656,48 @@ impl CalendarScheduler {
         true
     }
 
+    /// Unlink every slot of `bucket` whose time is `min_time` in **one**
+    /// chain walk, then release them to `out` in `seq` order.  Equal times
+    /// land in the same bucket at any geometry (`bucket_of` is a pure
+    /// function of time, and equal times share a year), so this really is
+    /// the whole run; a per-event `find_min` would rescan the same chain
+    /// once per event — O(n²) on an n-event burst.
+    fn drain_run(&mut self, bucket: usize, min_time: u64, out: &mut Vec<Event>) {
+        let mut run = std::mem::take(&mut self.run_scratch);
+        debug_assert!(run.is_empty());
+        let mut prev = NIL;
+        let mut walk = self.buckets[bucket];
+        while walk != NIL {
+            let s = &self.slab[walk as usize];
+            let next = s.next;
+            if s.time == min_time {
+                run.push((s.seq, walk));
+                if prev == NIL {
+                    self.buckets[bucket] = next;
+                } else {
+                    self.slab[prev as usize].next = next;
+                }
+            } else {
+                prev = walk;
+            }
+            walk = next;
+        }
+        debug_assert!(!run.is_empty(), "drain_run called with the min elsewhere");
+        self.in_buckets -= run.len();
+        // The bucket chain is unordered; FIFO comes from the seq sort.
+        run.sort_unstable_by_key(|&(seq, _)| seq);
+        for &(_, slot) in &run {
+            let (_, event) = self.release_slot(slot);
+            out.push(event);
+        }
+        run.clear();
+        self.run_scratch = run;
+        self.floor = min_time;
+        if self.len() * 8 < self.buckets.len() && self.buckets.len() > MIN_BUCKETS {
+            self.resize();
+        }
+    }
+
     /// Unlink and release the minimal slot located by
     /// [`CalendarScheduler::find_min`], advancing the push floor.
     fn take(&mut self, slot: u32, prev: u32, bucket: usize) -> (SimTime, Event) {
@@ -689,6 +762,39 @@ impl EventScheduler for CalendarScheduler {
             return None;
         }
         Some(self.take(slot, prev, bucket))
+    }
+
+    fn pop_run(&mut self, out: &mut Vec<Event>) -> Option<SimTime> {
+        if !self.bring_min_into_buckets() {
+            return None;
+        }
+        let (slot, _, bucket) = self.find_min().expect("buckets hold the minimum");
+        self.cursor = bucket;
+        let min_time = self.slab[slot as usize].time;
+        self.drain_run(bucket, min_time, out);
+        Some(SimTime::from_nanos(min_time))
+    }
+
+    fn pop_run_at_or_before(&mut self, limit: SimTime, out: &mut Vec<Event>) -> Option<SimTime> {
+        // Mirrors `pop_at_or_before`: refuse far-future overflow *before*
+        // migrating, so a refused probe cannot advance the year anchor.
+        if self.in_buckets == 0 {
+            match self.overflow_min_time() {
+                Some(min) if min <= limit.as_nanos() => {
+                    let migrated = self.bring_min_into_buckets();
+                    debug_assert!(migrated, "overflow was non-empty");
+                }
+                _ => return None,
+            }
+        }
+        let (slot, _, bucket) = self.find_min().expect("buckets hold the minimum");
+        self.cursor = bucket;
+        let min_time = self.slab[slot as usize].time;
+        if min_time > limit.as_nanos() {
+            return None;
+        }
+        self.drain_run(bucket, min_time, out);
+        Some(SimTime::from_nanos(min_time))
     }
 
     fn peek_time(&self) -> Option<SimTime> {
@@ -809,6 +915,27 @@ impl EventQueue {
         self.now = time;
         self.processed += 1;
         Some((time, event))
+    }
+
+    /// Drain the whole run of events at the minimal pending time into
+    /// `out` (cleared first; FIFO order), advancing the clock to that time.
+    /// One scheduler dispatch per *instant* instead of per event.
+    pub fn pop_run(&mut self, out: &mut Vec<Event>) -> Option<SimTime> {
+        out.clear();
+        let time = self.scheduler.pop_run(out)?;
+        self.now = time;
+        self.processed += out.len() as u64;
+        Some(time)
+    }
+
+    /// The windowed form of [`EventQueue::pop_run`]: drains the minimal
+    /// same-time run only if it is scheduled at or before `limit`.
+    pub fn pop_run_until(&mut self, limit: SimTime, out: &mut Vec<Event>) -> Option<SimTime> {
+        out.clear();
+        let time = self.scheduler.pop_run_at_or_before(limit, out)?;
+        self.now = time;
+        self.processed += out.len() as u64;
+        Some(time)
     }
 }
 
@@ -1121,6 +1248,95 @@ mod tests {
                 seq += 1;
             }
         }
+    }
+
+    #[test]
+    fn pop_run_drains_whole_same_time_runs_in_fifo_order() {
+        for mut q in queues() {
+            // Three instants: a 5-event run, a singleton, a 3-event run.
+            for i in 0..5u64 {
+                q.schedule(SimTime::from_micros(10), ev(0, i));
+            }
+            q.schedule(SimTime::from_micros(20), ev(1, 100));
+            for i in 0..3u64 {
+                q.schedule(SimTime::from_micros(30), ev(2, 200 + i));
+            }
+            let mut out = Vec::new();
+            let t = q.pop_run(&mut out).unwrap();
+            assert_eq!(t, SimTime::from_micros(10));
+            assert_eq!(q.now(), t);
+            assert_eq!(
+                out,
+                (0..5).map(|i| ev(0, i)).collect::<Vec<_>>(),
+                "first run must be complete and FIFO"
+            );
+            assert_eq!(q.pop_run(&mut out), Some(SimTime::from_micros(20)));
+            assert_eq!(out, vec![ev(1, 100)]);
+            assert_eq!(q.pop_run(&mut out), Some(SimTime::from_micros(30)));
+            assert_eq!(out.len(), 3);
+            assert_eq!(q.pop_run(&mut out), None);
+            assert!(out.is_empty(), "a refused pop_run leaves out cleared");
+            assert_eq!(q.processed(), 9);
+        }
+    }
+
+    #[test]
+    fn pop_run_until_respects_the_window() {
+        for mut q in queues() {
+            for i in 0..4u64 {
+                q.schedule(SimTime::from_nanos(100), ev(0, i));
+            }
+            q.schedule(SimTime::from_nanos(200), ev(1, 10));
+            let mut out = Vec::new();
+            assert_eq!(q.pop_run_until(SimTime::from_nanos(50), &mut out), None);
+            assert_eq!(q.len(), 5, "a refused window drains nothing");
+            assert_eq!(
+                q.pop_run_until(SimTime::from_nanos(100), &mut out),
+                Some(SimTime::from_nanos(100))
+            );
+            assert_eq!(out.len(), 4);
+            assert_eq!(q.pop_run_until(SimTime::from_nanos(150), &mut out), None);
+            assert_eq!(q.len(), 1);
+        }
+    }
+
+    #[test]
+    fn pop_run_matches_single_pops_on_a_scrambled_workload() {
+        // The batched drain must yield the exact single-pop sequence on
+        // both schedulers, including follow-up pushes landing in the run
+        // that was just drained ("same-instant" ties are legal re-pushes).
+        let mut single = EventQueue::with_scheduler(SchedulerKind::Heap);
+        let mut heap = EventQueue::with_scheduler(SchedulerKind::Heap);
+        let mut cal = EventQueue::with_scheduler(SchedulerKind::Calendar);
+        // Clustered times with many exact ties (only 500 distinct instants
+        // for 2000 events).
+        for k in 0..2_000u64 {
+            let t = SimTime::from_nanos((scramble(k) % 500) * 1_000);
+            for q in [&mut single, &mut heap, &mut cal] {
+                q.schedule(t, ev(0, k));
+            }
+        }
+        let mut seq = 2_000u64;
+        let (mut h_out, mut c_out) = (Vec::new(), Vec::new());
+        while let Some(t) = heap.pop_run(&mut h_out) {
+            assert_eq!(cal.pop_run(&mut c_out), Some(t));
+            assert_eq!(h_out, c_out, "calendar run diverged from heap run");
+            for e in &h_out {
+                let (st, se) = single.pop().unwrap();
+                assert_eq!((st, &se), (t, e), "batched drain diverged from single pops");
+            }
+            if seq < 2_400 {
+                for offset in [0u64, 0, 3_000] {
+                    let at = t + rt_types::Duration::from_nanos(offset);
+                    for q in [&mut single, &mut heap, &mut cal] {
+                        q.schedule(at, ev(1, seq));
+                    }
+                    seq += 1;
+                }
+            }
+        }
+        assert!(cal.pop_run(&mut c_out).is_none());
+        assert!(single.pop().is_none());
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub use event::{
 };
 pub use port::{OutputPort, QueuedFrame, TrafficClass};
 pub use sim::{
-    Delivery, FaultScript, FrameId, FrameInjection, LinkFault, SimConfig, Simulator, TrafficSource,
+    Delivery, FaultScript, FrameId, FrameInjection, FrameStoreKind, LinkFault, SimConfig,
+    Simulator, TrafficSource,
 };
 pub use stats::{ChannelStats, LinkStats, SimStats};

@@ -63,7 +63,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use rt_frames::{EthernetFrame, Frame};
+use rt_frames::{EthernetFrame, Frame, FrameArena, FramePeek, FrameRef};
 use rt_types::{
     ChannelId, DenseNextHop, Duration, HopLink, IdIndex, LinkId, MacAddr, NextHopTable, NodeId,
     Route, Router, RtError, RtResult, ShortestPathRouter, SimTime, SwitchId, Topology, NO_INDEX,
@@ -89,6 +89,30 @@ impl FrameId {
     }
 }
 
+/// How the simulator stores frame payloads between injection and delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrameStoreKind {
+    /// Every frame record owns its decoded [`EthernetFrame`]; delivery
+    /// clones it.  The bit-exact reference path.
+    Owned,
+    /// Frame bytes live in a pooled [`FrameArena`]: injection serialises the
+    /// frame once into a recycled buffer, every hop hands the index along,
+    /// and the buffer returns to the pool at delivery or drop.  Steady-state
+    /// allocation-free; byte-for-byte identical deliveries.  The default.
+    #[default]
+    Arena,
+}
+
+impl FrameStoreKind {
+    /// A short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameStoreKind::Owned => "owned",
+            FrameStoreKind::Arena => "arena",
+        }
+    }
+}
+
 /// Static configuration of the simulated network.
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
@@ -103,6 +127,9 @@ pub struct SimConfig {
     /// Which event scheduler drives the simulation (calendar queue by
     /// default; the binary heap is the bit-exact reference).
     pub scheduler: SchedulerKind,
+    /// How frame payloads are stored in flight (arena-pooled buffers by
+    /// default; `Owned` is the clone-per-delivery reference).
+    pub frame_store: FrameStoreKind,
 }
 
 impl Default for SimConfig {
@@ -115,6 +142,7 @@ impl Default for SimConfig {
             switch_latency: Duration::from_micros(5),
             be_queue_capacity: Some(1024),
             scheduler: SchedulerKind::default(),
+            frame_store: FrameStoreKind::default(),
         }
     }
 }
@@ -171,10 +199,21 @@ enum FrameDest {
     Unknown,
 }
 
+/// Where one frame's bytes live while it crosses the fabric.
+#[derive(Debug, Clone)]
+enum StoredFrame {
+    /// The decoded frame, owned by the record ([`FrameStoreKind::Owned`]).
+    Owned(EthernetFrame),
+    /// An index into the simulator's [`FrameArena`]
+    /// ([`FrameStoreKind::Arena`]): the buffer holds the unpadded wire
+    /// image and is freed back to the pool at delivery or drop.
+    Pooled(FrameRef),
+}
+
 /// Everything the simulator remembers about one injected frame.
 #[derive(Debug, Clone)]
 struct FrameRecord {
-    eth: EthernetFrame,
+    stored: StoredFrame,
     class: TrafficClass,
     /// Absolute end-to-end deadline (simulated time) for RT frames.
     deadline: Option<SimTime>,
@@ -439,7 +478,12 @@ pub struct Simulator {
     /// transmission-complete event fires.
     doomed_ports: Vec<bool>,
     frames: Vec<FrameRecord>,
+    /// Pooled buffers for in-flight frame bytes
+    /// ([`FrameStoreKind::Arena`]); empty and untouched in `Owned` mode.
+    arena: FrameArena,
     pending_deliveries: Vec<Delivery>,
+    /// Reusable scratch for the batched same-time event drain.
+    event_batch: Vec<Event>,
     stats: SimStats,
 }
 
@@ -559,7 +603,9 @@ impl Simulator {
             dead_ports: vec![false; port_count],
             doomed_ports: vec![false; port_count],
             frames: Vec::new(),
+            arena: FrameArena::new(),
             pending_deliveries: Vec::new(),
+            event_batch: Vec::new(),
             stats,
         })
     }
@@ -823,8 +869,9 @@ impl Simulator {
                 if self.ports[p].is_busy(now) {
                     self.doomed_ports[p] = true;
                 }
-                for _ in self.ports[p].drain() {
+                for lost in self.ports[p].drain() {
                     self.stats.record_failed_link_drop();
+                    self.discard_frame(lost.frame);
                 }
             }
         }
@@ -910,18 +957,18 @@ impl Simulator {
     fn classify(
         eth: &EthernetFrame,
     ) -> RtResult<(TrafficClass, Option<SimTime>, Option<ChannelId>)> {
-        match Frame::classify(eth.clone())? {
-            Frame::RtData(data) => Ok((
+        // `Frame::peek` borrows: classification costs no clone and no
+        // payload copy, and accepts/rejects exactly as `Frame::classify`.
+        match Frame::peek(eth)? {
+            FramePeek::RtData(stamp) => Ok((
                 TrafficClass::RealTime,
-                Some(SimTime::from_nanos(data.stamp.absolute_deadline)),
-                Some(data.stamp.channel),
+                Some(SimTime::from_nanos(stamp.absolute_deadline)),
+                Some(stamp.channel),
             )),
-            Frame::Request(_) | Frame::Response(_) | Frame::Teardown(_) | Frame::Reservation(_) => {
-                // Control frames ride the RT queue with an immediate
-                // deadline so that channel management is never starved.
-                Ok((TrafficClass::RealTime, None, None))
-            }
-            Frame::BestEffort(_) => Ok((TrafficClass::BestEffort, None, None)),
+            // Control frames ride the RT queue with an immediate deadline
+            // so that channel management is never starved.
+            FramePeek::Control => Ok((TrafficClass::RealTime, None, None)),
+            FramePeek::BestEffort => Ok((TrafficClass::BestEffort, None, None)),
         }
     }
 
@@ -974,8 +1021,18 @@ impl Simulator {
         if Self::is_control_record(class, channel) {
             self.stats.record_control_frame();
         }
+        // The one serialisation of the zero-copy path: the frame's unpadded
+        // wire image goes into a pooled buffer here, and only the small
+        // `FrameRef` travels through the event loop.
+        let stored = match self.config.frame_store {
+            FrameStoreKind::Owned => StoredFrame::Owned(eth),
+            FrameStoreKind::Arena => StoredFrame::Pooled(
+                self.arena
+                    .alloc_with(eth.unpadded_len(), |buf| eth.encode_unpadded_to_slice(buf)),
+            ),
+        };
         self.frames.push(FrameRecord {
-            eth,
+            stored,
             class,
             deadline,
             channel,
@@ -1113,8 +1170,21 @@ impl Simulator {
     // --- execution -------------------------------------------------------
 
     /// Run until the event queue is empty; returns the final simulated time.
+    ///
+    /// Events are drained in same-time *runs*: one scheduler dispatch pulls
+    /// every event scheduled at the minimal instant (in FIFO order), so a
+    /// burst of simultaneous arrivals costs one min-search instead of one
+    /// per event.  Events the handlers schedule at that same instant carry
+    /// later sequence numbers, so handling the run before them is exactly
+    /// the single-pop order.
     pub fn run_to_idle(&mut self) -> SimTime {
-        while self.step() {}
+        let mut batch = std::mem::take(&mut self.event_batch);
+        while let Some(time) = self.events.pop_run(&mut batch) {
+            for event in batch.drain(..) {
+                self.handle(time, event);
+            }
+        }
+        self.event_batch = batch;
         self.now()
     }
 
@@ -1146,10 +1216,16 @@ impl Simulator {
     }
 
     /// Run until `limit` (inclusive); events after `limit` stay pending.
+    /// Same-time runs are drained in one scheduler dispatch, as in
+    /// [`Simulator::run_to_idle`].
     pub fn run_until(&mut self, limit: SimTime) {
-        while let Some((time, event)) = self.events.pop_until(limit) {
-            self.handle(time, event);
+        let mut batch = std::mem::take(&mut self.event_batch);
+        while let Some(time) = self.events.pop_run_until(limit, &mut batch) {
+            for event in batch.drain(..) {
+                self.handle(time, event);
+            }
         }
+        self.event_batch = batch;
     }
 
     /// Drive the simulation with a pull-based [`TrafficSource`]: inject the
@@ -1263,6 +1339,7 @@ impl Simulator {
                             self.try_start_tx(now, port);
                         } else {
                             self.stats.record_unroutable();
+                            self.discard_frame(frame);
                         }
                     }
                     FrameDest::Switch { switch: target } => {
@@ -1281,6 +1358,7 @@ impl Simulator {
                             self.try_start_tx(now, port);
                         } else {
                             self.stats.record_unroutable();
+                            self.discard_frame(frame);
                         }
                     }
                     FrameDest::Node {
@@ -1292,6 +1370,7 @@ impl Simulator {
                             // state for it any more, so the frame is
                             // discarded, not delivered on a stale route.
                             self.stats.record_released_channel_drop();
+                            self.discard_frame(frame);
                             return;
                         }
                         match self.egress_port(at, dest_node, dest_switch, channel) {
@@ -1300,15 +1379,22 @@ impl Simulator {
                                 // points at the cut trunk; the frame is lost
                                 // until the channel is re-routed.
                                 self.stats.record_failed_link_drop();
+                                self.discard_frame(frame);
                             }
                             Some(port) => {
                                 self.enqueue_at_port(frame, port);
                                 self.try_start_tx(now, port);
                             }
-                            None => self.stats.record_unroutable(),
+                            None => {
+                                self.stats.record_unroutable();
+                                self.discard_frame(frame);
+                            }
                         }
                     }
-                    FrameDest::Unknown => self.stats.record_unroutable(),
+                    FrameDest::Unknown => {
+                        self.stats.record_unroutable();
+                        self.discard_frame(frame);
+                    }
                 }
             }
             Event::EnqueueAtSwitch { to, frame } => {
@@ -1320,7 +1406,10 @@ impl Simulator {
                         self.enqueue_at_port(frame, port);
                         self.try_start_tx(now, port);
                     }
-                    None => self.stats.record_unroutable(),
+                    None => {
+                        self.stats.record_unroutable();
+                        self.discard_frame(frame);
+                    }
                 }
             }
             Event::SwitchTxComplete { to, frame } => {
@@ -1345,6 +1434,7 @@ impl Simulator {
                         // transmission still held it busy — restart it.
                         self.doomed_ports[p] = false;
                         self.stats.record_failed_link_drop();
+                        self.discard_frame(frame);
                         self.try_start_tx(now, port);
                         return;
                     }
@@ -1405,6 +1495,7 @@ impl Simulator {
             TrafficClass::BestEffort => {
                 if !out.enqueue_be(frame) {
                     self.stats.record_be_drop();
+                    self.discard_frame(frame);
                 }
             }
         }
@@ -1475,18 +1566,60 @@ impl Simulator {
             }
             TrafficClass::BestEffort => self.stats.record_be_delivery(),
         }
+        // Materialise the public `Delivery` frame: the owned store clones
+        // its decoded frame; the arena store decodes the pooled unpadded
+        // wire image (struct-exact, so deliveries are byte-for-byte
+        // identical across stores) and returns the buffer to the pool.
+        let eth = match &record.stored {
+            StoredFrame::Owned(eth) => eth.clone(),
+            StoredFrame::Pooled(r) => {
+                let r = *r;
+                let eth = EthernetFrame::decode_unpadded(self.arena.bytes(r))
+                    .expect("pooled frames hold a valid unpadded wire image");
+                self.arena.free(r);
+                eth
+            }
+        };
         self.pending_deliveries.push(Delivery {
             frame,
             receiver,
             switch,
             source: record.source,
-            eth: record.eth.clone(),
+            eth,
             injected_at: record.injected_at,
             delivered_at: now,
             channel: record.channel,
             deadline: record.deadline,
             class: record.class,
         });
+    }
+
+    /// A frame leaves the fabric without being delivered (unroutable, BE
+    /// overflow, released channel, dead link): return its pooled buffer to
+    /// the arena.  Every drop site must call this exactly once — the
+    /// arena-leak invariant (`arena_outstanding() == 0` once the fabric
+    /// drains) is what the property suite checks.
+    fn discard_frame(&mut self, frame: FrameId) {
+        if let StoredFrame::Pooled(r) = self.frames[frame.0 as usize].stored {
+            self.arena.free(r);
+        }
+    }
+
+    /// Which frame store the simulator runs on.
+    pub fn frame_store_kind(&self) -> FrameStoreKind {
+        self.config.frame_store
+    }
+
+    /// Pooled frame buffers currently in flight (always 0 in `Owned` mode,
+    /// and 0 once every injected frame has been delivered or dropped).
+    pub fn arena_outstanding(&self) -> usize {
+        self.arena.outstanding()
+    }
+
+    /// Allocation counters of the frame arena (fresh allocations vs
+    /// buffer reuses; see [`rt_frames::ArenaStats`]).
+    pub fn arena_stats(&self) -> rt_frames::ArenaStats {
+        self.arena.stats()
     }
 
     /// Total transmission (busy) time recorded on an access link so far.
@@ -2308,6 +2441,154 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(drive(SchedulerKind::Heap), drive(SchedulerKind::Calendar));
+    }
+
+    #[test]
+    fn frame_store_choice_flows_from_the_config() {
+        let owned = Simulator::new(
+            SimConfig {
+                frame_store: FrameStoreKind::Owned,
+                ..SimConfig::default()
+            },
+            nodes(2),
+        );
+        assert_eq!(owned.frame_store_kind(), FrameStoreKind::Owned);
+        let sim = Simulator::new(SimConfig::default(), nodes(2));
+        assert_eq!(sim.frame_store_kind(), FrameStoreKind::Arena);
+        assert_eq!(FrameStoreKind::Owned.name(), "owned");
+        assert_eq!(FrameStoreKind::Arena.name(), "arena");
+    }
+
+    #[test]
+    fn owned_and_arena_stores_deliver_byte_identical_frames() {
+        // The acceptance bar for the zero-copy path: deliveries (including
+        // re-encoded wire bytes) must be byte-for-byte identical across
+        // stores, on a mixed RT + BE + control workload with drops.
+        let drive = |frame_store: FrameStoreKind| {
+            let config = SimConfig {
+                frame_store,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulator::new(config, nodes(4));
+            for k in 0..60u64 {
+                let src = NodeId::new((k % 4) as u32);
+                let dst = NodeId::new(((k + 1) % 4) as u32);
+                sim.inject(
+                    src,
+                    rt_frame(src, dst, (k % 5) as u16 + 1, SimTime::from_millis(20), 700),
+                    SimTime::from_micros(k * 7),
+                )
+                .unwrap();
+                sim.inject(
+                    src,
+                    be_frame(src, dst, 60 + (k as usize % 1200)),
+                    SimTime::from_micros(k * 7),
+                )
+                .unwrap();
+            }
+            // An unroutable frame exercises the drop path.
+            sim.inject(
+                NodeId::new(0),
+                be_frame(NodeId::new(0), NodeId::new(77), 300),
+                SimTime::from_micros(1),
+            )
+            .unwrap();
+            sim.run_to_idle();
+            let deliveries: Vec<_> = sim
+                .poll_deliveries()
+                .iter()
+                .map(|d| (d.frame, d.receiver, d.delivered_at, d.eth.encode()))
+                .collect();
+            (deliveries, sim.stats().summary(), sim.arena_outstanding())
+        };
+        let (owned, owned_stats, owned_outstanding) = drive(FrameStoreKind::Owned);
+        let (arena, arena_stats, arena_outstanding) = drive(FrameStoreKind::Arena);
+        assert_eq!(owned, arena);
+        assert_eq!(owned_stats, arena_stats);
+        assert_eq!(owned_outstanding, 0, "owned mode never touches the arena");
+        assert_eq!(arena_outstanding, 0, "every pooled buffer must come home");
+    }
+
+    #[test]
+    fn arena_buffers_are_recycled_in_steady_state() {
+        // Frames free at delivery, so a long run reuses a handful of slots:
+        // the pool must not grow with the number of frames.
+        let mut sim = Simulator::new(SimConfig::default(), nodes(2));
+        let (n0, n1) = (NodeId::new(0), NodeId::new(1));
+        let mut at = SimTime::ZERO;
+        for _ in 0..200u64 {
+            sim.inject(n0, be_frame(n0, n1, 900), at).unwrap();
+            sim.run_to_idle();
+            at = sim.now();
+        }
+        assert_eq!(sim.poll_deliveries().len(), 200);
+        assert_eq!(sim.arena_outstanding(), 0);
+        let stats = sim.arena_stats();
+        assert_eq!(stats.fresh_allocations, 1, "one slot serves the run");
+        assert_eq!(stats.reuses, 199);
+        assert_eq!(stats.frees, 200);
+    }
+
+    #[test]
+    fn dropped_frames_return_their_buffers_to_the_arena() {
+        // Every drop path must free: released channel, BE overflow, failed
+        // link (queued + in-flight), unroutable.
+        let config = SimConfig {
+            be_queue_capacity: Some(1),
+            ..SimConfig::default()
+        };
+        let mut sim = dumbbell_sim(config);
+        let (n0, n1) = (NodeId::new(0), NodeId::new(1));
+        // BE overflow: burst at one uplink with capacity 1.
+        for _ in 0..4 {
+            sim.inject(n0, be_frame(n0, n1, 1400), SimTime::ZERO)
+                .unwrap();
+        }
+        // Released channel.
+        let ch = ChannelId::new(5);
+        sim.set_channel_route(
+            ch,
+            &Route::from_links(vec![
+                HopLink::Uplink(n0),
+                HopLink::Trunk {
+                    from: SwitchId::new(0),
+                    to: SwitchId::new(1),
+                },
+                HopLink::Downlink(n1),
+            ])
+            .unwrap(),
+        );
+        sim.release_channel(ch);
+        sim.inject(
+            n0,
+            rt_frame(n0, n1, 5, SimTime::from_millis(9), 400),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        // Unroutable.
+        sim.inject(n0, be_frame(n0, NodeId::new(99), 200), SimTime::ZERO)
+            .unwrap();
+        // Failed link: cut the trunk while frames are queued and in flight.
+        sim.schedule_fault(
+            SimTime::from_micros(150),
+            LinkFault::Fail {
+                from: SwitchId::new(0),
+                to: SwitchId::new(1),
+            },
+        )
+        .unwrap();
+        sim.run_to_idle();
+        assert!(sim.stats().total_dropped() > 0);
+        assert_eq!(
+            sim.injected_count(),
+            sim.stats().total_delivered() + sim.stats().total_dropped()
+        );
+        assert_eq!(
+            sim.arena_outstanding(),
+            0,
+            "drops leaked pooled buffers: {:?}",
+            sim.arena_stats()
+        );
     }
 
     #[test]

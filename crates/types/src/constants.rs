@@ -81,6 +81,25 @@ pub const RT_FRAME_TYPE_TEARDOWN: u8 = 0x03;
 /// release), an extension beyond the paper's centralised management.
 pub const RT_FRAME_TYPE_RESERVATION: u8 = 0x04;
 
+/// Buffer size of the small arena class: covers every RT control frame
+/// (request / response / teardown / reservation with a short value list)
+/// plus the 14-byte Ethernet header.
+pub const ARENA_SMALL_BYTES: usize = 128;
+
+/// Buffer size of the medium arena class: typical RT data frames with
+/// sensor-sized payloads.
+pub const ARENA_MEDIUM_BYTES: usize = 512;
+
+/// Buffer size of the large arena class: a full-MTU Ethernet frame stored
+/// unpadded (header + 1500-byte payload).
+pub const ARENA_MTU_BYTES: usize = ETH_HEADER_BYTES + ETH_MTU_BYTES;
+
+/// Buffers per slab chunk in the frame arena.  Each size class grows its
+/// backing storage one contiguous chunk at a time, so a workload that keeps
+/// N frames in flight costs N/256 heap allocations, not N, and neighbouring
+/// buffers share cache lines and pages.
+pub const ARENA_CHUNK_SLOTS: usize = 256;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +122,14 @@ mod tests {
     fn udp_payload_fits_mtu() {
         assert_eq!(MAX_UDP_PAYLOAD_BYTES, 1472);
         assert!(MAX_UDP_PAYLOAD_BYTES + IPV4_HEADER_BYTES + UDP_HEADER_BYTES <= ETH_MTU_BYTES);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn arena_classes_are_ordered_and_cover_the_mtu() {
+        assert!(ARENA_SMALL_BYTES < ARENA_MEDIUM_BYTES);
+        assert!(ARENA_MEDIUM_BYTES < ARENA_MTU_BYTES);
+        assert_eq!(ARENA_MTU_BYTES, 1514);
     }
 
     #[test]

@@ -17,13 +17,18 @@
 //!    analysis never miss a deadline on the wire, and every measured
 //!    latency stays below the hop-aware Eq. 18.1 bound
 //!    `d·slot + T_latency(h)`.
+//! 4. **Arena hygiene** — with the pooled frame store, every buffer taken
+//!    from the [`rt_frames::FrameArena`] is returned once the fabric
+//!    drains: `arena_outstanding() == 0` after every scenario, faulted or
+//!    not. Delivery frees; every drop path must free too. The pooled and
+//!    owned stores must also be observationally identical.
 //!
 //! A failing seed reproduces exactly: every random choice derives from the
 //! seed through `Xoshiro256`.
 
 use switched_rt_ethernet::core::{MultiHopDps, RtChannelSpec, RtNetwork};
 use switched_rt_ethernet::netsim::{
-    Delivery, FaultScript, FrameInjection, SchedulerKind, SimConfig, Simulator,
+    Delivery, FaultScript, FrameInjection, FrameStoreKind, SchedulerKind, SimConfig, Simulator,
 };
 use switched_rt_ethernet::types::{
     ChannelId, Duration, KShortestRouter, MacAddr, ManagerPlacement, NodeId, SimTime, Slots,
@@ -168,15 +173,22 @@ fn snapshot(deliveries: &[Delivery]) -> Snapshot {
         .collect()
 }
 
-/// Run one seed's workload (and optional fault script) on one scheduler;
-/// assert conservation; return the observable outcome.
-fn drive(seed: u64, scheduler: SchedulerKind, with_faults: bool) -> (Snapshot, String) {
+/// Run one seed's workload (and optional fault script) on one scheduler and
+/// frame store; assert conservation and arena hygiene; return the
+/// observable outcome.
+fn drive(
+    seed: u64,
+    scheduler: SchedulerKind,
+    frame_store: FrameStoreKind,
+    with_faults: bool,
+) -> (Snapshot, String) {
     let mut rng = Xoshiro256::new(seed);
     let topology = random_topology(&mut rng);
     let workload = random_workload(&mut rng, &topology);
     let faults = random_faults(&mut rng, &topology);
     let config = SimConfig {
         scheduler,
+        frame_store,
         ..SimConfig::default()
     };
     let mut sim = Simulator::with_topology(config, topology).expect("generated fabric is valid");
@@ -196,33 +208,53 @@ fn drive(seed: u64, scheduler: SchedulerKind, with_faults: bool) -> (Snapshot, S
         stats.summary(),
     );
     assert_eq!(stats.clamped_events, 0, "seed {seed}: causality violated");
+    // Invariant 4: once the fabric drains, every pooled buffer is back in
+    // the free list — delivered frames free on decode, dropped frames free
+    // at their drop site. A leak here means some drop path forgot
+    // `discard_frame`.
+    assert_eq!(
+        sim.arena_outstanding(),
+        0,
+        "seed {seed}: {} arena buffers leaked after drain ({})",
+        sim.arena_outstanding(),
+        stats.summary(),
+    );
     (snapshot(&sim.poll_deliveries()), sim.stats().summary())
 }
 
 // --- the properties -------------------------------------------------------
 
-/// Invariants 1 + 2 on fault-free fabrics: conservation on every seed, and
-/// heap/calendar byte-for-byte equivalence.
+/// Invariants 1 + 2 + 4 on fault-free fabrics: conservation and arena
+/// hygiene on every seed, heap/calendar byte-for-byte equivalence, and
+/// pooled/owned frame-store equivalence.
 #[test]
 fn random_fabrics_conserve_frames_and_are_scheduler_invariant() {
     for seed in 0..SEEDS {
-        let heap = drive(seed, SchedulerKind::Heap, false);
-        let calendar = drive(seed, SchedulerKind::Calendar, false);
+        let heap = drive(seed, SchedulerKind::Heap, FrameStoreKind::Arena, false);
+        let calendar = drive(seed, SchedulerKind::Calendar, FrameStoreKind::Arena, false);
         assert_eq!(heap, calendar, "seed {seed}: schedulers diverge");
+        let owned = drive(seed, SchedulerKind::Calendar, FrameStoreKind::Owned, false);
+        assert_eq!(calendar, owned, "seed {seed}: frame stores diverge");
     }
 }
 
-/// Invariants 1 + 2 *under fault injection*: a scripted trunk cut (and
-/// sometimes a repair) mid-workload must neither lose track of a frame nor
-/// introduce any scheduler-dependent behaviour.
+/// Invariants 1 + 2 + 4 *under fault injection*: a scripted trunk cut (and
+/// sometimes a repair) mid-workload must neither lose track of a frame (or
+/// a pooled buffer) nor introduce any scheduler- or store-dependent
+/// behaviour.
 #[test]
 fn random_fabrics_with_faults_conserve_frames_and_are_scheduler_invariant() {
     for seed in 0..SEEDS {
-        let heap = drive(seed, SchedulerKind::Heap, true);
-        let calendar = drive(seed, SchedulerKind::Calendar, true);
+        let heap = drive(seed, SchedulerKind::Heap, FrameStoreKind::Arena, true);
+        let calendar = drive(seed, SchedulerKind::Calendar, FrameStoreKind::Arena, true);
         assert_eq!(
             heap, calendar,
             "seed {seed}: schedulers diverge under faults"
+        );
+        let owned = drive(seed, SchedulerKind::Calendar, FrameStoreKind::Owned, true);
+        assert_eq!(
+            calendar, owned,
+            "seed {seed}: frame stores diverge under faults"
         );
     }
 }
@@ -300,6 +332,11 @@ fn central_and_distributed_control_planes_are_equivalent_on_random_fabrics() {
             assert!(
                 stats.all_deadlines_met(),
                 "seed {seed}: {placement:?} missed"
+            );
+            assert_eq!(
+                net.simulator().arena_outstanding(),
+                0,
+                "seed {seed}: arena buffers leaked under {placement:?}"
             );
             let deliveries: Vec<_> = net
                 .received_messages()
@@ -394,12 +431,17 @@ fn admitted_channels_never_miss_deadlines_on_random_fabrics() {
             }
         }
         // Conservation holds for the full stack too (handshake frames
-        // included).
+        // included), and the full stack leaks no pooled buffers either.
         assert_eq!(
             net.simulator().injected_count(),
             stats.total_delivered() + stats.total_dropped(),
             "seed {seed}: full-stack conservation violated ({})",
             stats.summary()
+        );
+        assert_eq!(
+            net.simulator().arena_outstanding(),
+            0,
+            "seed {seed}: full-stack arena buffers leaked"
         );
     }
 }
