@@ -2,11 +2,19 @@
 //! `BENCH_multiswitch.json` (or any artifact of the same row shapes)
 //! against the previous run's artifact and fail on regressions.
 //!
-//! Four checks are gated:
+//! Six checks are gated:
 //!
 //! * **throughput** — rows carrying `events_per_second`, matched by
 //!   `(fabric, scheduler)` (falling back to `fabric`, then `name`);
 //!   a drop beyond the threshold (default 20 %) fails the run,
+//! * **churn admission rate** — rows carrying `admissions_per_second`
+//!   (the multiswitch part-6 churn soak, matched by `(fabric,
+//!   placement)`); a drop beyond a *fixed* 20 % fails the run regardless
+//!   of the CLI threshold, so relaxing the wire-level throughput gate
+//!   never relaxes the admission hot path,
+//! * **steady-state acceptance** — rows carrying `acceptance_ratio`;
+//!   the churn process is seeded, so the ratio is deterministic and *any*
+//!   decrease against the baseline fails the run,
 //! * **allocation pressure** — rows carrying `allocs_per_frame` (the
 //!   counting-allocator rows of `BENCH_simulator.json`); the gate is
 //!   *inverted* — lower is better — so an **increase** beyond the same
@@ -44,8 +52,12 @@ fn row_key(row: &JsonValue) -> String {
         .or_else(|| row.get("name"))
         .and_then(|v| v.as_str())
         .unwrap_or("?");
-    match row.get("scheduler").and_then(|v| v.as_str()) {
-        Some(scheduler) => format!("{fabric}/{scheduler}"),
+    let qualifier = row
+        .get("scheduler")
+        .or_else(|| row.get("placement"))
+        .and_then(|v| v.as_str());
+    match qualifier {
+        Some(qualifier) => format!("{fabric}/{qualifier}"),
         None => fabric.to_string(),
     }
 }
@@ -73,6 +85,10 @@ struct Metrics {
     accepted: BTreeMap<String, f64>,
     /// `key → allocs_per_frame` (gated inverted: an increase fails).
     allocs: BTreeMap<String, f64>,
+    /// `key → admissions_per_second` (gated at a fixed 20 %).
+    admissions: BTreeMap<String, f64>,
+    /// `key → acceptance_ratio` (deterministic: any decrease fails).
+    acceptance: BTreeMap<String, f64>,
 }
 
 fn metrics(doc: &JsonValue) -> Result<Metrics, String> {
@@ -87,13 +103,111 @@ fn metrics(doc: &JsonValue) -> Result<Metrics, String> {
         if let Some(apf) = row.get("allocs_per_frame").and_then(|v| v.as_f64()) {
             out.allocs.insert(row_key(row), apf);
         }
+        if let Some(aps) = row.get("admissions_per_second").and_then(|v| v.as_f64()) {
+            out.admissions.insert(row_key(row), aps);
+        }
+        if let Some(ratio) = row.get("acceptance_ratio").and_then(|v| v.as_f64()) {
+            out.acceptance.insert(row_key(row), ratio);
+        }
     }
-    if out.throughput.is_empty() && out.accepted.is_empty() && out.allocs.is_empty() {
+    if out.throughput.is_empty()
+        && out.accepted.is_empty()
+        && out.allocs.is_empty()
+        && out.admissions.is_empty()
+        && out.acceptance.is_empty()
+    {
         return Err(
-            "no rows with an events_per_second, accepted_channels or allocs_per_frame field".into(),
+            "no rows with an events_per_second, accepted_channels, allocs_per_frame, \
+             admissions_per_second or acceptance_ratio field"
+                .into(),
         );
     }
     Ok(out)
+}
+
+/// Fixed fractional threshold for the churn admissions/s gate.  Unlike the
+/// wire-level events/s gate this one is *not* tunable from the CLI: CI runs
+/// the multiswitch comparison with the events/s gate effectively disabled
+/// (the simulated wire rate is noisy on shared runners), and relaxing that
+/// must never also relax the admission hot path.
+const ADMISSIONS_THRESHOLD: f64 = 0.20;
+
+/// The churn admission-rate gate: fail any `admissions_per_second` that
+/// dropped beyond [`ADMISSIONS_THRESHOLD`] against its baseline row.
+/// Returns `(table rows, regressions)`.
+fn admission_rate_regressions(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+) -> (Vec<Vec<String>>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut regressions = Vec::new();
+    for (key, &now) in current {
+        match baseline.get(key) {
+            Some(&before) if before > 0.0 => {
+                let change = now / before - 1.0;
+                rows.push(vec![
+                    key.clone(),
+                    format!("{before:.0}"),
+                    format!("{now:.0}"),
+                    format!("{:+.1}%", change * 100.0),
+                ]);
+                if change < -ADMISSIONS_THRESHOLD {
+                    regressions.push(format!(
+                        "{key} admissions/s dropped {:.1}% (> {:.0}% fixed threshold)",
+                        -change * 100.0,
+                        ADMISSIONS_THRESHOLD * 100.0
+                    ));
+                }
+            }
+            _ => {
+                rows.push(vec![
+                    key.clone(),
+                    "(new)".into(),
+                    format!("{now:.0}"),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    (rows, regressions)
+}
+
+/// The steady-state acceptance gate: the churn process is seeded, so the
+/// ratio is exactly reproducible and *any* decrease fails (beyond a 1e-9
+/// epsilon absorbing JSON round-trip formatting).  Returns `(table rows,
+/// regressions)`.
+fn acceptance_regressions(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+) -> (Vec<Vec<String>>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut regressions = Vec::new();
+    for (key, &now) in current {
+        match baseline.get(key) {
+            Some(&before) => {
+                rows.push(vec![
+                    key.clone(),
+                    format!("{before:.4}"),
+                    format!("{now:.4}"),
+                    format!("{:+.4}", now - before),
+                ]);
+                if now < before - 1e-9 {
+                    regressions.push(format!(
+                        "{key} acceptance ratio dropped {before:.4} -> {now:.4}"
+                    ));
+                }
+            }
+            None => {
+                rows.push(vec![
+                    key.clone(),
+                    "(new)".into(),
+                    format!("{now:.4}"),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    (rows, regressions)
 }
 
 /// The inverted allocation-pressure gate: fail any `allocs_per_frame` that
@@ -284,6 +398,40 @@ fn main() -> ExitCode {
         regressions.extend(alloc_failures);
     }
 
+    // Churn admission rate: fixed 20 % gate, independent of the CLI
+    // threshold.
+    if !current.admissions.is_empty() || !baseline.admissions.is_empty() {
+        let mut table = Table::new(&[
+            "churn run",
+            "baseline admissions/s",
+            "current admissions/s",
+            "change",
+        ]);
+        let (rows, failures) =
+            admission_rate_regressions(&baseline.admissions, &current.admissions);
+        for row in rows {
+            table.row_strings(row);
+        }
+        table.print();
+        regressions.extend(failures);
+    }
+
+    // Steady-state acceptance: deterministic ratios, any decrease fails.
+    if !current.acceptance.is_empty() || !baseline.acceptance.is_empty() {
+        let mut table = Table::new(&[
+            "churn run",
+            "baseline acceptance",
+            "current acceptance",
+            "change",
+        ]);
+        let (rows, failures) = acceptance_regressions(&baseline.acceptance, &current.acceptance);
+        for row in rows {
+            table.row_strings(row);
+        }
+        table.print();
+        regressions.extend(failures);
+    }
+
     // Admission quality: deterministic counts, any decrease fails.
     if !current.accepted.is_empty() || !baseline.accepted.is_empty() {
         let mut table = Table::new(&[
@@ -336,14 +484,29 @@ fn main() -> ExitCode {
                 .keys()
                 .filter(|k| !current.allocs.contains_key(*k)),
         )
+        .chain(
+            baseline
+                .admissions
+                .keys()
+                .filter(|k| !current.admissions.contains_key(*k)),
+        )
+        .chain(
+            baseline
+                .acceptance
+                .keys()
+                .filter(|k| !current.acceptance.contains_key(*k)),
+        )
     {
         println!("note: baseline row '{key}' has no current counterpart");
     }
 
     if regressions.is_empty() {
         println!(
-            "\nno throughput or allocs/frame regression beyond {:.0}% and no accepted-channel regression against {baseline_path}",
-            threshold * 100.0
+            "\nno throughput or allocs/frame regression beyond {:.0}%, no admissions/s regression \
+             beyond the fixed {:.0}%, and no accepted-channel or acceptance-ratio regression \
+             against {baseline_path}",
+            threshold * 100.0,
+            ADMISSIONS_THRESHOLD * 100.0
         );
         ExitCode::SUCCESS
     } else {
@@ -469,6 +632,89 @@ mod tests {
         let (rows, failures) = alloc_regressions(&base, &fresh, 0.2);
         assert_eq!(rows[0][1], "(new)");
         assert!(failures.is_empty());
+    }
+
+    fn churn_doc(rows: &[(&str, &str, f64, f64)]) -> JsonValue {
+        let rows: Vec<JsonValue> = rows
+            .iter()
+            .map(|(fabric, placement, aps, ratio)| {
+                let mut m = BTreeMap::new();
+                m.insert("fabric".into(), JsonValue::String(fabric.to_string()));
+                m.insert("placement".into(), JsonValue::String(placement.to_string()));
+                m.insert("admissions_per_second".into(), JsonValue::Number(*aps));
+                m.insert("acceptance_ratio".into(), JsonValue::Number(*ratio));
+                JsonValue::Object(m)
+            })
+            .collect();
+        let mut top = BTreeMap::new();
+        top.insert("churn_soak".into(), JsonValue::Array(rows));
+        JsonValue::Object(top)
+    }
+
+    #[test]
+    fn churn_rows_key_on_fabric_and_placement() {
+        let m = metrics(&churn_doc(&[
+            ("fat_tree_16", "central", 17_000.0, 0.55),
+            ("fat_tree_16", "distributed", 4_000.0, 0.55),
+        ]))
+        .unwrap();
+        // Central and distributed rows of the same fabric must not collide.
+        assert_eq!(m.admissions.len(), 2);
+        assert_eq!(m.admissions["fat_tree_16/central"], 17_000.0);
+        assert_eq!(m.admissions["fat_tree_16/distributed"], 4_000.0);
+        assert_eq!(m.acceptance["fat_tree_16/central"], 0.55);
+    }
+
+    #[test]
+    fn admission_rate_gate_uses_the_fixed_threshold() {
+        let base = metrics(&churn_doc(&[("fat_tree_16", "central", 10_000.0, 0.5)]))
+            .unwrap()
+            .admissions;
+        // A drop within 20 % passes.
+        let close = metrics(&churn_doc(&[("fat_tree_16", "central", 8_500.0, 0.5)]))
+            .unwrap()
+            .admissions;
+        assert!(admission_rate_regressions(&base, &close).1.is_empty());
+        // A drop beyond 20 % fails.
+        let worse = metrics(&churn_doc(&[("fat_tree_16", "central", 7_000.0, 0.5)]))
+            .unwrap()
+            .admissions;
+        let (rows, failures) = admission_rate_regressions(&base, &worse);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("dropped 30.0%"), "{failures:?}");
+        // An improvement passes, and new rows only report.
+        let better = metrics(&churn_doc(&[
+            ("fat_tree_16", "central", 14_000.0, 0.5),
+            ("torus_4d", "central", 9_000.0, 0.7),
+        ]))
+        .unwrap()
+        .admissions;
+        let (rows, failures) = admission_rate_regressions(&base, &better);
+        assert_eq!(rows.len(), 2);
+        assert!(failures.is_empty());
+    }
+
+    #[test]
+    fn any_acceptance_ratio_decrease_fails() {
+        let base = metrics(&churn_doc(&[("torus_4d", "central", 9_000.0, 0.7550)]))
+            .unwrap()
+            .acceptance;
+        // Equal ratio passes (the process is seeded, equal is the norm).
+        let same = base.clone();
+        assert!(acceptance_regressions(&base, &same).1.is_empty());
+        // An increase passes.
+        let better = metrics(&churn_doc(&[("torus_4d", "central", 9_000.0, 0.7600)]))
+            .unwrap()
+            .acceptance;
+        assert!(acceptance_regressions(&base, &better).1.is_empty());
+        // Any decrease fails, even a tiny one.
+        let worse = metrics(&churn_doc(&[("torus_4d", "central", 9_000.0, 0.7549)]))
+            .unwrap()
+            .acceptance;
+        let (_, failures) = acceptance_regressions(&base, &worse);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("0.7550 -> 0.7549"), "{failures:?}");
     }
 
     #[test]

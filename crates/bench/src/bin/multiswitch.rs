@@ -57,6 +57,23 @@
 //! latency in simulated time all land in the artifact, and `bench_diff`
 //! fails CI if the accepted sets ever diverge.
 //!
+//! **Part 6 — churn soak (fat tree + 4-D torus).**  A long-running
+//! admission service: a seeded arrival/departure process (exponential
+//! inter-arrivals and holding times, heterogeneous specs, uniform endpoint
+//! pairs) churns establish/release through the real control protocol on
+//! the k=16 fat tree (320 switches / 1024 hosts) and a 4×4×4×4 torus
+//! (256 switches / 1024 hosts), under both the central and the distributed
+//! manager.  Reported per run: admissions/s, steady-state acceptance
+//! ratio, and p50/p99 establishment latency — all gated by `bench_diff`
+//! (a >20 % admissions/s drop or *any* acceptance-ratio decrease fails
+//! CI), plus a per-fabric central-vs-distributed trace-parity row.  A
+//! flapping-trunk run cuts and repairs a core trunk three times mid-churn
+//! (the routing-rebuild hot path), and a fixed-size 6-switch-ring run
+//! shows the repair re-optimisation recovering the acceptance ratio.
+//! `RT_SOAK_REQUESTS` scales the measured window (CI smokes 50 000; a
+//! full-scale 250 000-per-run artifact is over a million cumulative
+//! admission decisions).
+//!
 //! Usage: `cargo run -p rt-bench --bin multiswitch [results.json]`.  The
 //! results are additionally always written to `BENCH_multiswitch.json` at
 //! the workspace root (override with `BENCH_MULTISWITCH_JSON`) so CI can
@@ -67,11 +84,17 @@ use std::time::Instant;
 
 use std::collections::BTreeSet;
 
-use rt_bench::report::{json_object, maybe_write_json_from_args, write_artifact, Table, ToJson};
+use rt_bench::report::{
+    json_object, maybe_write_json_from_args, write_artifact, Histogram, Table, ToJson,
+};
 use rt_core::multihop::{HopLink, MultiHopAdmission, MultiHopDps, SwitchId, Topology};
-use rt_core::{ChannelRoute, RtChannelSpec, RtNetwork};
+use rt_core::{
+    ChannelRoute, DistributedChannelManager, FabricChannelManager, RtChannelSpec, RtNetwork,
+};
 use rt_netsim::SchedulerKind;
-use rt_traffic::{FabricScenario, FailoverScenario};
+use rt_traffic::{
+    ChurnConfig, ChurnEvent, ChurnProcess, ChurnReport, FabricScenario, FailoverScenario,
+};
 use rt_types::{
     ChannelId, Duration, KShortestRouter, ManagerPlacement, NodeId, Router, ShortestPathRouter,
     SimTime, TreeRouter,
@@ -296,6 +319,99 @@ impl ToJson for ParityRow {
     }
 }
 
+/// One churn-soak run's metrics (part 6): the long-running admission
+/// service under a seeded arrival/departure process.  `bench_diff` gates
+/// `admissions_per_second` (a >20 % drop fails) and `acceptance_ratio`
+/// (any decrease fails — the workload is seeded, so the ratio is exactly
+/// reproducible run to run).
+#[derive(Debug)]
+struct ChurnRow {
+    fabric: String,
+    placement: &'static str,
+    attempts: u64,
+    admitted: u64,
+    acceptance_ratio: f64,
+    admissions_per_second: f64,
+    p50_establish_ns: u64,
+    p99_establish_ns: u64,
+    peak_active: u64,
+    dropped_by_faults: u64,
+    trace_hash: String,
+}
+
+impl ToJson for ChurnRow {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("fabric", self.fabric.to_json()),
+            ("placement", self.placement.to_json()),
+            ("attempts", self.attempts.to_json()),
+            ("admitted", self.admitted.to_json()),
+            ("acceptance_ratio", self.acceptance_ratio.to_json()),
+            (
+                "admissions_per_second",
+                self.admissions_per_second.to_json(),
+            ),
+            ("p50_establish_ns", self.p50_establish_ns.to_json()),
+            ("p99_establish_ns", self.p99_establish_ns.to_json()),
+            ("peak_active", self.peak_active.to_json()),
+            ("dropped_by_faults", self.dropped_by_faults.to_json()),
+            ("trace_hash", self.trace_hash.to_json()),
+        ])
+    }
+}
+
+/// The per-fabric churn parity verdict (part 6): central and distributed
+/// placements driven by the identical seeded process must produce the
+/// byte-identical admission trace.  Reuses the parity field names so the
+/// in-artifact `bench_diff` gate applies with no baseline needed.
+#[derive(Debug)]
+struct ChurnParityRow {
+    fabric: String,
+    central_admitted: u64,
+    distributed_admitted: u64,
+    identical_trace: bool,
+}
+
+impl ToJson for ChurnParityRow {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("fabric", format!("{}_churn_parity", self.fabric).to_json()),
+            ("accepted_channels_central", self.central_admitted.to_json()),
+            (
+                "accepted_channels_distributed",
+                self.distributed_admitted.to_json(),
+            ),
+            ("identical_channel_set", self.identical_trace.to_json()),
+        ])
+    }
+}
+
+/// The churn-with-faults recovery row (part 6): acceptance ratio before the
+/// cut, while degraded, and after the repair re-optimisation.
+#[derive(Debug)]
+struct ChurnRecoveryRow {
+    acceptance_pre_cut: f64,
+    acceptance_degraded: f64,
+    acceptance_recovered: f64,
+    rerouted_by_cut: u64,
+    rerouted_by_repair: u64,
+    dropped_by_faults: u64,
+}
+
+impl ToJson for ChurnRecoveryRow {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("fabric", "ring_6_churn_recovery".to_json()),
+            ("acceptance_pre_cut", self.acceptance_pre_cut.to_json()),
+            ("acceptance_degraded", self.acceptance_degraded.to_json()),
+            ("acceptance_recovered", self.acceptance_recovered.to_json()),
+            ("rerouted_by_cut", self.rerouted_by_cut.to_json()),
+            ("rerouted_by_repair", self.rerouted_by_repair.to_json()),
+            ("dropped_by_faults", self.dropped_by_faults.to_json()),
+        ])
+    }
+}
+
 /// The whole experiment, for the JSON dump.
 #[derive(Debug)]
 struct Results {
@@ -306,6 +422,9 @@ struct Results {
     distributed: Vec<DistributedRow>,
     parity: Vec<ParityRow>,
     admission_quality: Vec<AdmissionRow>,
+    churn: Vec<ChurnRow>,
+    churn_parity: Vec<ChurnParityRow>,
+    churn_recovery: Vec<ChurnRecoveryRow>,
 }
 
 impl ToJson for Results {
@@ -318,6 +437,9 @@ impl ToJson for Results {
             ("distributed_admission", self.distributed.to_json()),
             ("distributed_parity", self.parity.to_json()),
             ("admission_quality", self.admission_quality.to_json()),
+            ("churn_soak", self.churn.to_json()),
+            ("churn_parity", self.churn_parity.to_json()),
+            ("churn_recovery", self.churn_recovery.to_json()),
         ])
     }
 }
@@ -974,6 +1096,250 @@ fn part5_distributed() -> (Vec<DistributedRow>, ParityRow) {
     (vec![central_row, dist_row], parity)
 }
 
+/// The churn soak seed — every random stream of part 6 derives from it.
+const SOAK_SEED: u64 = 0x50a4;
+
+/// Run one churn soak on one fabric under one placement.
+fn churn_run(topology: &Topology, distributed: bool, config: ChurnConfig) -> ChurnReport {
+    let process = ChurnProcess::new(config, topology).expect("soak fabric carries churn");
+    if distributed {
+        let mut manager = DistributedChannelManager::new(
+            topology.clone(),
+            MultiHopDps::Asymmetric,
+            Arc::new(ShortestPathRouter::new()),
+        );
+        process.run(&mut manager).expect("churn drives the manager")
+    } else {
+        let mut manager = FabricChannelManager::new(MultiHopAdmission::with_router(
+            topology.clone(),
+            MultiHopDps::Asymmetric,
+            Arc::new(ShortestPathRouter::new()),
+        ));
+        process.run(&mut manager).expect("churn drives the manager")
+    }
+}
+
+/// Fold a churn report into its gated artifact row.
+fn churn_row(fabric: &str, placement: &'static str, report: &ChurnReport) -> ChurnRow {
+    let mut histogram = Histogram::new(2_000, 2_048);
+    for &latency in &report.measured_latencies {
+        histogram.record(latency);
+    }
+    ChurnRow {
+        fabric: fabric.to_string(),
+        placement,
+        attempts: report.attempts,
+        admitted: report.admitted,
+        acceptance_ratio: report.acceptance_ratio(),
+        admissions_per_second: report.admissions_per_second(),
+        p50_establish_ns: histogram.p50(),
+        p99_establish_ns: histogram.p99(),
+        peak_active: report.peak_active as u64,
+        dropped_by_faults: report.dropped_by_faults,
+        trace_hash: format!("{:016x}", report.trace_hash),
+    }
+}
+
+/// Part 6: the churn soak — a long-running admission service on the k=16
+/// fat tree (320 switches, 1024 hosts) and a 4-D torus (256 switches, 1024
+/// hosts), central and distributed placements, plus a churn-with-faults run
+/// that shows repair re-optimisation recovering the acceptance ratio.
+fn part6_churn_soak() -> (Vec<ChurnRow>, Vec<ChurnParityRow>, Vec<ChurnRecoveryRow>) {
+    let measured: u64 = std::env::var("RT_SOAK_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let warmup = (measured / 10).max(1_000);
+    println!(
+        "\nPart 6 — churn soak: long-running admission service, seeded arrival/departure process"
+    );
+    println!(
+        "  {warmup} warm-up + {measured} measured arrivals per run (RT_SOAK_REQUESTS overrides);"
+    );
+    println!("  offered load near each fabric's capacity knee; heterogeneous spec sweep, uniform endpoint pairs");
+
+    let fat_tree = Topology::fat_tree(16).expect("the k=16 fat tree builds");
+    let torus = Topology::torus_nd(&[4, 4, 4, 4], 4).expect("the 4-D torus builds");
+
+    let mut rows = Vec::new();
+    let mut parity = Vec::new();
+    let mut table = Table::new(&[
+        "fabric",
+        "placement",
+        "admitted",
+        "acceptance",
+        "admissions/s",
+        "p50 (us)",
+        "p99 (us)",
+        "peak active",
+    ]);
+    // Offered load (steady-state concurrent channels, Little's law) tuned
+    // to each fabric's capacity knee under the heterogeneous spec sweep,
+    // so the acceptance ratio is a sensitive gate: well below 1.0, well
+    // above saturation collapse.
+    const FAT_TREE_HOLDING: f64 = 1_000.0;
+    const TORUS_HOLDING: f64 = 2_500.0;
+    let fabrics = [
+        ("fat_tree_16", &fat_tree, FAT_TREE_HOLDING),
+        ("torus_4d", &torus, TORUS_HOLDING),
+    ];
+    for (name, topology, holding) in fabrics {
+        let config = ChurnConfig::new(SOAK_SEED)
+            .windows(warmup, measured)
+            .load(1.0, holding)
+            .without_trace();
+        let central = churn_run(topology, false, config.clone());
+        let distributed = churn_run(topology, true, config);
+        // The two placements saw the identical arrival sequence, so their
+        // admission traces must match event for event.
+        assert_eq!(
+            central.trace_hash, distributed.trace_hash,
+            "{name}: central and distributed churn traces diverge"
+        );
+        for (placement, report) in [("central", &central), ("distributed", &distributed)] {
+            let row = churn_row(name, placement, report);
+            table.row_strings(vec![
+                name.to_string(),
+                placement.to_string(),
+                format!("{}/{}", row.admitted, row.attempts),
+                format!("{:.4}", row.acceptance_ratio),
+                format!("{:.0}", row.admissions_per_second),
+                format!("{:.1}", row.p50_establish_ns as f64 / 1000.0),
+                format!("{:.1}", row.p99_establish_ns as f64 / 1000.0),
+                row.peak_active.to_string(),
+            ]);
+            rows.push(row);
+        }
+        parity.push(ChurnParityRow {
+            fabric: name.to_string(),
+            central_admitted: central.admitted,
+            distributed_admitted: distributed.admitted,
+            identical_trace: central.trace_hash == distributed.trace_hash,
+        });
+    }
+    table.print();
+
+    // Churn with faults on the fat tree: a core<->aggregation trunk
+    // *flaps* — three cut/repair pairs spread across the measured window —
+    // while the soak keeps churning.  The fat tree is redundant, so each
+    // cut re-routes, and every flap flips the topology fingerprint between
+    // the healthy and degraded graphs: the admissions/s of this row is the
+    // routing-rebuild hot path the memoized next-hop cache protects (a
+    // single-entry cache recomputes the full table on every flip).
+    let (trunk_a, trunk_b) = fat_tree.trunks().next().expect("the fat tree has trunks");
+    let mut config = ChurnConfig::new(SOAK_SEED)
+        .windows(warmup, measured)
+        .load(1.0, FAT_TREE_HOLDING)
+        .without_trace();
+    let mut flips = 0u64;
+    for flap in 0..3u64 {
+        let cut_at = warmup + measured * (2 * flap + 1) / 8;
+        let repair_at = warmup + measured * (2 * flap + 2) / 8;
+        config = config
+            .cut_at(cut_at, trunk_a, trunk_b)
+            .repair_at(repair_at, trunk_a, trunk_b);
+        flips += 2;
+    }
+    let faulted = churn_run(&fat_tree, false, config);
+    // The fat tree is path-redundant, but at knee load an alternate path
+    // can lack slack, so a handful of drops under the cuts is legitimate.
+    println!(
+        "  fault flaps: trunk {trunk_a}<->{trunk_b} cut/repaired {flips} times across the window; \
+         {} dropped, {:.0} admissions/s under fault churn",
+        faulted.dropped_by_faults,
+        faulted.admissions_per_second(),
+    );
+    let mut faulted_row = churn_row("fat_tree_16", "central", &faulted);
+    faulted_row.fabric = "fat_tree_16_churn_faults".into();
+    rows.push(faulted_row);
+
+    let recovery = churn_recovery();
+    (rows, parity, vec![recovery])
+}
+
+/// The recovery experiment: on a small ring every trunk carries a large
+/// fraction of the fabric's capacity and the only detour is the long way
+/// round, so cutting one visibly depresses the steady-state acceptance
+/// ratio and the repair re-optimisation visibly restores it.  Fixed window
+/// sizes keep the three ratios exactly reproducible run to run.
+fn churn_recovery() -> ChurnRecoveryRow {
+    let small = Topology::ring(6, 4);
+    let warmup = 2_000u64;
+    let measured = 9_000u64;
+    let cut_at = warmup + measured / 3;
+    let repair_at = warmup + (measured * 2) / 3;
+    let (trunk_a, trunk_b) = small.trunks().next().expect("the ring has trunks");
+    let config = ChurnConfig::new(SOAK_SEED)
+        .windows(warmup, measured)
+        .load(1.0, 250.0)
+        .cut_at(cut_at, trunk_a, trunk_b)
+        .repair_at(repair_at, trunk_a, trunk_b);
+    let report = churn_run(&small, false, config);
+
+    // Windowed acceptance from the trace: arrivals are the Admitted /
+    // Rejected events in process order.
+    let mut segments = [(0u64, 0u64); 3];
+    let mut rerouted_by_cut = 0u64;
+    let mut rerouted_by_repair = 0u64;
+    let mut arrival = 0u64;
+    for event in &report.trace {
+        match event {
+            ChurnEvent::Admitted(_) | ChurnEvent::Rejected => {
+                if arrival >= warmup {
+                    let segment = if arrival < cut_at {
+                        0
+                    } else if arrival < repair_at {
+                        1
+                    } else {
+                        2
+                    };
+                    segments[segment].0 += 1;
+                    if matches!(event, ChurnEvent::Admitted(_)) {
+                        segments[segment].1 += 1;
+                    }
+                }
+                arrival += 1;
+            }
+            ChurnEvent::TrunkCut { rerouted, .. } => rerouted_by_cut += u64::from(*rerouted),
+            ChurnEvent::TrunkRepaired { rerouted } => rerouted_by_repair += u64::from(*rerouted),
+            ChurnEvent::Released(_) => {}
+        }
+    }
+    let ratio = |(attempts, admitted): (u64, u64)| {
+        if attempts == 0 {
+            0.0
+        } else {
+            admitted as f64 / attempts as f64
+        }
+    };
+    let recovery = ChurnRecoveryRow {
+        acceptance_pre_cut: ratio(segments[0]),
+        acceptance_degraded: ratio(segments[1]),
+        acceptance_recovered: ratio(segments[2]),
+        rerouted_by_cut,
+        rerouted_by_repair,
+        dropped_by_faults: report.dropped_by_faults,
+    };
+    println!(
+        "  recovery (6-switch ring, trunk {trunk_a}<->{trunk_b}): acceptance pre-cut {:.4} -> \
+         degraded {:.4} -> recovered {:.4} ({} re-routed by the cut, {} migrated back by the repair)",
+        recovery.acceptance_pre_cut,
+        recovery.acceptance_degraded,
+        recovery.acceptance_recovered,
+        rerouted_by_cut,
+        rerouted_by_repair,
+    );
+    assert!(
+        recovery.acceptance_degraded < recovery.acceptance_pre_cut,
+        "losing a trunk must depress the steady-state acceptance ratio"
+    );
+    assert!(
+        recovery.acceptance_recovered > recovery.acceptance_degraded,
+        "the repair re-optimisation must lift acceptance back off the degraded level"
+    );
+    recovery
+}
+
 fn main() {
     let messages = 10u64;
     let dumbbell_rows = part1_dumbbell(10, 50, messages);
@@ -981,6 +1347,7 @@ fn main() {
     let scheduler_rows = part3_schedulers(messages);
     let failover_row = part4_survivability(3);
     let (distributed_rows, parity_row) = part5_distributed();
+    let (churn_rows, churn_parity_rows, churn_recovery_rows) = part6_churn_soak();
     // Admission-quality trajectory: one row per scenario, gated by
     // bench_diff (an accepted-channel regression fails CI).  The torus
     // fail-over run is NOT duplicated here — its FailoverRow already
@@ -1016,6 +1383,9 @@ fn main() {
         distributed: distributed_rows,
         parity: vec![parity_row],
         admission_quality,
+        churn: churn_rows,
+        churn_parity: churn_parity_rows,
+        churn_recovery: churn_recovery_rows,
     };
     println!();
     write_artifact("BENCH_MULTISWITCH_JSON", "BENCH_multiswitch.json", &results);

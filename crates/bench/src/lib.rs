@@ -23,4 +23,4 @@ pub use experiments::{
     admission_sweep, delay_validation, AdmissionRunResult, DelayValidationResult, Fig18Row,
 };
 pub use microbench::{BenchResult, MicroBench};
-pub use report::{Table, ToJson};
+pub use report::{Histogram, Table, ToJson};

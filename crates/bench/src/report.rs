@@ -315,6 +315,81 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     }
 }
 
+/// A fixed-bucket histogram for latency-style samples, sized once at
+/// construction: `bucket_count` buckets of `bucket_width` each, with
+/// everything past the last edge clamped into the final (overflow) bucket.
+///
+/// Recording is a single array increment, so the soak harness can feed it
+/// one sample per admission without perturbing what it measures; percentiles
+/// are read at the end.  Resolution is the bucket width — good enough for
+/// p50/p99 reporting, deliberately not a full streaming-quantile sketch.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    bucket_width: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// A histogram with `bucket_count` buckets of `bucket_width` units each
+    /// (both must be non-zero).
+    pub fn new(bucket_width: u64, bucket_count: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be non-zero");
+        assert!(bucket_count > 0, "bucket count must be non-zero");
+        Histogram {
+            counts: vec![0; bucket_count],
+            bucket_width,
+            total: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = ((value / self.bucket_width) as usize).min(self.counts.len() - 1);
+        self.counts[bucket] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The value at quantile `q` (0.0 ..= 1.0), reported as the inclusive
+    /// upper edge of the bucket holding that rank — so `percentile(0.5)` is
+    /// an upper bound on the true median, tight to one bucket width.
+    /// Returns 0 on an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (i as u64 + 1) * self.bucket_width;
+            }
+        }
+        self.counts.len() as u64 * self.bucket_width
+    }
+
+    /// Convenience: the p50 (median) upper bound.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// Convenience: the p99 upper bound.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+}
+
 /// A simple aligned text table.
 #[derive(Debug, Default, Clone)]
 pub struct Table {
@@ -531,6 +606,48 @@ mod tests {
         assert!(parse_json("\"unterminated").is_err());
         assert!(parse_json("123 456").is_err());
         assert!(parse_json("nul").is_err());
+    }
+
+    #[test]
+    fn histogram_percentiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::new(10, 100);
+        for v in 0..100u64 {
+            h.record(v); // one sample per unit: buckets 0..10 hold 10 each
+        }
+        assert_eq!(h.count(), 100);
+        assert!(!h.is_empty());
+        // Rank 50 falls in bucket 4 (values 40..50) -> upper edge 50.
+        assert_eq!(h.p50(), 50);
+        // Rank 99 falls in bucket 9 (values 90..100) -> upper edge 100.
+        assert_eq!(h.p99(), 100);
+        assert_eq!(h.percentile(0.0), 10, "lowest rank is the first bucket");
+        assert_eq!(h.percentile(1.0), 100);
+    }
+
+    #[test]
+    fn histogram_clamps_overflow_into_the_last_bucket() {
+        let mut h = Histogram::new(5, 4); // edges 5, 10, 15, 20+
+        h.record(3);
+        h.record(1_000_000);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.p50(), 5);
+        assert_eq!(h.percentile(1.0), 20, "overflow clamps to the last edge");
+    }
+
+    #[test]
+    fn histogram_empty_and_skew() {
+        let h = Histogram::new(10, 10);
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.5), 0);
+
+        let mut h = Histogram::new(1, 1000);
+        for _ in 0..99 {
+            h.record(2);
+        }
+        h.record(500);
+        assert_eq!(h.p50(), 3);
+        assert_eq!(h.p99(), 3, "rank 99 of 100 is still the common value");
+        assert_eq!(h.percentile(1.0), 501, "the outlier sits at the tail");
     }
 
     #[test]

@@ -1235,6 +1235,86 @@ impl DistributedChannelManager {
         report
     }
 
+    /// The repair-side counterpart of fail-over: after a trunk repair,
+    /// migrate every channel whose path differs from the router's primary
+    /// route back onto that primary (ascending id, ids preserved, released
+    /// fabric-wide then re-reserved synchronously).  A channel the primary
+    /// cannot admit is restored onto its detour with its exact previous
+    /// reservation — a repair never drops a channel, mirroring the central
+    /// manager's re-optimisation decision for decision.
+    fn reoptimize(&mut self, link: (SwitchId, SwitchId)) -> FailoverReport {
+        let mut report = FailoverReport {
+            link,
+            rerouted: Vec::new(),
+            dropped: Vec::new(),
+            unaffected: 0,
+        };
+        let ids: Vec<u16> = self.registry.keys().copied().collect();
+        for id in ids {
+            let (source, destination) = {
+                let c = &self.registry[&id];
+                (c.source, c.destination)
+            };
+            let primary = match self.candidate_routes(source, destination) {
+                Ok(candidates) => match candidates.into_iter().next() {
+                    Some(route) => route,
+                    None => {
+                        report.unaffected += 1;
+                        continue;
+                    }
+                },
+                Err(_) => {
+                    report.unaffected += 1;
+                    continue;
+                }
+            };
+            if primary == self.registry[&id].path {
+                report.unaffected += 1;
+                continue;
+            }
+            let old = self
+                .registry
+                .remove(&id)
+                .expect("ids come from the live registry");
+            let key = old.key();
+            for site in self.sites.values_mut() {
+                site.ledger.release_key(key);
+            }
+            match self.try_reserve_sync(key, &old.spec, &primary) {
+                Some(deadlines) => {
+                    let renewed = DistChannel {
+                        path: primary,
+                        link_deadlines: deadlines,
+                        ..old
+                    };
+                    report.rerouted.push(renewed.to_route());
+                    self.registry.insert(renewed.id.get(), renewed);
+                    self.rerouted += 1;
+                }
+                None => {
+                    // Restore the exact reservation that was just released:
+                    // the same links, the same per-link deadlines, on the
+                    // same owning sites — guaranteed to hold.
+                    for (hop, &deadline) in old.path.iter().zip(old.link_deadlines.iter()) {
+                        let owner = self
+                            .owner_of(*hop)
+                            .expect("an admitted route's links all have owners");
+                        let task = PeriodicTask::new(old.spec.period, old.spec.capacity, deadline)
+                            .expect("the held reservation's task was valid");
+                        self.sites
+                            .get_mut(&owner)
+                            .expect("owning site exists")
+                            .ledger
+                            .reserve(*hop, key, task);
+                    }
+                    self.registry.insert(old.id.get(), old);
+                    report.unaffected += 1;
+                }
+            }
+        }
+        report
+    }
+
     /// Synchronous reservation across the owning sites (used by fail-over,
     /// where the re-admission runs as one atomic control-plane decision):
     /// the same loads → partition → per-link feasibility → reserve sequence
@@ -1376,8 +1456,9 @@ impl ChannelManager for DistributedChannelManager {
         Ok(self.fail_over(&[(from, to)], (from, to)))
     }
 
-    fn handle_link_repair(&mut self, from: SwitchId, to: SwitchId) -> RtResult<()> {
-        self.topology.repair_trunk(from, to)
+    fn handle_link_repair(&mut self, from: SwitchId, to: SwitchId) -> RtResult<FailoverReport> {
+        self.topology.repair_trunk(from, to)?;
+        Ok(self.reoptimize((from, to)))
     }
 
     fn handle_switch_failure(&mut self, switch: SwitchId) -> RtResult<FailoverReport> {

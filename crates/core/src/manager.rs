@@ -205,10 +205,16 @@ pub trait ChannelManager: fmt::Debug {
     /// stay byte-for-byte identical.
     fn handle_link_failure(&mut self, from: SwitchId, to: SwitchId) -> RtResult<FailoverReport>;
 
-    /// React to a trunk repair: restore the trunk for *future* admissions.
-    /// Established channels stay on the routes they were (re-)admitted on —
-    /// deliberately, so a repair never perturbs running traffic.
-    fn handle_link_repair(&mut self, from: SwitchId, to: SwitchId) -> RtResult<()>;
+    /// React to a trunk repair: restore the trunk for future admissions and
+    /// *re-optimise* — every channel whose current path differs from the
+    /// router's primary route on the repaired graph is released and
+    /// re-admitted onto that primary route (ids preserved, release-then-
+    /// readmit like fail-over), so capacity stranded on detours flows back
+    /// to the shortest paths.  A channel the primary route cannot admit
+    /// stays on its detour; a repair never drops a channel, so the report's
+    /// `dropped` is always empty and `rerouted` lists the migrated channels
+    /// with their new routes (the caller must refresh their wire state).
+    fn handle_link_repair(&mut self, from: SwitchId, to: SwitchId) -> RtResult<FailoverReport>;
 
     /// React to a whole-switch failure: every healthy trunk incident to
     /// `switch` goes down atomically, then every channel that crossed any
@@ -429,7 +435,7 @@ impl ChannelManager for SwitchChannelManager {
         )))
     }
 
-    fn handle_link_repair(&mut self, from: SwitchId, to: SwitchId) -> RtResult<()> {
+    fn handle_link_repair(&mut self, from: SwitchId, to: SwitchId) -> RtResult<FailoverReport> {
         Err(RtError::Config(format!(
             "a single-switch star has no trunk {from} <-> {to} to repair"
         )))

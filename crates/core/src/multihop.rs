@@ -470,10 +470,88 @@ impl MultiHopAdmission {
         report
     }
 
-    /// Repair a previously failed trunk: future admissions (and fail-overs)
-    /// see the restored edge; established channels stay where they are.
-    pub fn repair_trunk(&mut self, from: SwitchId, to: SwitchId) -> RtResult<()> {
-        self.topology.repair_trunk(from, to)
+    /// Repair a previously failed trunk and *re-optimise*: every admitted
+    /// channel whose current path differs from the router's primary route on
+    /// the repaired graph is released and re-admitted onto that primary
+    /// route (same channel id, fresh deadline split), so capacity freed by
+    /// the repair flows back to the shortest paths instead of staying
+    /// stranded on fail-over detours.  Channels are moved one at a time and
+    /// a channel whose primary route cannot admit it is restored onto its
+    /// detour with its exact previous reservation — a repair never drops a
+    /// channel.  The report's `rerouted` lists the channels moved back
+    /// (with their new routes); `dropped` is always empty.
+    pub fn repair_trunk(&mut self, from: SwitchId, to: SwitchId) -> RtResult<FailoverReport> {
+        self.topology.repair_trunk(from, to)?;
+        Ok(self.reoptimize((from, to)))
+    }
+
+    /// The repair-side counterpart of [`MultiHopAdmission::fail_over`]:
+    /// migrate detoured channels back onto their primary routes, never
+    /// dropping any.
+    fn reoptimize(&mut self, link: (SwitchId, SwitchId)) -> FailoverReport {
+        let mut report = FailoverReport {
+            link,
+            rerouted: Vec::new(),
+            dropped: Vec::new(),
+            unaffected: 0,
+        };
+        let ids: Vec<u16> = self.channels.keys().copied().collect();
+        for raw_id in ids {
+            let channel = &self.channels[&raw_id];
+            let primary =
+                match self
+                    .router
+                    .route(&self.topology, channel.source, channel.destination)
+                {
+                    Ok(route) => route,
+                    Err(_) => {
+                        report.unaffected += 1;
+                        continue;
+                    }
+                };
+            if primary == channel.path {
+                report.unaffected += 1;
+                continue;
+            }
+            // Release-then-readmit, one channel at a time: freeing only this
+            // channel's capacity means the fallback below can always restore
+            // its exact previous reservation, so re-optimisation is safe.
+            let old = self
+                .release(ChannelId::new(raw_id))
+                .expect("ids come from the live channel table");
+            match self.try_admit(&old.spec, &primary) {
+                Ok(deadlines) => {
+                    let moved = self
+                        .commit(
+                            old.id,
+                            old.source,
+                            old.destination,
+                            old.spec,
+                            primary,
+                            deadlines,
+                        )
+                        .expect("deadlines were just validated by try_admit");
+                    report.rerouted.push(moved.to_route());
+                    self.rerouted += 1;
+                }
+                Err(_) => {
+                    // The primary route cannot carry it: put it back on its
+                    // detour with the deadline split it already held (the
+                    // ledger state this restores was feasible a moment ago).
+                    self.commit(
+                        old.id,
+                        old.source,
+                        old.destination,
+                        old.spec,
+                        old.path.clone(),
+                        old.link_deadlines.clone(),
+                    )
+                    .expect("restoring the released reservation cannot fail");
+                    report.unaffected += 1;
+                }
+            }
+        }
+        report
     }
 
     /// Tear down a channel, releasing its capacity on every link of its
@@ -663,7 +741,7 @@ impl ChannelManager for FabricChannelManager {
         Ok(report)
     }
 
-    fn handle_link_repair(&mut self, from: SwitchId, to: SwitchId) -> RtResult<()> {
+    fn handle_link_repair(&mut self, from: SwitchId, to: SwitchId) -> RtResult<FailoverReport> {
         self.admission.repair_trunk(from, to)
     }
 
@@ -985,17 +1063,29 @@ mod tests {
         assert_eq!(admission.rerouted_count(), 1);
         assert_eq!(admission.failure_dropped_count(), 0);
 
-        // Repair restores the trunk for future requests.
-        admission
+        // Repair restores the trunk AND re-optimises: the detoured channel
+        // migrates back onto its 3-hop primary route, id preserved.
+        let repair = admission
             .repair_trunk(SwitchId::new(0), SwitchId::new(3))
             .unwrap();
+        assert_eq!(repair.rerouted.len(), 1);
+        assert_eq!(repair.rerouted[0].id, affected.id);
+        assert_eq!(repair.rerouted[0].path.len(), 3);
+        assert!(repair.dropped.is_empty(), "a repair never drops a channel");
+        assert_eq!(admission.channel(affected.id).unwrap().path.len(), 3);
+        // The detour trunks no longer carry it.
+        assert_eq!(
+            admission.link_load(HopLink::Trunk {
+                from: SwitchId::new(0),
+                to: SwitchId::new(1)
+            }),
+            0
+        );
         let fresh = admission
             .request(NodeId::new(0), NodeId::new(3), spec)
             .unwrap()
             .unwrap();
         assert_eq!(fresh.path.len(), 3, "new requests use the repaired trunk");
-        // ...but the re-routed channel stays on its detour.
-        assert_eq!(admission.channel(affected.id).unwrap().path.len(), 5);
     }
 
     #[test]

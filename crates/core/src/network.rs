@@ -598,11 +598,19 @@ impl RtNetwork {
     }
 
     /// Splice a previously cut trunk back, on the wire and in admission
-    /// control.  Established channels stay on their current routes; the
-    /// restored trunk serves future admissions and fail-overs.
-    pub fn repair_trunk(&mut self, from: SwitchId, to: SwitchId) -> RtResult<()> {
+    /// control, then *re-optimise*: channels sitting on fail-over detours
+    /// are re-admitted onto their restored primary routes (ids preserved)
+    /// and their forwarding entries and per-hop budgets are refreshed on
+    /// the wire.  Channels the primary route cannot admit stay on their
+    /// detours — a repair never drops a channel, so the report's `dropped`
+    /// is always empty.
+    pub fn repair_trunk(&mut self, from: SwitchId, to: SwitchId) -> RtResult<FailoverReport> {
         self.sim.repair_link(from, to)?;
-        self.manager.handle_link_repair(from, to)
+        let report = self.manager.handle_link_repair(from, to)?;
+        for route in &report.rerouted {
+            self.install_channel_wire(route);
+        }
+        Ok(report)
     }
 
     // --- data plane ----------------------------------------------------------

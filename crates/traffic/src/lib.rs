@@ -20,6 +20,10 @@
 //! * [`failover`] — fail-over scenarios: a fabric scenario plus the
 //!   deterministic trunk cut (ring closing trunk, torus grid trunk) and the
 //!   fault script that performs it,
+//! * [`churn`] — long-running admission churn: a seeded arrival/departure
+//!   process that drives a channel manager through millions of cumulative
+//!   establish/release cycles with warm-up and measurement windows, and can
+//!   interleave scripted trunk cut/repair events,
 //! * [`rng`] — seeded, reproducible random number helpers.
 //!
 //! Everything is deterministic given a seed, so every experiment run is
@@ -29,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod background;
+pub mod churn;
 pub mod fabric;
 pub mod failover;
 pub mod pattern;
@@ -37,6 +42,7 @@ pub mod scenario;
 pub mod source;
 
 pub use background::{BackgroundTraffic, BurstyConfig, PoissonConfig};
+pub use churn::{ChurnConfig, ChurnEvent, ChurnFault, ChurnFaultKind, ChurnProcess, ChurnReport};
 pub use fabric::{FabricScenario, FabricShape};
 pub use failover::FailoverScenario;
 pub use pattern::{ChannelRequest, HeterogeneousSpecs, RequestPattern};

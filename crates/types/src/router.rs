@@ -301,10 +301,24 @@ pub trait Router: fmt::Debug + Send + Sync {
 /// A per-topology memo of the next-hop table (tree and dense forms), keyed
 /// by [`Topology::fingerprint`].  Shared by all stock routers so repeated
 /// simulator constructions over the same fabric reuse one table.
+///
+/// The memo keeps a small bounded set of fingerprints (most recently used
+/// first), not just the latest one.  Under fault churn a fabric alternates
+/// between its healthy and degraded fingerprints on every cut/repair; a
+/// single-entry cache recomputed the full `O(V·E log V)` table and its dense
+/// flattening on *every* flip, which soak profiling showed dominating the
+/// admission hot path.  With a few entries resident, a repair that returns
+/// to a previously seen graph is a lookup.
 #[derive(Debug, Default)]
 pub struct NextHopCache {
-    inner: Mutex<Option<CacheEntry>>,
+    inner: Mutex<Vec<CacheEntry>>,
 }
+
+/// How many distinct topology fingerprints stay memoized.  Fault scripts
+/// flip between a handful of graph states (healthy plus one per concurrent
+/// cut), so a small bound captures the churn working set while keeping the
+/// linear scan and memory footprint trivial.
+const NEXT_HOP_CACHE_CAPACITY: usize = 8;
 
 #[derive(Debug)]
 struct CacheEntry {
@@ -317,18 +331,25 @@ impl NextHopCache {
     fn entry(&self, topology: &Topology) -> (Arc<NextHopTable>, Arc<DenseNextHop>) {
         let fp = topology.fingerprint();
         let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(entry) = guard.as_ref() {
-            if entry.fingerprint == fp {
-                return (Arc::clone(&entry.table), Arc::clone(&entry.dense));
-            }
+        if let Some(pos) = guard.iter().position(|e| e.fingerprint == fp) {
+            // Move the hit to the front so eviction drops the least
+            // recently used fingerprint.
+            let entry = guard.remove(pos);
+            let out = (Arc::clone(&entry.table), Arc::clone(&entry.dense));
+            guard.insert(0, entry);
+            return out;
         }
         let table = Arc::new(topology.next_hop_table());
         let dense = Arc::new(DenseNextHop::build(topology, &table));
-        *guard = Some(CacheEntry {
-            fingerprint: fp,
-            table: Arc::clone(&table),
-            dense: Arc::clone(&dense),
-        });
+        guard.insert(
+            0,
+            CacheEntry {
+                fingerprint: fp,
+                table: Arc::clone(&table),
+                dense: Arc::clone(&dense),
+            },
+        );
+        guard.truncate(NEXT_HOP_CACHE_CAPACITY);
         (table, dense)
     }
 
@@ -1148,5 +1169,25 @@ mod tests {
         let other = Topology::line(4, 1);
         let third = router.next_hop_table(&other);
         assert!(!Arc::ptr_eq(&first, &third));
+    }
+
+    #[test]
+    fn next_hop_cache_keeps_churning_fingerprints_resident() {
+        // Fault churn alternates between the healthy and the degraded
+        // fingerprint; both must stay memoized so a repair is a lookup, not
+        // a full recompute.
+        let mut t = Topology::ring(5, 1);
+        let router = ShortestPathRouter::new();
+        let healthy = router.next_hop_table(&t);
+        let healthy_dense = router.dense_next_hop(&t);
+        t.fail_trunk(SwitchId::new(0), SwitchId::new(1)).unwrap();
+        let degraded = router.next_hop_table(&t);
+        assert!(!Arc::ptr_eq(&healthy, &degraded));
+        t.repair_trunk(SwitchId::new(0), SwitchId::new(1)).unwrap();
+        // Back to the healthy graph: same Arc, no rebuild.
+        assert!(Arc::ptr_eq(&healthy, &router.next_hop_table(&t)));
+        assert!(Arc::ptr_eq(&healthy_dense, &router.dense_next_hop(&t)));
+        t.fail_trunk(SwitchId::new(0), SwitchId::new(1)).unwrap();
+        assert!(Arc::ptr_eq(&degraded, &router.next_hop_table(&t)));
     }
 }

@@ -225,6 +225,144 @@ impl Topology {
         t
     }
 
+    /// A three-tier fat-tree built from `k`-port switches: `(k/2)²` core
+    /// switches and `k` pods of `k/2` aggregation plus `k/2` edge switches,
+    /// with `k/2` end nodes on every edge switch.  Every edge switch trunks
+    /// to every aggregation switch in its pod, and aggregation switch `j` of
+    /// each pod trunks to core switches `j·k/2 .. (j+1)·k/2`, giving the
+    /// classic rearrangeably non-blocking datacenter fabric: `fat_tree(16)`
+    /// is 320 switches and 1024 hosts, `fat_tree(32)` is 1280 switches and
+    /// 8192 hosts.
+    ///
+    /// Switch ids are allocated core-first (`0..(k/2)²`), then pod by pod
+    /// (aggregation before edge); node ids are allocated edge-switch-major.
+    /// `k` must be even and at least 4 — a fat-tree is defined by halving
+    /// the switch radix between tiers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rt_types::Topology;
+    ///
+    /// let ft = Topology::fat_tree(4).unwrap();
+    /// assert_eq!(ft.switch_count(), 20); // 4 core + 4 pods x (2 agg + 2 edge)
+    /// assert_eq!(ft.node_count(), 16); // 8 edge switches x 2 hosts
+    /// assert!(Topology::fat_tree(3).is_err()); // odd radix
+    /// ```
+    pub fn fat_tree(k: u32) -> RtResult<Self> {
+        if k < 4 || k % 2 != 0 {
+            return Err(RtError::Config(format!(
+                "fat_tree: switch radix k must be even and at least 4, got {k}"
+            )));
+        }
+        let half = k / 2;
+        let cores = half * half;
+        let mut t = Topology::new();
+        for s in 0..cores + k * k {
+            t.add_switch(SwitchId::new(s));
+        }
+        for pod in 0..k {
+            let agg0 = cores + pod * k;
+            let edge0 = agg0 + half;
+            for j in 0..half {
+                // Aggregation switch j uplinks to its stripe of the core.
+                for c in 0..half {
+                    t.add_trunk(SwitchId::new(agg0 + j), SwitchId::new(j * half + c))
+                        .expect("fresh trunk");
+                }
+                // Edge switch j uplinks to every aggregation switch in the pod.
+                for a in 0..half {
+                    t.add_trunk(SwitchId::new(edge0 + j), SwitchId::new(agg0 + a))
+                        .expect("fresh trunk");
+                }
+                for h in 0..half {
+                    let edge_index = pod * half + j;
+                    t.attach_node(NodeId::new(edge_index * half + h), SwitchId::new(edge0 + j))
+                        .expect("fresh node");
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    /// An n-dimensional torus generalising [`Topology::torus`]: switch
+    /// coordinates range over `dims` (row-major, last dimension fastest, so
+    /// `torus_nd(&[r, c], n)` reproduces `torus(r, c, n)` switch for
+    /// switch), each switch is trunked to its successor along every
+    /// dimension, and a wrap-around trunk closes each dimension of length at
+    /// least 3 into a ring — shorter dimensions degenerate exactly as the
+    /// 2-D builder's rows and columns do.  `nodes_per_switch` end nodes
+    /// attach to every switch, node ids switch-major.
+    ///
+    /// `dims` needs at least two dimensions (a 1-D torus is
+    /// [`Topology::ring`]), every dimension must be non-zero, and the switch
+    /// count must fit a `u32` id space.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rt_types::Topology;
+    ///
+    /// let t = Topology::torus_nd(&[3, 3, 3], 2).unwrap();
+    /// assert_eq!(t.switch_count(), 27);
+    /// assert_eq!(t.trunk_count(), 81); // 3 wrap-closed rings through each switch
+    /// assert_eq!(t.node_count(), 54);
+    /// assert!(Topology::torus_nd(&[5], 1).is_err()); // 1-D: use ring()
+    /// ```
+    pub fn torus_nd(dims: &[u32], nodes_per_switch: u32) -> RtResult<Self> {
+        if dims.len() < 2 {
+            return Err(RtError::Config(format!(
+                "torus_nd: need at least 2 dimensions (use ring/line for 1-D), got {}",
+                dims.len()
+            )));
+        }
+        if let Some(d) = dims.iter().position(|&d| d == 0) {
+            return Err(RtError::Config(format!(
+                "torus_nd: dimension {d} has zero length"
+            )));
+        }
+        let total = dims.iter().try_fold(1u32, |acc, &d| acc.checked_mul(d));
+        let Some(total) = total else {
+            return Err(RtError::Config(format!(
+                "torus_nd: {dims:?} overflows the u32 switch id space"
+            )));
+        };
+        if total.checked_mul(nodes_per_switch).is_none() {
+            return Err(RtError::Config(format!(
+                "torus_nd: {dims:?} x {nodes_per_switch} nodes overflows the u32 node id space"
+            )));
+        }
+        let mut t = Topology::new();
+        for s in 0..total {
+            t.add_switch(SwitchId::new(s));
+        }
+        // Strides of the row-major layout: moving one step along dimension
+        // `d` moves the linear id by the product of the faster dimensions.
+        let mut strides = vec![1u32; dims.len()];
+        for d in (0..dims.len() - 1).rev() {
+            strides[d] = strides[d + 1] * dims[d + 1];
+        }
+        for s in 0..total {
+            for (&len, &stride) in dims.iter().zip(&strides) {
+                let coord = (s / stride) % len;
+                if coord + 1 < len {
+                    t.add_trunk(SwitchId::new(s), SwitchId::new(s + stride))
+                        .expect("fresh trunk");
+                } else if len >= 3 {
+                    t.add_trunk(SwitchId::new(s), SwitchId::new(s - coord * stride))
+                        .expect("fresh wrap trunk");
+                }
+            }
+        }
+        for s in 0..total {
+            for k in 0..nodes_per_switch {
+                t.attach_node(NodeId::new(s * nodes_per_switch + k), SwitchId::new(s))
+                    .expect("fresh node");
+            }
+        }
+        Ok(t)
+    }
+
     /// Add a switch (idempotent).
     pub fn add_switch(&mut self, switch: SwitchId) {
         self.switches.insert(switch);
@@ -819,6 +957,68 @@ mod tests {
         assert_eq!(Topology::torus(2, 2, 1).trunk_count(), 4);
         assert_eq!(Topology::torus(1, 4, 1).trunk_count(), 4); // a ring
         assert!(Topology::torus(2, 2, 1).is_connected());
+    }
+
+    #[test]
+    fn fat_tree_builder_shape_and_validation() {
+        let t = Topology::fat_tree(4).unwrap();
+        assert_eq!(t.switch_count(), 20); // 4 core + 4 pods x (2 agg + 2 edge)
+        assert_eq!(t.node_count(), 16); // 8 edge switches x 2 hosts
+        assert_eq!(t.trunk_count(), 32); // 16 edge-agg + 16 agg-core
+        assert!(t.is_connected());
+        assert!(!t.is_tree());
+        // Hosts attach to edge switches only: pod 0's first edge switch is
+        // core(4) + agg(2) = switch 6, and it carries nodes 0 and 1.
+        assert_eq!(t.switch_of(NodeId::new(0)), Some(SwitchId::new(6)));
+        assert_eq!(t.nodes_of(SwitchId::new(6)).count(), 2);
+        // Core switches carry no hosts.
+        assert_eq!(t.nodes_of(SwitchId::new(0)).count(), 0);
+
+        // The issue's target scale: k=16 -> 320 switches, 1024 hosts.
+        let big = Topology::fat_tree(16).unwrap();
+        assert_eq!(big.switch_count(), 320);
+        assert_eq!(big.node_count(), 1024);
+        assert!(big.is_connected());
+
+        // Odd or too-small radix is rejected with a config error.
+        for k in [0, 1, 2, 3, 5, 7] {
+            assert!(matches!(Topology::fat_tree(k), Err(RtError::Config(_))));
+        }
+    }
+
+    #[test]
+    fn torus_nd_matches_2d_torus_and_wraps() {
+        // The 2-D case reproduces the existing builder switch for switch.
+        let nd = Topology::torus_nd(&[4, 4], 2).unwrap();
+        assert_eq!(nd.fingerprint(), Topology::torus(4, 4, 2).fingerprint());
+
+        // A 3-D wrap-closed torus: every switch has degree 6.
+        let t = Topology::torus_nd(&[3, 3, 3], 1).unwrap();
+        assert_eq!(t.switch_count(), 27);
+        assert_eq!(t.trunk_count(), 81);
+        assert!(t.is_connected());
+        for s in 0..27 {
+            assert_eq!(t.neighbours(SwitchId::new(s)).count(), 6);
+        }
+
+        // Short dimensions degenerate without duplicate trunks, as in 2-D.
+        let small = Topology::torus_nd(&[2, 2, 2], 1).unwrap();
+        assert_eq!(small.trunk_count(), 12); // a cube, no wraps
+        assert!(small.is_connected());
+
+        // Empty, 1-D and zero-length dimensions are rejected.
+        assert!(matches!(
+            Topology::torus_nd(&[], 1),
+            Err(RtError::Config(_))
+        ));
+        assert!(matches!(
+            Topology::torus_nd(&[5], 1),
+            Err(RtError::Config(_))
+        ));
+        assert!(matches!(
+            Topology::torus_nd(&[3, 0, 3], 1),
+            Err(RtError::Config(_))
+        ));
     }
 
     #[test]

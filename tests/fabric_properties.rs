@@ -22,6 +22,10 @@
 //!    drains: `arena_outstanding() == 0` after every scenario, faulted or
 //!    not. Delivery frees; every drop path must free too. The pooled and
 //!    owned stores must also be observationally identical.
+//! 5. **Churn determinism** — the long-running admission churn process
+//!    replays a byte-identical admission trace from the same seed, and the
+//!    central and distributed control planes produce that same trace,
+//!    including under a scripted trunk cut + repair.
 //!
 //! A failing seed reproduces exactly: every random choice derives from the
 //! seed through `Xoshiro256`.
@@ -365,6 +369,110 @@ fn central_and_distributed_control_planes_are_equivalent_on_random_fabrics() {
         assert_eq!(
             central.2, distributed.2,
             "seed {seed}: data delivery diverges byte-for-byte"
+        );
+    }
+}
+
+/// Invariant 5: the churn process (the long-running admission soak of
+/// `rt-traffic`) is **deterministic and placement-invariant** on every
+/// random fabric: the same seed replays a byte-identical admission trace,
+/// and the central oracle and the distributed per-switch control plane
+/// produce that *same* trace — same admits, same rejects, same channel
+/// ids, same release order — arrival by arrival, including under a
+/// scripted trunk cut + repair whenever the fabric has a redundant trunk.
+#[test]
+fn churn_is_deterministic_and_placement_invariant_on_random_fabrics() {
+    use std::sync::Arc;
+    use switched_rt_ethernet::core::{
+        DistributedChannelManager, FabricChannelManager, MultiHopAdmission,
+    };
+    use switched_rt_ethernet::traffic::{ChurnConfig, ChurnProcess};
+
+    /// Is the topology still connected with trunk `(a, b)` removed?  Only
+    /// such trunks may be cut: the churn process treats an unroutable
+    /// establishment as a hard error, not a rejection.
+    fn connected_without(topology: &Topology, cut: (SwitchId, SwitchId)) -> bool {
+        let switches: Vec<SwitchId> = topology.switches().collect();
+        let mut reached = vec![switches[0]];
+        let mut frontier = vec![switches[0]];
+        while let Some(s) = frontier.pop() {
+            for (a, b) in topology.trunks() {
+                if (a, b) == cut || (b, a) == cut {
+                    continue;
+                }
+                let next = if a == s {
+                    b
+                } else if b == s {
+                    a
+                } else {
+                    continue;
+                };
+                if !reached.contains(&next) {
+                    reached.push(next);
+                    frontier.push(next);
+                }
+            }
+        }
+        reached.len() == switches.len()
+    }
+
+    for seed in 0..SEEDS {
+        let mut rng = Xoshiro256::new(0xc4a8_0000 ^ seed);
+        let topology = random_topology(&mut rng);
+        let dps = if rng.chance(0.5) {
+            MultiHopDps::Asymmetric
+        } else {
+            MultiHopDps::Symmetric
+        };
+        let mut config = ChurnConfig::new(seed)
+            .windows(100, 400)
+            .load(1.0, rng.range_inclusive(10, 60) as f64);
+        // Cut (and later repair) a redundant trunk mid-run when the fabric
+        // has one — fail-over and repair re-optimisation must be just as
+        // deterministic as plain admission.
+        if let Some((a, b)) = topology
+            .trunks()
+            .find(|&trunk| connected_without(&topology, trunk))
+        {
+            config = config.cut_at(150, a, b).repair_at(300, a, b);
+        }
+        let process = ChurnProcess::new(config, &topology).expect("generated config is valid");
+
+        let central = |process: &ChurnProcess| {
+            let mut manager = FabricChannelManager::new(MultiHopAdmission::with_router(
+                topology.clone(),
+                dps,
+                Arc::new(KShortestRouter::new(3)),
+            ));
+            process.run(&mut manager).expect("churn run completes")
+        };
+        let first = central(&process);
+        let second = central(&process);
+        assert_eq!(
+            first.trace, second.trace,
+            "seed {seed}: same seed must replay a byte-identical trace"
+        );
+        assert_eq!(first.trace_hash, second.trace_hash, "seed {seed}");
+
+        let mut manager = DistributedChannelManager::new(
+            topology.clone(),
+            dps,
+            Arc::new(KShortestRouter::new(3)),
+        );
+        let distributed = process.run(&mut manager).expect("churn run completes");
+        assert_eq!(
+            first.trace, distributed.trace,
+            "seed {seed}: central and distributed admission traces diverge"
+        );
+        assert_eq!(
+            first.trace_hash, distributed.trace_hash,
+            "seed {seed}: trace hashes diverge"
+        );
+        assert!(
+            first.attempts == 500 && first.admitted > 0,
+            "seed {seed}: the run must admit something ({} attempts, {} admitted)",
+            first.attempts,
+            first.admitted
         );
     }
 }
