@@ -24,6 +24,12 @@
 //!   deterministic integers, so *any* decrease against the baseline fails
 //!   the run (fewer admitted channels means the admission control or the
 //!   fail-over path lost capacity, which no throughput number excuses),
+//! * **convergence admission** — rows carrying
+//!   `accepted_under_convergence` (the multiswitch part-5b stale-view
+//!   run); seeded and deterministic, so *any* decrease fails — losing
+//!   admissions inside the link-state convergence window means the
+//!   distributed control plane got more conservative (or less correct)
+//!   about disagreement,
 //! * **central-vs-distributed parity** — rows carrying both
 //!   `accepted_channels_central` and `accepted_channels_distributed` (the
 //!   multiswitch part-5 parity row) are checked *within the current
@@ -89,6 +95,9 @@ struct Metrics {
     admissions: BTreeMap<String, f64>,
     /// `key → acceptance_ratio` (deterministic: any decrease fails).
     acceptance: BTreeMap<String, f64>,
+    /// `key → accepted_under_convergence` (deterministic: any decrease
+    /// fails).
+    convergence: BTreeMap<String, f64>,
 }
 
 fn metrics(doc: &JsonValue) -> Result<Metrics, String> {
@@ -109,16 +118,23 @@ fn metrics(doc: &JsonValue) -> Result<Metrics, String> {
         if let Some(ratio) = row.get("acceptance_ratio").and_then(|v| v.as_f64()) {
             out.acceptance.insert(row_key(row), ratio);
         }
+        if let Some(accepted) = row
+            .get("accepted_under_convergence")
+            .and_then(|v| v.as_f64())
+        {
+            out.convergence.insert(row_key(row), accepted);
+        }
     }
     if out.throughput.is_empty()
         && out.accepted.is_empty()
         && out.allocs.is_empty()
         && out.admissions.is_empty()
         && out.acceptance.is_empty()
+        && out.convergence.is_empty()
     {
         return Err(
             "no rows with an events_per_second, accepted_channels, allocs_per_frame, \
-             admissions_per_second or acceptance_ratio field"
+             admissions_per_second, acceptance_ratio or accepted_under_convergence field"
                 .into(),
         );
     }
@@ -202,6 +218,45 @@ fn acceptance_regressions(
                     key.clone(),
                     "(new)".into(),
                     format!("{now:.4}"),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    (rows, regressions)
+}
+
+/// The convergence-admission gate: `accepted_under_convergence` counts the
+/// channels admitted while a link-state flood was still propagating (the
+/// multiswitch part-5b run).  The run is seeded, so the count is exactly
+/// reproducible and *any* decrease fails.  Returns `(table rows,
+/// regressions)`.
+fn convergence_regressions(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+) -> (Vec<Vec<String>>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut regressions = Vec::new();
+    for (key, &now) in current {
+        match baseline.get(key) {
+            Some(&before) => {
+                rows.push(vec![
+                    key.clone(),
+                    format!("{before:.0}"),
+                    format!("{now:.0}"),
+                    format!("{:+.0}", now - before),
+                ]);
+                if now < before {
+                    regressions.push(format!(
+                        "{key} accepted-under-convergence dropped {before:.0} -> {now:.0}"
+                    ));
+                }
+            }
+            None => {
+                rows.push(vec![
+                    key.clone(),
+                    "(new)".into(),
+                    format!("{now:.0}"),
                     "-".into(),
                 ]);
             }
@@ -432,6 +487,22 @@ fn main() -> ExitCode {
         regressions.extend(failures);
     }
 
+    // Convergence admission: deterministic counts, any decrease fails.
+    if !current.convergence.is_empty() || !baseline.convergence.is_empty() {
+        let mut table = Table::new(&[
+            "stale-view run",
+            "baseline accepted",
+            "current accepted",
+            "change",
+        ]);
+        let (rows, failures) = convergence_regressions(&baseline.convergence, &current.convergence);
+        for row in rows {
+            table.row_strings(row);
+        }
+        table.print();
+        regressions.extend(failures);
+    }
+
     // Admission quality: deterministic counts, any decrease fails.
     if !current.accepted.is_empty() || !baseline.accepted.is_empty() {
         let mut table = Table::new(&[
@@ -495,6 +566,12 @@ fn main() -> ExitCode {
                 .acceptance
                 .keys()
                 .filter(|k| !current.acceptance.contains_key(*k)),
+        )
+        .chain(
+            baseline
+                .convergence
+                .keys()
+                .filter(|k| !current.convergence.contains_key(*k)),
         )
     {
         println!("note: baseline row '{key}' has no current counterpart");
@@ -715,6 +792,54 @@ mod tests {
         let (_, failures) = acceptance_regressions(&base, &worse);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("0.7550 -> 0.7549"), "{failures:?}");
+    }
+
+    fn convergence_doc(rows: &[(&str, f64)]) -> JsonValue {
+        let rows: Vec<JsonValue> = rows
+            .iter()
+            .map(|(fabric, accepted)| {
+                let mut m = BTreeMap::new();
+                m.insert("fabric".into(), JsonValue::String(fabric.to_string()));
+                m.insert(
+                    "accepted_under_convergence".into(),
+                    JsonValue::Number(*accepted),
+                );
+                JsonValue::Object(m)
+            })
+            .collect();
+        let mut top = BTreeMap::new();
+        top.insert("convergence_admission".into(), JsonValue::Array(rows));
+        JsonValue::Object(top)
+    }
+
+    #[test]
+    fn any_convergence_admission_decrease_fails() {
+        let base = metrics(&convergence_doc(&[("torus_1024_convergence", 12.0)]))
+            .unwrap()
+            .convergence;
+        assert_eq!(base["torus_1024_convergence"], 12.0);
+        // Equal passes (the run is seeded, equal is the norm).
+        assert!(convergence_regressions(&base, &base.clone()).1.is_empty());
+        // An increase passes.
+        let better = metrics(&convergence_doc(&[("torus_1024_convergence", 14.0)]))
+            .unwrap()
+            .convergence;
+        assert!(convergence_regressions(&base, &better).1.is_empty());
+        // Any decrease fails, even by one channel.
+        let worse = metrics(&convergence_doc(&[("torus_1024_convergence", 11.0)]))
+            .unwrap()
+            .convergence;
+        let (rows, failures) = convergence_regressions(&base, &worse);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("dropped 12 -> 11"), "{failures:?}");
+        // New rows (no baseline) only report, never fail.
+        let fresh = metrics(&convergence_doc(&[("ring_convergence", 5.0)]))
+            .unwrap()
+            .convergence;
+        let (rows, failures) = convergence_regressions(&base, &fresh);
+        assert_eq!(rows[0][1], "(new)");
+        assert!(failures.is_empty());
     }
 
     #[test]

@@ -51,11 +51,17 @@
 //! centralised manager (control frames teleport… well, forward to one
 //! switch) and once under the distributed per-switch managers with
 //! two-phase reservation frames hopping the fabric.  The accepted channel
-//! sets must be *identical* (ids, routes, deadline splits — the central
-//! manager is the oracle); what differs is the honest price: control-frame
-//! count, control-frame link traversals ("admission hops") and admission
-//! latency in simulated time all land in the artifact, and `bench_diff`
-//! fails CI if the accepted sets ever diverge.
+//! sets must be *identical* — routes and deadline splits admission for
+//! admission, ids under the admission-order remapping (raw ids differ by
+//! construction: per-switch id blocks vs the central global sequencer);
+//! what differs is the honest price: control-frame count, control-frame
+//! link traversals ("admission hops") and admission latency in simulated
+//! time all land in the artifact, and `bench_diff` fails CI if the
+//! accepted sets ever diverge.  **Part 5b** cuts a trunk and establishes
+//! the next batch while the link-state flood is still propagating —
+//! admission against stale views — then settles and audits that no
+//! reservation slack leaked; `bench_diff` gates the deterministic
+//! `accepted_under_convergence` count (any decrease fails).
 //!
 //! **Part 6 — churn soak (fat tree + 4-D torus).**  A long-running
 //! admission service: a seeded arrival/departure process (exponential
@@ -265,6 +271,9 @@ struct DistributedRow {
     accepted: u64,
     control_frames: u64,
     control_hops: u64,
+    /// Link-state flood frames, counted separately from the reservation
+    /// traffic (zero in a fault-free run).
+    link_state_frames: u64,
     /// Simulated time consumed by all establishment handshakes.
     admission_ns: u64,
     /// Mean control-frame link traversals per *accepted* channel — the
@@ -285,6 +294,7 @@ impl ToJson for DistributedRow {
             ("dropped_channels", 0u64.to_json()),
             ("control_frames", self.control_frames.to_json()),
             ("control_hops", self.control_hops.to_json()),
+            ("link_state_frames", self.link_state_frames.to_json()),
             ("admission_ns", self.admission_ns.to_json()),
             ("hops_per_accepted", self.hops_per_accepted.to_json()),
             ("events", self.events.to_json()),
@@ -294,12 +304,47 @@ impl ToJson for DistributedRow {
 }
 
 /// The central-vs-distributed parity verdict (part 5), gated in-artifact by
-/// `bench_diff`: the two accepted counts must be equal.
+/// `bench_diff`: the two accepted counts must be equal, and the admitted
+/// routes and deadline splits must match admission for admission (raw ids
+/// differ by construction — the distributed manager allocates from
+/// per-switch id blocks — so `identical_channel_set` is checked under the
+/// admission-order id remapping).
 #[derive(Debug)]
 struct ParityRow {
     central_accepted: u64,
     distributed_accepted: u64,
     identical_channel_set: bool,
+}
+
+/// Part 5b — admission *during* the link-state convergence window (the cut
+/// has been announced but the flood is still propagating, so per-switch
+/// views disagree).  `bench_diff` gates `accepted_under_convergence`: the
+/// run is seeded and deterministic, so any decrease fails CI.
+#[derive(Debug)]
+struct ConvergenceRow {
+    requested: u64,
+    accepted_under_convergence: u64,
+    rerouted_by_cut: u64,
+    control_frames: u64,
+    link_state_frames: u64,
+    link_state_hops: u64,
+}
+
+impl ToJson for ConvergenceRow {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("fabric", "torus_1024_convergence".to_json()),
+            ("requested", self.requested.to_json()),
+            (
+                "accepted_under_convergence",
+                self.accepted_under_convergence.to_json(),
+            ),
+            ("rerouted_by_cut", self.rerouted_by_cut.to_json()),
+            ("control_frames", self.control_frames.to_json()),
+            ("link_state_frames", self.link_state_frames.to_json()),
+            ("link_state_hops", self.link_state_hops.to_json()),
+        ])
+    }
 }
 
 impl ToJson for ParityRow {
@@ -421,6 +466,7 @@ struct Results {
     failover: Vec<FailoverRow>,
     distributed: Vec<DistributedRow>,
     parity: Vec<ParityRow>,
+    convergence: Vec<ConvergenceRow>,
     admission_quality: Vec<AdmissionRow>,
     churn: Vec<ChurnRow>,
     churn_parity: Vec<ChurnParityRow>,
@@ -436,6 +482,7 @@ impl ToJson for Results {
             ("failover", self.failover.to_json()),
             ("distributed_admission", self.distributed.to_json()),
             ("distributed_parity", self.parity.to_json()),
+            ("convergence_admission", self.convergence.to_json()),
             ("admission_quality", self.admission_quality.to_json()),
             ("churn_soak", self.churn.to_json()),
             ("churn_parity", self.churn_parity.to_json()),
@@ -1037,6 +1084,7 @@ fn part5_distributed() -> (Vec<DistributedRow>, ParityRow) {
             accepted,
             control_frames: stats.control_frames,
             control_hops: stats.control_hops,
+            link_state_frames: stats.link_state_frames,
             admission_ns: net.now().as_nanos(),
             hops_per_accepted: if accepted == 0 {
                 0.0
@@ -1056,10 +1104,22 @@ fn part5_distributed() -> (Vec<DistributedRow>, ParityRow) {
         central_row.accepted < requested,
         "the hot trunk must reject some requests"
     );
-    let identical = central_set == dist_set;
+    // Raw ids differ by construction (per-switch id blocks vs the central
+    // global sequencer), so parity is routes + deadline splits admission
+    // for admission, and the admission-order id pairing must be a
+    // bijection on both sides.
+    let placement_free = |set: &[ChannelSig]| -> Vec<(Vec<HopLink>, Vec<u64>)> {
+        set.iter().map(|(_, p, d)| (p.clone(), d.clone())).collect()
+    };
+    let distinct_ids =
+        |set: &[ChannelSig]| set.iter().map(|(id, _, _)| *id).collect::<BTreeSet<_>>().len();
+    let identical = placement_free(&central_set) == placement_free(&dist_set)
+        && distinct_ids(&central_set) == central_set.len()
+        && distinct_ids(&dist_set) == dist_set.len();
     assert!(
         identical,
-        "the distributed manager must admit the oracle's exact channel set"
+        "the distributed manager must admit the oracle's exact channel set \
+         (routes and splits under id remapping)"
     );
     let mut table = Table::new(&[
         "placement",
@@ -1081,7 +1141,8 @@ fn part5_distributed() -> (Vec<DistributedRow>, ParityRow) {
     }
     table.print();
     println!(
-        "identical accepted channel set: YES ({} channels, ids/routes/deadline splits all equal)",
+        "identical accepted channel set: YES ({} channels, routes/deadline splits equal, \
+         ids equal under admission-order remapping)",
         central_row.accepted
     );
     println!(
@@ -1094,6 +1155,87 @@ fn part5_distributed() -> (Vec<DistributedRow>, ParityRow) {
         identical_channel_set: identical,
     };
     (vec![central_row, dist_row], parity)
+}
+
+/// Part 5b: admission during the convergence window.  A trunk is cut and
+/// the link-state flood is injected onto the wire *without* being pumped to
+/// quiescence, so the next batch of establishment handshakes genuinely
+/// races the announcement through the fabric: some coordinators still hold
+/// the pre-cut view and probe routes over the dead trunk.  Those attempts
+/// abort mid-handshake and their leased partial reservations are reclaimed
+/// — after settling, the manager's quiescence audit proves zero slack
+/// leaked.  The accepted count is seeded-deterministic; `bench_diff` gates
+/// it as `accepted_under_convergence` (any decrease fails).
+fn part5b_convergence() -> ConvergenceRow {
+    let fabric = FabricScenario::torus(8, 8, 8, 8);
+    let spec = RtChannelSpec::paper_default();
+    let mut net = RtNetwork::builder()
+        .topology(fabric.topology())
+        .router(KShortestRouter::new(3))
+        .multihop_dps(MultiHopDps::Asymmetric)
+        .manager_placement(ManagerPlacement::Distributed)
+        .build()
+        .expect("the torus builds under k-shortest routing");
+    // Warm channels pinned across the doomed trunk, so the cut also walks
+    // the fail-over path of the per-switch ledgers.
+    let warm: Vec<(NodeId, NodeId)> = fabric
+        .hot_trunk_requests(4, spec)
+        .iter()
+        .map(|r| (r.source, r.destination))
+        .collect();
+    for &(src, dst) in &warm {
+        net.establish_channel(src, dst, spec)
+            .expect("establishment cannot error on a known topology");
+    }
+    let report = net
+        .fail_trunk(SwitchId::new(0), SwitchId::new(1))
+        .expect("the hot trunk exists");
+    // The LinkState flood is now in flight but NOT yet converged; this
+    // batch contends for the dead trunk's slack against stale views.
+    let mut accepted = 0u64;
+    let requests: Vec<(NodeId, NodeId)> = fabric
+        .hot_trunk_requests(16, spec)
+        .iter()
+        .map(|r| (r.source, r.destination))
+        .collect();
+    let requested = requests.len() as u64;
+    for &(src, dst) in &requests {
+        if net
+            .establish_channel(src, dst, spec)
+            .expect("establishment cannot error on a known topology")
+            .is_some()
+        {
+            accepted += 1;
+        }
+    }
+    net.settle().expect("the fabric settles to quiescence");
+    net.manager()
+        .audit_quiescent()
+        .expect("no reservation slack may survive the settle");
+    let stats = net.simulator().stats();
+    println!(
+        "\nPart 5b — admission under convergence (trunk sw0<->sw1 cut, flood still propagating)"
+    );
+    println!(
+        "  {accepted}/{requested} accepted while views disagreed; {} re-routed by the cut; \
+         {} link-state frames ({} hops) vs {} reservation frames; zero slack leaked (audited)",
+        report.rerouted.len(),
+        stats.link_state_frames,
+        stats.link_state_hops,
+        stats.control_frames,
+    );
+    assert!(
+        accepted > 0,
+        "the redundant torus must admit channels even mid-convergence"
+    );
+    ConvergenceRow {
+        requested,
+        accepted_under_convergence: accepted,
+        rerouted_by_cut: report.rerouted.len() as u64,
+        control_frames: stats.control_frames,
+        link_state_frames: stats.link_state_frames,
+        link_state_hops: stats.link_state_hops,
+    }
 }
 
 /// The churn soak seed — every random stream of part 6 derives from it.
@@ -1191,9 +1333,12 @@ fn part6_churn_soak() -> (Vec<ChurnRow>, Vec<ChurnParityRow>, Vec<ChurnRecoveryR
         let central = churn_run(topology, false, config.clone());
         let distributed = churn_run(topology, true, config);
         // The two placements saw the identical arrival sequence, so their
-        // admission traces must match event for event.
+        // admission traces must match event for event — under the
+        // admission-order id renumbering, since raw ids come from
+        // per-switch blocks on one side and a global sequencer on the
+        // other.
         assert_eq!(
-            central.trace_hash, distributed.trace_hash,
+            central.normalized_trace_hash, distributed.normalized_trace_hash,
             "{name}: central and distributed churn traces diverge"
         );
         for (placement, report) in [("central", &central), ("distributed", &distributed)] {
@@ -1214,7 +1359,7 @@ fn part6_churn_soak() -> (Vec<ChurnRow>, Vec<ChurnParityRow>, Vec<ChurnRecoveryR
             fabric: name.to_string(),
             central_admitted: central.admitted,
             distributed_admitted: distributed.admitted,
-            identical_trace: central.trace_hash == distributed.trace_hash,
+            identical_trace: central.normalized_trace_hash == distributed.normalized_trace_hash,
         });
     }
     table.print();
@@ -1347,6 +1492,7 @@ fn main() {
     let scheduler_rows = part3_schedulers(messages);
     let failover_row = part4_survivability(3);
     let (distributed_rows, parity_row) = part5_distributed();
+    let convergence_row = part5b_convergence();
     let (churn_rows, churn_parity_rows, churn_recovery_rows) = part6_churn_soak();
     // Admission-quality trajectory: one row per scenario, gated by
     // bench_diff (an accepted-channel regression fails CI).  The torus
@@ -1382,6 +1528,7 @@ fn main() {
         failover: vec![failover_row],
         distributed: distributed_rows,
         parity: vec![parity_row],
+        convergence: vec![convergence_row],
         admission_quality,
         churn: churn_rows,
         churn_parity: churn_parity_rows,

@@ -18,7 +18,7 @@
 use std::collections::BTreeMap;
 
 use rt_edf::{FeasibilityOutcome, FeasibilityTester, PeriodicTask, TaskSet};
-use rt_types::{ChannelId, HopLink, SwitchId};
+use rt_types::{ChannelId, HopLink, SimTime, SwitchId};
 
 /// What a ledger entry belongs to: an established channel, or an in-flight
 /// two-phase reservation identified by its coordinator switch and token.
@@ -55,6 +55,12 @@ impl ReservationKey {
 pub struct SlackLedger {
     tester: FeasibilityTester,
     links: BTreeMap<HopLink, BTreeMap<ReservationKey, PeriodicTask>>,
+    /// Expiry deadline per *leased* key: an in-flight two-phase reservation
+    /// holds its slack only until this instant.  A sweep at or past the
+    /// deadline reclaims everything the key holds — the backstop that keeps
+    /// a handshake stranded by a fault from leaking slack forever.
+    /// Committed channels hold no lease.
+    leases: BTreeMap<ReservationKey, SimTime>,
 }
 
 impl SlackLedger {
@@ -63,6 +69,7 @@ impl SlackLedger {
         SlackLedger {
             tester: FeasibilityTester::new(),
             links: BTreeMap::new(),
+            leases: BTreeMap::new(),
         }
     }
 
@@ -111,9 +118,11 @@ impl SlackLedger {
         removed
     }
 
-    /// Release everything `key` holds, on every link of this ledger.
-    /// Returns the number of link reservations freed.
+    /// Release everything `key` holds, on every link of this ledger, and
+    /// drop its lease if one exists.  Returns the number of link
+    /// reservations freed.
     pub fn release_key(&mut self, key: ReservationKey) -> usize {
+        self.leases.remove(&key);
         let mut freed = 0;
         self.links.retain(|_, entries| {
             if entries.remove(&key).is_some() {
@@ -122,6 +131,49 @@ impl SlackLedger {
             !entries.is_empty()
         });
         freed
+    }
+
+    // --- leases -----------------------------------------------------------
+
+    /// Put (or move) `key`'s lease deadline: every reservation the key holds
+    /// on this ledger expires — and is reclaimed by the next sweep — unless
+    /// the lease is cleared (commit) or the key released (rollback) first.
+    pub fn lease(&mut self, key: ReservationKey, expires: SimTime) {
+        self.leases.insert(key, expires);
+    }
+
+    /// Clear `key`'s lease, making its reservations permanent (the commit
+    /// path).  Returns `false` if no lease was held — the caller must treat
+    /// that as "the lease already expired", not resurrect the slack.
+    pub fn clear_lease(&mut self, key: ReservationKey) -> bool {
+        self.leases.remove(&key).is_some()
+    }
+
+    /// The expiry deadline `key`'s lease currently carries, if any.
+    pub fn lease_of(&self, key: ReservationKey) -> Option<SimTime> {
+        self.leases.get(&key).copied()
+    }
+
+    /// The earliest lease deadline held, if any — the next instant a sweep
+    /// could reclaim something.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.leases.values().min().copied()
+    }
+
+    /// Reclaim every key whose lease deadline is at or before `now`:
+    /// release all its reservations and return the expired keys (ascending).
+    /// A lease expiring *exactly* at the sweep tick is reclaimed.
+    pub fn sweep_expired(&mut self, now: SimTime) -> Vec<ReservationKey> {
+        let expired: Vec<ReservationKey> = self
+            .leases
+            .iter()
+            .filter(|(_, &deadline)| deadline <= now)
+            .map(|(&key, _)| key)
+            .collect();
+        for &key in &expired {
+            self.release_key(key);
+        }
+        expired
     }
 
     /// The reservation keys currently holding slack on `link`, ascending.
@@ -205,6 +257,70 @@ mod tests {
         // Tokens and channels share the same book.
         ledger.release(link, ReservationKey::channel(ChannelId::new(1)));
         assert!(ledger.feasible_with(link, &task(100, 3, 20)).is_feasible());
+    }
+
+    #[test]
+    fn lease_sweep_reclaims_exactly_at_the_deadline() {
+        let mut ledger = SlackLedger::new();
+        let link = HopLink::Uplink(NodeId::new(0));
+        let key = ReservationKey::token(SwitchId::new(1), 3);
+        ledger.reserve(link, key, task(100, 3, 20));
+        ledger.lease(key, SimTime::from_micros(50));
+        assert_eq!(ledger.next_expiry(), Some(SimTime::from_micros(50)));
+        // One tick early: nothing is reclaimed.
+        assert!(ledger.sweep_expired(SimTime::from_nanos(49_999)).is_empty());
+        assert!(ledger.holds(link, key));
+        // Exactly at the deadline: the key is reclaimed.
+        assert_eq!(ledger.sweep_expired(SimTime::from_micros(50)), vec![key]);
+        assert!(!ledger.holds(link, key));
+        assert_eq!(ledger.next_expiry(), None);
+        // Sweeping again is a no-op.
+        assert!(ledger.sweep_expired(SimTime::MAX).is_empty());
+    }
+
+    #[test]
+    fn clear_lease_commits_and_reports_expiry() {
+        let mut ledger = SlackLedger::new();
+        let link = HopLink::Downlink(NodeId::new(2));
+        let key = ReservationKey::token(SwitchId::new(0), 7);
+        ledger.reserve(link, key, task(100, 3, 20));
+        ledger.lease(key, SimTime::from_micros(10));
+        assert_eq!(ledger.lease_of(key), Some(SimTime::from_micros(10)));
+        // Commit in time: the lease clears and the slack survives any sweep.
+        assert!(ledger.clear_lease(key));
+        assert!(ledger.sweep_expired(SimTime::MAX).is_empty());
+        assert!(ledger.holds(link, key));
+        // Clearing an expired (absent) lease reports failure — a late
+        // Confirm must not resurrect reclaimed slack.
+        assert!(!ledger.clear_lease(key));
+    }
+
+    #[test]
+    fn release_key_drops_the_lease() {
+        let mut ledger = SlackLedger::new();
+        let link = HopLink::Uplink(NodeId::new(4));
+        let key = ReservationKey::token(SwitchId::new(2), 9);
+        ledger.reserve(link, key, task(100, 3, 20));
+        ledger.lease(key, SimTime::from_micros(5));
+        assert_eq!(ledger.release_key(key), 1);
+        assert_eq!(ledger.next_expiry(), None, "rollback must drop the lease");
+    }
+
+    #[test]
+    fn next_expiry_is_the_earliest_deadline() {
+        let mut ledger = SlackLedger::new();
+        let link = HopLink::Uplink(NodeId::new(0));
+        let early = ReservationKey::token(SwitchId::new(0), 1);
+        let late = ReservationKey::token(SwitchId::new(0), 2);
+        ledger.reserve(link, early, task(100, 1, 50));
+        ledger.reserve(link, late, task(100, 1, 50));
+        ledger.lease(late, SimTime::from_micros(90));
+        ledger.lease(early, SimTime::from_micros(30));
+        assert_eq!(ledger.next_expiry(), Some(SimTime::from_micros(30)));
+        // Only the early key expires at its deadline.
+        assert_eq!(ledger.sweep_expired(SimTime::from_micros(30)), vec![early]);
+        assert_eq!(ledger.next_expiry(), Some(SimTime::from_micros(90)));
+        assert!(ledger.holds(link, late));
     }
 
     #[test]

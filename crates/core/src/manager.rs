@@ -24,7 +24,7 @@ use rt_frames::rt_response::ResponseVerdict;
 use rt_frames::{Frame, RequestFrame, ReservationFrame, ResponseFrame};
 use rt_types::{
     ChannelId, ConnectionRequestId, HopLink, LinkId, MacAddr, NodeId, Route, RtError, RtResult,
-    Slots, SwitchId,
+    SimTime, Slots, SwitchId,
 };
 
 use crate::admission::{AdmissionController, AdmissionDecision};
@@ -228,21 +228,24 @@ pub trait ChannelManager: fmt::Debug {
 
     /// Handle any control-plane frame delivered to the control plane of
     /// switch `at`, originated by `from` (`NodeId::SWITCH` for
-    /// switch-originated reservation traffic).
+    /// switch-originated reservation traffic), at simulated time `now`.
     ///
     /// This is the one entry point the network glue drives.  The default
-    /// implementation reproduces the centralised behaviour: `at` is ignored
-    /// (every control frame was forwarded to the managing switch anyway),
-    /// the legacy per-kind handlers run, and all emissions originate at
-    /// `at`.  The distributed manager overrides this with the per-switch
-    /// two-phase reservation protocol.
+    /// implementation reproduces the centralised behaviour: `at` and `now`
+    /// are ignored (every control frame was forwarded to the managing
+    /// switch anyway, and a central manager holds no leases), the legacy
+    /// per-kind handlers run, and all emissions originate at `at`.  The
+    /// distributed manager overrides this with the per-switch two-phase
+    /// reservation protocol, sweeping the handling site's expired leases
+    /// first.
     fn handle_frame_at(
         &mut self,
         at: SwitchId,
         from: NodeId,
         frame: &Frame,
+        now: SimTime,
     ) -> RtResult<ControlOutcome> {
-        let _ = from;
+        let _ = (from, now);
         match frame {
             Frame::Request(req) => Ok(ControlOutcome::emissions_at(at, self.handle_request(req)?)),
             Frame::Response(resp) => Ok(ControlOutcome::emissions_at(
@@ -260,6 +263,46 @@ pub trait ChannelManager: fmt::Debug {
                 "unexpected frame at the switch control plane: {other:?}"
             ))),
         }
+    }
+
+    /// The earliest instant at which this manager has time-driven work to
+    /// do (a reservation lease or a coordination deadline expiring), or
+    /// `None` if it is purely frame-driven.  The network glue advances the
+    /// clock to this instant and calls [`ChannelManager::on_tick`] when a
+    /// handshake stalls instead of spinning forever.
+    fn next_timeout(&self) -> Option<SimTime> {
+        None
+    }
+
+    /// Run all time-driven work due at or before `now`: sweep expired
+    /// reservation leases and abort timed-out coordinations.  Emissions
+    /// (lease-expiry rejections back to requesters, release sweeps for
+    /// reclaimed slack) are returned like any frame outcome.  After this
+    /// returns, [`ChannelManager::next_timeout`] is strictly after `now`
+    /// (or `None`).  The default is a no-op: central managers hold no
+    /// leases.
+    fn on_tick(&mut self, now: SimTime) -> RtResult<ControlOutcome> {
+        let _ = now;
+        Ok(ControlOutcome::empty())
+    }
+
+    /// Take the control frames this manager queued outside a frame handler
+    /// (link-state floods originated by fault/repair notifications).  The
+    /// caller must put them on the wire; managers without a control plane
+    /// of their own return nothing.
+    fn drain_control(&mut self) -> Vec<(SwitchId, SwitchAction)> {
+        Vec::new()
+    }
+
+    /// Audit the control plane's book-keeping in a quiescent state (no
+    /// handshake in flight): every unit of reserved slack must belong to an
+    /// admitted channel, every admitted channel must hold exactly its
+    /// route's reservations, and no channel id may be admitted twice.
+    /// Returns a descriptive error on the first violation found.  The
+    /// default accepts (a central manager's single ledger is audited
+    /// through its own admission invariants).
+    fn audit_quiescent(&self) -> RtResult<()> {
+        Ok(())
     }
 }
 

@@ -472,16 +472,58 @@ impl RtNetwork {
             .request_channel(destination, spec)?;
         self.sim.inject(source, eth, now)?;
         self.pump()?;
-        match self.outcomes.remove(&(source.get(), request_id.get())) {
-            Some(EstablishmentOutcome::Established(tx)) => {
-                self.finish_establishment(source, &tx);
-                Ok(Some(tx))
+        // Under distributed control a handshake can stall instead of
+        // completing — e.g. a fault mid-reservation strands a coordination
+        // whose lease must expire before the requester hears `Rejected`.
+        // Fire the manager's pending timeouts (lease sweeps) until the
+        // outcome lands or no timeout remains.
+        loop {
+            if let Some(outcome) = self.outcomes.remove(&(source.get(), request_id.get())) {
+                return match outcome {
+                    EstablishmentOutcome::Established(tx) => {
+                        self.finish_establishment(source, &tx);
+                        Ok(Some(tx))
+                    }
+                    EstablishmentOutcome::Rejected { .. } => Ok(None),
+                };
             }
-            Some(EstablishmentOutcome::Rejected { .. }) => Ok(None),
-            None => Err(RtError::ProtocolViolation(format!(
-                "handshake for request {request_id} from {source} did not complete"
-            ))),
+            if !self.tick_manager()? {
+                return Err(RtError::ProtocolViolation(format!(
+                    "handshake for request {request_id} from {source} did not complete"
+                )));
+            }
         }
+    }
+
+    /// Advance simulated time to the manager's next timeout (a lease
+    /// expiry), fire it, emit whatever it produced and pump the wire dry.
+    /// Returns `false` when no timeout was pending.
+    fn tick_manager(&mut self) -> RtResult<bool> {
+        let Some(deadline) = self.manager.next_timeout() else {
+            return Ok(false);
+        };
+        let at = deadline.max(self.sim.now());
+        let outcome = self.manager.on_tick(at)?;
+        for (origin, action) in outcome.emissions {
+            self.emit(origin, action, at)?;
+        }
+        for released in outcome.released {
+            self.process_released(released);
+        }
+        self.pump()?;
+        Ok(true)
+    }
+
+    /// Drive the network to control-plane quiescence: pump the wire dry,
+    /// then fire every pending manager timeout (lease sweeps) in order,
+    /// pumping after each, until no timeout remains.  After `settle()` a
+    /// distributed manager holds no leases, no half-open coordinations and
+    /// no pending responders — [`ChannelManager::audit_quiescent`] is
+    /// answerable.
+    pub fn settle(&mut self) -> RtResult<SimTime> {
+        self.pump()?;
+        while self.tick_manager()? {}
+        Ok(self.sim.now())
     }
 
     /// After a fabric handshake completes: push the per-hop deadline
@@ -557,6 +599,7 @@ impl RtNetwork {
     pub fn fail_trunk(&mut self, from: SwitchId, to: SwitchId) -> RtResult<FailoverReport> {
         self.sim.fail_link(from, to)?;
         let report = self.manager.handle_link_failure(from, to)?;
+        self.flood_pending_control()?;
         for route in &report.rerouted {
             self.install_channel_wire(route);
         }
@@ -582,6 +625,7 @@ impl RtNetwork {
     pub fn fail_switch(&mut self, switch: SwitchId) -> RtResult<FailoverReport> {
         self.sim.fail_switch(switch)?;
         let report = self.manager.handle_switch_failure(switch)?;
+        self.flood_pending_control()?;
         for route in &report.rerouted {
             self.install_channel_wire(route);
         }
@@ -607,10 +651,24 @@ impl RtNetwork {
     pub fn repair_trunk(&mut self, from: SwitchId, to: SwitchId) -> RtResult<FailoverReport> {
         self.sim.repair_link(from, to)?;
         let report = self.manager.handle_link_repair(from, to)?;
+        self.flood_pending_control()?;
         for route in &report.rerouted {
             self.install_channel_wire(route);
         }
         Ok(report)
+    }
+
+    /// Inject the link-state frames a fault origin wants flooded — the seed
+    /// hops of the topology-event flood — at the current simulated time.
+    /// Deliberately does *not* pump: the caller decides when the fabric runs,
+    /// so admission attempts can race the still-propagating flood (the
+    /// convergence window the adversarial tests exercise).
+    fn flood_pending_control(&mut self) -> RtResult<()> {
+        let now = self.sim.now();
+        for (origin, action) in self.manager.drain_control() {
+            self.emit(origin, action, now)?;
+        }
+        Ok(())
     }
 
     // --- data plane ----------------------------------------------------------
@@ -743,7 +801,9 @@ impl RtNetwork {
             // control plane received the frame (the managing switch under
             // central placement, any switch under distributed placement).
             let at = delivery.switch.unwrap_or(self.sim.manager_switch());
-            let outcome = self.manager.handle_frame_at(at, delivery.source, &frame)?;
+            let outcome = self
+                .manager
+                .handle_frame_at(at, delivery.source, &frame, now)?;
             for (origin, action) in outcome.emissions {
                 self.emit(origin, action, now)?;
             }

@@ -21,7 +21,7 @@ use rt_types::{
 
 use crate::ethernet::EthernetFrame;
 use crate::ipv4::Ipv4Header;
-use crate::reservation::ReservationFrame;
+use crate::reservation::{ReservationFrame, ReservationOp};
 use crate::rt_data::{DeadlineStamp, RtDataFrame};
 use crate::rt_request::RequestFrame;
 use crate::rt_response::ResponseFrame;
@@ -77,6 +77,11 @@ pub enum FramePeek {
     /// A valid RT control frame (request / response / teardown /
     /// reservation) — real-time class, handled by the control plane.
     Control,
+    /// A valid link-state flood frame (a reservation frame carrying the
+    /// `LinkState` op) — same class and queueing as [`FramePeek::Control`],
+    /// but accounted separately so flooding overhead is observable next to
+    /// admission traffic.
+    LinkState,
     /// A deadline-stamped real-time datagram; the stamp carries the absolute
     /// deadline and channel ID the queues need.
     RtData(DeadlineStamp),
@@ -172,7 +177,10 @@ impl Frame {
                         TeardownFrame::decode(&eth.payload)?;
                     }
                     RT_FRAME_TYPE_RESERVATION => {
-                        ReservationFrame::decode(&eth.payload)?;
+                        let rf = ReservationFrame::decode(&eth.payload)?;
+                        if rf.op == ReservationOp::LinkState {
+                            return Ok(FramePeek::LinkState);
+                        }
                     }
                     other => {
                         return Err(RtError::FrameDecode(format!(
@@ -363,6 +371,41 @@ mod tests {
             )
             .unwrap(),
         );
+        // Reservation traffic: a Probe (plain control) and a LinkState flood.
+        let mut reservation = ReservationFrame {
+            op: ReservationOp::Probe,
+            reason: crate::reservation::ReservationReason::None,
+            coordinator: rt_types::SwitchId::new(2),
+            token: 9,
+            source: rt_types::NodeId::new(1),
+            destination: rt_types::NodeId::new(5),
+            request_id: ConnectionRequestId::new(3),
+            candidate: 0,
+            hop: 1,
+            channel: None,
+            period: Slots::new(100),
+            capacity: Slots::new(3),
+            deadline: Slots::new(40),
+            values: vec![1, 2],
+        };
+        zoo.push(
+            reservation
+                .into_ethernet(
+                    MacAddr::for_switch_id(rt_types::SwitchId::new(2)),
+                    MacAddr::for_switch_id(rt_types::SwitchId::new(3)),
+                )
+                .unwrap(),
+        );
+        reservation.op = ReservationOp::LinkState;
+        reservation.values = vec![2, 3, 0, 1];
+        zoo.push(
+            reservation
+                .into_ethernet(
+                    MacAddr::for_switch_id(rt_types::SwitchId::new(2)),
+                    MacAddr::for_switch_id(rt_types::SwitchId::new(3)),
+                )
+                .unwrap(),
+        );
         // RT data.
         let data = RtDataFrame {
             eth_src: MacAddr::ZERO,
@@ -434,7 +477,17 @@ mod tests {
                 (Err(_), Err(_)) => {}
                 (Ok(p), Ok(c)) => {
                     match p {
-                        FramePeek::Control => assert!(c.is_control()),
+                        FramePeek::Control => {
+                            assert!(c.is_control());
+                            assert!(!matches!(
+                                &c,
+                                Frame::Reservation(rf) if rf.op == ReservationOp::LinkState
+                            ));
+                        }
+                        FramePeek::LinkState => assert!(matches!(
+                            &c,
+                            Frame::Reservation(rf) if rf.op == ReservationOp::LinkState
+                        )),
                         FramePeek::RtData(stamp) => match &c {
                             Frame::RtData(d) => assert_eq!(d.stamp, stamp),
                             other => panic!("peek said RtData, classify said {other:?}"),
@@ -444,7 +497,10 @@ mod tests {
                         }
                     }
                     assert_eq!(
-                        matches!(p, FramePeek::Control | FramePeek::RtData(_)),
+                        matches!(
+                            p,
+                            FramePeek::Control | FramePeek::LinkState | FramePeek::RtData(_)
+                        ),
                         c.is_realtime()
                     );
                 }

@@ -17,11 +17,15 @@
 //! * **ReserveFailed** / **Confirm** (direct notifications to the
 //!   coordinator): try the next candidate route, or commit the channel,
 //! * **Release** (forward along the admitted route): tear an established
-//!   channel's reservations down switch by switch.
+//!   channel's reservations down switch by switch,
+//! * **LinkState** (flooded from the switches adjacent to a trunk event):
+//!   each receiving switch applies the announced liveness to its own
+//!   topology view and re-floods, so convergence happens at wire speed and
+//!   two switches can briefly disagree about the fabric.
 //!
-//! One wire format serves all six operations; the op-specific payload (`
-//! collected loads, per-link deadlines or the switch itinerary) rides in the
-//! variable-length `values` list.
+//! One wire format serves all seven operations; the op-specific payload
+//! (collected loads, per-link deadlines, the switch itinerary, or the
+//! announced trunk) rides in the variable-length `values` list.
 
 use rt_types::{
     constants::{ETHERTYPE_RT_CONTROL, RT_FRAME_TYPE_RESERVATION},
@@ -56,6 +60,13 @@ pub enum ReservationOp {
     /// Tear-down pass along an admitted route: release the committed
     /// reservations switch by switch.
     Release,
+    /// Link-state flood: a switch adjacent to a trunk event announces the
+    /// trunk's new liveness to its neighbours, which apply it to their own
+    /// topology view and re-flood.  `values` carries
+    /// `[endpoint_a, endpoint_b, alive, epoch]`; the epoch deduplicates and
+    /// orders announcements, so the flood terminates and late frames can
+    /// never resurrect an older view.
+    LinkState,
 }
 
 impl ReservationOp {
@@ -67,6 +78,7 @@ impl ReservationOp {
             ReservationOp::ReserveFailed => 4,
             ReservationOp::Confirm => 5,
             ReservationOp::Release => 6,
+            ReservationOp::LinkState => 7,
         }
     }
 
@@ -78,6 +90,7 @@ impl ReservationOp {
             4 => ReservationOp::ReserveFailed,
             5 => ReservationOp::Confirm,
             6 => ReservationOp::Release,
+            7 => ReservationOp::LinkState,
             other => {
                 return Err(RtError::FrameDecode(format!(
                     "ReservationFrame: unknown op {other:#04x}"
@@ -98,6 +111,10 @@ pub enum ReservationReason {
     Infeasible,
     /// The destination node refused the channel.
     DestinationRejected,
+    /// A tentative reservation's lease expired before the handshake
+    /// completed (a coordinator died or the confirm path was cut); the
+    /// slack was reclaimed by the owning site's sweep.
+    LeaseExpired,
 }
 
 impl ReservationReason {
@@ -106,6 +123,7 @@ impl ReservationReason {
             ReservationReason::None => 0,
             ReservationReason::Infeasible => 1,
             ReservationReason::DestinationRejected => 2,
+            ReservationReason::LeaseExpired => 3,
         }
     }
 
@@ -114,6 +132,7 @@ impl ReservationReason {
             0 => ReservationReason::None,
             1 => ReservationReason::Infeasible,
             2 => ReservationReason::DestinationRejected,
+            3 => ReservationReason::LeaseExpired,
             other => {
                 return Err(RtError::FrameDecode(format!(
                     "ReservationFrame: unknown reason {other:#04x}"
@@ -350,11 +369,13 @@ mod tests {
             ReservationOp::ReserveFailed,
             ReservationOp::Confirm,
             ReservationOp::Release,
+            ReservationOp::LinkState,
         ] {
             for reason in [
                 ReservationReason::None,
                 ReservationReason::Infeasible,
                 ReservationReason::DestinationRejected,
+                ReservationReason::LeaseExpired,
             ] {
                 let mut f = sample();
                 f.op = op;
@@ -363,6 +384,50 @@ mod tests {
                 assert_eq!(ReservationFrame::decode(&f.encode().unwrap()).unwrap(), f);
             }
         }
+    }
+
+    #[test]
+    fn golden_bytes_link_state() {
+        let f = ReservationFrame {
+            op: ReservationOp::LinkState,
+            reason: ReservationReason::None,
+            coordinator: SwitchId::new(4),
+            token: 0,
+            source: NodeId::new(0),
+            destination: NodeId::new(0),
+            request_id: ConnectionRequestId::new(0),
+            candidate: 0,
+            hop: 0,
+            channel: None,
+            period: Slots::new(0),
+            capacity: Slots::new(0),
+            deadline: Slots::new(0),
+            // [endpoint_a, endpoint_b, alive, epoch]
+            values: vec![4, 9, 0, 17],
+        };
+        let bytes = f.encode().unwrap();
+        assert_eq!(bytes.len(), RESERVATION_FRAME_FIXED_BYTES + 4 * 4);
+        assert_eq!(bytes[0], RT_FRAME_TYPE_RESERVATION);
+        assert_eq!(bytes[1], 7); // op = LinkState
+        assert_eq!(bytes[2], 0); // reason = None
+        assert_eq!(&bytes[10..14], &4u32.to_be_bytes()); // origin switch
+        assert_eq!(bytes[34], 4); // value count
+        assert_eq!(&bytes[35..39], &4u32.to_be_bytes()); // endpoint a
+        assert_eq!(&bytes[39..43], &9u32.to_be_bytes()); // endpoint b
+        assert_eq!(&bytes[43..47], &0u32.to_be_bytes()); // alive = false
+        assert_eq!(&bytes[47..51], &17u32.to_be_bytes()); // epoch
+        assert_eq!(ReservationFrame::decode(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn golden_bytes_lease_expired_reason() {
+        let mut f = sample();
+        f.op = ReservationOp::ReserveFailed;
+        f.reason = ReservationReason::LeaseExpired;
+        let bytes = f.encode().unwrap();
+        assert_eq!(bytes[1], 4); // op = ReserveFailed
+        assert_eq!(bytes[2], 3); // reason = LeaseExpired
+        assert_eq!(ReservationFrame::decode(&bytes).unwrap(), f);
     }
 
     #[test]
@@ -432,6 +497,7 @@ mod tests {
                 ReservationOp::ReserveFailed,
                 ReservationOp::Confirm,
                 ReservationOp::Release,
+                ReservationOp::LinkState,
             ];
             let chan = rng.below(1 << 16) as u16;
             let f = ReservationFrame {

@@ -219,6 +219,9 @@ struct FrameRecord {
     deadline: Option<SimTime>,
     /// RT channel for RT data frames.
     channel: Option<ChannelId>,
+    /// `true` for link-state flood frames — control-class on the wire, but
+    /// accounted as convergence overhead instead of reservation traffic.
+    link_state: bool,
     /// The resolved destination (dense indices).
     dest: FrameDest,
     /// Where the frame entered the network (`NodeId::SWITCH` for frames
@@ -956,7 +959,7 @@ impl Simulator {
 
     fn classify(
         eth: &EthernetFrame,
-    ) -> RtResult<(TrafficClass, Option<SimTime>, Option<ChannelId>)> {
+    ) -> RtResult<(TrafficClass, Option<SimTime>, Option<ChannelId>, bool)> {
         // `Frame::peek` borrows: classification costs no clone and no
         // payload copy, and accepts/rejects exactly as `Frame::classify`.
         match Frame::peek(eth)? {
@@ -964,11 +967,16 @@ impl Simulator {
                 TrafficClass::RealTime,
                 Some(SimTime::from_nanos(stamp.absolute_deadline)),
                 Some(stamp.channel),
+                false,
             )),
             // Control frames ride the RT queue with an immediate deadline
             // so that channel management is never starved.
-            FramePeek::Control => Ok((TrafficClass::RealTime, None, None)),
-            FramePeek::BestEffort => Ok((TrafficClass::BestEffort, None, None)),
+            FramePeek::Control => Ok((TrafficClass::RealTime, None, None, false)),
+            // Link-state floods queue exactly like other control frames but
+            // are accounted separately: they are convergence overhead, not
+            // per-admission reservation traffic.
+            FramePeek::LinkState => Ok((TrafficClass::RealTime, None, None, true)),
+            FramePeek::BestEffort => Ok((TrafficClass::BestEffort, None, None, false)),
         }
     }
 
@@ -1011,14 +1019,21 @@ impl Simulator {
     fn register_classified(
         &mut self,
         eth: EthernetFrame,
-        (class, deadline, channel): (TrafficClass, Option<SimTime>, Option<ChannelId>),
+        (class, deadline, channel, link_state): (
+            TrafficClass,
+            Option<SimTime>,
+            Option<ChannelId>,
+            bool,
+        ),
         source: NodeId,
         injected_at: SimTime,
     ) -> FrameId {
         let dest = self.resolve_dest(eth.dst);
         let wire_bytes = eth.wire_bytes();
         let id = FrameId(self.frames.len() as u64);
-        if Self::is_control_record(class, channel) {
+        if link_state {
+            self.stats.record_link_state_frame();
+        } else if Self::is_control_record(class, channel) {
             self.stats.record_control_frame();
         }
         // The one serialisation of the zero-copy path: the frame's unpadded
@@ -1036,6 +1051,7 @@ impl Simulator {
             class,
             deadline,
             channel,
+            link_state,
             dest,
             source,
             injected_at,
@@ -1511,7 +1527,9 @@ impl Simulator {
         };
         let record = &self.frames[queued.frame.0 as usize];
         let wire_bytes = record.wire_bytes;
-        if Self::is_control_record(record.class, record.channel) {
+        if record.link_state {
+            self.stats.record_link_state_hop();
+        } else if Self::is_control_record(record.class, record.channel) {
             self.stats.record_control_hop();
         }
         let tx = self.config.link_speed.transmission_time(wire_bytes);

@@ -131,12 +131,21 @@ pub struct SimStats {
     /// registered with the fabric, from any injection path.  The
     /// control-plane *overhead* of a run: under distributed admission the
     /// two-phase reservation emits more of these than the paper's
-    /// teleport-to-the-manager model.
+    /// teleport-to-the-manager model.  Link-state floods are counted
+    /// separately ([`SimStats::link_state_frames`]) so this stays a pure
+    /// per-admission reservation count.
     pub control_frames: u64,
     /// Link traversals by control-plane frames: every port transmission of
     /// a control frame counts one.  Admission latency in *real hops* — the
     /// wire work the control plane consumed.
     pub control_hops: u64,
+    /// Link-state flood frames registered with the fabric: topology
+    /// convergence overhead, split from [`SimStats::control_frames`] so a
+    /// trunk event does not pollute per-admission reservation counts.
+    pub link_state_frames: u64,
+    /// Link traversals by link-state flood frames — the wire work one
+    /// topology event costs before every switch's view has converged.
+    pub link_state_hops: u64,
     /// Total real-time deadline misses across all channels.
     pub total_deadline_misses: u64,
     /// Events whose scheduled time lay in the past and was clamped to the
@@ -237,6 +246,17 @@ impl SimStats {
         self.control_hops += 1;
     }
 
+    /// Record the injection of a link-state flood frame.
+    pub fn record_link_state_frame(&mut self) {
+        self.link_state_frames += 1;
+    }
+
+    /// Record one link traversal by a link-state flood frame.
+    #[inline]
+    pub fn record_link_state_hop(&mut self) {
+        self.link_state_hops += 1;
+    }
+
     /// Record a transmission on the port with dense id `port` (hot path:
     /// one array write, no map).  Ports are registered via
     /// [`SimStats::for_ports`]; an unregistered port id is a caller bug and
@@ -300,7 +320,7 @@ impl SimStats {
     /// examples and experiment binaries print at the end.
     pub fn summary(&self) -> String {
         format!(
-            "rt={} be={} be_dropped={} unroutable={} link_failed={} released={} deadline_misses={} clamped_events={}",
+            "rt={} be={} be_dropped={} unroutable={} link_failed={} released={} deadline_misses={} clamped_events={} link_state={}",
             self.rt_delivered,
             self.be_delivered,
             self.be_dropped,
@@ -309,6 +329,7 @@ impl SimStats {
             self.released_channel_dropped,
             self.total_deadline_misses,
             self.clamped_events,
+            self.link_state_frames,
         )
     }
 }

@@ -37,7 +37,8 @@ use rt_frames::codec::TeardownFrame;
 use rt_frames::rt_response::ResponseVerdict;
 use rt_frames::{Frame, ResponseFrame};
 use rt_types::{
-    ChannelId, ConnectionRequestId, MacAddr, NodeId, RtError, RtResult, SwitchId, Topology,
+    ChannelId, ConnectionRequestId, MacAddr, NodeId, RtError, RtResult, SimTime, SwitchId,
+    Topology,
 };
 
 use crate::pattern::HeterogeneousSpecs;
@@ -235,6 +236,13 @@ pub struct ChurnReport {
     /// FNV-1a hash over the full event sequence — always computed, equal
     /// iff the traces are equal.
     pub trace_hash: u64,
+    /// FNV-1a hash over the event sequence with channel ids renumbered by
+    /// admission order (the first `Admitted` becomes 1, the second 2, …;
+    /// `Released` follows the remapping).  Two placements that admit and
+    /// release the *same channels in the same order* agree on this hash
+    /// even when their id allocators differ — the parity invariant under
+    /// the distributed manager's per-switch id blocks.
+    pub normalized_trace_hash: u64,
 }
 
 impl ChurnReport {
@@ -265,6 +273,9 @@ struct ActiveChannel {
     /// fabric (the coordinator under distributed placement).
     access: SwitchId,
     departs_at: u64,
+    /// Admission sequence number — the placement-invariant departure
+    /// tie-break (raw ids differ across placements by construction).
+    admit_order: u64,
 }
 
 /// The seeded arrival/departure process.  Construct once per run; `run`
@@ -341,9 +352,35 @@ impl ChurnProcess {
             dropped_by_faults: 0,
             trace: Vec::new(),
             trace_hash: 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
+            normalized_trace_hash: 0xcbf2_9ce4_8422_2325,
         };
-        let record = |report: &mut ChurnReport, event: ChurnEvent| {
+        // Admission-order id renumbering for the normalized hash: raw id →
+        // its admission sequence number.  A raw id reused after release gets
+        // a *fresh* normalized id, so allocator wrap-around never aliases
+        // two distinct channels.
+        let mut admit_seq = 0u64;
+        let mut norm_ids: BTreeMap<u16, u64> = BTreeMap::new();
+        let mut record = |report: &mut ChurnReport, event: ChurnEvent| {
             event.fold(&mut report.trace_hash);
+            const PRIME: u64 = 0x0000_0100_0000_01b3;
+            let mix = |hash: &mut u64, byte: u64| {
+                *hash ^= byte;
+                *hash = hash.wrapping_mul(PRIME);
+            };
+            match event {
+                ChurnEvent::Admitted(id) => {
+                    admit_seq += 1;
+                    norm_ids.insert(id.get(), admit_seq);
+                    mix(&mut report.normalized_trace_hash, 1);
+                    mix(&mut report.normalized_trace_hash, admit_seq);
+                }
+                ChurnEvent::Released(id) => {
+                    let n = norm_ids.get(&id.get()).copied().unwrap_or(0);
+                    mix(&mut report.normalized_trace_hash, 3);
+                    mix(&mut report.normalized_trace_hash, n);
+                }
+                other => other.fold(&mut report.normalized_trace_hash),
+            }
             if cfg.record_trace {
                 report.trace.push(event);
             }
@@ -353,7 +390,10 @@ impl ChurnProcess {
         // queue, both keyed deterministically.
         let mut clock = 0u64;
         let mut active: BTreeMap<u16, ActiveChannel> = BTreeMap::new();
-        let mut departures: BTreeMap<(u64, u16), ()> = BTreeMap::new();
+        // Departure queue keyed by (tick, admission order): raw ids are
+        // placement-dependent under per-switch id blocks, so same-tick
+        // departures must tie-break on something both placements share.
+        let mut departures: BTreeMap<(u64, u64), u16> = BTreeMap::new();
         let mut pump = ProtocolPump::new();
         let mut window_started = None;
 
@@ -372,10 +412,11 @@ impl ChurnProcess {
                 match fault.kind {
                     ChurnFaultKind::Cut => {
                         let outcome = manager.handle_link_failure(a, b)?;
+                        pump.flood(manager)?;
                         for dropped in &outcome.dropped {
                             let id = dropped.id.get();
                             if let Some(gone) = active.remove(&id) {
-                                departures.remove(&(gone.departs_at, id));
+                                departures.remove(&(gone.departs_at, gone.admit_order));
                             }
                         }
                         report.dropped_by_faults += outcome.dropped.len() as u64;
@@ -389,6 +430,7 @@ impl ChurnProcess {
                     }
                     ChurnFaultKind::Repair => {
                         let outcome = manager.handle_link_repair(a, b)?;
+                        pump.flood(manager)?;
                         record(
                             &mut report,
                             ChurnEvent::TrunkRepaired {
@@ -403,11 +445,11 @@ impl ChurnProcess {
             // whose holding time expired on the way.
             let step = arrivals_rng.exponential(cfg.mean_interarrival).round() as u64;
             clock += step.max(1);
-            while let Some((&(when, id), ())) = departures.first_key_value() {
+            while let Some((&(when, order), &id)) = departures.first_key_value() {
                 if when > clock {
                     break;
                 }
-                departures.remove(&(when, id));
+                departures.remove(&(when, order));
                 let channel = active.remove(&id).expect("departure queue tracks active");
                 pump.release(manager, channel.access, channel.source, ChannelId::new(id))?;
                 record(&mut report, ChurnEvent::Released(ChannelId::new(id)));
@@ -452,15 +494,17 @@ impl ChurnProcess {
                     }
                     let holding = holding_rng.exponential(cfg.mean_holding).round() as u64;
                     let departs_at = clock + holding.max(1);
+                    let admit_order = report.admitted;
                     active.insert(
                         id.get(),
                         ActiveChannel {
                             source,
                             access: src_switch,
                             departs_at,
+                            admit_order,
                         },
                     );
-                    departures.insert((departs_at, id.get()), ());
+                    departures.insert((departs_at, admit_order), id.get());
                     report.peak_active = report.peak_active.max(active.len());
                     record(&mut report, ChurnEvent::Admitted(id));
                 }
@@ -518,7 +562,9 @@ impl ProtocolPump {
             .push_back((src_switch, source, Frame::Request(request)));
         let mut verdict = None;
         while let Some((at, from, frame)) = self.queue.pop_front() {
-            let outcome = manager.handle_frame_at(at, from, &frame)?;
+            // The pump is synchronous: every frame is delivered in zero
+            // simulated time, so reservation leases never expire mid-pump.
+            let outcome = manager.handle_frame_at(at, from, &frame, SimTime::ZERO)?;
             for (_, action) in outcome.emissions {
                 match action {
                     SwitchAction::ForwardRequest { to, frame } => {
@@ -566,7 +612,33 @@ impl ProtocolPump {
         self.queue.clear();
         self.queue.push_back((access, source, teardown));
         while let Some((at, from, frame)) = self.queue.pop_front() {
-            let outcome = manager.handle_frame_at(at, from, &frame)?;
+            let outcome = manager.handle_frame_at(at, from, &frame, SimTime::ZERO)?;
+            for (_, action) in outcome.emissions {
+                if let SwitchAction::SendControl { to, frame } = action {
+                    self.queue
+                        .push_back((to, NodeId::SWITCH, Frame::Reservation(frame)));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Propagate a topology event's link-state flood to convergence: drain
+    /// the control frames the fault origins queued (empty under central
+    /// placement) and pump them — and every re-flood they trigger — switch
+    /// to switch until the fabric is quiet.  Churn's faults are applied
+    /// between arrivals, so the flood always converges before the next
+    /// admission: traces stay placement-identical.
+    fn flood<M: ChannelManager + ?Sized>(&mut self, manager: &mut M) -> RtResult<()> {
+        self.queue.clear();
+        for (_, action) in manager.drain_control() {
+            if let SwitchAction::SendControl { to, frame } = action {
+                self.queue
+                    .push_back((to, NodeId::SWITCH, Frame::Reservation(frame)));
+            }
+        }
+        while let Some((at, from, frame)) = self.queue.pop_front() {
+            let outcome = manager.handle_frame_at(at, from, &frame, SimTime::ZERO)?;
             for (_, action) in outcome.emissions {
                 if let SwitchAction::SendControl { to, frame } = action {
                     self.queue
@@ -644,10 +716,39 @@ mod tests {
         let central_report = process.run(&mut c).unwrap();
         let distributed_report = process.run(&mut d).unwrap();
 
-        assert_eq!(central_report.trace, distributed_report.trace);
-        assert_eq!(central_report.trace_hash, distributed_report.trace_hash);
+        // Raw ids differ by construction (the distributed manager allocates
+        // from per-switch blocks), so parity is checked on the
+        // admission-order-normalized hash and an explicit id remapping.
+        assert_eq!(central_report.trace.len(), distributed_report.trace.len());
+        let mut remap: BTreeMap<ChannelId, ChannelId> = BTreeMap::new();
+        for (i, (ce, de)) in central_report
+            .trace
+            .iter()
+            .zip(distributed_report.trace.iter())
+            .enumerate()
+        {
+            match (ce, de) {
+                (ChurnEvent::Admitted(a), ChurnEvent::Admitted(b)) => {
+                    remap.insert(*a, *b);
+                }
+                (ChurnEvent::Released(a), ChurnEvent::Released(b)) => {
+                    assert_eq!(remap.get(a), Some(b), "release order must agree at {i}");
+                }
+                (x, y) => assert_eq!(x, y, "non-admission events must be identical at {i}"),
+            }
+        }
+        assert_eq!(
+            central_report.normalized_trace_hash,
+            distributed_report.normalized_trace_hash
+        );
         assert_eq!(c.channel_count(), d.channel_count());
-        assert_eq!(c.channel_ids(), d.channel_ids());
+        let mapped: std::collections::BTreeSet<ChannelId> = c
+            .channel_ids()
+            .into_iter()
+            .map(|id| *remap.get(&id).expect("surviving channel was admitted"))
+            .collect();
+        let d_ids: std::collections::BTreeSet<ChannelId> = d.channel_ids().into_iter().collect();
+        assert_eq!(mapped, d_ids);
     }
 
     #[test]

@@ -7,10 +7,19 @@
 //! lives in `tests/fabric_properties.rs`; these are the hand-picked
 //! scenarios with exact expectations.
 
-use switched_rt_ethernet::core::{MultiHopDps, RtChannelSpec, RtNetwork, RtNetworkBuilder};
+mod common;
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use common::ControlHarness;
+use switched_rt_ethernet::core::{
+    ChannelManager, DistributedChannelManager, MultiHopDps, RtChannelSpec, RtNetwork,
+    RtNetworkBuilder,
+};
 use switched_rt_ethernet::types::{
-    Duration, HopLink, KShortestRouter, ManagerPlacement, NodeId, ShortestPathRouter, SimTime,
-    Slots, SwitchId, Topology,
+    ChannelId, ConnectionRequestId, Duration, HopLink, KShortestRouter, ManagerPlacement, NodeId,
+    ShortestPathRouter, SimTime, Slots, SwitchId, Topology,
 };
 
 fn spec() -> RtChannelSpec {
@@ -112,8 +121,11 @@ fn same_switch_channels_never_leave_the_access_switch() {
 }
 
 /// Drive an identical request sequence through the central and the
-/// distributed control planes; the admitted sets must match exactly —
-/// ids, routes and per-link deadline splits — and the rejections too.
+/// distributed control planes; the admitted sets must match under
+/// admission-order id remapping — routes and per-link deadline splits
+/// exactly, ids via the order-preserving map — and the rejections too.
+/// (Raw ids differ by construction: the distributed manager allocates from
+/// per-switch blocks, the central oracle from one global sequencer.)
 #[test]
 fn central_and_distributed_admit_the_identical_channel_set() {
     let requests: Vec<(u32, u32)> = (0..24u32).map(|i| (i % 4, 8 + (i % 8))).collect();
@@ -144,13 +156,25 @@ fn central_and_distributed_admit_the_identical_channel_set() {
         central.len() < requests.len(),
         "the workload must also reject something"
     );
-    assert_eq!(central, dist, "admitted sets must match the oracle exactly");
+    assert_eq!(central.len(), dist.len(), "admission counts diverge");
+    for (k, ((_, c_path, c_splits), (_, d_path, d_splits))) in
+        central.iter().zip(dist.iter()).enumerate()
+    {
+        assert_eq!(c_path, d_path, "admission {k}: routes diverge");
+        assert_eq!(c_splits, d_splits, "admission {k}: deadline splits diverge");
+    }
+    // The id remapping is a bijection: no distributed id serves two central
+    // channels.
+    let mapped: std::collections::BTreeSet<ChannelId> =
+        dist.iter().map(|(id, _, _)| *id).collect();
+    assert_eq!(mapped.len(), dist.len(), "distributed ids must be distinct");
     assert_eq!(central_count, dist_count);
 }
 
-/// The two worlds must also *deliver* identically: same channel ids mean
-/// byte-for-byte identical data frames, and identical admission means
-/// identical wire schedules.
+/// The two worlds must also *deliver* identically: identical admission
+/// means identical wire schedules, so after remapping the distributed ids
+/// onto the central ones (admission order) the delivered data — receiver,
+/// channel, payload bytes, arrival nanosecond — must match exactly.
 #[test]
 fn central_and_distributed_deliver_data_byte_for_byte() {
     let drive = |placement: ManagerPlacement| {
@@ -178,7 +202,8 @@ fn central_and_distributed_deliver_data_byte_for_byte() {
             net.send_periodic(src, id, 10, 700, start).unwrap();
         }
         net.run_to_completion().unwrap();
-        net.received_messages()
+        let deliveries = net
+            .received_messages()
             .iter()
             .map(|m| {
                 (
@@ -189,14 +214,24 @@ fn central_and_distributed_deliver_data_byte_for_byte() {
                     m.missed_deadline,
                 )
             })
-            .collect::<Vec<_>>()
+            .collect::<Vec<_>>();
+        let ids: Vec<ChannelId> = admitted.iter().map(|&(_, id)| id).collect();
+        (ids, deliveries)
     };
-    let central = drive(ManagerPlacement::Central);
-    let dist = drive(ManagerPlacement::Distributed);
+    let (central_ids, central) = drive(ManagerPlacement::Central);
+    let (dist_ids, dist) = drive(ManagerPlacement::Distributed);
     assert!(!central.is_empty());
+    assert_eq!(central_ids.len(), dist_ids.len(), "admissions diverge");
+    // Admission-order id remapping: distributed id → central id.
+    let remap: BTreeMap<ChannelId, ChannelId> =
+        dist_ids.iter().copied().zip(central_ids).collect();
+    let dist_remapped: Vec<_> = dist
+        .into_iter()
+        .map(|(rx, ch, payload, at, missed)| (rx, remap[&ch], payload, at, missed))
+        .collect();
     assert_eq!(
-        central, dist,
-        "data delivery must be byte-for-byte identical"
+        central, dist_remapped,
+        "data delivery must be byte-for-byte identical under id remapping"
     );
 }
 
@@ -523,6 +558,214 @@ fn weighted_trunks_steer_routing_and_admission() {
             to: SwitchId::new(1)
         })
         .is_none());
+}
+
+// --- reservation leases (tentpole: honest fault survival) -----------------
+
+fn direct(topology: &Topology) -> DistributedChannelManager {
+    DistributedChannelManager::new(
+        topology.clone(),
+        MultiHopDps::Asymmetric,
+        Arc::new(ShortestPathRouter::new()),
+    )
+}
+
+/// The four links of the line(3,1) route node 0 → node 2.
+fn line_route_links() -> [HopLink; 4] {
+    [
+        HopLink::Uplink(NodeId::new(0)),
+        HopLink::Trunk {
+            from: SwitchId::new(0),
+            to: SwitchId::new(1),
+        },
+        HopLink::Trunk {
+            from: SwitchId::new(1),
+            to: SwitchId::new(2),
+        },
+        HopLink::Downlink(NodeId::new(2)),
+    ]
+}
+
+/// Drive a line(3,1) handshake up to the moment every hop holds a leased
+/// reservation and the coordinator has forwarded the request to the
+/// destination — the exact gap between Reserve and Confirm.
+fn strand_between_reserve_and_confirm(
+    mgr: &mut DistributedChannelManager,
+    h: &mut ControlHarness,
+    now: SimTime,
+) {
+    h.submit(
+        NodeId::new(0),
+        NodeId::new(2),
+        spec(),
+        ConnectionRequestId::new(1),
+    );
+    while h.awaiting_answer() == 0 {
+        assert!(
+            h.step(mgr, now).unwrap(),
+            "handshake stalled before the reserve pass completed"
+        );
+    }
+    for link in line_route_links() {
+        assert_eq!(mgr.link_load(link), 1, "reserve must lease {link}");
+    }
+}
+
+/// The stranded-reservation regression: a trunk dies between the Reserve
+/// pass and the Confirm walk, so the destination's accept can never reach
+/// the coordinator.  The partial reservations must *expire* — every ledger
+/// returns to its pre-probe state and the requester hears `Rejected` — not
+/// leak forever.
+#[test]
+fn stranded_reservation_expires_and_returns_the_ledger_to_pre_probe_state() {
+    let topology = Topology::line(3, 1);
+    let mut mgr = direct(&topology);
+    let mut h = ControlHarness::new(&topology);
+    let now = SimTime::from_millis(1);
+    strand_between_reserve_and_confirm(&mut mgr, &mut h, now);
+
+    // The cut lands mid-handshake; the stranded response is never sent.
+    mgr.handle_link_failure(SwitchId::new(1), SwitchId::new(2))
+        .unwrap();
+    h.flood(&mut mgr);
+    let settled = h.settle(&mut mgr, now).unwrap();
+
+    assert!(
+        settled >= now.saturating_add(mgr.lease_duration()),
+        "settling must cross the lease horizon"
+    );
+    assert_eq!(h.verdicts, vec![None], "the requester must hear Rejected");
+    for link in line_route_links() {
+        assert_eq!(mgr.link_load(link), 0, "stranded slack leaked on {link}");
+    }
+    assert_eq!(mgr.channel_count(), 0);
+    assert_eq!(mgr.pending_count(), 0);
+    assert!(mgr.lease_expired_count() > 0, "expiry must be observable");
+    mgr.audit_quiescent().unwrap();
+}
+
+/// Lease edge case: a sweep one nanosecond before the deadline reclaims
+/// nothing; the sweep at *exactly* the deadline reclaims everything.
+#[test]
+fn lease_expiry_lands_exactly_on_the_sweep_tick() {
+    let topology = Topology::line(3, 1);
+    let mut mgr = direct(&topology);
+    let mut h = ControlHarness::new(&topology);
+    let now = SimTime::from_millis(1);
+    strand_between_reserve_and_confirm(&mut mgr, &mut h, now);
+
+    let deadline = mgr.next_timeout().expect("leases are pending");
+    assert_eq!(deadline, now.saturating_add(mgr.lease_duration()));
+    h.tick(&mut mgr, SimTime::from_nanos(deadline.as_nanos() - 1))
+        .unwrap();
+    assert_eq!(mgr.lease_expired_count(), 0, "early sweep must reclaim nothing");
+    assert!(h.verdicts.is_empty());
+    for link in line_route_links() {
+        assert_eq!(mgr.link_load(link), 1);
+    }
+    assert_eq!(mgr.next_timeout(), Some(deadline));
+
+    h.tick(&mut mgr, deadline).unwrap();
+    assert_eq!(h.verdicts, vec![None]);
+    for link in line_route_links() {
+        assert_eq!(mgr.link_load(link), 0);
+    }
+    assert_eq!(mgr.next_timeout(), None);
+    mgr.audit_quiescent().unwrap();
+}
+
+/// Lease edge case: a Confirm that lands one sweep after its lease expired
+/// must be answered with `ReserveFailed(LeaseExpired)` and must *not*
+/// resurrect the torn-down admission.
+#[test]
+fn confirm_arriving_after_lease_expiry_is_rejected_not_resurrected() {
+    let topology = Topology::line(3, 1);
+    let mut mgr = direct(&topology);
+    let mut h = ControlHarness::new(&topology);
+    let now = SimTime::from_millis(1);
+    strand_between_reserve_and_confirm(&mut mgr, &mut h, now);
+
+    // The destination accepts and its access switch starts the Confirm
+    // walk — but that first Confirm frame stays in flight while the lease
+    // horizon passes.
+    assert!(h.answer(true));
+    assert!(h.step(&mut mgr, now).unwrap());
+    assert!(h.queued() > 0, "a Confirm must be in flight");
+    let deadline = mgr.next_timeout().expect("leases are pending");
+    // The sweep fires first, then the stale Confirm (and every follow-up)
+    // is delivered at the same late instant.
+    h.tick(&mut mgr, deadline).unwrap();
+
+    assert_eq!(h.verdicts, vec![None], "the admission must not resurrect");
+    assert_eq!(mgr.channel_count(), 0);
+    for link in line_route_links() {
+        assert_eq!(mgr.link_load(link), 0, "late Confirm re-leaked {link}");
+    }
+    mgr.audit_quiescent().unwrap();
+}
+
+/// Lease edge case: a trunk repair — with its re-optimisation pass and
+/// link-state floods — racing a still-in-flight destination-reject
+/// Rollback must leave the books exact: the committed channel intact, the
+/// rejection delivered, zero slack leaked.
+#[test]
+fn repair_racing_a_pending_rollback_leaks_nothing() {
+    let topology = Topology::ring(4, 1);
+    let mut mgr = DistributedChannelManager::new(
+        topology.clone(),
+        MultiHopDps::Symmetric,
+        Arc::new(KShortestRouter::new(3)),
+    );
+    let mut h = ControlHarness::new(&topology);
+    let now = SimTime::from_millis(1);
+
+    // A committed channel node 0 (sw0) → node 1 (sw1) keeps real slack on
+    // the books while the race runs.
+    h.submit(
+        NodeId::new(0),
+        NodeId::new(1),
+        spec(),
+        ConnectionRequestId::new(1),
+    );
+    while h.awaiting_answer() == 0 {
+        assert!(h.step(&mut mgr, now).unwrap());
+    }
+    assert!(h.answer(true));
+    h.drain(&mut mgr, now).unwrap();
+    assert_eq!(h.verdicts.len(), 1);
+    assert!(h.verdicts[0].is_some(), "the first channel must commit");
+
+    // Second request node 0 → node 3 (sw3); the destination refuses, so a
+    // descending Rollback goes in flight toward the coordinator.
+    h.submit(
+        NodeId::new(0),
+        NodeId::new(3),
+        spec(),
+        ConnectionRequestId::new(2),
+    );
+    while h.awaiting_answer() == 0 {
+        assert!(h.step(&mut mgr, now).unwrap());
+    }
+    assert!(h.answer(false));
+    assert!(h.step(&mut mgr, now).unwrap());
+    assert!(h.queued() > 0, "a Rollback must be in flight");
+
+    // An unrelated trunk dies and is spliced back while the Rollback is
+    // pending: repair re-optimisation and link-state floods interleave
+    // with it on the wire.
+    mgr.handle_link_failure(SwitchId::new(1), SwitchId::new(2))
+        .unwrap();
+    h.flood(&mut mgr);
+    mgr.handle_link_repair(SwitchId::new(1), SwitchId::new(2))
+        .unwrap();
+    h.flood(&mut mgr);
+    h.settle(&mut mgr, now).unwrap();
+
+    assert_eq!(h.verdicts.len(), 2);
+    assert_eq!(h.verdicts[1], None, "the rejection must land");
+    assert_eq!(mgr.channel_count(), 1, "the committed channel must survive");
+    assert_eq!(mgr.rejected_count(), 1);
+    mgr.audit_quiescent().unwrap();
 }
 
 #[test]

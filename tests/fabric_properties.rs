@@ -30,17 +30,30 @@
 //! A failing seed reproduces exactly: every random choice derives from the
 //! seed through `Xoshiro256`.
 
-use switched_rt_ethernet::core::{MultiHopDps, RtChannelSpec, RtNetwork};
+mod common;
+
+use common::ControlHarness;
+use switched_rt_ethernet::core::{ChannelManager, MultiHopDps, RtChannelSpec, RtNetwork};
 use switched_rt_ethernet::netsim::{
     Delivery, FaultScript, FrameInjection, FrameStoreKind, SchedulerKind, SimConfig, Simulator,
 };
 use switched_rt_ethernet::types::{
-    ChannelId, Duration, KShortestRouter, MacAddr, ManagerPlacement, NodeId, SimTime, Slots,
-    SwitchId, Topology, Xoshiro256,
+    ChannelId, ConnectionRequestId, Duration, KShortestRouter, MacAddr, ManagerPlacement, NodeId,
+    SimTime, Slots, SwitchId, Topology, Xoshiro256,
 };
 
 /// The fixed seed matrix: every invariant below holds for all of these.
 const SEEDS: u64 = 32;
+
+/// Seed count for the adversarial mid-handshake fault invariant,
+/// overridable via `RT_ADVERSARIAL_SEEDS` (CI soaks crank it up; quick
+/// local runs dial it down).  Defaults to the fixed 32-seed matrix.
+fn adversarial_seeds() -> u64 {
+    std::env::var("RT_ADVERSARIAL_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(SEEDS)
+}
 
 // --- generators -----------------------------------------------------------
 
@@ -362,13 +375,37 @@ fn central_and_distributed_control_planes_are_equivalent_on_random_fabrics() {
             central.0, distributed.0,
             "seed {seed}: accept/reject verdicts diverge"
         );
+        // Ids are compared through the admission-order remapping (the
+        // distributed manager allocates from per-switch blocks, the oracle
+        // from a global sequencer); sources, routes and deadline splits
+        // must agree exactly.
+        assert_eq!(central.1.len(), distributed.1.len(), "seed {seed}");
+        let mut remap = std::collections::BTreeMap::new();
+        for (k, ((c_src, c_id, c_path, c_splits), (d_src, d_id, d_path, d_splits))) in
+            central.1.iter().zip(distributed.1.iter()).enumerate()
+        {
+            assert_eq!(c_src, d_src, "seed {seed}: admission {k} sources diverge");
+            assert_eq!(c_path, d_path, "seed {seed}: admission {k} routes diverge");
+            assert_eq!(
+                c_splits, d_splits,
+                "seed {seed}: admission {k} deadline splits diverge"
+            );
+            assert_eq!(
+                remap.insert(*d_id, *c_id),
+                None,
+                "seed {seed}: distributed id {d_id} double-admitted"
+            );
+        }
+        // Deliveries match byte-for-byte once the distributed channel ids
+        // are remapped onto the central ones.
+        let remapped: Vec<_> = distributed
+            .2
+            .into_iter()
+            .map(|(rx, ch, payload, at)| (rx, remap[&ch], payload, at))
+            .collect();
         assert_eq!(
-            central.1, distributed.1,
-            "seed {seed}: admitted channel sets diverge (ids / routes / deadline splits)"
-        );
-        assert_eq!(
-            central.2, distributed.2,
-            "seed {seed}: data delivery diverges byte-for-byte"
+            central.2, remapped,
+            "seed {seed}: data delivery diverges byte-for-byte under id remapping"
         );
     }
 }
@@ -460,14 +497,32 @@ fn churn_is_deterministic_and_placement_invariant_on_random_fabrics() {
             Arc::new(KShortestRouter::new(3)),
         );
         let distributed = process.run(&mut manager).expect("churn run completes");
+        // Raw ids differ (per-switch id blocks), so placement parity is the
+        // admission-order-normalized hash plus an explicit event remapping.
         assert_eq!(
-            first.trace, distributed.trace,
-            "seed {seed}: central and distributed admission traces diverge"
+            first.normalized_trace_hash, distributed.normalized_trace_hash,
+            "seed {seed}: normalized admission traces diverge across placements"
         );
-        assert_eq!(
-            first.trace_hash, distributed.trace_hash,
-            "seed {seed}: trace hashes diverge"
-        );
+        assert_eq!(first.trace.len(), distributed.trace.len(), "seed {seed}");
+        {
+            use switched_rt_ethernet::traffic::ChurnEvent;
+            let mut remap = std::collections::BTreeMap::new();
+            for (ce, de) in first.trace.iter().zip(distributed.trace.iter()) {
+                match (ce, de) {
+                    (ChurnEvent::Admitted(a), ChurnEvent::Admitted(b)) => {
+                        remap.insert(*a, *b);
+                    }
+                    (ChurnEvent::Released(a), ChurnEvent::Released(b)) => {
+                        assert_eq!(
+                            remap.get(a),
+                            Some(b),
+                            "seed {seed}: release order diverges across placements"
+                        );
+                    }
+                    (x, y) => assert_eq!(x, y, "seed {seed}: event kinds diverge"),
+                }
+            }
+        }
         assert!(
             first.attempts == 500 && first.admitted > 0,
             "seed {seed}: the run must admit something ({} attempts, {} admitted)",
@@ -475,6 +530,187 @@ fn churn_is_deterministic_and_placement_invariant_on_random_fabrics() {
             first.admitted
         );
     }
+}
+
+/// Tentpole invariant: **adversarial mid-handshake fault survival**.  On
+/// every random fabric, random trunk cuts, switch kills and repairs are
+/// injected *between* individual control-frame deliveries of the two-phase
+/// reservation — inside the convergence window where per-switch topology
+/// views disagree and link-state floods are still propagating.  Frames
+/// addressed to killed switches are lost, stranded partial reservations
+/// must expire through their leases.  After every seed settles:
+///
+/// * **zero slack leak** — on every link of the fabric, the reserved load
+///   equals the sum over currently admitted channels crossing it, and the
+///   manager's own quiescence audit (ledgers ↔ registry ↔ id blocks)
+///   passes;
+/// * **no double admission** — no channel id is ever handed to two
+///   admissions.
+#[test]
+fn adversarial_mid_handshake_faults_never_leak_slack_or_double_admit() {
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::sync::Arc;
+    use switched_rt_ethernet::core::DistributedChannelManager;
+    use switched_rt_ethernet::types::HopLink;
+
+    let mut total_accepted = 0usize;
+    let mut total_verdicts = 0usize;
+    for seed in 0..adversarial_seeds() {
+        let mut rng = Xoshiro256::new(0xad7e_0000 ^ seed);
+        let topology = random_topology(&mut rng);
+        let nodes: Vec<NodeId> = topology.nodes().collect();
+        let mut mgr = DistributedChannelManager::new(
+            topology.clone(),
+            if rng.chance(0.5) {
+                MultiHopDps::Asymmetric
+            } else {
+                MultiHopDps::Symmetric
+            },
+            Arc::new(KShortestRouter::new(3)),
+        );
+        let mut h = ControlHarness::new(&topology);
+        let mut now = SimTime::from_millis(1);
+        let mut alive: Vec<(SwitchId, SwitchId)> = topology.trunks().collect();
+        let mut cut: Vec<(SwitchId, SwitchId)> = Vec::new();
+        let mut dead: Vec<SwitchId> = Vec::new();
+
+        for r in 0..8u8 {
+            let src = nodes[rng.below(nodes.len() as u64) as usize];
+            let mut dst = nodes[rng.below(nodes.len() as u64) as usize];
+            if dst == src {
+                dst = nodes[(nodes.iter().position(|&n| n == src).unwrap() + 1) % nodes.len()];
+            }
+            let src_switch = topology.switch_of(src).unwrap();
+            if dead.contains(&src_switch) {
+                // A node behind a killed access switch cannot even submit.
+                continue;
+            }
+            let spec = RtChannelSpec::new(
+                Slots::new(rng.range_inclusive(60, 140)),
+                Slots::new(rng.range_inclusive(1, 3)),
+                Slots::new(rng.range_inclusive(30, 60)),
+            )
+            .expect("generated spec is valid");
+            h.submit(src, dst, spec, ConnectionRequestId::new(r));
+
+            // Deliver the handshake frame by frame; one random fault fires
+            // after a random number of deliveries — mid-probe, mid-reserve
+            // or mid-confirm.
+            let fault_step = rng.range_inclusive(1, 8);
+            let accept = rng.chance(0.8);
+            let mut steps = 0u64;
+            loop {
+                if h.awaiting_answer() > 0 {
+                    h.answer(accept);
+                }
+                now = now.saturating_add(Duration::from_micros(10));
+                if !h.step(&mut mgr, now).unwrap() {
+                    if h.awaiting_answer() > 0 {
+                        continue;
+                    }
+                    break;
+                }
+                steps += 1;
+                if steps == fault_step {
+                    match rng.below(3) {
+                        0 if !alive.is_empty() => {
+                            let k = rng.below(alive.len() as u64) as usize;
+                            let (a, b) = alive.swap_remove(k);
+                            mgr.handle_link_failure(a, b).unwrap();
+                            h.flood(&mut mgr);
+                            cut.push((a, b));
+                        }
+                        1 => {
+                            let candidates: Vec<SwitchId> = topology
+                                .switches()
+                                .filter(|s| {
+                                    !dead.contains(s)
+                                        && alive.iter().any(|&(a, b)| a == *s || b == *s)
+                                })
+                                .collect();
+                            if let Some(&s) =
+                                candidates.get(rng.below(candidates.len().max(1) as u64) as usize)
+                            {
+                                mgr.handle_switch_failure(s).unwrap();
+                                h.kill(s);
+                                h.flood(&mut mgr);
+                                dead.push(s);
+                                alive.retain(|&(a, b)| a != s && b != s);
+                            }
+                        }
+                        _ => {
+                            if let Some(k) = (0..cut.len()).find(|&k| {
+                                let (a, b) = cut[k];
+                                !dead.contains(&a) && !dead.contains(&b)
+                            }) {
+                                let (a, b) = cut.remove(k);
+                                mgr.handle_link_repair(a, b).unwrap();
+                                h.flood(&mut mgr);
+                                alive.push((a, b));
+                            }
+                        }
+                    }
+                }
+            }
+            // Half the time, let stranded leases expire before the next
+            // arrival; the other half leaves them pending so the next
+            // handshake races them.
+            if rng.chance(0.5) {
+                now = h.settle(&mut mgr, now).unwrap();
+            }
+        }
+        now = h.settle(&mut mgr, now).unwrap();
+
+        // Zero leak, externally: on every link of the fabric, the reserved
+        // load equals the sum over admitted channels whose route crosses
+        // it.  Stranded reservations, aborted handshakes and killed
+        // coordinators must all have washed out.
+        let mut expected: BTreeMap<HopLink, usize> = BTreeMap::new();
+        for id in mgr.channel_ids() {
+            let route = mgr.channel_route(id).expect("registered channel has a route");
+            for &link in &route.path {
+                *expected.entry(link).or_default() += 1;
+            }
+        }
+        for node in topology.nodes() {
+            for link in [HopLink::Uplink(node), HopLink::Downlink(node)] {
+                assert_eq!(
+                    mgr.link_load(link),
+                    expected.get(&link).copied().unwrap_or(0),
+                    "seed {seed}: slack leak on {link}"
+                );
+            }
+        }
+        for (a, b) in topology.trunks() {
+            for (from, to) in [(a, b), (b, a)] {
+                let link = HopLink::Trunk { from, to };
+                assert_eq!(
+                    mgr.link_load(link),
+                    expected.get(&link).copied().unwrap_or(0),
+                    "seed {seed}: slack leak on {link}"
+                );
+            }
+        }
+        // Zero leak, internally: ledgers ↔ registry ↔ id blocks.
+        mgr.audit_quiescent()
+            .unwrap_or_else(|e| panic!("seed {seed}: quiescence audit failed: {e}"));
+
+        // No double admission, ever.
+        let accepted: Vec<ChannelId> = h.verdicts.iter().filter_map(|v| *v).collect();
+        let unique: BTreeSet<ChannelId> = accepted.iter().copied().collect();
+        assert_eq!(
+            unique.len(),
+            accepted.len(),
+            "seed {seed}: a channel id was double-admitted"
+        );
+        total_accepted += accepted.len();
+        total_verdicts += h.verdicts.len();
+    }
+    assert!(
+        total_accepted > 0 && total_verdicts > total_accepted,
+        "the adversarial matrix must admit and reject something \
+         ({total_accepted} accepted / {total_verdicts} verdicts)"
+    );
 }
 
 /// Invariant 3: on random fabrics, every channel the analysis admits keeps
