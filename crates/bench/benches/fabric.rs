@@ -26,9 +26,14 @@
 use std::time::Instant;
 
 use rt_bench::report::{json_object, write_artifact, ToJson};
-use rt_netsim::{FrameStoreKind, SchedulerKind, SimConfig, Simulator};
+use rt_netsim::{FrameStoreKind, SchedulerKind, ShardedSimulator, SimConfig, Simulator};
 use rt_traffic::{FabricScenario, ScenarioFrameSource};
 use rt_types::{Duration, Topology};
+
+/// Shard counts swept on the scaling fabric (the sharded simulator is
+/// pointless on the millisecond-scale baselines).  `1` measures the pure
+/// coordinator/windowing overhead against the single-thread calendar row.
+const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 /// One fabric workload: a topology and a frame schedule.
 struct Workload {
@@ -119,6 +124,29 @@ fn drive(
     };
     let mut sim = Simulator::with_topology(config, workload.topology.clone())
         .expect("bench fabrics are valid");
+    let batch = workload.source.clone().drain_all();
+    let start = Instant::now();
+    sim.inject_batch(batch).expect("bench injections are valid");
+    sim.run_to_idle();
+    let elapsed = start.elapsed();
+    DriveOutcome {
+        events: sim.events_processed(),
+        delivered: sim.poll_deliveries().len() as u64,
+        elapsed_ns: elapsed.as_nanos() as u64,
+    }
+}
+
+/// [`drive`] on the sharded simulator: same pre-generated batch, calendar
+/// scheduler, arena store, `shards` worker threads under the default
+/// (BFS-regions) partition.
+fn drive_sharded(workload: &Workload, shards: usize) -> DriveOutcome {
+    let config = SimConfig {
+        scheduler: SchedulerKind::Calendar,
+        frame_store: FrameStoreKind::Arena,
+        ..SimConfig::default()
+    };
+    let mut sim = ShardedSimulator::new(config, workload.topology.clone(), shards)
+        .expect("bench fabrics satisfy the lookahead bound");
     let batch = workload.source.clone().drain_all();
     let start = Instant::now();
     sim.inject_batch(batch).expect("bench injections are valid");
@@ -243,6 +271,54 @@ fn main() {
             arena_per_second[1] / arena_per_second[0],
             arena_per_second[1] / owned_calendar_per_second,
         );
+
+        // The shard sweep: the conservative-windowed parallel simulator on
+        // the scaling fabric, one row per shard count under a
+        // `+shards{N}` fabric suffix (scheduler stays `calendar`, store
+        // stays `arena` — the sharded path supports nothing else).
+        // `bench_diff` gates the best sharded row, so a regression in the
+        // parallel path fails CI even when the single-thread rows hold.
+        if workload.name == "torus_8x8_1024" {
+            for shards in SHARD_SWEEP {
+                let fabric = format!("{}+shards{}", workload.name, shards);
+                let mut best: Option<DriveOutcome> = None;
+                for _ in 0..runs {
+                    let outcome = drive_sharded(&workload, shards);
+                    assert_eq!(
+                        outcome.delivered, workload.frames,
+                        "{fabric}: every injected frame must be delivered"
+                    );
+                    best = match best {
+                        Some(b) if b.elapsed_ns <= outcome.elapsed_ns => Some(b),
+                        _ => Some(outcome),
+                    };
+                }
+                let outcome = best.expect("at least one run happened");
+                let events_per_second = outcome.events as f64 / (outcome.elapsed_ns as f64 / 1e9);
+                println!(
+                    "{:<22} {:<8} {:>8} events in {:>7.1} ms -> {:>6.2} M events/s, {:.2}x vs calendar",
+                    fabric,
+                    "calendar",
+                    outcome.events,
+                    outcome.elapsed_ns as f64 / 1e6,
+                    events_per_second / 1e6,
+                    events_per_second / arena_per_second[1],
+                );
+                rows.push(ThroughputRow {
+                    fabric,
+                    scheduler: "calendar",
+                    store: "arena",
+                    nodes: workload.nodes,
+                    frames: workload.frames,
+                    spacing_ns: workload.spacing.as_nanos(),
+                    events: outcome.events,
+                    elapsed_ns: outcome.elapsed_ns,
+                    events_per_second,
+                    events_per_frame: outcome.events as f64 / workload.frames as f64,
+                });
+            }
+            println!();
+        }
     }
 
     write_artifact("BENCH_FABRIC_JSON", "BENCH_fabric.json", &rows);

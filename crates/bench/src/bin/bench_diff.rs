@@ -7,6 +7,12 @@
 //! * **throughput** — rows carrying `events_per_second`, matched by
 //!   `(fabric, scheduler)` (falling back to `fabric`, then `name`);
 //!   a drop beyond the threshold (default 20 %) fails the run,
+//! * **sharded throughput** — among the throughput rows whose fabric
+//!   carries a `+shards{N}` suffix (the parallel fabric sweep), the *best*
+//!   current row is compared against the *best* baseline row and gated at
+//!   a fixed 20 % regardless of the CLI threshold: which shard count wins
+//!   may shift with the host, so the winners are compared — and relaxing
+//!   the single-thread gate must never relax the parallel path,
 //! * **churn admission rate** — rows carrying `admissions_per_second`
 //!   (the multiswitch part-6 churn soak, matched by `(fabric,
 //!   placement)`); a drop beyond a *fixed* 20 % fails the run regardless
@@ -65,6 +71,61 @@ fn row_key(row: &JsonValue) -> String {
     match qualifier {
         Some(qualifier) => format!("{fabric}/{qualifier}"),
         None => fabric.to_string(),
+    }
+}
+
+/// The shard count a comparison key carries, parsed from the `+shards{N}`
+/// fabric suffix the sharded fabric-bench rows use
+/// (`torus_8x8_1024+shards4/calendar` → `Some(4)`); `None` for every
+/// single-thread row, including other `+`-suffixed variants like `+owned`.
+fn shard_count_of(key: &str) -> Option<usize> {
+    let rest = &key[key.find("+shards")? + "+shards".len()..];
+    let digits: &str = &rest[..rest.find('/').unwrap_or(rest.len())];
+    (!digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()))
+        .then(|| digits.parse().ok())
+        .flatten()
+}
+
+/// The best (highest events/s) sharded throughput row of a metric table —
+/// the number the parallel simulator is judged by: which shard count wins
+/// may shift with the host's core count, so the gate compares the winners,
+/// not each shard count in isolation.
+fn best_sharded(throughput: &BTreeMap<String, f64>) -> Option<(&str, f64)> {
+    throughput
+        .iter()
+        .filter(|(key, _)| shard_count_of(key).is_some())
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(key, &eps)| (key.as_str(), eps))
+}
+
+/// Fixed fractional threshold for the best-sharded-row gate.  Like the
+/// churn admissions/s gate it is *not* CLI-tunable: CI relaxes the
+/// single-thread events/s gate on noisy shared runners, and that must
+/// never also relax the parallel path.
+const SHARDED_THRESHOLD: f64 = 0.20;
+
+/// The sharded-throughput gate: compare the best sharded row of the
+/// current artifact against the best sharded row of the baseline and fail
+/// beyond [`SHARDED_THRESHOLD`].  Returns the regression messages.
+fn sharded_regressions(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+) -> Vec<String> {
+    let (Some((base_key, before)), Some((now_key, now))) =
+        (best_sharded(baseline), best_sharded(current))
+    else {
+        return Vec::new();
+    };
+    let change = now / before - 1.0;
+    if before > 0.0 && change < -SHARDED_THRESHOLD {
+        vec![format!(
+            "best sharded row dropped {:.1}% ({base_key} {before:.0} -> {now_key} {now:.0}, \
+             > {:.0}% fixed threshold)",
+            -change * 100.0,
+            SHARDED_THRESHOLD * 100.0
+        )]
+    } else {
+        Vec::new()
     }
 }
 
@@ -434,6 +495,16 @@ fn main() -> ExitCode {
         }
     }
     table.print();
+
+    // Sharded throughput: the best `+shards{N}` row carries the parallel
+    // simulator's headline number; gated at a fixed 20 % independent of
+    // the CLI threshold (per-row noise at one shard count must not hide a
+    // regression of the winner, and a relaxed single-thread gate must not
+    // relax the parallel path).
+    regressions.extend(sharded_regressions(
+        &baseline.throughput,
+        &current.throughput,
+    ));
 
     // Allocation pressure: inverted gate, an increase beyond the threshold
     // fails.
@@ -840,6 +911,73 @@ mod tests {
         let (rows, failures) = convergence_regressions(&base, &fresh);
         assert_eq!(rows[0][1], "(new)");
         assert!(failures.is_empty());
+    }
+
+    #[test]
+    fn shard_counts_parse_from_the_fabric_suffix() {
+        assert_eq!(shard_count_of("torus_8x8_1024+shards4/calendar"), Some(4));
+        assert_eq!(shard_count_of("torus_8x8_1024+shards16/calendar"), Some(16));
+        // Bare fabric (no scheduler qualifier) parses too.
+        assert_eq!(shard_count_of("torus_8x8_1024+shards2"), Some(2));
+        // Single-thread rows — bare, store-suffixed, schedulers — do not.
+        assert_eq!(shard_count_of("torus_8x8_1024/calendar"), None);
+        assert_eq!(shard_count_of("torus_8x8_1024+owned/heap"), None);
+        assert_eq!(shard_count_of("star/heap"), None);
+        // A malformed suffix is not a sharded row.
+        assert_eq!(shard_count_of("torus+shards/calendar"), None);
+        assert_eq!(shard_count_of("torus+shardsx4/calendar"), None);
+    }
+
+    #[test]
+    fn the_best_sharded_row_wins_regardless_of_shard_count() {
+        let m = metrics(&doc(&[
+            ("torus_8x8_1024", "calendar", 9e6),
+            ("torus_8x8_1024+shards2", "calendar", 12e6),
+            ("torus_8x8_1024+shards8", "calendar", 11e6),
+            ("torus_8x8_1024+shards4", "calendar", 21e6),
+        ]))
+        .unwrap();
+        let (key, eps) = best_sharded(&m.throughput).expect("sharded rows exist");
+        assert_eq!(key, "torus_8x8_1024+shards4/calendar");
+        assert_eq!(eps, 21e6);
+        // No sharded rows -> no winner, and the gate stays silent.
+        let single = metrics(&doc(&[("star", "heap", 1e6)])).unwrap();
+        assert!(best_sharded(&single.throughput).is_none());
+        assert!(sharded_regressions(&m.throughput, &single.throughput).is_empty());
+        assert!(sharded_regressions(&single.throughput, &m.throughput).is_empty());
+    }
+
+    #[test]
+    fn the_sharded_gate_compares_winners_at_the_fixed_threshold() {
+        let base = metrics(&doc(&[
+            ("torus_8x8_1024+shards4", "calendar", 20e6),
+            ("torus_8x8_1024+shards8", "calendar", 18e6),
+        ]))
+        .unwrap()
+        .throughput;
+        // A drop within 20 % of the winner passes...
+        let close = metrics(&doc(&[("torus_8x8_1024+shards4", "calendar", 17e6)]))
+            .unwrap()
+            .throughput;
+        assert!(sharded_regressions(&base, &close).is_empty());
+        // ...as does the winner moving to a different shard count.
+        let moved = metrics(&doc(&[
+            ("torus_8x8_1024+shards4", "calendar", 10e6),
+            ("torus_8x8_1024+shards8", "calendar", 19e6),
+        ]))
+        .unwrap()
+        .throughput;
+        assert!(sharded_regressions(&base, &moved).is_empty());
+        // A drop of the winner beyond 20 % fails.
+        let worse = metrics(&doc(&[
+            ("torus_8x8_1024+shards4", "calendar", 15e6),
+            ("torus_8x8_1024+shards8", "calendar", 14e6),
+        ]))
+        .unwrap()
+        .throughput;
+        let failures = sharded_regressions(&base, &worse);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("dropped 25.0%"), "{failures:?}");
     }
 
     #[test]

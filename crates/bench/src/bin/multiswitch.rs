@@ -1111,8 +1111,12 @@ fn part5_distributed() -> (Vec<DistributedRow>, ParityRow) {
     let placement_free = |set: &[ChannelSig]| -> Vec<(Vec<HopLink>, Vec<u64>)> {
         set.iter().map(|(_, p, d)| (p.clone(), d.clone())).collect()
     };
-    let distinct_ids =
-        |set: &[ChannelSig]| set.iter().map(|(id, _, _)| *id).collect::<BTreeSet<_>>().len();
+    let distinct_ids = |set: &[ChannelSig]| {
+        set.iter()
+            .map(|(id, _, _)| *id)
+            .collect::<BTreeSet<_>>()
+            .len()
+    };
     let identical = placement_free(&central_set) == placement_free(&dist_set)
         && distinct_ids(&central_set) == central_set.len()
         && distinct_ids(&dist_set) == dist_set.len();

@@ -1129,13 +1129,8 @@ impl DistributedChannelManager {
                 // View disagreement mid-descent: hand the release straight
                 // to the coordinator; skipped reservations are
                 // lease-bounded.
-                let onward = Self::follow_up(
-                    frame,
-                    ReservationOp::Rollback,
-                    frame.reason,
-                    0,
-                    Vec::new(),
-                );
+                let onward =
+                    Self::follow_up(frame, ReservationOp::Rollback, frame.reason, 0, Vec::new());
                 Ok(ControlOutcome::emissions_at(
                     at,
                     vec![SwitchAction::SendControl {
@@ -1628,7 +1623,11 @@ impl DistributedChannelManager {
     }
 
     /// A flooded announcement arrived at `at`: apply and re-flood.
-    fn on_link_state(&mut self, at: SwitchId, frame: &ReservationFrame) -> RtResult<ControlOutcome> {
+    fn on_link_state(
+        &mut self,
+        at: SwitchId,
+        frame: &ReservationFrame,
+    ) -> RtResult<ControlOutcome> {
         if frame.values.len() != 4 {
             return Err(RtError::ProtocolViolation(format!(
                 "link-state announcement carries {} values, expected 4",
@@ -2171,8 +2170,7 @@ impl ChannelManager for DistributedChannelManager {
     }
 
     fn audit_quiescent(&self) -> RtResult<()> {
-        let committed: BTreeSet<ReservationKey> =
-            self.registry.values().map(|c| c.key()).collect();
+        let committed: BTreeSet<ReservationKey> = self.registry.values().map(|c| c.key()).collect();
         for (&s, site) in &self.sites {
             if let Some(token) = site.coordinations.keys().next() {
                 return Err(RtError::ProtocolViolation(format!(

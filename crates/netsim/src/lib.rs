@@ -26,6 +26,7 @@
 
 pub mod event;
 pub mod port;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 
@@ -33,6 +34,7 @@ pub use event::{
     CalendarScheduler, Event, EventQueue, EventScheduler, HeapScheduler, SchedulerKind,
 };
 pub use port::{OutputPort, QueuedFrame, TrafficClass};
+pub use shard::ShardedSimulator;
 pub use sim::{
     Delivery, FaultScript, FrameId, FrameInjection, FrameStoreKind, LinkFault, SimConfig,
     Simulator, TrafficSource,

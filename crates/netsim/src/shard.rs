@@ -1,0 +1,1440 @@
+//! Sharded (parallel) fabric simulation: conservative PDES over worker
+//! threads, pinned byte-for-byte against the single-thread [`Simulator`].
+//!
+//! # Model
+//!
+//! A **shard** owns a set of switches (assigned by a deterministic
+//! [`rt_types::partition_switches`] partition) together with every output
+//! port that *originates* at them: the uplink/downlink pair of each attached
+//! node and the directed trunk ports leaving an owned switch.  Each shard
+//! runs its own calendar [`EventQueue`] over the same per-event handlers as
+//! the single-thread simulator, accumulating into its own [`SimStats`] and
+//! its own delivery list; the coordinator folds everything back together at
+//! the end of the run.
+//!
+//! # Synchronisation
+//!
+//! The only cross-shard edge is a frame finishing transmission on an
+//! inter-shard trunk: its `ArriveAtSwitch` fires a fixed **lookahead**
+//! `L = propagation_delay + switch_latency` after the `TrunkTxComplete`.
+//! The coordinator therefore runs classic conservative time windows: with
+//! `V` the globally minimal pending time, every shard may safely execute
+//! `[V, V + L)` — no event executed in the window can produce a cross-shard
+//! arrival inside it.  Cross-shard arrivals travel as `(time, switch,
+//! FrameId)` triples over lock-free SPSC rings (the arena store makes this
+//! an index move, not a buffer copy); ring overflow spills through the
+//! coordinator, so the rings bound memory, never correctness.
+//!
+//! # Determinism (oracle pinning)
+//!
+//! The single-thread run is the oracle: same deliveries, same bytes, same
+//! counters, at every shard count.  Three mechanisms make the parallel run
+//! reproduce it exactly:
+//!
+//! 1. **Staged arrivals.**  *Every* switch arrival — local or cross-shard —
+//!    is staged and ingested at window starts in `(arrival_time, tx_start,
+//!    frame_id)` order, where `tx_start = arrival − L − tx_time` is the
+//!    instant the producing transmission began.  Because the minimum frame
+//!    transmission time exceeds `L` (checked at construction), producing
+//!    `TxComplete`s always execute in an earlier window than the arrival's
+//!    ingestion, so this order reproduces the oracle's FIFO sequence
+//!    numbers for same-instant arrivals.
+//! 2. **Ranked injections and faults.**  The preloaded event set (frame
+//!    injections, scripted faults) is drained in global `(time, seq)` order
+//!    and replayed with explicit ranks: workers interleave injections
+//!    before same-time derived events exactly as the oracle's sequence
+//!    numbers do, and a fault barrier executes injections ranked before the
+//!    fault, then the fault, then resumes windows.
+//! 3. **Canonical delivery merge.**  Per-shard delivery lists merge on the
+//!    key `(delivered_at, sched_at, tx_start, frame_id)` — the times the
+//!    oracle scheduled and executed the delivering events — which
+//!    reproduces the oracle's `poll_deliveries` order byte for byte.
+//!
+//! Faults synchronise on a barrier: the coordinator applies the topology
+//! mutation and re-pulls the routing tables (exactly the single-thread
+//! semantics), then every worker kills or revives the ports it owns, drains
+//! dead queues into `failed_link_dropped`, and dooms frames caught
+//! mid-serialisation — so a cut inter-shard trunk loses exactly the frames
+//! the oracle loses, while frames whose transmission already completed
+//! (ring entries in flight) arrive exactly as they do in the oracle.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+use rt_frames::{EthernetFrame, FrameArena, FrameRef};
+use rt_types::{
+    effective_shards, partition_switches, ChannelId, DenseNextHop, Duration, HopLink, IdIndex,
+    NodeId, Route, Router, RtError, RtResult, ShardStrategy, SimTime, SwitchId, Topology,
+    MIN_FRAME_WIRE_BYTES, NO_INDEX,
+};
+
+use crate::event::{Event, EventQueue, SchedulerKind};
+use crate::port::{OutputPort, TrafficClass};
+use crate::sim::{
+    ChannelWireState, Delivery, FaultScript, FrameDest, FrameId, FrameInjection, FrameRecord,
+    LinkFault, SimConfig, Simulator, StoredFrame,
+};
+use crate::stats::SimStats;
+
+/// Capacity (entries) of each inter-shard ring; a power of two.  Overflow
+/// is handled by spilling through the coordinator, so this only sizes the
+/// fast path.
+const RING_CAPACITY: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// SPSC ring
+// ---------------------------------------------------------------------------
+
+/// One cross-shard arrival: a frame becomes eligible for forwarding at
+/// dense switch `switch` at `time_ns`.
+#[derive(Debug, Clone, Copy)]
+struct RingEntry {
+    time_ns: u64,
+    switch: u32,
+    frame: u64,
+}
+
+/// A bounded lock-free single-producer single-consumer ring carrying
+/// [`RingEntry`] triples as three parallel atomic lanes (the workspace
+/// forbids `unsafe`, so the slots are atomics rather than raw cells).
+///
+/// `head`/`tail` are monotonic counters; the producer publishes a slot with
+/// a `Release` store of `tail` and the consumer observes it with an
+/// `Acquire` load, so the relaxed lane stores happen-before the read side.
+struct SpscRing {
+    head: AtomicUsize,
+    tail: AtomicUsize,
+    times: Vec<AtomicU64>,
+    switches: Vec<AtomicU64>,
+    frames: Vec<AtomicU64>,
+    mask: usize,
+}
+
+impl SpscRing {
+    fn new(capacity: usize) -> Self {
+        debug_assert!(capacity.is_power_of_two());
+        SpscRing {
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            times: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            switches: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            frames: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            mask: capacity - 1,
+        }
+    }
+
+    /// Producer side: `false` when the ring is full (the caller spills the
+    /// entry through the coordinator instead).
+    fn push(&self, entry: RingEntry) -> bool {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == self.times.len() {
+            return false;
+        }
+        let i = tail & self.mask;
+        self.times[i].store(entry.time_ns, Ordering::Relaxed);
+        self.switches[i].store(entry.switch as u64, Ordering::Relaxed);
+        self.frames[i].store(entry.frame, Ordering::Relaxed);
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Consumer side: append every published entry to `out`.
+    fn drain_into(&self, out: &mut Vec<RingEntry>) {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        let mut cursor = head;
+        while cursor != tail {
+            let i = cursor & self.mask;
+            out.push(RingEntry {
+                time_ns: self.times[i].load(Ordering::Relaxed),
+                switch: self.switches[i].load(Ordering::Relaxed) as u32,
+                frame: self.frames[i].load(Ordering::Relaxed),
+            });
+            cursor = cursor.wrapping_add(1);
+        }
+        self.head.store(tail, Ordering::Release);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator <-> worker protocol
+// ---------------------------------------------------------------------------
+
+/// One step of the barrier protocol, coordinator to worker.
+enum Command {
+    /// Execute every owned event with `time < end_excl` (exclusive), after
+    /// ingesting `spilled` ring-overflow arrivals and draining the inbound
+    /// rings.  `dense` is the routing table to forward with (refreshed
+    /// after faults).
+    Window {
+        end_excl: SimTime,
+        dense: Arc<DenseNextHop>,
+        spilled: Vec<RingEntry>,
+    },
+    /// A scripted fault fires at `at` with global sequence rank `rank`:
+    /// execute injections at `at` ranked before it, then kill / revive the
+    /// owned ports listed (port ids into the full dense port space).
+    Fault {
+        at: SimTime,
+        rank: u64,
+        kills: Arc<Vec<u32>>,
+        repairs: Arc<Vec<u32>>,
+    },
+    /// The run is over; send the final report and exit.
+    Finish,
+}
+
+/// Barrier acknowledgement, worker to coordinator.
+struct Report {
+    shard: u32,
+    /// Earliest pending work this shard knows about: its injection list,
+    /// its calendar, its staged arrivals, and everything it pushed onto
+    /// outbound rings since the last report.  `u64::MAX` when idle.
+    next_ns: u64,
+    /// Ring-overflow entries, routed to their destination shard via the
+    /// next `Window` command.
+    spill: Vec<(u32, RingEntry)>,
+}
+
+/// End-of-run hand-back from one worker.
+struct WorkerFinal {
+    stats: SimStats,
+    deliveries: Vec<(DeliveryKey, Delivery)>,
+    freed: Vec<FrameRef>,
+    processed: u64,
+    last_ns: u64,
+}
+
+/// Canonical merge key: `(delivered_at, sched_at, tx_start, frame_id)` —
+/// see the module docs for why this reproduces the oracle's delivery order.
+type DeliveryKey = [u64; 4];
+
+/// A cross- or intra-shard switch arrival parked until its window opens.
+#[derive(Debug, Clone, Copy)]
+struct Staged {
+    time_ns: u64,
+    tx_start_ns: u64,
+    switch: u32,
+    frame: FrameId,
+}
+
+// ---------------------------------------------------------------------------
+// Shared read-only fabric context
+// ---------------------------------------------------------------------------
+
+/// The immutable-during-run parts of the fabric, shared by every worker.
+struct Fabric<'a> {
+    config: &'a SimConfig,
+    frames: &'a [FrameRecord],
+    arena: &'a FrameArena,
+    node_index: &'a IdIndex,
+    node_access: &'a [u32],
+    trunk_ports: &'a [u32],
+    switch_count: usize,
+    port_links: &'a [HopLink],
+    channel_wire: &'a [Option<ChannelWireState>],
+    released_channels: &'a [bool],
+    manager_index: u32,
+    distributed_control: bool,
+    assignment: &'a [u32],
+    lookahead: Duration,
+}
+
+impl<'a> Clone for Fabric<'a> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'a> Copy for Fabric<'a> {}
+
+impl<'a> Fabric<'a> {
+    #[inline]
+    fn node_idx(&self, node: NodeId) -> u32 {
+        self.node_index
+            .get(node.get())
+            .expect("events only reference attached nodes")
+    }
+
+    #[inline]
+    fn trunk_port(&self, from: u32, to: u32) -> Option<u32> {
+        match self.trunk_ports[from as usize * self.switch_count + to as usize] {
+            NO_INDEX => None,
+            port => Some(port),
+        }
+    }
+
+    #[inline]
+    fn channel_state(&self, channel: Option<ChannelId>) -> Option<&'a ChannelWireState> {
+        self.channel_wire.get(channel?.get() as usize)?.as_ref()
+    }
+
+    #[inline]
+    fn is_released(&self, channel: Option<ChannelId>) -> bool {
+        channel.is_some_and(|ch| {
+            self.released_channels
+                .get(ch.get() as usize)
+                .copied()
+                .unwrap_or(false)
+        })
+    }
+
+    #[inline]
+    fn record(&self, frame: FrameId) -> &'a FrameRecord {
+        &self.frames[frame.get() as usize]
+    }
+
+    #[inline]
+    fn tx_time(&self, wire_bytes: usize) -> Duration {
+        self.config.link_speed.transmission_time(wire_bytes)
+    }
+
+    /// Mirrors `Simulator::queue_deadline`.
+    #[inline]
+    fn queue_deadline(&self, record: &FrameRecord, port: u32) -> Option<SimTime> {
+        if let Some(offset) = self
+            .channel_state(record.channel)
+            .and_then(|state| state.offset_for(port))
+        {
+            return Some(record.injected_at + offset);
+        }
+        record.deadline
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+/// One shard's execution state: the same handlers as [`Simulator::handle`],
+/// over the full dense port space (only owned ports are ever touched), with
+/// switch arrivals staged for deterministic ingestion and deliveries /
+/// frees / stats parked for the end-of-run merge.
+struct Worker<'a> {
+    fab: Fabric<'a>,
+    shard: u32,
+    dense: Arc<DenseNextHop>,
+    queue: EventQueue,
+    batch: Vec<Event>,
+    ports: Vec<OutputPort>,
+    dead: Vec<bool>,
+    doomed: Vec<bool>,
+    stats: SimStats,
+    deliveries: Vec<(DeliveryKey, Delivery)>,
+    freed: Vec<FrameRef>,
+    /// Preloaded frame injections owned by this shard, in global
+    /// `(time, rank)` order.
+    injections: VecDeque<(SimTime, u64, Event)>,
+    staging: Vec<Staged>,
+    /// `inbox[p]`: ring produced by shard `p` for us.
+    inbox: Vec<Arc<SpscRing>>,
+    /// `outbox[c]`: ring we produce for shard `c`.
+    outbox: Vec<Arc<SpscRing>>,
+    spill: Vec<(u32, RingEntry)>,
+    outbound_min_ns: u64,
+    ring_scratch: Vec<RingEntry>,
+    last_ns: u64,
+}
+
+impl<'a> Worker<'a> {
+    #[inline]
+    fn schedule_event(&mut self, at: SimTime, event: Event) {
+        if self.queue.schedule(at, event) {
+            self.stats.record_clamped();
+        }
+    }
+
+    /// The staging record of an arrival: `tx_start` recovers the instant
+    /// the producing transmission began, the tie-break the deterministic
+    /// ingestion order sorts on.
+    fn staged(&self, time: SimTime, switch: u32, frame: FrameId) -> Staged {
+        let time_ns = time.as_nanos();
+        let tx = self
+            .fab
+            .tx_time(self.fab.record(frame).wire_bytes)
+            .as_nanos();
+        let lookahead = self.fab.lookahead.as_nanos();
+        Staged {
+            time_ns,
+            tx_start_ns: time_ns.saturating_sub(lookahead + tx),
+            switch,
+            frame,
+        }
+    }
+
+    /// Route a switch arrival: stage it locally, or hand it to the owning
+    /// shard's ring (spilling through the coordinator when full).
+    fn emit_arrival(&mut self, at: SimTime, switch: u32, frame: FrameId) {
+        let dest = self.fab.assignment[switch as usize];
+        if dest == self.shard {
+            let staged = self.staged(at, switch, frame);
+            self.staging.push(staged);
+        } else {
+            let entry = RingEntry {
+                time_ns: at.as_nanos(),
+                switch,
+                frame: frame.get(),
+            };
+            self.outbound_min_ns = self.outbound_min_ns.min(entry.time_ns);
+            if !self.outbox[dest as usize].push(entry) {
+                self.spill.push((dest, entry));
+            }
+        }
+    }
+
+    /// Pull every published inbound ring entry into the staging area.
+    fn drain_rings(&mut self) {
+        let mut scratch = std::mem::take(&mut self.ring_scratch);
+        for (producer, ring) in self.inbox.iter().enumerate() {
+            if producer as u32 != self.shard {
+                ring.drain_into(&mut scratch);
+            }
+        }
+        for entry in scratch.drain(..) {
+            let staged = self.staged(
+                SimTime::from_nanos(entry.time_ns),
+                entry.switch,
+                FrameId::new(entry.frame),
+            );
+            self.staging.push(staged);
+        }
+        self.ring_scratch = scratch;
+    }
+
+    /// Move every staged arrival due before `end_excl` into the calendar,
+    /// in the canonical `(time, tx_start, frame)` order that reproduces the
+    /// oracle's same-instant FIFO sequence.
+    fn ingest_staged(&mut self, end_excl: SimTime) {
+        let end_ns = end_excl.as_nanos();
+        let mut due = Vec::new();
+        self.staging.retain(|s| {
+            if s.time_ns < end_ns {
+                due.push(*s);
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_unstable_by_key(|s| (s.time_ns, s.tx_start_ns, s.frame.get()));
+        for s in due {
+            let switch = self.dense.switch_at(s.switch);
+            self.schedule_event(
+                SimTime::from_nanos(s.time_ns),
+                Event::ArriveAtSwitch {
+                    switch,
+                    frame: s.frame,
+                },
+            );
+        }
+    }
+
+    /// Execute every owned event strictly before `end_excl`, interleaving
+    /// preloaded injections before same-time derived events (they carry
+    /// lower oracle sequence numbers).
+    fn run_window(&mut self, end_excl: SimTime, dense: Arc<DenseNextHop>, spilled: Vec<RingEntry>) {
+        self.dense = dense;
+        for entry in spilled {
+            let staged = self.staged(
+                SimTime::from_nanos(entry.time_ns),
+                entry.switch,
+                FrameId::new(entry.frame),
+            );
+            self.staging.push(staged);
+        }
+        self.drain_rings();
+        self.ingest_staged(end_excl);
+        let end_incl = SimTime::from_nanos(end_excl.as_nanos().saturating_sub(1));
+        loop {
+            let next_injection = match self.injections.front() {
+                Some(&(t, _, _)) if t < end_excl => Some(t),
+                _ => None,
+            };
+            let next_calendar = self.queue.peek_time().filter(|&t| t < end_excl);
+            match (next_injection, next_calendar) {
+                (None, None) => break,
+                (Some(t), None) => self.handle_injections_at(t),
+                (Some(t), Some(c)) if t <= c => self.handle_injections_at(t),
+                _ => {
+                    let mut batch = std::mem::take(&mut self.batch);
+                    if let Some(time) = self.queue.pop_run_until(end_incl, &mut batch) {
+                        self.last_ns = self.last_ns.max(time.as_nanos());
+                        for event in batch.drain(..) {
+                            self.handle(time, event);
+                        }
+                    }
+                    self.batch = batch;
+                }
+            }
+        }
+    }
+
+    /// Execute every consecutive preloaded injection at exactly time `t`.
+    fn handle_injections_at(&mut self, t: SimTime) {
+        self.last_ns = self.last_ns.max(t.as_nanos());
+        while let Some(&(it, _, _)) = self.injections.front() {
+            if it != t {
+                break;
+            }
+            let (_, _, event) = self.injections.pop_front().expect("front checked");
+            self.handle(t, event);
+        }
+    }
+
+    /// Fault barrier: injections at `at` ranked before the fault fire
+    /// first (the oracle pops them first), then this shard's owned ports
+    /// die or revive, with dead queues drained into `failed_link_dropped`
+    /// and busy ports doomed — exactly `Simulator::kill_trunk_ports`.
+    fn fault_step(&mut self, at: SimTime, rank: u64, kills: &[u32], repairs: &[u32]) {
+        self.last_ns = self.last_ns.max(at.as_nanos());
+        while let Some(&(t, r, _)) = self.injections.front() {
+            if t != at || r > rank {
+                break;
+            }
+            let (_, _, event) = self.injections.pop_front().expect("front checked");
+            self.handle(at, event);
+        }
+        for &port in kills {
+            if self.port_owner(port) != self.shard {
+                continue;
+            }
+            let p = port as usize;
+            self.dead[p] = true;
+            if self.ports[p].is_busy(at) {
+                self.doomed[p] = true;
+            }
+            for lost in self.ports[p].drain() {
+                self.stats.record_failed_link_drop();
+                self.discard_frame(lost.frame);
+            }
+        }
+        for &port in repairs {
+            if self.port_owner(port) == self.shard {
+                self.dead[port as usize] = false;
+            }
+        }
+        self.drain_rings();
+    }
+
+    /// Which shard owns (i.e. transmits on) dense port `port`.
+    fn port_owner(&self, port: u32) -> u32 {
+        match self.fab.port_links[port as usize] {
+            HopLink::Uplink(node) | HopLink::Downlink(node) => {
+                let idx = self.fab.node_idx(node);
+                self.fab.assignment[self.fab.node_access[idx as usize] as usize]
+            }
+            HopLink::Trunk { from, .. } => {
+                let f = self
+                    .dense
+                    .index_of(from)
+                    .expect("trunk ports reference topology switches");
+                self.fab.assignment[f as usize]
+            }
+        }
+    }
+
+    /// Earliest pending work this shard knows about.
+    fn next_pending_ns(&self) -> u64 {
+        let mut next = u64::MAX;
+        if let Some(&(t, _, _)) = self.injections.front() {
+            next = next.min(t.as_nanos());
+        }
+        if let Some(t) = self.queue.peek_time() {
+            next = next.min(t.as_nanos());
+        }
+        for s in &self.staging {
+            next = next.min(s.time_ns);
+        }
+        next
+    }
+
+    fn make_report(&mut self) -> Report {
+        let next_ns = self.next_pending_ns().min(self.outbound_min_ns);
+        self.outbound_min_ns = u64::MAX;
+        Report {
+            shard: self.shard,
+            next_ns,
+            spill: std::mem::take(&mut self.spill),
+        }
+    }
+
+    // --- event handlers, mirroring `Simulator::handle` -------------------
+
+    fn handle(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::EnqueueAtNode { node, frame } => {
+                let port = 2 * self.fab.node_idx(node);
+                self.enqueue_at_port(frame, port);
+                self.try_start_tx(now, port);
+            }
+            Event::NodeTxComplete { node, frame } => {
+                let node_idx = self.fab.node_idx(node);
+                let port = 2 * node_idx;
+                self.ports[port as usize].clear_busy();
+                let arrive =
+                    now + self.fab.config.propagation_delay + self.fab.config.switch_latency;
+                self.emit_arrival(arrive, self.fab.node_access[node_idx as usize], frame);
+                self.try_start_tx(now, port);
+            }
+            Event::ArriveAtSwitch { switch, frame } => {
+                let at = self
+                    .dense
+                    .index_of(switch)
+                    .expect("events only reference topology switches");
+                let record = self.fab.record(frame);
+                let channel = record.channel;
+                match record.dest {
+                    FrameDest::ControlPlane => {
+                        if self.fab.distributed_control || at == self.fab.manager_index {
+                            let switch = self.dense.switch_at(at);
+                            self.deliver_to_switch(frame, switch, now);
+                        } else if let Some(port) = self
+                            .dense
+                            .next_hop_index(at, self.fab.manager_index)
+                            .and_then(|next| self.fab.trunk_port(at, next))
+                        {
+                            self.enqueue_at_port(frame, port);
+                            self.try_start_tx(now, port);
+                        } else {
+                            self.stats.record_unroutable();
+                            self.discard_frame(frame);
+                        }
+                    }
+                    FrameDest::Switch { switch: target } => {
+                        if at == target {
+                            let switch = self.dense.switch_at(at);
+                            self.deliver_to_switch(frame, switch, now);
+                        } else if let Some(port) = self
+                            .dense
+                            .next_hop_index(at, target)
+                            .and_then(|next| self.fab.trunk_port(at, next))
+                        {
+                            self.enqueue_at_port(frame, port);
+                            self.try_start_tx(now, port);
+                        } else {
+                            self.stats.record_unroutable();
+                            self.discard_frame(frame);
+                        }
+                    }
+                    FrameDest::Node {
+                        node: dest_node,
+                        switch: dest_switch,
+                    } => {
+                        if self.fab.is_released(channel) {
+                            self.stats.record_released_channel_drop();
+                            self.discard_frame(frame);
+                            return;
+                        }
+                        match self.egress_port(at, dest_node, dest_switch, channel) {
+                            Some(port) if self.dead[port as usize] => {
+                                self.stats.record_failed_link_drop();
+                                self.discard_frame(frame);
+                            }
+                            Some(port) => {
+                                self.enqueue_at_port(frame, port);
+                                self.try_start_tx(now, port);
+                            }
+                            None => {
+                                self.stats.record_unroutable();
+                                self.discard_frame(frame);
+                            }
+                        }
+                    }
+                    FrameDest::Unknown => {
+                        self.stats.record_unroutable();
+                        self.discard_frame(frame);
+                    }
+                }
+            }
+            Event::SwitchTxComplete { to, frame } => {
+                let port = 2 * self.fab.node_idx(to) + 1;
+                self.ports[port as usize].clear_busy();
+                let arrive = now + self.fab.config.propagation_delay;
+                self.schedule_event(arrive, Event::ArriveAtNode { node: to, frame });
+                self.try_start_tx(now, port);
+            }
+            Event::TrunkTxComplete { from, to, frame } => {
+                let from_idx = self
+                    .dense
+                    .index_of(from)
+                    .expect("events only reference topology switches");
+                let to_idx = self
+                    .dense
+                    .index_of(to)
+                    .expect("events only reference topology switches");
+                if let Some(port) = self.fab.trunk_port(from_idx, to_idx) {
+                    let p = port as usize;
+                    self.ports[p].clear_busy();
+                    if self.doomed[p] || self.dead[p] {
+                        self.doomed[p] = false;
+                        self.stats.record_failed_link_drop();
+                        self.discard_frame(frame);
+                        self.try_start_tx(now, port);
+                        return;
+                    }
+                    let arrive =
+                        now + self.fab.config.propagation_delay + self.fab.config.switch_latency;
+                    self.emit_arrival(arrive, to_idx, frame);
+                    self.try_start_tx(now, port);
+                }
+            }
+            Event::ArriveAtNode { node, frame } => {
+                let sched_ns = now
+                    .as_nanos()
+                    .saturating_sub(self.fab.config.propagation_delay.as_nanos());
+                self.deliver_inner(frame, node, None, now, sched_ns);
+            }
+            Event::EnqueueAtSwitch { .. }
+            | Event::FailTrunk { .. }
+            | Event::RepairTrunk { .. }
+            | Event::FailSwitch { .. } => {
+                unreachable!("fault and switch-origination events never enter a shard calendar")
+            }
+        }
+    }
+
+    #[inline]
+    fn egress_port(
+        &self,
+        at: u32,
+        dest_node: u32,
+        dest_switch: u32,
+        channel: Option<ChannelId>,
+    ) -> Option<u32> {
+        if let Some(port) = self
+            .fab
+            .channel_state(channel)
+            .and_then(|state| state.forwarding_port(at))
+        {
+            return Some(port);
+        }
+        if dest_switch == at {
+            return Some(2 * dest_node + 1);
+        }
+        let next = self.dense.next_hop_index(at, dest_switch)?;
+        self.fab.trunk_port(at, next)
+    }
+
+    fn enqueue_at_port(&mut self, frame: FrameId, port: u32) {
+        let record = self.fab.record(frame);
+        let class = record.class;
+        let deadline = self.fab.queue_deadline(record, port);
+        let out = &mut self.ports[port as usize];
+        match class {
+            TrafficClass::RealTime => {
+                out.enqueue_rt(frame, deadline.unwrap_or(SimTime::ZERO));
+            }
+            TrafficClass::BestEffort => {
+                if !out.enqueue_be(frame) {
+                    self.stats.record_be_drop();
+                    self.discard_frame(frame);
+                }
+            }
+        }
+    }
+
+    fn try_start_tx(&mut self, now: SimTime, port: u32) {
+        let out = &mut self.ports[port as usize];
+        if out.is_busy(now) || out.is_empty() {
+            return;
+        }
+        let Some(queued) = out.dequeue_next() else {
+            return;
+        };
+        let record = self.fab.record(queued.frame);
+        let wire_bytes = record.wire_bytes;
+        if record.link_state {
+            self.stats.record_link_state_hop();
+        } else if Simulator::is_control_record(record.class, record.channel) {
+            self.stats.record_control_hop();
+        }
+        let tx = self.fab.tx_time(wire_bytes);
+        let done = now + tx;
+        self.ports[port as usize].set_busy_until(done);
+        self.stats
+            .record_transmission(port as usize, wire_bytes, tx);
+        let event = match self.fab.port_links[port as usize] {
+            HopLink::Uplink(node) => Event::NodeTxComplete {
+                node,
+                frame: queued.frame,
+            },
+            HopLink::Downlink(node) => Event::SwitchTxComplete {
+                to: node,
+                frame: queued.frame,
+            },
+            HopLink::Trunk { from, to } => Event::TrunkTxComplete {
+                from,
+                to,
+                frame: queued.frame,
+            },
+        };
+        self.schedule_event(done, event);
+    }
+
+    fn deliver_to_switch(&mut self, frame: FrameId, switch: SwitchId, now: SimTime) {
+        let sched_ns = now.as_nanos().saturating_sub(self.fab.lookahead.as_nanos());
+        self.deliver_inner(frame, NodeId::SWITCH, Some(switch), now, sched_ns);
+    }
+
+    fn deliver_inner(
+        &mut self,
+        frame: FrameId,
+        receiver: NodeId,
+        switch: Option<SwitchId>,
+        now: SimTime,
+        sched_ns: u64,
+    ) {
+        let record = self.fab.record(frame);
+        match record.class {
+            TrafficClass::RealTime => {
+                self.stats.record_rt_delivery(
+                    record.channel,
+                    record.injected_at,
+                    now,
+                    record.deadline,
+                );
+            }
+            TrafficClass::BestEffort => self.stats.record_be_delivery(),
+        }
+        let eth = match &record.stored {
+            StoredFrame::Owned(eth) => eth.clone(),
+            StoredFrame::Pooled(r) => {
+                let r = *r;
+                let eth = EthernetFrame::decode_unpadded(self.fab.arena.bytes(r))
+                    .expect("pooled frames hold a valid unpadded wire image");
+                // Frees are deferred to the coordinator: the arena is shared
+                // read-only during the run.
+                self.freed.push(r);
+                eth
+            }
+        };
+        let tx_ns = self.fab.tx_time(record.wire_bytes).as_nanos();
+        let key = [
+            now.as_nanos(),
+            sched_ns,
+            sched_ns.saturating_sub(tx_ns),
+            frame.get(),
+        ];
+        self.deliveries.push((
+            key,
+            Delivery {
+                frame,
+                receiver,
+                switch,
+                source: record.source,
+                eth,
+                injected_at: record.injected_at,
+                delivered_at: now,
+                channel: record.channel,
+                deadline: record.deadline,
+                class: record.class,
+            },
+        ));
+    }
+
+    fn discard_frame(&mut self, frame: FrameId) {
+        if let StoredFrame::Pooled(r) = self.fab.record(frame).stored {
+            self.freed.push(r);
+        }
+    }
+}
+
+/// Worker thread body: answer barrier commands until `Finish`, then hand
+/// every accumulated result back.
+fn worker_main(
+    mut worker: Worker<'_>,
+    commands: mpsc::Receiver<Command>,
+    reports: mpsc::Sender<Report>,
+    finals: mpsc::Sender<WorkerFinal>,
+) {
+    let _ = reports.send(worker.make_report());
+    while let Ok(command) = commands.recv() {
+        match command {
+            Command::Window {
+                end_excl,
+                dense,
+                spilled,
+            } => {
+                worker.run_window(end_excl, dense, spilled);
+                let _ = reports.send(worker.make_report());
+            }
+            Command::Fault {
+                at,
+                rank,
+                kills,
+                repairs,
+            } => {
+                worker.fault_step(at, rank, &kills, &repairs);
+                let _ = reports.send(worker.make_report());
+            }
+            Command::Finish => break,
+        }
+    }
+    let _ = finals.send(WorkerFinal {
+        stats: worker.stats,
+        deliveries: worker.deliveries,
+        freed: worker.freed,
+        processed: worker.queue.processed(),
+        last_ns: worker.last_ns,
+    });
+}
+
+/// Both directed dense port ids of the trunk `a — b`, appended to `out`.
+fn trunk_ports_of(
+    dense: &DenseNextHop,
+    trunk_ports: &[u32],
+    a: SwitchId,
+    b: SwitchId,
+    out: &mut Vec<u32>,
+) {
+    if let (Some(f), Some(t)) = (dense.index_of(a), dense.index_of(b)) {
+        let s = dense.switch_count();
+        for (x, y) in [(f, t), (t, f)] {
+            match trunk_ports[x as usize * s + y as usize] {
+                NO_INDEX => {}
+                port => out.push(port),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedSimulator
+// ---------------------------------------------------------------------------
+
+/// The sharded front-end of the fabric simulator.
+///
+/// Construction, injection and channel management all delegate to an inner
+/// single-thread [`Simulator`]; [`ShardedSimulator::run_to_idle`] then
+/// executes the preloaded event set across worker threads under the
+/// conservative window protocol described in the [module docs](self), and
+/// merges deliveries, statistics and arena buffers back so that every
+/// observable — `poll_deliveries`, `stats().summary()`, per-channel and
+/// per-link counters, `arena_outstanding()` — is byte-for-byte identical to
+/// the single-thread run.
+pub struct ShardedSimulator {
+    inner: Simulator,
+    shards: usize,
+    strategy: ShardStrategy,
+    /// Dense switch index -> owning shard.
+    assignment: Vec<u32>,
+    windows_executed: u64,
+    extra_processed: u64,
+    finished_at: SimTime,
+}
+
+impl ShardedSimulator {
+    /// Build a sharded fabric over `topology` with (up to) `shards` worker
+    /// shards and the default partition strategy.
+    ///
+    /// Fails when the configuration violates the conservative-window
+    /// soundness condition: the minimum frame transmission time must cover
+    /// the trunk lookahead `propagation_delay + switch_latency`, so that
+    /// arrival ingestion order can reproduce the oracle's event sequence
+    /// (see the module docs).
+    pub fn new(config: SimConfig, topology: Topology, shards: usize) -> RtResult<Self> {
+        Self::with_strategy(config, topology, shards, ShardStrategy::default())
+    }
+
+    /// [`ShardedSimulator::new`] with an explicit partition strategy.
+    pub fn with_strategy(
+        config: SimConfig,
+        topology: Topology,
+        shards: usize,
+        strategy: ShardStrategy,
+    ) -> RtResult<Self> {
+        let inner = Simulator::with_topology(config, topology)?;
+        Self::from_inner(inner, shards, strategy)
+    }
+
+    /// Build over an explicit [`Router`], as [`Simulator::with_router`].
+    pub fn with_router(
+        config: SimConfig,
+        topology: Topology,
+        router: Arc<dyn Router>,
+        shards: usize,
+    ) -> RtResult<Self> {
+        let inner = Simulator::with_router(config, topology, router)?;
+        Self::from_inner(inner, shards, ShardStrategy::default())
+    }
+
+    fn from_inner(inner: Simulator, shards: usize, strategy: ShardStrategy) -> RtResult<Self> {
+        let config = inner.config();
+        let lookahead = config.propagation_delay + config.switch_latency;
+        let min_tx = config.link_speed.transmission_time(MIN_FRAME_WIRE_BYTES);
+        if min_tx < lookahead {
+            return Err(RtError::Config(format!(
+                "sharded simulation needs the minimum frame transmission time ({} ns) \
+                 to cover the trunk lookahead ({} ns): conservative windows would \
+                 otherwise reorder same-instant events relative to the single-thread \
+                 oracle",
+                min_tx.as_nanos(),
+                lookahead.as_nanos(),
+            )));
+        }
+        let partition = partition_switches(inner.topology(), shards, strategy);
+        let shards = effective_shards(inner.topology().switch_count(), shards);
+        let dense = Arc::clone(&inner.dense_next_hop);
+        let mut assignment = vec![0u32; dense.switch_count()];
+        for (pos, switch) in inner.topology().switches().enumerate() {
+            let idx = dense
+                .index_of(switch)
+                .expect("topology switches are dense-indexed");
+            assignment[idx as usize] = partition[pos];
+        }
+        Ok(ShardedSimulator {
+            inner,
+            shards,
+            strategy,
+            assignment,
+            windows_executed: 0,
+            extra_processed: 0,
+            finished_at: SimTime::ZERO,
+        })
+    }
+
+    // --- delegated setup --------------------------------------------------
+
+    /// See [`Simulator::inject`].
+    pub fn inject(&mut self, node: NodeId, eth: EthernetFrame, at: SimTime) -> RtResult<FrameId> {
+        self.inner.inject(node, eth, at)
+    }
+
+    /// See [`Simulator::inject_batch`].
+    pub fn inject_batch(
+        &mut self,
+        batch: impl IntoIterator<Item = FrameInjection>,
+    ) -> RtResult<Vec<FrameId>> {
+        self.inner.inject_batch(batch)
+    }
+
+    /// See [`Simulator::schedule_fault`].
+    pub fn schedule_fault(&mut self, at: SimTime, fault: LinkFault) -> RtResult<()> {
+        self.inner.schedule_fault(at, fault)
+    }
+
+    /// See [`Simulator::schedule_faults`].
+    pub fn schedule_faults(&mut self, script: &FaultScript) -> RtResult<()> {
+        self.inner.schedule_faults(script)
+    }
+
+    /// See [`Simulator::set_channel_hop_schedule`].
+    pub fn set_channel_hop_schedule(
+        &mut self,
+        channel: ChannelId,
+        offsets: impl IntoIterator<Item = (HopLink, Duration)>,
+    ) {
+        self.inner.set_channel_hop_schedule(channel, offsets)
+    }
+
+    /// See [`Simulator::set_channel_route`].
+    pub fn set_channel_route(&mut self, channel: ChannelId, route: &Route) {
+        self.inner.set_channel_route(channel, route)
+    }
+
+    /// See [`Simulator::release_channel`].
+    pub fn release_channel(&mut self, channel: ChannelId) {
+        self.inner.release_channel(channel)
+    }
+
+    // --- observability ----------------------------------------------------
+
+    /// Number of worker shards the run executes on (clamped to the switch
+    /// count).
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The partition strategy in use.
+    pub fn strategy(&self) -> ShardStrategy {
+        self.strategy
+    }
+
+    /// The shard owning `switch`, if it is part of the topology.
+    pub fn shard_of(&self, switch: SwitchId) -> Option<u32> {
+        let idx = self.inner.dense_next_hop.index_of(switch)?;
+        Some(self.assignment[idx as usize])
+    }
+
+    /// Conservative time windows executed so far (fault barriers not
+    /// included).
+    pub fn windows_executed(&self) -> u64 {
+        self.windows_executed
+    }
+
+    /// See [`Simulator::events_processed`]: injections and faults count
+    /// once (drained by the coordinator), derived events once in whichever
+    /// shard executed them — the same total as the single-thread run.
+    pub fn events_processed(&self) -> u64 {
+        self.inner.events_processed() + self.extra_processed
+    }
+
+    /// See [`Simulator::now`].
+    pub fn now(&self) -> SimTime {
+        self.inner.now().max(self.finished_at)
+    }
+
+    /// See [`Simulator::config`].
+    pub fn config(&self) -> &SimConfig {
+        self.inner.config()
+    }
+
+    /// See [`Simulator::topology`].
+    pub fn topology(&self) -> &Topology {
+        self.inner.topology()
+    }
+
+    /// See [`Simulator::manager_switch`].
+    pub fn manager_switch(&self) -> SwitchId {
+        self.inner.manager_switch()
+    }
+
+    /// See [`Simulator::stats`] (merged across shards after a run).
+    pub fn stats(&self) -> &SimStats {
+        self.inner.stats()
+    }
+
+    /// See [`Simulator::poll_deliveries`] (canonically merged across
+    /// shards, in the oracle's order).
+    pub fn poll_deliveries(&mut self) -> Vec<Delivery> {
+        self.inner.poll_deliveries()
+    }
+
+    /// See [`Simulator::injected_count`].
+    pub fn injected_count(&self) -> u64 {
+        self.inner.injected_count()
+    }
+
+    /// See [`Simulator::arena_outstanding`].
+    pub fn arena_outstanding(&self) -> usize {
+        self.inner.arena_outstanding()
+    }
+
+    /// See [`Simulator::arena_stats`].
+    pub fn arena_stats(&self) -> rt_frames::ArenaStats {
+        self.inner.arena_stats()
+    }
+
+    // --- execution --------------------------------------------------------
+
+    /// Run the preloaded event set to completion across the worker shards;
+    /// returns the final simulated time.
+    ///
+    /// Panics if the pending set contains events a sharded run does not
+    /// support (switch-originated injections via `inject_at_switch` /
+    /// `inject_from_switch`); node injections and scripted faults — the
+    /// full workload model of the property harness — are supported.
+    pub fn run_to_idle(&mut self) -> SimTime {
+        let shards = self.shards;
+
+        // Drain the preloaded event set in global (time, seq) order,
+        // splitting node injections per owning shard and faults into the
+        // coordinator's script; the rank preserves the oracle's sequence
+        // numbers across the split.
+        let mut per_shard: Vec<VecDeque<(SimTime, u64, Event)>> =
+            (0..shards).map(|_| VecDeque::new()).collect();
+        let mut faults: VecDeque<(SimTime, u64, Event)> = VecDeque::new();
+        let mut rank = 0u64;
+        while let Some((t, event)) = self.inner.events.pop() {
+            match event {
+                Event::EnqueueAtNode { node, .. } => {
+                    let idx = self
+                        .inner
+                        .node_index
+                        .get(node.get())
+                        .expect("injections reference attached nodes");
+                    let shard = self.assignment[self.inner.node_access[idx as usize] as usize];
+                    per_shard[shard as usize].push_back((t, rank, event));
+                }
+                Event::FailTrunk { .. } | Event::RepairTrunk { .. } | Event::FailSwitch { .. } => {
+                    faults.push_back((t, rank, event));
+                }
+                other => panic!(
+                    "sharded runs drive node-injected workloads and scripted faults only; \
+                     found {other:?} in the pending event set"
+                ),
+            }
+            rank += 1;
+        }
+
+        let lookahead = self.inner.config.propagation_delay + self.inner.config.switch_latency;
+        let lookahead_ns = lookahead.as_nanos();
+        let assignment = self.assignment.clone();
+
+        let mut windows = 0u64;
+        let mut extra_processed = 0u64;
+        let mut last_ns = self.inner.now().as_nanos();
+        let mut merged_deliveries: Vec<(DeliveryKey, Delivery)> = Vec::new();
+        let mut merged_freed: Vec<FrameRef> = Vec::new();
+
+        {
+            // Split the inner simulator into the shared read-only fabric
+            // context and the coordinator-mutable routing/stat state.
+            let Simulator {
+                config,
+                topology,
+                router,
+                next_hop,
+                dense_next_hop,
+                node_index,
+                node_access,
+                trunk_ports,
+                port_links,
+                channel_wire,
+                released_channels,
+                frames,
+                arena,
+                stats,
+                pending_deliveries,
+                manager_index,
+                distributed_control,
+                ..
+            } = &mut self.inner;
+            let config: &SimConfig = config;
+            let router: &Arc<dyn Router> = router;
+            let node_index: &IdIndex = node_index;
+            let node_access: &[u32] = node_access;
+            let trunk_ports: &[u32] = trunk_ports;
+            let port_links: &[HopLink] = port_links;
+            let channel_wire: &[Option<ChannelWireState>] = channel_wire;
+            let released_channels: &[bool] = released_channels;
+            let frames: &[FrameRecord] = frames;
+            let arena: &FrameArena = arena;
+            let manager_index = *manager_index;
+            let distributed_control = *distributed_control;
+            let switch_count = dense_next_hop.switch_count();
+            let assignment: &[u32] = &assignment;
+
+            // rings[p][c]: produced by shard p, consumed by shard c.
+            let rings: Vec<Vec<Arc<SpscRing>>> = (0..shards)
+                .map(|_| {
+                    (0..shards)
+                        .map(|_| Arc::new(SpscRing::new(RING_CAPACITY)))
+                        .collect()
+                })
+                .collect();
+
+            let (report_tx, report_rx) = mpsc::channel::<Report>();
+            let (final_tx, final_rx) = mpsc::channel::<WorkerFinal>();
+            let mut command_txs = Vec::with_capacity(shards);
+
+            std::thread::scope(|scope| {
+                for shard in 0..shards {
+                    let (command_tx, command_rx) = mpsc::channel::<Command>();
+                    command_txs.push(command_tx);
+                    let fab = Fabric {
+                        config,
+                        frames,
+                        arena,
+                        node_index,
+                        node_access,
+                        trunk_ports,
+                        switch_count,
+                        port_links,
+                        channel_wire,
+                        released_channels,
+                        manager_index,
+                        distributed_control,
+                        assignment,
+                        lookahead,
+                    };
+                    let injections = std::mem::take(&mut per_shard[shard]);
+                    let inbox: Vec<Arc<SpscRing>> =
+                        (0..shards).map(|p| Arc::clone(&rings[p][shard])).collect();
+                    let outbox: Vec<Arc<SpscRing>> =
+                        (0..shards).map(|c| Arc::clone(&rings[shard][c])).collect();
+                    let dense = Arc::clone(dense_next_hop);
+                    let reports = report_tx.clone();
+                    let finals = final_tx.clone();
+                    let port_count = port_links.len();
+                    let be_capacity = config.be_queue_capacity;
+                    scope.spawn(move || {
+                        let ports = (0..port_count)
+                            .map(|_| match be_capacity {
+                                Some(cap) => OutputPort::with_be_capacity(cap),
+                                None => OutputPort::new(),
+                            })
+                            .collect();
+                        let worker = Worker {
+                            fab,
+                            shard: shard as u32,
+                            dense,
+                            queue: EventQueue::with_scheduler(SchedulerKind::Calendar),
+                            batch: Vec::new(),
+                            ports,
+                            dead: vec![false; port_count],
+                            doomed: vec![false; port_count],
+                            stats: SimStats::for_ports(fab.port_links.to_vec()),
+                            deliveries: Vec::new(),
+                            freed: Vec::new(),
+                            injections,
+                            staging: Vec::new(),
+                            inbox,
+                            outbox,
+                            spill: Vec::new(),
+                            outbound_min_ns: u64::MAX,
+                            ring_scratch: Vec::new(),
+                            last_ns: 0,
+                        };
+                        worker_main(worker, command_rx, reports, finals);
+                    });
+                }
+                drop(report_tx);
+                drop(final_tx);
+
+                let mut next_ns = vec![u64::MAX; shards];
+                let mut held: Vec<Vec<RingEntry>> = vec![Vec::new(); shards];
+                let gather = |next_ns: &mut [u64], held: &mut [Vec<RingEntry>]| {
+                    for _ in 0..shards {
+                        let report = report_rx.recv().expect("worker thread alive");
+                        next_ns[report.shard as usize] = report.next_ns;
+                        for (dest, entry) in report.spill {
+                            held[dest as usize].push(entry);
+                        }
+                    }
+                };
+                gather(&mut next_ns, &mut held);
+
+                loop {
+                    let mut t_work = next_ns.iter().copied().min().unwrap_or(u64::MAX);
+                    for h in &held {
+                        for entry in h {
+                            t_work = t_work.min(entry.time_ns);
+                        }
+                    }
+                    let t_fault = faults
+                        .front()
+                        .map(|&(t, _, _)| t.as_nanos())
+                        .unwrap_or(u64::MAX);
+                    if t_work == u64::MAX && t_fault == u64::MAX {
+                        break;
+                    }
+                    if t_fault <= t_work {
+                        // Fault barrier: the coordinator mutates the
+                        // topology and re-pulls routing (the single-thread
+                        // semantics of fail_link / repair_link /
+                        // fail_switch); the workers kill / revive the ports
+                        // they own.
+                        let (at, fault_rank, fault) =
+                            faults.pop_front().expect("fault time was finite");
+                        last_ns = last_ns.max(at.as_nanos());
+                        let mut kills = Vec::new();
+                        let mut repairs = Vec::new();
+                        let mut changed = false;
+                        match fault {
+                            Event::FailTrunk { from, to } => {
+                                let result = topology.fail_trunk(from, to);
+                                debug_assert!(
+                                    result.is_ok(),
+                                    "scripted FailTrunk failed: {result:?}"
+                                );
+                                if result.is_ok() {
+                                    trunk_ports_of(
+                                        dense_next_hop,
+                                        trunk_ports,
+                                        from,
+                                        to,
+                                        &mut kills,
+                                    );
+                                    changed = true;
+                                }
+                            }
+                            Event::RepairTrunk { from, to } => {
+                                let result = topology.repair_trunk(from, to);
+                                debug_assert!(
+                                    result.is_ok(),
+                                    "scripted RepairTrunk failed: {result:?}"
+                                );
+                                if result.is_ok() {
+                                    trunk_ports_of(
+                                        dense_next_hop,
+                                        trunk_ports,
+                                        from,
+                                        to,
+                                        &mut repairs,
+                                    );
+                                    changed = true;
+                                }
+                            }
+                            Event::FailSwitch { switch } => {
+                                let result = topology.fail_switch(switch);
+                                debug_assert!(
+                                    result.is_ok(),
+                                    "scripted FailSwitch failed: {result:?}"
+                                );
+                                if let Ok(cut) = result {
+                                    for (a, b) in cut {
+                                        trunk_ports_of(
+                                            dense_next_hop,
+                                            trunk_ports,
+                                            a,
+                                            b,
+                                            &mut kills,
+                                        );
+                                    }
+                                    changed = true;
+                                }
+                            }
+                            _ => unreachable!("only fault events enter the fault script"),
+                        }
+                        if changed {
+                            *next_hop = router.next_hop_table(topology);
+                            *dense_next_hop = router.dense_next_hop(topology);
+                        }
+                        let kills = Arc::new(kills);
+                        let repairs = Arc::new(repairs);
+                        for tx in &command_txs {
+                            tx.send(Command::Fault {
+                                at,
+                                rank: fault_rank,
+                                kills: Arc::clone(&kills),
+                                repairs: Arc::clone(&repairs),
+                            })
+                            .expect("worker thread alive");
+                        }
+                        gather(&mut next_ns, &mut held);
+                    } else {
+                        // Conservative window [t_work, t_work + L), cut
+                        // short by the next fault.
+                        let end_excl = t_work
+                            .saturating_add(lookahead_ns)
+                            .min(t_fault)
+                            .max(t_work.saturating_add(1));
+                        for (shard, tx) in command_txs.iter().enumerate() {
+                            tx.send(Command::Window {
+                                end_excl: SimTime::from_nanos(end_excl),
+                                dense: Arc::clone(dense_next_hop),
+                                spilled: std::mem::take(&mut held[shard]),
+                            })
+                            .expect("worker thread alive");
+                        }
+                        gather(&mut next_ns, &mut held);
+                        windows += 1;
+                    }
+                }
+                for tx in &command_txs {
+                    let _ = tx.send(Command::Finish);
+                }
+            });
+
+            for _ in 0..shards {
+                let done = final_rx.recv().expect("every worker sends a final report");
+                stats.merge_from(&done.stats);
+                merged_deliveries.extend(done.deliveries);
+                merged_freed.extend(done.freed);
+                extra_processed += done.processed;
+                last_ns = last_ns.max(done.last_ns);
+            }
+            merged_deliveries.sort_unstable_by_key(|a| a.0);
+            pending_deliveries.extend(merged_deliveries.into_iter().map(|(_, d)| d));
+        }
+
+        for r in merged_freed {
+            self.inner.arena.free(r);
+        }
+        self.windows_executed += windows;
+        self.extra_processed += extra_processed;
+        self.finished_at = self.finished_at.max(SimTime::from_nanos(last_ns));
+        self.now()
+    }
+}

@@ -174,7 +174,7 @@ impl SimConfig {
 /// Where a frame is headed, resolved once at injection time so the per-hop
 /// forwarding decision never touches the MAC table again.
 #[derive(Debug, Clone, Copy)]
-enum FrameDest {
+pub(crate) enum FrameDest {
     /// An attached end node: its dense node index and the dense index of
     /// its access switch.
     Node {
@@ -201,7 +201,7 @@ enum FrameDest {
 
 /// Where one frame's bytes live while it crosses the fabric.
 #[derive(Debug, Clone)]
-enum StoredFrame {
+pub(crate) enum StoredFrame {
     /// The decoded frame, owned by the record ([`FrameStoreKind::Owned`]).
     Owned(EthernetFrame),
     /// An index into the simulator's [`FrameArena`]
@@ -212,23 +212,23 @@ enum StoredFrame {
 
 /// Everything the simulator remembers about one injected frame.
 #[derive(Debug, Clone)]
-struct FrameRecord {
-    stored: StoredFrame,
-    class: TrafficClass,
+pub(crate) struct FrameRecord {
+    pub(crate) stored: StoredFrame,
+    pub(crate) class: TrafficClass,
     /// Absolute end-to-end deadline (simulated time) for RT frames.
-    deadline: Option<SimTime>,
+    pub(crate) deadline: Option<SimTime>,
     /// RT channel for RT data frames.
-    channel: Option<ChannelId>,
+    pub(crate) channel: Option<ChannelId>,
     /// `true` for link-state flood frames — control-class on the wire, but
     /// accounted as convergence overhead instead of reservation traffic.
-    link_state: bool,
+    pub(crate) link_state: bool,
     /// The resolved destination (dense indices).
-    dest: FrameDest,
+    pub(crate) dest: FrameDest,
     /// Where the frame entered the network (`NodeId::SWITCH` for frames
     /// originated by the switch control plane).
-    source: NodeId,
-    injected_at: SimTime,
-    wire_bytes: usize,
+    pub(crate) source: NodeId,
+    pub(crate) injected_at: SimTime,
+    pub(crate) wire_bytes: usize,
 }
 
 /// A frame delivered to its final receiver (an end node, or the switch
@@ -379,7 +379,7 @@ pub trait TrafficSource {
 /// tiny sorted vectors keyed by dense indices — a route has a handful of
 /// hops, so lookups are a short binary search over one cache line.
 #[derive(Debug, Default)]
-struct ChannelWireState {
+pub(crate) struct ChannelWireState {
     /// `(port, budget)`: per-link EDF deadline budget (offset from
     /// injection time), sorted by dense port id.
     offsets: Vec<(u32, Duration)>,
@@ -404,7 +404,7 @@ impl ChannelWireState {
     }
 
     #[inline]
-    fn offset_for(&self, port: u32) -> Option<Duration> {
+    pub(crate) fn offset_for(&self, port: u32) -> Option<Duration> {
         self.offsets
             .binary_search_by_key(&port, |e| e.0)
             .ok()
@@ -412,7 +412,7 @@ impl ChannelWireState {
     }
 
     #[inline]
-    fn forwarding_port(&self, switch: u32) -> Option<u32> {
+    pub(crate) fn forwarding_port(&self, switch: u32) -> Option<u32> {
         self.forwarding
             .binary_search_by_key(&switch, |e| e.0)
             .ok()
@@ -423,31 +423,31 @@ impl ChannelWireState {
 /// The simulator.
 #[derive(Debug)]
 pub struct Simulator {
-    config: SimConfig,
-    events: EventQueue,
-    topology: Topology,
+    pub(crate) config: SimConfig,
+    pub(crate) events: EventQueue,
+    pub(crate) topology: Topology,
     /// The path-selection policy the fabric was built with.
-    router: Arc<dyn Router>,
+    pub(crate) router: Arc<dyn Router>,
     /// `(at, towards) → neighbour` forwarding table of the trunk graph
     /// (reference form, for inspection; computed once by the router, cached
     /// per topology fingerprint).
-    next_hop: Arc<NextHopTable>,
+    pub(crate) next_hop: Arc<NextHopTable>,
     /// The same table flattened over contiguous switch indices — what the
     /// per-event path reads.
-    dense_next_hop: Arc<DenseNextHop>,
+    pub(crate) dense_next_hop: Arc<DenseNextHop>,
     /// Raw node id → dense node index.
-    node_index: IdIndex,
+    pub(crate) node_index: IdIndex,
     /// Dense node index → dense index of the node's access switch.
-    node_access: Vec<u32>,
+    pub(crate) node_access: Vec<u32>,
     /// Dense `(from, to)` switch-index pair → trunk port id (`NO_INDEX`
     /// where no trunk exists); row-major `from · S + to`.
-    trunk_ports: Vec<u32>,
+    pub(crate) trunk_ports: Vec<u32>,
     /// One output port per directed edge, by dense port id: uplink of node
     /// `i` at `2i`, its downlink at `2i + 1`, trunk ports after all access
     /// ports.
     ports: Vec<OutputPort>,
     /// Dense port id → the directed link it drives.
-    port_links: Vec<HopLink>,
+    pub(crate) port_links: Vec<HopLink>,
     /// MAC → node table (static; consulted once per frame at injection).
     forwarding: HashMap<MacAddr, NodeId>,
     /// The generic switch MAC address (node-originated control traffic is
@@ -457,22 +457,22 @@ pub struct Simulator {
     /// switch-to-switch reservation frames).
     switch_macs: HashMap<MacAddr, u32>,
     /// The switch hosting the RT channel management software.
-    manager_switch: SwitchId,
+    pub(crate) manager_switch: SwitchId,
     /// Dense index of the managing switch.
-    manager_index: u32,
+    pub(crate) manager_index: u32,
     /// `true` when the topology places a channel manager on every switch:
     /// frames addressed to the generic switch MAC are then consumed by the
     /// first switch that receives them instead of being forwarded to the
     /// managing switch.
-    distributed_control: bool,
+    pub(crate) distributed_control: bool,
     /// Per-channel route state (deadline budgets + forwarding entries),
     /// indexed by raw channel id.
-    channel_wire: Vec<Option<ChannelWireState>>,
+    pub(crate) channel_wire: Vec<Option<ChannelWireState>>,
     /// Channels whose wire state was torn down ([`Simulator::release_channel`]),
     /// indexed by raw channel id: their late frames are dropped at the first
     /// switch and counted, never silently delivered.  Re-installing a hop
     /// schedule (re-admission under the same id) clears the flag.
-    released_channels: Vec<bool>,
+    pub(crate) released_channels: Vec<bool>,
     /// Ports whose link is currently failed, by dense port id.  Only trunk
     /// ports can die today; access links never fail.
     dead_ports: Vec<bool>,
@@ -480,14 +480,14 @@ pub struct Simulator {
     /// that frame is lost even if the link is repaired before the
     /// transmission-complete event fires.
     doomed_ports: Vec<bool>,
-    frames: Vec<FrameRecord>,
+    pub(crate) frames: Vec<FrameRecord>,
     /// Pooled buffers for in-flight frame bytes
     /// ([`FrameStoreKind::Arena`]); empty and untouched in `Owned` mode.
-    arena: FrameArena,
-    pending_deliveries: Vec<Delivery>,
+    pub(crate) arena: FrameArena,
+    pub(crate) pending_deliveries: Vec<Delivery>,
     /// Reusable scratch for the batched same-time event drain.
     event_batch: Vec<Event>,
-    stats: SimStats,
+    pub(crate) stats: SimStats,
 }
 
 impl Simulator {
@@ -1064,7 +1064,7 @@ impl Simulator {
     /// real-time class without a data channel (establishment, reservation
     /// and tear-down frames; RT data always carries its channel id).
     #[inline]
-    fn is_control_record(class: TrafficClass, channel: Option<ChannelId>) -> bool {
+    pub(crate) fn is_control_record(class: TrafficClass, channel: Option<ChannelId>) -> bool {
         class == TrafficClass::RealTime && channel.is_none()
     }
 

@@ -37,8 +37,7 @@ use rt_frames::codec::TeardownFrame;
 use rt_frames::rt_response::ResponseVerdict;
 use rt_frames::{Frame, ResponseFrame};
 use rt_types::{
-    ChannelId, ConnectionRequestId, MacAddr, NodeId, RtError, RtResult, SimTime, SwitchId,
-    Topology,
+    ChannelId, ConnectionRequestId, MacAddr, NodeId, RtError, RtResult, SimTime, SwitchId, Topology,
 };
 
 use crate::pattern::HeterogeneousSpecs;

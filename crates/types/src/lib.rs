@@ -21,6 +21,7 @@ pub mod constants;
 pub mod dense;
 pub mod error;
 pub mod ids;
+pub mod partition;
 pub mod rng;
 pub mod router;
 pub mod time;
@@ -31,6 +32,7 @@ pub use constants::*;
 pub use dense::{IdIndex, NO_INDEX};
 pub use error::{RtError, RtResult};
 pub use ids::{ChannelId, ConnectionRequestId, LinkDirection, LinkId, NodeId, PortId};
+pub use partition::{effective_shards, partition_switches, ShardStrategy};
 pub use rng::Xoshiro256;
 pub use router::{
     DenseNextHop, EcmpRouter, KShortestRouter, NextHopTable, Route, Router, ShortestPathRouter,

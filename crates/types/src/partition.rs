@@ -1,0 +1,184 @@
+//! Deterministic topology partitioners for sharded (parallel) simulation.
+//!
+//! A shard owns a set of switches — together with their access links and the
+//! trunk ports that *originate* at them — and runs its own event scheduler.
+//! The partitioner's only job is to split the switch set **deterministically**:
+//! the sharded simulator is pinned byte-for-byte against the single-thread
+//! oracle, so the assignment must be a pure function of the topology and the
+//! shard count, never of iteration order of a hash map or of thread timing.
+//!
+//! Two strategies are provided:
+//!
+//! * [`ShardStrategy::Striped`] — switch `i` (in ascending id order) goes to
+//!   shard `i mod n`.  Maximises inter-shard trunks; useful as a stress
+//!   partition in tests because every trunk is likely a shard boundary.
+//! * [`ShardStrategy::BfsRegions`] — a breadth-first traversal from the
+//!   lowest switch id (neighbours in ascending id order) is cut into `n`
+//!   balanced contiguous regions.  Neighbouring switches tend to share a
+//!   shard, so most trunks stay shard-internal and the conservative
+//!   synchronisation windows carry less cross-shard traffic.  The default.
+
+use crate::topology::Topology;
+
+/// How [`partition_switches`] splits the switch set across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardStrategy {
+    /// Round-robin over switches in ascending id order.
+    Striped,
+    /// Balanced contiguous regions of a breadth-first traversal (ascending
+    /// id tie-breaking everywhere), keeping neighbourhoods together.
+    #[default]
+    BfsRegions,
+}
+
+impl ShardStrategy {
+    /// A short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardStrategy::Striped => "striped",
+            ShardStrategy::BfsRegions => "bfs-regions",
+        }
+    }
+}
+
+/// Assign every switch of `topology` to one of `shards` shards.
+///
+/// The result is indexed by the switch's position in
+/// [`Topology::switches`] (ascending id order — the same order every dense
+/// index in the workspace is built from), and each entry is the owning shard
+/// in `0..effective_shards()`.  The shard count is clamped to
+/// `1..=switch_count`, so asking for more shards than switches degrades
+/// gracefully instead of producing empty workers.
+///
+/// The assignment is a pure function of `(topology, shards, strategy)`:
+/// identical inputs yield identical output on every run and platform.
+pub fn partition_switches(topology: &Topology, shards: usize, strategy: ShardStrategy) -> Vec<u32> {
+    let count = topology.switch_count();
+    let shards = effective_shards(count, shards);
+    match strategy {
+        ShardStrategy::Striped => (0..count).map(|i| (i % shards) as u32).collect(),
+        ShardStrategy::BfsRegions => bfs_regions(topology, count, shards),
+    }
+}
+
+/// The shard count a partition of `switch_count` switches actually uses:
+/// clamped to `1..=switch_count` (and 1 for an empty topology).
+pub fn effective_shards(switch_count: usize, shards: usize) -> usize {
+    shards.clamp(1, switch_count.max(1))
+}
+
+/// Balanced contiguous regions over a deterministic BFS order.
+fn bfs_regions(topology: &Topology, count: usize, shards: usize) -> Vec<u32> {
+    // Position of each switch in the ascending-id (dense) order.
+    let order: Vec<_> = topology.switches().collect();
+    let pos_of = |sw| order.binary_search(&sw).expect("switch from this topology");
+
+    // Deterministic BFS: start from the lowest id, visit neighbours in
+    // ascending id order, and seed each further connected component from the
+    // lowest unvisited id.  (Connected topologies take one seed; the
+    // disconnected case still partitions deterministically.)
+    let mut visited = vec![false; count];
+    let mut bfs_rank = vec![0u32; count];
+    let mut next_rank = 0u32;
+    let mut frontier = std::collections::VecDeque::new();
+    for seed in 0..count {
+        if visited[seed] {
+            continue;
+        }
+        visited[seed] = true;
+        frontier.push_back(order[seed]);
+        while let Some(sw) = frontier.pop_front() {
+            bfs_rank[pos_of(sw)] = next_rank;
+            next_rank += 1;
+            for nb in topology.neighbours(sw) {
+                let p = pos_of(nb);
+                if !visited[p] {
+                    visited[p] = true;
+                    frontier.push_back(nb);
+                }
+            }
+        }
+    }
+
+    // Cut the BFS order into `shards` balanced contiguous regions:
+    // rank r goes to shard ⌊r·shards/count⌋ — region sizes differ by at
+    // most one, and every shard is non-empty because shards ≤ count.
+    bfs_rank
+        .into_iter()
+        .map(|r| (r as usize * shards / count) as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u32) -> Topology {
+        Topology::line(n, 1)
+    }
+
+    #[test]
+    fn striped_round_robins_in_id_order() {
+        let t = line(5);
+        assert_eq!(
+            partition_switches(&t, 2, ShardStrategy::Striped),
+            vec![0, 1, 0, 1, 0]
+        );
+    }
+
+    #[test]
+    fn bfs_regions_keep_neighbours_together_on_a_line() {
+        let t = line(6);
+        // BFS from switch 0 on a line is just the line order; 2 shards cut
+        // it in half.
+        assert_eq!(
+            partition_switches(&t, 2, ShardStrategy::BfsRegions),
+            vec![0, 0, 0, 1, 1, 1]
+        );
+    }
+
+    #[test]
+    fn shard_count_clamps_to_switch_count() {
+        let t = line(3);
+        for strategy in [ShardStrategy::Striped, ShardStrategy::BfsRegions] {
+            let part = partition_switches(&t, 16, strategy);
+            assert_eq!(part.len(), 3);
+            assert!(part.iter().all(|&s| s < 3));
+        }
+        assert_eq!(effective_shards(3, 16), 3);
+        assert_eq!(effective_shards(3, 0), 1);
+    }
+
+    #[test]
+    fn every_shard_is_non_empty_and_assignment_is_deterministic() {
+        let t = Topology::torus(4, 4, 2);
+        for strategy in [ShardStrategy::Striped, ShardStrategy::BfsRegions] {
+            for shards in 1..=8 {
+                let a = partition_switches(&t, shards, strategy);
+                let b = partition_switches(&t, shards, strategy);
+                assert_eq!(a, b, "partition must be deterministic");
+                for s in 0..shards as u32 {
+                    assert!(
+                        a.contains(&s),
+                        "{strategy:?} with {shards} shards left shard {s} empty: {a:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_regions_are_balanced() {
+        let t = line(10);
+        let part = partition_switches(&t, 4, ShardStrategy::BfsRegions);
+        let mut sizes = [0usize; 4];
+        for &s in &part {
+            sizes[s as usize] += 1;
+        }
+        let (min, max) = (
+            *sizes.iter().min().expect("non-empty"),
+            *sizes.iter().max().expect("non-empty"),
+        );
+        assert!(max - min <= 1, "unbalanced regions: {sizes:?}");
+    }
+}

@@ -8,6 +8,11 @@
 //! cuts, switch kills, repairs and lease sweeps at exact points of the
 //! two-phase reservation, and then settle the manager to quiescence.
 
+// Each integration-test target compiles its own copy of this module and
+// uses a different subset of the harness, so some methods are always
+// "dead" in any single target.
+#![allow(dead_code)]
+
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use switched_rt_ethernet::core::manager::SwitchAction;

@@ -165,8 +165,7 @@ fn central_and_distributed_admit_the_identical_channel_set() {
     }
     // The id remapping is a bijection: no distributed id serves two central
     // channels.
-    let mapped: std::collections::BTreeSet<ChannelId> =
-        dist.iter().map(|(id, _, _)| *id).collect();
+    let mapped: std::collections::BTreeSet<ChannelId> = dist.iter().map(|(id, _, _)| *id).collect();
     assert_eq!(mapped.len(), dist.len(), "distributed ids must be distinct");
     assert_eq!(central_count, dist_count);
 }
@@ -223,8 +222,7 @@ fn central_and_distributed_deliver_data_byte_for_byte() {
     assert!(!central.is_empty());
     assert_eq!(central_ids.len(), dist_ids.len(), "admissions diverge");
     // Admission-order id remapping: distributed id → central id.
-    let remap: BTreeMap<ChannelId, ChannelId> =
-        dist_ids.iter().copied().zip(central_ids).collect();
+    let remap: BTreeMap<ChannelId, ChannelId> = dist_ids.iter().copied().zip(central_ids).collect();
     let dist_remapped: Vec<_> = dist
         .into_iter()
         .map(|(rx, ch, payload, at, missed)| (rx, remap[&ch], payload, at, missed))
@@ -658,7 +656,11 @@ fn lease_expiry_lands_exactly_on_the_sweep_tick() {
     assert_eq!(deadline, now.saturating_add(mgr.lease_duration()));
     h.tick(&mut mgr, SimTime::from_nanos(deadline.as_nanos() - 1))
         .unwrap();
-    assert_eq!(mgr.lease_expired_count(), 0, "early sweep must reclaim nothing");
+    assert_eq!(
+        mgr.lease_expired_count(),
+        0,
+        "early sweep must reclaim nothing"
+    );
     assert!(h.verdicts.is_empty());
     for link in line_route_links() {
         assert_eq!(mgr.link_load(link), 1);

@@ -35,11 +35,12 @@ mod common;
 use common::ControlHarness;
 use switched_rt_ethernet::core::{ChannelManager, MultiHopDps, RtChannelSpec, RtNetwork};
 use switched_rt_ethernet::netsim::{
-    Delivery, FaultScript, FrameInjection, FrameStoreKind, SchedulerKind, SimConfig, Simulator,
+    Delivery, FaultScript, FrameInjection, FrameStoreKind, SchedulerKind, ShardedSimulator,
+    SimConfig, Simulator,
 };
 use switched_rt_ethernet::types::{
     ChannelId, ConnectionRequestId, Duration, KShortestRouter, MacAddr, ManagerPlacement, NodeId,
-    SimTime, Slots, SwitchId, Topology, Xoshiro256,
+    ShardStrategy, SimTime, Slots, SwitchId, Topology, Xoshiro256,
 };
 
 /// The fixed seed matrix: every invariant below holds for all of these.
@@ -157,7 +158,8 @@ fn random_workload(rng: &mut Xoshiro256, topology: &Topology) -> Vec<FrameInject
 }
 
 /// A random fault script over the topology's trunks: one cut somewhere in
-/// the workload window, sometimes followed by a repair.
+/// the workload window, sometimes followed by a repair — and sometimes a
+/// whole-switch kill on top (with its own optional trunk splice-back).
 fn random_faults(rng: &mut Xoshiro256, topology: &Topology) -> FaultScript {
     let trunks: Vec<(SwitchId, SwitchId)> = topology.trunks().collect();
     if trunks.is_empty() {
@@ -168,6 +170,24 @@ fn random_faults(rng: &mut Xoshiro256, topology: &Topology) -> FaultScript {
     let mut script = FaultScript::new().fail_at(cut_at, a, b);
     if rng.chance(0.5) {
         script = script.repair_at(cut_at + Duration::from_millis(1), a, b);
+    }
+    // Sometimes also kill a whole switch — one not touching the cut trunk,
+    // so the script stays valid (cutting an already-dead trunk is a script
+    // bug, not a fault) — and sometimes splice one of its trunks back
+    // afterwards.
+    if rng.chance(0.25) {
+        let candidates: Vec<SwitchId> = topology.switches().filter(|&s| s != a && s != b).collect();
+        if !candidates.is_empty() {
+            let victim = candidates[rng.below(candidates.len() as u64) as usize];
+            let kill_at = SimTime::from_nanos(rng.range_inclusive(100_000, 1_500_000));
+            script = script.fail_switch_at(kill_at, victim);
+            if rng.chance(0.5) {
+                if let Some(neighbour) = topology.neighbours(victim).next() {
+                    script =
+                        script.repair_at(kill_at + Duration::from_millis(1), victim, neighbour);
+                }
+            }
+        }
     }
     script
 }
@@ -198,7 +218,7 @@ fn drive(
     scheduler: SchedulerKind,
     frame_store: FrameStoreKind,
     with_faults: bool,
-) -> (Snapshot, String) {
+) -> (Snapshot, String, u64) {
     let mut rng = Xoshiro256::new(seed);
     let topology = random_topology(&mut rng);
     let workload = random_workload(&mut rng, &topology);
@@ -236,7 +256,61 @@ fn drive(
         sim.arena_outstanding(),
         stats.summary(),
     );
-    (snapshot(&sim.poll_deliveries()), sim.stats().summary())
+    let processed = sim.events_processed();
+    (
+        snapshot(&sim.poll_deliveries()),
+        sim.stats().summary(),
+        processed,
+    )
+}
+
+/// [`drive`] on the sharded simulator: identical generation, identical
+/// invariant checks, `shards` worker threads under `strategy`.
+fn drive_sharded(
+    seed: u64,
+    shards: usize,
+    strategy: ShardStrategy,
+    with_faults: bool,
+) -> (Snapshot, String, u64) {
+    let mut rng = Xoshiro256::new(seed);
+    let topology = random_topology(&mut rng);
+    let workload = random_workload(&mut rng, &topology);
+    let faults = random_faults(&mut rng, &topology);
+    let config = SimConfig {
+        scheduler: SchedulerKind::Calendar,
+        frame_store: FrameStoreKind::Arena,
+        ..SimConfig::default()
+    };
+    let mut sim = ShardedSimulator::with_strategy(config, topology, shards, strategy)
+        .expect("generated fabric is valid");
+    sim.inject_batch(workload).expect("workload is valid");
+    if with_faults {
+        sim.schedule_faults(&faults).expect("faults are in-window");
+    }
+    sim.run_to_idle();
+    let stats = sim.stats();
+    assert_eq!(
+        sim.injected_count(),
+        stats.total_delivered() + stats.total_dropped(),
+        "seed {seed} x{shards}: sharded conservation violated ({})",
+        stats.summary(),
+    );
+    assert_eq!(
+        stats.clamped_events, 0,
+        "seed {seed} x{shards}: sharded causality violated"
+    );
+    assert_eq!(
+        sim.arena_outstanding(),
+        0,
+        "seed {seed} x{shards}: sharded run leaked arena buffers ({})",
+        stats.summary(),
+    );
+    let processed = sim.events_processed();
+    (
+        snapshot(&sim.poll_deliveries()),
+        sim.stats().summary(),
+        processed,
+    )
 }
 
 // --- the properties -------------------------------------------------------
@@ -273,6 +347,39 @@ fn random_fabrics_with_faults_conserve_frames_and_are_scheduler_invariant() {
             calendar, owned,
             "seed {seed}: frame stores diverge under faults"
         );
+    }
+}
+
+/// Sharded-equivalence invariant: for shards ∈ {1, 2, 4} and both
+/// partition strategies, the parallel run conserves frames, leaks no
+/// arena buffer, and is **byte-for-byte identical** to the single-thread
+/// `HeapScheduler` oracle — deliveries, stats summary and event count —
+/// on every seed of the matrix, with and without random trunk cuts and
+/// switch kills.  Seed count follows `RT_ADVERSARIAL_SEEDS` (the CI
+/// standard job dials it down; soaks crank it up).
+#[test]
+fn sharded_runs_are_byte_identical_to_the_single_thread_oracle() {
+    for with_faults in [false, true] {
+        for seed in 0..adversarial_seeds() {
+            let oracle = drive(
+                seed,
+                SchedulerKind::Heap,
+                FrameStoreKind::Arena,
+                with_faults,
+            );
+            for shards in [1usize, 2, 4] {
+                for strategy in [ShardStrategy::BfsRegions, ShardStrategy::Striped] {
+                    let sharded = drive_sharded(seed, shards, strategy, with_faults);
+                    assert_eq!(
+                        oracle,
+                        sharded,
+                        "seed {seed}: sharded x{shards} ({}) diverges from the oracle \
+                         (faults={with_faults})",
+                        strategy.name(),
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -667,7 +774,9 @@ fn adversarial_mid_handshake_faults_never_leak_slack_or_double_admit() {
         // coordinators must all have washed out.
         let mut expected: BTreeMap<HopLink, usize> = BTreeMap::new();
         for id in mgr.channel_ids() {
-            let route = mgr.channel_route(id).expect("registered channel has a route");
+            let route = mgr
+                .channel_route(id)
+                .expect("registered channel has a route");
             for &link in &route.path {
                 *expected.entry(link).or_default() += 1;
             }
