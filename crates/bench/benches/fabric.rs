@@ -18,6 +18,11 @@
 //! `bench_diff` keeps comparing apples to apples across the store switch.
 //! The owned-store rows ride along under a `+owned` fabric suffix.
 //!
+//! The run closes with the routing microbench: rebuild-after-cut latency
+//! and resident routing bytes on the 1280-switch `fat_tree(32)`, one row
+//! per mode (from-scratch, incremental, structural), cross-checked
+//! entry-for-entry before any number is reported.
+//!
 //! The run always dumps its numbers as `BENCH_fabric.json` (via the in-repo
 //! JSON encoder) so CI can archive the throughput trajectory per PR and
 //! `bench_diff` can flag regressions; set `BENCH_FABRIC_JSON` to override
@@ -28,7 +33,7 @@ use std::time::Instant;
 use rt_bench::report::{json_object, write_artifact, ToJson};
 use rt_netsim::{FrameStoreKind, SchedulerKind, ShardedSimulator, SimConfig, Simulator};
 use rt_traffic::{FabricScenario, ScenarioFrameSource};
-use rt_types::{Duration, Topology};
+use rt_types::{Duration, NextHopCache, Topology};
 
 /// Shard counts swept on the scaling fabric (the sharded simulator is
 /// pointless on the millisecond-scale baselines).  `1` measures the pure
@@ -192,8 +197,186 @@ impl ToJson for ThroughputRow {
     }
 }
 
+/// One routing-mode measurement on the datacenter fabric: how long it takes
+/// to recover a servable routing state after a single trunk cut, and how
+/// many bytes of routing state stay resident at steady state.
+struct RoutingRow {
+    fabric: &'static str,
+    /// `full` (from-scratch per-destination BFS, the pre-incremental
+    /// baseline), `incremental` (single-delta column repair from the
+    /// previous table) or `structural` (closed-form next hops + sparse
+    /// detour overlay).
+    mode: &'static str,
+    switches: u32,
+    rebuild_ns: u64,
+    table_bytes: u64,
+}
+
+impl ToJson for RoutingRow {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("fabric", self.fabric.to_json()),
+            ("mode", self.mode.to_json()),
+            ("switches", self.switches.to_json()),
+            ("rebuild_ns", self.rebuild_ns.to_json()),
+            ("table_bytes", self.table_bytes.to_json()),
+        ])
+    }
+}
+
+/// A heterogeneous artifact row: the throughput sweep and the routing
+/// microbench share one `BENCH_fabric.json`, keyed apart by field presence
+/// (`events_per_second` vs `rebuild_ns`).
+enum Row {
+    Throughput(ThroughputRow),
+    Routing(RoutingRow),
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> String {
+        match self {
+            Row::Throughput(r) => r.to_json(),
+            Row::Routing(r) => r.to_json(),
+        }
+    }
+}
+
+/// The routing microbench: rebuild-after-cut latency and resident routing
+/// bytes on `fat_tree(32)` (1280 switches), one row per mode.
+///
+/// All three modes are checked entry-for-entry identical on the degraded
+/// fabric before any number is reported, so the speed-ups can never come
+/// from answering a different routing question.  The in-binary asserts pin
+/// the two claims the trajectory gates: the incremental repair beats the
+/// from-scratch rebuild by >=10x, and structural steady-state routing
+/// memory is O(V), orders of magnitude under the O(V^2) table.
+fn routing_rows() -> Vec<Row> {
+    const FABRIC: &str = "fat_tree_32";
+    const RUNS: usize = 3;
+    let healthy = Topology::fat_tree(32).expect("k=32 is a valid fat tree");
+    let switches = healthy.switches().count() as u32;
+    let (a, b) = healthy.trunks().next().expect("fat tree has trunks");
+    let mut degraded = healthy.clone();
+    degraded.fail_trunk(a, b).expect("trunk exists");
+
+    // From-scratch baseline: a cold cache on the degraded fabric pays one
+    // per-destination BFS sweep — exactly what every fingerprint flip cost
+    // before the incremental path existed.
+    let mut full_ns = u64::MAX;
+    let mut full_bytes = 0u64;
+    let mut full_dense = None;
+    for _ in 0..RUNS {
+        let cache = NextHopCache::new();
+        let start = Instant::now();
+        let dense = cache.get_dense(&degraded);
+        full_ns = full_ns.min(start.elapsed().as_nanos() as u64);
+        assert_eq!(cache.stats().full_rebuilds, 1);
+        full_bytes = dense.resident_bytes() as u64;
+        full_dense = Some(dense);
+    }
+    let full_dense = full_dense.expect("at least one run happened");
+
+    // Incremental: prime the cache on the healthy fabric (untimed), then
+    // time the single-cut repair.
+    let mut incremental_ns = u64::MAX;
+    let mut incremental_bytes = 0u64;
+    for _ in 0..RUNS {
+        let cache = NextHopCache::new();
+        cache.get_dense(&healthy);
+        let start = Instant::now();
+        let dense = cache.get_dense(&degraded);
+        incremental_ns = incremental_ns.min(start.elapsed().as_nanos() as u64);
+        let stats = cache.stats();
+        assert_eq!(stats.incremental_rebuilds, 1, "the cut is a single delta");
+        assert_eq!(stats.full_rebuilds, 1, "only the healthy prime is full");
+        incremental_bytes = dense.resident_bytes() as u64;
+        for t in 0..switches {
+            for s in 0..switches {
+                assert_eq!(
+                    dense.next_hop_index(s, t),
+                    full_dense.next_hop_index(s, t),
+                    "incremental repair must be byte-identical at ({s}, {t})"
+                );
+            }
+        }
+    }
+
+    // Structural: closed-form next hops, no table at all while healthy; a
+    // cut only costs the sparse detour overlay.
+    let mut structural_ns = u64::MAX;
+    let mut structural_bytes = 0u64;
+    for _ in 0..RUNS {
+        let cache = NextHopCache::structural();
+        let dense = cache.get_dense(&healthy);
+        structural_bytes = dense.resident_bytes() as u64;
+        let start = Instant::now();
+        let dense = cache.get_dense(&degraded);
+        structural_ns = structural_ns.min(start.elapsed().as_nanos() as u64);
+        let stats = cache.stats();
+        assert_eq!(
+            stats.full_rebuilds, 0,
+            "structural mode never builds a table"
+        );
+        assert_eq!(stats.incremental_rebuilds, 0);
+        for t in 0..switches {
+            for s in 0..switches {
+                assert_eq!(
+                    dense.next_hop_index(s, t),
+                    full_dense.next_hop_index(s, t),
+                    "structural detour must be byte-identical at ({s}, {t})"
+                );
+            }
+        }
+    }
+
+    assert!(
+        full_ns >= 10 * incremental_ns,
+        "incremental repair must beat the from-scratch rebuild >=10x \
+         (full {full_ns} ns vs incremental {incremental_ns} ns)"
+    );
+    assert!(
+        structural_bytes * 50 < full_bytes,
+        "structural routing state must be O(V), far under the O(V^2) table \
+         ({structural_bytes} B vs {full_bytes} B)"
+    );
+
+    println!("routing rebuild-after-cut on {FABRIC} ({switches} switches):");
+    for (mode, ns, bytes) in [
+        ("full", full_ns, full_bytes),
+        ("incremental", incremental_ns, incremental_bytes),
+        ("structural", structural_ns, structural_bytes),
+    ] {
+        println!(
+            "{:<22} {:<12} rebuild {:>9.3} ms, resident {:>10} B ({:.1}x vs full rebuild)",
+            FABRIC,
+            mode,
+            ns as f64 / 1e6,
+            bytes,
+            full_ns as f64 / ns as f64,
+        );
+    }
+    println!();
+
+    [
+        ("full", full_ns, full_bytes),
+        ("incremental", incremental_ns, incremental_bytes),
+        ("structural", structural_ns, structural_bytes),
+    ]
+    .into_iter()
+    .map(|(mode, rebuild_ns, table_bytes)| {
+        Row::Routing(RoutingRow {
+            fabric: FABRIC,
+            mode,
+            switches,
+            rebuild_ns,
+            table_bytes,
+        })
+    })
+    .collect()
+}
+
 fn main() {
-    let mut rows = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
     println!("fabric event throughput: heap vs calendar scheduler, arena vs owned store");
     println!("(workloads injected up front; identical frame sequences per fabric)\n");
     for workload in workloads() {
@@ -251,7 +434,7 @@ fn main() {
                     events_per_second / 1e6,
                     outcome.events as f64 / workload.frames as f64,
                 );
-                rows.push(ThroughputRow {
+                rows.push(Row::Throughput(ThroughputRow {
                     fabric: fabric.clone(),
                     scheduler: scheduler.name(),
                     store: store.name(),
@@ -262,7 +445,7 @@ fn main() {
                     elapsed_ns: outcome.elapsed_ns,
                     events_per_second,
                     events_per_frame: outcome.events as f64 / workload.frames as f64,
-                });
+                }));
             }
         }
         println!(
@@ -304,7 +487,7 @@ fn main() {
                     events_per_second / 1e6,
                     events_per_second / arena_per_second[1],
                 );
-                rows.push(ThroughputRow {
+                rows.push(Row::Throughput(ThroughputRow {
                     fabric,
                     scheduler: "calendar",
                     store: "arena",
@@ -315,11 +498,13 @@ fn main() {
                     elapsed_ns: outcome.elapsed_ns,
                     events_per_second,
                     events_per_frame: outcome.events as f64 / workload.frames as f64,
-                });
+                }));
             }
             println!();
         }
     }
+
+    rows.extend(routing_rows());
 
     write_artifact("BENCH_FABRIC_JSON", "BENCH_fabric.json", &rows);
 }

@@ -36,6 +36,16 @@
 //!   admissions inside the link-state convergence window means the
 //!   distributed control plane got more conservative (or less correct)
 //!   about disagreement,
+//! * **routing rebuild latency** — rows carrying `rebuild_ns` (the fabric
+//!   routing microbench, matched by `(fabric, mode)`); the gate is
+//!   *inverted* and fixed at a generous 50 % — only an order-of-change
+//!   regression, i.e. the incremental or structural path silently falling
+//!   back to a from-scratch sweep, should trip it,
+//! * **resident routing bytes** — rows carrying `table_bytes`; inverted
+//!   and fixed at 10 % — the byte counts are deterministic, so a
+//!   regression means a routing mode started materialising state it
+//!   promised not to hold (e.g. the table-free structural mode growing an
+//!   O(V²) table back),
 //! * **central-vs-distributed parity** — rows carrying both
 //!   `accepted_channels_central` and `accepted_channels_distributed` (the
 //!   multiswitch part-5 parity row) are checked *within the current
@@ -67,6 +77,7 @@ fn row_key(row: &JsonValue) -> String {
     let qualifier = row
         .get("scheduler")
         .or_else(|| row.get("placement"))
+        .or_else(|| row.get("mode"))
         .and_then(|v| v.as_str());
     match qualifier {
         Some(qualifier) => format!("{fabric}/{qualifier}"),
@@ -159,6 +170,13 @@ struct Metrics {
     /// `key → accepted_under_convergence` (deterministic: any decrease
     /// fails).
     convergence: BTreeMap<String, f64>,
+    /// `key → rebuild_ns` (routing rebuild-after-cut latency, gated
+    /// inverted at a fixed generous threshold: an increase fails).
+    rebuild: BTreeMap<String, f64>,
+    /// `key → table_bytes` (resident routing bytes, gated inverted: an
+    /// increase fails — a blow-up here means a mode started materialising
+    /// state it promised not to hold).
+    table_bytes: BTreeMap<String, f64>,
 }
 
 fn metrics(doc: &JsonValue) -> Result<Metrics, String> {
@@ -185,6 +203,12 @@ fn metrics(doc: &JsonValue) -> Result<Metrics, String> {
         {
             out.convergence.insert(row_key(row), accepted);
         }
+        if let Some(ns) = row.get("rebuild_ns").and_then(|v| v.as_f64()) {
+            out.rebuild.insert(row_key(row), ns);
+        }
+        if let Some(bytes) = row.get("table_bytes").and_then(|v| v.as_f64()) {
+            out.table_bytes.insert(row_key(row), bytes);
+        }
     }
     if out.throughput.is_empty()
         && out.accepted.is_empty()
@@ -192,10 +216,13 @@ fn metrics(doc: &JsonValue) -> Result<Metrics, String> {
         && out.admissions.is_empty()
         && out.acceptance.is_empty()
         && out.convergence.is_empty()
+        && out.rebuild.is_empty()
+        && out.table_bytes.is_empty()
     {
         return Err(
             "no rows with an events_per_second, accepted_channels, allocs_per_frame, \
-             admissions_per_second, acceptance_ratio or accepted_under_convergence field"
+             admissions_per_second, acceptance_ratio, accepted_under_convergence, \
+             rebuild_ns or table_bytes field"
                 .into(),
         );
     }
@@ -359,6 +386,101 @@ fn alloc_regressions(
                     key.clone(),
                     "(new)".into(),
                     format!("{now:.2}"),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    (rows, regressions)
+}
+
+/// Fixed fractional threshold for the routing rebuild-latency gate.
+/// Deliberately generous: the absolute numbers are micro/milliseconds on a
+/// shared runner, so only an order-of-change regression — the incremental
+/// path silently falling back to a from-scratch sweep — should trip it.
+/// Not CLI-tunable for the same reason as the admissions gate: relaxing
+/// the wire-level throughput gate must never relax the rebuild path.
+const REBUILD_THRESHOLD: f64 = 0.50;
+
+/// Fixed fractional threshold for the resident-routing-bytes gate.  The
+/// byte counts are deterministic (same fabric, same layout, run over run),
+/// so the margin only absorbs intentional small bookkeeping changes; a
+/// structural row regressing past it means the table-free mode started
+/// materialising the O(V²) table it exists to avoid.
+const TABLE_BYTES_THRESHOLD: f64 = 0.10;
+
+/// The inverted routing rebuild-latency gate: fail any `rebuild_ns` that
+/// *rose* beyond [`REBUILD_THRESHOLD`] against its baseline row.  Returns
+/// `(table rows, regressions)`.
+fn rebuild_regressions(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+) -> (Vec<Vec<String>>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut regressions = Vec::new();
+    for (key, &now) in current {
+        match baseline.get(key) {
+            Some(&before) if before > 0.0 => {
+                let change = now / before - 1.0;
+                rows.push(vec![
+                    key.clone(),
+                    format!("{:.3}", before / 1e6),
+                    format!("{:.3}", now / 1e6),
+                    format!("{:+.1}%", change * 100.0),
+                ]);
+                if change > REBUILD_THRESHOLD {
+                    regressions.push(format!(
+                        "{key} rebuild latency rose {:.1}% (> {:.0}% fixed threshold)",
+                        change * 100.0,
+                        REBUILD_THRESHOLD * 100.0
+                    ));
+                }
+            }
+            _ => {
+                rows.push(vec![
+                    key.clone(),
+                    "(new)".into(),
+                    format!("{:.3}", now / 1e6),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    (rows, regressions)
+}
+
+/// The inverted resident-routing-bytes gate: fail any `table_bytes` that
+/// *rose* beyond [`TABLE_BYTES_THRESHOLD`] against its baseline row.
+/// Returns `(table rows, regressions)`.
+fn table_bytes_regressions(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+) -> (Vec<Vec<String>>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut regressions = Vec::new();
+    for (key, &now) in current {
+        match baseline.get(key) {
+            Some(&before) if before > 0.0 => {
+                let change = now / before - 1.0;
+                rows.push(vec![
+                    key.clone(),
+                    format!("{before:.0}"),
+                    format!("{now:.0}"),
+                    format!("{:+.1}%", change * 100.0),
+                ]);
+                if change > TABLE_BYTES_THRESHOLD {
+                    regressions.push(format!(
+                        "{key} resident routing bytes rose {:.1}% (> {:.0}% fixed threshold)",
+                        change * 100.0,
+                        TABLE_BYTES_THRESHOLD * 100.0
+                    ));
+                }
+            }
+            _ => {
+                rows.push(vec![
+                    key.clone(),
+                    "(new)".into(),
+                    format!("{now:.0}"),
                     "-".into(),
                 ]);
             }
@@ -574,6 +696,35 @@ fn main() -> ExitCode {
         regressions.extend(failures);
     }
 
+    // Routing rebuild-after-cut latency: inverted gate at a fixed generous
+    // threshold.
+    if !current.rebuild.is_empty() || !baseline.rebuild.is_empty() {
+        let mut table = Table::new(&[
+            "routing mode",
+            "baseline rebuild ms",
+            "current rebuild ms",
+            "change",
+        ]);
+        let (rows, failures) = rebuild_regressions(&baseline.rebuild, &current.rebuild);
+        for row in rows {
+            table.row_strings(row);
+        }
+        table.print();
+        regressions.extend(failures);
+    }
+
+    // Resident routing bytes: inverted gate; the counts are deterministic,
+    // so the margin only absorbs intentional bookkeeping changes.
+    if !current.table_bytes.is_empty() || !baseline.table_bytes.is_empty() {
+        let mut table = Table::new(&["routing mode", "baseline bytes", "current bytes", "change"]);
+        let (rows, failures) = table_bytes_regressions(&baseline.table_bytes, &current.table_bytes);
+        for row in rows {
+            table.row_strings(row);
+        }
+        table.print();
+        regressions.extend(failures);
+    }
+
     // Admission quality: deterministic counts, any decrease fails.
     if !current.accepted.is_empty() || !baseline.accepted.is_empty() {
         let mut table = Table::new(&[
@@ -643,6 +794,18 @@ fn main() -> ExitCode {
                 .convergence
                 .keys()
                 .filter(|k| !current.convergence.contains_key(*k)),
+        )
+        .chain(
+            baseline
+                .rebuild
+                .keys()
+                .filter(|k| !current.rebuild.contains_key(*k)),
+        )
+        .chain(
+            baseline
+                .table_bytes
+                .keys()
+                .filter(|k| !current.table_bytes.contains_key(*k)),
         )
     {
         println!("note: baseline row '{key}' has no current counterpart");
@@ -911,6 +1074,122 @@ mod tests {
         let (rows, failures) = convergence_regressions(&base, &fresh);
         assert_eq!(rows[0][1], "(new)");
         assert!(failures.is_empty());
+    }
+
+    fn routing_doc(rows: &[(&str, &str, f64, f64)]) -> JsonValue {
+        JsonValue::Array(
+            rows.iter()
+                .map(|(fabric, mode, rebuild_ns, table_bytes)| {
+                    let mut m = BTreeMap::new();
+                    m.insert("fabric".into(), JsonValue::String(fabric.to_string()));
+                    m.insert("mode".into(), JsonValue::String(mode.to_string()));
+                    m.insert("rebuild_ns".into(), JsonValue::Number(*rebuild_ns));
+                    m.insert("table_bytes".into(), JsonValue::Number(*table_bytes));
+                    JsonValue::Object(m)
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn routing_rows_key_on_fabric_and_mode() {
+        let m = metrics(&routing_doc(&[
+            ("fat_tree_32", "full", 80e6, 6.5e6),
+            ("fat_tree_32", "incremental", 0.9e6, 6.5e6),
+            ("fat_tree_32", "structural", 1.1e6, 11e3),
+        ]))
+        .unwrap();
+        // The three modes of one fabric must not collide.
+        assert_eq!(m.rebuild.len(), 3);
+        assert_eq!(m.rebuild["fat_tree_32/full"], 80e6);
+        assert_eq!(m.rebuild["fat_tree_32/incremental"], 0.9e6);
+        assert_eq!(m.table_bytes["fat_tree_32/structural"], 11e3);
+        assert!(m.throughput.is_empty() && m.allocs.is_empty());
+    }
+
+    #[test]
+    fn rebuild_gate_is_inverted_at_the_fixed_threshold() {
+        let base = metrics(&routing_doc(&[(
+            "fat_tree_32",
+            "incremental",
+            1.0e6,
+            6.5e6,
+        )]))
+        .unwrap()
+        .rebuild;
+        // A speed-up passes, however large, as does noise within 50 %.
+        let better = metrics(&routing_doc(&[(
+            "fat_tree_32",
+            "incremental",
+            0.2e6,
+            6.5e6,
+        )]))
+        .unwrap()
+        .rebuild;
+        assert!(rebuild_regressions(&base, &better).1.is_empty());
+        let close = metrics(&routing_doc(&[(
+            "fat_tree_32",
+            "incremental",
+            1.4e6,
+            6.5e6,
+        )]))
+        .unwrap()
+        .rebuild;
+        assert!(rebuild_regressions(&base, &close).1.is_empty());
+        // A rise beyond 50 % — the incremental path degenerating — fails.
+        let worse = metrics(&routing_doc(&[(
+            "fat_tree_32",
+            "incremental",
+            1.8e6,
+            6.5e6,
+        )]))
+        .unwrap()
+        .rebuild;
+        let (rows, failures) = rebuild_regressions(&base, &worse);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("rose 80.0%"), "{failures:?}");
+        // New rows (no baseline) only report, never fail.
+        let fresh = metrics(&routing_doc(&[("torus_4d", "incremental", 2.0e6, 1e6)]))
+            .unwrap()
+            .rebuild;
+        let (rows, failures) = rebuild_regressions(&base, &fresh);
+        assert_eq!(rows[0][1], "(new)");
+        assert!(failures.is_empty());
+    }
+
+    #[test]
+    fn table_bytes_gate_catches_a_rematerialised_table() {
+        let base = metrics(&routing_doc(&[(
+            "fat_tree_32",
+            "structural",
+            1.0e6,
+            11_000.0,
+        )]))
+        .unwrap()
+        .table_bytes;
+        // Equal (the deterministic norm) and small bookkeeping drift pass.
+        assert!(table_bytes_regressions(&base, &base.clone()).1.is_empty());
+        let drift = metrics(&routing_doc(&[(
+            "fat_tree_32",
+            "structural",
+            1.0e6,
+            11_500.0,
+        )]))
+        .unwrap()
+        .table_bytes;
+        assert!(table_bytes_regressions(&base, &drift).1.is_empty());
+        // The structural mode growing a table back fails loudly.
+        let blown = metrics(&routing_doc(&[("fat_tree_32", "structural", 1.0e6, 6.5e6)]))
+            .unwrap()
+            .table_bytes;
+        let (rows, failures) = table_bytes_regressions(&base, &blown);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(failures.len(), 1);
+        assert!(
+            failures[0].contains("resident routing bytes rose"),
+            "{failures:?}"
+        );
     }
 
     #[test]

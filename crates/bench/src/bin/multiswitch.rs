@@ -72,7 +72,10 @@
 //! manager.  Reported per run: admissions/s, steady-state acceptance
 //! ratio, and p50/p99 establishment latency — all gated by `bench_diff`
 //! (a >20 % admissions/s drop or *any* acceptance-ratio decrease fails
-//! CI), plus a per-fabric central-vs-distributed trace-parity row.  A
+//! CI), plus a per-fabric central-vs-distributed trace-parity row.  The
+//! fat-tree soak additionally runs under the table-free
+//! `StructuralRouter` (the `structural` placement row) and must reproduce
+//! the tabled run's trace hash bit for bit.  A
 //! flapping-trunk run cuts and repairs a core trunk three times mid-churn
 //! (the routing-rebuild hot path), and a fixed-size 6-switch-ring run
 //! shows the repair re-optimisation recovering the acceptance ratio.
@@ -103,7 +106,7 @@ use rt_traffic::{
 };
 use rt_types::{
     ChannelId, Duration, KShortestRouter, ManagerPlacement, NodeId, Router, ShortestPathRouter,
-    SimTime, TreeRouter,
+    SimTime, StructuralRouter, TreeRouter,
 };
 
 #[derive(Debug)]
@@ -1247,19 +1250,32 @@ const SOAK_SEED: u64 = 0x50a4;
 
 /// Run one churn soak on one fabric under one placement.
 fn churn_run(topology: &Topology, distributed: bool, config: ChurnConfig) -> ChurnReport {
+    churn_run_with(
+        topology,
+        distributed,
+        config,
+        Arc::new(ShortestPathRouter::new()),
+    )
+}
+
+/// [`churn_run`] with an explicit router (the structural-routing smoke
+/// drives the identical soak through [`StructuralRouter`]).
+fn churn_run_with(
+    topology: &Topology,
+    distributed: bool,
+    config: ChurnConfig,
+    router: Arc<dyn Router>,
+) -> ChurnReport {
     let process = ChurnProcess::new(config, topology).expect("soak fabric carries churn");
     if distributed {
-        let mut manager = DistributedChannelManager::new(
-            topology.clone(),
-            MultiHopDps::Asymmetric,
-            Arc::new(ShortestPathRouter::new()),
-        );
+        let mut manager =
+            DistributedChannelManager::new(topology.clone(), MultiHopDps::Asymmetric, router);
         process.run(&mut manager).expect("churn drives the manager")
     } else {
         let mut manager = FabricChannelManager::new(MultiHopAdmission::with_router(
             topology.clone(),
             MultiHopDps::Asymmetric,
-            Arc::new(ShortestPathRouter::new()),
+            router,
         ));
         process.run(&mut manager).expect("churn drives the manager")
     }
@@ -1335,7 +1351,7 @@ fn part6_churn_soak() -> (Vec<ChurnRow>, Vec<ChurnParityRow>, Vec<ChurnRecoveryR
             .load(1.0, holding)
             .without_trace();
         let central = churn_run(topology, false, config.clone());
-        let distributed = churn_run(topology, true, config);
+        let distributed = churn_run(topology, true, config.clone());
         // The two placements saw the identical arrival sequence, so their
         // admission traces must match event for event — under the
         // admission-order id renumbering, since raw ids come from
@@ -1345,7 +1361,23 @@ fn part6_churn_soak() -> (Vec<ChurnRow>, Vec<ChurnParityRow>, Vec<ChurnRecoveryR
             central.normalized_trace_hash, distributed.normalized_trace_hash,
             "{name}: central and distributed churn traces diverge"
         );
-        for (placement, report) in [("central", &central), ("distributed", &distributed)] {
+        // The structural-routing smoke: the identical fat-tree soak through
+        // the table-free StructuralRouter.  On a healthy structure-tagged
+        // fabric its closed-form next hops are byte-identical to the
+        // ShortestPathRouter table, so the *raw* trace hash must match —
+        // every admission decision, id and release, at full soak scale.
+        let structural = (name == "fat_tree_16").then(|| {
+            let report = churn_run_with(topology, false, config, Arc::new(StructuralRouter::new()));
+            assert_eq!(
+                central.trace_hash, report.trace_hash,
+                "{name}: structural routing diverged from the tabled soak"
+            );
+            report
+        });
+        for (placement, report) in [("central", &central), ("distributed", &distributed)]
+            .into_iter()
+            .chain(structural.iter().map(|r| ("structural", r)))
+        {
             let row = churn_row(name, placement, report);
             table.row_strings(vec![
                 name.to_string(),

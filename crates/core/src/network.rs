@@ -236,6 +236,18 @@ impl RtNetworkBuilder {
         self
     }
 
+    /// Route table-free from switch coordinates: shorthand for
+    /// `.router(StructuralRouter::new())`.  Requires a
+    /// [`Topology::fat_tree`] / [`Topology::torus_nd`] fabric (the build
+    /// fails on anything else); next hops are byte-identical to the
+    /// default [`ShortestPathRouter`], but routing state stays O(V) and a
+    /// fault flip costs a per-destination detour scan instead of a full
+    /// O(V·E) table rebuild — the difference between milliseconds and
+    /// minutes of rebuild on a `fat_tree(32)`-class fabric under churn.
+    pub fn structural_routing(self) -> Self {
+        self.router(rt_types::StructuralRouter::new())
+    }
+
     /// Per-node limit on incoming channels (`None` = unlimited).
     pub fn max_incoming_channels(mut self, limit: impl Into<Option<usize>>) -> Self {
         self.max_incoming_channels = limit.into();
@@ -1203,6 +1215,45 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(drive(SchedulerKind::Heap), drive(SchedulerKind::Calendar));
+    }
+
+    #[test]
+    fn structural_routing_builds_fat_trees_and_rejects_untagged_fabrics() {
+        // Structural routing needs the builder's coordinate metadata.
+        let result = RtNetwork::builder()
+            .topology(Topology::ring(4, 1))
+            .structural_routing()
+            .build();
+        assert!(result.is_err(), "a ring carries no structure tag");
+
+        // On a fat tree it admits and delivers exactly like the tabled
+        // shortest-path default (the closed forms are byte-identical).
+        let drive = |structural: bool| {
+            let builder = RtNetwork::builder()
+                .topology(Topology::fat_tree(4).unwrap())
+                .multihop_dps(MultiHopDps::Asymmetric);
+            let mut net = if structural {
+                builder.structural_routing().build().unwrap()
+            } else {
+                builder.build().unwrap()
+            };
+            let spec = RtChannelSpec::paper_default();
+            let tx = net
+                .establish_channel(NodeId::new(0), NodeId::new(15), spec)
+                .unwrap()
+                .expect("empty fat tree accepts the channel");
+            let start = net.now() + Duration::from_millis(1);
+            net.send_periodic(NodeId::new(0), tx.id, 10, 900, start)
+                .unwrap();
+            net.run_to_completion().unwrap();
+            net.received_messages()
+                .iter()
+                .map(|m| (m.receiver, m.delivered_at))
+                .collect::<Vec<_>>()
+        };
+        let structural = drive(true);
+        assert!(!structural.is_empty());
+        assert_eq!(structural, drive(false));
     }
 
     #[test]

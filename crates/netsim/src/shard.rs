@@ -1174,7 +1174,6 @@ impl ShardedSimulator {
                 config,
                 topology,
                 router,
-                next_hop,
                 dense_next_hop,
                 node_index,
                 node_access,
@@ -1378,7 +1377,6 @@ impl ShardedSimulator {
                             _ => unreachable!("only fault events enter the fault script"),
                         }
                         if changed {
-                            *next_hop = router.next_hop_table(topology);
                             *dense_next_hop = router.dense_next_hop(topology);
                         }
                         let kills = Arc::new(kills);

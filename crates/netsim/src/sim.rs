@@ -428,12 +428,11 @@ pub struct Simulator {
     pub(crate) topology: Topology,
     /// The path-selection policy the fabric was built with.
     pub(crate) router: Arc<dyn Router>,
-    /// `(at, towards) → neighbour` forwarding table of the trunk graph
-    /// (reference form, for inspection; computed once by the router, cached
-    /// per topology fingerprint).
-    pub(crate) next_hop: Arc<NextHopTable>,
-    /// The same table flattened over contiguous switch indices — what the
-    /// per-event path reads.
+    /// The `(at, towards) → neighbour` forwarding state of the trunk graph
+    /// in dense form — what the per-event path reads.  The `BTreeMap`
+    /// reference form is *not* held here: the router's cache materialises
+    /// it lazily for whoever asks ([`Simulator::next_hop_table`]), so a
+    /// structural fabric never pays the O(V²) table at all.
     pub(crate) dense_next_hop: Arc<DenseNextHop>,
     /// Raw node id → dense node index.
     pub(crate) node_index: IdIndex,
@@ -529,7 +528,6 @@ impl Simulator {
             Some(cap) => OutputPort::with_be_capacity(cap),
             None => OutputPort::new(),
         };
-        let next_hop = router.next_hop_table(&topology);
         let dense_next_hop = router.dense_next_hop(&topology);
         let switch_count = dense_next_hop.switch_count();
 
@@ -588,7 +586,6 @@ impl Simulator {
             events: EventQueue::with_scheduler(config.scheduler),
             topology,
             router,
-            next_hop,
             dense_next_hop,
             node_index,
             node_access,
@@ -634,9 +631,11 @@ impl Simulator {
     }
 
     /// The router's `(at, towards) → neighbour` next-hop table (reference
-    /// form; the hot path reads its dense flattening).
-    pub fn next_hop_table(&self) -> &Arc<NextHopTable> {
-        &self.next_hop
+    /// form; the hot path reads the dense flattening instead).  Served from
+    /// the router's per-fingerprint cache, materialised lazily on first
+    /// call — constructing a simulator never builds the `BTreeMap` form.
+    pub fn next_hop_table(&self) -> Arc<NextHopTable> {
+        self.router.next_hop_table(&self.topology)
     }
 
     /// The switch hosting the control plane (the lowest switch id).
@@ -916,13 +915,13 @@ impl Simulator {
         Ok(())
     }
 
-    /// Re-pull the next-hop tables from the router after a topology
-    /// mutation.  The router caches per fingerprint, so this is cheap when
-    /// nothing changed and exactly one recompute when something did.  The
+    /// Re-pull the dense next-hop form from the router after a topology
+    /// mutation.  The router caches per fingerprint (rebuilding
+    /// incrementally for a single trunk flip), so this is cheap when
+    /// nothing changed and one bounded recompute when something did.  The
     /// dense switch indexing is stable across failures (the switch set
     /// never changes), so ports and trunk indices stay valid.
     fn refresh_routing_tables(&mut self) {
-        self.next_hop = self.router.next_hop_table(&self.topology);
         self.dense_next_hop = self.router.dense_next_hop(&self.topology);
     }
 
@@ -2394,7 +2393,7 @@ mod tests {
         .unwrap();
         let shortest =
             Simulator::with_topology(SimConfig::default(), Topology::line(3, 1)).unwrap();
-        assert_eq!(*tree.next_hop, *shortest.next_hop);
+        assert_eq!(*tree.next_hop_table(), *shortest.next_hop_table());
         assert_eq!(tree.router().name(), "tree");
     }
 

@@ -91,6 +91,13 @@ pub struct ChurnConfig {
     /// trace hash is always computed; soak runs switch the trace off to
     /// keep millions of arrivals cheap.
     pub record_trace: bool,
+    /// Record one [`ChannelWindow`] per admitted channel (endpoints, spec
+    /// and admit/release ticks) so the run can be replayed on the wire by
+    /// [`ChurnFrameSource`].  Off by default — soak runs at millions of
+    /// arrivals do not want the extra vector.
+    ///
+    /// [`ChurnFrameSource`]: crate::source::ChurnFrameSource
+    pub record_windows: bool,
 }
 
 impl ChurnConfig {
@@ -106,6 +113,7 @@ impl ChurnConfig {
             mean_holding: 50.0,
             faults: Vec::new(),
             record_trace: true,
+            record_windows: false,
         }
     }
 
@@ -148,6 +156,37 @@ impl ChurnConfig {
         self.record_trace = false;
         self
     }
+
+    /// Record per-channel admission windows for wire-level replay.
+    pub fn with_windows(mut self) -> Self {
+        self.record_windows = true;
+        self
+    }
+}
+
+/// The lifetime of one admitted channel inside a churn run, on the
+/// process's virtual clock: who talked to whom, under what contract, from
+/// which tick to which tick.  A recorded window set is the bridge between
+/// the synchronous admission soak and the wire simulator — feed it to
+/// [`ChurnFrameSource`] to replay the same population as deadline-stamped
+/// Ethernet frames.
+///
+/// [`ChurnFrameSource`]: crate::source::ChurnFrameSource
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelWindow {
+    /// The admitted channel id (raw; placement-dependent).
+    pub channel: ChannelId,
+    /// Sending node.
+    pub source: NodeId,
+    /// Receiving node.
+    pub destination: NodeId,
+    /// The admitted traffic contract.
+    pub spec: RtChannelSpec,
+    /// Virtual tick at which the channel was admitted.
+    pub admitted_at_tick: u64,
+    /// Virtual tick at which the channel was released (holding-time expiry
+    /// or a fault drop); `None` if it was still up when the run ended.
+    pub released_at_tick: Option<u64>,
 }
 
 /// One observable event of a churn run, in process order.  The sequence is
@@ -242,6 +281,12 @@ pub struct ChurnReport {
     /// even when their id allocators differ — the parity invariant under
     /// the distributed manager's per-switch id blocks.
     pub normalized_trace_hash: u64,
+    /// One window per admitted channel, in admission order (empty unless
+    /// [`ChurnConfig::record_windows`] is set).
+    pub windows: Vec<ChannelWindow>,
+    /// The virtual clock at the end of the run — the open end of every
+    /// window whose channel was still up.
+    pub end_tick: u64,
 }
 
 impl ChurnReport {
@@ -275,6 +320,8 @@ struct ActiveChannel {
     /// Admission sequence number — the placement-invariant departure
     /// tie-break (raw ids differ across placements by construction).
     admit_order: u64,
+    /// Index into `ChurnReport::windows` when window recording is on.
+    window: Option<usize>,
 }
 
 /// The seeded arrival/departure process.  Construct once per run; `run`
@@ -352,6 +399,8 @@ impl ChurnProcess {
             trace: Vec::new(),
             trace_hash: 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
             normalized_trace_hash: 0xcbf2_9ce4_8422_2325,
+            windows: Vec::new(),
+            end_tick: 0,
         };
         // Admission-order id renumbering for the normalized hash: raw id →
         // its admission sequence number.  A raw id reused after release gets
@@ -416,6 +465,9 @@ impl ChurnProcess {
                             let id = dropped.id.get();
                             if let Some(gone) = active.remove(&id) {
                                 departures.remove(&(gone.departs_at, gone.admit_order));
+                                if let Some(w) = gone.window {
+                                    report.windows[w].released_at_tick = Some(clock);
+                                }
                             }
                         }
                         report.dropped_by_faults += outcome.dropped.len() as u64;
@@ -451,6 +503,9 @@ impl ChurnProcess {
                 departures.remove(&(when, order));
                 let channel = active.remove(&id).expect("departure queue tracks active");
                 pump.release(manager, channel.access, channel.source, ChannelId::new(id))?;
+                if let Some(w) = channel.window {
+                    report.windows[w].released_at_tick = Some(when);
+                }
                 record(&mut report, ChurnEvent::Released(ChannelId::new(id)));
             }
 
@@ -494,6 +549,17 @@ impl ChurnProcess {
                     let holding = holding_rng.exponential(cfg.mean_holding).round() as u64;
                     let departs_at = clock + holding.max(1);
                     let admit_order = report.admitted;
+                    let window = cfg.record_windows.then(|| {
+                        report.windows.push(ChannelWindow {
+                            channel: id,
+                            source,
+                            destination,
+                            spec,
+                            admitted_at_tick: clock,
+                            released_at_tick: None,
+                        });
+                        report.windows.len() - 1
+                    });
                     active.insert(
                         id.get(),
                         ActiveChannel {
@@ -501,6 +567,7 @@ impl ChurnProcess {
                             access: src_switch,
                             departs_at,
                             admit_order,
+                            window,
                         },
                     );
                     departures.insert((departs_at, admit_order), id.get());
@@ -515,6 +582,7 @@ impl ChurnProcess {
             .map(|t| t.elapsed())
             .unwrap_or(Duration::ZERO);
         report.active_at_end = active.len();
+        report.end_tick = clock;
         Ok(report)
     }
 }
@@ -780,6 +848,61 @@ mod tests {
         );
         // Churn continues past the faults.
         assert_eq!(report.attempts, 400);
+    }
+
+    #[test]
+    fn windows_record_every_admission_lifetime() {
+        let topology = Topology::torus_nd(&[3, 3], 2).unwrap();
+        let (a, b) = topology.trunks().next().unwrap();
+        let config = ChurnConfig::new(9)
+            .windows(100, 300)
+            .load(1.0, 60.0)
+            .cut_at(200, a, b)
+            .with_windows();
+        let process = ChurnProcess::new(config, &topology).unwrap();
+        let mut manager = central(&topology);
+        let report = process.run(&mut manager).unwrap();
+
+        assert_eq!(report.windows.len() as u64, report.admitted);
+        assert!(report.end_tick > 0);
+        let released = report
+            .windows
+            .iter()
+            .filter(|w| w.released_at_tick.is_some())
+            .count();
+        let release_events = report
+            .trace
+            .iter()
+            .filter(|e| matches!(e, ChurnEvent::Released(_)))
+            .count() as u64;
+        // Every trace release and every fault drop closes a window; the
+        // rest stay open until the end of the run.
+        assert_eq!(
+            released as u64,
+            release_events + report.dropped_by_faults,
+            "windows close exactly on release or fault drop"
+        );
+        assert_eq!(
+            report.windows.len() - released,
+            report.active_at_end,
+            "open windows are the channels still up at the end"
+        );
+        for w in &report.windows {
+            assert_ne!(w.source, w.destination);
+            assert!(w.released_at_tick.unwrap_or(report.end_tick) >= w.admitted_at_tick);
+        }
+
+        // Recording off (the default) keeps the report lean.
+        let quiet = ChurnProcess::new(
+            ChurnConfig::new(9).windows(100, 300).load(1.0, 60.0),
+            &topology,
+        )
+        .unwrap();
+        let mut m2 = central(&topology);
+        assert!(m2.channel_count() == 0);
+        let lean = quiet.run(&mut m2).unwrap();
+        assert!(lean.windows.is_empty());
+        assert_eq!(lean.end_tick, report.end_tick, "same seed, same clock");
     }
 
     #[test]

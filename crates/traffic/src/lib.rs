@@ -42,9 +42,11 @@ pub mod scenario;
 pub mod source;
 
 pub use background::{BackgroundTraffic, BurstyConfig, PoissonConfig};
-pub use churn::{ChurnConfig, ChurnEvent, ChurnFault, ChurnFaultKind, ChurnProcess, ChurnReport};
+pub use churn::{
+    ChannelWindow, ChurnConfig, ChurnEvent, ChurnFault, ChurnFaultKind, ChurnProcess, ChurnReport,
+};
 pub use fabric::{FabricScenario, FabricShape};
 pub use failover::FailoverScenario;
 pub use pattern::{ChannelRequest, HeterogeneousSpecs, RequestPattern};
 pub use scenario::Scenario;
-pub use source::ScenarioFrameSource;
+pub use source::{ChurnFrameSource, ScenarioFrameSource};

@@ -24,6 +24,7 @@ pub mod ids;
 pub mod partition;
 pub mod rng;
 pub mod router;
+pub mod structural;
 pub mod time;
 pub mod topology;
 
@@ -35,8 +36,9 @@ pub use ids::{ChannelId, ConnectionRequestId, LinkDirection, LinkId, NodeId, Por
 pub use partition::{effective_shards, partition_switches, ShardStrategy};
 pub use rng::Xoshiro256;
 pub use router::{
-    DenseNextHop, EcmpRouter, KShortestRouter, NextHopTable, Route, Router, ShortestPathRouter,
-    TreeRouter,
+    DenseNextHop, EcmpRouter, KShortestRouter, NextHopCache, NextHopCacheStats, NextHopTable,
+    Route, Router, ShortestPathRouter, TreeRouter,
 };
+pub use structural::StructuralRouter;
 pub use time::{Duration, LinkSpeed, SimTime, Slots};
-pub use topology::{HopLink, ManagerPlacement, SwitchId, Topology};
+pub use topology::{FabricStructure, HopLink, ManagerPlacement, SwitchId, Topology};

@@ -18,10 +18,16 @@
 //!   [`Xoshiro256`] PRNG, so different channels spread over redundant
 //!   trunks while a fixed seed always yields the same route.
 //!
-//! All three share a per-topology cache of the next-hop forwarding table
-//! keyed by [`Topology::fingerprint`], so constructing many simulators (or
-//! routing many channels) over the same fabric computes the O(V·E) table
-//! once.
+//! (A fourth policy, the table-free
+//! [`crate::structural::StructuralRouter`], lives in its own module.)
+//!
+//! All stock routers share a per-topology [`NextHopCache`] keyed by
+//! [`Topology::fingerprint`], so constructing many simulators (or routing
+//! many channels) over the same fabric computes the forwarding state once.
+//! On uniform-cost fabrics the cache rebuilds *incrementally* across fault
+//! churn — a state one trunk flip away from a resident one is patched per
+//! destination instead of rebuilt from scratch — and materialises the
+//! `BTreeMap` table form lazily.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -32,25 +38,47 @@ use crate::dense::{IdIndex, NO_INDEX};
 use crate::error::{RtError, RtResult};
 use crate::ids::NodeId;
 use crate::rng::Xoshiro256;
-use crate::topology::{HopLink, SwitchId, Topology};
+use crate::topology::{FabricStructure, HopLink, SwitchId, Topology};
 
 /// The next-hop forwarding table of a trunk graph: `(at, towards) →
 /// neighbour of `at` on a shortest path towards `towards``.
 pub type NextHopTable = BTreeMap<(SwitchId, SwitchId), SwitchId>;
 
-/// The [`NextHopTable`] flattened for the per-event hot path: switches get
-/// contiguous indices (via [`IdIndex`]) and the table becomes one `S × S`
-/// vector of next-hop indices, so a forwarding decision is two array reads
-/// instead of a tree descent.
+/// The forwarding table in the form the per-event hot path consumes:
+/// switches get contiguous indices (via [`IdIndex`]) and a forwarding
+/// decision is a couple of array reads — or, on structured fabrics, a
+/// handful of integer operations with no table at all.
 ///
-/// The dense form carries the *same* routes as the `BTreeMap` it was built
-/// from — the simulator uses it for speed, not policy.
+/// Both backings carry the *same* routes the policy's `BTreeMap` table
+/// would — the simulator uses this form for speed, not policy:
+///
+/// * **Columns** — destination-major `S × S` storage, one `Arc`'d column
+///   per destination, so an incremental rebuild after a single trunk flip
+///   shares every untouched column with the previous table instead of
+///   copying O(V²) entries.
+/// * **Structural** — table-free: next hops are computed from switch
+///   coordinates ([`FabricStructure`] closed forms, O(V) resident state
+///   for the id index), plus a sparse detour overlay covering exactly the
+///   entries a failed trunk changes.
 #[derive(Debug)]
 pub struct DenseNextHop {
     index: IdIndex,
-    /// `table[at * S + towards]` = dense index of the next switch, or
+    backing: Backing,
+}
+
+#[derive(Debug)]
+enum Backing {
+    /// `columns[towards][at]` = dense index of the next switch, or
     /// [`NO_INDEX`] when unreachable (or `at == towards`).
-    table: Vec<u32>,
+    Columns(Vec<Arc<[u32]>>),
+    /// Closed-form next hops.  The structured builders allocate contiguous
+    /// switch ids, so dense index == switch id and the closed forms apply
+    /// directly; `detours` overrides `(at, towards)` pairs whose healthy
+    /// route crosses a failed trunk ([`NO_INDEX`] = unreachable).
+    Structural {
+        structure: Arc<FabricStructure>,
+        detours: Arc<BTreeMap<(u32, u32), u32>>,
+    },
 }
 
 impl DenseNextHop {
@@ -58,7 +86,7 @@ impl DenseNextHop {
     pub fn build(topology: &Topology, table: &NextHopTable) -> Self {
         let index = IdIndex::new(topology.switches().map(|s| s.get()));
         let n = index.len();
-        let mut dense = vec![NO_INDEX; n * n];
+        let mut columns = vec![vec![NO_INDEX; n]; n];
         for (&(from, to), &next) in table {
             let (Some(f), Some(t), Some(x)) = (
                 index.get(from.get()),
@@ -67,11 +95,29 @@ impl DenseNextHop {
             ) else {
                 continue;
             };
-            dense[f as usize * n + t as usize] = x;
+            columns[t as usize][f as usize] = x;
         }
+        Self::from_columns(index, columns.into_iter().map(Arc::from).collect())
+    }
+
+    fn from_columns(index: IdIndex, columns: Vec<Arc<[u32]>>) -> Self {
         DenseNextHop {
             index,
-            table: dense,
+            backing: Backing::Columns(columns),
+        }
+    }
+
+    fn structural(
+        index: IdIndex,
+        structure: Arc<FabricStructure>,
+        detours: BTreeMap<(u32, u32), u32>,
+    ) -> Self {
+        DenseNextHop {
+            index,
+            backing: Backing::Structural {
+                structure,
+                detours: Arc::new(detours),
+            },
         }
     }
 
@@ -97,10 +143,19 @@ impl DenseNextHop {
     /// as a dense index.  This is the per-event fast path.
     #[inline]
     pub fn next_hop_index(&self, at: u32, towards: u32) -> Option<u32> {
-        let n = self.index.len();
-        match self.table[at as usize * n + towards as usize] {
-            NO_INDEX => None,
-            next => Some(next),
+        match &self.backing {
+            Backing::Columns(columns) => match columns[towards as usize][at as usize] {
+                NO_INDEX => None,
+                next => Some(next),
+            },
+            Backing::Structural { structure, detours } => {
+                if !detours.is_empty() {
+                    if let Some(&next) = detours.get(&(at, towards)) {
+                        return if next == NO_INDEX { None } else { Some(next) };
+                    }
+                }
+                structure.next_hop(at, towards)
+            }
         }
     }
 
@@ -109,6 +164,42 @@ impl DenseNextHop {
         let at = self.index_of(at)?;
         let towards = self.index_of(towards)?;
         self.next_hop_index(at, towards).map(|i| self.switch_at(i))
+    }
+
+    /// Materialise the `BTreeMap` form carrying exactly this table's
+    /// entries.  Cold path: the cache calls it lazily, once per fabric
+    /// state, and only when someone actually asks for the tree form.
+    pub fn to_table(&self) -> NextHopTable {
+        let n = self.index.len() as u32;
+        let mut table = NextHopTable::new();
+        for towards in 0..n {
+            let to = self.switch_at(towards);
+            for at in 0..n {
+                if at == towards {
+                    continue;
+                }
+                if let Some(next) = self.next_hop_index(at, towards) {
+                    table.insert((self.switch_at(at), to), self.switch_at(next));
+                }
+            }
+        }
+        table
+    }
+
+    /// Approximate resident bytes of the forwarding state: O(V²) for the
+    /// tabled backing, O(V + detours) for the structural one.  Feeds the
+    /// routing microbench's memory rows.
+    pub fn resident_bytes(&self) -> usize {
+        let index = self.index.len() * 2 * std::mem::size_of::<u32>();
+        index
+            + match &self.backing {
+                Backing::Columns(columns) => columns
+                    .iter()
+                    .map(|c| std::mem::size_of::<Arc<[u32]>>() + std::mem::size_of_val(&c[..]))
+                    .sum(),
+                // BTreeMap node overhead, rounded up generously.
+                Backing::Structural { detours, .. } => 64 + detours.len() * 40,
+            }
     }
 }
 
@@ -266,20 +357,38 @@ pub trait Router: fmt::Debug + Send + Sync {
     /// Select the path for an RT channel from `source` to `destination`.
     fn route(&self, topology: &Topology, source: NodeId, destination: NodeId) -> RtResult<Route>;
 
+    /// The shared per-topology forwarding cache, when the policy keeps one.
+    /// The stock routers all return theirs, which lets the two defaulted
+    /// table accessors below dispatch through a single implementation
+    /// (instead of every router duplicating the pair) and gives callers
+    /// access to the cache's [`NextHopCache::stats`] counters.
+    fn next_hop_cache(&self) -> Option<&NextHopCache> {
+        None
+    }
+
     /// The next-hop forwarding table used for traffic that carries no
     /// per-route forwarding state (control-plane and best-effort frames).
-    /// Implementations cache this per topology fingerprint.
-    fn next_hop_table(&self, topology: &Topology) -> Arc<NextHopTable>;
+    /// Served from [`Router::next_hop_cache`] when the policy keeps one
+    /// (the `BTreeMap` form is materialised lazily, once per cached fabric
+    /// state); built fresh otherwise.
+    fn next_hop_table(&self, topology: &Topology) -> Arc<NextHopTable> {
+        match self.next_hop_cache() {
+            Some(cache) => cache.get(topology),
+            None => Arc::new(topology.next_hop_table()),
+        }
+    }
 
-    /// The [`DenseNextHop`] flattening of [`Router::next_hop_table`], which
-    /// is what the simulator's per-event hot path consumes.  The default
-    /// builds it fresh; the stock routers override this with the shared
-    /// per-topology cache.
+    /// The [`DenseNextHop`] carrying the same routes as
+    /// [`Router::next_hop_table`], which is what the simulator's per-event
+    /// hot path consumes.
     fn dense_next_hop(&self, topology: &Topology) -> Arc<DenseNextHop> {
-        Arc::new(DenseNextHop::build(
-            topology,
-            &self.next_hop_table(topology),
-        ))
+        match self.next_hop_cache() {
+            Some(cache) => cache.get_dense(topology),
+            None => Arc::new(DenseNextHop::build(
+                topology,
+                &self.next_hop_table(topology),
+            )),
+        }
     }
 
     /// Candidate routes in preference order, primary first.  Admission
@@ -298,72 +407,499 @@ pub trait Router: fmt::Debug + Send + Sync {
     }
 }
 
-/// A per-topology memo of the next-hop table (tree and dense forms), keyed
-/// by [`Topology::fingerprint`].  Shared by all stock routers so repeated
+/// A per-topology memo of the forwarding state, keyed by
+/// [`Topology::fingerprint`].  Shared by all stock routers so repeated
 /// simulator constructions over the same fabric reuse one table.
 ///
-/// The memo keeps a small bounded set of fingerprints (most recently used
+/// The memo keeps a small bounded set of fabric states (most recently used
 /// first), not just the latest one.  Under fault churn a fabric alternates
 /// between its healthy and degraded fingerprints on every cut/repair; a
 /// single-entry cache recomputed the full `O(V·E log V)` table and its dense
 /// flattening on *every* flip, which soak profiling showed dominating the
 /// admission hot path.  With a few entries resident, a repair that returns
 /// to a previously seen graph is a lookup.
-#[derive(Debug, Default)]
+///
+/// A miss no longer implies a from-scratch pass, either:
+///
+/// * On uniform-cost fabrics the table is built per *destination* (one BFS
+///   column each, next hop = minimum-id neighbour one hop closer — exactly
+///   the lex-min entry the legacy per-source build produces), and a miss
+///   whose failed-trunk set differs from a resident state's by a single
+///   trunk is served by *patching* that state's columns: only destinations
+///   whose route tree actually crossed the flipped trunk are recomputed,
+///   everything else shares the previous `Arc`'d column.  A single cut on
+///   a 1280-switch fabric costs milliseconds instead of a full rebuild.
+/// * In structural mode (the [`crate::structural::StructuralRouter`]), a
+///   fabric tagged with a [`FabricStructure`] gets a table-free backing:
+///   closed-form next hops plus a sparse detour overlay for faults, O(V)
+///   resident instead of O(V²).
+/// * The `BTreeMap` form is materialised lazily per state, only when
+///   [`NextHopCache::get`] is actually called.
+///
+/// Weighted fabrics keep the exact legacy build: Dijkstra tie-breaks are
+/// not the local min-id rule, and byte-identical tables are a hard
+/// requirement for reproducible admission.
+#[derive(Debug)]
 pub struct NextHopCache {
-    inner: Mutex<Vec<CacheEntry>>,
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    /// Prefer the table-free structural backing for tagged fabrics.
+    structural: bool,
 }
 
-/// How many distinct topology fingerprints stay memoized.  Fault scripts
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: Vec<CacheEntry>,
+    stats: NextHopCacheStats,
+}
+
+/// Default number of distinct fabric states kept memoized.  Fault scripts
 /// flip between a handful of graph states (healthy plus one per concurrent
 /// cut), so a small bound captures the churn working set while keeping the
-/// linear scan and memory footprint trivial.
-const NEXT_HOP_CACHE_CAPACITY: usize = 8;
+/// linear scan and memory footprint trivial; tune per router via
+/// [`NextHopCache::with_capacity`].
+pub const DEFAULT_NEXT_HOP_CACHE_CAPACITY: usize = 8;
+
+/// Counters describing how a [`NextHopCache`] behaves under churn —
+/// observable via [`NextHopCache::stats`] / [`Router::next_hop_cache`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NextHopCacheStats {
+    /// Lookups served from a resident fabric state.
+    pub hits: u64,
+    /// Lookups that had to build a new entry.
+    pub misses: u64,
+    /// Entries dropped because the cache was at capacity.
+    pub evictions: u64,
+    /// Misses served by patching a sibling state's columns (single trunk
+    /// flip on the same underlying fabric).
+    pub incremental_rebuilds: u64,
+    /// Misses that paid for a from-scratch build.
+    pub full_rebuilds: u64,
+}
 
 #[derive(Debug)]
 struct CacheEntry {
     fingerprint: u64,
-    table: Arc<NextHopTable>,
+    /// Fault-invariant fabric identity ([`Topology::structural_fingerprint`]):
+    /// two states with equal values differ only in which trunks are failed,
+    /// which is what makes cross-state incremental rebuilds sound.
+    structural_fingerprint: u64,
+    uniform: bool,
+    /// This state's failed trunks, normalised `(min, max)` and sorted.
+    failed: Vec<(u32, u32)>,
     dense: Arc<DenseNextHop>,
+    /// Per-destination BFS distance columns (uniform tabled states only) —
+    /// the base data an incremental rebuild patches from.
+    dist: Option<Vec<Arc<[u32]>>>,
+    /// The `BTreeMap` form, materialised on first [`NextHopCache::get`].
+    table: Option<Arc<NextHopTable>>,
+}
+
+impl Default for NextHopCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_NEXT_HOP_CACHE_CAPACITY)
+    }
 }
 
 impl NextHopCache {
-    fn entry(&self, topology: &Topology) -> (Arc<NextHopTable>, Arc<DenseNextHop>) {
-        let fp = topology.fingerprint();
-        let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(pos) = guard.iter().position(|e| e.fingerprint == fp) {
-            // Move the hit to the front so eviction drops the least
-            // recently used fingerprint.
-            let entry = guard.remove(pos);
-            let out = (Arc::clone(&entry.table), Arc::clone(&entry.dense));
-            guard.insert(0, entry);
-            return out;
+    /// A cache with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cache keeping up to `capacity` fabric states resident (clamped to
+    /// at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        NextHopCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity: capacity.max(1),
+            structural: false,
         }
-        let table = Arc::new(topology.next_hop_table());
-        let dense = Arc::new(DenseNextHop::build(topology, &table));
-        guard.insert(
-            0,
-            CacheEntry {
-                fingerprint: fp,
-                table: Arc::clone(&table),
-                dense: Arc::clone(&dense),
-            },
-        );
-        guard.truncate(NEXT_HOP_CACHE_CAPACITY);
-        (table, dense)
+    }
+
+    /// A cache that serves structure-tagged fabrics table-free (closed-form
+    /// next hops + fault detour overlay) and falls back to the tabled path
+    /// for everything else.
+    pub fn structural() -> Self {
+        Self::structural_with_capacity(DEFAULT_NEXT_HOP_CACHE_CAPACITY)
+    }
+
+    /// Structural-mode cache with an explicit capacity.
+    pub fn structural_with_capacity(capacity: usize) -> Self {
+        NextHopCache {
+            structural: true,
+            ..Self::with_capacity(capacity)
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A snapshot of the hit/miss/eviction/rebuild counters.
+    pub fn stats(&self) -> NextHopCacheStats {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).stats
     }
 
     /// The cached table for `topology`, computing it on first use (or after
-    /// the topology changed).
+    /// the topology changed).  Materialises the `BTreeMap` form lazily —
+    /// hot paths that only ever touch the dense form never pay for it.
     pub fn get(&self, topology: &Topology) -> Arc<NextHopTable> {
-        self.entry(topology).0
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        self.ensure(topology, &mut inner);
+        let entry = &mut inner.entries[0];
+        if entry.table.is_none() {
+            entry.table = Some(Arc::new(entry.dense.to_table()));
+        }
+        Arc::clone(entry.table.as_ref().expect("just materialised"))
     }
 
-    /// The cached dense flattening for `topology`, computed together with
-    /// the table.
+    /// The cached dense form for `topology` — the entry point the simulator
+    /// and the routers' own walks use.
     pub fn get_dense(&self, topology: &Topology) -> Arc<DenseNextHop> {
-        self.entry(topology).1
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        self.ensure(topology, &mut inner);
+        Arc::clone(&inner.entries[0].dense)
     }
+
+    /// Make the entry for `topology` resident at the front of the list.
+    fn ensure(&self, topology: &Topology, inner: &mut CacheInner) {
+        let fp = topology.fingerprint();
+        if let Some(pos) = inner.entries.iter().position(|e| e.fingerprint == fp) {
+            inner.stats.hits += 1;
+            // Move the hit to the front so eviction drops the least
+            // recently used fabric state.
+            let entry = inner.entries.remove(pos);
+            inner.entries.insert(0, entry);
+            return;
+        }
+        inner.stats.misses += 1;
+        let uniform = topology.has_uniform_cost();
+        let structural_fingerprint = topology.structural_fingerprint();
+        let failed: Vec<(u32, u32)> = topology
+            .failed_trunks()
+            .map(|(a, b)| (a.get(), b.get()))
+            .collect();
+        let index = IdIndex::new(topology.switches().map(|s| s.get()));
+
+        let entry = 'build: {
+            let blank = |dense: Arc<DenseNextHop>, dist, table| CacheEntry {
+                fingerprint: fp,
+                structural_fingerprint,
+                uniform,
+                failed: failed.clone(),
+                dense,
+                dist,
+                table,
+            };
+            if uniform && self.structural {
+                if let Some(structure) = topology.structure() {
+                    if ids_are_contiguous(&index, structure) {
+                        let dense = structural_dense(topology, structure, index, &failed);
+                        break 'build blank(Arc::new(dense), None, None);
+                    }
+                }
+            }
+            if uniform {
+                // A resident state one trunk flip away on the same fabric
+                // seeds an incremental rebuild.
+                let base = inner.entries.iter().find_map(|e| {
+                    if !e.uniform || e.structural_fingerprint != structural_fingerprint {
+                        return None;
+                    }
+                    let dist = e.dist.as_ref()?;
+                    let Backing::Columns(columns) = &e.dense.backing else {
+                        return None;
+                    };
+                    single_trunk_delta(&e.failed, &failed)
+                        .map(|delta| (columns.clone(), dist.clone(), delta))
+                });
+                if let Some((base_next, base_dist, delta)) = base {
+                    inner.stats.incremental_rebuilds += 1;
+                    let (next_cols, dist_cols) =
+                        incremental_columns(topology, &index, &base_next, &base_dist, &delta);
+                    let dense = DenseNextHop::from_columns(index, next_cols);
+                    break 'build blank(Arc::new(dense), Some(dist_cols), None);
+                }
+                inner.stats.full_rebuilds += 1;
+                let (next_cols, dist_cols) = uniform_columns(topology, &index);
+                let dense = DenseNextHop::from_columns(index, next_cols);
+                break 'build blank(Arc::new(dense), Some(dist_cols), None);
+            }
+            // Weighted trunks: deterministic-Dijkstra tie-breaks are not
+            // the local min-id rule, so keep the exact legacy build (and
+            // its eager table — it exists as a by-product anyway).
+            inner.stats.full_rebuilds += 1;
+            let table = Arc::new(topology.next_hop_table());
+            let dense = Arc::new(DenseNextHop::build(topology, &table));
+            blank(dense, None, Some(table))
+        };
+        inner.entries.insert(0, entry);
+        while inner.entries.len() > self.capacity {
+            inner.entries.pop();
+            inner.stats.evictions += 1;
+        }
+    }
+}
+
+/// The structured builders allocate switch ids `0..n`, so dense index ==
+/// switch id and the closed forms can be evaluated on indices directly.
+/// Cheap sanity check (the structure tag is cleared by any mutation that
+/// could break this, so it never fails in practice).
+fn ids_are_contiguous(index: &IdIndex, structure: &FabricStructure) -> bool {
+    let n = index.len();
+    n == structure.switch_count() as usize && n > 0 && index.id_at(n as u32 - 1) == n as u32 - 1
+}
+
+/// Dense adjacency (ascending, as [`Topology::neighbours`] iterates) over
+/// the topology's current — possibly degraded — trunk graph.
+fn dense_adjacency(topology: &Topology, index: &IdIndex) -> Vec<Vec<u32>> {
+    let mut adjacency = vec![Vec::new(); index.len()];
+    for s in topology.switches() {
+        let si = index.get(s.get()).expect("switch is indexed");
+        adjacency[si as usize] = topology
+            .neighbours(s)
+            .filter_map(|n| index.get(n.get()))
+            .collect();
+    }
+    adjacency
+}
+
+/// One BFS column towards destination `t`: per-source next hop (the
+/// minimum-id neighbour one hop closer — the ascending adjacency makes the
+/// first tight neighbour the minimum) and per-source distance
+/// (`u32::MAX` = unreachable).
+///
+/// The legacy per-source build ([`Topology::next_hop_table`]) explores
+/// neighbours in ascending id with first-finder parents, which yields the
+/// lexicographically-minimal shortest path for every pair — and the first
+/// hop of the lex-min path from `s` is precisely the minimum-id neighbour
+/// of `s` that is one hop closer to `t`.  So this per-destination build
+/// produces byte-identical entries at a fraction of the allocation cost.
+fn bfs_column(adjacency: &[Vec<u32>], t: usize) -> (Arc<[u32]>, Arc<[u32]>) {
+    let n = adjacency.len();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::with_capacity(n);
+    dist[t] = 0;
+    queue.push_back(t as u32);
+    while let Some(s) = queue.pop_front() {
+        let d = dist[s as usize];
+        for &nb in &adjacency[s as usize] {
+            if dist[nb as usize] == u32::MAX {
+                dist[nb as usize] = d + 1;
+                queue.push_back(nb);
+            }
+        }
+    }
+    let mut next = vec![NO_INDEX; n];
+    for s in 0..n {
+        if s == t || dist[s] == u32::MAX {
+            continue;
+        }
+        for &nb in &adjacency[s] {
+            if dist[nb as usize] != u32::MAX && dist[nb as usize] + 1 == dist[s] {
+                next[s] = nb;
+                break;
+            }
+        }
+    }
+    (Arc::from(next), Arc::from(dist))
+}
+
+/// Per-destination `(next-hop, distance)` column sets, `Arc`'d per column
+/// so incremental rebuilds can share unchanged columns with their base.
+type ColumnSets = (Vec<Arc<[u32]>>, Vec<Arc<[u32]>>);
+
+/// From-scratch per-destination build of every column.
+fn uniform_columns(topology: &Topology, index: &IdIndex) -> ColumnSets {
+    let adjacency = dense_adjacency(topology, index);
+    let n = adjacency.len();
+    let mut next_cols = Vec::with_capacity(n);
+    let mut dist_cols = Vec::with_capacity(n);
+    for t in 0..n {
+        let (next, dist) = bfs_column(&adjacency, t);
+        next_cols.push(next);
+        dist_cols.push(dist);
+    }
+    (next_cols, dist_cols)
+}
+
+/// A single-trunk difference between two failed-trunk sets.
+enum TrunkDelta {
+    /// The new state failed one trunk the base had healthy.
+    Cut((u32, u32)),
+    /// The new state repaired one trunk the base had failed.
+    Repaired((u32, u32)),
+}
+
+/// `Some` when `new` differs from `base` by exactly one failed trunk
+/// (both sorted, as [`Topology::failed_trunks`] reports them).
+fn single_trunk_delta(base: &[(u32, u32)], new: &[(u32, u32)]) -> Option<TrunkDelta> {
+    fn one_extra(shorter: &[(u32, u32)], longer: &[(u32, u32)]) -> Option<(u32, u32)> {
+        if longer.len() != shorter.len() + 1 {
+            return None;
+        }
+        let mut matched = 0;
+        let mut extra = None;
+        for &e in longer {
+            if matched < shorter.len() && shorter[matched] == e {
+                matched += 1;
+            } else if extra.is_none() {
+                extra = Some(e);
+            } else {
+                return None;
+            }
+        }
+        if matched == shorter.len() {
+            extra
+        } else {
+            None
+        }
+    }
+    if let Some(e) = one_extra(base, new) {
+        return Some(TrunkDelta::Cut(e));
+    }
+    one_extra(new, base).map(TrunkDelta::Repaired)
+}
+
+/// Patch a base state's per-destination columns for a single trunk flip,
+/// sharing every untouched column's `Arc`.
+///
+/// Soundness rests on two facts about uniform-cost BFS columns:
+///
+/// * A trunk between switches at *equal* distance from the destination (or
+///   with either endpoint unreachable) lies on no shortest path at all, so
+///   flipping it changes nothing for that destination.
+/// * For a *tight* trunk (distances differ by one), only the downstream
+///   endpoint `u` routes over it, and it does so iff the column's next hop
+///   at `u` is the upstream endpoint.  A cut with an equal-length
+///   alternative at `u` — and likewise a repair that only offers `u` a new
+///   equal-length option — leaves every distance intact and changes at
+///   most `u`'s own min-id choice; every other source either never crossed
+///   the trunk or can be re-routed through `u`'s surviving choice at equal
+///   length.  Only when `u` loses its last tight neighbour (or a repair
+///   bridges a distance gap of 2+ / reconnects an unreachable region) does
+///   the column get a from-scratch BFS.
+fn incremental_columns(
+    topology: &Topology,
+    index: &IdIndex,
+    base_next: &[Arc<[u32]>],
+    base_dist: &[Arc<[u32]>],
+    delta: &TrunkDelta,
+) -> ColumnSets {
+    let (edge, is_cut) = match delta {
+        TrunkDelta::Cut(e) => (e, true),
+        TrunkDelta::Repaired(e) => (e, false),
+    };
+    let a = index.get(edge.0).expect("same switch set") as usize;
+    let b = index.get(edge.1).expect("same switch set") as usize;
+    let adjacency = dense_adjacency(topology, index);
+    let n = adjacency.len();
+    let mut next_cols = Vec::with_capacity(n);
+    let mut dist_cols = Vec::with_capacity(n);
+    for t in 0..n {
+        let next = &base_next[t];
+        let dist = &base_dist[t];
+        let (da, db) = (dist[a], dist[b]);
+        // Equal distances (finite or both unreachable): the trunk is off
+        // every shortest path towards t either way.
+        if da == db {
+            next_cols.push(Arc::clone(next));
+            dist_cols.push(Arc::clone(dist));
+            continue;
+        }
+        let (u, v) = if da == u32::MAX || (db != u32::MAX && da > db) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        if is_cut {
+            // The trunk existed in the base graph, so both distances are
+            // finite and differ by exactly one; `u` is downstream.
+            if next[u] != v as u32 {
+                next_cols.push(Arc::clone(next));
+                dist_cols.push(Arc::clone(dist));
+                continue;
+            }
+            let alt = adjacency[u]
+                .iter()
+                .copied()
+                .find(|&nb| dist[nb as usize] != u32::MAX && dist[nb as usize] + 1 == dist[u]);
+            match alt {
+                Some(alt) => {
+                    let mut patched = next.to_vec();
+                    patched[u] = alt;
+                    next_cols.push(Arc::from(patched));
+                    dist_cols.push(Arc::clone(dist));
+                }
+                None => {
+                    let (nc, dc) = bfs_column(&adjacency, t);
+                    next_cols.push(nc);
+                    dist_cols.push(dc);
+                }
+            }
+        } else if dist[u] == u32::MAX || dist[u] - dist[v] >= 2 {
+            // The repair shortens paths (or reconnects a region):
+            // recompute the column.
+            let (nc, dc) = bfs_column(&adjacency, t);
+            next_cols.push(nc);
+            dist_cols.push(dc);
+        } else if (v as u32) < next[u] {
+            // Tight repair: distances hold, u gains a smaller-id choice.
+            let mut patched = next.to_vec();
+            patched[u] = v as u32;
+            next_cols.push(Arc::from(patched));
+            dist_cols.push(Arc::clone(dist));
+        } else {
+            next_cols.push(Arc::clone(next));
+            dist_cols.push(Arc::clone(dist));
+        }
+    }
+    (next_cols, dist_cols)
+}
+
+/// Build the table-free backing for a structure-tagged fabric: closed-form
+/// next hops plus a sparse detour overlay.
+///
+/// For each destination `t`, the healthy lex-min route tree crosses a
+/// failed trunk iff some endpoint's healthy next hop towards `t` is the
+/// other endpoint.  Destinations whose tree avoids every failed trunk are
+/// served purely by the closed form (byte-identical to the degraded BFS by
+/// the patching argument above); the rest get one degraded BFS column, and
+/// only the entries that *differ* from the closed form land in the
+/// overlay — O(faulted columns), not O(V²).
+fn structural_dense(
+    topology: &Topology,
+    structure: &FabricStructure,
+    index: IdIndex,
+    failed: &[(u32, u32)],
+) -> DenseNextHop {
+    let mut detours = BTreeMap::new();
+    if !failed.is_empty() {
+        let adjacency = dense_adjacency(topology, &index);
+        let n = adjacency.len() as u32;
+        for t in 0..n {
+            let used = failed.iter().any(|&(x, y)| {
+                structure.next_hop(x, t) == Some(y) || structure.next_hop(y, t) == Some(x)
+            });
+            if !used {
+                continue;
+            }
+            let (next, _) = bfs_column(&adjacency, t as usize);
+            for s in 0..n {
+                if s == t {
+                    continue;
+                }
+                let healthy = structure.next_hop(s, t).unwrap_or(NO_INDEX);
+                let degraded = next[s as usize];
+                if degraded != healthy {
+                    detours.insert((s, t), degraded);
+                }
+            }
+        }
+    }
+    DenseNextHop::structural(index, Arc::new(structure.clone()), detours)
 }
 
 /// Resolve and sanity-check the endpoints of a requested route.
@@ -386,24 +922,35 @@ fn route_endpoints(
     Ok((src_switch, dst_switch))
 }
 
-/// Walk the next-hop table from the source's switch to the destination's,
-/// producing the uplink + trunks + downlink route.
-fn walk_table(
-    table: &NextHopTable,
+/// Walk the dense next-hop form from the source's switch to the
+/// destination's, producing the uplink + trunks + downlink route.  Walking
+/// the dense form (rather than the `BTreeMap`) means a `route()` call never
+/// forces the lazy O(V²) table materialisation.
+pub(crate) fn walk_dense(
+    dense: &DenseNextHop,
     topology: &Topology,
     source: NodeId,
     destination: NodeId,
 ) -> RtResult<Route> {
     let (src_switch, dst_switch) = route_endpoints(topology, source, destination)?;
+    let not_connected = || {
+        RtError::Config(format!(
+            "switches {src_switch} and {dst_switch} are not connected"
+        ))
+    };
+    let (Some(mut at), Some(towards)) = (dense.index_of(src_switch), dense.index_of(dst_switch))
+    else {
+        return Err(not_connected());
+    };
     let mut links = vec![HopLink::Uplink(source)];
-    let mut at = src_switch;
-    while at != dst_switch {
-        let next = *table.get(&(at, dst_switch)).ok_or_else(|| {
-            RtError::Config(format!(
-                "switches {src_switch} and {dst_switch} are not connected"
-            ))
-        })?;
-        links.push(HopLink::Trunk { from: at, to: next });
+    while at != towards {
+        let next = dense
+            .next_hop_index(at, towards)
+            .ok_or_else(not_connected)?;
+        links.push(HopLink::Trunk {
+            from: dense.switch_at(at),
+            to: dense.switch_at(next),
+        });
         at = next;
     }
     links.push(HopLink::Downlink(destination));
@@ -461,15 +1008,16 @@ impl Router for TreeRouter {
 
     fn route(&self, topology: &Topology, source: NodeId, destination: NodeId) -> RtResult<Route> {
         self.ensure_tree(topology)?;
-        walk_table(&self.cache.get(topology), topology, source, destination)
+        walk_dense(
+            &self.cache.get_dense(topology),
+            topology,
+            source,
+            destination,
+        )
     }
 
-    fn next_hop_table(&self, topology: &Topology) -> Arc<NextHopTable> {
-        self.cache.get(topology)
-    }
-
-    fn dense_next_hop(&self, topology: &Topology) -> Arc<DenseNextHop> {
-        self.cache.get_dense(topology)
+    fn next_hop_cache(&self) -> Option<&NextHopCache> {
+        Some(&self.cache)
     }
 }
 
@@ -502,15 +1050,16 @@ impl Router for ShortestPathRouter {
     }
 
     fn route(&self, topology: &Topology, source: NodeId, destination: NodeId) -> RtResult<Route> {
-        walk_table(&self.cache.get(topology), topology, source, destination)
+        walk_dense(
+            &self.cache.get_dense(topology),
+            topology,
+            source,
+            destination,
+        )
     }
 
-    fn next_hop_table(&self, topology: &Topology) -> Arc<NextHopTable> {
-        self.cache.get(topology)
-    }
-
-    fn dense_next_hop(&self, topology: &Topology) -> Arc<DenseNextHop> {
-        self.cache.get_dense(topology)
+    fn next_hop_cache(&self) -> Option<&NextHopCache> {
+        Some(&self.cache)
     }
 }
 
@@ -632,12 +1181,8 @@ impl Router for EcmpRouter {
         Route::from_links(links)
     }
 
-    fn next_hop_table(&self, topology: &Topology) -> Arc<NextHopTable> {
-        self.cache.get(topology)
-    }
-
-    fn dense_next_hop(&self, topology: &Topology) -> Arc<DenseNextHop> {
-        self.cache.get_dense(topology)
+    fn next_hop_cache(&self) -> Option<&NextHopCache> {
+        Some(&self.cache)
     }
 }
 
@@ -830,12 +1375,8 @@ impl Router for KShortestRouter {
             .collect()
     }
 
-    fn next_hop_table(&self, topology: &Topology) -> Arc<NextHopTable> {
-        self.cache.get(topology)
-    }
-
-    fn dense_next_hop(&self, topology: &Topology) -> Arc<DenseNextHop> {
-        self.cache.get_dense(topology)
+    fn next_hop_cache(&self) -> Option<&NextHopCache> {
+        Some(&self.cache)
     }
 }
 
@@ -1169,6 +1710,127 @@ mod tests {
         let other = Topology::line(4, 1);
         let third = router.next_hop_table(&other);
         assert!(!Arc::ptr_eq(&first, &third));
+    }
+
+    #[test]
+    fn cached_tables_stay_byte_identical_to_the_legacy_build() {
+        // The per-destination column build (and the lazy BTreeMap form
+        // derived from it) must reproduce Topology::next_hop_table exactly,
+        // healthy and degraded — admission reproducibility depends on it.
+        let mut weighted = Topology::ring(5, 1);
+        weighted
+            .set_trunk_cost(SwitchId::new(0), SwitchId::new(1), 3)
+            .unwrap();
+        let mut degraded = Topology::torus(3, 4, 1);
+        degraded
+            .fail_trunk(SwitchId::new(0), SwitchId::new(1))
+            .unwrap();
+        let topologies = [
+            Topology::line(4, 1),
+            Topology::ring(6, 1),
+            Topology::torus(3, 4, 1),
+            Topology::fat_tree(4).unwrap(),
+            weighted,
+            degraded,
+        ];
+        for t in topologies {
+            let router = ShortestPathRouter::new();
+            assert_eq!(
+                *router.next_hop_table(&t),
+                t.next_hop_table(),
+                "switches={} uniform={}",
+                t.switch_count(),
+                t.has_uniform_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn cache_counts_hits_misses_and_evictions() {
+        let router = ShortestPathRouter::new();
+        let cache = router.next_hop_cache().expect("stock router has a cache");
+        assert_eq!(cache.stats(), NextHopCacheStats::default());
+        let t = Topology::ring(4, 1);
+        router.dense_next_hop(&t);
+        router.dense_next_hop(&t);
+        router.next_hop_table(&t);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.full_rebuilds, 1);
+        assert_eq!(stats.evictions, 0);
+
+        // A tiny cache evicts under churn.
+        let small = NextHopCache::with_capacity(1);
+        assert_eq!(small.capacity(), 1);
+        small.get_dense(&Topology::line(3, 1));
+        small.get_dense(&Topology::line(4, 1));
+        let stats = small.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 1);
+    }
+
+    #[test]
+    fn single_trunk_flips_rebuild_incrementally() {
+        // fail -> (new fingerprint) is served by patching the healthy
+        // columns, and the patched table is byte-identical to from-scratch.
+        let mut t = Topology::torus(4, 4, 1);
+        let router = ShortestPathRouter::new();
+        let cache = router.next_hop_cache().unwrap();
+        router.dense_next_hop(&t);
+        assert_eq!(cache.stats().full_rebuilds, 1);
+
+        t.fail_trunk(SwitchId::new(0), SwitchId::new(1)).unwrap();
+        let degraded = router.next_hop_table(&t);
+        let stats = cache.stats();
+        assert_eq!(stats.incremental_rebuilds, 1);
+        assert_eq!(stats.full_rebuilds, 1);
+        assert_eq!(*degraded, t.next_hop_table(), "patched == from-scratch");
+
+        // A second, concurrent cut patches the degraded state.
+        t.fail_trunk(SwitchId::new(5), SwitchId::new(6)).unwrap();
+        let twice = router.next_hop_table(&t);
+        assert_eq!(cache.stats().incremental_rebuilds, 2);
+        assert_eq!(*twice, t.next_hop_table());
+
+        // Repairing back is a fingerprint hit, not a rebuild.
+        t.repair_trunk(SwitchId::new(5), SwitchId::new(6)).unwrap();
+        router.next_hop_table(&t);
+        let stats = cache.stats();
+        assert_eq!(stats.incremental_rebuilds, 2);
+        assert_eq!(stats.full_rebuilds, 1);
+        assert!(stats.hits >= 1);
+    }
+
+    #[test]
+    fn repair_onto_an_unseen_state_patches_from_the_degraded_base() {
+        // Seed the cache with ONLY a degraded state, then repair: the
+        // healthy state is one flip away and must be patched, including
+        // the min-id improvement the repaired trunk re-enables.
+        let mut t = Topology::ring(6, 1);
+        t.fail_trunk(SwitchId::new(0), SwitchId::new(5)).unwrap();
+        let router = ShortestPathRouter::new();
+        let cache = router.next_hop_cache().unwrap();
+        router.dense_next_hop(&t);
+        t.repair_trunk(SwitchId::new(0), SwitchId::new(5)).unwrap();
+        let healthy = router.next_hop_table(&t);
+        assert_eq!(cache.stats().incremental_rebuilds, 1);
+        assert_eq!(*healthy, t.next_hop_table());
+    }
+
+    #[test]
+    fn disconnecting_cut_is_patched_correctly() {
+        // Cutting a line in half makes whole columns unreachable — the
+        // incremental path must fall back to per-column BFS and agree with
+        // the from-scratch build.
+        let mut t = Topology::line(6, 1);
+        let router = ShortestPathRouter::new();
+        router.dense_next_hop(&t);
+        t.fail_trunk(SwitchId::new(2), SwitchId::new(3)).unwrap();
+        let degraded = router.next_hop_table(&t);
+        let cache = router.next_hop_cache().unwrap();
+        assert_eq!(cache.stats().incremental_rebuilds, 1);
+        assert_eq!(*degraded, t.next_hop_table());
     }
 
     #[test]

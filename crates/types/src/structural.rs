@@ -1,0 +1,443 @@
+//! Table-free structural routing for coordinate-addressable fabrics.
+//!
+//! `fat_tree(k)` and `torus_nd` assign switch ids by coordinate, so
+//! shortest-path distances — and therefore next hops — have closed forms.
+//! This module evaluates them directly: a forwarding decision is a handful
+//! of integer operations, no all-pairs table, no O(V·E) rebuild when the
+//! topology fingerprint flips under fault churn.
+//!
+//! The closed forms reproduce [`crate::topology::Topology::next_hop_table`]
+//! *byte for byte* on healthy fabrics.  That table is built by BFS with an
+//! ascending-id neighbour scan and first-finder parents, which yields for
+//! every pair the lexicographically-minimal shortest path; consequently its
+//! entry for `(s, t)` is exactly the minimum-id neighbour `u` of `s` with
+//! `dist(u, t) == dist(s, t) - 1`.  [`FabricStructure::next_hop`] computes
+//! that minimum directly from the closed-form distance, so the structural
+//! and tabled answers cannot disagree on a healthy fabric — a property the
+//! test suite checks switch by switch.
+//!
+//! Faults are handled by exception, not by abandoning the closed form: the
+//! [`crate::router::NextHopCache`] keeps a small per-destination detour
+//! overlay for exactly those destinations whose healthy lex-min tree uses a
+//! failed trunk (see `NextHopCache`'s structural mode).  Healthy traffic
+//! keeps the O(1) decision path.
+
+use std::fmt;
+
+use crate::error::{RtError, RtResult};
+use crate::ids::NodeId;
+use crate::router::{walk_dense, NextHopCache, NextHopCacheStats, Route, Router};
+use crate::topology::{FabricStructure, Topology};
+
+impl FabricStructure {
+    /// Number of switches the structure describes.
+    pub fn switch_count(&self) -> u32 {
+        match self {
+            FabricStructure::FatTree { k } => {
+                let h = k / 2;
+                h * h + k * k
+            }
+            FabricStructure::TorusNd { dims } => dims.iter().product(),
+        }
+    }
+
+    /// Closed-form shortest-path distance (in trunk hops) between two
+    /// switches of the healthy fabric.  `None` only for out-of-range ids —
+    /// both builder fabrics are connected.
+    pub fn distance(&self, a: u32, b: u32) -> Option<u32> {
+        let n = self.switch_count();
+        if a >= n || b >= n {
+            return None;
+        }
+        if a == b {
+            return Some(0);
+        }
+        Some(match self {
+            FabricStructure::FatTree { k } => fat_tree_distance(*k, a, b),
+            FabricStructure::TorusNd { dims } => torus_distance(dims, a, b),
+        })
+    }
+
+    /// Visit every neighbour of `s` in the healthy fabric (order
+    /// unspecified; no allocation).
+    fn for_each_neighbour(&self, s: u32, f: &mut dyn FnMut(u32)) {
+        match self {
+            FabricStructure::FatTree { k } => fat_tree_neighbours(*k, s, f),
+            FabricStructure::TorusNd { dims } => torus_neighbours(dims, s, f),
+        }
+    }
+
+    /// The neighbours of `s`, ascending — matches
+    /// [`crate::topology::Topology::neighbours`] on the healthy fabric.
+    pub fn neighbours(&self, s: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        if s < self.switch_count() {
+            self.for_each_neighbour(s, &mut |n| out.push(n));
+            out.sort_unstable();
+            out.dedup();
+        }
+        out
+    }
+
+    /// The next hop from `at` towards `towards` on the healthy fabric: the
+    /// minimum-id neighbour of `at` that is one hop closer to `towards`.
+    /// This is exactly the entry the tabled BFS build produces (lex-min
+    /// shortest paths), computed in O(degree) integer ops with no lookup
+    /// table and no allocation.
+    pub fn next_hop(&self, at: u32, towards: u32) -> Option<u32> {
+        if at == towards {
+            return None;
+        }
+        let d = self.distance(at, towards)?;
+        let mut best: Option<u32> = None;
+        self.for_each_neighbour(at, &mut |nb| {
+            if self.distance(nb, towards) == Some(d - 1) && best.is_none_or(|b| nb < b) {
+                best = Some(nb);
+            }
+        });
+        best
+    }
+}
+
+/// Role of a fat-tree switch, recovered from its id.
+///
+/// `fat_tree(k)` lays ids out as: cores `0..h²` (`h = k/2`, core `c` in
+/// *group* `c / h`), then per pod `p` (of `k` pods) the `h` aggregation
+/// switches `h² + p·k + j` followed by the `h` edge switches
+/// `h² + p·k + h + e`.  Trunks: `agg(p, j)` ↔ cores of group `j`, and
+/// `edge(p, e)` ↔ every `agg(p, ·)`.
+enum FtClass {
+    Core { group: u32 },
+    Agg { pod: u32, idx: u32 },
+    Edge { pod: u32 },
+}
+
+fn ft_class(k: u32, s: u32) -> FtClass {
+    let h = k / 2;
+    let h2 = h * h;
+    if s < h2 {
+        FtClass::Core { group: s / h }
+    } else {
+        let r = s - h2;
+        let pod = r / k;
+        let offset = r % k;
+        if offset < h {
+            FtClass::Agg { pod, idx: offset }
+        } else {
+            FtClass::Edge { pod }
+        }
+    }
+}
+
+fn fat_tree_distance(k: u32, a: u32, b: u32) -> u32 {
+    use FtClass::*;
+    debug_assert_ne!(a, b);
+    match (ft_class(k, a), ft_class(k, b)) {
+        (Core { group: g1 }, Core { group: g2 }) => {
+            if g1 == g2 {
+                2 // both hang off every pod's agg(·, g1)
+            } else {
+                4 // core → agg → edge → agg' → core'
+            }
+        }
+        (Core { group }, Agg { idx, .. }) | (Agg { idx, .. }, Core { group }) => {
+            if group == idx {
+                1
+            } else {
+                3 // agg → edge → agg' → core
+            }
+        }
+        (Core { .. }, Edge { .. }) | (Edge { .. }, Core { .. }) => 2,
+        (Agg { pod: p1, idx: j1 }, Agg { pod: p2, idx: j2 }) => {
+            if p1 == p2 || j1 == j2 {
+                2 // same pod: via a shared edge; same group: via a shared core
+            } else {
+                4
+            }
+        }
+        (Agg { pod: p1, .. }, Edge { pod: p2 }) | (Edge { pod: p2 }, Agg { pod: p1, .. }) => {
+            if p1 == p2 {
+                1
+            } else {
+                3 // edge → agg(p2, j) → core → agg(p1, j)
+            }
+        }
+        (Edge { pod: p1 }, Edge { pod: p2 }) => {
+            if p1 == p2 {
+                2
+            } else {
+                4
+            }
+        }
+    }
+}
+
+fn fat_tree_neighbours(k: u32, s: u32, f: &mut dyn FnMut(u32)) {
+    let h = k / 2;
+    let h2 = h * h;
+    match ft_class(k, s) {
+        FtClass::Core { group } => {
+            for p in 0..k {
+                f(h2 + p * k + group);
+            }
+        }
+        FtClass::Agg { pod, idx } => {
+            for c in idx * h..(idx + 1) * h {
+                f(c);
+            }
+            for e in 0..h {
+                f(h2 + pod * k + h + e);
+            }
+        }
+        FtClass::Edge { pod } => {
+            for j in 0..h {
+                f(h2 + pod * k + j);
+            }
+        }
+    }
+}
+
+fn torus_distance(dims: &[u32], a: u32, b: u32) -> u32 {
+    // Row-major ids, last dimension fastest: peel coordinates from the
+    // least significant dimension.  Per-dimension distance is the shorter
+    // way around the ring (the builder adds the wrap trunk for len >= 3;
+    // for len == 2 the single trunk makes min(delta, len - delta) = delta).
+    let mut ra = a;
+    let mut rb = b;
+    let mut total = 0;
+    for &len in dims.iter().rev() {
+        let ca = ra % len;
+        let cb = rb % len;
+        ra /= len;
+        rb /= len;
+        let delta = ca.abs_diff(cb);
+        total += delta.min(len - delta);
+    }
+    total
+}
+
+fn torus_neighbours(dims: &[u32], s: u32, f: &mut dyn FnMut(u32)) {
+    let mut stride = 1u32;
+    for &len in dims.iter().rev() {
+        let coord = (s / stride) % len;
+        if len >= 2 {
+            let down = if coord == 0 { len - 1 } else { coord - 1 };
+            let up = if coord + 1 == len { 0 } else { coord + 1 };
+            let base = s - coord * stride;
+            f(base + down * stride);
+            if up != down {
+                f(base + up * stride);
+            }
+        }
+        stride *= len;
+    }
+}
+
+/// Table-free routing for coordinate-addressable fabrics: next hops are
+/// computed from switch coordinates via [`FabricStructure`], so routing
+/// state is O(V) (the id index) instead of O(V·E), and a fault-churn
+/// fingerprint flip costs a per-destination detour scan instead of a full
+/// table rebuild.
+///
+/// Requires a topology built by [`Topology::fat_tree`] or
+/// [`Topology::torus_nd`]/[`Topology::torus`] (which tag their structure);
+/// structural mutations clear the tag and are rejected by
+/// [`Router::validate`].  Under faults the router stays *exact*: it serves
+/// detours from a per-destination overlay that is byte-identical to what
+/// [`crate::router::ShortestPathRouter`] would compute on the degraded
+/// graph, so admission and delivery sequences are reproducible across both
+/// routers, healthy or degraded.
+pub struct StructuralRouter {
+    cache: NextHopCache,
+}
+
+impl StructuralRouter {
+    /// Create a structural router with the default cache capacity.
+    pub fn new() -> Self {
+        StructuralRouter {
+            cache: NextHopCache::structural(),
+        }
+    }
+
+    /// Create a structural router whose fingerprint cache keeps up to
+    /// `capacity` fabric states resident.
+    pub fn with_cache_capacity(capacity: usize) -> Self {
+        StructuralRouter {
+            cache: NextHopCache::structural_with_capacity(capacity),
+        }
+    }
+
+    /// Cache counters (hits, misses, rebuild kinds) for observability.
+    pub fn cache_stats(&self) -> NextHopCacheStats {
+        self.cache.stats()
+    }
+}
+
+impl Default for StructuralRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for StructuralRouter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StructuralRouter").finish()
+    }
+}
+
+impl Router for StructuralRouter {
+    fn name(&self) -> &'static str {
+        "structural"
+    }
+
+    fn validate(&self, topology: &Topology) -> RtResult<()> {
+        if topology.structure().is_none() {
+            return Err(RtError::Config(
+                "StructuralRouter needs structural metadata: build the fabric with \
+                 Topology::fat_tree or Topology::torus_nd (structural mutations clear the tag)"
+                    .into(),
+            ));
+        }
+        if !topology.has_uniform_cost() {
+            return Err(RtError::Config(
+                "StructuralRouter requires uniform trunk costs (hop-count closed forms)".into(),
+            ));
+        }
+        if !topology.is_connected() {
+            return Err(RtError::Config("the switch graph must be connected".into()));
+        }
+        Ok(())
+    }
+
+    fn route(&self, topology: &Topology, source: NodeId, destination: NodeId) -> RtResult<Route> {
+        walk_dense(
+            &self.cache.get_dense(topology),
+            topology,
+            source,
+            destination,
+        )
+    }
+
+    fn next_hop_cache(&self) -> Option<&NextHopCache> {
+        Some(&self.cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::SwitchId;
+    use std::collections::BTreeMap;
+
+    /// BFS distances from `from` over the topology's trunk graph.
+    fn bfs_distances(t: &Topology, from: SwitchId) -> BTreeMap<SwitchId, u32> {
+        let mut dist = BTreeMap::from([(from, 0u32)]);
+        let mut queue = std::collections::VecDeque::from([from]);
+        while let Some(current) = queue.pop_front() {
+            let d = dist[&current];
+            for next in t.neighbours(current) {
+                dist.entry(next).or_insert_with(|| {
+                    queue.push_back(next);
+                    d + 1
+                });
+            }
+        }
+        dist
+    }
+
+    fn assert_structure_matches_graph(t: &Topology) {
+        let s = t.structure().expect("builder tags structure").clone();
+        assert_eq!(s.switch_count() as usize, t.switch_count());
+        let table = t.next_hop_table();
+        for a in t.switches() {
+            // Closed-form neighbours match the real adjacency, ascending.
+            let graph: Vec<u32> = t.neighbours(a).map(|n| n.get()).collect();
+            assert_eq!(s.neighbours(a.get()), graph, "neighbours of {a}");
+            let dist = bfs_distances(t, a);
+            for b in t.switches() {
+                assert_eq!(
+                    s.distance(a.get(), b.get()),
+                    dist.get(&b).copied(),
+                    "distance {a} -> {b}"
+                );
+                let expected = table.get(&(a, b)).map(|n| n.get());
+                assert_eq!(
+                    s.next_hop(a.get(), b.get()),
+                    expected,
+                    "next hop {a} -> {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_closed_forms_match_the_graph() {
+        for k in [4u32, 6] {
+            let t = Topology::fat_tree(k).unwrap();
+            assert_structure_matches_graph(&t);
+        }
+    }
+
+    #[test]
+    fn torus_closed_forms_match_the_graph() {
+        for dims in [vec![3u32, 4], vec![2, 3], vec![2, 2, 3], vec![1, 4]] {
+            let t = Topology::torus_nd(&dims, 1).unwrap();
+            assert_structure_matches_graph(&t);
+        }
+    }
+
+    #[test]
+    fn out_of_range_ids_have_no_closed_form() {
+        let t = Topology::fat_tree(4).unwrap();
+        let s = t.structure().unwrap();
+        let n = s.switch_count();
+        assert_eq!(s.distance(0, n), None);
+        assert_eq!(s.next_hop(n, 0), None);
+        assert!(s.neighbours(n).is_empty());
+        assert_eq!(s.next_hop(3, 3), None);
+    }
+
+    #[test]
+    fn structural_router_validates_structure_and_cost() {
+        let router = StructuralRouter::new();
+        let t = Topology::fat_tree(4).unwrap();
+        router.validate(&t).unwrap();
+
+        // No structural tag: rejected with a pointer at the builders.
+        let ring = Topology::ring(4, 1);
+        let err = router.validate(&ring).unwrap_err().to_string();
+        assert!(err.contains("fat_tree"), "{err}");
+
+        // Structural mutations clear the tag and therefore reject.
+        let mut mutated = Topology::fat_tree(4).unwrap();
+        mutated.add_switch(SwitchId::new(999));
+        assert!(router.validate(&mutated).is_err());
+
+        // Weighted trunks break the hop-count closed forms.
+        let mut weighted = Topology::torus_nd(&[3, 3], 1).unwrap();
+        // set_trunk_cost with cost != 1 clears the tag.
+        weighted
+            .set_trunk_cost(SwitchId::new(0), SwitchId::new(1), 3)
+            .unwrap();
+        assert!(router.validate(&weighted).is_err());
+    }
+
+    #[test]
+    fn structural_router_routes_like_shortest_path() {
+        use crate::router::ShortestPathRouter;
+        let t = Topology::fat_tree(4).unwrap();
+        let structural = StructuralRouter::new();
+        let tabled = ShortestPathRouter::new();
+        for src in 0..8u32 {
+            for dst in 8..16u32 {
+                let a = structural
+                    .route(&t, NodeId::new(src), NodeId::new(dst))
+                    .unwrap();
+                let b = tabled
+                    .route(&t, NodeId::new(src), NodeId::new(dst))
+                    .unwrap();
+                assert_eq!(a, b, "{src} -> {dst}");
+            }
+        }
+    }
+}

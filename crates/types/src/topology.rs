@@ -44,6 +44,36 @@ pub enum ManagerPlacement {
     Distributed,
 }
 
+/// The regular fabric family a topology was built as, carried by the
+/// structured builders ([`Topology::fat_tree`], [`Topology::torus_nd`],
+/// [`Topology::torus`]) so coordinate-based routing can recognise the shape
+/// without re-deriving it from the edge set.
+///
+/// The metadata describes the *healthy* graph: it survives
+/// [`Topology::fail_trunk`] / [`Topology::repair_trunk`] (a cut cable does
+/// not change what the fabric is), but any structural mutation that the
+/// closed forms cannot describe — an extra switch, an extra trunk, a
+/// non-default trunk cost — clears it, and routing falls back to the
+/// general-mesh path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricStructure {
+    /// The three-tier fat tree of [`Topology::fat_tree`]: radix `k`,
+    /// `(k/2)²` cores then `k` pods of `k/2` aggregation + `k/2` edge
+    /// switches.
+    FatTree {
+        /// The switch radix (even, at least 4).
+        k: u32,
+    },
+    /// The n-dimensional wrap-around torus of [`Topology::torus_nd`]
+    /// (row-major switch ids, last dimension fastest); the 2-D builder
+    /// [`Topology::torus`] tags itself as `TorusNd { dims: [rows, cols] }`,
+    /// which is the identical graph.
+    TorusNd {
+        /// Dimension lengths, slowest-varying first.
+        dims: Vec<u32>,
+    },
+}
+
 /// Identifier of a switch in a multi-switch topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SwitchId(pub u32);
@@ -124,6 +154,11 @@ pub struct Topology {
     costs: BTreeMap<(SwitchId, SwitchId), u64>,
     /// Where the channel management software runs (see [`ManagerPlacement`]).
     placement: ManagerPlacement,
+    /// The regular fabric family this topology was built as, when a
+    /// structured builder produced it (see [`FabricStructure`]).  Cleared by
+    /// any mutation the closed forms cannot describe; preserved across
+    /// trunk failures and repairs.
+    structure: Option<FabricStructure>,
 }
 
 impl Topology {
@@ -222,6 +257,12 @@ impl Topology {
                     .expect("fresh node");
             }
         }
+        // Same graph as `torus_nd(&[rows, cols], n)` switch for switch, so
+        // it carries the same structural tag (set last: the builder's own
+        // mutations would clear it).
+        t.structure = Some(FabricStructure::TorusNd {
+            dims: vec![rows, cols],
+        });
         t
     }
 
@@ -282,6 +323,7 @@ impl Topology {
                 }
             }
         }
+        t.structure = Some(FabricStructure::FatTree { k });
         Ok(t)
     }
 
@@ -360,11 +402,16 @@ impl Topology {
                     .expect("fresh node");
             }
         }
+        t.structure = Some(FabricStructure::TorusNd {
+            dims: dims.to_vec(),
+        });
         Ok(t)
     }
 
-    /// Add a switch (idempotent).
+    /// Add a switch (idempotent).  Clears any [`FabricStructure`] tag: an
+    /// extra switch is outside what the structured builders describe.
     pub fn add_switch(&mut self, switch: SwitchId) {
+        self.structure = None;
         self.switches.insert(switch);
         self.adjacency.entry(switch).or_default();
     }
@@ -404,6 +451,7 @@ impl Topology {
                 "trunk {a} <-> {b} exists but is failed; repair it instead"
             )));
         }
+        self.structure = None;
         self.adjacency.entry(a).or_default().insert(b);
         self.adjacency.entry(b).or_default().insert(a);
         Ok(())
@@ -442,6 +490,9 @@ impl Topology {
         if cost == 1 {
             self.costs.remove(&key);
         } else {
+            // Weighted trunks break the hop-count closed forms, so the
+            // structural tag goes with them.
+            self.structure = None;
             self.costs.insert(key, cost);
         }
         Ok(())
@@ -606,6 +657,51 @@ impl Topology {
             h = mix(h, u64::from(a.0));
             h = mix(h, u64::from(b.0));
             h = mix(h, cost);
+        }
+        h
+    }
+
+    /// The regular fabric family this topology was built as, if a structured
+    /// builder produced it and no structural mutation has occurred since.
+    /// Trunk failures and repairs preserve the tag (see
+    /// [`FabricStructure`]).
+    pub fn structure(&self) -> Option<&FabricStructure> {
+        self.structure.as_ref()
+    }
+
+    /// Like [`Topology::fingerprint`], but over the *healthy* graph — failed
+    /// trunks are hashed as if still up.  Every cut/repair state of one
+    /// fabric shares this value, which is what lets a routing cache
+    /// recognise "the same fabric, one trunk different" and repair its
+    /// tables incrementally instead of rebuilding from scratch.
+    pub fn structural_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mix = |h: u64, v: u64| (h ^ v).wrapping_mul(PRIME);
+        for s in &self.switches {
+            h = mix(h, 1);
+            h = mix(h, u64::from(s.0));
+        }
+        for (n, s) in &self.attachments {
+            h = mix(h, 2);
+            h = mix(h, u64::from(n.get()));
+            h = mix(h, u64::from(s.0));
+        }
+        let all_trunks: BTreeSet<(SwitchId, SwitchId)> =
+            self.trunks().chain(self.failed_trunks()).collect();
+        for &(a, b) in &all_trunks {
+            h = mix(h, 3);
+            h = mix(h, u64::from(a.0));
+            h = mix(h, u64::from(b.0));
+        }
+        for (&(a, b), &cost) in &self.costs {
+            if all_trunks.contains(&(a, b)) {
+                h = mix(h, 4);
+                h = mix(h, u64::from(a.0));
+                h = mix(h, u64::from(b.0));
+                h = mix(h, cost);
+            }
         }
         h
     }
@@ -1158,6 +1254,62 @@ mod tests {
             .contains_key(&(SwitchId::new(0), SwitchId::new(2))));
         t.repair_trunk(SwitchId::new(2), SwitchId::new(1)).unwrap();
         assert!(t.is_connected());
+    }
+
+    #[test]
+    fn structure_tag_survives_faults_but_not_mutations() {
+        let mut ft = Topology::fat_tree(4).unwrap();
+        assert_eq!(ft.structure(), Some(&FabricStructure::FatTree { k: 4 }));
+        // A cut and its repair describe the same fabric.
+        let (a, b) = ft.trunks().next().unwrap();
+        ft.fail_trunk(a, b).unwrap();
+        assert!(ft.structure().is_some());
+        ft.repair_trunk(a, b).unwrap();
+        assert!(ft.structure().is_some());
+        // An extra trunk does not.
+        ft.add_trunk(SwitchId::new(0), SwitchId::new(1)).unwrap();
+        assert!(ft.structure().is_none());
+
+        let nd = Topology::torus_nd(&[3, 4], 1).unwrap();
+        assert_eq!(
+            nd.structure(),
+            Some(&FabricStructure::TorusNd { dims: vec![3, 4] })
+        );
+        // The 2-D builder tags the identical graph identically.
+        assert_eq!(Topology::torus(3, 4, 1).structure(), nd.structure());
+
+        let mut weighted = Topology::torus(3, 3, 1);
+        weighted
+            .set_trunk_cost(SwitchId::new(0), SwitchId::new(1), 5)
+            .unwrap();
+        assert!(weighted.structure().is_none());
+
+        let mut grown = Topology::torus(3, 3, 1);
+        grown.add_switch(SwitchId::new(99));
+        assert!(grown.structure().is_none());
+
+        // Hand-built topologies never carry a tag.
+        assert!(Topology::ring(4, 1).structure().is_none());
+        assert!(Topology::line(3, 1).structure().is_none());
+    }
+
+    #[test]
+    fn structural_fingerprint_is_fault_invariant() {
+        let mut t = Topology::ring(5, 1);
+        let healthy = t.structural_fingerprint();
+        assert_ne!(healthy, Topology::ring(4, 1).structural_fingerprint());
+        t.fail_trunk(SwitchId::new(0), SwitchId::new(1)).unwrap();
+        assert_eq!(t.structural_fingerprint(), healthy);
+        // The degraded *routing* fingerprint still differs, of course.
+        assert_ne!(t.fingerprint(), Topology::ring(5, 1).fingerprint());
+        t.fail_trunk(SwitchId::new(2), SwitchId::new(3)).unwrap();
+        assert_eq!(t.structural_fingerprint(), healthy);
+        t.repair_trunk(SwitchId::new(0), SwitchId::new(1)).unwrap();
+        assert_eq!(t.structural_fingerprint(), healthy);
+        // A genuinely different healthy graph hashes differently.
+        let mut other = Topology::ring(5, 1);
+        other.add_trunk(SwitchId::new(0), SwitchId::new(2)).unwrap();
+        assert_ne!(other.structural_fingerprint(), healthy);
     }
 
     #[test]

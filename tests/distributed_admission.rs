@@ -371,6 +371,51 @@ fn trunk_cut_adjacent_to_the_former_manager_is_survived() {
     assert!(worst <= bound);
 }
 
+/// Per-site views adopt the incremental rebuild path: a link-state flood
+/// mutates each site's private view by exactly one trunk, so the shared
+/// router cache must repair the previous table from the cut delta instead
+/// of rebuilding every column from scratch.
+#[test]
+fn link_state_floods_trigger_incremental_rebuilds() {
+    let mut net = distributed(Topology::torus(3, 3, 1)).build().unwrap();
+    let tx = net
+        .establish_channel(NodeId::new(0), NodeId::new(8), spec())
+        .unwrap()
+        .unwrap();
+
+    let healthy = net.router().next_hop_cache().unwrap().stats();
+    assert_eq!(healthy.incremental_rebuilds, 0);
+    assert!(healthy.full_rebuilds >= 1, "healthy build is a full build");
+
+    let report = net.fail_trunk(SwitchId::new(0), SwitchId::new(1)).unwrap();
+    assert!(report.dropped.is_empty());
+
+    // Re-admission routes against the flooded per-site views, whose
+    // fingerprints differ from the healthy base by one failed trunk.
+    let tx2 = net
+        .establish_channel(NodeId::new(1), NodeId::new(7), spec())
+        .unwrap()
+        .expect("the degraded torus still admits");
+
+    let degraded = net.router().next_hop_cache().unwrap().stats();
+    assert!(
+        degraded.incremental_rebuilds >= 1,
+        "the single-trunk cut must take the incremental path, got {degraded:?}"
+    );
+    assert_eq!(
+        degraded.full_rebuilds, healthy.full_rebuilds,
+        "no view may fall back to a from-scratch rebuild"
+    );
+
+    let start = net.now() + Duration::from_millis(1);
+    net.send_periodic(NodeId::new(0), tx.id, 10, 900, start)
+        .unwrap();
+    net.send_periodic(NodeId::new(1), tx2.id, 10, 900, start)
+        .unwrap();
+    net.run_to_completion().unwrap();
+    assert!(net.simulator().stats().all_deadlines_met());
+}
+
 // --- whole-switch failures (satellite: Topology::fail_switch) -------------
 
 #[test]

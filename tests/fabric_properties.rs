@@ -39,8 +39,9 @@ use switched_rt_ethernet::netsim::{
     SimConfig, Simulator,
 };
 use switched_rt_ethernet::types::{
-    ChannelId, ConnectionRequestId, Duration, KShortestRouter, MacAddr, ManagerPlacement, NodeId,
-    ShardStrategy, SimTime, Slots, SwitchId, Topology, Xoshiro256,
+    ChannelId, ConnectionRequestId, Duration, KShortestRouter, MacAddr, ManagerPlacement,
+    NextHopCache, NodeId, Router, ShardStrategy, ShortestPathRouter, SimTime, Slots,
+    StructuralRouter, SwitchId, Topology, Xoshiro256,
 };
 
 /// The fixed seed matrix: every invariant below holds for all of these.
@@ -897,4 +898,126 @@ fn admitted_channels_never_miss_deadlines_on_random_fabrics() {
             "seed {seed}: full-stack arena buffers leaked"
         );
     }
+}
+
+// --- structural routing and incremental rebuilds --------------------------
+
+/// On every healthy regular fabric, the table-free [`StructuralRouter`]
+/// must be indistinguishable from the tabled [`ShortestPathRouter`]: the
+/// closed-form next hops reproduce the lex-min BFS table byte for byte.
+#[test]
+fn structural_router_matches_the_table_on_healthy_fabrics() {
+    let fabrics: Vec<(String, Topology)> = vec![
+        ("fat_tree(4)".into(), Topology::fat_tree(4).unwrap()),
+        ("fat_tree(6)".into(), Topology::fat_tree(6).unwrap()),
+        ("fat_tree(16)".into(), Topology::fat_tree(16).unwrap()),
+        (
+            "torus_nd[3,4]".into(),
+            Topology::torus_nd(&[3, 4], 1).unwrap(),
+        ),
+        (
+            "torus_nd[2,2,3]".into(),
+            Topology::torus_nd(&[2, 2, 3], 1).unwrap(),
+        ),
+        (
+            "torus_nd[4,4,4]".into(),
+            Topology::torus_nd(&[4, 4, 4], 1).unwrap(),
+        ),
+    ];
+    for (name, topology) in &fabrics {
+        let router = StructuralRouter::new();
+        let structural = router.next_hop_table(topology);
+        let tabled = ShortestPathRouter::new().next_hop_table(topology);
+        assert_eq!(
+            *structural, *tabled,
+            "{name}: structural next hops diverge from the lex-min table"
+        );
+        let stats = router.cache_stats();
+        assert_eq!(
+            stats.full_rebuilds, 0,
+            "{name}: the structural router must never run a from-scratch build"
+        );
+        assert_eq!(
+            stats.incremental_rebuilds, 0,
+            "{name}: healthy structural tables need no rebuild at all"
+        );
+    }
+}
+
+/// Under a single trunk cut the structural detour overlay must still agree
+/// with a from-scratch lex-min table of the degraded fabric — for *every*
+/// trunk, so both the closed-form case (lex-min tree never crossed the
+/// trunk) and the degraded-column case are exercised.
+#[test]
+fn structural_detours_match_the_degraded_table_for_every_cut() {
+    for (name, healthy) in [
+        ("fat_tree(4)", Topology::fat_tree(4).unwrap()),
+        ("torus_nd[3,3]", Topology::torus_nd(&[3, 3], 1).unwrap()),
+    ] {
+        let trunks: Vec<(SwitchId, SwitchId)> = healthy.trunks().collect();
+        for &(a, b) in &trunks {
+            let mut degraded = healthy.clone();
+            degraded.fail_trunk(a, b).unwrap();
+            let structural = StructuralRouter::new().next_hop_table(&degraded);
+            let scratch = ShortestPathRouter::new().next_hop_table(&degraded);
+            assert_eq!(
+                *structural, *scratch,
+                "{name}: detour overlay diverges after cutting {a}-{b}"
+            );
+        }
+    }
+}
+
+/// The incremental single-delta rebuild must be invisible: after any cut
+/// (including disconnecting ones) and after the matching repair, the
+/// cached table equals a from-scratch build — across the full random
+/// fabric matrix, with the cache counters proving the cheap path ran.
+#[test]
+fn incremental_rebuilds_match_from_scratch_across_seeds() {
+    let mut incremental_seen = 0u64;
+    for seed in 0..SEEDS {
+        let mut rng = Xoshiro256::new(0x10c4_e000 ^ seed);
+        let topology = random_topology(&mut rng);
+        let trunks: Vec<(SwitchId, SwitchId)> = topology.trunks().collect();
+        let (a, b) = trunks[rng.below(trunks.len() as u64) as usize];
+
+        // Healthy -> cut: the cache must take the single-delta path and
+        // still match a from-scratch build of the degraded fabric.
+        let cache = NextHopCache::new();
+        let healthy_cached = cache.get(&topology);
+        let mut degraded = topology.clone();
+        degraded.fail_trunk(a, b).unwrap();
+        let after_cut = cache.get(&degraded);
+        assert_eq!(
+            *after_cut,
+            *NextHopCache::new().get(&degraded),
+            "seed {seed}: incremental cut {a}-{b} diverges from scratch"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.full_rebuilds, 1, "seed {seed}: cut fell back to full");
+        incremental_seen += stats.incremental_rebuilds;
+
+        // Cut -> repair, through a cache that never saw the healthy
+        // fabric: the repair delta must reproduce the healthy table.
+        let repair_cache = NextHopCache::new();
+        repair_cache.get(&degraded);
+        let mut repaired = degraded.clone();
+        repaired.repair_trunk(a, b).unwrap();
+        let after_repair = repair_cache.get(&repaired);
+        assert_eq!(
+            *after_repair, *healthy_cached,
+            "seed {seed}: incremental repair {a}-{b} diverges from the healthy table"
+        );
+        let stats = repair_cache.stats();
+        assert_eq!(
+            stats.full_rebuilds, 1,
+            "seed {seed}: repair fell back to full"
+        );
+        incremental_seen += stats.incremental_rebuilds;
+    }
+    assert_eq!(
+        incremental_seen,
+        2 * SEEDS,
+        "every cut and every repair must take the incremental path"
+    );
 }
